@@ -1,0 +1,322 @@
+package nrp
+
+// This file regenerates every table and figure of the paper's evaluation
+// section as Go benchmarks (DESIGN.md §4 maps each to its experiment), plus
+// the design-choice ablations of DESIGN.md §5 and micro-benchmarks of the
+// core kernels. Figure benchmarks run the experiment harness at a reduced
+// "bench" scale (documented per benchmark) and print the resulting rows —
+// the series shapes, not the absolute numbers, are the reproduction target.
+//
+// Run everything:  go test -bench=. -benchmem
+// One figure:      go test -bench=BenchmarkFig4 -benchmem
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/nrp-embed/nrp/internal/core"
+	"github.com/nrp-embed/nrp/internal/eval"
+	"github.com/nrp-embed/nrp/internal/experiments"
+	"github.com/nrp-embed/nrp/internal/graph"
+	"github.com/nrp-embed/nrp/internal/matrix"
+	"github.com/nrp-embed/nrp/internal/ppr"
+	"github.com/nrp-embed/nrp/internal/svd"
+)
+
+// runExperiment executes a registered experiment once per benchmark
+// iteration, printing its tables on the first iteration only.
+func runExperiment(b *testing.B, name string, cfg experiments.Config) {
+	b.Helper()
+	r, err := experiments.Find(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tables, err := r.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println()
+			for _, t := range tables {
+				if err := t.Render(os.Stdout); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// benchScale shrinks the harness datasets so each figure benchmark stays in
+// the tens of seconds on one core; cmd/nrpexp reproduces the full-size
+// quick and -full profiles.
+const benchScale = 0.12
+
+func BenchmarkTable1PPRExample(b *testing.B) {
+	runExperiment(b, "table1", experiments.Config{})
+}
+
+func BenchmarkFig2ApproxPPRExample(b *testing.B) {
+	runExperiment(b, "example1", experiments.Config{Seed: 7})
+}
+
+func BenchmarkTable3DatasetStats(b *testing.B) {
+	runExperiment(b, "table3", experiments.Config{Scale: 0.1, Seed: 1})
+}
+
+func BenchmarkTable4EvolvingStats(b *testing.B) {
+	runExperiment(b, "table4", experiments.Config{Scale: 0.2, Seed: 1})
+}
+
+func BenchmarkFig4LinkPrediction(b *testing.B) {
+	runExperiment(b, "fig4", experiments.Config{
+		Scale: benchScale, Seed: 1,
+		DatasetNames: []string{"wiki-sim", "blogcatalog-sim"},
+	})
+}
+
+func BenchmarkFig5GraphReconstruction(b *testing.B) {
+	runExperiment(b, "fig5", experiments.Config{
+		Scale: benchScale, Dim: 64, Seed: 1,
+		DatasetNames: []string{"wiki-sim"},
+	})
+}
+
+func BenchmarkFig6NodeClassification(b *testing.B) {
+	runExperiment(b, "fig6", experiments.Config{
+		Scale: benchScale, Dim: 64, Seed: 1,
+		DatasetNames: []string{"wiki-sim", "blogcatalog-sim"},
+	})
+}
+
+func BenchmarkFig7RunningTime(b *testing.B) {
+	runExperiment(b, "fig7", experiments.Config{
+		Scale: benchScale, Seed: 1,
+		DatasetNames: []string{"wiki-sim", "blogcatalog-sim"},
+	})
+}
+
+func BenchmarkFig8ParameterAUC(b *testing.B) {
+	runExperiment(b, "fig8", experiments.Config{
+		Scale: benchScale, Dim: 64, Seed: 1,
+	})
+}
+
+func BenchmarkFig9EvolvingLinkPrediction(b *testing.B) {
+	runExperiment(b, "fig9", experiments.Config{
+		Scale: 0.2, Dim: 64, Seed: 1,
+	})
+}
+
+func BenchmarkFig10Scalability(b *testing.B) {
+	runExperiment(b, "fig10", experiments.Config{Seed: 1})
+}
+
+func BenchmarkFig11ParameterRunningTime(b *testing.B) {
+	runExperiment(b, "fig11", experiments.Config{
+		Scale: benchScale, Dim: 64, Seed: 1,
+	})
+}
+
+// --- Ablations (DESIGN.md §5) -------------------------------------------
+
+// ablationGraph is the shared workload for the design-choice ablations:
+// wiki-sim at bench scale with a 30% link-prediction split.
+func ablationSplit(b *testing.B) (*graph.Graph, *eval.LinkPredSplit) {
+	b.Helper()
+	ds, err := experiments.FindDataset("wiki-sim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := ds.Gen(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	split, err := eval.NewLinkPredSplit(g, 0.3, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, split
+}
+
+func ablationAUC(b *testing.B, split *eval.LinkPredSplit, opt core.Options) (float64, time.Duration) {
+	b.Helper()
+	start := time.Now()
+	emb, err := core.NRP(split.Train, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	auc, err := eval.LinkPredictionAUC(emb, split)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return auc, elapsed
+}
+
+// BenchmarkAblationExactB1 compares the paper's AM-GM approximation of the
+// b₁ coordinate-descent term against its exact O(k′²) evaluation.
+func BenchmarkAblationExactB1(b *testing.B) {
+	_, split := ablationSplit(b)
+	for i := 0; i < b.N; i++ {
+		opt := core.DefaultOptions()
+		opt.Dim = 64
+		aucApprox, tApprox := ablationAUC(b, split, opt)
+		opt.ExactB1 = true
+		aucExact, tExact := ablationAUC(b, split, opt)
+		if i == 0 {
+			fmt.Printf("\nablation exact-b1 (wiki-sim ×%.2f): approx AUC=%.4f (%.2fs)  exact AUC=%.4f (%.2fs)\n",
+				benchScale, aucApprox, tApprox.Seconds(), aucExact, tExact.Seconds())
+		}
+	}
+}
+
+// BenchmarkAblationFactorizer compares BKSVD against plain randomized
+// subspace iteration as Algorithm 1's factorizer.
+func BenchmarkAblationFactorizer(b *testing.B) {
+	_, split := ablationSplit(b)
+	for i := 0; i < b.N; i++ {
+		opt := core.DefaultOptions()
+		opt.Dim = 64
+		aucBK, tBK := ablationAUC(b, split, opt)
+		opt.SubspaceIteration = true
+		aucSI, tSI := ablationAUC(b, split, opt)
+		if i == 0 {
+			fmt.Printf("\nablation factorizer (wiki-sim ×%.2f): BKSVD AUC=%.4f (%.2fs)  subspace AUC=%.4f (%.2fs)\n",
+				benchScale, aucBK, tBK.Seconds(), aucSI, tSI.Seconds())
+		}
+	}
+}
+
+// BenchmarkAblationWeightTargets compares degree-targeted reweighting
+// (Eq. 5) against uniform targets, isolating the value of degree
+// information in the objective.
+func BenchmarkAblationWeightTargets(b *testing.B) {
+	g, split := ablationSplit(b)
+	opt := core.DefaultOptions()
+	opt.Dim = 64
+	for i := 0; i < b.N; i++ {
+		base, err := core.ApproxPPR(split.Train, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		apply := func(fw, bw []float64) float64 {
+			emb := &core.Embedding{X: base.X.Clone(), Y: base.Y.Clone()}
+			for v := 0; v < split.Train.N; v++ {
+				emb.X.ScaleRow(v, fw[v])
+				emb.Y.ScaleRow(v, bw[v])
+			}
+			auc, err := eval.LinkPredictionAUC(emb, split)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return auc
+		}
+		fwDeg, bwDeg, err := core.LearnWeights(split.Train, base, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		uniformIn := make([]float64, g.N)
+		uniformOut := make([]float64, g.N)
+		avg := float64(2*split.Train.NumEdges) / float64(g.N)
+		for v := range uniformIn {
+			uniformIn[v] = avg
+			uniformOut[v] = avg
+		}
+		fwUni, bwUni, err := core.LearnWeightsWithTargets(base, uniformIn, uniformOut, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("\nablation weight targets (wiki-sim ×%.2f): degree AUC=%.4f  uniform AUC=%.4f  none AUC=%.4f\n",
+				benchScale, apply(fwDeg, bwDeg), apply(fwUni, bwUni), mustAUC(b, base, split))
+		}
+	}
+}
+
+func mustAUC(b *testing.B, s eval.Scorer, split *eval.LinkPredSplit) float64 {
+	b.Helper()
+	auc, err := eval.LinkPredictionAUC(s, split)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return auc
+}
+
+// --- Kernel micro-benchmarks ---------------------------------------------
+
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := graph.GenSBM(graph.SBMConfig{N: 20000, M: 200000, Communities: 20, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkKernelSparseMulDense measures the CSR × dense product at the
+// shape Algorithm 1's iterations use (m=200k, k′=64).
+func BenchmarkKernelSparseMulDense(b *testing.B) {
+	g := benchGraph(b)
+	p := g.Transition()
+	rng := rand.New(rand.NewSource(1))
+	x := matrix.GaussianDense(g.N, 64, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.MulDense(x)
+	}
+}
+
+// BenchmarkKernelBKSVD measures the randomized factorization alone.
+func BenchmarkKernelBKSVD(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svd.BKSVD(g.Adj, svd.Options{Rank: 32, Epsilon: 0.2, Rng: rand.New(rand.NewSource(1))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelApproxPPR measures Algorithm 1 end to end.
+func BenchmarkKernelApproxPPR(b *testing.B) {
+	g := benchGraph(b)
+	opt := core.DefaultOptions()
+	opt.Dim = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ApproxPPR(g, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelReweighting measures the ℓ₂ coordinate-descent epochs of
+// Algorithm 3 (lines 3-7) in isolation.
+func BenchmarkKernelReweighting(b *testing.B) {
+	g := benchGraph(b)
+	opt := core.DefaultOptions()
+	opt.Dim = 64
+	emb, err := core.ApproxPPR(g, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.LearnWeights(g, emb, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelForwardPush measures the push primitive underlying STRAP.
+func BenchmarkKernelForwardPush(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ppr.ForwardPush(g, i%g.N, 0.15, 1e-5)
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/nrp-embed/nrp"
+)
+
+func TestDatagenSBMAndReload(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "demo")
+	if err := run([]string{"-type", "sbm", "-n", "80", "-m", "300", "-labels", "4", "-out", out, "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := nrp.LoadGraph(out+".edges", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 80 || g.NumEdges != 300 {
+		t.Fatalf("reloaded n=%d m=%d", g.N, g.NumEdges)
+	}
+	if _, err := os.Stat(out + ".labels"); err != nil {
+		t.Fatalf("labels file missing: %v", err)
+	}
+}
+
+func TestDatagenERNoLabels(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "er")
+	if err := run([]string{"-type", "er", "-n", "50", "-m", "100", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out + ".labels"); err == nil {
+		t.Fatal("ER graph should not emit labels")
+	}
+}
+
+func TestDatagenValidation(t *testing.T) {
+	if err := run([]string{"-type", "sbm", "-n", "10", "-m", "5"}); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+	if err := run([]string{"-type", "bogus", "-out", "/tmp/x"}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if err := run([]string{"-preset", "nope", "-out", "/tmp/x"}); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}

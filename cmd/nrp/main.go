@@ -1,0 +1,89 @@
+// Command nrp computes NRP (or ApproxPPR) embeddings for a graph given as
+// an edge list and writes them in the library's binary format.
+//
+// Usage:
+//
+//	nrp -input graph.txt -output emb.bin [-directed] [-method nrp|approxppr]
+//	    [-k 128] [-alpha 0.15] [-l1 20] [-l2 10] [-eps 0.2] [-lambda 10] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/nrp-embed/nrp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nrp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nrp", flag.ContinueOnError)
+	var (
+		input    = fs.String("input", "", "edge-list file (required)")
+		output   = fs.String("output", "", "output embedding file (required)")
+		directed = fs.Bool("directed", false, "treat edges as directed")
+		method   = fs.String("method", "nrp", "embedding method: nrp or approxppr")
+		k        = fs.Int("k", 128, "embedding dimensionality (even)")
+		alpha    = fs.Float64("alpha", 0.15, "random walk decay factor α")
+		l1       = fs.Int("l1", 20, "PPR truncation order ℓ1")
+		l2       = fs.Int("l2", 10, "reweighting epochs ℓ2")
+		eps      = fs.Float64("eps", 0.2, "BKSVD error threshold ε")
+		lambda   = fs.Float64("lambda", 10, "reweighting regularizer λ")
+		seed     = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *input == "" || *output == "" {
+		fs.Usage()
+		return fmt.Errorf("-input and -output are required")
+	}
+
+	loadStart := time.Now()
+	g, err := nrp.LoadGraph(*input, *directed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d nodes, %d edges in %v\n", g.N, g.NumEdges, time.Since(loadStart).Round(time.Millisecond))
+
+	opt := nrp.DefaultOptions()
+	opt.Dim = *k
+	opt.Alpha = *alpha
+	opt.L1 = *l1
+	opt.L2 = *l2
+	opt.Epsilon = *eps
+	opt.Lambda = *lambda
+	opt.Seed = *seed
+
+	trainStart := time.Now()
+	var emb *nrp.Embedding
+	switch *method {
+	case "nrp":
+		emb, err = nrp.Embed(g, opt)
+	case "approxppr":
+		emb, err = nrp.EmbedPPR(g, opt)
+	default:
+		return fmt.Errorf("unknown method %q (want nrp or approxppr)", *method)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "embedded in %v\n", time.Since(trainStart).Round(time.Millisecond))
+
+	f, err := os.Create(*output)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := emb.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

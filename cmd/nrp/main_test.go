@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/nrp-embed/nrp"
+)
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.txt")
+	embPath := filepath.Join(dir, "emb.bin")
+
+	g, err := nrp.GenSBM(nrp.SBMConfig{N: 100, M: 500, Communities: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nrp.WriteGraph(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := run([]string{"-input", graphPath, "-output", embPath, "-k", "16"}); err != nil {
+		t.Fatal(err)
+	}
+	ef, err := os.Open(embPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ef.Close()
+	emb, err := nrp.LoadEmbedding(ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.N() != g.N || emb.Dim() != 8 {
+		t.Fatalf("embedding shape %dx%d", emb.N(), emb.Dim())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+	if err := run([]string{"-input", "/nope", "-output", "/tmp/x"}); err == nil {
+		t.Fatal("missing input file accepted")
+	}
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.txt")
+	os.WriteFile(graphPath, []byte("0 1\n"), 0o644)
+	if err := run([]string{"-input", graphPath, "-output", filepath.Join(dir, "e"), "-method", "bogus"}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}

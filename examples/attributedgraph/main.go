@@ -1,0 +1,56 @@
+// Attributed graphs — the extension the paper's conclusion names as future
+// work. Node attributes are smoothed through the same truncated
+// personalized-PageRank operator NRP factorizes, then fused with the
+// topology embeddings. With noisy-but-informative attributes, the fused
+// model recovers labels from far fewer training nodes than topology alone.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/nrp-embed/nrp"
+	"github.com/nrp-embed/nrp/internal/eval"
+)
+
+func main() {
+	g, err := nrp.GenSBM(nrp.SBMConfig{
+		N: 2000, M: 12000, Communities: 10, IntraFrac: 0.7, Seed: 31,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Attributes carry class signal buried under noise.
+	attrs, err := nrp.GenAttributes(g, 16, 2.0, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d nodes, %d edges, %d classes, %d noisy attributes/node\n",
+		g.N, g.NumEdges, g.NumLabels, len(attrs[0]))
+
+	opt := nrp.DefaultAttributedOptions()
+	opt.Dim = 32
+	opt.Seed = 33
+	fused, err := nrp.EmbedAttributed(g, attrs, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topoOnly, err := nrp.Embed(g, opt.Options)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ntrain%   topology-only Micro-F1   +attributes Micro-F1")
+	for _, frac := range []float64{0.1, 0.3, 0.5} {
+		cfg := eval.LogRegConfig{Seed: 9, Epochs: 12}
+		topo, err := eval.NodeClassification(topoOnly.Features, g.Labels, g.NumLabels, frac, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		attr, err := eval.NodeClassification(fused.Features, g.Labels, g.NumLabels, frac, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5.0f%%   %22.4f   %20.4f\n", frac*100, topo.Micro, attr.Micro)
+	}
+}

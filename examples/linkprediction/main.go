@@ -1,0 +1,89 @@
+// Link prediction on a directed social-network-like graph: remove 30% of
+// the edges, embed the remainder with NRP and with the ApproxPPR baseline,
+// and compare AUC — the protocol of the paper's §5.2 (Fig 4).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"github.com/nrp-embed/nrp"
+)
+
+func main() {
+	// A directed graph with 20 communities and heavy-tailed degrees,
+	// standing in for a social network.
+	g, err := nrp.GenSBM(nrp.SBMConfig{
+		N: 3000, M: 30000, Communities: 20, Directed: true, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d nodes, %d directed edges\n", g.N, g.NumEdges)
+
+	// Remove 30% of edges for testing.
+	rng := rand.New(rand.NewSource(42))
+	edges := g.Edges()
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	nTest := len(edges) * 3 / 10
+	testPos := edges[:nTest]
+	train, err := nrp.NewGraph(g.N, edges[nTest:], true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Equal number of random non-edges as negatives.
+	testNeg := make([]nrp.Edge, 0, nTest)
+	for len(testNeg) < nTest {
+		u, v := int32(rng.Intn(g.N)), int32(rng.Intn(g.N))
+		if u != v && !g.HasEdge(int(u), int(v)) {
+			testNeg = append(testNeg, nrp.Edge{U: u, V: v})
+		}
+	}
+
+	opt := nrp.DefaultOptions()
+	opt.Dim = 64
+	// The paper's default λ=10 is calibrated to its high-degree social
+	// graphs (average degree 39-77); this synthetic graph averages degree
+	// 10, so the regularizer is scaled down accordingly.
+	opt.Lambda = 0.1
+	for _, method := range []struct {
+		name  string
+		embed func(*nrp.Graph, nrp.Options) (*nrp.Embedding, error)
+	}{
+		{"ApproxPPR (no reweighting)", nrp.EmbedPPR},
+		{"NRP (node-reweighted)", nrp.Embed},
+	} {
+		emb, err := method.embed(train, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s AUC = %.4f\n", method.name, auc(emb, testPos, testNeg))
+	}
+}
+
+// auc computes the rank-based AUC of the embedding's scores.
+func auc(emb *nrp.Embedding, pos, neg []nrp.Edge) float64 {
+	type scored struct {
+		s   float64
+		pos bool
+	}
+	all := make([]scored, 0, len(pos)+len(neg))
+	for _, e := range pos {
+		all = append(all, scored{emb.Score(int(e.U), int(e.V)), true})
+	}
+	for _, e := range neg {
+		all = append(all, scored{emb.Score(int(e.U), int(e.V)), false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].s < all[j].s })
+	rankSum := 0.0
+	for i, s := range all {
+		if s.pos {
+			rankSum += float64(i + 1)
+		}
+	}
+	nPos, nNeg := float64(len(pos)), float64(len(neg))
+	return (rankSum - nPos*(nPos+1)/2) / (nPos * nNeg)
+}

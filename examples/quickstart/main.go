@@ -1,0 +1,51 @@
+// Quickstart: build NRP embeddings for the paper's 9-node example graph
+// and reproduce its motivating observation — raw PPR ranks the node pair
+// (v9,v7) above (v2,v4) even though v2 and v4 share three common
+// neighbors, and NRP's node reweighting corrects the order.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/nrp-embed/nrp"
+)
+
+func main() {
+	// The example graph of the paper's Fig 1 (nodes are 0-indexed here:
+	// v1 = 0, …, v9 = 8).
+	edges := []nrp.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 4},
+		{U: 2, V: 3}, {U: 2, V: 4}, {U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 6},
+		{U: 6, V: 7}, {U: 7, V: 8},
+	}
+	g, err := nrp.NewGraph(9, edges, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := nrp.DefaultOptions()
+	opt.Dim = 8    // tiny graph, tiny embedding
+	opt.Lambda = 0 // the paper's Example 2 disables regularization on this toy
+	opt.Seed = 7
+
+	ppr, err := nrp.EmbedPPR(g, opt) // Algorithm 1: PPR factorization only
+	if err != nil {
+		log.Fatal(err)
+	}
+	reweighted, err := nrp.Embed(g, opt) // Algorithm 3: + node reweighting
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("pair     PPR-only score   NRP score")
+	fmt.Printf("(v2,v4)  %14.4f   %9.4f\n", ppr.Score(1, 3), reweighted.Score(1, 3))
+	fmt.Printf("(v9,v7)  %14.4f   %9.4f\n", ppr.Score(8, 6), reweighted.Score(8, 6))
+
+	if ppr.Score(1, 3) < ppr.Score(8, 6) && reweighted.Score(1, 3) > reweighted.Score(8, 6) {
+		fmt.Println("\nNRP fixed the ranking: (v2,v4) now outscores (v9,v7),")
+		fmt.Println("matching the common-neighbor intuition of the paper's §1.")
+	} else {
+		fmt.Println("\nunexpected ranking — see the paper's §1 discussion")
+	}
+}

@@ -1,0 +1,84 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/nrp-embed/nrp/internal/core"
+	"github.com/nrp-embed/nrp/internal/graph"
+)
+
+// APPConfig parameterizes APP (Zhou et al., AAAI'17), the asymmetric
+// PPR-sampling method: positives (u, v) are endpoints of α-terminated walks
+// from u, trained into separate source and target tables, preserving edge
+// direction.
+type APPConfig struct {
+	Dim       int     // total dimensionality; k/2 per side as in the paper's protocol
+	Alpha     float64 // walk stop probability (default 0.15)
+	Samples   int     // walk samples per node per epoch (default 40)
+	Epochs    int     // passes over all nodes (default 5)
+	Negatives int     // negatives per positive (default 5)
+	LearnRate float64 // initial SGD step (default 0.025)
+	Seed      int64
+}
+
+func (c *APPConfig) defaults() error {
+	if c.Dim <= 0 || c.Dim%2 != 0 {
+		return fmt.Errorf("baselines: APP Dim must be positive and even, got %d", c.Dim)
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.15
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return fmt.Errorf("baselines: APP Alpha must be in (0,1), got %v", c.Alpha)
+	}
+	if c.Samples == 0 {
+		c.Samples = 100
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 5
+	}
+	if c.Negatives == 0 {
+		c.Negatives = 5
+	}
+	if c.LearnRate == 0 {
+		c.LearnRate = 0.025
+	}
+	return nil
+}
+
+// APP returns a dual (forward/backward) embedding trained on PPR walk
+// endpoint samples.
+func APP(g *graph.Graph, cfg APPConfig) (*core.Embedding, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	kPrime := cfg.Dim / 2
+	src := initEmbedding(g.N, kPrime, rng)
+	dst := initEmbedding(g.N, kPrime, rng)
+	trainer := newSGNSTrainer(src, dst, newNegTable(g), cfg.Negatives, cfg.LearnRate)
+	trainer.setTotalSteps(g.N * cfg.Samples * cfg.Epochs)
+
+	order := rng.Perm(g.N)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		shuffleIdx(order, rng)
+		for _, u := range order {
+			for s := 0; s < cfg.Samples; s++ {
+				v := pprWalkEndpoint(g, int32(u), cfg.Alpha, rng)
+				if v == int32(u) {
+					continue
+				}
+				trainer.Update(int32(u), v, rng)
+			}
+		}
+	}
+	return &core.Embedding{X: src, Y: dst}, nil
+}
+
+func shuffleIdx(p []int, rng *rand.Rand) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}

@@ -1,0 +1,374 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nrp-embed/nrp/internal/eval"
+	"github.com/nrp-embed/nrp/internal/graph"
+	"github.com/nrp-embed/nrp/internal/ppr"
+)
+
+// testGraph is a small SBM with clear community structure, so any method
+// that captures multi-hop proximity should beat chance at link prediction.
+func testGraph(t testing.TB, directed bool) *graph.Graph {
+	t.Helper()
+	g, err := graph.GenSBM(graph.SBMConfig{N: 250, M: 1500, Communities: 3, IntraFrac: 0.9, Directed: directed, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// linkPredAUC trains on a 30%-removed split and evaluates the scorer the
+// paper prescribes for each method family.
+func linkPredAUC(t *testing.T, g *graph.Graph, train func(*graph.Graph) eval.Scorer) float64 {
+	t.Helper()
+	split, err := eval.NewLinkPredSplit(g, 0.3, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scorer := train(split.Train)
+	auc, err := eval.LinkPredictionAUC(scorer, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return auc
+}
+
+func requireAUC(t *testing.T, name string, auc, threshold float64) {
+	t.Helper()
+	if auc < threshold {
+		t.Fatalf("%s link-prediction AUC %.3f below %.2f", name, auc, threshold)
+	}
+	t.Logf("%s AUC = %.3f", name, auc)
+}
+
+func TestDeepWalkLinkPrediction(t *testing.T) {
+	g := testGraph(t, false)
+	auc := linkPredAUC(t, g, func(tr *graph.Graph) eval.Scorer {
+		emb, err := DeepWalk(tr, WalkConfig{Dim: 32, Walks: 5, WalkLen: 20, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return emb
+	})
+	requireAUC(t, "DeepWalk", auc, 0.65)
+}
+
+func TestNode2VecLinkPrediction(t *testing.T) {
+	g := testGraph(t, false)
+	auc := linkPredAUC(t, g, func(tr *graph.Graph) eval.Scorer {
+		emb, err := Node2Vec(tr, WalkConfig{Dim: 32, Walks: 5, WalkLen: 20, P: 0.5, Q: 2, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return emb
+	})
+	requireAUC(t, "node2vec", auc, 0.65)
+}
+
+func TestLINELinkPrediction(t *testing.T) {
+	g := testGraph(t, false)
+	for _, order := range []int{1, 2, 3} {
+		auc := linkPredAUC(t, g, func(tr *graph.Graph) eval.Scorer {
+			emb, err := LINE(tr, LINEConfig{Dim: 32, Order: order, Samples: 120, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return emb
+		})
+		requireAUC(t, "LINE", auc, 0.6)
+	}
+}
+
+func TestAPPLinkPrediction(t *testing.T) {
+	g := testGraph(t, true)
+	auc := linkPredAUC(t, g, func(tr *graph.Graph) eval.Scorer {
+		emb, err := APP(tr, APPConfig{Dim: 32, Samples: 100, Epochs: 10, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return emb
+	})
+	requireAUC(t, "APP", auc, 0.6)
+}
+
+func TestVERSELinkPrediction(t *testing.T) {
+	g := testGraph(t, false)
+	auc := linkPredAUC(t, g, func(tr *graph.Graph) eval.Scorer {
+		emb, err := VERSE(tr, VERSEConfig{Dim: 32, Samples: 60, Epochs: 6, LearnRate: 0.05, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return emb
+	})
+	requireAUC(t, "VERSE", auc, 0.6)
+}
+
+func TestSpectralLinkPrediction(t *testing.T) {
+	g := testGraph(t, false)
+	auc := linkPredAUC(t, g, func(tr *graph.Graph) eval.Scorer {
+		emb, err := Spectral(tr, SpectralConfig{Dim: 16, Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return emb
+	})
+	requireAUC(t, "Spectral", auc, 0.6)
+}
+
+func TestRandNELinkPrediction(t *testing.T) {
+	g := testGraph(t, false)
+	auc := linkPredAUC(t, g, func(tr *graph.Graph) eval.Scorer {
+		emb, err := RandNE(tr, RandNEConfig{Dim: 32, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return emb
+	})
+	requireAUC(t, "RandNE", auc, 0.6)
+}
+
+func TestAROPELinkPrediction(t *testing.T) {
+	g := testGraph(t, false)
+	auc := linkPredAUC(t, g, func(tr *graph.Graph) eval.Scorer {
+		emb, err := AROPE(tr, AROPEConfig{Dim: 32, Seed: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return emb
+	})
+	requireAUC(t, "AROPE", auc, 0.65)
+}
+
+func TestSTRAPLinkPrediction(t *testing.T) {
+	g := testGraph(t, false)
+	auc := linkPredAUC(t, g, func(tr *graph.Graph) eval.Scorer {
+		emb, err := STRAP(tr, STRAPConfig{Dim: 32, Delta: 1e-4, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return emb
+	})
+	requireAUC(t, "STRAP", auc, 0.65)
+}
+
+// STRAP's factorized scores should track the transpose proximity
+// π(u,v) + π̃(v,u) on a small graph.
+func TestSTRAPApproximatesTransposeProximity(t *testing.T) {
+	g, err := graph.GenSBM(graph.SBMConfig{N: 60, M: 250, Communities: 2, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := STRAP(g, STRAPConfig{Dim: 60, Delta: 1e-7, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := ppr.Exact(g, 0.15, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Undirected: M[u,v] = π(u,v) + π(v,u).
+	maxErr := 0.0
+	for u := 0; u < g.N; u++ {
+		for v := 0; v < g.N; v++ {
+			if u == v {
+				continue
+			}
+			want := pi.At(u, v) + pi.At(v, u)
+			if d := math.Abs(emb.Score(u, v) - want); d > maxErr {
+				maxErr = d
+			}
+		}
+	}
+	// The transpose proximity matrix is not exactly rank k/2; the residual
+	// reflects truncation, not a defect, so the tolerance is loose.
+	if maxErr > 0.1 {
+		t.Fatalf("STRAP proximity error %v", maxErr)
+	}
+}
+
+// AROPE's first-order weights should reproduce adjacency structure: true
+// edges must outscore random non-edges on average.
+func TestAROPESeparatesEdges(t *testing.T) {
+	g := testGraph(t, false)
+	emb, err := AROPE(g, AROPEConfig{Dim: 32, Weights: []float64{1}, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := g.Edges()
+	meanEdge := 0.0
+	for _, e := range edges {
+		meanEdge += emb.Score(int(e.U), int(e.V))
+	}
+	meanEdge /= float64(len(edges))
+	meanRand := 0.0
+	count := 0
+	for u := 0; u < g.N; u += 3 {
+		for v := 1; v < g.N; v += 7 {
+			if u != v && !g.HasEdge(u, v) {
+				meanRand += emb.Score(u, v)
+				count++
+			}
+		}
+	}
+	meanRand /= float64(count)
+	if meanEdge <= meanRand {
+		t.Fatalf("AROPE edge mean %v <= non-edge mean %v", meanEdge, meanRand)
+	}
+}
+
+func TestVERSESymmetricScores(t *testing.T) {
+	g := testGraph(t, true)
+	emb, err := VERSE(g, VERSEConfig{Dim: 16, Samples: 10, Epochs: 2, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-table methods cannot represent direction.
+	for u := 0; u < 20; u++ {
+		if emb.Score(u, u+1) != emb.Score(u+1, u) {
+			t.Fatal("VERSE scores should be symmetric")
+		}
+	}
+}
+
+func TestAPPAsymmetricScores(t *testing.T) {
+	g := testGraph(t, true)
+	emb, err := APP(g, APPConfig{Dim: 16, Samples: 10, Epochs: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asym := false
+	for u := 0; u < 30 && !asym; u++ {
+		if math.Abs(emb.Score(u, u+1)-emb.Score(u+1, u)) > 1e-12 {
+			asym = true
+		}
+	}
+	if !asym {
+		t.Fatal("APP should produce direction-aware scores")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := testGraph(t, false)
+	if _, err := DeepWalk(g, WalkConfig{}); err == nil {
+		t.Fatal("DeepWalk Dim 0 accepted")
+	}
+	if _, err := LINE(g, LINEConfig{Dim: 8, Order: 5}); err == nil {
+		t.Fatal("LINE bad order accepted")
+	}
+	if _, err := LINE(g, LINEConfig{Dim: 9, Order: 3}); err == nil {
+		t.Fatal("LINE odd dim for order 3 accepted")
+	}
+	if _, err := APP(g, APPConfig{Dim: 7}); err == nil {
+		t.Fatal("APP odd dim accepted")
+	}
+	if _, err := APP(g, APPConfig{Dim: 8, Alpha: 2}); err == nil {
+		t.Fatal("APP bad alpha accepted")
+	}
+	if _, err := VERSE(g, VERSEConfig{}); err == nil {
+		t.Fatal("VERSE Dim 0 accepted")
+	}
+	if _, err := Spectral(g, SpectralConfig{Dim: 0}); err == nil {
+		t.Fatal("Spectral Dim 0 accepted")
+	}
+	if _, err := RandNE(g, RandNEConfig{}); err == nil {
+		t.Fatal("RandNE Dim 0 accepted")
+	}
+	if _, err := AROPE(g, AROPEConfig{Dim: 5}); err == nil {
+		t.Fatal("AROPE odd dim accepted")
+	}
+	if _, err := STRAP(g, STRAPConfig{Dim: 8, Delta: -1}); err == nil {
+		t.Fatal("STRAP negative delta accepted")
+	}
+}
+
+func TestWalksRespectGraph(t *testing.T) {
+	g := testGraph(t, true)
+	rng := newTestRand()
+	buf := make([]int32, 0, 16)
+	for i := 0; i < 50; i++ {
+		walk := randomWalk(g, int32(i%g.N), 16, rng, buf)
+		for j := 1; j < len(walk); j++ {
+			if !g.HasEdge(int(walk[j-1]), int(walk[j])) {
+				t.Fatalf("walk used missing arc (%d,%d)", walk[j-1], walk[j])
+			}
+		}
+		walk = node2vecWalk(g, int32(i%g.N), 16, 0.5, 2, rng, buf)
+		for j := 1; j < len(walk); j++ {
+			if !g.HasEdge(int(walk[j-1]), int(walk[j])) {
+				t.Fatalf("biased walk used missing arc (%d,%d)", walk[j-1], walk[j])
+			}
+		}
+	}
+}
+
+func TestPPRWalkEndpointDistribution(t *testing.T) {
+	// Monte-Carlo endpoints should match exact PPR on a tiny graph.
+	g, err := graph.New(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ppr.Exact(g, 0.3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := newTestRand()
+	counts := make([]float64, 4)
+	const samples = 200000
+	for i := 0; i < samples; i++ {
+		counts[pprWalkEndpoint(g, 0, 0.3, rng)]++
+	}
+	for v := 0; v < 4; v++ {
+		got := counts[v] / samples
+		if math.Abs(got-exact.At(0, v)) > 0.01 {
+			t.Fatalf("endpoint freq %v vs π(0,%d)=%v", got, v, exact.At(0, v))
+		}
+	}
+}
+
+func TestNegTableBiasedTowardHubs(t *testing.T) {
+	g := testGraph(t, false)
+	table := newNegTable(g)
+	rng := newTestRand()
+	counts := make([]int, g.N)
+	for i := 0; i < 100000; i++ {
+		counts[table.sample(rng)]++
+	}
+	// The hub with the highest degree should be sampled more often than a
+	// low-degree node.
+	hub, leaf := 0, 0
+	for v := 1; v < g.N; v++ {
+		if g.OutDeg(v) > g.OutDeg(hub) {
+			hub = v
+		}
+		if g.OutDeg(v) < g.OutDeg(leaf) {
+			leaf = v
+		}
+	}
+	if counts[hub] <= counts[leaf] {
+		t.Fatalf("hub sampled %d times, leaf %d", counts[hub], counts[leaf])
+	}
+}
+
+func TestVectorEmbeddingFeatures(t *testing.T) {
+	g := testGraph(t, false)
+	emb, err := RandNE(g, RandNEConfig{Dim: 8, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := emb.Features(0)
+	norm := 0.0
+	for _, x := range f {
+		norm += x * x
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Fatalf("features not normalized: %v", norm)
+	}
+	// Features must not alias the embedding.
+	f[0] = 999
+	if emb.Vecs.At(0, 0) == 999 {
+		t.Fatal("Features aliases storage")
+	}
+}

@@ -1,0 +1,101 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+)
+
+// WalkConfig parameterizes the DeepWalk/node2vec family.
+type WalkConfig struct {
+	Dim       int     // embedding dimensionality k
+	Walks     int     // walks per node γ (default 10)
+	WalkLen   int     // walk length t (default 40)
+	Window    int     // skip-gram window w (default 5)
+	Negatives int     // negative samples per positive (default 5)
+	LearnRate float64 // initial SGD step (default 0.025)
+	P, Q      float64 // node2vec bias parameters (both 1 == DeepWalk)
+	Seed      int64
+}
+
+func (c *WalkConfig) defaults() error {
+	if c.Dim <= 0 {
+		return fmt.Errorf("baselines: Dim must be positive, got %d", c.Dim)
+	}
+	if c.Walks == 0 {
+		c.Walks = 10
+	}
+	if c.WalkLen == 0 {
+		c.WalkLen = 40
+	}
+	if c.Window == 0 {
+		c.Window = 5
+	}
+	if c.Negatives == 0 {
+		c.Negatives = 5
+	}
+	if c.LearnRate == 0 {
+		c.LearnRate = 0.025
+	}
+	if c.P == 0 {
+		c.P = 1
+	}
+	if c.Q == 0 {
+		c.Q = 1
+	}
+	return nil
+}
+
+// DeepWalk learns embeddings by skip-gram with negative sampling over
+// uniform random walks (Perozzi et al., KDD'14).
+func DeepWalk(g *graph.Graph, cfg WalkConfig) (*VectorEmbedding, error) {
+	cfg.P, cfg.Q = 1, 1
+	return walkSGNS(g, cfg, false)
+}
+
+// Node2Vec learns embeddings from second-order biased walks (Grover &
+// Leskovec, KDD'16). P < 1 keeps walks local; Q < 1 pushes them outward.
+func Node2Vec(g *graph.Graph, cfg WalkConfig) (*VectorEmbedding, error) {
+	return walkSGNS(g, cfg, true)
+}
+
+func walkSGNS(g *graph.Graph, cfg WalkConfig, biased bool) (*VectorEmbedding, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	in := initEmbedding(g.N, cfg.Dim, rng)
+	out := initEmbedding(g.N, cfg.Dim, rng)
+	trainer := newSGNSTrainer(in, out, newNegTable(g), cfg.Negatives, cfg.LearnRate)
+	trainer.setTotalSteps(g.N * cfg.Walks * cfg.WalkLen * cfg.Window)
+
+	order := rng.Perm(g.N)
+	buf := make([]int32, 0, cfg.WalkLen)
+	for w := 0; w < cfg.Walks; w++ {
+		for _, v := range order {
+			if biased {
+				buf = node2vecWalk(g, int32(v), cfg.WalkLen, cfg.P, cfg.Q, rng, buf)
+			} else {
+				buf = randomWalk(g, int32(v), cfg.WalkLen, rng, buf)
+			}
+			for i, center := range buf {
+				lo := i - cfg.Window
+				if lo < 0 {
+					lo = 0
+				}
+				hi := i + cfg.Window
+				if hi >= len(buf) {
+					hi = len(buf) - 1
+				}
+				for j := lo; j <= hi; j++ {
+					if j == i {
+						continue
+					}
+					trainer.Update(center, buf[j], rng)
+				}
+			}
+		}
+	}
+	return &VectorEmbedding{Vecs: in}, nil
+}

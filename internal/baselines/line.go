@@ -1,0 +1,112 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+	"github.com/nrp-embed/nrp/internal/matrix"
+)
+
+// LINEConfig parameterizes LINE (Tang et al., WWW'15).
+type LINEConfig struct {
+	Dim       int     // total dimensionality (split across orders for Order=3)
+	Order     int     // 1 = first-order, 2 = second-order, 3 = concatenation
+	Samples   int     // edge samples per stored arc (default 200)
+	Negatives int     // negatives per positive (default 5)
+	LearnRate float64 // initial SGD step (default 0.025)
+	Seed      int64
+}
+
+func (c *LINEConfig) defaults() error {
+	if c.Dim <= 0 {
+		return fmt.Errorf("baselines: Dim must be positive, got %d", c.Dim)
+	}
+	switch c.Order {
+	case 0:
+		c.Order = 2
+	case 1, 2, 3:
+	default:
+		return fmt.Errorf("baselines: Order must be 1, 2 or 3, got %d", c.Order)
+	}
+	if c.Order == 3 && c.Dim%2 != 0 {
+		return fmt.Errorf("baselines: Order=3 needs an even Dim, got %d", c.Dim)
+	}
+	if c.Samples == 0 {
+		c.Samples = 200
+	}
+	if c.Negatives == 0 {
+		c.Negatives = 5
+	}
+	if c.LearnRate == 0 {
+		c.LearnRate = 0.025
+	}
+	return nil
+}
+
+// LINE learns embeddings by edge sampling with negative sampling. First
+// order models σ(u·v) over undirected proximity (both endpoints in the same
+// table); second order models σ(u·c_v) with a separate context table.
+func LINE(g *graph.Graph, cfg LINEConfig) (*VectorEmbedding, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	switch cfg.Order {
+	case 1, 2:
+		return lineOrder(g, cfg, cfg.Order, cfg.Dim, cfg.Seed)
+	default: // 3: concatenate first and second order halves
+		half := cfg.Dim / 2
+		first, err := lineOrder(g, cfg, 1, half, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		second, err := lineOrder(g, cfg, 2, half, cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		vecs := matrix.NewDense(g.N, cfg.Dim)
+		for v := 0; v < g.N; v++ {
+			copy(vecs.Row(v)[:half], first.Vecs.Row(v))
+			copy(vecs.Row(v)[half:], second.Vecs.Row(v))
+		}
+		return &VectorEmbedding{Vecs: vecs}, nil
+	}
+}
+
+func lineOrder(g *graph.Graph, cfg LINEConfig, order, dim int, seed int64) (*VectorEmbedding, error) {
+	rng := rand.New(rand.NewSource(seed))
+	in := initEmbedding(g.N, dim, rng)
+	out := in // first order shares the table
+	if order == 2 {
+		out = initEmbedding(g.N, dim, rng)
+	}
+	trainer := newSGNSTrainer(in, out, newNegTable(g), cfg.Negatives, cfg.LearnRate)
+	total := cfg.Samples * g.Arcs()
+	trainer.setTotalSteps(total)
+
+	adj := g.Adj
+	arcs := g.Arcs()
+	if arcs == 0 {
+		return nil, fmt.Errorf("baselines: LINE needs a non-empty graph")
+	}
+	// Arc index -> (u, v) via binary search on RowPtr.
+	tailOf := func(p int) int32 {
+		lo, hi := 0, g.N
+		for lo < hi-1 {
+			mid := (lo + hi) / 2
+			if adj.RowPtr[mid] <= p {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return int32(lo)
+	}
+	for s := 0; s < total; s++ {
+		p := rng.Intn(arcs)
+		u := tailOf(p)
+		v := adj.ColIdx[p]
+		trainer.Update(u, v, rng)
+	}
+	return &VectorEmbedding{Vecs: in}, nil
+}

@@ -1,0 +1,111 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nrp-embed/nrp/internal/eval"
+	"github.com/nrp-embed/nrp/internal/graph"
+)
+
+func TestProNELinkPrediction(t *testing.T) {
+	g := testGraph(t, false)
+	auc := linkPredAUC(t, g, func(tr *graph.Graph) eval.Scorer {
+		emb, err := ProNE(tr, ProNEConfig{Dim: 32, Seed: 41})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return emb
+	})
+	requireAUC(t, "ProNE", auc, 0.6)
+}
+
+// ProNE's strength in the paper is classification: its features should
+// separate the SBM communities well.
+func TestProNEClassification(t *testing.T) {
+	g := testGraph(t, false)
+	emb, err := ProNE(g, ProNEConfig{Dim: 32, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eval.NodeClassification(emb.Features, g.Labels, g.NumLabels, 0.5,
+		eval.LogRegConfig{Seed: 1, Epochs: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Micro < 0.5 {
+		t.Fatalf("ProNE micro-F1 = %v", res.Micro)
+	}
+	t.Logf("ProNE micro-F1 = %.3f", res.Micro)
+}
+
+func TestProNEValidation(t *testing.T) {
+	g := testGraph(t, false)
+	if _, err := ProNE(g, ProNEConfig{}); err == nil {
+		t.Fatal("Dim 0 accepted")
+	}
+	if _, err := ProNE(g, ProNEConfig{Dim: 8, Order: 1}); err == nil {
+		t.Fatal("Order 1 accepted")
+	}
+	if _, err := ProNE(g, ProNEConfig{Dim: 100000}); err == nil {
+		t.Fatal("oversized Dim accepted")
+	}
+}
+
+func TestBesselSeries(t *testing.T) {
+	// Reference values of I_n(x) (Abramowitz & Stegun).
+	cases := []struct {
+		n    int
+		x    float64
+		want float64
+	}{
+		{0, 0.5, 1.0634833707413236},
+		{1, 0.5, 0.2578943053908963},
+		{0, 1.0, 1.2660658777520082},
+		{1, 1.0, 0.5651591039924850},
+		{2, 1.0, 0.1357476697670383},
+		// I_3(0.5) = Σ_m (0.25)^(2m+3)/(m!(m+3)!) = 0.00260417 + 4.069e-5 + …
+		{3, 0.5, 0.0026451119689903},
+	}
+	for _, c := range cases {
+		if got := besselI(c.n, c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("I_%d(%v) = %.16f, want %.16f", c.n, c.x, got, c.want)
+		}
+	}
+}
+
+func TestWalkletsLinkPrediction(t *testing.T) {
+	g := testGraph(t, false)
+	auc := linkPredAUC(t, g, func(tr *graph.Graph) eval.Scorer {
+		emb, err := Walklets(tr, WalkletsConfig{Dim: 32, Scales: 2, Walks: 5, WalkLen: 20, Seed: 43})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return emb
+	})
+	requireAUC(t, "Walklets", auc, 0.6)
+}
+
+func TestWalkletsShape(t *testing.T) {
+	g := testGraph(t, false)
+	emb, err := Walklets(g, WalkletsConfig{Dim: 16, Scales: 4, Walks: 2, WalkLen: 10, Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.Dim() != 16 || emb.N() != g.N {
+		t.Fatalf("shape %dx%d", emb.N(), emb.Dim())
+	}
+}
+
+func TestWalkletsValidation(t *testing.T) {
+	g := testGraph(t, false)
+	if _, err := Walklets(g, WalkletsConfig{}); err == nil {
+		t.Fatal("Dim 0 accepted")
+	}
+	if _, err := Walklets(g, WalkletsConfig{Dim: 10, Scales: 4}); err == nil {
+		t.Fatal("indivisible Dim accepted")
+	}
+	if _, err := Walklets(g, WalkletsConfig{Dim: 8, Scales: 4, WalkLen: 3}); err == nil {
+		t.Fatal("too-short walks accepted")
+	}
+}

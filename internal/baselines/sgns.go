@@ -1,0 +1,125 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+	"github.com/nrp-embed/nrp/internal/matrix"
+)
+
+// negTable samples negative nodes proportionally to degree^0.75, the
+// unigram-smoothed distribution of word2vec that DeepWalk, node2vec and
+// LINE inherit.
+type negTable struct {
+	cum []float64
+}
+
+func newNegTable(g *graph.Graph) *negTable {
+	cum := make([]float64, g.N)
+	total := 0.0
+	for v := 0; v < g.N; v++ {
+		total += math.Pow(float64(g.OutDeg(v)+g.InDeg(v))+1, 0.75)
+		cum[v] = total
+	}
+	return &negTable{cum: cum}
+}
+
+func (t *negTable) sample(rng *rand.Rand) int32 {
+	x := rng.Float64() * t.cum[len(t.cum)-1]
+	lo, hi := 0, len(t.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int32(lo)
+}
+
+// sgnsTrainer performs skip-gram-with-negative-sampling updates on a pair
+// of embedding tables: in-vectors (centers/sources) and out-vectors
+// (contexts/targets). DeepWalk-family methods emit (center, context) pairs
+// into Update; APP uses distinct source/target roles; VERSE shares one
+// table for both sides.
+type sgnsTrainer struct {
+	in, out    *matrix.Dense
+	neg        *negTable
+	negatives  int
+	lr         float64
+	lr0        float64
+	step       int
+	decayEvery int
+	gradIn     []float64
+}
+
+func newSGNSTrainer(in, out *matrix.Dense, neg *negTable, negatives int, lr float64) *sgnsTrainer {
+	return &sgnsTrainer{
+		in:         in,
+		out:        out,
+		neg:        neg,
+		negatives:  negatives,
+		lr:         lr,
+		lr0:        lr,
+		decayEvery: 10000,
+		gradIn:     make([]float64, in.Cols),
+	}
+}
+
+// setTotalSteps arranges a linear learning-rate decay to 10% of the initial
+// rate over the expected number of Update calls.
+func (t *sgnsTrainer) setTotalSteps(total int) {
+	if total > 0 {
+		t.decayEvery = total
+	}
+}
+
+func sigmoidClipped(z float64) float64 {
+	if z > 8 {
+		return 1
+	}
+	if z < -8 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// Update applies one positive (center, context) pair plus sampled
+// negatives.
+func (t *sgnsTrainer) Update(center, context int32, rng *rand.Rand) {
+	t.step++
+	if t.step%1000 == 0 {
+		frac := float64(t.step) / float64(t.decayEvery)
+		if frac > 0.9 {
+			frac = 0.9
+		}
+		t.lr = t.lr0 * (1 - frac)
+	}
+	cin := t.in.Row(int(center))
+	for i := range t.gradIn {
+		t.gradIn[i] = 0
+	}
+	// Positive sample.
+	t.pairStep(cin, t.out.Row(int(context)), 1)
+	// Negative samples.
+	for s := 0; s < t.negatives; s++ {
+		nv := t.neg.sample(rng)
+		if nv == context {
+			continue
+		}
+		t.pairStep(cin, t.out.Row(int(nv)), 0)
+	}
+	matrix.Axpy(1, t.gradIn, cin)
+}
+
+// pairStep accumulates the center gradient and applies the context update
+// for a single (positive or negative) pair.
+func (t *sgnsTrainer) pairStep(cin, cout []float64, label float64) {
+	g := (label - sigmoidClipped(matrix.Dot(cin, cout))) * t.lr
+	for i, o := range cout {
+		t.gradIn[i] += g * o
+		cout[i] = o + g*cin[i]
+	}
+}

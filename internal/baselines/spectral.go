@@ -1,0 +1,52 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+	"github.com/nrp-embed/nrp/internal/svd"
+)
+
+// SpectralConfig parameterizes the classic spectral embedding baseline
+// (Tang & Liu): the top-k singular vectors of the symmetrically normalized
+// adjacency D^{-1/2} A D^{-1/2}.
+type SpectralConfig struct {
+	Dim  int
+	Seed int64
+}
+
+// Spectral computes the spectral embedding via the randomized SVD
+// machinery. On directed input the direction is ignored (the paper feeds
+// undirected versions to the methods limited to undirected graphs).
+func Spectral(g *graph.Graph, cfg SpectralConfig) (*VectorEmbedding, error) {
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("baselines: Spectral Dim must be positive, got %d", cfg.Dim)
+	}
+	if cfg.Dim > g.N {
+		return nil, fmt.Errorf("baselines: Spectral Dim %d exceeds n=%d", cfg.Dim, g.N)
+	}
+	// Symmetrize: use A + Aᵀ support with normalization by total degree.
+	sym := symmetrized(g)
+	deg := sym.RowSums()
+	invSqrt := make([]float64, g.N)
+	for v, d := range deg {
+		if d > 0 {
+			invSqrt[v] = 1 / math.Sqrt(d)
+		}
+	}
+	norm := sym.ScaleRows(invSqrt).Transpose().ScaleRows(invSqrt)
+	res, err := svd.BKSVD(norm, svd.Options{Rank: cfg.Dim, Epsilon: 0.1, Rng: rand.New(rand.NewSource(cfg.Seed))})
+	if err != nil {
+		return nil, err
+	}
+	u := res.U.Clone()
+	for j, s := range res.S {
+		scale := math.Sqrt(s)
+		for i := 0; i < u.Rows; i++ {
+			u.Set(i, j, u.At(i, j)*scale)
+		}
+	}
+	return &VectorEmbedding{Vecs: u}, nil
+}

@@ -1,0 +1,92 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/nrp-embed/nrp/internal/core"
+	"github.com/nrp-embed/nrp/internal/graph"
+	"github.com/nrp-embed/nrp/internal/ppr"
+	"github.com/nrp-embed/nrp/internal/sparse"
+	"github.com/nrp-embed/nrp/internal/svd"
+)
+
+// STRAPConfig parameterizes STRAP (Yin & Wei, KDD'19): the transpose
+// proximity matrix M = Π + Π̃ᵀ is assembled from forward-push approximate
+// PPR on G and on its transpose, entries below Delta/2 are discarded, and
+// M is factorized by randomized SVD into X = U√Σ, Y = V√Σ.
+type STRAPConfig struct {
+	Dim   int
+	Alpha float64 // walk decay (default 0.15)
+	Delta float64 // PPR error threshold δ; the paper fixes 1e-5
+	Seed  int64
+}
+
+func (c *STRAPConfig) defaults() error {
+	if c.Dim <= 0 || c.Dim%2 != 0 {
+		return fmt.Errorf("baselines: STRAP Dim must be positive and even, got %d", c.Dim)
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.15
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return fmt.Errorf("baselines: STRAP Alpha must be in (0,1), got %v", c.Alpha)
+	}
+	if c.Delta == 0 {
+		c.Delta = 1e-5
+	}
+	if c.Delta <= 0 {
+		return fmt.Errorf("baselines: STRAP Delta must be positive, got %v", c.Delta)
+	}
+	return nil
+}
+
+// STRAP returns the dual embedding factorized from the sparse transpose
+// proximity matrix.
+func STRAP(g *graph.Graph, cfg STRAPConfig) (*core.Embedding, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	kPrime := cfg.Dim / 2
+	if kPrime > g.N {
+		return nil, fmt.Errorf("baselines: STRAP k/2=%d exceeds n=%d", kPrime, g.N)
+	}
+	keep := cfg.Delta / 2
+	var entries []sparse.Triple
+	// Π of G.
+	for u := 0; u < g.N; u++ {
+		for v, p := range ppr.ForwardPush(g, u, cfg.Alpha, cfg.Delta) {
+			if p > keep {
+				entries = append(entries, sparse.Triple{Row: int32(u), Col: v, Val: p})
+			}
+		}
+	}
+	// Π̃ᵀ of the transpose graph: π̃(v,u) contributes to M[u,v].
+	gt := g.Transpose()
+	for v := 0; v < g.N; v++ {
+		for u, p := range ppr.ForwardPush(gt, v, cfg.Alpha, cfg.Delta) {
+			if p > keep {
+				entries = append(entries, sparse.Triple{Row: u, Col: int32(v), Val: p})
+			}
+		}
+	}
+	m, err := sparse.FromTriples(g.N, g.N, entries)
+	if err != nil {
+		return nil, err
+	}
+	res, err := svd.BKSVD(m, svd.Options{Rank: kPrime, Epsilon: 0.1, Rng: rand.New(rand.NewSource(cfg.Seed))})
+	if err != nil {
+		return nil, err
+	}
+	x := res.U.Clone()
+	y := res.V.Clone()
+	for j, s := range res.S {
+		scale := math.Sqrt(s)
+		for i := 0; i < g.N; i++ {
+			x.Set(i, j, x.At(i, j)*scale)
+			y.Set(i, j, y.At(i, j)*scale)
+		}
+	}
+	return &core.Embedding{X: x, Y: y}, nil
+}

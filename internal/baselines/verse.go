@@ -1,0 +1,76 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+)
+
+// VERSEConfig parameterizes VERSE (Tsitsulin et al., WWW'18) with its PPR
+// similarity: one embedding table, positives sampled as α-terminated walk
+// endpoints, noise-contrastive updates against uniform negatives.
+type VERSEConfig struct {
+	Dim       int     // embedding dimensionality
+	Alpha     float64 // walk stop probability (default 0.15)
+	Samples   int     // positive samples per node per epoch (default 40)
+	Epochs    int     // passes over all nodes (default 5)
+	Negatives int     // negatives per positive (default 3)
+	LearnRate float64 // initial step (default 0.0025, as in the reference code)
+	Seed      int64
+}
+
+func (c *VERSEConfig) defaults() error {
+	if c.Dim <= 0 {
+		return fmt.Errorf("baselines: VERSE Dim must be positive, got %d", c.Dim)
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.15
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return fmt.Errorf("baselines: VERSE Alpha must be in (0,1), got %v", c.Alpha)
+	}
+	if c.Samples == 0 {
+		c.Samples = 40
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 5
+	}
+	if c.Negatives == 0 {
+		c.Negatives = 3
+	}
+	if c.LearnRate == 0 {
+		c.LearnRate = 0.0025
+	}
+	return nil
+}
+
+// VERSE returns a single-vector embedding trained to reproduce PPR
+// similarity with noise-contrastive estimation. Because both walk roles
+// share one table, edge direction is not represented — the weakness on
+// directed graphs the paper highlights (§5.2).
+func VERSE(g *graph.Graph, cfg VERSEConfig) (*VectorEmbedding, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := initEmbedding(g.N, cfg.Dim, rng)
+	// Shared table: in == out.
+	trainer := newSGNSTrainer(w, w, newNegTable(g), cfg.Negatives, cfg.LearnRate)
+	trainer.setTotalSteps(g.N * cfg.Samples * cfg.Epochs)
+
+	order := rng.Perm(g.N)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		shuffleIdx(order, rng)
+		for _, u := range order {
+			for s := 0; s < cfg.Samples; s++ {
+				v := pprWalkEndpoint(g, int32(u), cfg.Alpha, rng)
+				if v == int32(u) {
+					continue
+				}
+				trainer.Update(int32(u), v, rng)
+			}
+		}
+	}
+	return &VectorEmbedding{Vecs: w}, nil
+}

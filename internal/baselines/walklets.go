@@ -1,0 +1,88 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+	"github.com/nrp-embed/nrp/internal/matrix"
+)
+
+// WalkletsConfig parameterizes Walklets (Perozzi et al., ASONAM'17):
+// multi-scale DeepWalk where scale j trains only on walk pairs exactly j
+// hops apart, and the final embedding concatenates the per-scale vectors.
+type WalkletsConfig struct {
+	Dim       int // total dimensionality, split evenly across scales
+	Scales    int // number of scales (default 4); Dim must be divisible
+	Walks     int // walks per node (default 10)
+	WalkLen   int // walk length (default 40)
+	Negatives int
+	LearnRate float64
+	Seed      int64
+}
+
+func (c *WalkletsConfig) defaults() error {
+	if c.Dim <= 0 {
+		return fmt.Errorf("baselines: Walklets Dim must be positive, got %d", c.Dim)
+	}
+	if c.Scales == 0 {
+		c.Scales = 4
+	}
+	if c.Scales < 1 {
+		return fmt.Errorf("baselines: Walklets Scales must be >= 1, got %d", c.Scales)
+	}
+	if c.Dim%c.Scales != 0 {
+		return fmt.Errorf("baselines: Walklets Dim %d not divisible by %d scales", c.Dim, c.Scales)
+	}
+	if c.Walks == 0 {
+		c.Walks = 10
+	}
+	if c.WalkLen == 0 {
+		c.WalkLen = 40
+	}
+	if c.WalkLen <= c.Scales {
+		return fmt.Errorf("baselines: Walklets WalkLen %d too short for %d scales", c.WalkLen, c.Scales)
+	}
+	if c.Negatives == 0 {
+		c.Negatives = 5
+	}
+	if c.LearnRate == 0 {
+		c.LearnRate = 0.025
+	}
+	return nil
+}
+
+// Walklets learns one SGNS embedding per hop distance and concatenates
+// them, capturing community structure at multiple granularities.
+func Walklets(g *graph.Graph, cfg WalkletsConfig) (*VectorEmbedding, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	perScale := cfg.Dim / cfg.Scales
+	out := matrix.NewDense(g.N, cfg.Dim)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	neg := newNegTable(g)
+	buf := make([]int32, 0, cfg.WalkLen)
+	for scale := 1; scale <= cfg.Scales; scale++ {
+		in := initEmbedding(g.N, perScale, rng)
+		ctx := initEmbedding(g.N, perScale, rng)
+		trainer := newSGNSTrainer(in, ctx, neg, cfg.Negatives, cfg.LearnRate)
+		trainer.setTotalSteps(g.N * cfg.Walks * cfg.WalkLen * 2)
+		order := rng.Perm(g.N)
+		for w := 0; w < cfg.Walks; w++ {
+			for _, v := range order {
+				buf = randomWalk(g, int32(v), cfg.WalkLen, rng, buf)
+				// Pairs exactly `scale` positions apart, both directions.
+				for i := 0; i+scale < len(buf); i++ {
+					trainer.Update(buf[i], buf[i+scale], rng)
+					trainer.Update(buf[i+scale], buf[i], rng)
+				}
+			}
+		}
+		off := (scale - 1) * perScale
+		for v := 0; v < g.N; v++ {
+			copy(out.Row(v)[off:off+perScale], in.Row(v))
+		}
+	}
+	return &VectorEmbedding{Vecs: out}, nil
+}

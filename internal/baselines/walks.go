@@ -1,0 +1,91 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+)
+
+// randomWalk appends a uniform random walk of length walkLen starting at
+// start to buf (including the start node) and returns it. Walks stop early
+// at dangling nodes.
+func randomWalk(g *graph.Graph, start int32, walkLen int, rng *rand.Rand, buf []int32) []int32 {
+	buf = append(buf[:0], start)
+	cur := start
+	for len(buf) < walkLen {
+		nbrs := g.OutNeighbors(int(cur))
+		if len(nbrs) == 0 {
+			break
+		}
+		cur = nbrs[rng.Intn(len(nbrs))]
+		buf = append(buf, cur)
+	}
+	return buf
+}
+
+// node2vecWalk appends a second-order biased walk (Grover & Leskovec) with
+// return parameter p and in-out parameter q, sampled by rejection: a
+// uniform neighbor candidate x of the current node v is accepted with
+// probability proportional to 1/p if x is the previous node, 1 if x is a
+// neighbor of the previous node, and 1/q otherwise.
+func node2vecWalk(g *graph.Graph, start int32, walkLen int, p, q float64, rng *rand.Rand, buf []int32) []int32 {
+	buf = append(buf[:0], start)
+	cur := start
+	prev := int32(-1)
+	upper := maxf(1/p, maxf(1, 1/q))
+	for len(buf) < walkLen {
+		nbrs := g.OutNeighbors(int(cur))
+		if len(nbrs) == 0 {
+			break
+		}
+		var next int32
+		if prev < 0 {
+			next = nbrs[rng.Intn(len(nbrs))]
+		} else {
+			for {
+				cand := nbrs[rng.Intn(len(nbrs))]
+				var w float64
+				switch {
+				case cand == prev:
+					w = 1 / p
+				case g.HasEdge(int(prev), int(cand)):
+					w = 1
+				default:
+					w = 1 / q
+				}
+				if rng.Float64()*upper <= w {
+					next = cand
+					break
+				}
+			}
+		}
+		prev = cur
+		cur = next
+		buf = append(buf, cur)
+	}
+	return buf
+}
+
+// pprWalkEndpoint simulates a single α-terminated walk from start and
+// returns its endpoint — a sample from the PPR distribution π(start, ·)
+// (used by APP and VERSE).
+func pprWalkEndpoint(g *graph.Graph, start int32, alpha float64, rng *rand.Rand) int32 {
+	cur := start
+	for {
+		if rng.Float64() < alpha {
+			return cur
+		}
+		nbrs := g.OutNeighbors(int(cur))
+		if len(nbrs) == 0 {
+			return cur
+		}
+		cur = nbrs[rng.Intn(len(nbrs))]
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

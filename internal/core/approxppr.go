@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+	"github.com/nrp-embed/nrp/internal/svd"
+)
+
+// ApproxPPR implements Algorithm 1 of the paper: it factorizes the
+// adjacency matrix with randomized block-Krylov SVD, seeds
+// X₁ = D⁻¹U√Σ, Y = V√Σ (so X₁Yᵀ ≈ P), then folds higher-order proximity
+// into X by ℓ₁−1 sparse iterations X_i = (1−α)·P·X_{i−1} + X₁ and a final
+// scaling by α(1−α), yielding X·Yᵀ ≈ Π′ = Σ_{i=1..ℓ₁} α(1−α)^i P^i with the
+// Theorem-1 error bound. The embeddings are the paper's PPR baseline and
+// the starting point of NRP.
+func ApproxPPR(g *graph.Graph, opt Options) (*Embedding, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	kPrime := opt.Dim / 2
+	if kPrime > g.N {
+		return nil, fmt.Errorf("core: k/2 = %d exceeds node count %d", kPrime, g.N)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Line 1: [U, Σ, V] ← BKSVD(A, k′, ε).
+	factorize := svd.BKSVD
+	if opt.SubspaceIteration {
+		factorize = svd.SubspaceIteration
+	}
+	res, err := factorize(g.Adj, svd.Options{
+		Rank:    kPrime,
+		Epsilon: opt.Epsilon,
+		Iters:   opt.KrylovIters,
+		Rng:     rng,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: factorizing adjacency: %w", err)
+	}
+
+	// Line 2: X₁ = D⁻¹·U·√Σ, Y = V·√Σ.
+	sqrtS := make([]float64, len(res.S))
+	for i, s := range res.S {
+		sqrtS[i] = math.Sqrt(s)
+	}
+	x1 := res.U.Clone()
+	invDeg := g.InvOutDegrees()
+	for u := 0; u < g.N; u++ {
+		row := x1.Row(u)
+		for j := range row {
+			row[j] *= invDeg[u] * sqrtS[j]
+		}
+	}
+	y := res.V.Clone()
+	for v := 0; v < g.N; v++ {
+		row := y.Row(v)
+		for j := range row {
+			row[j] *= sqrtS[j]
+		}
+	}
+
+	// Lines 3–5: X_i = (1−α)·P·X_{i−1} + X₁; X = α(1−α)·X_{ℓ₁}.
+	p := g.Transition()
+	x := x1.Clone()
+	for i := 2; i <= opt.L1; i++ {
+		next := p.MulDense(x)
+		next.Scale(1 - opt.Alpha)
+		next.AddInPlace(x1)
+		x = next
+	}
+	x.Scale(opt.Alpha * (1 - opt.Alpha))
+
+	return &Embedding{X: x, Y: y}, nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+	"github.com/nrp-embed/nrp/internal/matrix"
+)
+
+// This file implements the extension the paper's conclusion names as future
+// work: "we plan to study how to extend NRP to handle attributed graphs."
+//
+// The design reuses NRP's own machinery: node attributes are smoothed
+// through the same truncated personalized-PageRank operator
+// Π′ = Σ_{i=0..ℓ₁} α(1−α)^i·P^i that Algorithm 1 factorizes, i.e.
+// H = Π′·F for an attribute matrix F — the attribute analog of the PPR
+// proximity NRP preserves (each node's representation is the PPR-weighted
+// average of the attributes in its neighborhood). The smoothed attributes
+// are fused with the reweighted topology embeddings by concatenation for
+// features and by a convex score combination for pair scoring.
+
+// AttributedOptions extends Options with attribute-fusion parameters.
+type AttributedOptions struct {
+	Options
+	// AttrDim caps the attribute channel: attribute matrices wider than
+	// this are Gaussian-projected down to AttrDim before propagation
+	// (0 = keep the input width).
+	AttrDim int
+	// Beta weighs the attribute cosine similarity against the topology
+	// inner product in Score: (1−β)·topology + β·attributes. Default 0.3.
+	Beta float64
+}
+
+// DefaultAttributedOptions returns DefaultOptions plus the attribute
+// defaults.
+func DefaultAttributedOptions() AttributedOptions {
+	return AttributedOptions{Options: DefaultOptions(), Beta: 0.3}
+}
+
+// Validate extends Options.Validate with the attribute parameters.
+func (o AttributedOptions) Validate() error {
+	if err := o.Options.Validate(); err != nil {
+		return err
+	}
+	if o.AttrDim < 0 {
+		return fmt.Errorf("core: AttrDim must be non-negative, got %d", o.AttrDim)
+	}
+	if o.Beta < 0 || o.Beta > 1 {
+		return fmt.Errorf("core: Beta must be in [0,1], got %v", o.Beta)
+	}
+	return nil
+}
+
+// AttributedEmbedding couples NRP topology embeddings with PPR-smoothed,
+// row-normalized attribute vectors.
+type AttributedEmbedding struct {
+	Topology *Embedding
+	// Attr is the n×d smoothed attribute matrix with unit-norm rows
+	// (zero rows stay zero).
+	Attr *matrix.Dense
+	Beta float64
+}
+
+// NRPAttributed embeds an attributed graph: NRP on the topology plus
+// truncated-PPR propagation of the attribute matrix (n×d, one row per
+// node).
+func NRPAttributed(g *graph.Graph, attrs *matrix.Dense, opt AttributedOptions) (*AttributedEmbedding, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if attrs.Rows != g.N {
+		return nil, fmt.Errorf("core: attribute matrix has %d rows for %d nodes", attrs.Rows, g.N)
+	}
+	topo, err := NRP(g, opt.Options)
+	if err != nil {
+		return nil, err
+	}
+	smoothed := PropagateAttributes(g, attrs, opt)
+	return &AttributedEmbedding{Topology: topo, Attr: smoothed, Beta: opt.Beta}, nil
+}
+
+// PropagateAttributes computes H = Σ_{i=0..ℓ₁} α(1−α)^i·P^i·F (optionally
+// after Gaussian projection to AttrDim columns) and row-normalizes the
+// result. Cost is O(ℓ₁·m·d), the attribute analog of Algorithm 1's
+// iterations.
+func PropagateAttributes(g *graph.Graph, attrs *matrix.Dense, opt AttributedOptions) *matrix.Dense {
+	f := attrs
+	if opt.AttrDim > 0 && attrs.Cols > opt.AttrDim {
+		rng := rand.New(rand.NewSource(opt.Seed + 17))
+		proj := matrix.GaussianDense(attrs.Cols, opt.AttrDim, rng)
+		proj.Scale(1 / float64(attrs.Cols))
+		f = matrix.Mul(attrs, proj)
+	}
+	p := g.Transition()
+	cur := f.Clone()
+	cur.Scale(opt.Alpha)
+	acc := cur.Clone()
+	for i := 1; i <= opt.L1; i++ {
+		cur = p.MulDense(cur)
+		cur.Scale(1 - opt.Alpha)
+		acc.AddInPlace(cur)
+	}
+	for v := 0; v < acc.Rows; v++ {
+		matrix.NormalizeRow(acc.Row(v))
+	}
+	return acc
+}
+
+// Score combines the topology inner product with attribute cosine
+// similarity: (1−β)·X_u·Y_vᵀ + β·⟨H_u, H_v⟩.
+func (e *AttributedEmbedding) Score(u, v int) float64 {
+	topo := e.Topology.Score(u, v)
+	attr := matrix.Dot(e.Attr.Row(u), e.Attr.Row(v))
+	return (1-e.Beta)*topo + e.Beta*attr
+}
+
+// Features concatenates the normalized topology features with the smoothed
+// attribute vector, for downstream classifiers.
+func (e *AttributedEmbedding) Features(v int) []float64 {
+	topo := e.Topology.Features(v)
+	out := make([]float64, 0, len(topo)+e.Attr.Cols)
+	out = append(out, topo...)
+	return append(out, e.Attr.Row(v)...)
+}

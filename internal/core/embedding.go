@@ -1,0 +1,135 @@
+// Package core implements the paper's contribution: the ApproxPPR baseline
+// (Algorithm 1) and the full Node-Reweighted PageRank method NRP
+// (Algorithms 2–4), which augments PPR-derived embeddings with per-node
+// forward/backward weights fitted to out-/in-degrees by coordinate descent.
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/nrp-embed/nrp/internal/matrix"
+)
+
+// Embedding holds the forward (X) and backward (Y) embedding matrices of a
+// graph: row u of X and row v of Y satisfy X_u·Y_vᵀ ≈ proximity(u→v). Both
+// are n×k′ with k′ = k/2 of the user's total budget k.
+type Embedding struct {
+	X *matrix.Dense
+	Y *matrix.Dense
+}
+
+// N reports the number of embedded nodes.
+func (e *Embedding) N() int { return e.X.Rows }
+
+// Dim reports the per-side dimensionality k′.
+func (e *Embedding) Dim() int { return e.X.Cols }
+
+// Score returns the directed proximity estimate X_u·Y_vᵀ, the quantity used
+// for link prediction and graph reconstruction in the paper.
+func (e *Embedding) Score(u, v int) float64 {
+	return matrix.Dot(e.X.Row(u), e.Y.Row(v))
+}
+
+// Forward returns node v's forward embedding, aliasing internal storage.
+func (e *Embedding) Forward(v int) []float64 { return e.X.Row(v) }
+
+// Backward returns node v's backward embedding, aliasing internal storage.
+func (e *Embedding) Backward(v int) []float64 { return e.Y.Row(v) }
+
+// Features returns the classification feature vector of node v: the
+// concatenation of the L2-normalized forward and backward embeddings, as in
+// the paper's node-classification protocol (§5.4).
+func (e *Embedding) Features(v int) []float64 {
+	k := e.Dim()
+	out := make([]float64, 2*k)
+	copy(out[:k], e.X.Row(v))
+	copy(out[k:], e.Y.Row(v))
+	matrix.NormalizeRow(out[:k])
+	matrix.NormalizeRow(out[k:])
+	return out
+}
+
+const embMagic = "NRPE"
+const embVersion = 1
+
+// Save writes the embedding in a compact binary format.
+func (e *Embedding) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(embMagic); err != nil {
+		return err
+	}
+	header := []int64{embVersion, int64(e.X.Rows), int64(e.X.Cols)}
+	for _, h := range header {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for _, m := range []*matrix.Dense{e.X, e.Y} {
+		if err := binary.Write(bw, binary.LittleEndian, m.Data); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveText writes the embedding in the word2vec text format commonly
+// consumed by downstream tooling: a "n dim" header line, then one line per
+// node with the node id followed by the concatenated forward and backward
+// vector (k = 2k′ values).
+func (e *Embedding) SaveText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	n, k := e.N(), e.Dim()
+	if _, err := fmt.Fprintf(bw, "%d %d\n", n, 2*k); err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		if _, err := fmt.Fprintf(bw, "%d", v); err != nil {
+			return err
+		}
+		for _, row := range [][]float64{e.X.Row(v), e.Y.Row(v)} {
+			for _, x := range row {
+				if _, err := fmt.Fprintf(bw, " %g", x); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads an embedding written by Save.
+func Load(r io.Reader) (*Embedding, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(embMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", err)
+	}
+	if string(magic) != embMagic {
+		return nil, fmt.Errorf("core: bad magic %q", magic)
+	}
+	var version, n, k int64
+	for _, p := range []*int64{&version, &n, &k} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("core: reading header: %w", err)
+		}
+	}
+	if version != embVersion {
+		return nil, fmt.Errorf("core: unsupported version %d", version)
+	}
+	if n < 0 || k < 0 || n*k > 1<<34 {
+		return nil, fmt.Errorf("core: implausible dimensions %dx%d", n, k)
+	}
+	e := &Embedding{X: matrix.NewDense(int(n), int(k)), Y: matrix.NewDense(int(n), int(k))}
+	for _, m := range []*matrix.Dense{e.X, e.Y} {
+		if err := binary.Read(br, binary.LittleEndian, m.Data); err != nil {
+			return nil, fmt.Errorf("core: reading payload: %w", err)
+		}
+	}
+	return e, nil
+}

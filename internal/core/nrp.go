@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+)
+
+// NRP implements Algorithm 3, the paper's main method. Starting from the
+// ApproxPPR embeddings, it learns a forward weight →w_u and backward weight
+// ←w_v per node by ℓ₂ epochs of coordinate descent on Eq. (6), so that the
+// total connection strength Σ_v →w_u·(X_uY_vᵀ)·←w_v matches each node's
+// out-degree (and symmetrically in-degree) — correcting PPR's purely local,
+// source-relative view. The learned weights are folded into the embeddings:
+// X_v ← →w_v·X_v, Y_v ← ←w_v·Y_v.
+func NRP(g *graph.Graph, opt Options) (*Embedding, error) {
+	emb, err := ApproxPPR(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	if opt.L2 == 0 {
+		// ℓ₂ = 0 disables reweighting entirely (§5.6): the result is the
+		// conventional-PPR embedding, not the degree-scaled initialization.
+		return emb, nil
+	}
+	fw, bw, err := LearnWeights(g, emb, opt)
+	if err != nil {
+		return nil, err
+	}
+	// Lines 8–9: fold weights into the embeddings.
+	for v := 0; v < g.N; v++ {
+		emb.X.ScaleRow(v, fw[v])
+		emb.Y.ScaleRow(v, bw[v])
+	}
+	return emb, nil
+}
+
+// LearnWeights runs the reweighting phase of Algorithm 3 (lines 3–7) on
+// fixed embeddings and returns the learned forward and backward weights.
+// It is exposed separately so callers can inspect or reuse the weights
+// (e.g. the parameter studies of Fig 8d).
+func LearnWeights(g *graph.Graph, emb *Embedding, opt Options) (fw, bw []float64, err error) {
+	return LearnWeightsWithTargets(emb, g.InDegrees(), g.OutDegrees(), opt)
+}
+
+// LearnWeightsWithTargets runs the coordinate descent against custom
+// per-node strength targets instead of the in-/out-degrees of Eq. (5).
+// This exists for the weight-target ablation (DESIGN.md §5.4): passing
+// uniform targets isolates how much of NRP's gain comes from targeting
+// degrees specifically.
+func LearnWeightsWithTargets(emb *Embedding, din, dout []float64, opt Options) (fw, bw []float64, err error) {
+	if err := opt.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(din) != emb.N() || len(dout) != emb.N() {
+		return nil, nil, fmt.Errorf("core: target lengths %d/%d for %d nodes", len(din), len(dout), emb.N())
+	}
+	state := newReweightState(emb, din, dout, opt)
+	rng := rand.New(rand.NewSource(opt.Seed + 0x9e3779b9))
+	for epoch := 0; epoch < opt.L2; epoch++ {
+		state.updateBwdWeights(rng)
+		state.updateFwdWeights(rng)
+	}
+	return state.fw, state.bw, nil
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"math/rand"
+
+	"github.com/nrp-embed/nrp/internal/matrix"
+)
+
+// reweightState carries everything the coordinate-descent weight updates
+// need: the fixed embeddings and degree targets, the evolving weights, and
+// the options.
+type reweightState struct {
+	x, y    *matrix.Dense // fixed ApproxPPR embeddings, n×k′
+	fw, bw  []float64     // forward →w and backward ←w node weights
+	din     []float64     // in-degree targets
+	dout    []float64     // out-degree targets
+	lambda  float64
+	exactB1 bool
+	minW    float64 // 1/n lower bound of Eq. (6)'s constraint
+	xyDot   []float64
+	perm    []int
+	kPrime  int
+	n       int
+}
+
+func newReweightState(emb *Embedding, din, dout []float64, opt Options) *reweightState {
+	n := emb.N()
+	s := &reweightState{
+		x:       emb.X,
+		y:       emb.Y,
+		fw:      make([]float64, n),
+		bw:      make([]float64, n),
+		din:     din,
+		dout:    dout,
+		lambda:  opt.Lambda,
+		exactB1: opt.ExactB1,
+		minW:    1 / float64(n),
+		xyDot:   make([]float64, n),
+		perm:    make([]int, n),
+		kPrime:  emb.Dim(),
+		n:       n,
+	}
+	// Algorithm 3 lines 3–4: →w_v = dout(v), ←w_v = 1.
+	for v := 0; v < n; v++ {
+		s.fw[v] = dout[v]
+		s.bw[v] = 1
+		s.xyDot[v] = matrix.Dot(emb.X.Row(v), emb.Y.Row(v))
+		s.perm[v] = v
+	}
+	return s
+}
+
+// updateBwdWeights is Algorithm 2: one pass of coordinate descent over all
+// backward weights, visiting nodes in random order. The shared statistics
+// ξ, χ, Λ, φ are computed once per pass; ρ₁, ρ₂ are updated incrementally
+// after each weight change (Eq. 11), making the pass O(n·k′²).
+func (s *reweightState) updateBwdWeights(rng *rand.Rand) {
+	k := s.kPrime
+	// Line 1: shared statistics (Eq. 9, 10, 13).
+	xi := make([]float64, k)         // ξ  = Σ_u dout(u)·→w_u·X_u
+	chi := make([]float64, k)        // χ  = Σ_u →w_u·X_u
+	lambdaM := matrix.NewDense(k, k) // Λ = Σ_u →w_u²·X_uᵀX_u
+	rho1 := make([]float64, k)       // ρ₁ = Σ_v ←w_v·Y_v
+	rho2 := make([]float64, k)       // ρ₂ = Σ_v →w_v²·←w_v·(X_vY_vᵀ)·X_v
+	phi := make([]float64, k)        // φ[r] = Σ_u →w_u²·X_u[r]²
+	for u := 0; u < s.n; u++ {
+		xu := s.x.Row(u)
+		fwU := s.fw[u]
+		matrix.Axpy(s.dout[u]*fwU, xu, xi)
+		matrix.Axpy(fwU, xu, chi)
+		fw2 := fwU * fwU
+		for r := 0; r < k; r++ {
+			xr := xu[r]
+			phi[r] += fw2 * xr * xr
+			matrix.Axpy(fw2*xr, xu, lambdaM.Row(r))
+		}
+		yu := s.y.Row(u)
+		matrix.Axpy(s.bw[u], yu, rho1)
+		matrix.Axpy(fw2*s.bw[u]*s.xyDot[u], xu, rho2)
+	}
+
+	// Lines 4–9: visit each node in random order.
+	shuffle(s.perm, rng)
+	lamY := make([]float64, k)
+	for _, vStar := range s.perm {
+		yv := s.y.Row(vStar)
+		xv := s.x.Row(vStar)
+		fwV := s.fw[vStar]
+		bwV := s.bw[vStar]
+		dotXY := s.xyDot[vStar]
+
+		// Eq. (9): a₁ = ξ·Y_v*ᵀ, a₂ = din(v*)·(χ−→w_v*X_v*)·Y_v*ᵀ, b₂ = (…)².
+		a1 := matrix.Dot(xi, yv)
+		t := matrix.Dot(chi, yv) - fwV*dotXY
+		a2 := s.din[vStar] * t
+		b2 := t * t
+
+		// Eq. (10): a₃ = ρ₁ΛY_v*ᵀ − ←w_v*Y_v*ΛY_v*ᵀ − ρ₂Y_v*ᵀ + ←w_v*(X_v*Y_v*ᵀ)²→w_v*².
+		lambdaM.MulVecInto(yv, lamY)
+		yLamY := matrix.Dot(yv, lamY)
+		a3 := matrix.Dot(rho1, lamY) - bwV*yLamY - matrix.Dot(rho2, yv) + bwV*dotXY*dotXY*fwV*fwV
+
+		// b₁: paper's AM–GM approximation (Eq. 14) or the exact value via Λ.
+		var b1 float64
+		if s.exactB1 {
+			b1 = yLamY - fwV*fwV*dotXY*dotXY
+		} else {
+			sum := 0.0
+			for r := 0; r < k; r++ {
+				sum += yv[r] * yv[r] * (phi[r] - fwV*fwV*xv[r]*xv[r])
+			}
+			b1 = float64(k) / 2 * sum
+		}
+
+		// Eq. (8): ←w_v* = max(1/n, (a₁+a₂−a₃)/(b₁+b₂+λ)).
+		newW := s.minW
+		if denom := b1 + b2 + s.lambda; denom > 0 {
+			if w := (a1 + a2 - a3) / denom; w > newW {
+				newW = w
+			}
+		}
+
+		// Eq. (11): incremental ρ₁, ρ₂ maintenance.
+		delta := newW - bwV
+		if delta != 0 {
+			matrix.Axpy(delta, yv, rho1)
+			matrix.Axpy(delta*fwV*fwV*dotXY, xv, rho2)
+			s.bw[vStar] = newW
+		}
+	}
+}
+
+// updateFwdWeights is Algorithm 4 (Appendix B): the mirror-image pass over
+// forward weights with statistics ξ′, χ′, Λ′, ρ₁′, ρ₂′, φ′ (Eq. 24–29).
+func (s *reweightState) updateFwdWeights(rng *rand.Rand) {
+	k := s.kPrime
+	xi := make([]float64, k)         // ξ′  = Σ_v din(v)·←w_v·Y_v
+	chi := make([]float64, k)        // χ′  = Σ_v ←w_v·Y_v
+	lambdaM := matrix.NewDense(k, k) // Λ′ = Σ_v ←w_v²·Y_vᵀY_v
+	rho1 := make([]float64, k)       // ρ₁′ = Σ_u →w_u·X_u
+	rho2 := make([]float64, k)       // ρ₂′ = Σ_v →w_v·←w_v²·(X_vY_vᵀ)·Y_v
+	phi := make([]float64, k)        // φ′[r] = Σ_v ←w_v²·Y_v[r]²
+	for v := 0; v < s.n; v++ {
+		yv := s.y.Row(v)
+		bwV := s.bw[v]
+		matrix.Axpy(s.din[v]*bwV, yv, xi)
+		matrix.Axpy(bwV, yv, chi)
+		bw2 := bwV * bwV
+		for r := 0; r < k; r++ {
+			yr := yv[r]
+			phi[r] += bw2 * yr * yr
+			matrix.Axpy(bw2*yr, yv, lambdaM.Row(r))
+		}
+		xv := s.x.Row(v)
+		matrix.Axpy(s.fw[v], xv, rho1)
+		matrix.Axpy(s.fw[v]*bw2*s.xyDot[v], yv, rho2)
+	}
+
+	shuffle(s.perm, rng)
+	lamX := make([]float64, k)
+	for _, uStar := range s.perm {
+		xu := s.x.Row(uStar)
+		yu := s.y.Row(uStar)
+		fwU := s.fw[uStar]
+		bwU := s.bw[uStar]
+		dotXY := s.xyDot[uStar]
+
+		// Eq. (24): a₁′ = X_u*·ξ′ᵀ, a₂′ = dout(u*)·X_u*(χ′−←w_u*Y_u*)ᵀ, b₂′ = (…)².
+		a1 := matrix.Dot(xu, xi)
+		t := matrix.Dot(xu, chi) - bwU*dotXY
+		a2 := s.dout[uStar] * t
+		b2 := t * t
+
+		// Eq. (25): a₃′ = ρ₁′Λ′X_u*ᵀ − →w_u*X_u*Λ′X_u*ᵀ − ρ₂′X_u*ᵀ + ←w_u*²(X_u*Y_u*ᵀ)²→w_u*.
+		lambdaM.MulVecInto(xu, lamX)
+		xLamX := matrix.Dot(xu, lamX)
+		a3 := matrix.Dot(rho1, lamX) - fwU*xLamX - matrix.Dot(rho2, xu) + bwU*bwU*dotXY*dotXY*fwU
+
+		var b1 float64
+		if s.exactB1 {
+			b1 = xLamX - bwU*bwU*dotXY*dotXY
+		} else {
+			// Eq. (29).
+			sum := 0.0
+			for r := 0; r < k; r++ {
+				sum += xu[r] * xu[r] * (phi[r] - bwU*bwU*yu[r]*yu[r])
+			}
+			b1 = float64(k) / 2 * sum
+		}
+
+		// Eq. (23).
+		newW := s.minW
+		if denom := b1 + b2 + s.lambda; denom > 0 {
+			if w := (a1 + a2 - a3) / denom; w > newW {
+				newW = w
+			}
+		}
+
+		// Eq. (26): incremental maintenance.
+		delta := newW - fwU
+		if delta != 0 {
+			matrix.Axpy(delta, xu, rho1)
+			matrix.Axpy(delta*bwU*bwU*dotXY, yu, rho2)
+			s.fw[uStar] = newW
+		}
+	}
+}
+
+// objective evaluates Eq. (6) exactly in O(n²k′) — used by tests and the
+// convergence diagnostics, never by the solver itself.
+func (s *reweightState) objective() float64 {
+	n := s.n
+	obj := 0.0
+	// Strength of connection from u to v is →w_u·(X_uY_vᵀ)·←w_v.
+	inStrength := make([]float64, n)
+	outStrength := make([]float64, n)
+	for u := 0; u < n; u++ {
+		xu := s.x.Row(u)
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			st := s.fw[u] * matrix.Dot(xu, s.y.Row(v)) * s.bw[v]
+			outStrength[u] += st
+			inStrength[v] += st
+		}
+	}
+	for v := 0; v < n; v++ {
+		d1 := inStrength[v] - s.din[v]
+		d2 := outStrength[v] - s.dout[v]
+		obj += d1*d1 + d2*d2
+		obj += s.lambda * (s.fw[v]*s.fw[v] + s.bw[v]*s.bw[v])
+	}
+	return obj
+}
+
+// shuffle permutes p in place with the supplied source of randomness.
+func shuffle(p []int, rng *rand.Rand) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import "github.com/nrp-embed/nrp/internal/matrix"
+
+// This file holds the O(n²k′) reference implementations of the coordinate
+// update coefficients, transcribed literally from Eq. (7) (backward) and
+// Eq. (23) (forward) of the paper. They exist only so tests can verify the
+// accelerated versions in reweight.go; nothing in the solver path calls
+// them.
+
+// naiveBwdCoeffs evaluates a₁, a₂, a₃, b₁ (exact), b₂ of Eq. (7) for node
+// vStar under the current weights.
+func (s *reweightState) naiveBwdCoeffs(vStar int) (a1, a2, a3, b1, b2 float64) {
+	yv := s.y.Row(vStar)
+	// a₁ = (Σ_u dout(u)·→w_u·X_u)·Y_v*ᵀ over all u.
+	for u := 0; u < s.n; u++ {
+		a1 += s.dout[u] * s.fw[u] * matrix.Dot(s.x.Row(u), yv)
+	}
+	// a₂ = din(v*)·(Σ_{u≠v*} →w_u·X_u)·Y_v*ᵀ ; b₂ = (Σ_{u≠v*} →w_u·X_u·Y_v*ᵀ)².
+	sum := 0.0
+	for u := 0; u < s.n; u++ {
+		if u == vStar {
+			continue
+		}
+		sum += s.fw[u] * matrix.Dot(s.x.Row(u), yv)
+	}
+	a2 = s.din[vStar] * sum
+	b2 = sum * sum
+	// a₃ = Σ_u →w_u²·(X_uY_v*ᵀ)·Σ_{v≠u,v≠v*} (X_uY_vᵀ)·←w_v.
+	for u := 0; u < s.n; u++ {
+		xu := s.x.Row(u)
+		inner := 0.0
+		for v := 0; v < s.n; v++ {
+			if v == u || v == vStar {
+				continue
+			}
+			inner += matrix.Dot(xu, s.y.Row(v)) * s.bw[v]
+		}
+		a3 += s.fw[u] * s.fw[u] * matrix.Dot(xu, yv) * inner
+	}
+	// b₁ = Σ_{u≠v*} (→w_u·X_u·Y_v*ᵀ)² — the exact value Eq. (12) bounds.
+	for u := 0; u < s.n; u++ {
+		if u == vStar {
+			continue
+		}
+		d := s.fw[u] * matrix.Dot(s.x.Row(u), yv)
+		b1 += d * d
+	}
+	return a1, a2, a3, b1, b2
+}
+
+// naiveFwdCoeffs evaluates a₁′, a₂′, a₃′, b₁′ (exact), b₂′ of Eq. (23) for
+// node uStar under the current weights.
+func (s *reweightState) naiveFwdCoeffs(uStar int) (a1, a2, a3, b1, b2 float64) {
+	xu := s.x.Row(uStar)
+	// a₁′ = X_u*·Σ_v din(v)·←w_v·Y_vᵀ over all v.
+	for v := 0; v < s.n; v++ {
+		a1 += s.din[v] * s.bw[v] * matrix.Dot(xu, s.y.Row(v))
+	}
+	// a₂′ = dout(u*)·X_u*·Σ_{v≠u*} ←w_v·Y_vᵀ ; b₂′ = (…)².
+	sum := 0.0
+	for v := 0; v < s.n; v++ {
+		if v == uStar {
+			continue
+		}
+		sum += s.bw[v] * matrix.Dot(xu, s.y.Row(v))
+	}
+	a2 = s.dout[uStar] * sum
+	b2 = sum * sum
+	// a₃′ = Σ_v (Σ_{u≠v,u≠u*} →w_u·X_u·Y_vᵀ·←w_v)·X_u*·Y_vᵀ·←w_v.
+	for v := 0; v < s.n; v++ {
+		yv := s.y.Row(v)
+		inner := 0.0
+		for u := 0; u < s.n; u++ {
+			if u == v || u == uStar {
+				continue
+			}
+			inner += s.fw[u] * matrix.Dot(s.x.Row(u), yv) * s.bw[v]
+		}
+		a3 += inner * matrix.Dot(xu, yv) * s.bw[v]
+	}
+	// b₁′ = Σ_{v≠u*} (X_u*·Y_vᵀ·←w_v)².
+	for v := 0; v < s.n; v++ {
+		if v == uStar {
+			continue
+		}
+		d := matrix.Dot(xu, s.y.Row(v)) * s.bw[v]
+		b1 += d * d
+	}
+	return a1, a2, a3, b1, b2
+}
+
+// fastBwdCoeffs recomputes the shared statistics from scratch and returns
+// the accelerated coefficients for a single node, mirroring one iteration
+// of updateBwdWeights without mutating state. Tests compare this against
+// naiveBwdCoeffs.
+func (s *reweightState) fastBwdCoeffs(vStar int) (a1, a2, a3, b1Approx, b1Exact, b2 float64) {
+	k := s.kPrime
+	xi := make([]float64, k)
+	chi := make([]float64, k)
+	lambdaM := matrix.NewDense(k, k)
+	rho1 := make([]float64, k)
+	rho2 := make([]float64, k)
+	phi := make([]float64, k)
+	for u := 0; u < s.n; u++ {
+		xu := s.x.Row(u)
+		fwU := s.fw[u]
+		matrix.Axpy(s.dout[u]*fwU, xu, xi)
+		matrix.Axpy(fwU, xu, chi)
+		fw2 := fwU * fwU
+		for r := 0; r < k; r++ {
+			phi[r] += fw2 * xu[r] * xu[r]
+			matrix.Axpy(fw2*xu[r], xu, lambdaM.Row(r))
+		}
+		matrix.Axpy(s.bw[u], s.y.Row(u), rho1)
+		matrix.Axpy(fw2*s.bw[u]*s.xyDot[u], xu, rho2)
+	}
+	yv := s.y.Row(vStar)
+	xv := s.x.Row(vStar)
+	fwV, bwV, dotXY := s.fw[vStar], s.bw[vStar], s.xyDot[vStar]
+	a1 = matrix.Dot(xi, yv)
+	t := matrix.Dot(chi, yv) - fwV*dotXY
+	a2 = s.din[vStar] * t
+	b2 = t * t
+	lamY := make([]float64, k)
+	lambdaM.MulVecInto(yv, lamY)
+	yLamY := matrix.Dot(yv, lamY)
+	a3 = matrix.Dot(rho1, lamY) - bwV*yLamY - matrix.Dot(rho2, yv) + bwV*dotXY*dotXY*fwV*fwV
+	sum := 0.0
+	for r := 0; r < k; r++ {
+		sum += yv[r] * yv[r] * (phi[r] - fwV*fwV*xv[r]*xv[r])
+	}
+	b1Approx = float64(k) / 2 * sum
+	b1Exact = yLamY - fwV*fwV*dotXY*dotXY
+	return a1, a2, a3, b1Approx, b1Exact, b2
+}
+
+// fastFwdCoeffs is the forward-weight analog of fastBwdCoeffs.
+func (s *reweightState) fastFwdCoeffs(uStar int) (a1, a2, a3, b1Approx, b1Exact, b2 float64) {
+	k := s.kPrime
+	xi := make([]float64, k)
+	chi := make([]float64, k)
+	lambdaM := matrix.NewDense(k, k)
+	rho1 := make([]float64, k)
+	rho2 := make([]float64, k)
+	phi := make([]float64, k)
+	for v := 0; v < s.n; v++ {
+		yv := s.y.Row(v)
+		bwV := s.bw[v]
+		matrix.Axpy(s.din[v]*bwV, yv, xi)
+		matrix.Axpy(bwV, yv, chi)
+		bw2 := bwV * bwV
+		for r := 0; r < k; r++ {
+			phi[r] += bw2 * yv[r] * yv[r]
+			matrix.Axpy(bw2*yv[r], yv, lambdaM.Row(r))
+		}
+		matrix.Axpy(s.fw[v], s.x.Row(v), rho1)
+		matrix.Axpy(s.fw[v]*bw2*s.xyDot[v], yv, rho2)
+	}
+	xu := s.x.Row(uStar)
+	yu := s.y.Row(uStar)
+	fwU, bwU, dotXY := s.fw[uStar], s.bw[uStar], s.xyDot[uStar]
+	a1 = matrix.Dot(xu, xi)
+	t := matrix.Dot(xu, chi) - bwU*dotXY
+	a2 = s.dout[uStar] * t
+	b2 = t * t
+	lamX := make([]float64, k)
+	lambdaM.MulVecInto(xu, lamX)
+	xLamX := matrix.Dot(xu, lamX)
+	a3 = matrix.Dot(rho1, lamX) - fwU*xLamX - matrix.Dot(rho2, xu) + bwU*bwU*dotXY*dotXY*fwU
+	sum := 0.0
+	for r := 0; r < k; r++ {
+		sum += xu[r] * xu[r] * (phi[r] - bwU*bwU*yu[r]*yu[r])
+	}
+	b1Approx = float64(k) / 2 * sum
+	b1Exact = xLamX - bwU*bwU*dotXY*dotXY
+	return a1, a2, a3, b1Approx, b1Exact, b2
+}

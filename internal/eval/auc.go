@@ -1,0 +1,52 @@
+// Package eval implements the paper's three evaluation protocols — link
+// prediction (AUC), graph reconstruction (precision@K) and node
+// classification (Micro/Macro-F1 with one-vs-rest logistic regression) —
+// together with the supporting machinery: edge splits, negative sampling,
+// rank-based AUC with tie handling, and an SGD logistic-regression trainer.
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AUC computes the area under the ROC curve from positive- and
+// negative-example scores using the rank statistic (Mann–Whitney U), with
+// ties resolved by average ranks.
+func AUC(pos, neg []float64) (float64, error) {
+	if len(pos) == 0 || len(neg) == 0 {
+		return 0, fmt.Errorf("eval: AUC needs both positive and negative scores (%d, %d)", len(pos), len(neg))
+	}
+	type scored struct {
+		s     float64
+		isPos bool
+	}
+	all := make([]scored, 0, len(pos)+len(neg))
+	for _, s := range pos {
+		all = append(all, scored{s, true})
+	}
+	for _, s := range neg {
+		all = append(all, scored{s, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].s < all[j].s })
+
+	rankSumPos := 0.0
+	i := 0
+	for i < len(all) {
+		j := i
+		for j < len(all) && all[j].s == all[i].s {
+			j++
+		}
+		// Average rank of the tie group [i, j) with 1-based ranks.
+		avgRank := float64(i+j+1) / 2
+		for t := i; t < j; t++ {
+			if all[t].isPos {
+				rankSumPos += avgRank
+			}
+		}
+		i = j
+	}
+	nPos, nNeg := float64(len(pos)), float64(len(neg))
+	u := rankSumPos - nPos*(nPos+1)/2
+	return u / (nPos * nNeg), nil
+}

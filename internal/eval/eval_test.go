@@ -1,0 +1,424 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+)
+
+func TestAUCPerfectSeparation(t *testing.T) {
+	auc, err := AUC([]float64{3, 4, 5}, []float64{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1 {
+		t.Fatalf("AUC=%v want 1", auc)
+	}
+	auc, _ = AUC([]float64{0, 1}, []float64{5, 6})
+	if auc != 0 {
+		t.Fatalf("inverted AUC=%v want 0", auc)
+	}
+}
+
+func TestAUCTiesGiveHalf(t *testing.T) {
+	auc, err := AUC([]float64{1, 1}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("all-ties AUC=%v want 0.5", auc)
+	}
+}
+
+func TestAUCRandomScoresNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pos := make([]float64, 4000)
+	neg := make([]float64, 4000)
+	for i := range pos {
+		pos[i] = rng.Float64()
+		neg[i] = rng.Float64()
+	}
+	auc, err := AUC(pos, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.03 {
+		t.Fatalf("random AUC=%v", auc)
+	}
+}
+
+func TestAUCEmptyInput(t *testing.T) {
+	if _, err := AUC(nil, []float64{1}); err == nil {
+		t.Fatal("empty positives accepted")
+	}
+	if _, err := AUC([]float64{1}, nil); err == nil {
+		t.Fatal("empty negatives accepted")
+	}
+}
+
+// Property: AUC is invariant under any strictly monotone transform.
+func TestAUCMonotoneInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pos := make([]float64, 30)
+		neg := make([]float64, 40)
+		for i := range pos {
+			pos[i] = rng.NormFloat64() + 0.5
+		}
+		for i := range neg {
+			neg[i] = rng.NormFloat64()
+		}
+		a1, _ := AUC(pos, neg)
+		mono := func(xs []float64) []float64 {
+			out := make([]float64, len(xs))
+			for i, x := range xs {
+				out[i] = math.Exp(x/2) + 3
+			}
+			return out
+		}
+		a2, _ := AUC(mono(pos), mono(neg))
+		return math.Abs(a1-a2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogRegLearnsSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 400; i++ {
+		label := i % 2
+		shift := -1.0
+		if label == 1 {
+			shift = 1.0
+		}
+		x = append(x, []float64{shift + 0.3*rng.NormFloat64(), rng.NormFloat64()})
+		y = append(y, label)
+	}
+	m, err := TrainLogReg(x, y, LogRegConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range x {
+		p := 0
+		if m.Prob(x[i]) > 0.5 {
+			p = 1
+		}
+		if p == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(x)); acc < 0.95 {
+		t.Fatalf("accuracy %v on separable data", acc)
+	}
+}
+
+func TestLogRegValidation(t *testing.T) {
+	if _, err := TrainLogReg(nil, nil, LogRegConfig{}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	if _, err := TrainLogReg([][]float64{{1}}, []int{5}, LogRegConfig{}); err == nil {
+		t.Fatal("bad label accepted")
+	}
+	if _, err := TrainLogReg([][]float64{{1}, {1, 2}}, []int{0, 1}, LogRegConfig{}); err == nil {
+		t.Fatal("ragged features accepted")
+	}
+}
+
+func TestOneVsRestPredictTop(t *testing.T) {
+	// Three well-separated clusters, one per class.
+	rng := rand.New(rand.NewSource(4))
+	var x [][]float64
+	var y [][]int32
+	centers := [][]float64{{2, 0}, {-2, 0}, {0, 2.5}}
+	for i := 0; i < 600; i++ {
+		c := i % 3
+		x = append(x, []float64{centers[c][0] + 0.3*rng.NormFloat64(), centers[c][1] + 0.3*rng.NormFloat64()})
+		y = append(y, []int32{int32(c)})
+	}
+	model, err := TrainOneVsRest(x, y, 3, LogRegConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range x {
+		if p := model.PredictTop(x[i], 1); len(p) == 1 && p[0] == y[i][0] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(x)); acc < 0.95 {
+		t.Fatalf("OVR accuracy %v", acc)
+	}
+	// PredictTop clamps t.
+	if p := model.PredictTop(x[0], 99); len(p) != 3 {
+		t.Fatalf("clamp failed: %d", len(p))
+	}
+	if p := model.PredictTop(x[0], 0); p != nil {
+		t.Fatal("t=0 should give nil")
+	}
+}
+
+func TestMultiLabelF1PerfectAndWorst(t *testing.T) {
+	truth := [][]int32{{0, 1}, {2}, {1}}
+	perfect := MultiLabelF1(truth, truth, 3)
+	if perfect.Micro != 1 || perfect.Macro != 1 {
+		t.Fatalf("perfect F1: %+v", perfect)
+	}
+	wrong := [][]int32{{2}, {0}, {0}}
+	bad := MultiLabelF1(wrong, truth, 3)
+	if bad.Micro != 0 || bad.Macro != 0 {
+		t.Fatalf("all-wrong F1: %+v", bad)
+	}
+}
+
+func TestMultiLabelF1Partial(t *testing.T) {
+	truth := [][]int32{{0}, {1}}
+	pred := [][]int32{{0}, {0}}
+	got := MultiLabelF1(pred, truth, 2)
+	// Class 0: tp=1 fp=1 fn=0 → F1 = 2/3. Class 1: tp=0 → F1 = 0.
+	if math.Abs(got.Micro-0.5) > 1e-12 {
+		t.Fatalf("micro=%v want 0.5", got.Micro)
+	}
+	if math.Abs(got.Macro-1.0/3) > 1e-12 {
+		t.Fatalf("macro=%v want 1/3", got.Macro)
+	}
+}
+
+func testGraph(t testing.TB, directed bool) *graph.Graph {
+	t.Helper()
+	g, err := graph.GenSBM(graph.SBMConfig{N: 300, M: 1800, Communities: 3, Directed: directed, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewLinkPredSplitInvariants(t *testing.T) {
+	g := testGraph(t, false)
+	split, err := NewLinkPredSplit(g, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRemoved := int(0.3 * float64(g.NumEdges))
+	if len(split.Pos) != wantRemoved {
+		t.Fatalf("removed %d, want %d", len(split.Pos), wantRemoved)
+	}
+	if len(split.Neg) != len(split.Pos) {
+		t.Fatalf("neg %d != pos %d", len(split.Neg), len(split.Pos))
+	}
+	if split.Train.NumEdges != g.NumEdges-wantRemoved {
+		t.Fatalf("train has %d edges", split.Train.NumEdges)
+	}
+	for _, e := range split.Pos {
+		if split.Train.HasEdge(int(e.U), int(e.V)) {
+			t.Fatal("positive test edge still in training graph")
+		}
+		if !g.HasEdge(int(e.U), int(e.V)) {
+			t.Fatal("positive test edge not from G")
+		}
+	}
+	for _, e := range split.Neg {
+		if g.HasEdge(int(e.U), int(e.V)) {
+			t.Fatal("negative pair is an edge of G")
+		}
+	}
+}
+
+func TestNewLinkPredSplitValidation(t *testing.T) {
+	g := testGraph(t, false)
+	if _, err := NewLinkPredSplit(g, 0, 1); err == nil {
+		t.Fatal("frac 0 accepted")
+	}
+	if _, err := NewLinkPredSplit(g, 1, 1); err == nil {
+		t.Fatal("frac 1 accepted")
+	}
+}
+
+// An oracle scorer that knows the removed edges should reach AUC 1; an
+// anti-oracle should reach 0.
+func TestLinkPredictionAUCOracle(t *testing.T) {
+	g := testGraph(t, true)
+	split, err := NewLinkPredSplit(g, 0.3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inPos := make(map[int64]bool, len(split.Pos))
+	for _, e := range split.Pos {
+		inPos[int64(e.U)*int64(g.N)+int64(e.V)] = true
+	}
+	oracle := ScorerFunc(func(u, v int) float64 {
+		if inPos[int64(u)*int64(g.N)+int64(v)] {
+			return 1
+		}
+		return 0
+	})
+	auc, err := LinkPredictionAUC(oracle, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1 {
+		t.Fatalf("oracle AUC=%v", auc)
+	}
+}
+
+func TestEdgeFeatureLinkPredictionAUC(t *testing.T) {
+	g := testGraph(t, false)
+	split, err := NewLinkPredSplit(g, 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A concatenation-based linear model cannot express "same community",
+	// but it can exploit degree bias: SBM edges attach to hubs far more
+	// often than uniformly sampled non-edge endpoints do.
+	features := func(v int) []float64 {
+		return []float64{math.Log1p(float64(g.OutDeg(v)))}
+	}
+	auc, err := EdgeFeatureLinkPredictionAUC(features, split, LogRegConfig{Seed: 10, Epochs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.55 {
+		t.Fatalf("degree features should beat chance: AUC=%v", auc)
+	}
+}
+
+func TestReconstructionPrecisionOracle(t *testing.T) {
+	g := testGraph(t, false)
+	oracle := ScorerFunc(func(u, v int) float64 {
+		if g.HasEdge(u, v) {
+			return 1
+		}
+		return 0
+	})
+	ks := []int{10, 100, 1000}
+	prec, err := ReconstructionPrecision(g, oracle, 1, ks, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range prec {
+		if ks[i] <= g.NumEdges && p != 1 {
+			t.Fatalf("oracle precision@%d=%v", ks[i], p)
+		}
+	}
+	// Beyond the number of edges precision must decay.
+	deep, err := ReconstructionPrecision(g, oracle, 1, []int{g.NumEdges * 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(deep[0]-0.5) > 0.01 {
+		t.Fatalf("precision@2m=%v want ~0.5", deep[0])
+	}
+}
+
+func TestReconstructionPrecisionRandomScorer(t *testing.T) {
+	g := testGraph(t, false)
+	rng := rand.New(rand.NewSource(12))
+	random := ScorerFunc(func(u, v int) float64 { return rng.Float64() })
+	prec, err := ReconstructionPrecision(g, random, 1, []int{2000}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	density := float64(g.NumEdges) / (float64(g.N) * float64(g.N-1) / 2)
+	if prec[0] > 5*density+0.02 {
+		t.Fatalf("random scorer precision %v too high (density %v)", prec[0], density)
+	}
+}
+
+func TestReconstructionPrecisionSampled(t *testing.T) {
+	g := testGraph(t, false)
+	oracle := ScorerFunc(func(u, v int) float64 {
+		if g.HasEdge(u, v) {
+			return 1
+		}
+		return 0
+	})
+	prec, err := ReconstructionPrecision(g, oracle, 0.2, []int{10, 100}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prec[0] != 1 || prec[1] != 1 {
+		t.Fatalf("sampled oracle precision: %v", prec)
+	}
+}
+
+func TestReconstructionValidation(t *testing.T) {
+	g := testGraph(t, false)
+	s := ScorerFunc(func(u, v int) float64 { return 0 })
+	if _, err := ReconstructionPrecision(g, s, 1, nil, 1); err == nil {
+		t.Fatal("empty ks accepted")
+	}
+	if _, err := ReconstructionPrecision(g, s, 1, []int{100, 10}, 1); err == nil {
+		t.Fatal("descending ks accepted")
+	}
+	if _, err := ReconstructionPrecision(g, s, 0, []int{10}, 1); err == nil {
+		t.Fatal("sampleFrac 0 accepted")
+	}
+	if _, err := ReconstructionPrecision(g, s, 1.5, []int{10}, 1); err == nil {
+		t.Fatal("sampleFrac > 1 accepted")
+	}
+}
+
+func TestNodeClassificationSeparableCommunities(t *testing.T) {
+	g := testGraph(t, false)
+	features := func(v int) []float64 {
+		f := make([]float64, g.NumLabels)
+		f[g.Labels[v][0]] = 1
+		return f
+	}
+	res, err := NodeClassification(features, g.Labels, g.NumLabels, 0.5, LogRegConfig{Seed: 13, Epochs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Micro < 0.8 {
+		t.Fatalf("separable classification micro-F1=%v", res.Micro)
+	}
+	if res.Macro <= 0 || res.Macro > 1 {
+		t.Fatalf("macro-F1 out of range: %v", res.Macro)
+	}
+}
+
+func TestNodeClassificationValidation(t *testing.T) {
+	g := testGraph(t, false)
+	feat := func(v int) []float64 { return []float64{1} }
+	if _, err := NodeClassification(feat, g.Labels, g.NumLabels, 0, LogRegConfig{}); err == nil {
+		t.Fatal("trainFrac 0 accepted")
+	}
+	if _, err := NodeClassification(feat, g.Labels, g.NumLabels, 1, LogRegConfig{}); err == nil {
+		t.Fatal("trainFrac 1 accepted")
+	}
+	empty := make([][]int32, g.N)
+	if _, err := NodeClassification(feat, empty, 3, 0.5, LogRegConfig{}); err == nil {
+		t.Fatal("unlabeled graph accepted")
+	}
+}
+
+func TestSampleNonEdgesRespectsGraph(t *testing.T) {
+	g := testGraph(t, true)
+	rng := rand.New(rand.NewSource(14))
+	pairs, err := SampleNonEdges(g, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 500 {
+		t.Fatalf("got %d pairs", len(pairs))
+	}
+	for _, e := range pairs {
+		if g.HasEdge(int(e.U), int(e.V)) || e.U == e.V {
+			t.Fatalf("invalid non-edge (%d,%d)", e.U, e.V)
+		}
+	}
+	// Impossible request errors out.
+	tiny, err := graph.New(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SampleNonEdges(tiny, 5, rng); err == nil {
+		t.Fatal("oversized non-edge request accepted")
+	}
+}

@@ -1,0 +1,66 @@
+package eval
+
+// F1Scores aggregates multi-label prediction quality the way the paper
+// reports it: Micro-F1 pools true/false positives over all classes;
+// Macro-F1 averages per-class F1.
+type F1Scores struct {
+	Micro, Macro float64
+}
+
+// MultiLabelF1 compares predicted and true label sets per example and
+// returns Micro- and Macro-F1 over numClasses classes.
+func MultiLabelF1(pred, truth [][]int32, numClasses int) F1Scores {
+	tp := make([]float64, numClasses)
+	fp := make([]float64, numClasses)
+	fn := make([]float64, numClasses)
+	inTruth := make([]bool, numClasses)
+	for i := range truth {
+		for _, c := range truth[i] {
+			inTruth[c] = true
+		}
+		for _, c := range pred[i] {
+			if inTruth[c] {
+				tp[c]++
+			} else {
+				fp[c]++
+			}
+		}
+		inPred := make(map[int32]bool, len(pred[i]))
+		for _, c := range pred[i] {
+			inPred[c] = true
+		}
+		for _, c := range truth[i] {
+			if !inPred[c] {
+				fn[c]++
+			}
+			inTruth[c] = false
+		}
+	}
+	var sumTP, sumFP, sumFN, macro float64
+	activeClasses := 0
+	for c := 0; c < numClasses; c++ {
+		sumTP += tp[c]
+		sumFP += fp[c]
+		sumFN += fn[c]
+		if tp[c]+fp[c]+fn[c] == 0 {
+			continue // class absent from both truth and predictions
+		}
+		activeClasses++
+		macro += f1(tp[c], fp[c], fn[c])
+	}
+	out := F1Scores{}
+	out.Micro = f1(sumTP, sumFP, sumFN)
+	if activeClasses > 0 {
+		out.Macro = macro / float64(activeClasses)
+	}
+	return out
+}
+
+func f1(tp, fp, fn float64) float64 {
+	if tp == 0 {
+		return 0
+	}
+	precision := tp / (tp + fp)
+	recall := tp / (tp + fn)
+	return 2 * precision * recall / (precision + recall)
+}

@@ -1,0 +1,184 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LogRegConfig configures the SGD logistic-regression trainer used by node
+// classification and the edge-features link-prediction protocol.
+type LogRegConfig struct {
+	Epochs    int     // SGD passes over the training set (default 20)
+	LearnRate float64 // initial step size (default 0.5)
+	L2        float64 // L2 regularization strength (default 1e-4)
+	Seed      int64
+}
+
+func (c *LogRegConfig) defaults() {
+	if c.Epochs == 0 {
+		c.Epochs = 20
+	}
+	if c.LearnRate == 0 {
+		c.LearnRate = 0.5
+	}
+	if c.L2 == 0 {
+		c.L2 = 1e-4
+	}
+}
+
+// LogReg is a binary logistic-regression model.
+type LogReg struct {
+	W    []float64
+	Bias float64
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// TrainLogReg fits a binary logistic regression with mini-batch-free SGD
+// and inverse-time step decay. Labels must be 0 or 1.
+func TrainLogReg(features [][]float64, labels []int, cfg LogRegConfig) (*LogReg, error) {
+	if len(features) == 0 || len(features) != len(labels) {
+		return nil, fmt.Errorf("eval: bad training set sizes: %d features, %d labels", len(features), len(labels))
+	}
+	dim := len(features[0])
+	for i, f := range features {
+		if len(f) != dim {
+			return nil, fmt.Errorf("eval: feature %d has dim %d, want %d", i, len(f), dim)
+		}
+		if labels[i] != 0 && labels[i] != 1 {
+			return nil, fmt.Errorf("eval: label %d is %d, want 0/1", i, labels[i])
+		}
+	}
+	cfg.defaults()
+	m := &LogReg{W: make([]float64, dim)}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(len(features))
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		shuffleInts(order, rng)
+		for _, i := range order {
+			lr := cfg.LearnRate / (1 + 0.01*float64(step))
+			step++
+			m.sgdStep(features[i], float64(labels[i]), lr, cfg.L2)
+		}
+	}
+	return m, nil
+}
+
+func (m *LogReg) sgdStep(x []float64, y, lr, l2 float64) {
+	g := sigmoid(m.Score(x)) - y
+	for j, xj := range x {
+		m.W[j] -= lr * (g*xj + l2*m.W[j])
+	}
+	m.Bias -= lr * g
+}
+
+// Score returns the pre-sigmoid logit for x.
+func (m *LogReg) Score(x []float64) float64 {
+	s := m.Bias
+	for j, xj := range x {
+		s += m.W[j] * xj
+	}
+	return s
+}
+
+// Prob returns the predicted probability of the positive class.
+func (m *LogReg) Prob(x []float64) float64 { return sigmoid(m.Score(x)) }
+
+// OneVsRest is a multi-label classifier: one logistic regression per class,
+// trained jointly in a single pass structure for cache efficiency.
+type OneVsRest struct {
+	NumClasses int
+	Models     []*LogReg
+}
+
+// TrainOneVsRest fits one binary model per class. labels[i] lists the
+// classes of example i (multi-label).
+func TrainOneVsRest(features [][]float64, labels [][]int32, numClasses int, cfg LogRegConfig) (*OneVsRest, error) {
+	if len(features) == 0 || len(features) != len(labels) {
+		return nil, fmt.Errorf("eval: bad training set sizes: %d features, %d labels", len(features), len(labels))
+	}
+	if numClasses <= 0 {
+		return nil, fmt.Errorf("eval: numClasses must be positive, got %d", numClasses)
+	}
+	cfg.defaults()
+	dim := len(features[0])
+	ovr := &OneVsRest{NumClasses: numClasses, Models: make([]*LogReg, numClasses)}
+	for c := range ovr.Models {
+		ovr.Models[c] = &LogReg{W: make([]float64, dim)}
+	}
+	isMember := make([]bool, numClasses)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(len(features))
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		shuffleInts(order, rng)
+		for _, i := range order {
+			lr := cfg.LearnRate / (1 + 0.01*float64(step))
+			step++
+			for _, c := range labels[i] {
+				isMember[c] = true
+			}
+			for c, m := range ovr.Models {
+				y := 0.0
+				if isMember[c] {
+					y = 1
+				}
+				m.sgdStep(features[i], y, lr, cfg.L2)
+			}
+			for _, c := range labels[i] {
+				isMember[c] = false
+			}
+		}
+	}
+	return ovr, nil
+}
+
+// PredictTop returns the t highest-scoring classes for x, following the
+// standard multi-label protocol (predict as many labels as the node truly
+// has).
+func (o *OneVsRest) PredictTop(x []float64, t int) []int32 {
+	if t <= 0 {
+		return nil
+	}
+	if t > o.NumClasses {
+		t = o.NumClasses
+	}
+	type cs struct {
+		c int32
+		s float64
+	}
+	scores := make([]cs, o.NumClasses)
+	for c, m := range o.Models {
+		scores[c] = cs{int32(c), m.Score(x)}
+	}
+	// Partial selection: t is small (≤ a handful of labels per node).
+	for i := 0; i < t; i++ {
+		best := i
+		for j := i + 1; j < len(scores); j++ {
+			if scores[j].s > scores[best].s {
+				best = j
+			}
+		}
+		scores[i], scores[best] = scores[best], scores[i]
+	}
+	out := make([]int32, t)
+	for i := 0; i < t; i++ {
+		out[i] = scores[i].c
+	}
+	return out
+}
+
+func shuffleInts(p []int, rng *rand.Rand) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}

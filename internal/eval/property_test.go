@@ -1,0 +1,142 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+)
+
+// bruteAUC counts concordant pairs directly: the probability a random
+// positive outscores a random negative, ties counting half.
+func bruteAUC(pos, neg []float64) float64 {
+	wins := 0.0
+	for _, p := range pos {
+		for _, n := range neg {
+			switch {
+			case p > n:
+				wins++
+			case p == n:
+				wins += 0.5
+			}
+		}
+	}
+	return wins / float64(len(pos)*len(neg))
+}
+
+// Property: the rank-based AUC equals the brute-force pair statistic.
+func TestAUCMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nPos := 1 + rng.Intn(30)
+		nNeg := 1 + rng.Intn(30)
+		pos := make([]float64, nPos)
+		neg := make([]float64, nNeg)
+		for i := range pos {
+			// Coarse grid to force plenty of ties.
+			pos[i] = float64(rng.Intn(6))
+		}
+		for i := range neg {
+			neg[i] = float64(rng.Intn(6))
+		}
+		got, err := AUC(pos, neg)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-bruteAUC(pos, neg)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: top-K selection through the bounded heap matches a full sort
+// over all pairs, for arbitrary score assignments.
+func TestPrecisionHeapMatchesSortProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(6)
+		var edges []graph.Edge
+		for i := 0; i < 2*n; i++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u != v {
+				edges = append(edges, graph.Edge{U: u, V: v})
+			}
+		}
+		g, err := graph.New(n, edges, false)
+		if err != nil || g.NumEdges == 0 {
+			return true // degenerate draw; nothing to check
+		}
+		// Deterministic pseudo-random pair scores.
+		scorer := ScorerFunc(func(u, v int) float64 {
+			h := int64(u*1000003 + v*7919)
+			return float64((h*2654435761)%100003) / 100003
+		})
+		ks := []int{1, 5, 20}
+		viaHeap, err := ReconstructionPrecision(g, scorer, 1, ks, seed)
+		if err != nil {
+			return false
+		}
+		type pair struct {
+			u, v int
+			s    float64
+		}
+		var all []pair
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				all = append(all, pair{u, v, scorer.Score(u, v)})
+			}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].s > all[j].s })
+		for ki, k := range ks {
+			limit := k
+			if len(all) < limit {
+				limit = len(all)
+			}
+			hits := 0
+			for i := 0; i < limit; i++ {
+				if g.HasEdge(all[i].u, all[i].v) {
+					hits++
+				}
+			}
+			want := float64(hits) / float64(limit)
+			if math.Abs(viaHeap[ki]-want) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: link-prediction splits conserve edges — every edge of G ends up
+// in exactly one of train or test-positives.
+func TestLinkPredSplitConservesEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := graph.GenSBM(graph.SBMConfig{N: 80, M: 400, Communities: 4, Seed: seed})
+		if err != nil {
+			return false
+		}
+		split, err := NewLinkPredSplit(g, 0.3, seed)
+		if err != nil {
+			return false
+		}
+		if split.Train.NumEdges+len(split.Pos) != g.NumEdges {
+			return false
+		}
+		for _, e := range split.Pos {
+			if !g.HasEdge(int(e.U), int(e.V)) || split.Train.HasEdge(int(e.U), int(e.V)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

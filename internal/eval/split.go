@@ -1,0 +1,86 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+)
+
+// LinkPredSplit is the paper's link-prediction protocol (§5.2): RemoveFrac
+// of the edges are removed from G to form the training graph; the test set
+// is the removed edges (positives) plus an equal number of uniformly
+// sampled non-edges (negatives). On directed graphs pairs are ordered.
+type LinkPredSplit struct {
+	Train *graph.Graph
+	Pos   []graph.Edge
+	Neg   []graph.Edge
+}
+
+// NewLinkPredSplit builds a split with the given removal fraction.
+func NewLinkPredSplit(g *graph.Graph, removeFrac float64, seed int64) (*LinkPredSplit, error) {
+	if removeFrac <= 0 || removeFrac >= 1 {
+		return nil, fmt.Errorf("eval: removeFrac must be in (0,1), got %v", removeFrac)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := g.Edges()
+	shuffleEdges(edges, rng)
+	nRemove := int(removeFrac * float64(len(edges)))
+	if nRemove == 0 || nRemove == len(edges) {
+		return nil, fmt.Errorf("eval: split would remove %d of %d edges", nRemove, len(edges))
+	}
+	pos := append([]graph.Edge(nil), edges[:nRemove]...)
+	train, err := graph.New(g.N, edges[nRemove:], g.Directed)
+	if err != nil {
+		return nil, err
+	}
+	neg, err := SampleNonEdges(g, nRemove, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &LinkPredSplit{Train: train, Pos: pos, Neg: neg}, nil
+}
+
+// SampleNonEdges draws count node pairs uniformly at random that are not
+// connected in g (in either direction for undirected graphs) and are not
+// self-pairs.
+func SampleNonEdges(g *graph.Graph, count int, rng *rand.Rand) ([]graph.Edge, error) {
+	maxPairs := int64(g.N) * int64(g.N-1)
+	if !g.Directed {
+		maxPairs /= 2
+	}
+	if int64(count) > maxPairs-int64(g.NumEdges) {
+		return nil, fmt.Errorf("eval: cannot sample %d non-edges from graph with %d nodes, %d edges", count, g.N, g.NumEdges)
+	}
+	seen := make(map[int64]struct{}, count)
+	out := make([]graph.Edge, 0, count)
+	maxAttempts := 100*count + 10000
+	for attempts := 0; len(out) < count; attempts++ {
+		if attempts > maxAttempts {
+			return nil, fmt.Errorf("eval: non-edge sampling stalled at %d of %d", len(out), count)
+		}
+		u := int32(rng.Intn(g.N))
+		v := int32(rng.Intn(g.N))
+		if u == v || g.HasEdge(int(u), int(v)) {
+			continue
+		}
+		a, b := u, v
+		if !g.Directed && a > b {
+			a, b = b, a
+		}
+		key := int64(a)*int64(g.N) + int64(b)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, graph.Edge{U: u, V: v})
+	}
+	return out, nil
+}
+
+func shuffleEdges(e []graph.Edge, rng *rand.Rand) {
+	for i := len(e) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		e[i], e[j] = e[j], e[i]
+	}
+}

@@ -1,0 +1,239 @@
+package eval
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+)
+
+// Scorer assigns a directed proximity score to a node pair; embeddings
+// implement it with the inner products the paper prescribes per method.
+type Scorer interface {
+	Score(u, v int) float64
+}
+
+// ScorerFunc adapts a plain function to the Scorer interface.
+type ScorerFunc func(u, v int) float64
+
+// Score implements Scorer.
+func (f ScorerFunc) Score(u, v int) float64 { return f(u, v) }
+
+// LinkPredictionAUC scores the split's test pairs with s and returns the
+// AUC (§5.2).
+func LinkPredictionAUC(s Scorer, split *LinkPredSplit) (float64, error) {
+	pos := make([]float64, len(split.Pos))
+	for i, e := range split.Pos {
+		pos[i] = s.Score(int(e.U), int(e.V))
+	}
+	neg := make([]float64, len(split.Neg))
+	for i, e := range split.Neg {
+		neg[i] = s.Score(int(e.U), int(e.V))
+	}
+	return AUC(pos, neg)
+}
+
+// EdgeFeatureLinkPredictionAUC implements the paper's "edge features"
+// protocol for methods with a single vector per node: concatenate the two
+// endpoint embeddings, train a logistic regression on a sampled training
+// set (positives from the training graph, negatives non-edges), then score
+// the test pairs with the classifier.
+func EdgeFeatureLinkPredictionAUC(features func(int) []float64, split *LinkPredSplit, cfg LogRegConfig) (float64, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 101))
+	trainEdges := split.Train.Edges()
+	shuffleEdges(trainEdges, rng)
+	nTrain := len(split.Pos)
+	if nTrain > len(trainEdges) {
+		nTrain = len(trainEdges)
+	}
+	if nTrain == 0 {
+		return 0, fmt.Errorf("eval: empty training graph")
+	}
+	trainNeg, err := SampleNonEdges(split.Train, nTrain, rng)
+	if err != nil {
+		return 0, err
+	}
+	concat := func(e graph.Edge) []float64 {
+		fu, fv := features(int(e.U)), features(int(e.V))
+		out := make([]float64, 0, len(fu)+len(fv))
+		out = append(out, fu...)
+		return append(out, fv...)
+	}
+	x := make([][]float64, 0, 2*nTrain)
+	y := make([]int, 0, 2*nTrain)
+	for _, e := range trainEdges[:nTrain] {
+		x = append(x, concat(e))
+		y = append(y, 1)
+	}
+	for _, e := range trainNeg {
+		x = append(x, concat(e))
+		y = append(y, 0)
+	}
+	model, err := TrainLogReg(x, y, cfg)
+	if err != nil {
+		return 0, err
+	}
+	pos := make([]float64, len(split.Pos))
+	for i, e := range split.Pos {
+		pos[i] = model.Score(concat(e))
+	}
+	neg := make([]float64, len(split.Neg))
+	for i, e := range split.Neg {
+		neg[i] = model.Score(concat(e))
+	}
+	return AUC(pos, neg)
+}
+
+// ReconstructionPrecision implements the graph-reconstruction protocol
+// (§5.3): rank candidate node pairs by score and report, for each K in ks,
+// the fraction of the top K that are true edges of g. sampleFrac selects
+// the candidate set: 1 scores every pair, smaller values score a uniform
+// sample (the paper uses 1% on the larger graphs). ks must be ascending.
+func ReconstructionPrecision(g *graph.Graph, s Scorer, sampleFrac float64, ks []int, seed int64) ([]float64, error) {
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("eval: no K values")
+	}
+	if !sort.IntsAreSorted(ks) {
+		return nil, fmt.Errorf("eval: ks must be ascending")
+	}
+	if sampleFrac <= 0 || sampleFrac > 1 {
+		return nil, fmt.Errorf("eval: sampleFrac must be in (0,1], got %v", sampleFrac)
+	}
+	maxK := ks[len(ks)-1]
+	h := &pairHeap{}
+	heap.Init(h)
+	push := func(u, v int32) {
+		sc := s.Score(int(u), int(v))
+		if h.Len() < maxK {
+			heap.Push(h, scoredPair{u, v, sc})
+		} else if sc > (*h)[0].score {
+			(*h)[0] = scoredPair{u, v, sc}
+			heap.Fix(h, 0)
+		}
+	}
+	if sampleFrac == 1 {
+		for u := 0; u < g.N; u++ {
+			lo := 0
+			if !g.Directed {
+				lo = u + 1
+			}
+			for v := lo; v < g.N; v++ {
+				if u == v {
+					continue
+				}
+				push(int32(u), int32(v))
+			}
+		}
+	} else {
+		total := int64(g.N) * int64(g.N-1)
+		if !g.Directed {
+			total /= 2
+		}
+		count := int(sampleFrac * float64(total))
+		if count < maxK {
+			count = maxK // never sample fewer candidates than the deepest K
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < count; i++ {
+			u := int32(rng.Intn(g.N))
+			v := int32(rng.Intn(g.N))
+			if u == v {
+				continue
+			}
+			if !g.Directed && u > v {
+				u, v = v, u
+			}
+			push(u, v)
+		}
+	}
+	// Extract ranked pairs (ascending from the min-heap, then reverse).
+	ranked := make([]scoredPair, h.Len())
+	for i := len(ranked) - 1; i >= 0; i-- {
+		ranked[i] = heap.Pop(h).(scoredPair)
+	}
+	out := make([]float64, len(ks))
+	hits := 0
+	ki := 0
+	for i, p := range ranked {
+		if g.HasEdge(int(p.u), int(p.v)) {
+			hits++
+		}
+		for ki < len(ks) && i+1 == ks[ki] {
+			out[ki] = float64(hits) / float64(ks[ki])
+			ki++
+		}
+	}
+	// Ks beyond the candidate count keep the final precision.
+	for ; ki < len(ks); ki++ {
+		if len(ranked) > 0 {
+			out[ki] = float64(hits) / float64(len(ranked))
+		}
+	}
+	return out, nil
+}
+
+type scoredPair struct {
+	u, v  int32
+	score float64
+}
+
+// pairHeap is a min-heap on score, used for top-K selection.
+type pairHeap []scoredPair
+
+func (h pairHeap) Len() int            { return len(h) }
+func (h pairHeap) Less(i, j int) bool  { return h[i].score < h[j].score }
+func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(scoredPair)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NodeClassification implements the protocol of §5.4: labeled nodes are
+// split into a training fraction and a test remainder; a one-vs-rest
+// logistic regression is trained on the feature vectors; for each test
+// node with t true labels the top-t predictions are compared against the
+// truth, yielding Micro-/Macro-F1.
+func NodeClassification(features func(int) []float64, labels [][]int32, numClasses int, trainFrac float64, cfg LogRegConfig) (F1Scores, error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return F1Scores{}, fmt.Errorf("eval: trainFrac must be in (0,1), got %v", trainFrac)
+	}
+	labeled := make([]int, 0, len(labels))
+	for v, ls := range labels {
+		if len(ls) > 0 {
+			labeled = append(labeled, v)
+		}
+	}
+	if len(labeled) < 10 {
+		return F1Scores{}, fmt.Errorf("eval: only %d labeled nodes", len(labeled))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 57))
+	shuffleInts(labeled, rng)
+	nTrain := int(trainFrac * float64(len(labeled)))
+	if nTrain == 0 || nTrain == len(labeled) {
+		return F1Scores{}, fmt.Errorf("eval: degenerate train split %d of %d", nTrain, len(labeled))
+	}
+	trainX := make([][]float64, nTrain)
+	trainY := make([][]int32, nTrain)
+	for i, v := range labeled[:nTrain] {
+		trainX[i] = features(v)
+		trainY[i] = labels[v]
+	}
+	model, err := TrainOneVsRest(trainX, trainY, numClasses, cfg)
+	if err != nil {
+		return F1Scores{}, err
+	}
+	test := labeled[nTrain:]
+	pred := make([][]int32, len(test))
+	truth := make([][]int32, len(test))
+	for i, v := range test {
+		truth[i] = labels[v]
+		pred[i] = model.PredictTop(features(v), len(labels[v]))
+	}
+	return MultiLabelF1(pred, truth, numClasses), nil
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Scale multiplies every dataset's node and edge counts (default 1).
+	Scale float64
+	// Dim is the embedding dimensionality for non-sweep experiments
+	// (default 128, the paper's setting).
+	Dim int
+	// Seed drives all randomness.
+	Seed int64
+	// Full widens sweeps and dataset coverage toward the paper's grids;
+	// the default "quick" profile completes the whole suite on one core.
+	Full bool
+	// Progress receives log lines during long experiments (nil = silent).
+	Progress io.Writer
+	// Methods restricts runs to the named methods (nil = all registered).
+	Methods []string
+	// DatasetNames restricts runs to the named datasets (nil = profile
+	// default).
+	DatasetNames []string
+	// Dims overrides the dimensionality sweep of Fig 4 / Fig 7.
+	Dims []int
+}
+
+// selectMethods resolves the method filter against the registry.
+func (c Config) selectMethods() []Method {
+	if len(c.Methods) == 0 {
+		return Methods
+	}
+	var out []Method
+	for _, m := range Methods {
+		for _, want := range c.Methods {
+			if m.Name == want {
+				out = append(out, m)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// wantDataset reports whether the dataset filter admits name.
+func (c Config) wantDataset(name string) bool {
+	if len(c.DatasetNames) == 0 {
+		return true
+	}
+	for _, want := range c.DatasetNames {
+		if want == name {
+			return true
+		}
+	}
+	return false
+}
+
+// dims returns the dimensionality sweep, preferring the explicit override.
+func (c Config) dims(def []int) []int {
+	if len(c.Dims) > 0 {
+		return c.Dims
+	}
+	return def
+}
+
+func (c Config) defaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Dim == 0 {
+		c.Dim = 128
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...interface{}) {
+	if c.Progress != nil {
+		fmt.Fprintf(c.Progress, format+"\n", args...)
+	}
+}
+
+// Runner is a registered experiment regenerating one paper table/figure.
+type Runner struct {
+	Name  string // registry id, e.g. "fig4"
+	Paper string // what it reproduces
+	Run   func(Config) ([]*Table, error)
+}
+
+var registry = map[string]Runner{}
+
+func register(r Runner) {
+	if _, dup := registry[r.Name]; dup {
+		panic("experiments: duplicate runner " + r.Name)
+	}
+	registry[r.Name] = r
+}
+
+// Find returns the runner registered under name.
+func Find(name string) (Runner, error) {
+	r, ok := registry[name]
+	if !ok {
+		return Runner{}, fmt.Errorf("experiments: unknown experiment %q (try one of %v)", name, Names())
+	}
+	return r, nil
+}
+
+// Names lists registered experiment ids in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered runner sorted by name.
+func All() []Runner {
+	out := make([]Runner, 0, len(registry))
+	for _, name := range Names() {
+		out = append(out, registry[name])
+	}
+	return out
+}

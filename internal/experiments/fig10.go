@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/nrp-embed/nrp/internal/core"
+	"github.com/nrp-embed/nrp/internal/graph"
+)
+
+func init() {
+	register(Runner{
+		Name:  "fig10",
+		Paper: "Fig 10: scalability of NRP on Erdős–Rényi graphs (time vs n, time vs m)",
+		Run:   runFig10,
+	})
+}
+
+// fig10Grid returns the node and edge sweeps. The paper fixes n = 10⁶ while
+// varying m ∈ {2,4,6,8,10}·10⁷ and fixes m = 10⁷ while varying
+// n ∈ {2,…,10}·10⁵; the harness scales both down (quick: 40×, full: 10×)
+// preserving the 5-point linear sweep shape.
+func fig10Grid(full bool) (fixedM int, ns []int, fixedN int, ms []int, dim int) {
+	if full {
+		return 1000000, []int{20000, 40000, 60000, 80000, 100000},
+			100000, []int{2000000, 4000000, 6000000, 8000000, 10000000}, 64
+	}
+	return 250000, []int{5000, 10000, 15000, 20000, 25000},
+		25000, []int{500000, 1000000, 1500000, 2000000, 2500000}, 32
+}
+
+func runFig10(cfg Config) ([]*Table, error) {
+	cfg = cfg.defaults()
+	fixedM, ns, fixedN, ms, dim := fig10Grid(cfg.Full)
+	opt := core.DefaultOptions()
+	opt.Dim = dim
+	opt.Seed = cfg.Seed
+
+	varyN := &Table{
+		Title:  fmt.Sprintf("Fig 10a: NRP time vs number of nodes (m = %d, k = %d)", fixedM, dim),
+		Header: []string{"nodes", "time", "ns/edge-equivalent"},
+	}
+	for i, n := range ns {
+		g, err := graph.GenErdosRenyi(n, fixedM, false, cfg.Seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		secs, err := timeNRP(g, opt)
+		if err != nil {
+			return nil, err
+		}
+		cfg.logf("fig10a n=%d time=%.2fs", n, secs)
+		varyN.AddRow(fmt.Sprintf("%d", n), f1s(secs), perUnit(secs, fixedM+n))
+	}
+
+	varyM := &Table{
+		Title:  fmt.Sprintf("Fig 10b: NRP time vs number of edges (n = %d, k = %d)", fixedN, dim),
+		Header: []string{"edges", "time", "ns/edge-equivalent"},
+	}
+	for i, m := range ms {
+		g, err := graph.GenErdosRenyi(fixedN, m, false, cfg.Seed+100+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		secs, err := timeNRP(g, opt)
+		if err != nil {
+			return nil, err
+		}
+		cfg.logf("fig10b m=%d time=%.2fs", m, secs)
+		varyM.AddRow(fmt.Sprintf("%d", m), f1s(secs), perUnit(secs, m+fixedN))
+	}
+	return []*Table{varyN, varyM}, nil
+}
+
+// perUnit reports normalized cost: a near-constant column demonstrates the
+// linear scaling the paper claims.
+func perUnit(secs float64, units int) string {
+	return fmt.Sprintf("%.0f", secs*1e9/float64(units))
+}
+
+// randFrom builds a seeded rand for helpers that need one.
+func randFrom(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/nrp-embed/nrp/internal/eval"
+)
+
+func init() {
+	register(Runner{
+		Name:  "fig4",
+		Paper: "Fig 4: link prediction AUC vs embedding dimensionality k",
+		Run:   runFig4,
+	})
+}
+
+// fig4Dims returns the k sweep: the paper uses {16,32,64,128,256}; the
+// quick profile stops at 128.
+func fig4Dims(full bool) []int {
+	if full {
+		return []int{16, 32, 64, 128, 256}
+	}
+	return []int{16, 32, 64, 128}
+}
+
+// fig4Datasets picks the dataset coverage per profile: quick reproduces the
+// two exactly sized graphs; full adds the scaled heavy graphs with the
+// scalable methods only.
+func fig4Datasets(full bool) []Dataset {
+	var out []Dataset
+	for _, d := range Datasets {
+		if d.Heavy && !full {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func runFig4(cfg Config) ([]*Table, error) {
+	cfg = cfg.defaults()
+	var tables []*Table
+	for _, ds := range fig4Datasets(cfg.Full) {
+		if !cfg.wantDataset(ds.Name) {
+			continue
+		}
+		g, err := ds.Gen(cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		split, err := eval.NewLinkPredSplit(g, 0.3, cfg.Seed+int64(ds.Seed))
+		if err != nil {
+			return nil, err
+		}
+		dims := cfg.dims(fig4Dims(cfg.Full))
+		t := &Table{
+			Title:  fmt.Sprintf("Fig 4 (%s, stand-in for %s): link prediction AUC vs k", ds.Name, ds.PaperName),
+			Header: append([]string{"method"}, intHeaders("k=", dims)...),
+		}
+		for _, m := range cfg.selectMethods() {
+			if m.Slow && ds.Heavy {
+				continue // the paper's timeout policy, scaled to this harness
+			}
+			row := []string{m.Name}
+			for _, dim := range dims {
+				model, err := m.TrainTimed(split.Train, dim, cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				auc, err := linkPredictionAUC(model, g.Directed, split, cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				cfg.logf("fig4 %s %s k=%d AUC=%.3f (train %.2fs)", ds.Name, m.Name, dim, auc, model.TrainTime.Seconds())
+				row = append(row, f3(auc))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func intHeaders(prefix string, xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%s%d", prefix, x)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/nrp-embed/nrp/internal/eval"
+	"github.com/nrp-embed/nrp/internal/graph"
+)
+
+func init() {
+	register(Runner{
+		Name:  "fig5",
+		Paper: "Fig 5: graph reconstruction precision@K",
+		Run:   runFig5,
+	})
+}
+
+// fig5Config mirrors the paper's protocol per dataset: the two small graphs
+// rank every node pair, larger graphs rank a sample (the paper uses 1%).
+type fig5Config struct {
+	dataset    string
+	sampleFrac float64
+	ks         []int
+}
+
+func fig5Configs(full bool) []fig5Config {
+	quick := []fig5Config{
+		{dataset: "wiki-sim", sampleFrac: 1, ks: []int{10, 100, 1000, 10000, 100000}},
+		{dataset: "blogcatalog-sim", sampleFrac: 0.2, ks: []int{10, 100, 1000, 10000, 100000}},
+	}
+	if !full {
+		return quick
+	}
+	return append(quick,
+		fig5Config{dataset: "youtube-sim", sampleFrac: 0.01, ks: []int{10, 100, 1000, 10000, 100000, 1000000}},
+		fig5Config{dataset: "tweibo-sim", sampleFrac: 0.01, ks: []int{10, 100, 1000, 10000, 100000, 1000000}},
+	)
+}
+
+func runFig5(cfg Config) ([]*Table, error) {
+	cfg = cfg.defaults()
+	var tables []*Table
+	for _, fc := range fig5Configs(cfg.Full) {
+		if !cfg.wantDataset(fc.dataset) {
+			continue
+		}
+		ds, err := FindDataset(fc.dataset)
+		if err != nil {
+			return nil, err
+		}
+		g, err := ds.Gen(cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			Title: fmt.Sprintf("Fig 5 (%s, stand-in for %s): reconstruction precision@K (pair sample %.0f%%)",
+				ds.Name, ds.PaperName, fc.sampleFrac*100),
+			Header: append([]string{"method"}, intHeaders("K=", fc.ks)...),
+		}
+		for _, m := range cfg.selectMethods() {
+			if m.Slow && ds.Heavy {
+				continue
+			}
+			model, err := m.TrainTimed(g, cfg.Dim, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			scorer, err := reconstructionScorer(model, g, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			prec, err := eval.ReconstructionPrecision(g, scorer, fc.sampleFrac, fc.ks, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{m.Name}
+			for _, p := range prec {
+				row = append(row, f3(p))
+			}
+			cfg.logf("fig5 %s %s precision=%v", ds.Name, m.Name, row[1:])
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// reconstructionScorer adapts a model to pair scoring for reconstruction.
+// Inner-product protocols score directly. Edge-features protocols (the
+// DeepWalk family, and VERSE on directed graphs) train a logistic
+// regression on a sample of true edges vs non-edges and score with the
+// classifier logit, matching the paper's "same approach as in link
+// prediction" instruction (§5.3).
+func reconstructionScorer(model *Model, g *graph.Graph, seed int64) (eval.Scorer, error) {
+	proto := model.Protocol
+	if proto == ProtoInnerOrEdgeFeatures {
+		if g.Directed {
+			proto = ProtoEdgeFeatures
+		} else {
+			proto = ProtoInner
+		}
+	}
+	if proto != ProtoEdgeFeatures {
+		return model.Scorer, nil
+	}
+	rng := rand.New(rand.NewSource(seed + 77))
+	edges := g.Edges()
+	nTrain := len(edges)
+	const maxTrain = 20000
+	if nTrain > maxTrain {
+		// Reservoir-free subsample: shuffle prefix.
+		for i := 0; i < maxTrain; i++ {
+			j := i + rng.Intn(len(edges)-i)
+			edges[i], edges[j] = edges[j], edges[i]
+		}
+		nTrain = maxTrain
+	}
+	neg, err := eval.SampleNonEdges(g, nTrain, rng)
+	if err != nil {
+		return nil, err
+	}
+	concat := func(u, v int) []float64 {
+		fu, fv := model.Features(u), model.Features(v)
+		out := make([]float64, 0, len(fu)+len(fv))
+		out = append(out, fu...)
+		return append(out, fv...)
+	}
+	x := make([][]float64, 0, 2*nTrain)
+	y := make([]int, 0, 2*nTrain)
+	for _, e := range edges[:nTrain] {
+		x = append(x, concat(int(e.U), int(e.V)))
+		y = append(y, 1)
+	}
+	for _, e := range neg {
+		x = append(x, concat(int(e.U), int(e.V)))
+		y = append(y, 0)
+	}
+	lr, err := eval.TrainLogReg(x, y, eval.LogRegConfig{Seed: seed, Epochs: 10})
+	if err != nil {
+		return nil, err
+	}
+	return eval.ScorerFunc(func(u, v int) float64 {
+		return lr.Score(concat(u, v))
+	}), nil
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/nrp-embed/nrp/internal/eval"
+)
+
+func init() {
+	register(Runner{
+		Name:  "fig6",
+		Paper: "Fig 6: node classification Micro-F1 vs training percentage",
+		Run:   runFig6,
+	})
+}
+
+func fig6Datasets(full bool) []string {
+	if full {
+		return []string{"wiki-sim", "blogcatalog-sim", "youtube-sim", "tweibo-sim"}
+	}
+	return []string{"wiki-sim", "blogcatalog-sim"}
+}
+
+func fig6Fracs(full bool) []float64 {
+	if full {
+		return []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	}
+	return []float64{0.1, 0.5, 0.9}
+}
+
+func runFig6(cfg Config) ([]*Table, error) {
+	cfg = cfg.defaults()
+	var tables []*Table
+	for _, name := range fig6Datasets(cfg.Full) {
+		if !cfg.wantDataset(name) {
+			continue
+		}
+		ds, err := FindDataset(name)
+		if err != nil {
+			return nil, err
+		}
+		g, err := ds.Gen(cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		if g.NumLabels == 0 {
+			return nil, fmt.Errorf("experiments: fig6 needs labels on %s", name)
+		}
+		fracs := fig6Fracs(cfg.Full)
+		micro := &Table{
+			Title:  fmt.Sprintf("Fig 6 (%s, stand-in for %s): Micro-F1 vs train fraction", ds.Name, ds.PaperName),
+			Header: append([]string{"method"}, fracHeaders(fracs)...),
+		}
+		macro := &Table{
+			Title:  fmt.Sprintf("Fig 6 (%s): Macro-F1 vs train fraction (paper omits for space)", ds.Name),
+			Header: append([]string{"method"}, fracHeaders(fracs)...),
+		}
+		for _, m := range cfg.selectMethods() {
+			if m.Slow && ds.Heavy {
+				continue
+			}
+			if m.Name == "ApproxPPR" {
+				// NRP and ApproxPPR have identical normalized features
+				// (§5.4); the paper plots them as one.
+				continue
+			}
+			model, err := m.TrainTimed(g, cfg.Dim, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			microRow := []string{m.Name}
+			macroRow := []string{m.Name}
+			for _, frac := range fracs {
+				res, err := eval.NodeClassification(model.Features, g.Labels, g.NumLabels, frac,
+					eval.LogRegConfig{Seed: cfg.Seed, Epochs: 12})
+				if err != nil {
+					return nil, err
+				}
+				cfg.logf("fig6 %s %s frac=%.1f micro=%.3f macro=%.3f", ds.Name, m.Name, frac, res.Micro, res.Macro)
+				microRow = append(microRow, f3(res.Micro))
+				macroRow = append(macroRow, f3(res.Macro))
+			}
+			micro.AddRow(microRow...)
+			macro.AddRow(macroRow...)
+		}
+		tables = append(tables, micro, macro)
+	}
+	return tables, nil
+}
+
+func fracHeaders(fracs []float64) []string {
+	out := make([]string, len(fracs))
+	for i, f := range fracs {
+		out[i] = fmt.Sprintf("%.0f%%", f*100)
+	}
+	return out
+}

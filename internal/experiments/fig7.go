@@ -1,0 +1,47 @@
+package experiments
+
+import "fmt"
+
+func init() {
+	register(Runner{
+		Name:  "fig7",
+		Paper: "Fig 7: embedding construction time vs k (single thread)",
+		Run:   runFig7,
+	})
+}
+
+func runFig7(cfg Config) ([]*Table, error) {
+	cfg = cfg.defaults()
+	var tables []*Table
+	for _, ds := range fig4Datasets(cfg.Full) {
+		if !cfg.wantDataset(ds.Name) {
+			continue
+		}
+		g, err := ds.Gen(cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		dims := cfg.dims(fig4Dims(cfg.Full))
+		t := &Table{
+			Title:  fmt.Sprintf("Fig 7 (%s, stand-in for %s): construction time vs k", ds.Name, ds.PaperName),
+			Header: append([]string{"method"}, intHeaders("k=", dims)...),
+		}
+		for _, m := range cfg.selectMethods() {
+			if m.Slow && ds.Heavy {
+				continue
+			}
+			row := []string{m.Name}
+			for _, dim := range dims {
+				model, err := m.TrainTimed(g, dim, cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				cfg.logf("fig7 %s %s k=%d time=%.2fs", ds.Name, m.Name, dim, model.TrainTime.Seconds())
+				row = append(row, f1s(model.TrainTime.Seconds()))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/nrp-embed/nrp/internal/core"
+	"github.com/nrp-embed/nrp/internal/eval"
+	"github.com/nrp-embed/nrp/internal/graph"
+)
+
+func init() {
+	register(Runner{
+		Name:  "fig8",
+		Paper: "Fig 8: link prediction AUC vs NRP parameters α, ε, ℓ1, ℓ2",
+		Run:   runFig8,
+	})
+	register(Runner{
+		Name:  "fig11",
+		Paper: "Fig 11: running time vs NRP parameters α, ε, ℓ1, ℓ2",
+		Run:   runFig11,
+	})
+}
+
+// paramSweep defines one panel of Figs 8 and 11.
+type paramSweep struct {
+	name   string
+	values []float64
+	apply  func(*core.Options, float64)
+}
+
+func sweeps(full bool) []paramSweep {
+	alpha := []float64{0.1, 0.15, 0.3, 0.5, 0.7, 0.9}
+	eps := []float64{0.1, 0.2, 0.4, 0.8}
+	l1 := []float64{1, 2, 5, 10, 20, 40}
+	l2 := []float64{0, 1, 2, 5, 10, 20}
+	if full {
+		eps = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+		l1 = []float64{1, 2, 5, 10, 15, 20, 30, 40}
+		l2 = []float64{0, 1, 2, 5, 10, 15, 20, 30}
+	}
+	return []paramSweep{
+		{"alpha", alpha, func(o *core.Options, v float64) { o.Alpha = v }},
+		{"epsilon", eps, func(o *core.Options, v float64) { o.Epsilon = v }},
+		{"l1", l1, func(o *core.Options, v float64) { o.L1 = int(v) }},
+		{"l2", l2, func(o *core.Options, v float64) { o.L2 = int(v) }},
+	}
+}
+
+func fig8Datasets(full bool) []string {
+	if full {
+		return []string{"wiki-sim", "blogcatalog-sim", "youtube-sim"}
+	}
+	return []string{"wiki-sim"}
+}
+
+func runFig8(cfg Config) ([]*Table, error) {
+	cfg = cfg.defaults()
+	var tables []*Table
+	for _, name := range fig8Datasets(cfg.Full) {
+		if !cfg.wantDataset(name) {
+			continue
+		}
+		ds, err := FindDataset(name)
+		if err != nil {
+			return nil, err
+		}
+		g, err := ds.Gen(cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		split, err := eval.NewLinkPredSplit(g, 0.3, cfg.Seed+ds.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, sw := range sweeps(cfg.Full) {
+			t := &Table{
+				Title:  fmt.Sprintf("Fig 8 (%s): AUC vs %s", ds.Name, sw.name),
+				Header: []string{sw.name, "AUC"},
+			}
+			for _, v := range sw.values {
+				opt := core.DefaultOptions()
+				opt.Dim = cfg.Dim
+				opt.Seed = cfg.Seed
+				sw.apply(&opt, v)
+				emb, err := core.NRP(split.Train, opt)
+				if err != nil {
+					return nil, err
+				}
+				auc, err := eval.LinkPredictionAUC(emb, split)
+				if err != nil {
+					return nil, err
+				}
+				cfg.logf("fig8 %s %s=%v AUC=%.3f", ds.Name, sw.name, v, auc)
+				t.AddRow(trimFloat(v), f3(auc))
+			}
+			tables = append(tables, t)
+		}
+	}
+	return tables, nil
+}
+
+func runFig11(cfg Config) ([]*Table, error) {
+	cfg = cfg.defaults()
+	var tables []*Table
+	datasets := []string{"wiki-sim"}
+	if cfg.Full {
+		datasets = []string{"wiki-sim", "blogcatalog-sim", "youtube-sim", "tweibo-sim"}
+	}
+	for _, name := range datasets {
+		if !cfg.wantDataset(name) {
+			continue
+		}
+		ds, err := FindDataset(name)
+		if err != nil {
+			return nil, err
+		}
+		g, err := ds.Gen(cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		for _, sw := range sweeps(cfg.Full) {
+			t := &Table{
+				Title:  fmt.Sprintf("Fig 11 (%s): NRP running time vs %s", ds.Name, sw.name),
+				Header: []string{sw.name, "time"},
+			}
+			for _, v := range sw.values {
+				opt := core.DefaultOptions()
+				opt.Dim = cfg.Dim
+				opt.Seed = cfg.Seed
+				sw.apply(&opt, v)
+				secs, err := timeNRP(g, opt)
+				if err != nil {
+					return nil, err
+				}
+				cfg.logf("fig11 %s %s=%v time=%.2fs", ds.Name, sw.name, v, secs)
+				t.AddRow(trimFloat(v), f1s(secs))
+			}
+			tables = append(tables, t)
+		}
+	}
+	return tables, nil
+}
+
+func timeNRP(g *graph.Graph, opt core.Options) (float64, error) {
+	start := time.Now()
+	if _, err := core.NRP(g, opt); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+func trimFloat(v float64) string {
+	if v == float64(int(v)) {
+		return fmt.Sprintf("%d", int(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/nrp-embed/nrp/internal/eval"
+	"github.com/nrp-embed/nrp/internal/graph"
+)
+
+func init() {
+	register(Runner{
+		Name:  "fig9",
+		Paper: "Fig 9: link prediction on evolving graphs (train on E_old, predict E_new)",
+		Run:   runFig9,
+	})
+}
+
+func runFig9(cfg Config) ([]*Table, error) {
+	cfg = cfg.defaults()
+	var tables []*Table
+	for _, ds := range EvolvingDatasets {
+		if !cfg.wantDataset(ds.Name) {
+			continue
+		}
+		old, newEdges, err := ds.Gen(cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		// Test set: the real future edges plus an equal number of pairs
+		// absent from both snapshots.
+		neg, err := sampleEvolvingNegatives(old, newEdges, cfg.Seed+ds.Seed)
+		if err != nil {
+			return nil, err
+		}
+		split := &eval.LinkPredSplit{Train: old, Pos: newEdges, Neg: neg}
+		t := &Table{
+			Title:  fmt.Sprintf("Fig 9 (%s, stand-in for %s): AUC predicting real new links", ds.Name, ds.PaperName),
+			Header: []string{"method", "AUC"},
+		}
+		slowOK := !cfg.Full && old.N <= 10000 || cfg.Full
+		for _, m := range cfg.selectMethods() {
+			if m.Slow && !slowOK {
+				continue
+			}
+			model, err := m.TrainTimed(old, cfg.Dim, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			auc, err := linkPredictionAUC(model, old.Directed, split, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			cfg.logf("fig9 %s %s AUC=%.3f", ds.Name, m.Name, auc)
+			t.AddRow(m.Name, f3(auc))
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// sampleEvolvingNegatives samples pairs that are edges in neither the old
+// snapshot nor the new batch.
+func sampleEvolvingNegatives(old *graph.Graph, newEdges []graph.Edge, seed int64) ([]graph.Edge, error) {
+	inNew := make(map[int64]bool, len(newEdges))
+	key := func(u, v int32) int64 {
+		a, b := u, v
+		if !old.Directed && a > b {
+			a, b = b, a
+		}
+		return int64(a)*int64(old.N) + int64(b)
+	}
+	for _, e := range newEdges {
+		inNew[key(e.U, e.V)] = true
+	}
+	rng := randFrom(seed + 31)
+	want := len(newEdges)
+	seen := make(map[int64]bool, want)
+	out := make([]graph.Edge, 0, want)
+	maxAttempts := 200*want + 10000
+	for attempts := 0; len(out) < want; attempts++ {
+		if attempts > maxAttempts {
+			return nil, fmt.Errorf("experiments: fig9 negative sampling exhausted (%d of %d)", len(out), want)
+		}
+		u := int32(rng.Intn(old.N))
+		v := int32(rng.Intn(old.N))
+		if u == v || old.HasEdge(int(u), int(v)) {
+			continue
+		}
+		k := key(u, v)
+		if inNew[k] || seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, graph.Edge{U: u, V: v})
+	}
+	return out, nil
+}

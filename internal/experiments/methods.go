@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/nrp-embed/nrp/internal/baselines"
+	"github.com/nrp-embed/nrp/internal/core"
+	"github.com/nrp-embed/nrp/internal/eval"
+	"github.com/nrp-embed/nrp/internal/graph"
+)
+
+// ScoreProtocol selects how a method's embeddings score a node pair for
+// link prediction and reconstruction, following §5.2 of the paper.
+type ScoreProtocol int
+
+const (
+	// ProtoDual scores with forward·backward inner products (NRP,
+	// ApproxPPR, APP, STRAP, AROPE).
+	ProtoDual ScoreProtocol = iota
+	// ProtoInner scores with plain inner products (RandNE, Spectral).
+	ProtoInner
+	// ProtoInnerOrEdgeFeatures uses inner products on undirected graphs
+	// and the edge-features classifier on directed ones (VERSE, which has
+	// a single vector per node and cannot express direction).
+	ProtoInnerOrEdgeFeatures
+	// ProtoEdgeFeatures always trains the edge-features classifier
+	// (DeepWalk, node2vec, LINE).
+	ProtoEdgeFeatures
+)
+
+// Model is a trained embedding with the evaluation hooks the harness needs.
+type Model struct {
+	Scorer    eval.Scorer
+	Features  func(int) []float64
+	Protocol  ScoreProtocol
+	TrainTime time.Duration
+}
+
+// Method is a registered embedding method.
+type Method struct {
+	Name string
+	// Slow marks SGD-trained methods excluded from Heavy datasets — the
+	// analog of the paper's 7-day timeout policy at this harness's scale.
+	Slow bool
+	// UndirectedOnly marks methods that ignore edge direction (fed the
+	// symmetrized graph, as the paper does for AROPE, RandNE, …).
+	UndirectedOnly bool
+	Protocol       ScoreProtocol
+	Train          func(g *graph.Graph, dim int, seed int64) (*Model, error)
+}
+
+func dualModel(emb *core.Embedding, proto ScoreProtocol) *Model {
+	return &Model{Scorer: emb, Features: emb.Features, Protocol: proto}
+}
+
+func vecModel(emb *baselines.VectorEmbedding, proto ScoreProtocol) *Model {
+	return &Model{Scorer: emb, Features: emb.Features, Protocol: proto}
+}
+
+// nrpOptions holds the paper's defaults with the dimensionality overridden.
+func nrpOptions(dim int, seed int64) core.Options {
+	opt := core.DefaultOptions()
+	opt.Dim = dim
+	opt.Seed = seed
+	return opt
+}
+
+// Methods lists every implemented method in the order the paper's figures
+// use. The SGD sample budgets are the "quick" profile; cmd/nrpexp -full
+// raises them.
+var Methods = []Method{
+	{
+		Name: "NRP", Protocol: ProtoDual,
+		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+			emb, err := core.NRP(g, nrpOptions(dim, seed))
+			if err != nil {
+				return nil, err
+			}
+			return dualModel(emb, ProtoDual), nil
+		},
+	},
+	{
+		Name: "ApproxPPR", Protocol: ProtoDual,
+		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+			emb, err := core.ApproxPPR(g, nrpOptions(dim, seed))
+			if err != nil {
+				return nil, err
+			}
+			return dualModel(emb, ProtoDual), nil
+		},
+	},
+	{
+		Name: "STRAP", Protocol: ProtoDual,
+		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+			// δ = 1e-5 as in the paper; on the harness's graph sizes this
+			// is effectively exact push.
+			emb, err := baselines.STRAP(g, baselines.STRAPConfig{Dim: dim, Delta: 1e-5, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			return dualModel(emb, ProtoDual), nil
+		},
+	},
+	{
+		Name: "AROPE", UndirectedOnly: true, Protocol: ProtoDual,
+		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+			emb, err := baselines.AROPE(g, baselines.AROPEConfig{Dim: dim, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			return dualModel(emb, ProtoDual), nil
+		},
+	},
+	{
+		Name: "RandNE", UndirectedOnly: true, Protocol: ProtoInner,
+		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+			emb, err := baselines.RandNE(g, baselines.RandNEConfig{Dim: dim, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			return vecModel(emb, ProtoInner), nil
+		},
+	},
+	{
+		Name: "Spectral", UndirectedOnly: true, Protocol: ProtoInner,
+		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+			emb, err := baselines.Spectral(g, baselines.SpectralConfig{Dim: dim, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			return vecModel(emb, ProtoInner), nil
+		},
+	},
+	{
+		Name: "VERSE", Slow: true, Protocol: ProtoInnerOrEdgeFeatures,
+		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+			emb, err := baselines.VERSE(g, baselines.VERSEConfig{Dim: dim, Samples: 60, Epochs: 6, LearnRate: 0.05, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			return vecModel(emb, ProtoInnerOrEdgeFeatures), nil
+		},
+	},
+	{
+		Name: "APP", Slow: true, Protocol: ProtoDual,
+		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+			emb, err := baselines.APP(g, baselines.APPConfig{Dim: dim, Samples: 100, Epochs: 8, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			return dualModel(emb, ProtoDual), nil
+		},
+	},
+	{
+		Name: "DeepWalk", Slow: true, Protocol: ProtoEdgeFeatures,
+		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+			emb, err := baselines.DeepWalk(g, baselines.WalkConfig{Dim: dim, Walks: 5, WalkLen: 20, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			return vecModel(emb, ProtoEdgeFeatures), nil
+		},
+	},
+	{
+		Name: "node2vec", Slow: true, Protocol: ProtoEdgeFeatures,
+		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+			emb, err := baselines.Node2Vec(g, baselines.WalkConfig{Dim: dim, Walks: 5, WalkLen: 20, P: 0.5, Q: 2, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			return vecModel(emb, ProtoEdgeFeatures), nil
+		},
+	},
+	{
+		Name: "LINE", Slow: true, Protocol: ProtoEdgeFeatures,
+		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+			emb, err := baselines.LINE(g, baselines.LINEConfig{Dim: dim, Order: 2, Samples: 30, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			return vecModel(emb, ProtoEdgeFeatures), nil
+		},
+	},
+	{
+		Name: "ProNE", UndirectedOnly: true, Protocol: ProtoInner,
+		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+			emb, err := baselines.ProNE(g, baselines.ProNEConfig{Dim: dim, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			return vecModel(emb, ProtoInner), nil
+		},
+	},
+	{
+		Name: "Walklets", Slow: true, Protocol: ProtoEdgeFeatures,
+		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+			emb, err := baselines.Walklets(g, baselines.WalkletsConfig{Dim: dim, Scales: 2, Walks: 5, WalkLen: 20, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			return vecModel(emb, ProtoEdgeFeatures), nil
+		},
+	},
+}
+
+// FindMethod returns the registered method with the given name.
+func FindMethod(name string) (Method, error) {
+	for _, m := range Methods {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Method{}, fmt.Errorf("experiments: unknown method %q", name)
+}
+
+// TrainTimed trains the method and records wall-clock construction time
+// (excluding dataset generation, matching the paper's measurement).
+func (m Method) TrainTimed(g *graph.Graph, dim int, seed int64) (*Model, error) {
+	start := time.Now()
+	model, err := m.Train(g, dim, seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training %s: %w", m.Name, err)
+	}
+	model.TrainTime = time.Since(start)
+	return model, nil
+}
+
+// linkPredictionAUC applies the method's scoring protocol to a split.
+func linkPredictionAUC(model *Model, directed bool, split *eval.LinkPredSplit, seed int64) (float64, error) {
+	proto := model.Protocol
+	if proto == ProtoInnerOrEdgeFeatures {
+		if directed {
+			proto = ProtoEdgeFeatures
+		} else {
+			proto = ProtoInner
+		}
+	}
+	switch proto {
+	case ProtoEdgeFeatures:
+		return eval.EdgeFeatureLinkPredictionAUC(model.Features, split, eval.LogRegConfig{Seed: seed, Epochs: 10})
+	default:
+		return eval.LinkPredictionAUC(model.Scorer, split)
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import "fmt"
+
+func init() {
+	register(Runner{
+		Name:  "table3",
+		Paper: "Table 3: dataset statistics (synthetic stand-ins vs paper originals)",
+		Run:   runTable3,
+	})
+	register(Runner{
+		Name:  "table4",
+		Paper: "Table 4: evolving dataset statistics (VK, Digg stand-ins)",
+		Run:   runTable4,
+	})
+}
+
+func runTable3(cfg Config) ([]*Table, error) {
+	cfg = cfg.defaults()
+	t := &Table{
+		Title:  "Table 3: dataset statistics (stand-in | paper original)",
+		Header: []string{"name", "|V|", "|E|", "type", "#labels", "max outdeg", "paper |V|", "paper |E|"},
+	}
+	for _, d := range Datasets {
+		cfg.logf("table3: generating %s", d.Name)
+		g, err := d.Gen(cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		s := g.Stats()
+		kind := "undirected"
+		if s.Directed {
+			kind = "directed"
+		}
+		t.AddRow(d.Name,
+			fmt.Sprintf("%d", s.Nodes), fmt.Sprintf("%d", s.Edges),
+			kind, fmt.Sprintf("%d", s.NumLabels), fmt.Sprintf("%d", s.MaxOutDeg),
+			d.PaperN, d.PaperM)
+	}
+	return []*Table{t}, nil
+}
+
+func runTable4(cfg Config) ([]*Table, error) {
+	cfg = cfg.defaults()
+	t := &Table{
+		Title:  "Table 4: evolving dataset statistics (stand-in | paper original)",
+		Header: []string{"name", "|V|", "|Eold|", "|Enew|", "type", "paper |V|", "paper |Eold|", "paper |Enew|"},
+	}
+	for _, d := range EvolvingDatasets {
+		cfg.logf("table4: generating %s", d.Name)
+		old, newEdges, err := d.Gen(cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		kind := "undirected"
+		if old.Directed {
+			kind = "directed"
+		}
+		t.AddRow(d.Name,
+			fmt.Sprintf("%d", old.N), fmt.Sprintf("%d", old.NumEdges), fmt.Sprintf("%d", len(newEdges)),
+			kind, d.PaperN, d.PaperMOld, d.PaperMNew)
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// EvolvingConfig parameterizes the evolving-graph generator standing in for
+// the paper's VK/Digg snapshots (Table 4, Fig 9): a base graph E_old plus a
+// batch of future edges E_new. New edges are drawn predominantly by triadic
+// closure (an open two-path is closed), the growth mechanism behind the
+// paper's "mutual friends predict future links" intuition, mixed with a
+// fraction of uniformly random links as noise.
+type EvolvingConfig struct {
+	Base        SBMConfig // parameters of the E_old snapshot
+	MNew        int       // number of future edges to generate
+	ClosureFrac float64   // fraction of new edges from triadic closure (default 0.8)
+	Seed        int64
+}
+
+// GenEvolving returns the old snapshot and the list of genuinely new edges
+// (absent from the snapshot, deduplicated).
+func GenEvolving(cfg EvolvingConfig) (old *Graph, newEdges []Edge, err error) {
+	if cfg.ClosureFrac == 0 {
+		cfg.ClosureFrac = 0.8
+	}
+	old, err = GenSBM(cfg.Base)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	n := old.N
+
+	exists := func(u, v int32) bool { return old.HasEdge(int(u), int(v)) }
+	seen := make(map[int64]struct{}, cfg.MNew)
+	key := func(u, v int32) int64 {
+		a, b := u, v
+		if !old.Directed && a > b {
+			a, b = b, a
+		}
+		return int64(a)*int64(n) + int64(b)
+	}
+
+	// Degree-weighted start node sampling: walk to a node via a random arc
+	// so hubs grow faster (preferential attachment flavour).
+	arcs := old.Adj
+	totalArcs := arcs.NNZ()
+	if totalArcs == 0 {
+		return nil, nil, fmt.Errorf("graph: GenEvolving needs a non-empty base graph")
+	}
+	randomArcTail := func() int32 {
+		p := rng.Intn(totalArcs)
+		// Binary search the row containing arc index p.
+		lo, hi := 0, n
+		for lo < hi-1 {
+			mid := (lo + hi) / 2
+			if arcs.RowPtr[mid] <= p {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return int32(lo)
+	}
+
+	maxAttempts := 200*cfg.MNew + 10000
+	for attempts := 0; len(newEdges) < cfg.MNew; attempts++ {
+		if attempts > maxAttempts {
+			return nil, nil, fmt.Errorf("graph: GenEvolving placed only %d of %d new edges", len(newEdges), cfg.MNew)
+		}
+		var u, w int32
+		if rng.Float64() < cfg.ClosureFrac {
+			// Triadic closure: u -> v -> w becomes u -> w.
+			u = randomArcTail()
+			nbrs := old.OutNeighbors(int(u))
+			if len(nbrs) == 0 {
+				continue
+			}
+			v := nbrs[rng.Intn(len(nbrs))]
+			nbrs2 := old.OutNeighbors(int(v))
+			if len(nbrs2) == 0 {
+				continue
+			}
+			w = nbrs2[rng.Intn(len(nbrs2))]
+		} else {
+			u = int32(rng.Intn(n))
+			w = int32(rng.Intn(n))
+		}
+		if u == w || exists(u, w) {
+			continue
+		}
+		k := key(u, w)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		newEdges = append(newEdges, Edge{U: u, V: w})
+	}
+	return old, newEdges, nil
+}

@@ -1,0 +1,219 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenErdosRenyiExactCounts(t *testing.T) {
+	g, err := GenErdosRenyi(100, 300, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 100 || g.NumEdges != 300 {
+		t.Fatalf("n=%d m=%d", g.N, g.NumEdges)
+	}
+	gd, err := GenErdosRenyi(50, 200, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gd.NumEdges != 200 || gd.Arcs() != 200 {
+		t.Fatalf("directed: m=%d arcs=%d", gd.NumEdges, gd.Arcs())
+	}
+}
+
+func TestGenErdosRenyiDeterministicPerSeed(t *testing.T) {
+	a, _ := GenErdosRenyi(40, 100, false, 7)
+	b, _ := GenErdosRenyi(40, 100, false, 7)
+	if a.Adj.ToDense().MaxAbsDiff(b.Adj.ToDense()) != 0 {
+		t.Fatal("same seed produced different graphs")
+	}
+	c, _ := GenErdosRenyi(40, 100, false, 8)
+	if a.Adj.ToDense().MaxAbsDiff(c.Adj.ToDense()) == 0 {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestGenErdosRenyiRejectsImpossible(t *testing.T) {
+	if _, err := GenErdosRenyi(3, 100, false, 1); err == nil {
+		t.Fatal("impossible edge count accepted")
+	}
+	if _, err := GenErdosRenyi(1, 0, false, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}
+
+// Property: generated ER graphs have no self-loops or duplicates and the
+// requested counts, across random sizes.
+func TestGenErdosRenyiProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 10 + int(seed%50+50)%50
+		m := n
+		g, err := GenErdosRenyi(n, m, seed%2 == 0, seed)
+		if err != nil {
+			return false
+		}
+		if g.NumEdges != m {
+			return false
+		}
+		for v := 0; v < g.N; v++ {
+			if g.HasEdge(v, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenSBMBasics(t *testing.T) {
+	g, err := GenSBM(SBMConfig{N: 500, M: 2000, Communities: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 500 || g.NumEdges != 2000 {
+		t.Fatalf("n=%d m=%d", g.N, g.NumEdges)
+	}
+	if g.NumLabels != 5 || len(g.Labels) != 500 {
+		t.Fatalf("labels missing: %d classes", g.NumLabels)
+	}
+	for v, ls := range g.Labels {
+		if len(ls) == 0 {
+			t.Fatalf("node %d unlabeled", v)
+		}
+	}
+}
+
+func TestGenSBMCommunityStructure(t *testing.T) {
+	g, err := GenSBM(SBMConfig{N: 400, M: 3000, Communities: 4, IntraFrac: 0.9, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra := 0
+	for _, e := range g.Edges() {
+		if g.Labels[e.U][0] == g.Labels[e.V][0] {
+			intra++
+		}
+	}
+	frac := float64(intra) / float64(g.NumEdges)
+	if frac < 0.7 {
+		t.Fatalf("intra-community fraction too low: %v", frac)
+	}
+}
+
+func TestGenSBMDegreeSkew(t *testing.T) {
+	g, err := GenSBM(SBMConfig{N: 1000, M: 5000, Communities: 8, Skew: 0.7, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg, sumDeg := 0, 0
+	for v := 0; v < g.N; v++ {
+		d := g.OutDeg(v)
+		sumDeg += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(sumDeg) / float64(g.N)
+	if float64(maxDeg) < 5*avg {
+		t.Fatalf("degrees not skewed: max=%d avg=%v", maxDeg, avg)
+	}
+}
+
+func TestGenSBMDirected(t *testing.T) {
+	g, err := GenSBM(SBMConfig{N: 300, M: 1500, Communities: 6, Directed: true, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Directed || g.Arcs() != 1500 {
+		t.Fatalf("directed SBM wrong: arcs=%d", g.Arcs())
+	}
+}
+
+func TestGenSBMRejectsBadConfig(t *testing.T) {
+	if _, err := GenSBM(SBMConfig{N: 1, M: 0}); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := GenSBM(SBMConfig{N: 5, M: 1, Communities: 10}); err == nil {
+		t.Fatal("more communities than nodes accepted")
+	}
+	if _, err := GenSBM(SBMConfig{N: 4, M: 1000, Communities: 2, Seed: 1}); err == nil {
+		t.Fatal("too-dense config accepted")
+	}
+}
+
+func TestGenEvolving(t *testing.T) {
+	old, newEdges, err := GenEvolving(EvolvingConfig{
+		Base: SBMConfig{N: 400, M: 2500, Communities: 5, Seed: 10},
+		MNew: 600,
+		Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.NumEdges != 2500 || len(newEdges) != 600 {
+		t.Fatalf("old=%d new=%d", old.NumEdges, len(newEdges))
+	}
+	seen := map[[2]int32]bool{}
+	for _, e := range newEdges {
+		if old.HasEdge(int(e.U), int(e.V)) {
+			t.Fatalf("new edge (%d,%d) already in old graph", e.U, e.V)
+		}
+		if e.U == e.V {
+			t.Fatal("self loop in new edges")
+		}
+		k := [2]int32{e.U, e.V}
+		if !old.Directed && e.U > e.V {
+			k = [2]int32{e.V, e.U}
+		}
+		if seen[k] {
+			t.Fatalf("duplicate new edge (%d,%d)", e.U, e.V)
+		}
+		seen[k] = true
+	}
+}
+
+// New edges from triadic closure should connect node pairs with common
+// neighbors far more often than uniformly random pairs would.
+func TestGenEvolvingClosureBias(t *testing.T) {
+	old, newEdges, err := GenEvolving(EvolvingConfig{
+		Base:        SBMConfig{N: 500, M: 3000, Communities: 5, Seed: 12},
+		MNew:        500,
+		ClosureFrac: 1.0,
+		Seed:        13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCommon := 0
+	for _, e := range newEdges {
+		nu := old.OutNeighbors(int(e.U))
+		set := map[int32]bool{}
+		for _, x := range nu {
+			set[x] = true
+		}
+		for _, x := range old.InNeighbors(int(e.V)) {
+			if set[x] {
+				withCommon++
+				break
+			}
+		}
+	}
+	if frac := float64(withCommon) / float64(len(newEdges)); frac < 0.95 {
+		t.Fatalf("closure edges without common neighbor: frac with common = %v", frac)
+	}
+}
+
+func TestGenSBMDeterminism(t *testing.T) {
+	a, _ := GenSBM(SBMConfig{N: 200, M: 800, Communities: 4, Seed: 42})
+	b, _ := GenSBM(SBMConfig{N: 200, M: 800, Communities: 4, Seed: 42})
+	if a.Adj.ToDense().MaxAbsDiff(b.Adj.ToDense()) != 0 {
+		t.Fatal("SBM not deterministic per seed")
+	}
+	if math.Abs(float64(a.NumLabels-b.NumLabels)) != 0 {
+		t.Fatal("labels not deterministic")
+	}
+}

@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list ("u v" per line;
+// '#' and '%' start comments) and returns the graph. Node ids must be
+// non-negative integers; the node count is max id + 1 unless minNodes is
+// larger.
+func ReadEdgeList(r io.Reader, directed bool, minNodes int) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	maxID := int32(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'u v', got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative node id", lineNo)
+		}
+		edges = append(edges, Edge{U: int32(u), V: int32(v)})
+		if int32(u) > maxID {
+			maxID = int32(u)
+		}
+		if int32(v) > maxID {
+			maxID = int32(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	n := int(maxID) + 1
+	if n < minNodes {
+		n = minNodes
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("graph: empty edge list and no minimum node count")
+	}
+	return New(n, edges, directed)
+}
+
+// WriteEdgeList writes the graph in the format accepted by ReadEdgeList.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes=%d edges=%d directed=%v\n", g.N, g.NumEdges, g.Directed); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLabels parses "node label1 label2 ..." lines into a per-node label
+// table for n nodes. Nodes not mentioned get no labels.
+func ReadLabels(r io.Reader, n int) (labels [][]int32, numLabels int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	labels = make([][]int32, n)
+	maxLabel := int32(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: labels line %d: %v", lineNo, err)
+		}
+		if v < 0 || int(v) >= n {
+			return nil, 0, fmt.Errorf("graph: labels line %d: node %d outside [0,%d)", lineNo, v, n)
+		}
+		for _, f := range fields[1:] {
+			l, err := strconv.ParseInt(f, 10, 32)
+			if err != nil {
+				return nil, 0, fmt.Errorf("graph: labels line %d: %v", lineNo, err)
+			}
+			labels[v] = append(labels[v], int32(l))
+			if int32(l) > maxLabel {
+				maxLabel = int32(l)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("graph: reading labels: %w", err)
+	}
+	return labels, int(maxLabel) + 1, nil
+}
+
+// WriteLabels writes per-node labels in the format accepted by ReadLabels,
+// skipping unlabeled nodes.
+func WriteLabels(w io.Writer, labels [][]int32) error {
+	bw := bufio.NewWriter(w)
+	for v, ls := range labels {
+		if len(ls) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%d", v); err != nil {
+			return err
+		}
+		for _, l := range ls {
+			if _, err := fmt.Fprintf(bw, " %d", l); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

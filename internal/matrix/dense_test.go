@@ -1,0 +1,246 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewDenseZeroed(t *testing.T) {
+	m := NewDense(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %dx%d len=%d", m.Rows, m.Cols, len(m.Data))
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("not zeroed: %v", m.Data)
+		}
+	}
+}
+
+func TestNewDenseFromRows(t *testing.T) {
+	m := NewDenseFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("bad shape %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(1, 0) != 3 || m.At(2, 1) != 6 {
+		t.Fatalf("bad content: %v", m.Data)
+	}
+}
+
+func TestNewDenseFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	NewDenseFromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(1, 2, 7.5)
+	if m.At(1, 2) != 7.5 {
+		t.Fatalf("At/Set mismatch")
+	}
+	row := m.Row(1)
+	row[0] = -1 // Row aliases storage
+	if m.At(1, 0) != -1 {
+		t.Fatalf("Row must alias storage")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewDenseFromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatalf("Clone must not alias original")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := GaussianDense(5, 3, rng)
+	tt := m.T().T()
+	if m.MaxAbsDiff(tt) != 0 {
+		t.Fatalf("transpose twice should be identity")
+	}
+}
+
+func TestMulAgainstHandComputed(t *testing.T) {
+	a := NewDenseFromRows([][]float64{{1, 2}, {3, 4}})
+	b := NewDenseFromRows([][]float64{{5, 6}, {7, 8}})
+	got := Mul(a, b)
+	want := NewDenseFromRows([][]float64{{19, 22}, {43, 50}})
+	if got.MaxAbsDiff(want) > 1e-12 {
+		t.Fatalf("Mul mismatch: %v", got.Data)
+	}
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mul(NewDense(2, 3), NewDense(2, 3))
+}
+
+func TestMulABtEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := GaussianDense(4, 6, rng)
+	b := GaussianDense(5, 6, rng)
+	got := MulABt(a, b)
+	want := Mul(a, b.T())
+	if got.MaxAbsDiff(want) > 1e-12 {
+		t.Fatalf("MulABt != Mul(a, bT), diff=%v", got.MaxAbsDiff(want))
+	}
+}
+
+func TestMulAtBEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := GaussianDense(6, 4, rng)
+	b := GaussianDense(6, 5, rng)
+	got := MulAtB(a, b)
+	want := Mul(a.T(), b)
+	if got.MaxAbsDiff(want) > 1e-12 {
+		t.Fatalf("MulAtB != Mul(aT, b), diff=%v", got.MaxAbsDiff(want))
+	}
+}
+
+func TestIdentityMulIsNoOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := GaussianDense(4, 4, rng)
+	if Mul(Identity(4), a).MaxAbsDiff(a) > 1e-14 {
+		t.Fatal("I*a != a")
+	}
+	if Mul(a, Identity(4)).MaxAbsDiff(a) > 1e-14 {
+		t.Fatal("a*I != a")
+	}
+}
+
+func TestDiag(t *testing.T) {
+	d := Diag([]float64{1, 2, 3})
+	if d.At(0, 0) != 1 || d.At(1, 1) != 2 || d.At(2, 2) != 3 || d.At(0, 1) != 0 {
+		t.Fatalf("bad diag: %v", d.Data)
+	}
+}
+
+func TestScaleAndScaleRow(t *testing.T) {
+	m := NewDenseFromRows([][]float64{{1, 2}, {3, 4}})
+	m.Scale(2)
+	if m.At(1, 1) != 8 {
+		t.Fatalf("Scale failed: %v", m.Data)
+	}
+	m.ScaleRow(0, 10)
+	if m.At(0, 0) != 20 || m.At(1, 0) != 6 {
+		t.Fatalf("ScaleRow failed: %v", m.Data)
+	}
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := GaussianDense(3, 3, rng)
+	b := GaussianDense(3, 3, rng)
+	c := a.Clone()
+	c.AddInPlace(b)
+	back := c.Sub(b)
+	if back.MaxAbsDiff(a) > 1e-12 {
+		t.Fatalf("(a+b)-b != a")
+	}
+}
+
+func TestDotAxpyNorm(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if Dot(x, y) != 32 {
+		t.Fatalf("Dot=%v", Dot(x, y))
+	}
+	Axpy(2, x, y)
+	if y[0] != 6 || y[2] != 12 {
+		t.Fatalf("Axpy result %v", y)
+	}
+	if !almostEqual(Norm2([]float64{3, 4}), 5, 1e-15) {
+		t.Fatal("Norm2 failed")
+	}
+}
+
+func TestNormalizeRow(t *testing.T) {
+	v := []float64{3, 4}
+	n := NormalizeRow(v)
+	if !almostEqual(n, 5, 1e-15) || !almostEqual(Norm2(v), 1, 1e-15) {
+		t.Fatalf("NormalizeRow: n=%v v=%v", n, v)
+	}
+	z := []float64{0, 0}
+	if NormalizeRow(z) != 0 || z[0] != 0 {
+		t.Fatal("zero vector must be unchanged")
+	}
+}
+
+// Property: matrix multiplication distributes over vector addition,
+// (A·(x+y)) == A·x + A·y, exercised through small random instances.
+func TestMulDistributiveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		c := 2 + r.Intn(6)
+		a := GaussianDense(n, c, r)
+		x := GaussianDense(c, 1, r)
+		y := GaussianDense(c, 1, r)
+		xy := x.Clone()
+		xy.AddInPlace(y)
+		lhs := Mul(a, xy)
+		rhs := Mul(a, x)
+		rhs.AddInPlace(Mul(a, y))
+		return lhs.MaxAbsDiff(rhs) < 1e-10
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ.
+func TestMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5)
+		a := GaussianDense(m, k, r)
+		b := GaussianDense(k, n, r)
+		lhs := Mul(a, b).T()
+		rhs := Mul(b.T(), a.T())
+		return lhs.MaxAbsDiff(rhs) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := NewDenseFromRows([][]float64{{3, 0}, {0, 4}})
+	if !almostEqual(m.FrobeniusNorm(), 5, 1e-14) {
+		t.Fatalf("frobenius = %v", m.FrobeniusNorm())
+	}
+}
+
+func TestGaussianDenseMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := GaussianDense(200, 200, rng)
+	mean, varSum := 0.0, 0.0
+	for _, v := range m.Data {
+		mean += v
+	}
+	mean /= float64(len(m.Data))
+	for _, v := range m.Data {
+		varSum += (v - mean) * (v - mean)
+	}
+	variance := varSum / float64(len(m.Data))
+	if math.Abs(mean) > 0.02 || math.Abs(variance-1) > 0.05 {
+		t.Fatalf("gaussian moments off: mean=%v var=%v", mean, variance)
+	}
+}

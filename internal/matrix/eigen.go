@@ -1,0 +1,258 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// SymEigen computes the eigendecomposition of the symmetric matrix a,
+// returning eigenvalues in descending order and the corresponding
+// eigenvectors as the columns of vecs, so that a ≈ vecs·diag(vals)·vecsᵀ.
+//
+// The implementation is the classic two-stage dense symmetric solver:
+// Householder tridiagonalization (tred2) followed by the implicit-shift QL
+// iteration (tql2), in the EISPACK/JAMA lineage. Only the lower/upper
+// symmetry of a is assumed; a is not modified.
+func SymEigen(a *Dense) (vals []float64, vecs *Dense) {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("matrix: SymEigen needs square input, got %dx%d", a.Rows, a.Cols))
+	}
+	n := a.Rows
+	if n == 0 {
+		return nil, NewDense(0, 0)
+	}
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		copy(v[i], a.Row(i))
+	}
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2(v, d, e)
+	tql2(v, d, e)
+	sortEigenDesc(v, d)
+
+	vecs = NewDense(n, n)
+	for i := 0; i < n; i++ {
+		copy(vecs.Row(i), v[i])
+	}
+	return d, vecs
+}
+
+// tred2 reduces the symmetric matrix stored in v to tridiagonal form by
+// Householder similarity transformations, accumulating the transformation
+// in v. On return d holds the diagonal and e the subdiagonal (e[0] == 0).
+func tred2(v [][]float64, d, e []float64) {
+	n := len(d)
+	copy(d, v[n-1])
+
+	for i := n - 1; i > 0; i-- {
+		// Scale to avoid under/overflow.
+		scale, h := 0.0, 0.0
+		for k := 0; k < i; k++ {
+			scale += math.Abs(d[k])
+		}
+		if scale == 0 {
+			e[i] = d[i-1]
+			for j := 0; j < i; j++ {
+				d[j] = v[i-1][j]
+				v[i][j] = 0
+				v[j][i] = 0
+			}
+		} else {
+			// Generate Householder vector.
+			for k := 0; k < i; k++ {
+				d[k] /= scale
+				h += d[k] * d[k]
+			}
+			f := d[i-1]
+			g := math.Sqrt(h)
+			if f > 0 {
+				g = -g
+			}
+			e[i] = scale * g
+			h -= f * g
+			d[i-1] = f - g
+			for j := 0; j < i; j++ {
+				e[j] = 0
+			}
+			// Apply similarity transformation to remaining columns.
+			for j := 0; j < i; j++ {
+				f = d[j]
+				v[j][i] = f
+				g = e[j] + v[j][j]*f
+				for k := j + 1; k <= i-1; k++ {
+					g += v[k][j] * d[k]
+					e[k] += v[k][j] * f
+				}
+				e[j] = g
+			}
+			f = 0
+			for j := 0; j < i; j++ {
+				e[j] /= h
+				f += e[j] * d[j]
+			}
+			hh := f / (h + h)
+			for j := 0; j < i; j++ {
+				e[j] -= hh * d[j]
+			}
+			for j := 0; j < i; j++ {
+				f = d[j]
+				g = e[j]
+				for k := j; k <= i-1; k++ {
+					v[k][j] -= f*e[k] + g*d[k]
+				}
+				d[j] = v[i-1][j]
+				v[i][j] = 0
+			}
+		}
+		d[i] = h
+	}
+
+	// Accumulate transformations.
+	for i := 0; i < n-1; i++ {
+		v[n-1][i] = v[i][i]
+		v[i][i] = 1
+		h := d[i+1]
+		if h != 0 {
+			for k := 0; k <= i; k++ {
+				d[k] = v[k][i+1] / h
+			}
+			for j := 0; j <= i; j++ {
+				g := 0.0
+				for k := 0; k <= i; k++ {
+					g += v[k][i+1] * v[k][j]
+				}
+				for k := 0; k <= i; k++ {
+					v[k][j] -= g * d[k]
+				}
+			}
+		}
+		for k := 0; k <= i; k++ {
+			v[k][i+1] = 0
+		}
+	}
+	for j := 0; j < n; j++ {
+		d[j] = v[n-1][j]
+		v[n-1][j] = 0
+	}
+	v[n-1][n-1] = 1
+	e[0] = 0
+}
+
+// tql2 computes eigenvalues and eigenvectors of the symmetric tridiagonal
+// matrix (d, e) by the implicit-shift QL method, updating the accumulated
+// transformation in v. Eigenvalues are returned in d (unsorted).
+func tql2(v [][]float64, d, e []float64) {
+	n := len(d)
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+
+	f, tst1 := 0.0, 0.0
+	eps := math.Pow(2, -52)
+	for l := 0; l < n; l++ {
+		// Find small subdiagonal element.
+		tst1 = math.Max(tst1, math.Abs(d[l])+math.Abs(e[l]))
+		m := l
+		for m < n {
+			if math.Abs(e[m]) <= eps*tst1 {
+				break
+			}
+			m++
+		}
+		// If m == l, d[l] is an eigenvalue; otherwise iterate.
+		if m > l {
+			for iter := 0; ; iter++ {
+				if iter > 100 {
+					// The QL iteration essentially always converges in a
+					// handful of sweeps; bail out rather than spin forever
+					// on pathological input.
+					break
+				}
+				// Compute implicit shift.
+				g := d[l]
+				p := (d[l+1] - g) / (2 * e[l])
+				r := math.Hypot(p, 1)
+				if p < 0 {
+					r = -r
+				}
+				d[l] = e[l] / (p + r)
+				d[l+1] = e[l] * (p + r)
+				dl1 := d[l+1]
+				h := g - d[l]
+				for i := l + 2; i < n; i++ {
+					d[i] -= h
+				}
+				f += h
+				// Implicit QL transformation.
+				p = d[m]
+				c, c2, c3 := 1.0, 1.0, 1.0
+				el1 := e[l+1]
+				s, s2 := 0.0, 0.0
+				for i := m - 1; i >= l; i-- {
+					c3 = c2
+					c2 = c
+					s2 = s
+					g = c * e[i]
+					h = c * p
+					r = math.Hypot(p, e[i])
+					e[i+1] = s * r
+					s = e[i] / r
+					c = p / r
+					p = c*d[i] - s*g
+					d[i+1] = h + s*(c*g+s*d[i])
+					// Accumulate transformation.
+					for k := 0; k < n; k++ {
+						h = v[k][i+1]
+						v[k][i+1] = s*v[k][i] + c*h
+						v[k][i] = c*v[k][i] - s*h
+					}
+				}
+				p = -s * s2 * c3 * el1 * e[l] / dl1
+				e[l] = s * p
+				d[l] = c * p
+				if math.Abs(e[l]) <= eps*tst1 {
+					break
+				}
+			}
+		}
+		d[l] += f
+		e[l] = 0
+	}
+}
+
+// sortEigenDesc reorders eigenpairs so eigenvalues are descending.
+func sortEigenDesc(v [][]float64, d []float64) {
+	n := len(d)
+	for i := 0; i < n-1; i++ {
+		k := i
+		for j := i + 1; j < n; j++ {
+			if d[j] > d[k] {
+				k = j
+			}
+		}
+		if k != i {
+			d[i], d[k] = d[k], d[i]
+			for r := 0; r < n; r++ {
+				v[r][i], v[r][k] = v[r][k], v[r][i]
+			}
+		}
+	}
+}
+
+// TopKEigen returns the k largest eigenvalues (by signed value) of the
+// symmetric matrix a together with the corresponding eigenvector columns.
+func TopKEigen(a *Dense, k int) (vals []float64, vecs *Dense) {
+	allVals, allVecs := SymEigen(a)
+	if k > len(allVals) {
+		k = len(allVals)
+	}
+	vals = allVals[:k]
+	vecs = NewDense(a.Rows, k)
+	for i := 0; i < a.Rows; i++ {
+		copy(vecs.Row(i), allVecs.Row(i)[:k])
+	}
+	return vals, vecs
+}

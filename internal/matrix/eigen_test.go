@@ -1,0 +1,138 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// randomSymmetric returns a random symmetric matrix.
+func randomSymmetric(n int, rng *rand.Rand) *Dense {
+	a := GaussianDense(n, n, rng)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := (a.At(i, j) + a.At(j, i)) / 2
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := Diag([]float64{3, -1, 2})
+	vals, vecs := SymEigen(a)
+	want := []float64{3, 2, -1}
+	for i, v := range want {
+		if !almostEqual(vals[i], v, 1e-12) {
+			t.Fatalf("vals = %v, want %v", vals, want)
+		}
+	}
+	// Eigenvectors are (signed) unit basis vectors.
+	for j := 0; j < 3; j++ {
+		col := []float64{vecs.At(0, j), vecs.At(1, j), vecs.At(2, j)}
+		if !almostEqual(Norm2(col), 1, 1e-12) {
+			t.Fatalf("eigenvector %d not unit: %v", j, col)
+		}
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := NewDenseFromRows([][]float64{{2, 1}, {1, 2}})
+	vals, _ := SymEigen(a)
+	if !almostEqual(vals[0], 3, 1e-12) || !almostEqual(vals[1], 1, 1e-12) {
+		t.Fatalf("vals=%v want [3 1]", vals)
+	}
+}
+
+func TestSymEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, n := range []int{1, 2, 3, 5, 10, 25, 60} {
+		a := randomSymmetric(n, rng)
+		vals, vecs := SymEigen(a)
+		recon := Mul(Mul(vecs, Diag(vals)), vecs.T())
+		if d := recon.MaxAbsDiff(a); d > 1e-8 {
+			t.Fatalf("n=%d reconstruction error %v", n, d)
+		}
+		checkOrthonormalCols(t, vecs, 1e-9)
+		if !sort.IsSorted(sort.Reverse(sort.Float64Slice(vals))) {
+			t.Fatalf("n=%d eigenvalues not descending: %v", n, vals)
+		}
+	}
+}
+
+// Property: for random symmetric A, A·v_i == λ_i·v_i per eigenpair.
+func TestSymEigenPairsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		a := randomSymmetric(n, rng)
+		vals, vecs := SymEigen(a)
+		av := Mul(a, vecs)
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				if math.Abs(av.At(i, j)-vals[j]*vecs.At(i, j)) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: trace(A) == sum of eigenvalues.
+func TestSymEigenTraceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := randomSymmetric(n, rng)
+		vals, _ := SymEigen(a)
+		trace, sum := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+			sum += vals[i]
+		}
+		return math.Abs(trace-sum) < 1e-8*math.Max(1, math.Abs(trace))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKEigen(t *testing.T) {
+	a := Diag([]float64{5, 1, 4, 2})
+	vals, vecs := TopKEigen(a, 2)
+	if len(vals) != 2 || !almostEqual(vals[0], 5, 1e-12) || !almostEqual(vals[1], 4, 1e-12) {
+		t.Fatalf("TopKEigen vals=%v", vals)
+	}
+	if vecs.Cols != 2 || vecs.Rows != 4 {
+		t.Fatalf("TopKEigen vecs shape %dx%d", vecs.Rows, vecs.Cols)
+	}
+	// Requesting more than n clamps.
+	vals, _ = TopKEigen(a, 10)
+	if len(vals) != 4 {
+		t.Fatalf("clamp failed: %v", vals)
+	}
+}
+
+func TestSymEigenEmpty(t *testing.T) {
+	vals, vecs := SymEigen(NewDense(0, 0))
+	if len(vals) != 0 || vecs.Rows != 0 {
+		t.Fatal("empty eigen failed")
+	}
+}
+
+func TestSymEigenRejectsNonSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SymEigen(NewDense(2, 3))
+}

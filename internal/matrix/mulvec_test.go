@@ -1,0 +1,59 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulVecIntoMatchesMul(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := GaussianDense(r, c, rng)
+		x := make([]float64, c)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y := make([]float64, r)
+		m.MulVecInto(x, y)
+		xm := NewDense(c, 1)
+		copy(xm.Data, x)
+		want := Mul(m, xm)
+		for i := range y {
+			if d := y[i] - want.At(i, 0); d > 1e-12 || d < -1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVecIntoShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	NewDense(2, 3).MulVecInto(make([]float64, 2), make([]float64, 2))
+}
+
+// Repeated eigenvalues are the classic hard case for QL iterations; the
+// reconstruction must still hold.
+func TestSymEigenRepeatedEigenvalues(t *testing.T) {
+	// 2·I plus a tiny symmetric perturbation on one off-diagonal pair.
+	n := 6
+	a := Identity(n)
+	a.Scale(2)
+	a.Set(0, 1, 1e-3)
+	a.Set(1, 0, 1e-3)
+	vals, vecs := SymEigen(a)
+	recon := Mul(Mul(vecs, Diag(vals)), vecs.T())
+	if d := recon.MaxAbsDiff(a); d > 1e-10 {
+		t.Fatalf("reconstruction error %v with near-repeated eigenvalues", d)
+	}
+	checkOrthonormalCols(t, vecs, 1e-10)
+}

@@ -1,0 +1,97 @@
+package matrix
+
+import "math"
+
+// orthTol is the column-norm threshold below which a column is considered
+// linearly dependent on the previous ones and dropped during
+// orthonormalization.
+const orthTol = 1e-10
+
+// Orthonormalize returns a matrix Q whose columns form an orthonormal basis
+// of the column space of a, computed by modified Gram–Schmidt with a second
+// reorthogonalization pass. Columns that are (numerically) linear
+// combinations of earlier columns are dropped, so Q may have fewer columns
+// than a. The input is not modified.
+func Orthonormalize(a *Dense) *Dense {
+	n, c := a.Rows, a.Cols
+	// Work column-major for locality of the Gram-Schmidt inner loops.
+	cols := make([][]float64, 0, c)
+	for j := 0; j < c; j++ {
+		col := make([]float64, n)
+		for i := 0; i < n; i++ {
+			col[i] = a.At(i, j)
+		}
+		orig := Norm2(col)
+		for pass := 0; pass < 2; pass++ {
+			for _, q := range cols {
+				proj := Dot(q, col)
+				Axpy(-proj, q, col)
+			}
+		}
+		nrm := Norm2(col)
+		if nrm <= orthTol || nrm <= orthTol*math.Max(1, orig) {
+			continue // dependent column
+		}
+		inv := 1 / nrm
+		for i := range col {
+			col[i] *= inv
+		}
+		cols = append(cols, col)
+	}
+	q := NewDense(n, len(cols))
+	for j, col := range cols {
+		for i, v := range col {
+			q.Data[i*q.Cols+j] = v
+		}
+	}
+	return q
+}
+
+// QR computes the thin QR factorization a = Q·R for a with Rows >= Cols and
+// full column rank, using modified Gram–Schmidt with reorthogonalization.
+// Q is Rows-by-Cols with orthonormal columns and R is Cols-by-Cols upper
+// triangular. Rank-deficient inputs yield zero columns in Q and zero
+// diagonal entries in R.
+func QR(a *Dense) (q, r *Dense) {
+	n, c := a.Rows, a.Cols
+	q = a.Clone()
+	r = NewDense(c, c)
+	// Column-major copy of q for the inner loops.
+	cols := make([][]float64, c)
+	for j := 0; j < c; j++ {
+		col := make([]float64, n)
+		for i := 0; i < n; i++ {
+			col[i] = q.At(i, j)
+		}
+		cols[j] = col
+	}
+	for j := 0; j < c; j++ {
+		col := cols[j]
+		for pass := 0; pass < 2; pass++ {
+			for k := 0; k < j; k++ {
+				proj := Dot(cols[k], col)
+				Axpy(-proj, cols[k], col)
+				r.Data[k*c+j] += proj
+			}
+		}
+		nrm := Norm2(col)
+		r.Data[j*c+j] = nrm
+		if nrm > orthTol {
+			inv := 1 / nrm
+			for i := range col {
+				col[i] *= inv
+			}
+		} else {
+			for i := range col {
+				col[i] = 0
+			}
+			r.Data[j*c+j] = 0
+		}
+	}
+	for j, col := range cols {
+		for i, v := range col {
+			q.Data[i*c+j] = v
+		}
+	}
+	return q, r
+}

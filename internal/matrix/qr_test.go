@@ -1,0 +1,91 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// checkOrthonormalCols verifies QᵀQ == I within tol.
+func checkOrthonormalCols(t *testing.T, q *Dense, tol float64) {
+	t.Helper()
+	g := MulAtB(q, q)
+	if d := g.MaxAbsDiff(Identity(q.Cols)); d > tol {
+		t.Fatalf("columns not orthonormal: max deviation %v", d)
+	}
+}
+
+func TestOrthonormalizeBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := GaussianDense(20, 5, rng)
+	q := Orthonormalize(a)
+	if q.Cols != 5 {
+		t.Fatalf("expected 5 columns, got %d", q.Cols)
+	}
+	checkOrthonormalCols(t, q, 1e-10)
+}
+
+func TestOrthonormalizeDropsDependentColumns(t *testing.T) {
+	a := NewDense(4, 3)
+	for i := 0; i < 4; i++ {
+		a.Set(i, 0, float64(i+1))
+		a.Set(i, 1, 2*float64(i+1)) // dependent on col 0
+		a.Set(i, 2, float64(i*i))
+	}
+	q := Orthonormalize(a)
+	if q.Cols != 2 {
+		t.Fatalf("expected dependent column dropped: got %d cols", q.Cols)
+	}
+	checkOrthonormalCols(t, q, 1e-10)
+}
+
+func TestOrthonormalizePreservesSpan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := GaussianDense(15, 4, rng)
+	q := Orthonormalize(a)
+	// Every column of a must be reconstructible: a == Q Qᵀ a.
+	proj := Mul(q, MulAtB(q, a))
+	if d := proj.MaxAbsDiff(a); d > 1e-9 {
+		t.Fatalf("span not preserved: residual %v", d)
+	}
+}
+
+func TestQRReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := GaussianDense(10, 6, rng)
+	q, r := QR(a)
+	checkOrthonormalCols(t, q, 1e-10)
+	if d := Mul(q, r).MaxAbsDiff(a); d > 1e-9 {
+		t.Fatalf("QR != A: residual %v", d)
+	}
+	// R upper triangular.
+	for i := 1; i < r.Rows; i++ {
+		for j := 0; j < i; j++ {
+			if r.At(i, j) != 0 {
+				t.Fatalf("R not upper triangular at (%d,%d)=%v", i, j, r.At(i, j))
+			}
+		}
+	}
+}
+
+// Property: QR reconstruction holds on random tall matrices.
+func TestQRProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(12)
+		c := 1 + r.Intn(n)
+		a := GaussianDense(n, c, r)
+		q, rr := QR(a)
+		return Mul(q, rr).MaxAbsDiff(a) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrthonormalizeEmpty(t *testing.T) {
+	q := Orthonormalize(NewDense(5, 0))
+	if q.Rows != 5 || q.Cols != 0 {
+		t.Fatalf("unexpected shape %dx%d", q.Rows, q.Cols)
+	}
+}

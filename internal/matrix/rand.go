@@ -1,0 +1,14 @@
+package matrix
+
+import "math/rand"
+
+// GaussianDense returns an r-by-c matrix with i.i.d. standard normal
+// entries drawn from rng. Used for the random projections in BKSVD and
+// RandNE.
+func GaussianDense(r, c int, rng *rand.Rand) *Dense {
+	m := NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}

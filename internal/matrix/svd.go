@@ -1,0 +1,56 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// SVD computes the thin singular value decomposition of a dense matrix,
+// a = U·diag(S)·Vᵀ, via the symmetric eigendecomposition of the smaller
+// Gram matrix. Singular values are in descending order; U has orthonormal
+// columns for every S[i] > svdTol, and V is orthonormal.
+//
+// This routine is intended for small, well-conditioned matrices (tests,
+// the tiny projected problems inside BKSVD); large sparse factorizations go
+// through the randomized solver in internal/svd.
+func SVD(a *Dense) (u *Dense, s []float64, v *Dense) {
+	if a.Rows >= a.Cols {
+		return svdTall(a)
+	}
+	// Wide: decompose the transpose and swap factors.
+	vT, s, uT := svdTall(a.T())
+	return uT, s, vT
+}
+
+const svdTol = 1e-12
+
+func svdTall(a *Dense) (u *Dense, s []float64, v *Dense) {
+	if a.Rows < a.Cols {
+		panic(fmt.Sprintf("matrix: svdTall needs rows >= cols, got %dx%d", a.Rows, a.Cols))
+	}
+	// Gram matrix G = aᵀa is Cols x Cols symmetric PSD.
+	g := MulAtB(a, a)
+	vals, vecs := SymEigen(g)
+	c := a.Cols
+	s = make([]float64, c)
+	for i, lambda := range vals {
+		if lambda < 0 {
+			lambda = 0
+		}
+		s[i] = math.Sqrt(lambda)
+	}
+	v = vecs
+	// U = A V Σ⁻¹ column by column; zero singular values give zero columns.
+	u = NewDense(a.Rows, c)
+	av := Mul(a, v)
+	for j := 0; j < c; j++ {
+		if s[j] <= svdTol {
+			continue
+		}
+		inv := 1 / s[j]
+		for i := 0; i < a.Rows; i++ {
+			u.Set(i, j, av.At(i, j)*inv)
+		}
+	}
+	return u, s, v
+}

@@ -1,0 +1,88 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSVDReconstructionTall(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	a := GaussianDense(12, 5, rng)
+	u, s, v := SVD(a)
+	recon := Mul(Mul(u, Diag(s)), v.T())
+	if d := recon.MaxAbsDiff(a); d > 1e-8 {
+		t.Fatalf("SVD reconstruction error %v", d)
+	}
+	checkOrthonormalCols(t, v, 1e-9)
+	checkOrthonormalCols(t, u, 1e-7)
+	for i := 1; i < len(s); i++ {
+		if s[i] > s[i-1]+1e-12 {
+			t.Fatalf("singular values not descending: %v", s)
+		}
+	}
+}
+
+func TestSVDReconstructionWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := GaussianDense(4, 9, rng)
+	u, s, v := SVD(a)
+	recon := Mul(Mul(u, Diag(s)), v.T())
+	if d := recon.MaxAbsDiff(a); d > 1e-8 {
+		t.Fatalf("wide SVD reconstruction error %v", d)
+	}
+}
+
+func TestSVDKnownDiagonal(t *testing.T) {
+	a := NewDenseFromRows([][]float64{{3, 0}, {0, -4}})
+	_, s, _ := SVD(a)
+	if !almostEqual(s[0], 4, 1e-9) || !almostEqual(s[1], 3, 1e-9) {
+		t.Fatalf("singular values %v, want [4 3]", s)
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Rank-1 matrix: outer product.
+	a := NewDense(5, 3)
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, -1, 2}
+	for i := range x {
+		for j := range y {
+			a.Set(i, j, x[i]*y[j])
+		}
+	}
+	u, s, v := SVD(a)
+	if s[0] < 1 {
+		t.Fatalf("leading singular value too small: %v", s)
+	}
+	for _, tail := range s[1:] {
+		if tail > 1e-6 {
+			t.Fatalf("trailing singular values should vanish: %v", s)
+		}
+	}
+	recon := Mul(Mul(u, Diag(s)), v.T())
+	if d := recon.MaxAbsDiff(a); d > 1e-7 {
+		t.Fatalf("rank-1 reconstruction error %v", d)
+	}
+}
+
+// Property: singular values of A equal sqrt of eigenvalues of AᵀA.
+func TestSVDSingularValuesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		c := 1 + rng.Intn(n)
+		a := GaussianDense(n, c, rng)
+		_, s, _ := SVD(a)
+		// Frobenius norm identity: sum s_i^2 == ||A||_F^2.
+		sum := 0.0
+		for _, v := range s {
+			sum += v * v
+		}
+		fn := a.FrobeniusNorm()
+		return almostEqual(sum, fn*fn, 1e-7*(1+fn*fn))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package ppr
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+)
+
+// MonteCarlo estimates the single-source PPR vector π(u,·) by simulating
+// α-terminating walks: each walk stops at the current node with
+// probability α, else moves to a uniform out-neighbor (halting at dangling
+// nodes, where the residual mass is lost — matching Eq. (1)'s truncated
+// semantics used across this package).
+//
+// This is the sampling primitive the walk-based competitors (APP, VERSE)
+// train on; here it doubles as an independent cross-check of the exact and
+// forward-push implementations. The estimate of each entry is within
+// O(√(log(1/δ)/walks)) of the truth with probability 1−δ by standard
+// Chernoff bounds.
+func MonteCarlo(g *graph.Graph, u int, alpha float64, walks int, rng *rand.Rand) ([]float64, error) {
+	if err := checkAlpha(alpha); err != nil {
+		return nil, err
+	}
+	if u < 0 || u >= g.N {
+		return nil, fmt.Errorf("ppr: source %d outside [0,%d)", u, g.N)
+	}
+	if walks <= 0 {
+		return nil, fmt.Errorf("ppr: walks must be positive, got %d", walks)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("ppr: rng is required")
+	}
+	counts := make([]float64, g.N)
+	inc := 1 / float64(walks)
+	for w := 0; w < walks; w++ {
+		cur := int32(u)
+		for {
+			if rng.Float64() < alpha {
+				counts[cur] += inc
+				break
+			}
+			nbrs := g.OutNeighbors(int(cur))
+			if len(nbrs) == 0 {
+				// Dangling: the walk halts without terminating anywhere;
+				// its mass is lost, as in the truncated power iteration.
+				break
+			}
+			cur = nbrs[rng.Intn(len(nbrs))]
+		}
+	}
+	return counts, nil
+}

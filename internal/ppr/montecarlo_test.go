@@ -1,0 +1,84 @@
+package ppr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+)
+
+func TestMonteCarloMatchesExact(t *testing.T) {
+	g := fig1(t)
+	exact, err := Exact(g, 0.15, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, u := range []int{0, 4, 8} {
+		est, err := MonteCarlo(g, u, 0.15, 200000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.N; v++ {
+			if d := math.Abs(est[v] - exact.At(u, v)); d > 0.01 {
+				t.Fatalf("MC π(%d,%d) off by %v", u, v, d)
+			}
+		}
+	}
+}
+
+func TestMonteCarloMassConservation(t *testing.T) {
+	g := fig1(t)
+	rng := rand.New(rand.NewSource(6))
+	est, err := MonteCarlo(g, 0, 0.2, 50000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, p := range est {
+		if p < 0 {
+			t.Fatal("negative estimate")
+		}
+		total += p
+	}
+	// No dangling nodes in fig1: every walk terminates somewhere.
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("mass %v != 1", total)
+	}
+}
+
+func TestMonteCarloDanglingLosesMass(t *testing.T) {
+	g, err := graph.New(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	est, err := MonteCarlo(g, 0, 0.15, 100000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := est[0] + est[1] + est[2]
+	// Exact terminated mass is α + α(1−α) + α(1−α)² ≈ 0.386.
+	want := 0.15 + 0.15*0.85 + 0.15*0.85*0.85
+	if math.Abs(total-want) > 0.01 {
+		t.Fatalf("terminated mass %v, want ≈%v", total, want)
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	g := fig1(t)
+	rng := rand.New(rand.NewSource(8))
+	if _, err := MonteCarlo(g, 0, 0, 10, rng); err == nil {
+		t.Fatal("alpha 0 accepted")
+	}
+	if _, err := MonteCarlo(g, -1, 0.15, 10, rng); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := MonteCarlo(g, 0, 0.15, 0, rng); err == nil {
+		t.Fatal("0 walks accepted")
+	}
+	if _, err := MonteCarlo(g, 0, 0.15, 10, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package ppr
+
+import "github.com/nrp-embed/nrp/internal/graph"
+
+// ForwardPush computes an approximate single-source PPR vector by local
+// push (Andersen et al.), the primitive STRAP uses to build its sparse
+// proximity matrix. Residual mass at node v is pushed while
+// r(v) > rmax·max(dout(v),1); on return every estimate satisfies
+// |π(u,v) − p(v)| ≤ rmax·dout(v) under the termination-walk semantics of
+// Eq. (1). Dangling nodes absorb α of their residual, matching the
+// truncated-series definition used elsewhere in this repository.
+//
+// The returned map contains only nonzero estimates, keeping STRAP's memory
+// proportional to 1/rmax rather than n.
+func ForwardPush(g *graph.Graph, u int, alpha, rmax float64) map[int32]float64 {
+	p := make(map[int32]float64)
+	r := map[int32]float64{int32(u): 1}
+	queue := []int32{int32(u)}
+	inQueue := map[int32]bool{int32(u): true}
+
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		res := r[v]
+		deg := g.OutDeg(int(v))
+		threshold := rmax * float64(max(deg, 1))
+		if res <= threshold {
+			continue
+		}
+		delete(r, v)
+		if deg == 0 {
+			// Walk halts here: α of the residual terminates, the rest is
+			// lost exactly as in the truncated power iteration.
+			p[v] += alpha * res
+			continue
+		}
+		p[v] += alpha * res
+		share := (1 - alpha) * res / float64(deg)
+		for _, w := range g.OutNeighbors(int(v)) {
+			r[w] += share
+			if !inQueue[w] && r[w] > rmax*float64(max(g.OutDeg(int(w)), 1)) {
+				inQueue[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return p
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,293 @@
+// Package sparse provides the compressed-sparse-row (CSR) matrix substrate
+// used throughout the NRP pipeline: adjacency and transition matrices,
+// sparse×vector and sparse×dense products, transposes and row scalings.
+//
+// Column indices are stored as int32 (graphs up to 2^31-1 nodes), values as
+// float64. All products are single-threaded, matching the paper's
+// single-core evaluation protocol.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/nrp-embed/nrp/internal/matrix"
+)
+
+// CSR is a sparse matrix in compressed-sparse-row form.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int     // len Rows+1; row i occupies [RowPtr[i], RowPtr[i+1])
+	ColIdx     []int32   // len NNZ
+	Val        []float64 // len NNZ
+}
+
+// New constructs a CSR matrix from raw components, validating their shape.
+func New(rows, cols int, rowPtr []int, colIdx []int32, val []float64) (*CSR, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("sparse: negative dimension %dx%d", rows, cols)
+	}
+	if len(rowPtr) != rows+1 {
+		return nil, fmt.Errorf("sparse: rowPtr length %d, want %d", len(rowPtr), rows+1)
+	}
+	if len(colIdx) != len(val) {
+		return nil, fmt.Errorf("sparse: colIdx/val length mismatch %d vs %d", len(colIdx), len(val))
+	}
+	if rowPtr[0] != 0 || rowPtr[rows] != len(colIdx) {
+		return nil, fmt.Errorf("sparse: rowPtr endpoints [%d,%d], want [0,%d]", rowPtr[0], rowPtr[rows], len(colIdx))
+	}
+	for i := 0; i < rows; i++ {
+		if rowPtr[i] > rowPtr[i+1] {
+			return nil, fmt.Errorf("sparse: rowPtr not monotone at row %d", i)
+		}
+	}
+	for _, j := range colIdx {
+		if int(j) < 0 || int(j) >= cols {
+			return nil, fmt.Errorf("sparse: column index %d out of range [0,%d)", j, cols)
+		}
+	}
+	return &CSR{Rows: rows, Cols: cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}, nil
+}
+
+// Triple is a single (row, col, value) entry used by FromTriples.
+type Triple struct {
+	Row, Col int32
+	Val      float64
+}
+
+// FromTriples builds a CSR matrix from an unordered list of entries.
+// Duplicate (row, col) entries are summed. Triples outside the matrix
+// bounds yield an error.
+func FromTriples(rows, cols int, entries []Triple) (*CSR, error) {
+	for _, e := range entries {
+		if int(e.Row) < 0 || int(e.Row) >= rows || int(e.Col) < 0 || int(e.Col) >= cols {
+			return nil, fmt.Errorf("sparse: triple (%d,%d) outside %dx%d", e.Row, e.Col, rows, cols)
+		}
+	}
+	// Counting sort by row, then sort each row by column and merge duplicates.
+	counts := make([]int, rows+1)
+	for _, e := range entries {
+		counts[e.Row+1]++
+	}
+	for i := 0; i < rows; i++ {
+		counts[i+1] += counts[i]
+	}
+	colIdx := make([]int32, len(entries))
+	val := make([]float64, len(entries))
+	next := make([]int, rows)
+	copy(next, counts[:rows])
+	for _, e := range entries {
+		p := next[e.Row]
+		colIdx[p] = e.Col
+		val[p] = e.Val
+		next[e.Row]++
+	}
+	rowPtr := make([]int, rows+1)
+	out := 0
+	for i := 0; i < rows; i++ {
+		lo, hi := counts[i], counts[i+1]
+		seg := rowSeg{colIdx[lo:hi], val[lo:hi]}
+		sort.Sort(seg)
+		rowPtr[i] = out
+		for p := lo; p < hi; p++ {
+			if out > rowPtr[i] && colIdx[out-1] == colIdx[p] {
+				val[out-1] += val[p]
+			} else {
+				colIdx[out] = colIdx[p]
+				val[out] = val[p]
+				out++
+			}
+		}
+	}
+	rowPtr[rows] = out
+	return &CSR{Rows: rows, Cols: cols, RowPtr: rowPtr, ColIdx: colIdx[:out], Val: val[:out]}, nil
+}
+
+type rowSeg struct {
+	idx []int32
+	val []float64
+}
+
+func (s rowSeg) Len() int           { return len(s.idx) }
+func (s rowSeg) Less(i, j int) bool { return s.idx[i] < s.idx[j] }
+func (s rowSeg) Swap(i, j int) {
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+	s.val[i], s.val[j] = s.val[j], s.val[i]
+}
+
+// NNZ reports the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.ColIdx) }
+
+// RowNNZ reports the number of stored entries in row i.
+func (a *CSR) RowNNZ(i int) int { return a.RowPtr[i+1] - a.RowPtr[i] }
+
+// At returns the (i, j) element. O(log nnz(row i)).
+func (a *CSR) At(i, j int) float64 {
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	seg := a.ColIdx[lo:hi]
+	p := sort.Search(len(seg), func(k int) bool { return seg[k] >= int32(j) })
+	if p < len(seg) && seg[p] == int32(j) {
+		return a.Val[lo+p]
+	}
+	return 0
+}
+
+// Clone returns a deep copy of a.
+func (a *CSR) Clone() *CSR {
+	c := &CSR{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		RowPtr: append([]int(nil), a.RowPtr...),
+		ColIdx: append([]int32(nil), a.ColIdx...),
+		Val:    append([]float64(nil), a.Val...),
+	}
+	return c
+}
+
+// Transpose returns aᵀ as a new CSR matrix.
+func (a *CSR) Transpose() *CSR {
+	t := &CSR{
+		Rows:   a.Cols,
+		Cols:   a.Rows,
+		RowPtr: make([]int, a.Cols+1),
+		ColIdx: make([]int32, a.NNZ()),
+		Val:    make([]float64, a.NNZ()),
+	}
+	for _, j := range a.ColIdx {
+		t.RowPtr[j+1]++
+	}
+	for i := 0; i < a.Cols; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := make([]int, a.Cols)
+	copy(next, t.RowPtr[:a.Cols])
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			j := a.ColIdx[p]
+			q := next[j]
+			t.ColIdx[q] = int32(i)
+			t.Val[q] = a.Val[p]
+			next[j]++
+		}
+	}
+	return t
+}
+
+// ScaleRows returns diag(d)·a as a new matrix: row i is scaled by d[i].
+func (a *CSR) ScaleRows(d []float64) *CSR {
+	if len(d) != a.Rows {
+		panic(fmt.Sprintf("sparse: ScaleRows length %d, want %d", len(d), a.Rows))
+	}
+	out := a.Clone()
+	for i := 0; i < a.Rows; i++ {
+		s := d[i]
+		for p := out.RowPtr[i]; p < out.RowPtr[i+1]; p++ {
+			out.Val[p] *= s
+		}
+	}
+	return out
+}
+
+// RowSums returns the vector of row sums of a.
+func (a *CSR) RowSums() []float64 {
+	sums := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		s := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			s += a.Val[p]
+		}
+		sums[i] = s
+	}
+	return sums
+}
+
+// MulVec computes y = a·x. y must have length a.Rows; x length a.Cols.
+func (a *CSR) MulVec(x, y []float64) {
+	if len(x) != a.Cols || len(y) != a.Rows {
+		panic(fmt.Sprintf("sparse: MulVec shapes x=%d y=%d for %dx%d", len(x), len(y), a.Rows, a.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		s := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			s += a.Val[p] * x[a.ColIdx[p]]
+		}
+		y[i] = s
+	}
+}
+
+// MulVecT computes y = aᵀ·x. y must have length a.Cols; x length a.Rows.
+func (a *CSR) MulVecT(x, y []float64) {
+	if len(x) != a.Rows || len(y) != a.Cols {
+		panic(fmt.Sprintf("sparse: MulVecT shapes x=%d y=%d for %dx%d", len(x), len(y), a.Rows, a.Cols))
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			y[a.ColIdx[p]] += a.Val[p] * xi
+		}
+	}
+}
+
+// MulDense computes a·x for a dense x (a.Cols rows), returning a new
+// a.Rows-by-x.Cols dense matrix. This is the workhorse of the block Krylov
+// iteration: the inner loop streams rows of x, which are contiguous.
+func (a *CSR) MulDense(x *matrix.Dense) *matrix.Dense {
+	if x.Rows != a.Cols {
+		panic(fmt.Sprintf("sparse: MulDense shape %dx%d * %dx%d", a.Rows, a.Cols, x.Rows, x.Cols))
+	}
+	out := matrix.NewDense(a.Rows, x.Cols)
+	for i := 0; i < a.Rows; i++ {
+		orow := out.Row(i)
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			matrix.Axpy(a.Val[p], x.Row(int(a.ColIdx[p])), orow)
+		}
+	}
+	return out
+}
+
+// MulDenseT computes aᵀ·x for a dense x (a.Rows rows), returning a new
+// a.Cols-by-x.Cols dense matrix.
+func (a *CSR) MulDenseT(x *matrix.Dense) *matrix.Dense {
+	if x.Rows != a.Rows {
+		panic(fmt.Sprintf("sparse: MulDenseT shape %dx%d^T * %dx%d", a.Rows, a.Cols, x.Rows, x.Cols))
+	}
+	out := matrix.NewDense(a.Cols, x.Cols)
+	for i := 0; i < a.Rows; i++ {
+		xrow := x.Row(i)
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			matrix.Axpy(a.Val[p], xrow, out.Row(int(a.ColIdx[p])))
+		}
+	}
+	return out
+}
+
+// ToDense materializes a as a dense matrix (for tests and tiny graphs).
+func (a *CSR) ToDense() *matrix.Dense {
+	out := matrix.NewDense(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := out.Row(i)
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			row[a.ColIdx[p]] += a.Val[p]
+		}
+	}
+	return out
+}
+
+// Identity returns the n-by-n identity in CSR form.
+func Identity(n int) *CSR {
+	rowPtr := make([]int, n+1)
+	colIdx := make([]int32, n)
+	val := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] = i + 1
+		colIdx[i] = int32(i)
+		val[i] = 1
+	}
+	return &CSR{Rows: n, Cols: n, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}

@@ -1,0 +1,217 @@
+// Package svd implements randomized low-rank singular value decomposition
+// of sparse matrices. The primary algorithm is BKSVD — randomized Block
+// Krylov Iteration (Musco & Musco, "Randomized Block Krylov Methods for
+// Stronger and Faster Approximate Singular Value Decomposition",
+// NeurIPS 2015) — which Algorithm 1 of the NRP paper uses to factorize the
+// adjacency matrix with a (1+ε) spectral-norm low-rank guarantee.
+//
+// A simpler randomized subspace (simultaneous) iteration is also provided
+// as an ablation alternative.
+package svd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/nrp-embed/nrp/internal/matrix"
+	"github.com/nrp-embed/nrp/internal/sparse"
+)
+
+// Result holds a (possibly truncated) singular value decomposition
+// A ≈ U·diag(S)·Vᵀ with U (n×k), S (k), V (m×k).
+type Result struct {
+	U *matrix.Dense
+	S []float64
+	V *matrix.Dense
+}
+
+// Options configure the randomized solvers.
+type Options struct {
+	// Rank is the target rank k (number of singular triplets).
+	Rank int
+	// Epsilon is the relative spectral-norm error target; it determines the
+	// number of Krylov iterations as q ≈ log(n)/(2√ε), clamped to
+	// [MinIters, MaxIters]. The NRP paper uses ε = 0.2.
+	Epsilon float64
+	// Iters, when positive, overrides the ε-derived iteration count.
+	Iters int
+	// Rng supplies the random projection; required.
+	Rng *rand.Rand
+}
+
+const (
+	minKrylovIters = 2
+	maxKrylovIters = 8
+)
+
+// iters resolves the Krylov iteration count from the options. The theory
+// prescribes q = Θ(log n/√ε); the constant here (1/4) follows the practical
+// regime reported by Musco & Musco, where a handful of block iterations
+// already meets the (1+ε) bound.
+func (o Options) iters(n int) int {
+	if o.Iters > 0 {
+		return o.Iters
+	}
+	eps := o.Epsilon
+	if eps <= 0 {
+		eps = 0.2
+	}
+	q := int(math.Ceil(math.Log(float64(n)+1) / (4 * math.Sqrt(eps))))
+	if q < minKrylovIters {
+		q = minKrylovIters
+	}
+	if q > maxKrylovIters {
+		q = maxKrylovIters
+	}
+	return q
+}
+
+// BKSVD computes an approximate rank-k SVD of the sparse matrix a using
+// randomized block Krylov iteration. The returned factors satisfy
+// ‖A − U·diag(S)·Vᵀ‖₂ ≤ (1+ε)·σ_{k+1} with high probability for the
+// iteration counts used here.
+func BKSVD(a *sparse.CSR, opt Options) (*Result, error) {
+	k := opt.Rank
+	if k <= 0 {
+		return nil, fmt.Errorf("svd: rank must be positive, got %d", k)
+	}
+	if opt.Rng == nil {
+		return nil, fmt.Errorf("svd: Options.Rng is required")
+	}
+	n, m := a.Rows, a.Cols
+	if k > n || k > m {
+		return nil, fmt.Errorf("svd: rank %d exceeds matrix dimensions %dx%d", k, n, m)
+	}
+	q := opt.iters(maxInt(n, m))
+	// Cap the Krylov block so the basis never exceeds the matrix dimension.
+	for q > 1 && (q+1)*k > n {
+		q--
+	}
+
+	// Build the Krylov block K = [AΠ, (AAᵀ)AΠ, …, (AAᵀ)^q AΠ], Π ∈ R^{m×k}.
+	pi := matrix.GaussianDense(m, k, opt.Rng)
+	blocks := make([]*matrix.Dense, 0, q+1)
+	cur := a.MulDense(pi) // n×k
+	// Orthonormalize each block before powering to tame the geometric
+	// growth of the leading direction (standard practice; preserves span).
+	cur = matrix.Orthonormalize(cur)
+	blocks = append(blocks, cur)
+	for i := 0; i < q; i++ {
+		next := a.MulDense(a.MulDenseT(cur)) // (A Aᵀ) cur
+		next = matrix.Orthonormalize(next)
+		blocks = append(blocks, next)
+		cur = next
+	}
+	kry := hcat(n, blocks)
+
+	// Q = orth(K); M = Qᵀ A Aᵀ Q = WᵀW with W = AᵀQ.
+	qMat := matrix.Orthonormalize(kry)
+	w := a.MulDenseT(qMat) // m × B
+	mSmall := matrix.MulAtB(w, w)
+
+	vals, vecs := matrix.TopKEigen(mSmall, k)
+	s := make([]float64, len(vals))
+	for i, lambda := range vals {
+		if lambda < 0 {
+			lambda = 0
+		}
+		s[i] = math.Sqrt(lambda)
+	}
+	u := matrix.Mul(qMat, vecs) // n × k
+	// V = AᵀUΣ⁻¹ = W · vecs · Σ⁻¹.
+	v := matrix.Mul(w, vecs)
+	for j := range s {
+		if s[j] <= 1e-12 {
+			continue
+		}
+		inv := 1 / s[j]
+		for i := 0; i < v.Rows; i++ {
+			v.Set(i, j, v.At(i, j)*inv)
+		}
+	}
+	return &Result{U: u, S: s, V: v}, nil
+}
+
+// SubspaceIteration computes an approximate rank-k SVD by randomized
+// simultaneous (power) iteration: Q ← orth((AAᵀ)^q A Π). It is cheaper per
+// iteration than BKSVD (the basis stays of width k) but needs more
+// iterations for the same accuracy — the trade-off the paper cites when
+// preferring BKSVD. Used in ablation benchmarks.
+func SubspaceIteration(a *sparse.CSR, opt Options) (*Result, error) {
+	k := opt.Rank
+	if k <= 0 {
+		return nil, fmt.Errorf("svd: rank must be positive, got %d", k)
+	}
+	if opt.Rng == nil {
+		return nil, fmt.Errorf("svd: Options.Rng is required")
+	}
+	n, m := a.Rows, a.Cols
+	if k > n || k > m {
+		return nil, fmt.Errorf("svd: rank %d exceeds matrix dimensions %dx%d", k, n, m)
+	}
+	q := opt.iters(maxInt(n, m))
+	pi := matrix.GaussianDense(m, k, opt.Rng)
+	cur := matrix.Orthonormalize(a.MulDense(pi))
+	for i := 0; i < q; i++ {
+		cur = matrix.Orthonormalize(a.MulDense(a.MulDenseT(cur)))
+	}
+	w := a.MulDenseT(cur)
+	mSmall := matrix.MulAtB(w, w)
+	vals, vecs := matrix.TopKEigen(mSmall, k)
+	s := make([]float64, len(vals))
+	for i, lambda := range vals {
+		if lambda < 0 {
+			lambda = 0
+		}
+		s[i] = math.Sqrt(lambda)
+	}
+	u := matrix.Mul(cur, vecs)
+	v := matrix.Mul(w, vecs)
+	for j := range s {
+		if s[j] <= 1e-12 {
+			continue
+		}
+		inv := 1 / s[j]
+		for i := 0; i < v.Rows; i++ {
+			v.Set(i, j, v.At(i, j)*inv)
+		}
+	}
+	return &Result{U: u, S: s, V: v}, nil
+}
+
+// hcat horizontally concatenates blocks that all have n rows.
+func hcat(n int, blocks []*matrix.Dense) *matrix.Dense {
+	total := 0
+	for _, b := range blocks {
+		total += b.Cols
+	}
+	out := matrix.NewDense(n, total)
+	off := 0
+	for _, b := range blocks {
+		for i := 0; i < n; i++ {
+			copy(out.Row(i)[off:off+b.Cols], b.Row(i))
+		}
+		off += b.Cols
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// LowRankApply reconstructs (U·diag(S)·Vᵀ)[i,j] without materializing the
+// product; used by tests and examples.
+func (r *Result) LowRankApply(i, j int) float64 {
+	s := 0.0
+	ui := r.U.Row(i)
+	vj := r.V.Row(j)
+	for t := range r.S {
+		s += ui[t] * r.S[t] * vj[t]
+	}
+	return s
+}

@@ -1,0 +1,173 @@
+package svd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/nrp-embed/nrp/internal/matrix"
+	"github.com/nrp-embed/nrp/internal/sparse"
+)
+
+// lowRankSparse builds a sparse-ish matrix with known singular values by
+// assembling sum_i s_i u_i v_iᵀ from random orthonormal u, v and densifying
+// to triples (small sizes only).
+func lowRankSparse(t *testing.T, n, m int, s []float64, rng *rand.Rand) *sparse.CSR {
+	t.Helper()
+	u := matrix.Orthonormalize(matrix.GaussianDense(n, len(s), rng))
+	v := matrix.Orthonormalize(matrix.GaussianDense(m, len(s), rng))
+	var entries []sparse.Triple
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			val := 0.0
+			for t := range s {
+				val += s[t] * u.At(i, t) * v.At(j, t)
+			}
+			if val != 0 {
+				entries = append(entries, sparse.Triple{Row: int32(i), Col: int32(j), Val: val})
+			}
+		}
+	}
+	a, err := sparse.FromTriples(n, m, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestBKSVDRecoversSingularValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trueS := []float64{10, 6, 3, 1}
+	a := lowRankSparse(t, 40, 30, trueS, rng)
+	res, err := BKSVD(a, Options{Rank: 4, Epsilon: 0.1, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range trueS {
+		if math.Abs(res.S[i]-want) > 0.05*want {
+			t.Fatalf("singular value %d: got %v want %v", i, res.S[i], want)
+		}
+	}
+}
+
+func TestBKSVDReconstructionError(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	trueS := []float64{8, 5, 2, 0.5, 0.1}
+	a := lowRankSparse(t, 35, 35, trueS, rng)
+	res, err := BKSVD(a, Options{Rank: 3, Epsilon: 0.1, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spectral error of rank-3 approx should be close to sigma_4 = 0.5.
+	// Check the Frobenius residual against the optimal sqrt(0.5^2+0.1^2).
+	dense := a.ToDense()
+	recon := matrix.Mul(matrix.Mul(res.U, matrix.Diag(res.S)), res.V.T())
+	resid := dense.Sub(recon).FrobeniusNorm()
+	optimal := math.Sqrt(0.5*0.5 + 0.1*0.1)
+	if resid > optimal*1.3 {
+		t.Fatalf("residual %v, optimal %v", resid, optimal)
+	}
+}
+
+func TestBKSVDOrthonormalFactors(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	a := lowRankSparse(t, 30, 25, []float64{5, 4, 3, 2, 1}, rng)
+	res, err := BKSVD(a, Options{Rank: 4, Epsilon: 0.2, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gu := matrix.MulAtB(res.U, res.U)
+	if d := gu.MaxAbsDiff(matrix.Identity(4)); d > 1e-6 {
+		t.Fatalf("U not orthonormal: %v", d)
+	}
+	gv := matrix.MulAtB(res.V, res.V)
+	if d := gv.MaxAbsDiff(matrix.Identity(4)); d > 1e-4 {
+		t.Fatalf("V not orthonormal: %v", d)
+	}
+}
+
+func TestBKSVDMatchesExactSVDOnSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	var entries []sparse.Triple
+	n := 20
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.3 {
+				entries = append(entries, sparse.Triple{Row: int32(i), Col: int32(j), Val: rng.NormFloat64()})
+			}
+		}
+	}
+	a, _ := sparse.FromTriples(n, n, entries)
+	_, exactS, _ := matrix.SVD(a.ToDense())
+	res, err := BKSVD(a, Options{Rank: 5, Iters: 12, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if math.Abs(res.S[i]-exactS[i]) > 0.02*math.Max(1, exactS[i]) {
+			t.Fatalf("sigma_%d: bksvd=%v exact=%v", i, res.S[i], exactS[i])
+		}
+	}
+}
+
+func TestSubspaceIterationRecoversSingularValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	trueS := []float64{9, 4, 2}
+	a := lowRankSparse(t, 30, 30, trueS, rng)
+	res, err := SubspaceIteration(a, Options{Rank: 3, Iters: 15, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range trueS {
+		if math.Abs(res.S[i]-want) > 0.05*want {
+			t.Fatalf("sigma_%d: got %v want %v", i, res.S[i], want)
+		}
+	}
+}
+
+func TestBKSVDErrors(t *testing.T) {
+	a, _ := sparse.FromTriples(3, 3, []sparse.Triple{{Row: 0, Col: 0, Val: 1}})
+	if _, err := BKSVD(a, Options{Rank: 0, Rng: rand.New(rand.NewSource(1))}); err == nil {
+		t.Fatal("rank 0 accepted")
+	}
+	if _, err := BKSVD(a, Options{Rank: 2}); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, err := BKSVD(a, Options{Rank: 9, Rng: rand.New(rand.NewSource(1))}); err == nil {
+		t.Fatal("oversized rank accepted")
+	}
+}
+
+func TestOptionsIters(t *testing.T) {
+	o := Options{Epsilon: 0.2}
+	q := o.iters(5000)
+	if q < minKrylovIters || q > maxKrylovIters {
+		t.Fatalf("iters out of range: %d", q)
+	}
+	o = Options{Iters: 7}
+	if o.iters(1000) != 7 {
+		t.Fatal("explicit iters ignored")
+	}
+	// Smaller epsilon should not decrease iterations.
+	qSmall := Options{Epsilon: 0.05}.iters(5000)
+	if qSmall < q {
+		t.Fatalf("iters(eps=0.05)=%d < iters(eps=0.2)=%d", qSmall, q)
+	}
+}
+
+func TestLowRankApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	a := lowRankSparse(t, 15, 15, []float64{4, 2}, rng)
+	res, err := BKSVD(a, Options{Rank: 2, Iters: 10, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := a.ToDense()
+	for i := 0; i < 15; i += 3 {
+		for j := 0; j < 15; j += 4 {
+			if math.Abs(res.LowRankApply(i, j)-dense.At(i, j)) > 1e-4 {
+				t.Fatalf("LowRankApply(%d,%d) = %v, want %v", i, j, res.LowRankApply(i, j), dense.At(i, j))
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package svd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/nrp-embed/nrp/internal/matrix"
+	"github.com/nrp-embed/nrp/internal/sparse"
+)
+
+// Property: on random sparse matrices, both randomized solvers recover the
+// dominant singular value within a few percent of the exact SVD.
+func TestRandomizedSolversTrackExactProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 15 + rng.Intn(15)
+		var entries []sparse.Triple
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.25 {
+					entries = append(entries, sparse.Triple{Row: int32(i), Col: int32(j), Val: rng.NormFloat64()})
+				}
+			}
+		}
+		a, err := sparse.FromTriples(n, n, entries)
+		if err != nil || a.NNZ() == 0 {
+			return true
+		}
+		_, exact, _ := matrix.SVD(a.ToDense())
+		for _, solve := range []func(*sparse.CSR, Options) (*Result, error){BKSVD, SubspaceIteration} {
+			res, err := solve(a, Options{Rank: 3, Iters: 15, Rng: rng})
+			if err != nil {
+				return false
+			}
+			if math.Abs(res.S[0]-exact[0]) > 0.03*math.Max(1, exact[0]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BKSVD should dominate subspace iteration at equal (low) iteration counts
+// on a slowly decaying spectrum — the advantage the paper cites.
+func TestBKSVDBeatsSubspaceAtLowIters(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	// Slowly decaying spectrum makes power iteration converge slowly.
+	s := []float64{10, 9.0, 8.2, 7.5, 6.9, 6.3, 5.8, 5.3}
+	a := lowRankSparse(t, 60, 60, s, rng)
+	frob := func(res *Result) float64 {
+		recon := matrix.Mul(matrix.Mul(res.U, matrix.Diag(res.S)), res.V.T())
+		return a.ToDense().Sub(recon).FrobeniusNorm()
+	}
+	errBK, errSI := 0.0, 0.0
+	const trials = 5
+	for i := 0; i < trials; i++ {
+		bk, err := BKSVD(a, Options{Rank: 4, Iters: 2, Rng: rand.New(rand.NewSource(int64(i)))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		si, err := SubspaceIteration(a, Options{Rank: 4, Iters: 2, Rng: rand.New(rand.NewSource(int64(i)))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		errBK += frob(bk)
+		errSI += frob(si)
+	}
+	if errBK >= errSI {
+		t.Fatalf("BKSVD (%.4f) should beat subspace iteration (%.4f) at q=2", errBK/trials, errSI/trials)
+	}
+	t.Logf("avg Frobenius residual: BKSVD %.4f, subspace %.4f", errBK/trials, errSI/trials)
+}

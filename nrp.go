@@ -1,0 +1,132 @@
+// Package nrp is a from-scratch Go implementation of Node-Reweighted
+// PageRank (NRP), the homogeneous network embedding method of Yang et al.,
+// "Homogeneous Network Embedding for Massive Graphs via Reweighted
+// Personalized PageRank" (PVLDB 13(5), 2020).
+//
+// NRP builds a forward and a backward embedding vector per node such that
+// the inner product X_u·Y_vᵀ approximates a degree-reweighted personalized
+// PageRank proximity →w_u·π(u,v)·←w_v. It runs in O(k(m+kn)·log n) time and
+// O(m+nk) space, and handles both directed and undirected graphs.
+//
+// Basic usage:
+//
+//	g, err := nrp.LoadGraph("graph.txt", true)
+//	emb, err := nrp.Embed(g, nrp.DefaultOptions())
+//	score := emb.Score(u, v) // directed proximity of (u → v)
+//
+// The packages under internal/ implement the substrates (sparse linear
+// algebra, randomized block-Krylov SVD, PPR computation, evaluation
+// protocols, baselines and the experiment harness); this package is the
+// stable public surface.
+package nrp
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/nrp-embed/nrp/internal/core"
+	"github.com/nrp-embed/nrp/internal/graph"
+	"github.com/nrp-embed/nrp/internal/matrix"
+)
+
+// Graph is a node-indexed graph with CSR adjacency. Construct with
+// NewGraph, ReadGraph or LoadGraph, or generate with the generators in this
+// package.
+type Graph = graph.Graph
+
+// Edge is a (source, target) node-id pair.
+type Edge = graph.Edge
+
+// Options configure embedding construction; see DefaultOptions for the
+// paper's settings.
+type Options = core.Options
+
+// Embedding holds per-node forward/backward vectors; see Score, Features,
+// Save.
+type Embedding = core.Embedding
+
+// DefaultOptions returns the paper's parameter settings: k=128, α=0.15,
+// ℓ₁=20, ℓ₂=10, ε=0.2, λ=10.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Embed computes NRP embeddings (Algorithm 3 of the paper): ApproxPPR
+// factorization followed by degree-targeted node reweighting.
+func Embed(g *Graph, opt Options) (*Embedding, error) { return core.NRP(g, opt) }
+
+// EmbedPPR computes the ApproxPPR baseline embeddings (Algorithm 1): the
+// personalized-PageRank factorization without node reweighting.
+func EmbedPPR(g *Graph, opt Options) (*Embedding, error) { return core.ApproxPPR(g, opt) }
+
+// LearnWeights exposes the reweighting phase on fixed embeddings, returning
+// the forward and backward node weights of Eq. (5)/(6).
+func LearnWeights(g *Graph, emb *Embedding, opt Options) (fw, bw []float64, err error) {
+	return core.LearnWeights(g, emb, opt)
+}
+
+// NewGraph builds a graph from an edge list over n nodes. Undirected edges
+// are symmetrized; self-loops and duplicates are dropped.
+func NewGraph(n int, edges []Edge, directed bool) (*Graph, error) {
+	return graph.New(n, edges, directed)
+}
+
+// ReadGraph parses a whitespace-separated edge list ("u v" per line, '#'
+// comments) from r.
+func ReadGraph(r io.Reader, directed bool) (*Graph, error) {
+	return graph.ReadEdgeList(r, directed, 0)
+}
+
+// LoadGraph reads an edge-list file from disk.
+func LoadGraph(path string, directed bool) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nrp: opening graph: %w", err)
+	}
+	defer f.Close()
+	return ReadGraph(f, directed)
+}
+
+// WriteGraph writes g as an edge list readable by ReadGraph.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// LoadEmbedding reads an embedding written by Embedding.Save.
+func LoadEmbedding(r io.Reader) (*Embedding, error) { return core.Load(r) }
+
+// GenErdosRenyi generates a uniform random graph with exactly m edges.
+func GenErdosRenyi(n, m int, directed bool, seed int64) (*Graph, error) {
+	return graph.GenErdosRenyi(n, m, directed, seed)
+}
+
+// SBMConfig parameterizes the labeled, degree-skewed stochastic-block-model
+// generator; see GenSBM.
+type SBMConfig = graph.SBMConfig
+
+// GenSBM generates a labeled community graph with heavy-tailed degrees,
+// useful for trying the embedding pipeline end to end without external
+// data.
+func GenSBM(cfg SBMConfig) (*Graph, error) { return graph.GenSBM(cfg) }
+
+// AttributedOptions configure the attributed-graph extension; see
+// EmbedAttributed.
+type AttributedOptions = core.AttributedOptions
+
+// AttributedEmbedding couples topology embeddings with PPR-smoothed node
+// attributes.
+type AttributedEmbedding = core.AttributedEmbedding
+
+// DefaultAttributedOptions returns the default attributed-graph settings
+// (the paper's parameters plus β = 0.3 attribute weight).
+func DefaultAttributedOptions() AttributedOptions { return core.DefaultAttributedOptions() }
+
+// EmbedAttributed implements the paper's stated future work: NRP on the
+// topology fused with node attributes smoothed through the same truncated
+// personalized-PageRank operator. attrs holds one row per node.
+func EmbedAttributed(g *Graph, attrs [][]float64, opt AttributedOptions) (*AttributedEmbedding, error) {
+	return core.NRPAttributed(g, matrix.NewDenseFromRows(attrs), opt)
+}
+
+// GenAttributes synthesizes label-correlated node attributes with Gaussian
+// noise, for experimenting with EmbedAttributed.
+func GenAttributes(g *Graph, dim int, noise float64, seed int64) ([][]float64, error) {
+	return graph.GenAttributes(g, dim, noise, seed)
+}
