@@ -10,22 +10,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/nrp-embed/nrp/internal/experiments"
 	"github.com/nrp-embed/nrp/internal/graph"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
 	var (
 		preset   = fs.String("preset", "", "dataset preset from the experiment harness")
@@ -54,6 +59,11 @@ func run(args []string) error {
 		return fmt.Errorf("-out is required")
 	}
 
+	// Generation is monolithic; honor a pre-generation interrupt and skip
+	// writing outputs if the signal landed during generation.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	var g *graph.Graph
 	var err error
 	switch {
@@ -73,6 +83,9 @@ func run(args []string) error {
 		return fmt.Errorf("unknown -type %q (want sbm or er)", *kind)
 	}
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 

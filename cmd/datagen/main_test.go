@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -11,7 +12,7 @@ import (
 func TestDatagenSBMAndReload(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "demo")
-	if err := run([]string{"-type", "sbm", "-n", "80", "-m", "300", "-labels", "4", "-out", out, "-seed", "2"}); err != nil {
+	if err := run(context.Background(), []string{"-type", "sbm", "-n", "80", "-m", "300", "-labels", "4", "-out", out, "-seed", "2"}); err != nil {
 		t.Fatal(err)
 	}
 	g, err := nrp.LoadGraph(out+".edges", false)
@@ -29,7 +30,7 @@ func TestDatagenSBMAndReload(t *testing.T) {
 func TestDatagenERNoLabels(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "er")
-	if err := run([]string{"-type", "er", "-n", "50", "-m", "100", "-out", out}); err != nil {
+	if err := run(context.Background(), []string{"-type", "er", "-n", "50", "-m", "100", "-out", out}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(out + ".labels"); err == nil {
@@ -38,16 +39,16 @@ func TestDatagenERNoLabels(t *testing.T) {
 }
 
 func TestDatagenValidation(t *testing.T) {
-	if err := run([]string{"-type", "sbm", "-n", "10", "-m", "5"}); err == nil {
+	if err := run(context.Background(), []string{"-type", "sbm", "-n", "10", "-m", "5"}); err == nil {
 		t.Fatal("missing -out accepted")
 	}
-	if err := run([]string{"-type", "bogus", "-out", "/tmp/x"}); err == nil {
+	if err := run(context.Background(), []string{"-type", "bogus", "-out", "/tmp/x"}); err == nil {
 		t.Fatal("unknown type accepted")
 	}
-	if err := run([]string{"-preset", "nope", "-out", "/tmp/x"}); err == nil {
+	if err := run(context.Background(), []string{"-preset", "nope", "-out", "/tmp/x"}); err == nil {
 		t.Fatal("unknown preset accepted")
 	}
-	if err := run([]string{"-list"}); err != nil {
+	if err := run(context.Background(), []string{"-list"}); err != nil {
 		t.Fatal(err)
 	}
 }

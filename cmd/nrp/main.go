@@ -1,29 +1,47 @@
 // Command nrp computes NRP (or ApproxPPR) embeddings for a graph given as
-// an edge list and writes them in the library's binary format.
+// an edge list, and serves top-k proximity queries over saved embeddings.
 //
 // Usage:
 //
 //	nrp -input graph.txt -output emb.bin [-directed] [-method nrp|approxppr]
 //	    [-k 128] [-alpha 0.15] [-l1 20] [-l2 10] [-eps 0.2] [-lambda 10] [-seed 1]
+//	    [-progress]
+//	nrp topk -embedding emb.bin -source 42 [-k 10] [-include-self]
+//
+// Embedding runs print per-phase stats on completion and cancel gracefully
+// on SIGINT/SIGTERM, exiting without writing a partial output file.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
 	"time"
 
 	"github.com/nrp-embed/nrp"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "nrp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
+	if len(args) > 0 && args[0] == "topk" {
+		return runTopK(ctx, args[1:])
+	}
+	return runEmbed(ctx, args)
+}
+
+func runEmbed(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("nrp", flag.ContinueOnError)
 	var (
 		input    = fs.String("input", "", "edge-list file (required)")
@@ -37,6 +55,7 @@ func run(args []string) error {
 		eps      = fs.Float64("eps", 0.2, "BKSVD error threshold ε")
 		lambda   = fs.Float64("lambda", 10, "reweighting regularizer λ")
 		seed     = fs.Int64("seed", 1, "random seed")
+		progress = fs.Bool("progress", false, "log per-phase progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,13 +65,6 @@ func run(args []string) error {
 		return fmt.Errorf("-input and -output are required")
 	}
 
-	loadStart := time.Now()
-	g, err := nrp.LoadGraph(*input, *directed)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "loaded %d nodes, %d edges in %v\n", g.N, g.NumEdges, time.Since(loadStart).Round(time.Millisecond))
-
 	opt := nrp.DefaultOptions()
 	opt.Dim = *k
 	opt.Alpha = *alpha
@@ -61,29 +73,95 @@ func run(args []string) error {
 	opt.Epsilon = *eps
 	opt.Lambda = *lambda
 	opt.Seed = *seed
+	// Fail fast on inconsistent flags, before any graph loading.
+	if err := opt.Validate(); err != nil {
+		return err
+	}
 
-	trainStart := time.Now()
+	loadStart := time.Now()
+	g, err := nrp.LoadGraph(*input, *directed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d nodes, %d edges in %v\n", g.N, g.NumEdges, time.Since(loadStart).Round(time.Millisecond))
+
+	var runOpts []nrp.RunOption
+	if *progress {
+		runOpts = append(runOpts, nrp.WithProgress(func(ev nrp.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "  [%v] %s %d/%d\n", ev.Elapsed.Round(time.Millisecond), ev.Phase, ev.Step, ev.Total)
+		}))
+	}
+
 	var emb *nrp.Embedding
+	var stats *nrp.Stats
 	switch *method {
 	case "nrp":
-		emb, err = nrp.Embed(g, opt)
+		emb, stats, err = nrp.EmbedCtx(ctx, g, opt, runOpts...)
 	case "approxppr":
-		emb, err = nrp.EmbedPPR(g, opt)
+		emb, stats, err = nrp.EmbedPPRCtx(ctx, g, opt, runOpts...)
 	default:
 		return fmt.Errorf("unknown method %q (want nrp or approxppr)", *method)
 	}
 	if err != nil {
+		if ctx.Err() != nil && stats != nil {
+			fmt.Fprintf(os.Stderr, "cancelled after %v\n", stats.Total.Round(time.Millisecond))
+		}
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "embedded in %v\n", time.Since(trainStart).Round(time.Millisecond))
+	stats.Render(os.Stderr)
 
 	f, err := os.Create(*output)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if err := emb.Save(f); err != nil {
+		f.Close()
 		return err
 	}
 	return f.Close()
+}
+
+func runTopK(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("nrp topk", flag.ContinueOnError)
+	var (
+		embPath     = fs.String("embedding", "", "embedding file written by an embed run (required)")
+		source      = fs.Int("source", -1, "query source node id (required)")
+		k           = fs.Int("k", 10, "number of neighbors to return")
+		workers     = fs.Int("workers", 0, "scan goroutines (0 = all cores)")
+		includeSelf = fs.Bool("include-self", false, "admit the source node as a result")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *embPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-embedding is required")
+	}
+	if *source < 0 {
+		fs.Usage()
+		return fmt.Errorf("-source is required")
+	}
+
+	f, err := os.Open(*embPath)
+	if err != nil {
+		return err
+	}
+	emb, err := nrp.LoadEmbedding(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	ix := nrp.NewIndex(emb, nrp.IndexOptions{Workers: *workers, IncludeSelf: *includeSelf})
+	start := time.Now()
+	nbrs, err := ix.TopK(ctx, *source, *k)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "top-%d of node %d over %d nodes in %v\n",
+		len(nbrs), *source, ix.N(), time.Since(start).Round(time.Microsecond))
+	for rank, nb := range nbrs {
+		fmt.Printf("%-4d %-10d %s\n", rank+1, nb.Node, strconv.FormatFloat(nb.Score, 'g', 6, 64))
+	}
+	return nil
 }

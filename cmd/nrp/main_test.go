@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -8,11 +10,9 @@ import (
 	"github.com/nrp-embed/nrp"
 )
 
-func TestRunEndToEnd(t *testing.T) {
-	dir := t.TempDir()
-	graphPath := filepath.Join(dir, "g.txt")
-	embPath := filepath.Join(dir, "emb.bin")
-
+func writeTestGraph(t *testing.T, dir string) (graphPath string, g *nrp.Graph) {
+	t.Helper()
+	graphPath = filepath.Join(dir, "g.txt")
 	g, err := nrp.GenSBM(nrp.SBMConfig{N: 100, M: 500, Communities: 4, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -25,8 +25,15 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
+	return graphPath, g
+}
 
-	if err := run([]string{"-input", graphPath, "-output", embPath, "-k", "16"}); err != nil {
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	graphPath, g := writeTestGraph(t, dir)
+	embPath := filepath.Join(dir, "emb.bin")
+
+	if err := run(context.Background(), []string{"-input", graphPath, "-output", embPath, "-k", "16"}); err != nil {
 		t.Fatal(err)
 	}
 	ef, err := os.Open(embPath)
@@ -44,16 +51,67 @@ func TestRunEndToEnd(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run([]string{}); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, []string{}); err == nil {
 		t.Fatal("missing flags accepted")
 	}
-	if err := run([]string{"-input", "/nope", "-output", "/tmp/x"}); err == nil {
+	if err := run(ctx, []string{"-input", "/nope", "-output", "/tmp/x"}); err == nil {
 		t.Fatal("missing input file accepted")
 	}
 	dir := t.TempDir()
 	graphPath := filepath.Join(dir, "g.txt")
 	os.WriteFile(graphPath, []byte("0 1\n"), 0o644)
-	if err := run([]string{"-input", graphPath, "-output", filepath.Join(dir, "e"), "-method", "bogus"}); err == nil {
+	if err := run(ctx, []string{"-input", graphPath, "-output", filepath.Join(dir, "e"), "-method", "bogus"}); err == nil {
 		t.Fatal("unknown method accepted")
+	}
+	// Invalid options must fail fast, before the graph is even read: an
+	// odd dimensionality against a nonexistent input still reports the
+	// option error.
+	err := run(ctx, []string{"-input", "/definitely/not/here", "-output", filepath.Join(dir, "e"), "-k", "7"})
+	if err == nil {
+		t.Fatal("odd -k accepted")
+	}
+	if os.IsNotExist(errors.Unwrap(err)) {
+		t.Fatalf("graph was opened before options were validated: %v", err)
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	dir := t.TempDir()
+	graphPath, _ := writeTestGraph(t, dir)
+	embPath := filepath.Join(dir, "emb.bin")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"-input", graphPath, "-output", embPath, "-k", "16"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, statErr := os.Stat(embPath); statErr == nil {
+		t.Fatal("cancelled run wrote an output file")
+	}
+}
+
+func TestRunTopK(t *testing.T) {
+	dir := t.TempDir()
+	graphPath, _ := writeTestGraph(t, dir)
+	embPath := filepath.Join(dir, "emb.bin")
+	if err := run(context.Background(), []string{"-input", graphPath, "-output", embPath, "-k", "16"}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run(context.Background(), []string{"topk", "-embedding", embPath, "-source", "3", "-k", "5"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Validation failures.
+	if err := run(context.Background(), []string{"topk", "-source", "3"}); err == nil {
+		t.Fatal("missing -embedding accepted")
+	}
+	if err := run(context.Background(), []string{"topk", "-embedding", embPath}); err == nil {
+		t.Fatal("missing -source accepted")
+	}
+	if err := run(context.Background(), []string{"topk", "-embedding", embPath, "-source", "100000"}); err == nil {
+		t.Fatal("out-of-range source accepted")
 	}
 }

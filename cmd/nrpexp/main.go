@@ -10,24 +10,34 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/nrp-embed/nrp/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "nrpexp: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "nrpexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("nrpexp", flag.ContinueOnError)
 	var (
 		exp      = fs.String("exp", "", "experiment id (or 'all')")
@@ -56,6 +66,7 @@ func run(args []string) error {
 	}
 
 	cfg := experiments.Config{
+		Ctx:   ctx,
 		Scale: *scale,
 		Dim:   *dim,
 		Seed:  *seed,
@@ -91,6 +102,9 @@ func run(args []string) error {
 		runners = []experiments.Runner{r}
 	}
 	for _, r := range runners {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		start := time.Now()
 		fmt.Printf("### %s — %s\n", r.Name, r.Paper)
 		tables, err := r.Run(cfg)

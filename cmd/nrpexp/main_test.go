@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -27,19 +28,19 @@ func TestSplitCSV(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-exp", "nope"}); err == nil {
+	if err := run(context.Background(), []string{"-exp", "nope"}); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if err := run([]string{}); err == nil {
+	if err := run(context.Background(), []string{}); err == nil {
 		t.Fatal("missing -exp accepted")
 	}
-	if err := run([]string{"-exp", "fig4", "-dims", "abc"}); err == nil {
+	if err := run(context.Background(), []string{"-exp", "fig4", "-dims", "abc"}); err == nil {
 		t.Fatal("bad -dims accepted")
 	}
 }
 
 func TestRunList(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
+	if err := run(context.Background(), []string{"-list"}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,11 +32,12 @@ func main() {
 	opt := nrp.DefaultAttributedOptions()
 	opt.Dim = 32
 	opt.Seed = 33
-	fused, err := nrp.EmbedAttributed(g, attrs, opt)
+	ctx := context.Background()
+	fused, _, err := nrp.EmbedAttributedCtx(ctx, g, attrs, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	topoOnly, err := nrp.Embed(g, opt.Options)
+	topoOnly, _, err := nrp.EmbedCtx(ctx, g, opt.Options)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,9 +1,12 @@
 // Link prediction on a directed social-network-like graph: remove 30% of
 // the edges, embed the remainder with NRP and with the ApproxPPR baseline,
-// and compare AUC — the protocol of the paper's §5.2 (Fig 4).
+// and compare AUC — the protocol of the paper's §5.2 (Fig 4). Scoring runs
+// through the serving-grade Index (batch ScoreMany), and the demo finishes
+// with a TopK query: the index's ranked link recommendations for one node.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -13,6 +16,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A directed graph with 20 communities and heavy-tailed degrees,
 	// standing in for a social network.
 	g, err := nrp.GenSBM(nrp.SBMConfig{
@@ -49,33 +54,68 @@ func main() {
 	// graphs (average degree 39-77); this synthetic graph averages degree
 	// 10, so the regularizer is scaled down accordingly.
 	opt.Lambda = 0.1
+	var nrpIndex *nrp.Index
 	for _, method := range []struct {
 		name  string
-		embed func(*nrp.Graph, nrp.Options) (*nrp.Embedding, error)
+		embed func(context.Context, *nrp.Graph, nrp.Options, ...nrp.RunOption) (*nrp.Embedding, *nrp.Stats, error)
 	}{
-		{"ApproxPPR (no reweighting)", nrp.EmbedPPR},
-		{"NRP (node-reweighted)", nrp.Embed},
+		{"ApproxPPR (no reweighting)", nrp.EmbedPPRCtx},
+		{"NRP (node-reweighted)", nrp.EmbedCtx},
 	} {
-		emb, err := method.embed(train, opt)
+		emb, _, err := method.embed(ctx, train, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-28s AUC = %.4f\n", method.name, auc(emb, testPos, testNeg))
+		ix := nrp.NewIndex(emb)
+		a, err := auc(ctx, ix, testPos, testNeg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s AUC = %.4f\n", method.name, a)
+		nrpIndex = ix
+	}
+
+	// Serving-style query: the NRP index's top link recommendations for
+	// node 0, excluding nodes it already points to.
+	const source = 0
+	nbrs, err := nrpIndex.TopK(ctx, source, 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop new-link candidates for node %d (existing edges skipped):\n", source)
+	shown := 0
+	for _, nb := range nbrs {
+		if train.HasEdge(source, nb.Node) {
+			continue
+		}
+		fmt.Printf("  -> %-6d score %.4f\n", nb.Node, nb.Score)
+		if shown++; shown == 5 {
+			break
+		}
 	}
 }
 
-// auc computes the rank-based AUC of the embedding's scores.
-func auc(emb *nrp.Embedding, pos, neg []nrp.Edge) float64 {
+// auc computes the rank-based AUC, batch-scoring both edge sets through the
+// index.
+func auc(ctx context.Context, ix *nrp.Index, pos, neg []nrp.Edge) (float64, error) {
+	pairs := make([]nrp.Pair, 0, len(pos)+len(neg))
+	for _, e := range pos {
+		pairs = append(pairs, nrp.Pair{U: int(e.U), V: int(e.V)})
+	}
+	for _, e := range neg {
+		pairs = append(pairs, nrp.Pair{U: int(e.U), V: int(e.V)})
+	}
+	scores, err := ix.ScoreMany(ctx, pairs)
+	if err != nil {
+		return 0, err
+	}
 	type scored struct {
 		s   float64
 		pos bool
 	}
-	all := make([]scored, 0, len(pos)+len(neg))
-	for _, e := range pos {
-		all = append(all, scored{emb.Score(int(e.U), int(e.V)), true})
-	}
-	for _, e := range neg {
-		all = append(all, scored{emb.Score(int(e.U), int(e.V)), false})
+	all := make([]scored, len(scores))
+	for i, s := range scores {
+		all[i] = scored{s, i < len(pos)}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].s < all[j].s })
 	rankSum := 0.0
@@ -85,5 +125,5 @@ func auc(emb *nrp.Embedding, pos, neg []nrp.Edge) float64 {
 		}
 	}
 	nPos, nNeg := float64(len(pos)), float64(len(neg))
-	return (rankSum - nPos*(nPos+1)/2) / (nPos * nNeg)
+	return (rankSum - nPos*(nPos+1)/2) / (nPos * nNeg), nil
 }

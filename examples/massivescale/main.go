@@ -1,19 +1,30 @@
-// Massive-scale demo: embed a sequence of growing Erdős–Rényi graphs on a
-// single core and report wall-clock time per graph, demonstrating the
-// near-linear O(k(m+kn) log n) scaling that lets the paper's C++
-// implementation embed a 1.2-billion-edge Twitter graph in under 4 hours
-// (Fig 10 / §5.5).
+// Massive-scale demo: embed a sequence of growing Erdős–Rényi graphs and
+// report wall-clock time per graph, demonstrating the near-linear
+// O(k(m+kn) log n) scaling that lets the paper's C++ implementation embed a
+// 1.2-billion-edge Twitter graph in under 4 hours (Fig 10 / §5.5).
+//
+// It also demonstrates the v2 observability surface: each run streams
+// per-phase progress to stderr, prints the per-phase stats breakdown, and
+// aborts cleanly (Ctrl-C) mid-factorization via context cancellation.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/nrp-embed/nrp"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opt := nrp.DefaultOptions()
 	opt.Dim = 32 // modest dimensionality keeps the demo snappy
 
@@ -28,13 +39,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		start := time.Now()
-		if _, err := nrp.Embed(g, opt); err != nil {
+		_, stats, err := nrp.EmbedCtx(ctx, g, opt, nrp.WithProgress(func(ev nrp.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "  [%v] %s %d/%d\r", ev.Elapsed.Round(time.Millisecond), ev.Phase, ev.Step, ev.Total)
+		}))
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "\ninterrupted — exiting cleanly")
+				return
+			}
 			log.Fatal(err)
 		}
-		elapsed := time.Since(start)
-		perUnit := float64(elapsed.Nanoseconds()) / float64(size.m+size.n)
-		fmt.Printf("%-9d %-10d %-12v %.0f\n", size.n, size.m, elapsed.Round(time.Millisecond), perUnit)
+		fmt.Fprintln(os.Stderr)
+		perUnit := float64(stats.Total.Nanoseconds()) / float64(size.m+size.n)
+		fmt.Printf("%-9d %-10d %-12v %.0f\n", size.n, size.m, stats.Total.Round(time.Millisecond), perUnit)
+		stats.Render(os.Stderr)
 		lastPerUnit = perUnit
 	}
 	fmt.Printf("\ncost per edge grows only logarithmically as the graph doubles (last: %.0f ns),\n", lastPerUnit)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,11 +30,12 @@ func main() {
 	opt.Lambda = 0 // the paper's Example 2 disables regularization on this toy
 	opt.Seed = 7
 
-	ppr, err := nrp.EmbedPPR(g, opt) // Algorithm 1: PPR factorization only
+	ctx := context.Background()
+	ppr, _, err := nrp.EmbedPPRCtx(ctx, g, opt) // Algorithm 1: PPR factorization only
 	if err != nil {
 		log.Fatal(err)
 	}
-	reweighted, err := nrp.Embed(g, opt) // Algorithm 3: + node reweighting
+	reweighted, _, err := nrp.EmbedCtx(ctx, g, opt) // Algorithm 3: + node reweighting
 	if err != nil {
 		log.Fatal(err)
 	}

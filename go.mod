@@ -1,0 +1,3 @@
+module github.com/nrp-embed/nrp
+
+go 1.22

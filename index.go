@@ -1,0 +1,283 @@
+package nrp
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/nrp-embed/nrp/internal/matrix"
+)
+
+// Neighbor is one result of a proximity query: a candidate node and its
+// directed proximity score from the query source.
+type Neighbor struct {
+	Node  int
+	Score float64
+}
+
+// Pair is a (source, target) query for ScoreMany.
+type Pair struct {
+	U, V int
+}
+
+// Searcher answers proximity queries over an embedding. Index is the exact
+// brute-force implementation; later backends (pruned scans, ANN structures)
+// implement the same contract.
+type Searcher interface {
+	// TopK returns the k nodes v maximizing the directed proximity
+	// Score(u, v), best first.
+	TopK(ctx context.Context, u, k int) ([]Neighbor, error)
+	// ScoreMany scores a batch of (u, v) pairs.
+	ScoreMany(ctx context.Context, pairs []Pair) ([]float64, error)
+}
+
+// IndexOptions configure query execution.
+type IndexOptions struct {
+	// Workers is the number of goroutines a TopK scan fans out across
+	// (0 = GOMAXPROCS).
+	Workers int
+	// IncludeSelf admits the query node itself as a result; by default it
+	// is excluded, matching the link-prediction use of proximity scores.
+	IncludeSelf bool
+}
+
+// Index serves top-k and batch proximity queries over a fixed Embedding by
+// an exact scan parallelized across goroutines. It is safe for concurrent
+// use; the embedding must not be mutated while queries run.
+type Index struct {
+	emb         *Embedding
+	workers     int
+	includeSelf bool
+}
+
+// Interface check: Index is the reference Searcher backend.
+var _ Searcher = (*Index)(nil)
+
+// NewIndex builds a query index over emb.
+func NewIndex(emb *Embedding, opts ...IndexOptions) *Index {
+	var o IndexOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Index{emb: emb, workers: w, includeSelf: o.IncludeSelf}
+}
+
+// N reports the number of indexed nodes.
+func (ix *Index) N() int { return ix.emb.N() }
+
+// ctxCheckStride is how many candidates a scan worker processes between
+// context checks — frequent enough for sub-millisecond cancellation, rare
+// enough to stay off the hot path.
+const ctxCheckStride = 4096
+
+// TopK returns the k nodes with the highest directed proximity from u,
+// sorted by decreasing score (ties broken by ascending node id, so results
+// are deterministic). k is clamped to the number of eligible candidates.
+func (ix *Index) TopK(ctx context.Context, u, k int) ([]Neighbor, error) {
+	n := ix.emb.N()
+	if u < 0 || u >= n {
+		return nil, fmt.Errorf("nrp: TopK source %d out of range [0,%d)", u, n)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("nrp: TopK k must be positive, got %d", k)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	max := n
+	if !ix.includeSelf {
+		max--
+	}
+	if k > max {
+		k = max
+	}
+	if k == 0 {
+		return nil, nil
+	}
+
+	xu := ix.emb.X.Row(u)
+	workers := ix.workers
+	if workers > n {
+		workers = n
+	}
+	heaps := make([]topkHeap, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			h := newTopkHeap(k)
+			for v := lo; v < hi; v++ {
+				if (v-lo)%ctxCheckStride == 0 {
+					if err := ctx.Err(); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+				if v == u && !ix.includeSelf {
+					continue
+				}
+				h.offer(v, matrix.Dot(xu, ix.emb.Y.Row(v)))
+			}
+			heaps[w] = h
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Merge the per-worker heaps and keep the global top k.
+	merged := newTopkHeap(k)
+	for _, h := range heaps {
+		for _, nb := range h.items {
+			merged.offer(nb.Node, nb.Score)
+		}
+	}
+	out := merged.items
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out, nil
+}
+
+// ScoreMany scores a batch of directed pairs, parallelized across the
+// index's workers. The result is aligned with pairs.
+func (ix *Index) ScoreMany(ctx context.Context, pairs []Pair) ([]float64, error) {
+	n := ix.emb.N()
+	for i, p := range pairs {
+		if p.U < 0 || p.U >= n || p.V < 0 || p.V >= n {
+			return nil, fmt.Errorf("nrp: ScoreMany pair %d (%d,%d) out of range [0,%d)", i, p.U, p.V, n)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(pairs))
+	workers := ix.workers
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers <= 1 {
+		for i, p := range pairs {
+			if i%ctxCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			out[i] = ix.emb.Score(p.U, p.V)
+		}
+		return out, nil
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if (i-lo)%ctxCheckStride == 0 {
+					if err := ctx.Err(); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+				out[i] = ix.emb.Score(pairs[i].U, pairs[i].V)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// weaker reports whether a ranks below b: lower score, or among equal
+// scores the higher node id (mirroring TopK's ascending-id tie-break).
+func weaker(a, b Neighbor) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Node > b.Node
+}
+
+// topkHeap is a fixed-capacity min-heap on score: the root is the weakest
+// of the current top k, so each candidate costs O(1) when it loses and
+// O(log k) when it displaces the root.
+type topkHeap struct {
+	items []Neighbor
+	cap   int
+}
+
+func newTopkHeap(k int) topkHeap { return topkHeap{items: make([]Neighbor, 0, k), cap: k} }
+
+func (h *topkHeap) offer(node int, score float64) {
+	cand := Neighbor{Node: node, Score: score}
+	if len(h.items) < h.cap {
+		h.items = append(h.items, cand)
+		// Sift up.
+		i := len(h.items) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !weaker(h.items[i], h.items[parent]) {
+				break
+			}
+			h.items[i], h.items[parent] = h.items[parent], h.items[i]
+			i = parent
+		}
+		return
+	}
+	// Full: admit only candidates stronger than the current weakest (root).
+	if !weaker(h.items[0], cand) {
+		return
+	}
+	h.items[0] = cand
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && weaker(h.items[l], h.items[smallest]) {
+			smallest = l
+		}
+		if r < len(h.items) && weaker(h.items[r], h.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -16,7 +18,34 @@ import (
 // scaling by α(1−α), yielding X·Yᵀ ≈ Π′ = Σ_{i=1..ℓ₁} α(1−α)^i P^i with the
 // Theorem-1 error bound. The embeddings are the paper's PPR baseline and
 // the starting point of NRP.
+//
+// Deprecated: use ApproxPPRCtx, which supports cancellation, progress
+// reporting and run stats.
 func ApproxPPR(g *graph.Graph, opt Options) (*Embedding, error) {
+	emb, _, err := ApproxPPRCtx(context.Background(), g, opt)
+	return emb, err
+}
+
+// ApproxPPRCtx is the context-aware Algorithm 1. The context is checked
+// between Krylov iterations and between PPR folding iterations; on
+// cancellation the returned error is ctx.Err(). Stats are returned even on
+// error, covering the phases that ran.
+func ApproxPPRCtx(ctx context.Context, g *graph.Graph, opt Options, opts ...RunOption) (*Embedding, *Stats, error) {
+	t := newTracker(ctx, NewRunConfig(opts))
+	emb, err := approxPPR(g, opt, t)
+	return emb, t.done(), err
+}
+
+// isCtxErr reports whether err is a context cancellation/deadline error,
+// which the pipeline propagates bare so callers can compare against
+// ctx.Err().
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// approxPPR runs Algorithm 1 under an existing tracker so NRP can share
+// one stats record across its phases.
+func approxPPR(g *graph.Graph, opt Options, t *tracker) (*Embedding, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -27,18 +56,39 @@ func ApproxPPR(g *graph.Graph, opt Options) (*Embedding, error) {
 	rng := rand.New(rand.NewSource(opt.Seed))
 
 	// Line 1: [U, Σ, V] ← BKSVD(A, k′, ε).
+	stopFactorize := t.phaseTimer(&t.stats.Factorize)
 	factorize := svd.BKSVD
 	if opt.SubspaceIteration {
 		factorize = svd.SubspaceIteration
 	}
+	// Iterations seen via the progress hook, so a cancelled factorization
+	// still reports how far it got.
+	kryIters := 0
 	res, err := factorize(g.Adj, svd.Options{
 		Rank:    kPrime,
 		Epsilon: opt.Epsilon,
 		Iters:   opt.KrylovIters,
 		Rng:     rng,
+		Ctx:     t.ctx,
+		Progress: func(iter, total int) {
+			kryIters = iter
+			t.step(PhaseFactorize, iter, total)
+		},
 	})
 	if err != nil {
+		stopFactorize(kryIters)
+		t.stats.KrylovIters = kryIters
+		if isCtxErr(err) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("core: factorizing adjacency: %w", err)
+	}
+	stopFactorize(res.ItersRun)
+	t.stats.KrylovIters = res.ItersRun
+	for _, s := range res.S {
+		if s > 1e-12 {
+			t.stats.AchievedRank++
+		}
 	}
 
 	// Line 2: X₁ = D⁻¹·U·√Σ, Y = V·√Σ.
@@ -63,15 +113,24 @@ func ApproxPPR(g *graph.Graph, opt Options) (*Embedding, error) {
 	}
 
 	// Lines 3–5: X_i = (1−α)·P·X_{i−1} + X₁; X = α(1−α)·X_{ℓ₁}.
+	stopPPR := t.phaseTimer(&t.stats.PPR)
 	p := g.Transition()
 	x := x1.Clone()
+	iters := 0
 	for i := 2; i <= opt.L1; i++ {
+		if err := t.err(); err != nil {
+			stopPPR(iters)
+			return nil, err
+		}
 		next := p.MulDense(x)
 		next.Scale(1 - opt.Alpha)
 		next.AddInPlace(x1)
 		x = next
+		iters++
+		t.step(PhasePPR, iters, opt.L1-1)
 	}
 	x.Scale(opt.Alpha * (1 - opt.Alpha))
+	stopPPR(iters)
 
 	return &Embedding{X: x, Y: y}, nil
 }

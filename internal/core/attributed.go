@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -65,18 +66,39 @@ type AttributedEmbedding struct {
 // NRPAttributed embeds an attributed graph: NRP on the topology plus
 // truncated-PPR propagation of the attribute matrix (n×d, one row per
 // node).
+//
+// Deprecated: use NRPAttributedCtx, which supports cancellation, progress
+// reporting and run stats.
 func NRPAttributed(g *graph.Graph, attrs *matrix.Dense, opt AttributedOptions) (*AttributedEmbedding, error) {
+	emb, _, err := NRPAttributedCtx(context.Background(), g, attrs, opt)
+	return emb, err
+}
+
+// NRPAttributedCtx is the context-aware attributed pipeline: the topology
+// phases inherit NRPCtx's cancellation points, and the attribute
+// propagation checks the context between iterations. On cancellation the
+// returned error is ctx.Err().
+func NRPAttributedCtx(ctx context.Context, g *graph.Graph, attrs *matrix.Dense, opt AttributedOptions, opts ...RunOption) (*AttributedEmbedding, *Stats, error) {
+	t := newTracker(ctx, NewRunConfig(opts))
+	emb, err := nrpAttributed(g, attrs, opt, t)
+	return emb, t.done(), err
+}
+
+func nrpAttributed(g *graph.Graph, attrs *matrix.Dense, opt AttributedOptions, t *tracker) (*AttributedEmbedding, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
 	if attrs.Rows != g.N {
 		return nil, fmt.Errorf("core: attribute matrix has %d rows for %d nodes", attrs.Rows, g.N)
 	}
-	topo, err := NRP(g, opt.Options)
+	topo, err := nrpTracked(g, opt.Options, t)
 	if err != nil {
 		return nil, err
 	}
-	smoothed := PropagateAttributes(g, attrs, opt)
+	smoothed, err := propagateAttributes(g, attrs, opt, t)
+	if err != nil {
+		return nil, err
+	}
 	return &AttributedEmbedding{Topology: topo, Attr: smoothed, Beta: opt.Beta}, nil
 }
 
@@ -85,6 +107,12 @@ func NRPAttributed(g *graph.Graph, attrs *matrix.Dense, opt AttributedOptions) (
 // result. Cost is O(ℓ₁·m·d), the attribute analog of Algorithm 1's
 // iterations.
 func PropagateAttributes(g *graph.Graph, attrs *matrix.Dense, opt AttributedOptions) *matrix.Dense {
+	acc, _ := propagateAttributes(g, attrs, opt, newTracker(context.Background(), RunConfig{}))
+	return acc
+}
+
+func propagateAttributes(g *graph.Graph, attrs *matrix.Dense, opt AttributedOptions, t *tracker) (*matrix.Dense, error) {
+	stop := t.phaseTimer(&t.stats.Attributes)
 	f := attrs
 	if opt.AttrDim > 0 && attrs.Cols > opt.AttrDim {
 		rng := rand.New(rand.NewSource(opt.Seed + 17))
@@ -96,15 +124,23 @@ func PropagateAttributes(g *graph.Graph, attrs *matrix.Dense, opt AttributedOpti
 	cur := f.Clone()
 	cur.Scale(opt.Alpha)
 	acc := cur.Clone()
+	iters := 0
 	for i := 1; i <= opt.L1; i++ {
+		if err := t.err(); err != nil {
+			stop(iters)
+			return nil, err
+		}
 		cur = p.MulDense(cur)
 		cur.Scale(1 - opt.Alpha)
 		acc.AddInPlace(cur)
+		iters++
+		t.step(PhaseAttributes, iters, opt.L1)
 	}
 	for v := 0; v < acc.Rows; v++ {
 		matrix.NormalizeRow(acc.Row(v))
 	}
-	return acc
+	stop(iters)
+	return acc, nil
 }
 
 // Score combines the topology inner product with attribute cosine

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -14,8 +15,26 @@ import (
 // out-degree (and symmetrically in-degree) — correcting PPR's purely local,
 // source-relative view. The learned weights are folded into the embeddings:
 // X_v ← →w_v·X_v, Y_v ← ←w_v·Y_v.
+//
+// Deprecated: use NRPCtx, which supports cancellation, progress reporting
+// and run stats.
 func NRP(g *graph.Graph, opt Options) (*Embedding, error) {
-	emb, err := ApproxPPR(g, opt)
+	emb, _, err := NRPCtx(context.Background(), g, opt)
+	return emb, err
+}
+
+// NRPCtx is the context-aware Algorithm 3. The context is checked inside
+// the factorization, the PPR folding iterations and between reweighting
+// epochs; on cancellation the returned error is ctx.Err(). Stats are
+// returned even on error, covering the phases that ran.
+func NRPCtx(ctx context.Context, g *graph.Graph, opt Options, opts ...RunOption) (*Embedding, *Stats, error) {
+	t := newTracker(ctx, NewRunConfig(opts))
+	emb, err := nrpTracked(g, opt, t)
+	return emb, t.done(), err
+}
+
+func nrpTracked(g *graph.Graph, opt Options, t *tracker) (*Embedding, error) {
+	emb, err := approxPPR(g, opt, t)
 	if err != nil {
 		return nil, err
 	}
@@ -24,7 +43,7 @@ func NRP(g *graph.Graph, opt Options) (*Embedding, error) {
 		// conventional-PPR embedding, not the degree-scaled initialization.
 		return emb, nil
 	}
-	fw, bw, err := LearnWeights(g, emb, opt)
+	fw, bw, err := learnWeights(emb, g.InDegrees(), g.OutDegrees(), opt, t)
 	if err != nil {
 		return nil, err
 	}
@@ -40,8 +59,21 @@ func NRP(g *graph.Graph, opt Options) (*Embedding, error) {
 // fixed embeddings and returns the learned forward and backward weights.
 // It is exposed separately so callers can inspect or reuse the weights
 // (e.g. the parameter studies of Fig 8d).
+//
+// Deprecated: use LearnWeightsCtx, which supports cancellation, progress
+// reporting and run stats.
 func LearnWeights(g *graph.Graph, emb *Embedding, opt Options) (fw, bw []float64, err error) {
-	return LearnWeightsWithTargets(emb, g.InDegrees(), g.OutDegrees(), opt)
+	fw, bw, _, err = LearnWeightsCtx(context.Background(), g, emb, opt)
+	return fw, bw, err
+}
+
+// LearnWeightsCtx is the context-aware reweighting phase. The context is
+// checked between coordinate-descent passes; on cancellation the returned
+// error is ctx.Err(). Stats report per-epoch residuals.
+func LearnWeightsCtx(ctx context.Context, g *graph.Graph, emb *Embedding, opt Options, opts ...RunOption) (fw, bw []float64, stats *Stats, err error) {
+	t := newTracker(ctx, NewRunConfig(opts))
+	fw, bw, err = learnWeights(emb, g.InDegrees(), g.OutDegrees(), opt, t)
+	return fw, bw, t.done(), err
 }
 
 // LearnWeightsWithTargets runs the coordinate descent against custom
@@ -50,17 +82,40 @@ func LearnWeights(g *graph.Graph, emb *Embedding, opt Options) (fw, bw []float64
 // uniform targets isolates how much of NRP's gain comes from targeting
 // degrees specifically.
 func LearnWeightsWithTargets(emb *Embedding, din, dout []float64, opt Options) (fw, bw []float64, err error) {
+	return learnWeights(emb, din, dout, opt, newTracker(context.Background(), RunConfig{}))
+}
+
+// learnWeights is the shared reweighting loop: ℓ₂ epochs of backward then
+// forward coordinate-descent passes, with a cancellation check between
+// passes and per-epoch mean absolute weight movement recorded as the
+// convergence residual.
+func learnWeights(emb *Embedding, din, dout []float64, opt Options, t *tracker) (fw, bw []float64, err error) {
 	if err := opt.Validate(); err != nil {
 		return nil, nil, err
 	}
 	if len(din) != emb.N() || len(dout) != emb.N() {
 		return nil, nil, fmt.Errorf("core: target lengths %d/%d for %d nodes", len(din), len(dout), emb.N())
 	}
+	stop := t.phaseTimer(&t.stats.Reweight)
 	state := newReweightState(emb, din, dout, opt)
 	rng := rand.New(rand.NewSource(opt.Seed + 0x9e3779b9))
+	epochs := 0
 	for epoch := 0; epoch < opt.L2; epoch++ {
-		state.updateBwdWeights(rng)
-		state.updateFwdWeights(rng)
+		if err := t.err(); err != nil {
+			stop(epochs)
+			return nil, nil, err
+		}
+		moveB := state.updateBwdWeights(rng)
+		if err := t.err(); err != nil {
+			stop(epochs)
+			return nil, nil, err
+		}
+		moveF := state.updateFwdWeights(rng)
+		epochs++
+		t.stats.ReweightResiduals = append(t.stats.ReweightResiduals,
+			(moveB+moveF)/float64(2*emb.N()))
+		t.step(PhaseReweight, epochs, opt.L2)
 	}
+	stop(epochs)
 	return state.fw, state.bw, nil
 }

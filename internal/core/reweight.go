@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 
 	"github.com/nrp-embed/nrp/internal/matrix"
@@ -53,8 +54,10 @@ func newReweightState(emb *Embedding, din, dout []float64, opt Options) *reweigh
 // updateBwdWeights is Algorithm 2: one pass of coordinate descent over all
 // backward weights, visiting nodes in random order. The shared statistics
 // ξ, χ, Λ, φ are computed once per pass; ρ₁, ρ₂ are updated incrementally
-// after each weight change (Eq. 11), making the pass O(n·k′²).
-func (s *reweightState) updateBwdWeights(rng *rand.Rand) {
+// after each weight change (Eq. 11), making the pass O(n·k′²). It returns
+// the total absolute weight movement of the pass, the convergence residual
+// reported in Stats.
+func (s *reweightState) updateBwdWeights(rng *rand.Rand) (moved float64) {
 	k := s.kPrime
 	// Line 1: shared statistics (Eq. 9, 10, 13).
 	xi := make([]float64, k)         // ξ  = Σ_u dout(u)·→w_u·X_u
@@ -126,13 +129,17 @@ func (s *reweightState) updateBwdWeights(rng *rand.Rand) {
 			matrix.Axpy(delta, yv, rho1)
 			matrix.Axpy(delta*fwV*fwV*dotXY, xv, rho2)
 			s.bw[vStar] = newW
+			moved += math.Abs(delta)
 		}
 	}
+	return moved
 }
 
 // updateFwdWeights is Algorithm 4 (Appendix B): the mirror-image pass over
 // forward weights with statistics ξ′, χ′, Λ′, ρ₁′, ρ₂′, φ′ (Eq. 24–29).
-func (s *reweightState) updateFwdWeights(rng *rand.Rand) {
+// Like updateBwdWeights, it returns the pass's total absolute weight
+// movement.
+func (s *reweightState) updateFwdWeights(rng *rand.Rand) (moved float64) {
 	k := s.kPrime
 	xi := make([]float64, k)         // ξ′  = Σ_v din(v)·←w_v·Y_v
 	chi := make([]float64, k)        // χ′  = Σ_v ←w_v·Y_v
@@ -202,8 +209,10 @@ func (s *reweightState) updateFwdWeights(rng *rand.Rand) {
 			matrix.Axpy(delta, xu, rho1)
 			matrix.Axpy(delta*bwU*bwU*dotXY, yu, rho2)
 			s.fw[uStar] = newW
+			moved += math.Abs(delta)
 		}
 	}
+	return moved
 }
 
 // objective evaluates Eq. (6) exactly in O(n²k′) — used by tests and the

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -8,6 +9,10 @@ import (
 
 // Config controls an experiment run.
 type Config struct {
+	// Ctx, when non-nil, lets the caller cancel a run; runners check it
+	// between training cells and return Ctx.Err(). Embedding runs inside a
+	// cell also inherit it, so cancellation lands mid-factorization too.
+	Ctx context.Context
 	// Scale multiplies every dataset's node and edge counts (default 1).
 	Scale float64
 	// Dim is the embedding dimensionality for non-sweep experiments
@@ -78,6 +83,22 @@ func (c Config) defaults() Config {
 		c.Seed = 1
 	}
 	return c
+}
+
+// Err reports the configured context's cancellation error, if any.
+func (c Config) Err() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
+}
+
+// ctx resolves the configured context, defaulting to context.Background().
+func (c Config) ctx() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
 }
 
 func (c Config) logf(format string, args ...interface{}) {

@@ -41,11 +41,14 @@ func runFig10(cfg Config) ([]*Table, error) {
 		Header: []string{"nodes", "time", "ns/edge-equivalent"},
 	}
 	for i, n := range ns {
+		if err := cfg.Err(); err != nil {
+			return nil, err
+		}
 		g, err := graph.GenErdosRenyi(n, fixedM, false, cfg.Seed+int64(i))
 		if err != nil {
 			return nil, err
 		}
-		secs, err := timeNRP(g, opt)
+		secs, err := timeNRP(cfg.ctx(), g, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -58,11 +61,14 @@ func runFig10(cfg Config) ([]*Table, error) {
 		Header: []string{"edges", "time", "ns/edge-equivalent"},
 	}
 	for i, m := range ms {
+		if err := cfg.Err(); err != nil {
+			return nil, err
+		}
 		g, err := graph.GenErdosRenyi(fixedN, m, false, cfg.Seed+100+int64(i))
 		if err != nil {
 			return nil, err
 		}
-		secs, err := timeNRP(g, opt)
+		secs, err := timeNRP(cfg.ctx(), g, opt)
 		if err != nil {
 			return nil, err
 		}

@@ -63,7 +63,10 @@ func runFig4(cfg Config) ([]*Table, error) {
 			}
 			row := []string{m.Name}
 			for _, dim := range dims {
-				model, err := m.TrainTimed(split.Train, dim, cfg.Seed)
+				if err := cfg.Err(); err != nil {
+					return nil, err
+				}
+				model, err := m.TrainTimed(cfg.ctx(), split.Train, dim, cfg.Seed)
 				if err != nil {
 					return nil, err
 				}

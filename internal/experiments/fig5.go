@@ -59,10 +59,13 @@ func runFig5(cfg Config) ([]*Table, error) {
 			Header: append([]string{"method"}, intHeaders("K=", fc.ks)...),
 		}
 		for _, m := range cfg.selectMethods() {
+			if err := cfg.Err(); err != nil {
+				return nil, err
+			}
 			if m.Slow && ds.Heavy {
 				continue
 			}
-			model, err := m.TrainTimed(g, cfg.Dim, cfg.Seed)
+			model, err := m.TrainTimed(cfg.ctx(), g, cfg.Dim, cfg.Seed)
 			if err != nil {
 				return nil, err
 			}

@@ -56,6 +56,9 @@ func runFig6(cfg Config) ([]*Table, error) {
 			Header: append([]string{"method"}, fracHeaders(fracs)...),
 		}
 		for _, m := range cfg.selectMethods() {
+			if err := cfg.Err(); err != nil {
+				return nil, err
+			}
 			if m.Slow && ds.Heavy {
 				continue
 			}
@@ -64,7 +67,7 @@ func runFig6(cfg Config) ([]*Table, error) {
 				// (§5.4); the paper plots them as one.
 				continue
 			}
-			model, err := m.TrainTimed(g, cfg.Dim, cfg.Seed)
+			model, err := m.TrainTimed(cfg.ctx(), g, cfg.Dim, cfg.Seed)
 			if err != nil {
 				return nil, err
 			}

@@ -27,12 +27,15 @@ func runFig7(cfg Config) ([]*Table, error) {
 			Header: append([]string{"method"}, intHeaders("k=", dims)...),
 		}
 		for _, m := range cfg.selectMethods() {
+			if err := cfg.Err(); err != nil {
+				return nil, err
+			}
 			if m.Slow && ds.Heavy {
 				continue
 			}
 			row := []string{m.Name}
 			for _, dim := range dims {
-				model, err := m.TrainTimed(g, dim, cfg.Seed)
+				model, err := m.TrainTimed(cfg.ctx(), g, dim, cfg.Seed)
 				if err != nil {
 					return nil, err
 				}

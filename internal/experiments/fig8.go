@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -79,11 +80,14 @@ func runFig8(cfg Config) ([]*Table, error) {
 				Header: []string{sw.name, "AUC"},
 			}
 			for _, v := range sw.values {
+				if err := cfg.Err(); err != nil {
+					return nil, err
+				}
 				opt := core.DefaultOptions()
 				opt.Dim = cfg.Dim
 				opt.Seed = cfg.Seed
 				sw.apply(&opt, v)
-				emb, err := core.NRP(split.Train, opt)
+				emb, _, err := core.NRPCtx(cfg.ctx(), split.Train, opt)
 				if err != nil {
 					return nil, err
 				}
@@ -125,11 +129,14 @@ func runFig11(cfg Config) ([]*Table, error) {
 				Header: []string{sw.name, "time"},
 			}
 			for _, v := range sw.values {
+				if err := cfg.Err(); err != nil {
+					return nil, err
+				}
 				opt := core.DefaultOptions()
 				opt.Dim = cfg.Dim
 				opt.Seed = cfg.Seed
 				sw.apply(&opt, v)
-				secs, err := timeNRP(g, opt)
+				secs, err := timeNRP(cfg.ctx(), g, opt)
 				if err != nil {
 					return nil, err
 				}
@@ -142,9 +149,9 @@ func runFig11(cfg Config) ([]*Table, error) {
 	return tables, nil
 }
 
-func timeNRP(g *graph.Graph, opt core.Options) (float64, error) {
+func timeNRP(ctx context.Context, g *graph.Graph, opt core.Options) (float64, error) {
 	start := time.Now()
-	if _, err := core.NRP(g, opt); err != nil {
+	if _, _, err := core.NRPCtx(ctx, g, opt); err != nil {
 		return 0, err
 	}
 	return time.Since(start).Seconds(), nil

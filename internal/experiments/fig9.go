@@ -39,10 +39,13 @@ func runFig9(cfg Config) ([]*Table, error) {
 		}
 		slowOK := !cfg.Full && old.N <= 10000 || cfg.Full
 		for _, m := range cfg.selectMethods() {
+			if err := cfg.Err(); err != nil {
+				return nil, err
+			}
 			if m.Slow && !slowOK {
 				continue
 			}
-			model, err := m.TrainTimed(old, cfg.Dim, cfg.Seed)
+			model, err := m.TrainTimed(cfg.ctx(), old, cfg.Dim, cfg.Seed)
 			if err != nil {
 				return nil, err
 			}

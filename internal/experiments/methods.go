@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -47,7 +48,10 @@ type Method struct {
 	// symmetrized graph, as the paper does for AROPE, RandNE, …).
 	UndirectedOnly bool
 	Protocol       ScoreProtocol
-	Train          func(g *graph.Graph, dim int, seed int64) (*Model, error)
+	// Train builds the method's embedding. Only the ctx-aware methods
+	// (NRP, ApproxPPR) observe cancellation mid-run; the rest return at
+	// their next cell boundary.
+	Train func(ctx context.Context, g *graph.Graph, dim int, seed int64) (*Model, error)
 }
 
 func dualModel(emb *core.Embedding, proto ScoreProtocol) *Model {
@@ -72,8 +76,8 @@ func nrpOptions(dim int, seed int64) core.Options {
 var Methods = []Method{
 	{
 		Name: "NRP", Protocol: ProtoDual,
-		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
-			emb, err := core.NRP(g, nrpOptions(dim, seed))
+		Train: func(ctx context.Context, g *graph.Graph, dim int, seed int64) (*Model, error) {
+			emb, _, err := core.NRPCtx(ctx, g, nrpOptions(dim, seed))
 			if err != nil {
 				return nil, err
 			}
@@ -82,8 +86,8 @@ var Methods = []Method{
 	},
 	{
 		Name: "ApproxPPR", Protocol: ProtoDual,
-		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
-			emb, err := core.ApproxPPR(g, nrpOptions(dim, seed))
+		Train: func(ctx context.Context, g *graph.Graph, dim int, seed int64) (*Model, error) {
+			emb, _, err := core.ApproxPPRCtx(ctx, g, nrpOptions(dim, seed))
 			if err != nil {
 				return nil, err
 			}
@@ -92,7 +96,7 @@ var Methods = []Method{
 	},
 	{
 		Name: "STRAP", Protocol: ProtoDual,
-		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+		Train: func(ctx context.Context, g *graph.Graph, dim int, seed int64) (*Model, error) {
 			// δ = 1e-5 as in the paper; on the harness's graph sizes this
 			// is effectively exact push.
 			emb, err := baselines.STRAP(g, baselines.STRAPConfig{Dim: dim, Delta: 1e-5, Seed: seed})
@@ -104,7 +108,7 @@ var Methods = []Method{
 	},
 	{
 		Name: "AROPE", UndirectedOnly: true, Protocol: ProtoDual,
-		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+		Train: func(ctx context.Context, g *graph.Graph, dim int, seed int64) (*Model, error) {
 			emb, err := baselines.AROPE(g, baselines.AROPEConfig{Dim: dim, Seed: seed})
 			if err != nil {
 				return nil, err
@@ -114,7 +118,7 @@ var Methods = []Method{
 	},
 	{
 		Name: "RandNE", UndirectedOnly: true, Protocol: ProtoInner,
-		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+		Train: func(ctx context.Context, g *graph.Graph, dim int, seed int64) (*Model, error) {
 			emb, err := baselines.RandNE(g, baselines.RandNEConfig{Dim: dim, Seed: seed})
 			if err != nil {
 				return nil, err
@@ -124,7 +128,7 @@ var Methods = []Method{
 	},
 	{
 		Name: "Spectral", UndirectedOnly: true, Protocol: ProtoInner,
-		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+		Train: func(ctx context.Context, g *graph.Graph, dim int, seed int64) (*Model, error) {
 			emb, err := baselines.Spectral(g, baselines.SpectralConfig{Dim: dim, Seed: seed})
 			if err != nil {
 				return nil, err
@@ -134,7 +138,7 @@ var Methods = []Method{
 	},
 	{
 		Name: "VERSE", Slow: true, Protocol: ProtoInnerOrEdgeFeatures,
-		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+		Train: func(ctx context.Context, g *graph.Graph, dim int, seed int64) (*Model, error) {
 			emb, err := baselines.VERSE(g, baselines.VERSEConfig{Dim: dim, Samples: 60, Epochs: 6, LearnRate: 0.05, Seed: seed})
 			if err != nil {
 				return nil, err
@@ -144,7 +148,7 @@ var Methods = []Method{
 	},
 	{
 		Name: "APP", Slow: true, Protocol: ProtoDual,
-		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+		Train: func(ctx context.Context, g *graph.Graph, dim int, seed int64) (*Model, error) {
 			emb, err := baselines.APP(g, baselines.APPConfig{Dim: dim, Samples: 100, Epochs: 8, Seed: seed})
 			if err != nil {
 				return nil, err
@@ -154,7 +158,7 @@ var Methods = []Method{
 	},
 	{
 		Name: "DeepWalk", Slow: true, Protocol: ProtoEdgeFeatures,
-		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+		Train: func(ctx context.Context, g *graph.Graph, dim int, seed int64) (*Model, error) {
 			emb, err := baselines.DeepWalk(g, baselines.WalkConfig{Dim: dim, Walks: 5, WalkLen: 20, Seed: seed})
 			if err != nil {
 				return nil, err
@@ -164,7 +168,7 @@ var Methods = []Method{
 	},
 	{
 		Name: "node2vec", Slow: true, Protocol: ProtoEdgeFeatures,
-		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+		Train: func(ctx context.Context, g *graph.Graph, dim int, seed int64) (*Model, error) {
 			emb, err := baselines.Node2Vec(g, baselines.WalkConfig{Dim: dim, Walks: 5, WalkLen: 20, P: 0.5, Q: 2, Seed: seed})
 			if err != nil {
 				return nil, err
@@ -174,7 +178,7 @@ var Methods = []Method{
 	},
 	{
 		Name: "LINE", Slow: true, Protocol: ProtoEdgeFeatures,
-		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+		Train: func(ctx context.Context, g *graph.Graph, dim int, seed int64) (*Model, error) {
 			emb, err := baselines.LINE(g, baselines.LINEConfig{Dim: dim, Order: 2, Samples: 30, Seed: seed})
 			if err != nil {
 				return nil, err
@@ -184,7 +188,7 @@ var Methods = []Method{
 	},
 	{
 		Name: "ProNE", UndirectedOnly: true, Protocol: ProtoInner,
-		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+		Train: func(ctx context.Context, g *graph.Graph, dim int, seed int64) (*Model, error) {
 			emb, err := baselines.ProNE(g, baselines.ProNEConfig{Dim: dim, Seed: seed})
 			if err != nil {
 				return nil, err
@@ -194,7 +198,7 @@ var Methods = []Method{
 	},
 	{
 		Name: "Walklets", Slow: true, Protocol: ProtoEdgeFeatures,
-		Train: func(g *graph.Graph, dim int, seed int64) (*Model, error) {
+		Train: func(ctx context.Context, g *graph.Graph, dim int, seed int64) (*Model, error) {
 			emb, err := baselines.Walklets(g, baselines.WalkletsConfig{Dim: dim, Scales: 2, Walks: 5, WalkLen: 20, Seed: seed})
 			if err != nil {
 				return nil, err
@@ -216,9 +220,9 @@ func FindMethod(name string) (Method, error) {
 
 // TrainTimed trains the method and records wall-clock construction time
 // (excluding dataset generation, matching the paper's measurement).
-func (m Method) TrainTimed(g *graph.Graph, dim int, seed int64) (*Model, error) {
+func (m Method) TrainTimed(ctx context.Context, g *graph.Graph, dim int, seed int64) (*Model, error) {
 	start := time.Now()
-	model, err := m.Train(g, dim, seed)
+	model, err := m.Train(ctx, g, dim, seed)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: training %s: %w", m.Name, err)
 	}

@@ -22,6 +22,9 @@ func runTable3(cfg Config) ([]*Table, error) {
 		Header: []string{"name", "|V|", "|E|", "type", "#labels", "max outdeg", "paper |V|", "paper |E|"},
 	}
 	for _, d := range Datasets {
+		if err := cfg.Err(); err != nil {
+			return nil, err
+		}
 		cfg.logf("table3: generating %s", d.Name)
 		g, err := d.Gen(cfg.Scale)
 		if err != nil {
@@ -47,6 +50,9 @@ func runTable4(cfg Config) ([]*Table, error) {
 		Header: []string{"name", "|V|", "|Eold|", "|Enew|", "type", "paper |V|", "paper |Eold|", "paper |Enew|"},
 	}
 	for _, d := range EvolvingDatasets {
+		if err := cfg.Err(); err != nil {
+			return nil, err
+		}
 		cfg.logf("table4: generating %s", d.Name)
 		old, newEdges, err := d.Gen(cfg.Scale)
 		if err != nil {

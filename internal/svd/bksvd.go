@@ -10,6 +10,7 @@
 package svd
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -24,6 +25,8 @@ type Result struct {
 	U *matrix.Dense
 	S []float64
 	V *matrix.Dense
+	// ItersRun is the number of block power iterations actually executed.
+	ItersRun int
 }
 
 // Options configure the randomized solvers.
@@ -38,6 +41,27 @@ type Options struct {
 	Iters int
 	// Rng supplies the random projection; required.
 	Rng *rand.Rand
+	// Ctx, when non-nil, is checked between block iterations so a caller
+	// can abort a long factorization; the solver returns Ctx.Err().
+	Ctx context.Context
+	// Progress, when non-nil, is invoked after each block iteration with
+	// the number of iterations completed and the total planned.
+	Progress func(iter, total int)
+}
+
+// checkCtx reports the context's error, if a context is set and cancelled.
+func (o Options) checkCtx() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
+}
+
+// step reports one completed block iteration to the Progress callback.
+func (o Options) step(iter, total int) {
+	if o.Progress != nil {
+		o.Progress(iter, total)
+	}
 }
 
 const (
@@ -97,11 +121,20 @@ func BKSVD(a *sparse.CSR, opt Options) (*Result, error) {
 	// growth of the leading direction (standard practice; preserves span).
 	cur = matrix.Orthonormalize(cur)
 	blocks = append(blocks, cur)
+	itersRun := 0
 	for i := 0; i < q; i++ {
+		if err := opt.checkCtx(); err != nil {
+			return nil, err
+		}
 		next := a.MulDense(a.MulDenseT(cur)) // (A Aᵀ) cur
 		next = matrix.Orthonormalize(next)
 		blocks = append(blocks, next)
 		cur = next
+		itersRun++
+		opt.step(itersRun, q)
+	}
+	if err := opt.checkCtx(); err != nil {
+		return nil, err
 	}
 	kry := hcat(n, blocks)
 
@@ -130,7 +163,7 @@ func BKSVD(a *sparse.CSR, opt Options) (*Result, error) {
 			v.Set(i, j, v.At(i, j)*inv)
 		}
 	}
-	return &Result{U: u, S: s, V: v}, nil
+	return &Result{U: u, S: s, V: v, ItersRun: itersRun}, nil
 }
 
 // SubspaceIteration computes an approximate rank-k SVD by randomized
@@ -153,8 +186,17 @@ func SubspaceIteration(a *sparse.CSR, opt Options) (*Result, error) {
 	q := opt.iters(maxInt(n, m))
 	pi := matrix.GaussianDense(m, k, opt.Rng)
 	cur := matrix.Orthonormalize(a.MulDense(pi))
+	itersRun := 0
 	for i := 0; i < q; i++ {
+		if err := opt.checkCtx(); err != nil {
+			return nil, err
+		}
 		cur = matrix.Orthonormalize(a.MulDense(a.MulDenseT(cur)))
+		itersRun++
+		opt.step(itersRun, q)
+	}
+	if err := opt.checkCtx(); err != nil {
+		return nil, err
 	}
 	w := a.MulDenseT(cur)
 	mSmall := matrix.MulAtB(w, w)
@@ -177,7 +219,7 @@ func SubspaceIteration(a *sparse.CSR, opt Options) (*Result, error) {
 			v.Set(i, j, v.At(i, j)*inv)
 		}
 	}
-	return &Result{U: u, S: s, V: v}, nil
+	return &Result{U: u, S: s, V: v, ItersRun: itersRun}, nil
 }
 
 // hcat horizontally concatenates blocks that all have n rows.

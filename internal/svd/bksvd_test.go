@@ -1,6 +1,8 @@
 package svd
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -135,6 +137,60 @@ func TestBKSVDErrors(t *testing.T) {
 	}
 	if _, err := BKSVD(a, Options{Rank: 9, Rng: rand.New(rand.NewSource(1))}); err == nil {
 		t.Fatal("oversized rank accepted")
+	}
+}
+
+func TestBKSVDCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	a := lowRankSparse(t, 30, 30, []float64{5, 3, 1}, rng)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BKSVD(a, Options{Rank: 3, Rng: rng, Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BKSVD: want context.Canceled, got %v", err)
+	}
+	if _, err := SubspaceIteration(a, Options{Rank: 3, Rng: rng, Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SubspaceIteration: want context.Canceled, got %v", err)
+	}
+}
+
+func TestBKSVDCancelMidIteration(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	a := lowRankSparse(t, 30, 30, []float64{5, 3, 1}, rng)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fired := 0
+	_, err := BKSVD(a, Options{Rank: 3, Iters: 6, Rng: rng, Ctx: ctx, Progress: func(iter, total int) {
+		fired++
+		if iter == 2 {
+			cancel()
+		}
+	}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if fired != 2 {
+		t.Fatalf("progress fired %d times before abort, want 2", fired)
+	}
+}
+
+func TestBKSVDItersRunAndProgress(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	a := lowRankSparse(t, 30, 30, []float64{5, 3, 1}, rng)
+	var steps []int
+	res, err := BKSVD(a, Options{Rank: 3, Iters: 4, Rng: rng, Progress: func(iter, total int) {
+		if total != 4 {
+			t.Fatalf("progress total %d, want 4", total)
+		}
+		steps = append(steps, iter)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ItersRun != 4 {
+		t.Fatalf("ItersRun = %d, want 4", res.ItersRun)
+	}
+	if len(steps) != 4 || steps[0] != 1 || steps[3] != 4 {
+		t.Fatalf("progress steps %v", steps)
 	}
 }
 

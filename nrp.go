@@ -8,11 +8,28 @@
 // PageRank proximity →w_u·π(u,v)·←w_v. It runs in O(k(m+kn)·log n) time and
 // O(m+nk) space, and handles both directed and undirected graphs.
 //
-// Basic usage:
+// Basic usage (the v2 context-aware pipeline):
 //
 //	g, err := nrp.LoadGraph("graph.txt", true)
-//	emb, err := nrp.Embed(g, nrp.DefaultOptions())
-//	score := emb.Score(u, v) // directed proximity of (u → v)
+//	emb, stats, err := nrp.EmbedCtx(ctx, g, nrp.DefaultOptions())
+//	stats.Render(os.Stderr)          // per-phase wall time, iterations, residuals
+//	score := emb.Score(u, v)         // directed proximity of (u → v)
+//
+// Long-running entry points take a context.Context and stop promptly with
+// ctx.Err() when it is cancelled, and accept run options such as
+// WithProgress for live phase/step reporting:
+//
+//	emb, stats, err := nrp.EmbedCtx(ctx, g, opt, nrp.WithProgress(func(ev nrp.ProgressEvent) {
+//		log.Printf("%s %d/%d", ev.Phase, ev.Step, ev.Total)
+//	}))
+//
+// For serving top-k proximity queries, wrap the embedding in an Index:
+//
+//	ix := nrp.NewIndex(emb)
+//	nbrs, err := ix.TopK(ctx, u, 10) // 10 nodes v maximizing Score(u, v)
+//
+// The v1 entry points (Embed, EmbedPPR, EmbedAttributed, LearnWeights)
+// remain as thin deprecated wrappers over the ctx-taking versions.
 //
 // The packages under internal/ implement the substrates (sparse linear
 // algebra, randomized block-Krylov SVD, PPR computation, evaluation
@@ -21,6 +38,7 @@
 package nrp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -46,22 +64,99 @@ type Options = core.Options
 // Save.
 type Embedding = core.Embedding
 
+// Phase identifies a pipeline stage in ProgressEvent and Stats; see
+// core.PhaseFactorize and friends re-exported below.
+type Phase = core.Phase
+
+// Pipeline phases, in execution order.
+const (
+	PhaseFactorize  = core.PhaseFactorize
+	PhasePPR        = core.PhasePPR
+	PhaseReweight   = core.PhaseReweight
+	PhaseAttributes = core.PhaseAttributes
+)
+
+// ProgressEvent reports one completed unit of work inside a pipeline phase.
+type ProgressEvent = core.ProgressEvent
+
+// ProgressFunc receives progress events; install with WithProgress.
+type ProgressFunc = core.ProgressFunc
+
+// PhaseStat records the wall time and step count of one pipeline phase.
+type PhaseStat = core.PhaseStat
+
+// Stats describes where an embedding run spent its time: per-phase wall
+// time, Krylov iterations run, achieved factorization rank, and per-epoch
+// reweighting residuals. Returned by the ctx-taking entry points.
+type Stats = core.Stats
+
+// RunOption configures a pipeline run; see WithProgress.
+type RunOption = core.RunOption
+
+// WithProgress installs a progress callback on a pipeline run. The callback
+// runs synchronously on the computing goroutine and should return quickly.
+func WithProgress(fn ProgressFunc) RunOption { return core.WithProgress(fn) }
+
 // DefaultOptions returns the paper's parameter settings: k=128, α=0.15,
 // ℓ₁=20, ℓ₂=10, ε=0.2, λ=10.
 func DefaultOptions() Options { return core.DefaultOptions() }
 
-// Embed computes NRP embeddings (Algorithm 3 of the paper): ApproxPPR
-// factorization followed by degree-targeted node reweighting.
-func Embed(g *Graph, opt Options) (*Embedding, error) { return core.NRP(g, opt) }
+// EmbedCtx computes NRP embeddings (Algorithm 3 of the paper): ApproxPPR
+// factorization followed by degree-targeted node reweighting. The context
+// is checked inside the BKSVD iterations, the PPR folding loop and the
+// reweighting epochs; on cancellation EmbedCtx returns ctx.Err() promptly.
+// Stats are returned even on error, covering the phases that ran. Options
+// are validated up front.
+func EmbedCtx(ctx context.Context, g *Graph, opt Options, opts ...RunOption) (*Embedding, *Stats, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("nrp: invalid options: %w", err)
+	}
+	return core.NRPCtx(ctx, g, opt, opts...)
+}
 
-// EmbedPPR computes the ApproxPPR baseline embeddings (Algorithm 1): the
-// personalized-PageRank factorization without node reweighting.
-func EmbedPPR(g *Graph, opt Options) (*Embedding, error) { return core.ApproxPPR(g, opt) }
+// Embed computes NRP embeddings with a background context.
+//
+// Deprecated: use EmbedCtx, which supports cancellation, progress reporting
+// and run stats.
+func Embed(g *Graph, opt Options) (*Embedding, error) {
+	emb, _, err := EmbedCtx(context.Background(), g, opt)
+	return emb, err
+}
 
-// LearnWeights exposes the reweighting phase on fixed embeddings, returning
-// the forward and backward node weights of Eq. (5)/(6).
+// EmbedPPRCtx computes the ApproxPPR baseline embeddings (Algorithm 1): the
+// personalized-PageRank factorization without node reweighting. Context and
+// stats behave as in EmbedCtx.
+func EmbedPPRCtx(ctx context.Context, g *Graph, opt Options, opts ...RunOption) (*Embedding, *Stats, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("nrp: invalid options: %w", err)
+	}
+	return core.ApproxPPRCtx(ctx, g, opt, opts...)
+}
+
+// EmbedPPR computes the ApproxPPR baseline with a background context.
+//
+// Deprecated: use EmbedPPRCtx, which supports cancellation, progress
+// reporting and run stats.
+func EmbedPPR(g *Graph, opt Options) (*Embedding, error) {
+	emb, _, err := EmbedPPRCtx(context.Background(), g, opt)
+	return emb, err
+}
+
+// LearnWeightsCtx exposes the reweighting phase on fixed embeddings,
+// returning the forward and backward node weights of Eq. (5)/(6) plus run
+// stats (per-epoch residuals). The context is checked between
+// coordinate-descent passes.
+func LearnWeightsCtx(ctx context.Context, g *Graph, emb *Embedding, opt Options, opts ...RunOption) (fw, bw []float64, stats *Stats, err error) {
+	return core.LearnWeightsCtx(ctx, g, emb, opt, opts...)
+}
+
+// LearnWeights exposes the reweighting phase with a background context.
+//
+// Deprecated: use LearnWeightsCtx, which supports cancellation, progress
+// reporting and run stats.
 func LearnWeights(g *Graph, emb *Embedding, opt Options) (fw, bw []float64, err error) {
-	return core.LearnWeights(g, emb, opt)
+	fw, bw, _, err = LearnWeightsCtx(context.Background(), g, emb, opt)
+	return fw, bw, err
 }
 
 // NewGraph builds a graph from an edge list over n nodes. Undirected edges
@@ -107,7 +202,7 @@ type SBMConfig = graph.SBMConfig
 func GenSBM(cfg SBMConfig) (*Graph, error) { return graph.GenSBM(cfg) }
 
 // AttributedOptions configure the attributed-graph extension; see
-// EmbedAttributed.
+// EmbedAttributedCtx.
 type AttributedOptions = core.AttributedOptions
 
 // AttributedEmbedding couples topology embeddings with PPR-smoothed node
@@ -118,11 +213,25 @@ type AttributedEmbedding = core.AttributedEmbedding
 // (the paper's parameters plus β = 0.3 attribute weight).
 func DefaultAttributedOptions() AttributedOptions { return core.DefaultAttributedOptions() }
 
-// EmbedAttributed implements the paper's stated future work: NRP on the
+// EmbedAttributedCtx implements the paper's stated future work: NRP on the
 // topology fused with node attributes smoothed through the same truncated
-// personalized-PageRank operator. attrs holds one row per node.
+// personalized-PageRank operator. attrs holds one row per node. Context and
+// stats behave as in EmbedCtx, with the attribute propagation reported
+// under PhaseAttributes.
+func EmbedAttributedCtx(ctx context.Context, g *Graph, attrs [][]float64, opt AttributedOptions, opts ...RunOption) (*AttributedEmbedding, *Stats, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("nrp: invalid options: %w", err)
+	}
+	return core.NRPAttributedCtx(ctx, g, matrix.NewDenseFromRows(attrs), opt, opts...)
+}
+
+// EmbedAttributed embeds an attributed graph with a background context.
+//
+// Deprecated: use EmbedAttributedCtx, which supports cancellation, progress
+// reporting and run stats.
 func EmbedAttributed(g *Graph, attrs [][]float64, opt AttributedOptions) (*AttributedEmbedding, error) {
-	return core.NRPAttributed(g, matrix.NewDenseFromRows(attrs), opt)
+	emb, _, err := EmbedAttributedCtx(context.Background(), g, attrs, opt)
+	return emb, err
 }
 
 // GenAttributes synthesizes label-correlated node attributes with Gaussian
