@@ -11,9 +11,13 @@ package nrp
 // One figure:      go test -bench=BenchmarkFig4 -benchmem
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
+	"sync"
 	"testing"
 	"time"
 
@@ -25,6 +29,20 @@ import (
 	"github.com/nrp-embed/nrp/internal/ppr"
 	"github.com/nrp-embed/nrp/internal/svd"
 )
+
+// TestMain flushes the serving-backend benchmark records to
+// BENCH_topk.json after the run (see writeTopKBenchRecords), so the CI
+// benchmark smoke step leaves a machine-readable perf trace behind.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if err := writeTopKBenchRecords(); err != nil {
+		fmt.Fprintln(os.Stderr, "writing BENCH_topk.json:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
 
 // runExperiment executes a registered experiment once per benchmark
 // iteration, printing its tables on the first iteration only.
@@ -245,6 +263,162 @@ func mustAUC(b *testing.B, s eval.Scorer, split *eval.LinkPredSplit) float64 {
 	}
 	return auc
 }
+
+// --- Serving backend benchmarks (BuildIndex) -----------------------------
+
+// The TopK benchmarks compare the three Searcher backends on one serving
+// fixture: n=100k nodes, k'=64 dimensions, with a heavy-tailed backward
+// norm profile (‖Y_v‖ ∝ rank^-0.5) mirroring what NRP's degree-targeted
+// reweighting produces on power-law graphs — the regime the norm-pruned
+// backend is designed for. Run with:
+//
+//	go test -bench=TopK -benchtime=1x
+//
+// Each run appends its measurements to BENCH_topk.json (via TestMain).
+const (
+	servingN   = 100_000
+	servingDim = 64
+	servingK   = 10
+)
+
+var (
+	servingOnce sync.Once
+	servingFix  *core.Embedding
+)
+
+func servingEmbedding() *core.Embedding {
+	servingOnce.Do(func() {
+		rng := rand.New(rand.NewSource(42))
+		emb := &core.Embedding{
+			X: matrix.GaussianDense(servingN, servingDim, rng),
+			Y: matrix.GaussianDense(servingN, servingDim, rng),
+		}
+		for v, rank := range rng.Perm(servingN) {
+			emb.Y.ScaleRow(v, math.Pow(1+float64(rank), -0.5))
+		}
+		servingFix = emb
+	})
+	return servingFix
+}
+
+type topkBenchRecord struct {
+	Name    string  `json:"name"`
+	Backend string  `json:"backend"`
+	N       int     `json:"n"`
+	Dim     int     `json:"dim"`
+	K       int     `json:"k"`
+	NsPerOp float64 `json:"ns_per_op"`
+	QPS     float64 `json:"qps"`
+}
+
+var (
+	topkBenchMu      sync.Mutex
+	topkBenchRecords = map[string]topkBenchRecord{}
+)
+
+// recordTopKBench keeps the latest (largest-b.N) measurement per
+// benchmark name; TestMain writes them out at exit.
+func recordTopKBench(name string, backend Backend, nsPerOp float64) {
+	topkBenchMu.Lock()
+	defer topkBenchMu.Unlock()
+	topkBenchRecords[name] = topkBenchRecord{
+		Name: name, Backend: backend.String(),
+		N: servingN, Dim: servingDim, K: servingK,
+		NsPerOp: nsPerOp, QPS: 1e9 / nsPerOp,
+	}
+}
+
+func writeTopKBenchRecords() error {
+	topkBenchMu.Lock()
+	defer topkBenchMu.Unlock()
+	if len(topkBenchRecords) == 0 {
+		return nil
+	}
+	records := make([]topkBenchRecord, 0, len(topkBenchRecords))
+	for _, name := range []string{"TopKExact", "TopKQuantized", "TopKPruned",
+		"TopKBatchExact", "TopKBatchQuantized", "TopKBatchPruned"} {
+		if r, ok := topkBenchRecords[name]; ok {
+			records = append(records, r)
+		}
+	}
+	f, err := os.Create("BENCH_topk.json")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]any{"benchmarks": records}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// benchmarkTopK measures single-query latency: one query at a time, each
+// fanned out across all shards.
+func benchmarkTopK(b *testing.B, name string, backend Backend) {
+	s, err := nrpBuildIndex(backend)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	us := make([]int, 256)
+	for i := range us {
+		us[i] = rng.Intn(servingN)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TopK(ctx, us[i%len(us)], servingK); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	recordTopKBench(name, backend, float64(b.Elapsed().Nanoseconds())/float64(b.N))
+}
+
+// benchmarkTopKBatch measures throughput mode: TopKMany over 64 sources,
+// parallelized across queries. The recorded ns/op is per query.
+func benchmarkTopKBatch(b *testing.B, name string, backend Backend) {
+	s, err := nrpBuildIndex(backend)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const batch = 64
+	us := make([]int, batch)
+	for i := range us {
+		us[i] = rng.Intn(servingN)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TopKMany(ctx, us, servingK); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// Normalize to per-query so the batch records compare directly with
+	// the single-query ones.
+	recordTopKBench(name, backend, float64(b.Elapsed().Nanoseconds())/float64(b.N*batch))
+}
+
+// nrpBuildIndex builds the benchmark Searcher (bench_test lives in
+// package nrp, so BuildIndex is in scope; the wrapper keeps the fixture
+// choice in one place).
+func nrpBuildIndex(backend Backend) (Searcher, error) {
+	return BuildIndex(servingEmbedding(), WithBackend(backend))
+}
+
+func BenchmarkTopKExact(b *testing.B)     { benchmarkTopK(b, "TopKExact", BackendExact) }
+func BenchmarkTopKQuantized(b *testing.B) { benchmarkTopK(b, "TopKQuantized", BackendQuantized) }
+func BenchmarkTopKPruned(b *testing.B)    { benchmarkTopK(b, "TopKPruned", BackendPruned) }
+
+func BenchmarkTopKBatchExact(b *testing.B) { benchmarkTopKBatch(b, "TopKBatchExact", BackendExact) }
+func BenchmarkTopKBatchQuantized(b *testing.B) {
+	benchmarkTopKBatch(b, "TopKBatchQuantized", BackendQuantized)
+}
+func BenchmarkTopKBatchPruned(b *testing.B) { benchmarkTopKBatch(b, "TopKBatchPruned", BackendPruned) }
 
 // --- Kernel micro-benchmarks ---------------------------------------------
 

@@ -1,15 +1,21 @@
 // Command nrp computes NRP (or ApproxPPR) embeddings for a graph given as
-// an edge list, and serves top-k proximity queries over saved embeddings.
+// an edge list, builds query-index snapshots, and serves top-k proximity
+// queries over saved embeddings or snapshots.
 //
 // Usage:
 //
 //	nrp -input graph.txt -output emb.bin [-directed] [-method nrp|approxppr]
 //	    [-k 128] [-alpha 0.15] [-l1 20] [-l2 10] [-eps 0.2] [-lambda 10] [-seed 1]
 //	    [-progress]
-//	nrp topk -embedding emb.bin -source 42 [-k 10] [-include-self]
+//	nrp index -embedding emb.bin -output index.bin [-backend exact|quantized|pruned]
+//	    [-shards 0] [-rerank 4] [-include-self]
+//	nrp topk -embedding emb.bin -source 42 [-k 10] [-backend quantized] [-include-self]
+//	nrp topk -index index.bin -source 42 [-k 10]
 //
-// Embedding runs print per-phase stats on completion and cancel gracefully
-// on SIGINT/SIGTERM, exiting without writing a partial output file.
+// `nrp index` persists the built index (including the backend's
+// build-time preprocessing) for cmd/nrpserve to boot from. Embedding runs
+// print per-phase stats on completion and cancel gracefully on
+// SIGINT/SIGTERM, exiting without writing a partial output file.
 package main
 
 import (
@@ -35,8 +41,13 @@ func main() {
 }
 
 func run(ctx context.Context, args []string) error {
-	if len(args) > 0 && args[0] == "topk" {
-		return runTopK(ctx, args[1:])
+	if len(args) > 0 {
+		switch args[0] {
+		case "topk":
+			return runTopK(ctx, args[1:])
+		case "index":
+			return runIndexBuild(ctx, args[1:])
+		}
 	}
 	return runEmbed(ctx, args)
 }
@@ -121,27 +132,133 @@ func runEmbed(ctx context.Context, args []string) error {
 	return f.Close()
 }
 
+// loadSearcher resolves the -embedding/-index flag pair shared by the
+// topk subcommand: a snapshot is loaded as built (serving knobs may
+// override its stored configuration), a raw embedding is indexed on the
+// fly with the requested backend. includeSelf is a pointer so that only
+// an explicitly set flag overrides a snapshot's stored choice.
+func loadSearcher(embPath, indexPath, backendName string, backendSet bool, shards, rerank int, includeSelf *bool) (nrp.Searcher, error) {
+	if (embPath == "") == (indexPath == "") {
+		return nil, fmt.Errorf("exactly one of -embedding and -index is required")
+	}
+	if indexPath != "" {
+		if backendSet {
+			return nil, fmt.Errorf("-backend is baked into the snapshot; it cannot be combined with -index")
+		}
+		f, err := os.Open(indexPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var opts []nrp.IndexOption
+		if shards > 0 {
+			opts = append(opts, nrp.WithShards(shards))
+		}
+		if rerank > 0 {
+			opts = append(opts, nrp.WithRerank(rerank))
+		}
+		if includeSelf != nil {
+			opts = append(opts, nrp.WithIncludeSelf(*includeSelf))
+		}
+		return nrp.LoadIndex(f, opts...)
+	}
+	backend, err := nrp.ParseBackend(backendName)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(embPath)
+	if err != nil {
+		return nil, err
+	}
+	emb, err := nrp.LoadEmbedding(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	opts := []nrp.IndexOption{
+		nrp.WithBackend(backend),
+		nrp.WithShards(shards),
+	}
+	if includeSelf != nil {
+		opts = append(opts, nrp.WithIncludeSelf(*includeSelf))
+	}
+	if rerank > 0 {
+		opts = append(opts, nrp.WithRerank(rerank))
+	}
+	return nrp.BuildIndex(emb, opts...)
+}
+
 func runTopK(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("nrp topk", flag.ContinueOnError)
 	var (
-		embPath     = fs.String("embedding", "", "embedding file written by an embed run (required)")
+		embPath     = fs.String("embedding", "", "embedding file written by an embed run")
+		indexPath   = fs.String("index", "", "index snapshot written by `nrp index` (alternative to -embedding)")
 		source      = fs.Int("source", -1, "query source node id (required)")
 		k           = fs.Int("k", 10, "number of neighbors to return")
-		workers     = fs.Int("workers", 0, "scan goroutines (0 = all cores)")
+		backendName = fs.String("backend", "exact", "query backend: exact, quantized or pruned (with -embedding)")
+		shards      = fs.Int("shards", 0, "scan shards (0 = all cores)")
+		rerank      = fs.Int("rerank", 0, "quantized shortlist multiplier (0 = default)")
 		includeSelf = fs.Bool("include-self", false, "admit the source node as a result")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *embPath == "" {
-		fs.Usage()
-		return fmt.Errorf("-embedding is required")
-	}
 	if *source < 0 {
 		fs.Usage()
 		return fmt.Errorf("-source is required")
 	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	var selfOverride *bool
+	if set["include-self"] {
+		selfOverride = includeSelf
+	}
+	ix, err := loadSearcher(*embPath, *indexPath, *backendName, set["backend"], *shards, *rerank, selfOverride)
+	if err != nil {
+		return err
+	}
 
+	start := time.Now()
+	results, err := ix.TopKMany(ctx, []int{*source}, *k)
+	if err != nil {
+		return err
+	}
+	res := results[0]
+	fmt.Fprintf(os.Stderr, "top-%d of node %d over %d nodes in %v (scanned %d, pruned %d, reranked %d)\n",
+		len(res.Neighbors), *source, ix.N(), time.Since(start).Round(time.Microsecond),
+		res.Stats.Scanned, res.Stats.Pruned, res.Stats.Reranked)
+	for rank, nb := range res.Neighbors {
+		fmt.Printf("%-4d %-10d %s\n", rank+1, nb.Node, strconv.FormatFloat(nb.Score, 'g', 6, 64))
+	}
+	return nil
+}
+
+// runIndexBuild builds a query index over a saved embedding and persists
+// it as a snapshot for nrpserve (or later topk runs) to boot from.
+func runIndexBuild(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("nrp index", flag.ContinueOnError)
+	var (
+		embPath     = fs.String("embedding", "", "embedding file written by an embed run (required)")
+		output      = fs.String("output", "", "output index snapshot file (required)")
+		backendName = fs.String("backend", "quantized", "index backend: exact, quantized or pruned")
+		shards      = fs.Int("shards", 0, "scan shards to record in the snapshot (0 = all cores at load time)")
+		rerank      = fs.Int("rerank", 0, "quantized shortlist multiplier (0 = default)")
+		includeSelf = fs.Bool("include-self", false, "admit query nodes as their own results")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *embPath == "" || *output == "" {
+		fs.Usage()
+		return fmt.Errorf("-embedding and -output are required")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	backend, err := nrp.ParseBackend(*backendName)
+	if err != nil {
+		return err
+	}
 	f, err := os.Open(*embPath)
 	if err != nil {
 		return err
@@ -152,16 +269,31 @@ func runTopK(ctx context.Context, args []string) error {
 		return err
 	}
 
-	ix := nrp.NewIndex(emb, nrp.IndexOptions{Workers: *workers, IncludeSelf: *includeSelf})
 	start := time.Now()
-	nbrs, err := ix.TopK(ctx, *source, *k)
+	opts := []nrp.IndexOption{
+		nrp.WithBackend(backend),
+		nrp.WithShards(*shards),
+		nrp.WithIncludeSelf(*includeSelf),
+	}
+	if *rerank > 0 {
+		opts = append(opts, nrp.WithRerank(*rerank))
+	}
+	ix, err := nrp.BuildIndex(emb, opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "top-%d of node %d over %d nodes in %v\n",
-		len(nbrs), *source, ix.N(), time.Since(start).Round(time.Microsecond))
-	for rank, nb := range nbrs {
-		fmt.Printf("%-4d %-10d %s\n", rank+1, nb.Node, strconv.FormatFloat(nb.Score, 'g', 6, 64))
+	out, err := os.Create(*output)
+	if err != nil {
+		return err
 	}
+	if err := nrp.SaveIndex(out, ix); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "built %s index over %d nodes in %v -> %s\n",
+		backend, ix.N(), time.Since(start).Round(time.Millisecond), *output)
 	return nil
 }

@@ -114,4 +114,82 @@ func TestRunTopK(t *testing.T) {
 	if err := run(context.Background(), []string{"topk", "-embedding", embPath, "-source", "100000"}); err == nil {
 		t.Fatal("out-of-range source accepted")
 	}
+	if !errors.Is(
+		run(context.Background(), []string{"topk", "-embedding", embPath, "-source", "100000"}),
+		nrp.ErrNodeOutOfRange,
+	) {
+		t.Fatal("out-of-range source not reported via ErrNodeOutOfRange")
+	}
+}
+
+// TestRunTopKBackends runs the topk subcommand against every backend.
+func TestRunTopKBackends(t *testing.T) {
+	dir := t.TempDir()
+	graphPath, _ := writeTestGraph(t, dir)
+	embPath := filepath.Join(dir, "emb.bin")
+	if err := run(context.Background(), []string{"-input", graphPath, "-output", embPath, "-k", "16"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []string{"exact", "quantized", "pruned"} {
+		args := []string{"topk", "-embedding", embPath, "-source", "3", "-k", "5", "-backend", backend, "-shards", "2"}
+		if err := run(context.Background(), args); err != nil {
+			t.Fatalf("backend %s: %v", backend, err)
+		}
+	}
+	if err := run(context.Background(), []string{"topk", "-embedding", embPath, "-source", "3", "-backend", "bogus"}); err == nil {
+		t.Fatal("bogus backend accepted")
+	}
+}
+
+// TestRunIndexBuildAndQuery builds a snapshot with `nrp index` and
+// queries it back with `nrp topk -index`.
+func TestRunIndexBuildAndQuery(t *testing.T) {
+	dir := t.TempDir()
+	graphPath, g := writeTestGraph(t, dir)
+	embPath := filepath.Join(dir, "emb.bin")
+	indexPath := filepath.Join(dir, "index.bin")
+	if err := run(context.Background(), []string{"-input", graphPath, "-output", embPath, "-k", "16"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{
+		"index", "-embedding", embPath, "-output", indexPath, "-backend", "pruned", "-shards", "2",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(indexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := nrp.LoadIndex(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.N() != g.N {
+		t.Fatalf("snapshot indexes %d nodes, want %d", ix.N(), g.N)
+	}
+	if err := run(context.Background(), []string{"topk", "-index", indexPath, "-source", "3", "-k", "5"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Validation failures.
+	if err := run(context.Background(), []string{"index", "-embedding", embPath}); err == nil {
+		t.Fatal("missing -output accepted")
+	}
+	if err := run(context.Background(), []string{"index", "-embedding", embPath, "-output", indexPath, "-backend", "bogus"}); err == nil {
+		t.Fatal("bogus backend accepted")
+	}
+	if err := run(context.Background(), []string{"topk", "-embedding", embPath, "-index", indexPath, "-source", "3"}); err == nil {
+		t.Fatal("both -embedding and -index accepted")
+	}
+	// -backend is baked into a snapshot: combining it with -index must be
+	// rejected rather than silently ignored.
+	if err := run(context.Background(), []string{"topk", "-index", indexPath, "-source", "3", "-backend", "exact"}); err == nil {
+		t.Fatal("-backend with -index accepted")
+	}
+	// -include-self, in contrast, is a serving knob and overrides the
+	// snapshot's stored choice.
+	if err := run(context.Background(), []string{"topk", "-index", indexPath, "-source", "3", "-include-self"}); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -1,0 +1,155 @@
+// Command nrpserve serves NRP proximity queries over HTTP: top-k
+// retrieval and batch scoring over a saved index snapshot (or a raw
+// embedding indexed at boot), with pluggable Searcher backends.
+//
+// Usage:
+//
+//	nrpserve -index index.bin [-addr :8080] [-shards 0] [-drain 10s]
+//	nrpserve -embedding emb.bin -backend quantized [-shards 0] [-rerank 4] [-include-self]
+//
+// With -index the snapshot's build-time preprocessing (quantization
+// codes, norm permutation) is loaded as-is — no re-quantizing at boot;
+// -shards/-rerank override the snapshot's serving configuration. With
+// -embedding the index is built in memory at boot with the -backend of
+// choice.
+//
+// Endpoints (JSON in/out):
+//
+//	GET  /v1/healthz
+//	GET  /v1/topk?u=42&k=10
+//	POST /v1/topk   {"us":[1,2,3],"k":10}
+//	POST /v1/score  {"pairs":[[0,1],[2,3]]}
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight queries for up to -drain before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/nrp-embed/nrp"
+	"github.com/nrp-embed/nrp/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nrpserve:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	server *serve.Server
+	addr   string
+	drain  time.Duration
+}
+
+// newServerFromFlags parses args, loads or builds the Searcher, and
+// returns the wrapped HTTP server; separated from run so tests can drive
+// the handler without binding a port.
+func newServerFromFlags(args []string) (*config, error) {
+	fs := flag.NewFlagSet("nrpserve", flag.ContinueOnError)
+	var (
+		indexPath   = fs.String("index", "", "index snapshot written by `nrp index` or nrp.SaveIndex")
+		embPath     = fs.String("embedding", "", "embedding file to index at boot (alternative to -index)")
+		backendName = fs.String("backend", "exact", "backend for -embedding: exact, quantized or pruned")
+		shards      = fs.Int("shards", 0, "scan shards per query (0 = all cores)")
+		rerank      = fs.Int("rerank", 0, "quantized shortlist multiplier (0 = default/snapshot value)")
+		includeSelf = fs.Bool("include-self", false, "admit the query node as a result (overrides a snapshot's stored choice)")
+		addr        = fs.String("addr", ":8080", "listen address")
+		drain       = fs.Duration("drain", 10*time.Second, "in-flight query drain window on shutdown")
+		maxK        = fs.Int("max-k", 1000, "largest k a request may ask for")
+		maxBatch    = fs.Int("max-batch", 1024, "largest batch of sources or pairs per request")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if (*indexPath == "") == (*embPath == "") {
+		fs.Usage()
+		return nil, fmt.Errorf("exactly one of -index and -embedding is required")
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	var searcher nrp.Searcher
+	switch {
+	case *indexPath != "":
+		if set["backend"] {
+			return nil, fmt.Errorf("-backend is baked into the snapshot; it cannot be combined with -index")
+		}
+		f, err := os.Open(*indexPath)
+		if err != nil {
+			return nil, err
+		}
+		var opts []nrp.IndexOption
+		if *shards > 0 {
+			opts = append(opts, nrp.WithShards(*shards))
+		}
+		if *rerank > 0 {
+			opts = append(opts, nrp.WithRerank(*rerank))
+		}
+		if set["include-self"] {
+			opts = append(opts, nrp.WithIncludeSelf(*includeSelf))
+		}
+		searcher, err = nrp.LoadIndex(f, opts...)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	default:
+		backend, err := nrp.ParseBackend(*backendName)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.Open(*embPath)
+		if err != nil {
+			return nil, err
+		}
+		emb, err := nrp.LoadEmbedding(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		opts := []nrp.IndexOption{
+			nrp.WithBackend(backend),
+			nrp.WithShards(*shards),
+			nrp.WithIncludeSelf(*includeSelf),
+		}
+		if *rerank > 0 {
+			opts = append(opts, nrp.WithRerank(*rerank))
+		}
+		searcher, err = nrp.BuildIndex(emb, opts...)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	label := "unknown"
+	if b, ok := searcher.(interface{ Backend() nrp.Backend }); ok {
+		label = b.Backend().String()
+	}
+	sv := serve.NewServer(searcher, serve.Config{Backend: label, MaxK: *maxK, MaxBatch: *maxBatch})
+	return &config{server: sv, addr: *addr, drain: *drain}, nil
+}
+
+func run(ctx context.Context, args []string) error {
+	cfg, err := newServerFromFlags(args)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "nrpserve: listening on %s (drain %v)\n", ln.Addr(), cfg.drain)
+	return serve.Serve(ctx, ln, cfg.server.Handler(), cfg.drain)
+}

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/nrp-embed/nrp"
+	"github.com/nrp-embed/nrp/internal/serve"
+)
+
+// writeFixtures embeds a small SBM graph and writes both the raw
+// embedding and a quantized index snapshot to dir.
+func writeFixtures(t *testing.T, dir string) (embPath, indexPath string, emb *nrp.Embedding) {
+	t.Helper()
+	g, err := nrp.GenSBM(nrp.SBMConfig{N: 150, M: 900, Communities: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nrp.DefaultOptions()
+	opt.Dim = 16
+	emb, _, err = nrp.EmbedCtx(context.Background(), g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	embPath = filepath.Join(dir, "emb.bin")
+	f, err := os.Create(embPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emb.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s, err := nrp.BuildIndex(emb, nrp.WithBackend(nrp.BackendQuantized), nrp.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexPath = filepath.Join(dir, "index.bin")
+	f, err = os.Create(indexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nrp.SaveIndex(f, s); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return embPath, indexPath, emb
+}
+
+// TestServeFromSnapshotEndToEnd is the integration test of the serving
+// story: build index → snapshot → boot nrpserve from the snapshot → query
+// /v1/topk and /v1/score over HTTP → answers match the library.
+func TestServeFromSnapshotEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	_, indexPath, emb := writeFixtures(t, dir)
+
+	cfg, err := newServerFromFlags([]string{"-index", indexPath, "-shards", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(cfg.server.Handler())
+	defer ts.Close()
+
+	// healthz reports the snapshot's backend without any flag saying so.
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz serve.HealthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz.Status != "ok" || hz.Nodes != emb.N() || hz.Backend != "quantized" {
+		t.Fatalf("healthz %+v", hz)
+	}
+
+	// A top-k query over HTTP matches the library answer bit for bit.
+	resp, err = http.Get(ts.URL + "/v1/topk?u=7&k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("topk status %d", resp.StatusCode)
+	}
+	var tk serve.TopKResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tk); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	f, err := os.Open(indexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := nrp.LoadIndex(f, nrp.WithShards(2))
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lib.TopK(context.Background(), 7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tk.Results) != 1 || len(tk.Results[0].Neighbors) != len(want) {
+		t.Fatalf("topk response %+v", tk)
+	}
+	for i, nb := range tk.Results[0].Neighbors {
+		if nb.Node != want[i].Node || nb.Score != want[i].Score {
+			t.Fatalf("rank %d: http %+v lib %+v", i, nb, want[i])
+		}
+	}
+
+	// Scoring round-trips exactly too.
+	body := strings.NewReader(`{"pairs":[[0,1],[7,9]]}`)
+	resp, err = http.Post(ts.URL+"/v1/score", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc serve.ScoreResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(sc.Scores) != 2 || sc.Scores[0] != emb.Score(0, 1) || sc.Scores[1] != emb.Score(7, 9) {
+		t.Fatalf("scores %+v", sc.Scores)
+	}
+
+	// Validation errors surface as 400s.
+	resp, err = http.Get(ts.URL + "/v1/topk?u=99999&k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range u status %d", resp.StatusCode)
+	}
+}
+
+// TestServeFromEmbedding boots from a raw embedding with each backend.
+func TestServeFromEmbedding(t *testing.T) {
+	dir := t.TempDir()
+	embPath, _, emb := writeFixtures(t, dir)
+	for _, backend := range []string{"exact", "quantized", "pruned"} {
+		cfg, err := newServerFromFlags([]string{"-embedding", embPath, "-backend", backend})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(cfg.server.Handler())
+		resp, err := http.Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hz serve.HealthzResponse
+		if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if hz.Backend != backend || hz.Nodes != emb.N() {
+			t.Fatalf("healthz %+v for backend %s", hz, backend)
+		}
+		ts.Close()
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	embPath, indexPath, _ := writeFixtures(t, dir)
+	for _, tc := range [][]string{
+		{}, // neither source
+		{"-index", indexPath, "-embedding", embPath}, // both sources
+		{"-index", indexPath, "-backend", "exact"},   // backend is baked into snapshots
+		{"-index", filepath.Join(dir, "missing.bin")},
+		{"-embedding", embPath, "-backend", "bogus"},
+		{"-embedding", filepath.Join(dir, "missing.bin")},
+	} {
+		if _, err := newServerFromFlags(tc); err == nil {
+			t.Fatalf("args %v accepted", tc)
+		}
+	}
+}
+
+// TestRunGracefulShutdown exercises the real run() path: ephemeral port,
+// cancel the context, expect a clean drained exit.
+func TestRunGracefulShutdown(t *testing.T) {
+	dir := t.TempDir()
+	_, indexPath, _ := writeFixtures(t, dir)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-index", indexPath, "-addr", "127.0.0.1:0", "-drain", "2s"})
+	}()
+	time.Sleep(200 * time.Millisecond) // let it bind
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after cancellation")
+	}
+}

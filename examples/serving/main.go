@@ -1,0 +1,116 @@
+// Serving: the full query-serving lifecycle on a synthetic community
+// graph — embed, build each Searcher backend, compare their answers and
+// per-query work, snapshot the quantized index, and serve it over HTTP
+// for a moment with a live /v1/topk request.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/nrp-embed/nrp"
+	"github.com/nrp-embed/nrp/internal/serve"
+)
+
+func main() {
+	ctx := context.Background()
+	g, err := nrp.GenSBM(nrp.SBMConfig{N: 3000, M: 24000, Communities: 12, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := nrp.DefaultOptions()
+	opt.Dim = 64
+	emb, stats, err := nrp.EmbedCtx(ctx, g, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("embedded %d nodes in %v\n\n", g.N, stats.Total.Round(time.Millisecond))
+
+	// One query through each backend: same answers, very different work.
+	const u, k = 42, 10
+	fmt.Println("backend    scanned  pruned  reranked  top hit")
+	for _, backend := range []nrp.Backend{nrp.BackendExact, nrp.BackendQuantized, nrp.BackendPruned} {
+		s, err := nrp.BuildIndex(emb, nrp.WithBackend(backend), nrp.WithShards(4))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.TopKMany(ctx, []int{u}, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := res[0].Stats
+		fmt.Printf("%-9s  %7d  %6d  %8d  node %d (%.4f)\n",
+			backend, st.Scanned, st.Pruned, st.Reranked,
+			res[0].Neighbors[0].Node, res[0].Neighbors[0].Score)
+	}
+
+	// Snapshot the quantized index and boot a server from it.
+	s, err := nrp.BuildIndex(emb, nrp.WithBackend(nrp.BackendQuantized))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "nrp-serving")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	snapPath := filepath.Join(dir, "index.bin")
+	f, err := os.Create(snapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := nrp.SaveIndex(f, s); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	f, err = os.Open(snapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := nrp.LoadIndex(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fi, _ := os.Stat(snapPath)
+	fmt.Printf("\nsnapshot: %s (%.1f MB), reloaded %d nodes without re-quantizing\n",
+		filepath.Base(snapPath), float64(fi.Size())/(1<<20), loaded.N())
+
+	// Serve it over HTTP — what cmd/nrpserve does — and hit it once.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srvCtx, stop := context.WithCancel(ctx)
+	done := make(chan error, 1)
+	handler := serve.NewServer(loaded, serve.Config{Backend: "quantized"}).Handler()
+	go func() { done <- serve.Serve(srvCtx, ln, handler, 2*time.Second) }()
+
+	url := fmt.Sprintf("http://%s/v1/topk?u=%d&k=%d", ln.Addr(), u, k)
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var tk serve.TopKResponse
+	if err := json.Unmarshal(body, &tk); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GET %s -> %d neighbors, %dµs server-side\n",
+		url, len(tk.Results[0].Neighbors), tk.Results[0].Stats.ElapsedUs)
+
+	stop() // graceful drain, as on SIGTERM
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server drained cleanly")
+}

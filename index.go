@@ -2,10 +2,12 @@ package nrp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/nrp-embed/nrp/internal/matrix"
 )
@@ -22,159 +24,466 @@ type Pair struct {
 	U, V int
 }
 
-// Searcher answers proximity queries over an embedding. Index is the exact
-// brute-force implementation; later backends (pruned scans, ANN structures)
-// implement the same contract.
-type Searcher interface {
-	// TopK returns the k nodes v maximizing the directed proximity
-	// Score(u, v), best first.
-	TopK(ctx context.Context, u, k int) ([]Neighbor, error)
-	// ScoreMany scores a batch of (u, v) pairs.
-	ScoreMany(ctx context.Context, pairs []Pair) ([]float64, error)
+// Sentinel errors returned by query validation, so callers (e.g. the
+// nrpserve HTTP layer) can map malformed requests to client errors with
+// errors.Is.
+var (
+	// ErrInvalidK is returned when a top-k query asks for k <= 0.
+	ErrInvalidK = errors.New("k must be positive")
+	// ErrNodeOutOfRange is returned when a query names a node id outside
+	// [0, N).
+	ErrNodeOutOfRange = errors.New("node id out of range")
+)
+
+// QueryStats instruments one top-k query: how much work the backend
+// actually did, which is the observable difference between backends.
+type QueryStats struct {
+	// Scanned is the number of candidates scored (exactly or with the
+	// quantized kernel).
+	Scanned int
+	// Pruned is the number of candidates skipped by an early-exit bound
+	// without being scored (norm-pruned backend; 0 for exhaustive scans).
+	Pruned int
+	// Reranked is the number of shortlist candidates re-scored exactly
+	// after the approximate pass (quantized backend; 0 otherwise).
+	Reranked int
+	// Elapsed is the query's wall time.
+	Elapsed time.Duration
 }
 
-// IndexOptions configure query execution.
+// Result is one query's answer in a TopKMany batch.
+type Result struct {
+	// Source is the query node the neighbors belong to.
+	Source    int
+	Neighbors []Neighbor
+	Stats     QueryStats
+}
+
+// Searcher answers proximity queries over an embedding. BuildIndex
+// constructs one backed by an exact, int8-quantized, or norm-pruned scan;
+// all backends are safe for concurrent use.
+type Searcher interface {
+	// TopK returns the k nodes v maximizing the directed proximity
+	// Score(u, v), best first, fanning one query out across all shards.
+	TopK(ctx context.Context, u, k int) ([]Neighbor, error)
+	// TopKMany answers a batch of top-k queries, parallelized across the
+	// queries (each query then scans its shards sequentially), and
+	// reports per-query work stats. The result is aligned with us.
+	TopKMany(ctx context.Context, us []int, k int) ([]Result, error)
+	// ScoreMany scores a batch of (u, v) pairs exactly.
+	ScoreMany(ctx context.Context, pairs []Pair) ([]float64, error)
+	// N reports the number of indexed nodes.
+	N() int
+}
+
+// Backend selects the scan strategy behind a Searcher built by BuildIndex.
+type Backend int
+
+const (
+	// BackendExact scans every candidate with the float64 kernel. The
+	// reference backend: always exact, no build-time preprocessing.
+	BackendExact Backend = iota
+	// BackendQuantized scans int8-quantized backward embeddings with a
+	// fused int32 kernel (8× less memory traffic), then re-scores the
+	// top rerank·k shortlist exactly. Approximate with high recall.
+	BackendQuantized
+	// BackendPruned scans candidates in decreasing ‖Y_v‖ order and stops
+	// as soon as the Cauchy–Schwarz bound ‖X_u‖·‖Y_v‖ cannot beat the
+	// current k-th score. Exact results; fast when norms are skewed.
+	BackendPruned
+)
+
+// String names the backend as accepted by ParseBackend and the CLI flags.
+func (b Backend) String() string {
+	switch b {
+	case BackendExact:
+		return "exact"
+	case BackendQuantized:
+		return "quantized"
+	case BackendPruned:
+		return "pruned"
+	}
+	return fmt.Sprintf("backend(%d)", int(b))
+}
+
+// ParseBackend resolves a backend name ("exact", "quantized", "pruned").
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "exact":
+		return BackendExact, nil
+	case "quantized":
+		return BackendQuantized, nil
+	case "pruned":
+		return BackendPruned, nil
+	}
+	return 0, fmt.Errorf("nrp: unknown backend %q (want exact, quantized or pruned)", s)
+}
+
+// indexConfig is the resolved build configuration shared by all backends.
+type indexConfig struct {
+	backend Backend
+	shards  int
+	// shardsExplicit records whether shards was chosen by the caller
+	// (WithShards(n>0)) rather than defaulted to the host's cores, so
+	// snapshots only persist deliberate choices — a defaulted count is
+	// re-derived on the serving host at load time.
+	shardsExplicit bool
+	rerank         int
+	includeSelf    bool
+}
+
+// IndexOption configures BuildIndex (and LoadIndex overrides).
+type IndexOption func(*indexConfig)
+
+// WithBackend selects the scan strategy; BackendExact is the default.
+func WithBackend(b Backend) IndexOption { return func(c *indexConfig) { c.backend = b } }
+
+// WithShards partitions the candidate space into n shards, each scanned
+// by its own goroutine with a private top-k heap merged at the end
+// (0 = GOMAXPROCS, re-derived per host when a snapshot is loaded).
+func WithShards(n int) IndexOption {
+	return func(c *indexConfig) { c.shards, c.shardsExplicit = n, n > 0 }
+}
+
+// WithRerank sets the quantized backend's shortlist multiplier: the top
+// r·k quantized candidates are re-scored exactly before the final top k
+// is taken. Higher r buys recall with more exact dot products; the
+// default is 4. Other backends ignore it.
+func WithRerank(r int) IndexOption { return func(c *indexConfig) { c.rerank = r } }
+
+// WithIncludeSelf admits the query node itself as a result; by default it
+// is excluded, matching the link-prediction use of proximity scores.
+func WithIncludeSelf(on bool) IndexOption { return func(c *indexConfig) { c.includeSelf = on } }
+
+const defaultRerank = 4
+
+func resolveConfig(opts []IndexOption) (indexConfig, error) {
+	cfg := indexConfig{backend: BackendExact, rerank: defaultRerank}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.shards < 0 {
+		return cfg, fmt.Errorf("nrp: shards must be non-negative, got %d", cfg.shards)
+	}
+	if cfg.shards == 0 {
+		cfg.shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.rerank < 1 {
+		return cfg, fmt.Errorf("nrp: rerank multiplier must be at least 1, got %d", cfg.rerank)
+	}
+	switch cfg.backend {
+	case BackendExact, BackendQuantized, BackendPruned:
+	default:
+		return cfg, fmt.Errorf("nrp: unknown backend %d", int(cfg.backend))
+	}
+	return cfg, nil
+}
+
+// BuildIndex constructs a query index over emb with the selected backend:
+//
+//	s, err := nrp.BuildIndex(emb, nrp.WithBackend(nrp.BackendQuantized), nrp.WithShards(8))
+//
+// The returned Searcher is immutable and safe for concurrent use; the
+// embedding must not be mutated while queries run. Build-time
+// preprocessing (quantization, norm sorting) happens here once, and can
+// be persisted with SaveIndex so a server boots without redoing it.
+func BuildIndex(emb *Embedding, opts ...IndexOption) (Searcher, error) {
+	cfg, err := resolveConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.backend {
+	case BackendQuantized:
+		return newQuantIndex(emb, cfg), nil
+	case BackendPruned:
+		return newPrunedIndex(emb, cfg), nil
+	default:
+		return &Index{emb: emb, cfg: cfg}, nil
+	}
+}
+
+// IndexOptions configure NewIndex, the v1 constructor.
 type IndexOptions struct {
-	// Workers is the number of goroutines a TopK scan fans out across
-	// (0 = GOMAXPROCS).
+	// Workers is the number of scan shards (0 = GOMAXPROCS).
 	Workers int
-	// IncludeSelf admits the query node itself as a result; by default it
-	// is excluded, matching the link-prediction use of proximity scores.
+	// IncludeSelf admits the query node itself as a result.
 	IncludeSelf bool
 }
 
-// Index serves top-k and batch proximity queries over a fixed Embedding by
-// an exact scan parallelized across goroutines. It is safe for concurrent
-// use; the embedding must not be mutated while queries run.
+// Index is the exact brute-force Searcher: every candidate is scored with
+// the float64 kernel, sharded across goroutines. It is the reference
+// implementation the approximate backends are tested against.
 type Index struct {
-	emb         *Embedding
-	workers     int
-	includeSelf bool
+	emb *Embedding
+	cfg indexConfig
 }
 
 // Interface check: Index is the reference Searcher backend.
 var _ Searcher = (*Index)(nil)
 
-// NewIndex builds a query index over emb.
+// NewIndex builds an exact query index over emb.
+//
+// Deprecated: use BuildIndex, which selects backends and validates its
+// configuration. NewIndex remains as the zero-error construction path.
 func NewIndex(emb *Embedding, opts ...IndexOptions) *Index {
 	var o IndexOptions
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	w := o.Workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
+	cfg := indexConfig{backend: BackendExact, rerank: defaultRerank,
+		shards: o.Workers, shardsExplicit: o.Workers > 0, includeSelf: o.IncludeSelf}
+	if cfg.shards <= 0 {
+		cfg.shards = runtime.GOMAXPROCS(0)
 	}
-	return &Index{emb: emb, workers: w, includeSelf: o.IncludeSelf}
+	return &Index{emb: emb, cfg: cfg}
 }
 
 // N reports the number of indexed nodes.
 func (ix *Index) N() int { return ix.emb.N() }
+
+// Backend reports BackendExact.
+func (ix *Index) Backend() Backend { return BackendExact }
 
 // ctxCheckStride is how many candidates a scan worker processes between
 // context checks — frequent enough for sub-millisecond cancellation, rare
 // enough to stay off the hot path.
 const ctxCheckStride = 4096
 
-// TopK returns the k nodes with the highest directed proximity from u,
-// sorted by decreasing score (ties broken by ascending node id, so results
-// are deterministic). k is clamped to the number of eligible candidates.
-func (ix *Index) TopK(ctx context.Context, u, k int) ([]Neighbor, error) {
-	n := ix.emb.N()
+// validateQuery checks a top-k query against the index size, wrapping the
+// sentinel errors.
+func validateQuery(n, u, k int) error {
 	if u < 0 || u >= n {
-		return nil, fmt.Errorf("nrp: TopK source %d out of range [0,%d)", u, n)
+		return fmt.Errorf("nrp: TopK source %d out of range [0,%d): %w", u, n, ErrNodeOutOfRange)
 	}
 	if k <= 0 {
-		return nil, fmt.Errorf("nrp: TopK k must be positive, got %d", k)
+		return fmt.Errorf("nrp: TopK k=%d: %w", k, ErrInvalidK)
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
+	return nil
+}
+
+// clampK limits k to the number of eligible candidates.
+func clampK(n, k int, includeSelf bool) int {
 	max := n
-	if !ix.includeSelf {
+	if !includeSelf {
 		max--
 	}
 	if k > max {
 		k = max
 	}
+	return k
+}
+
+// TopK returns the k nodes with the highest directed proximity from u,
+// sorted by decreasing score (ties broken by ascending node id, so results
+// are deterministic). k is clamped to the number of eligible candidates.
+func (ix *Index) TopK(ctx context.Context, u, k int) ([]Neighbor, error) {
+	nbrs, _, err := ix.topkOne(ctx, u, k, true)
+	return nbrs, err
+}
+
+// TopKMany answers a batch of top-k queries, parallelized across queries.
+func (ix *Index) TopKMany(ctx context.Context, us []int, k int) ([]Result, error) {
+	return topkMany(ctx, ix.emb.N(), ix.cfg.shards, us, k, ix.topkOne)
+}
+
+// topkOne runs one exact query. When parallel, each shard is scanned by
+// its own goroutine; otherwise shards are scanned inline (the TopKMany
+// path, which parallelizes across queries instead).
+func (ix *Index) topkOne(ctx context.Context, u, k int, parallel bool) ([]Neighbor, QueryStats, error) {
+	start := time.Now()
+	var stats QueryStats
+	n := ix.emb.N()
+	if err := validateQuery(n, u, k); err != nil {
+		return nil, stats, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	k = clampK(n, k, ix.cfg.includeSelf)
 	if k == 0 {
-		return nil, nil
+		return nil, stats, nil
 	}
 
 	xu := ix.emb.X.Row(u)
-	workers := ix.workers
-	if workers > n {
-		workers = n
-	}
-	heaps := make([]topkHeap, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			h := newTopkHeap(k)
-			for v := lo; v < hi; v++ {
-				if (v-lo)%ctxCheckStride == 0 {
-					if err := ctx.Err(); err != nil {
-						errs[w] = err
-						return
-					}
+	scan := func(ctx context.Context, w, shards int, h *topkHeap) (scanned, pruned int, err error) {
+		lo, hi := contiguousSpan(n, w, shards)
+		for v := lo; v < hi; v++ {
+			if (v-lo)%ctxCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return scanned, 0, err
 				}
-				if v == u && !ix.includeSelf {
-					continue
-				}
-				h.offer(v, matrix.Dot(xu, ix.emb.Y.Row(v)))
 			}
-			heaps[w] = h
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+			if v == u && !ix.cfg.includeSelf {
+				continue
+			}
+			h.offer(v, matrix.Dot(xu, ix.emb.Y.Row(v)))
+			scanned++
 		}
+		return scanned, 0, nil
+	}
+	nbrs, stats, err := runShardScan(ctx, n, ix.cfg.shards, k, parallel, scan)
+	stats.Elapsed = time.Since(start)
+	return nbrs, stats, err
+}
+
+// ScoreMany scores a batch of directed pairs, parallelized across the
+// index's shards. The result is aligned with pairs.
+func (ix *Index) ScoreMany(ctx context.Context, pairs []Pair) ([]float64, error) {
+	return scoreManyExact(ctx, ix.emb, pairs, ix.cfg.shards)
+}
+
+// --- shared scan machinery ----------------------------------------------
+
+// shardScanFunc scores shard w's share of the n candidates into h —
+// contiguous span or strided sequence, the backend's choice — and
+// reports how many candidates it scored and skipped via an early-exit
+// bound.
+type shardScanFunc func(ctx context.Context, w, shards int, h *topkHeap) (scanned, pruned int, err error)
+
+// contiguousSpan is the default shard shape: shard w of `shards` covers
+// the half-open range [lo, hi) of [0, n).
+func contiguousSpan(n, w, shards int) (lo, hi int) {
+	chunk := (n + shards - 1) / shards
+	lo = w * chunk
+	hi = lo + chunk
+	if hi > n {
+		hi = n
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// runShardScan runs scan for every shard (concurrently when parallel)
+// and merges the per-shard heaps into the sorted global top k.
+func runShardScan(ctx context.Context, n, shards, k int, parallel bool, scan shardScanFunc) ([]Neighbor, QueryStats, error) {
+	var stats QueryStats
+	if shards > n {
+		shards = n
+	}
+	if shards < 1 {
+		shards = 1
 	}
 
-	// Merge the per-worker heaps and keep the global top k.
+	heaps := make([]topkHeap, shards)
+	scanned := make([]int, shards)
+	pruned := make([]int, shards)
+	errs := make([]error, shards)
+	runOne := func(w int) {
+		h := newTopkHeap(k)
+		scanned[w], pruned[w], errs[w] = scan(ctx, w, shards, &h)
+		heaps[w] = h
+	}
+	if parallel && shards > 1 {
+		var wg sync.WaitGroup
+		for w := 0; w < shards; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				runOne(w)
+			}(w)
+		}
+		wg.Wait()
+	} else {
+		for w := 0; w < shards; w++ {
+			runOne(w)
+		}
+	}
+	for w, err := range errs {
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Scanned += scanned[w]
+		stats.Pruned += pruned[w]
+	}
+
 	merged := newTopkHeap(k)
 	for _, h := range heaps {
 		for _, nb := range h.items {
 			merged.offer(nb.Node, nb.Score)
 		}
 	}
-	out := merged.items
+	return sortNeighbors(merged.items), stats, nil
+}
+
+// sortNeighbors orders results by decreasing score, ties by ascending
+// node id, in place.
+func sortNeighbors(out []Neighbor) []Neighbor {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
 		}
 		return out[i].Node < out[j].Node
 	})
+	return out
+}
+
+// topkOneFunc is a backend's single-query entry point.
+type topkOneFunc func(ctx context.Context, u, k int, parallel bool) ([]Neighbor, QueryStats, error)
+
+// topkMany validates a batch of sources up front, then answers them with
+// up to `workers` concurrent queries, each scanning its shards inline.
+func topkMany(ctx context.Context, n, workers int, us []int, k int, one topkOneFunc) ([]Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("nrp: TopKMany k=%d: %w", k, ErrInvalidK)
+	}
+	for i, u := range us {
+		if u < 0 || u >= n {
+			return nil, fmt.Errorf("nrp: TopKMany query %d source %d out of range [0,%d): %w", i, u, n, ErrNodeOutOfRange)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(us))
+	errs := make([]error, len(us))
+	if workers > len(us) {
+		workers = len(us)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				nbrs, stats, err := one(ctx, us[i], k, false)
+				out[i] = Result{Source: us[i], Neighbors: nbrs, Stats: stats}
+				errs[i] = err
+			}
+		}()
+	}
+	for i := range us {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	return out, nil
 }
 
-// ScoreMany scores a batch of directed pairs, parallelized across the
-// index's workers. The result is aligned with pairs.
-func (ix *Index) ScoreMany(ctx context.Context, pairs []Pair) ([]float64, error) {
-	n := ix.emb.N()
+// scoreManyExact scores a batch of directed pairs with the float64
+// kernel, shared by every backend (approximate backends still answer
+// point scores exactly — only top-k retrieval is approximated).
+func scoreManyExact(ctx context.Context, emb *Embedding, pairs []Pair, workers int) ([]float64, error) {
+	n := emb.N()
 	for i, p := range pairs {
 		if p.U < 0 || p.U >= n || p.V < 0 || p.V >= n {
-			return nil, fmt.Errorf("nrp: ScoreMany pair %d (%d,%d) out of range [0,%d)", i, p.U, p.V, n)
+			return nil, fmt.Errorf("nrp: ScoreMany pair %d (%d,%d) out of range [0,%d): %w", i, p.U, p.V, n, ErrNodeOutOfRange)
 		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	out := make([]float64, len(pairs))
-	workers := ix.workers
 	if workers > len(pairs) {
 		workers = len(pairs)
 	}
@@ -185,7 +494,7 @@ func (ix *Index) ScoreMany(ctx context.Context, pairs []Pair) ([]float64, error)
 					return nil, err
 				}
 			}
-			out[i] = ix.emb.Score(p.U, p.V)
+			out[i] = emb.Score(p.U, p.V)
 		}
 		return out, nil
 	}
@@ -210,7 +519,7 @@ func (ix *Index) ScoreMany(ctx context.Context, pairs []Pair) ([]float64, error)
 						return
 					}
 				}
-				out[i] = ix.emb.Score(pairs[i].U, pairs[i].V)
+				out[i] = emb.Score(pairs[i].U, pairs[i].V)
 			}
 		}(w, lo, hi)
 	}
@@ -241,6 +550,12 @@ type topkHeap struct {
 }
 
 func newTopkHeap(k int) topkHeap { return topkHeap{items: make([]Neighbor, 0, k), cap: k} }
+
+// full reports whether the heap holds its full k items; min is then the
+// weakest retained score (the prune threshold).
+func (h *topkHeap) full() bool { return len(h.items) == h.cap }
+
+func (h *topkHeap) min() Neighbor { return h.items[0] }
 
 func (h *topkHeap) offer(node int, score float64) {
 	cand := Neighbor{Node: node, Score: score}

@@ -1,0 +1,186 @@
+package nrp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"runtime"
+
+	"github.com/nrp-embed/nrp/internal/matrix"
+	"github.com/nrp-embed/nrp/internal/quant"
+)
+
+// Index snapshots persist a built Searcher — embedding plus the
+// backend's build-time preprocessing (quantization codes and scales, or
+// the norm-sort permutation) — so a serving process boots by reading the
+// file instead of re-quantizing or re-sorting.
+//
+// Format (little-endian): the magic "NRPX", an int64 header
+// {version, backend, shards, rerank, includeSelf, n, dim}, the X then Y
+// float64 payloads, and a backend-specific payload (quantized: dim
+// scales + n·dim int8 codes; pruned: n int32 permutation).
+const (
+	indexMagic   = "NRPX"
+	indexVersion = 1
+)
+
+// SaveIndex writes a snapshot of a Searcher built by BuildIndex (or
+// loaded by LoadIndex). Searcher implementations from outside this
+// package are rejected.
+func SaveIndex(w io.Writer, s Searcher) error {
+	var (
+		emb     *Embedding
+		cfg     indexConfig
+		payload func(*bufio.Writer) error
+	)
+	switch ix := s.(type) {
+	case *Index:
+		emb, cfg = ix.emb, ix.cfg
+		payload = func(*bufio.Writer) error { return nil }
+	case *quantIndex:
+		emb, cfg = ix.emb, ix.cfg
+		payload = func(bw *bufio.Writer) error {
+			if err := binary.Write(bw, binary.LittleEndian, ix.qy.Scales); err != nil {
+				return err
+			}
+			return binary.Write(bw, binary.LittleEndian, ix.qy.Codes)
+		}
+	case *prunedIndex:
+		emb, cfg = ix.emb, ix.cfg
+		payload = func(bw *bufio.Writer) error {
+			return binary.Write(bw, binary.LittleEndian, ix.perm)
+		}
+	default:
+		return fmt.Errorf("nrp: SaveIndex: unsupported Searcher %T", s)
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(indexMagic); err != nil {
+		return err
+	}
+	self := int64(0)
+	if cfg.includeSelf {
+		self = 1
+	}
+	// A defaulted shard count is host-derived state, not configuration:
+	// persist 0 so the serving host re-derives it from its own cores.
+	shards := int64(0)
+	if cfg.shardsExplicit {
+		shards = int64(cfg.shards)
+	}
+	header := []int64{indexVersion, int64(cfg.backend), shards,
+		int64(cfg.rerank), self, int64(emb.N()), int64(emb.Dim())}
+	for _, h := range header {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for _, m := range []*matrix.Dense{emb.X, emb.Y} {
+		if err := binary.Write(bw, binary.LittleEndian, m.Data); err != nil {
+			return err
+		}
+	}
+	if err := payload(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadIndex reads a snapshot written by SaveIndex and reconstructs the
+// Searcher without redoing build-time preprocessing. Options override the
+// snapshot's serving configuration — WithShards to match the host's cores,
+// WithRerank, WithIncludeSelf — but the backend is part of the payload:
+// passing WithBackend with a different backend is an error.
+func LoadIndex(r io.Reader, opts ...IndexOption) (Searcher, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(indexMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("nrp: reading index magic: %w", err)
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("nrp: bad index magic %q", magic)
+	}
+	var version, backend, shards, rerank, self, n, dim int64
+	for _, p := range []*int64{&version, &backend, &shards, &rerank, &self, &n, &dim} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("nrp: reading index header: %w", err)
+		}
+	}
+	if version != indexVersion {
+		return nil, fmt.Errorf("nrp: unsupported index version %d", version)
+	}
+	// Bound each dimension before multiplying so a corrupt header cannot
+	// overflow the product into plausibility (or makeslice into a panic).
+	if n < 0 || dim < 0 || n > 1<<34 || dim > 1<<24 || (dim > 0 && n > (1<<34)/dim) {
+		return nil, fmt.Errorf("nrp: implausible index dimensions %dx%d", n, dim)
+	}
+	if shards < 0 || shards > 1<<20 || rerank < 0 || rerank > 1<<20 {
+		return nil, fmt.Errorf("nrp: implausible index config (shards=%d rerank=%d)", shards, rerank)
+	}
+
+	stored := indexConfig{backend: Backend(backend), shards: int(shards),
+		shardsExplicit: shards != 0, rerank: int(rerank), includeSelf: self != 0}
+	cfg := stored
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.backend != stored.backend {
+		return nil, fmt.Errorf("nrp: snapshot was built with backend %v, cannot load as %v", stored.backend, cfg.backend)
+	}
+	if cfg.shards < 0 {
+		return nil, fmt.Errorf("nrp: shards must be non-negative, got %d", cfg.shards)
+	}
+	if cfg.shards == 0 {
+		cfg.shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.rerank < 1 {
+		return nil, fmt.Errorf("nrp: rerank multiplier must be at least 1, got %d", cfg.rerank)
+	}
+
+	emb := &Embedding{X: matrix.NewDense(int(n), int(dim)), Y: matrix.NewDense(int(n), int(dim))}
+	for _, m := range []*matrix.Dense{emb.X, emb.Y} {
+		if err := binary.Read(br, binary.LittleEndian, m.Data); err != nil {
+			return nil, fmt.Errorf("nrp: reading index embedding: %w", err)
+		}
+	}
+
+	switch cfg.backend {
+	case BackendExact:
+		return &Index{emb: emb, cfg: cfg}, nil
+	case BackendQuantized:
+		qy := &quant.Matrix{N: int(n), Dim: int(dim),
+			Scales: make([]float64, dim), Codes: make([]int8, n*dim)}
+		if err := binary.Read(br, binary.LittleEndian, qy.Scales); err != nil {
+			return nil, fmt.Errorf("nrp: reading quantization scales: %w", err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, qy.Codes); err != nil {
+			return nil, fmt.Errorf("nrp: reading quantization codes: %w", err)
+		}
+		return loadedQuantIndex(emb, cfg, qy), nil
+	case BackendPruned:
+		perm := make([]int32, n)
+		if err := binary.Read(br, binary.LittleEndian, perm); err != nil {
+			return nil, fmt.Errorf("nrp: reading norm permutation: %w", err)
+		}
+		seen := make([]bool, n)
+		for _, v := range perm {
+			if v < 0 || int64(v) >= n || seen[v] {
+				return nil, fmt.Errorf("nrp: corrupt norm permutation (node %d)", v)
+			}
+			seen[v] = true
+		}
+		ix := loadedPrunedIndex(emb, cfg, perm, nil)
+		// The early-exit bound assumes positions are in non-increasing norm
+		// order; a bijective but shuffled permutation would silently drop
+		// results, so reject it here.
+		for i := 1; i < len(ix.norms); i++ {
+			if ix.norms[i] > ix.norms[i-1] {
+				return nil, fmt.Errorf("nrp: corrupt norm permutation (norms not sorted at position %d)", i)
+			}
+		}
+		return ix, nil
+	default:
+		return nil, fmt.Errorf("nrp: snapshot names unknown backend %d", backend)
+	}
+}

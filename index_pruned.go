@@ -1,0 +1,135 @@
+package nrp
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"github.com/nrp-embed/nrp/internal/matrix"
+)
+
+// prunedIndex is the norm-pruned Searcher backend. At build time the
+// backward embeddings are sorted by decreasing ‖Y_v‖ and copied into that
+// order; a query scans positions in decreasing-norm order and stops as
+// soon as the Cauchy–Schwarz bound ‖X_u‖·‖Y_v‖ falls below the current
+// k-th best score — every remaining candidate is then provably weaker.
+// Results are exact; the win over BackendExact grows with the skew of the
+// norm distribution, which NRP's degree-targeted reweighting makes heavy-
+// tailed on real graphs.
+//
+// Shards take strided position sequences (w, w+S, w+2S, …) so each shard
+// sees the global decreasing-norm profile and its private top-k heap
+// saturates with strong candidates early, triggering its early exit after
+// a few multiples of k candidates instead of a shard-local norm tail.
+type prunedIndex struct {
+	emb *Embedding
+	cfg indexConfig
+	// perm maps scan position to original node id, norms[i] = ‖Y_perm[i]‖,
+	// decreasing; ys holds Y's rows in perm order for scan locality.
+	perm  []int32
+	norms []float64
+	ys    *matrix.Dense
+}
+
+var _ Searcher = (*prunedIndex)(nil)
+
+func newPrunedIndex(emb *Embedding, cfg indexConfig) *prunedIndex {
+	n := emb.N()
+	norms := make([]float64, n)
+	for v := 0; v < n; v++ {
+		norms[v] = matrix.Norm2(emb.Y.Row(v))
+	}
+	perm := make([]int32, n)
+	for v := range perm {
+		perm[v] = int32(v)
+	}
+	sort.SliceStable(perm, func(i, j int) bool { return norms[perm[i]] > norms[perm[j]] })
+	return loadedPrunedIndex(emb, cfg, perm, norms)
+}
+
+// loadedPrunedIndex rebuilds a pruned index from a permutation without
+// re-sorting; the reordered row copy is always rebuilt (it is cheaper to
+// copy than to store twice). nodeNorms, when non-nil, supplies the
+// per-node norms already computed by the build path; the snapshot load
+// path passes nil and recomputes them from the rows.
+func loadedPrunedIndex(emb *Embedding, cfg indexConfig, perm []int32, nodeNorms []float64) *prunedIndex {
+	n, dim := emb.N(), emb.Dim()
+	ix := &prunedIndex{emb: emb, cfg: cfg, perm: perm,
+		norms: make([]float64, n), ys: matrix.NewDense(n, dim)}
+	for i, v := range perm {
+		copy(ix.ys.Row(i), emb.Y.Row(int(v)))
+		if nodeNorms != nil {
+			ix.norms[i] = nodeNorms[v]
+		} else {
+			ix.norms[i] = matrix.Norm2(ix.ys.Row(i))
+		}
+	}
+	return ix
+}
+
+func (ix *prunedIndex) N() int { return ix.emb.N() }
+
+// Backend reports BackendPruned.
+func (ix *prunedIndex) Backend() Backend { return BackendPruned }
+
+func (ix *prunedIndex) TopK(ctx context.Context, u, k int) ([]Neighbor, error) {
+	nbrs, _, err := ix.topkOne(ctx, u, k, true)
+	return nbrs, err
+}
+
+func (ix *prunedIndex) TopKMany(ctx context.Context, us []int, k int) ([]Result, error) {
+	return topkMany(ctx, ix.emb.N(), ix.cfg.shards, us, k, ix.topkOne)
+}
+
+func (ix *prunedIndex) ScoreMany(ctx context.Context, pairs []Pair) ([]float64, error) {
+	return scoreManyExact(ctx, ix.emb, pairs, ix.cfg.shards)
+}
+
+func (ix *prunedIndex) topkOne(ctx context.Context, u, k int, parallel bool) ([]Neighbor, QueryStats, error) {
+	start := time.Now()
+	var stats QueryStats
+	n := ix.emb.N()
+	if err := validateQuery(n, u, k); err != nil {
+		return nil, stats, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	k = clampK(n, k, ix.cfg.includeSelf)
+	if k == 0 {
+		return nil, stats, nil
+	}
+
+	xu := ix.emb.X.Row(u)
+	xnorm := matrix.Norm2(xu)
+	scan := func(ctx context.Context, w, shards int, h *topkHeap) (scanned, pruned int, err error) {
+		steps := 0
+		for p := w; p < n; p += shards {
+			if steps%ctxCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return scanned, pruned, err
+				}
+			}
+			steps++
+			// Positions are in decreasing ‖Y‖ order: once the heap is full
+			// and the bound cannot strictly beat its weakest entry, no
+			// later position can either. The strict comparison preserves
+			// exactness under the ascending-node-id tie-break: an exact
+			// tie with the threshold could still displace a higher id.
+			if h.full() && xnorm*ix.norms[p] < h.min().Score {
+				pruned = (n - p + shards - 1) / shards
+				break
+			}
+			v := int(ix.perm[p])
+			if v == u && !ix.cfg.includeSelf {
+				continue
+			}
+			h.offer(v, matrix.Dot(xu, ix.ys.Row(p)))
+			scanned++
+		}
+		return scanned, pruned, nil
+	}
+	nbrs, stats, err := runShardScan(ctx, n, ix.cfg.shards, k, parallel, scan)
+	stats.Elapsed = time.Since(start)
+	return nbrs, stats, err
+}

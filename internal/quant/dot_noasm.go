@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package quant
+
+// Non-amd64 architectures always take the portable kernel; the constant
+// lets the compiler drop the dispatch branch and the stub entirely.
+const useAVX2 = false
+
+func dotAVX2(a, b []int8) int32 { panic("quant: dotAVX2 without AVX2") }

@@ -1,0 +1,114 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/nrp-embed/nrp/internal/matrix"
+)
+
+func TestDotMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 3, 4, 7, 64, 129} {
+		a := make([]int8, n)
+		b := make([]int8, n)
+		var want int32
+		for i := range a {
+			a[i] = int8(rng.Intn(255) - 127)
+			b[i] = int8(rng.Intn(255) - 127)
+			want += int32(a[i]) * int32(b[i])
+		}
+		if got := Dot(a, b); got != want {
+			t.Fatalf("n=%d: Dot=%d want %d", n, got, want)
+		}
+	}
+}
+
+func TestDotExtremes(t *testing.T) {
+	// 64 dims of the extreme codes must not overflow int32.
+	a := make([]int8, 64)
+	b := make([]int8, 64)
+	for i := range a {
+		a[i], b[i] = 127, 127
+	}
+	if got := Dot(a, b); got != 64*127*127 {
+		t.Fatalf("extreme dot = %d", got)
+	}
+}
+
+func TestQuantizeRowsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := matrix.GaussianDense(200, 32, rng)
+	// Skew the dimensions so per-dimension scales actually differ.
+	for v := 0; v < m.Rows; v++ {
+		row := m.Row(v)
+		for j := range row {
+			row[j] *= math.Pow(10, float64(j%4)-2)
+		}
+	}
+	q := QuantizeRows(m)
+	for v := 0; v < m.Rows; v++ {
+		row := m.Row(v)
+		codes := q.Row(v)
+		for j, x := range row {
+			got := float64(codes[j]) * q.Scales[j]
+			if err := math.Abs(got - x); err > q.Scales[j]/2+1e-12 {
+				t.Fatalf("row %d dim %d: decoded %v want %v (scale %v)", v, j, got, x, q.Scales[j])
+			}
+		}
+	}
+}
+
+func TestQuantizedDotApproximatesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	y := matrix.GaussianDense(500, 64, rng)
+	q := QuantizeRows(y)
+	x := make([]float64, 64)
+	for j := range x {
+		x[j] = rng.NormFloat64()
+	}
+	codes, scale := q.QuantizeQuery(x)
+	var maxRel float64
+	for v := 0; v < y.Rows; v++ {
+		exact := matrix.Dot(x, y.Row(v))
+		approx := scale * float64(Dot(codes, q.Row(v)))
+		// Normalize by the product of norms (the score magnitude scale);
+		// int8 keeps the relative error well below a percent.
+		denom := matrix.Norm2(x) * matrix.Norm2(y.Row(v))
+		if rel := math.Abs(exact-approx) / denom; rel > maxRel {
+			maxRel = rel
+		}
+	}
+	if maxRel > 0.01 {
+		t.Fatalf("max normalized quantization error %v", maxRel)
+	}
+}
+
+func TestQuantizeQueryZero(t *testing.T) {
+	y := matrix.NewDense(4, 8)
+	q := QuantizeRows(y)
+	codes, scale := q.QuantizeQuery(make([]float64, 8))
+	if scale != 0 {
+		t.Fatalf("zero query scale = %v", scale)
+	}
+	for _, c := range codes {
+		if c != 0 {
+			t.Fatal("zero query produced nonzero code")
+		}
+	}
+}
+
+func BenchmarkDotInt8(b *testing.B) {
+	x := make([]int8, 64)
+	y := make([]int8, 64)
+	for i := range x {
+		x[i], y[i] = int8(i), int8(-i)
+	}
+	b.SetBytes(64 * 2)
+	var sink int32
+	for i := 0; i < b.N; i++ {
+		sink += Dot(x, y)
+	}
+	_ = sink
+}

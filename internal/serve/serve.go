@@ -1,0 +1,296 @@
+// Package serve implements the HTTP layer of cmd/nrpserve: JSON
+// request/response types, handlers over an nrp.Searcher, typed-error to
+// status-code mapping, and graceful drain on shutdown.
+//
+// Endpoints:
+//
+//	GET  /v1/healthz          liveness + index metadata
+//	GET  /v1/topk?u=42&k=10   single top-k query
+//	POST /v1/topk             {"u":42,"k":10} or {"us":[1,2,3],"k":10}
+//	POST /v1/score            {"pairs":[[0,1],[2,3]]}
+//
+// All responses are JSON. Malformed requests — bad JSON, k <= 0, node ids
+// outside [0, N) — map to 400 via the nrp.ErrInvalidK and
+// nrp.ErrNodeOutOfRange sentinels; queries cut short by server shutdown
+// map to 503.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/nrp-embed/nrp"
+)
+
+// Config carries the serving metadata that is not derivable from the
+// Searcher itself.
+type Config struct {
+	// Backend labels the index backend in /v1/healthz responses.
+	Backend string
+	// MaxK caps the k a single request may ask for (default 1000): a cheap
+	// guard against a single query holding a worker for a full-index sort.
+	MaxK int
+	// MaxBatch caps the number of sources in one /v1/topk batch and the
+	// number of pairs in one /v1/score call (default 1024).
+	MaxBatch int
+}
+
+const (
+	defaultMaxK     = 1000
+	defaultMaxBatch = 1024
+)
+
+// Server serves proximity queries over a fixed Searcher.
+type Server struct {
+	searcher nrp.Searcher
+	cfg      Config
+}
+
+// NewServer wraps a Searcher for HTTP serving.
+func NewServer(s nrp.Searcher, cfg Config) *Server {
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = defaultMaxK
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = defaultMaxBatch
+	}
+	return &Server{searcher: s, cfg: cfg}
+}
+
+// Handler returns the route table.
+func (sv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", sv.handleHealthz)
+	mux.HandleFunc("/v1/topk", sv.handleTopK)
+	mux.HandleFunc("/v1/score", sv.handleScore)
+	return mux
+}
+
+// TopKRequest is the /v1/topk POST body. Exactly one of U or Us must be
+// set.
+type TopKRequest struct {
+	U  *int  `json:"u,omitempty"`
+	Us []int `json:"us,omitempty"`
+	K  int   `json:"k"`
+}
+
+// NeighborJSON is one scored candidate.
+type NeighborJSON struct {
+	Node  int     `json:"node"`
+	Score float64 `json:"score"`
+}
+
+// StatsJSON reports per-query backend work.
+type StatsJSON struct {
+	Scanned   int   `json:"scanned"`
+	Pruned    int   `json:"pruned"`
+	Reranked  int   `json:"reranked"`
+	ElapsedUs int64 `json:"elapsed_us"`
+}
+
+// ResultJSON is one query's answer.
+type ResultJSON struct {
+	U         int            `json:"u"`
+	Neighbors []NeighborJSON `json:"neighbors"`
+	Stats     StatsJSON      `json:"stats"`
+}
+
+// TopKResponse is the /v1/topk response body.
+type TopKResponse struct {
+	K       int          `json:"k"`
+	Results []ResultJSON `json:"results"`
+}
+
+// ScoreRequest is the /v1/score POST body: pairs of [source, target].
+type ScoreRequest struct {
+	Pairs [][2]int `json:"pairs"`
+}
+
+// ScoreResponse is the /v1/score response body, aligned with the request
+// pairs.
+type ScoreResponse struct {
+	Scores []float64 `json:"scores"`
+}
+
+// HealthzResponse is the /v1/healthz response body.
+type HealthzResponse struct {
+	Status  string `json:"status"`
+	Nodes   int    `json:"nodes"`
+	Backend string `json:"backend"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthzResponse{
+		Status:  "ok",
+		Nodes:   sv.searcher.N(),
+		Backend: sv.cfg.Backend,
+	})
+}
+
+func (sv *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req TopKRequest
+	switch r.Method {
+	case http.MethodGet:
+		u, err := strconv.Atoi(r.URL.Query().Get("u"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "query parameter u must be an integer")
+			return
+		}
+		req.U = &u
+		req.K = 10
+		if ks := r.URL.Query().Get("k"); ks != "" {
+			if req.K, err = strconv.Atoi(ks); err != nil {
+				writeError(w, http.StatusBadRequest, "query parameter k must be an integer")
+				return
+			}
+		}
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST only")
+		return
+	}
+
+	var us []int
+	switch {
+	case req.U != nil && len(req.Us) > 0:
+		writeError(w, http.StatusBadRequest, `set exactly one of "u" and "us"`)
+		return
+	case req.U != nil:
+		us = []int{*req.U}
+	case len(req.Us) > 0:
+		us = req.Us
+	default:
+		writeError(w, http.StatusBadRequest, `set one of "u" and "us"`)
+		return
+	}
+	if len(us) > sv.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d sources exceeds limit %d", len(us), sv.cfg.MaxBatch))
+		return
+	}
+	if req.K > sv.cfg.MaxK {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("k=%d exceeds limit %d", req.K, sv.cfg.MaxK))
+		return
+	}
+
+	results, err := sv.searcher.TopKMany(r.Context(), us, req.K)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	resp := TopKResponse{K: req.K, Results: make([]ResultJSON, len(results))}
+	for i, res := range results {
+		rj := ResultJSON{
+			U:         res.Source,
+			Neighbors: make([]NeighborJSON, len(res.Neighbors)),
+			Stats: StatsJSON{
+				Scanned:   res.Stats.Scanned,
+				Pruned:    res.Stats.Pruned,
+				Reranked:  res.Stats.Reranked,
+				ElapsedUs: res.Stats.Elapsed.Microseconds(),
+			},
+		}
+		for j, nb := range res.Neighbors {
+			rj.Neighbors[j] = NeighborJSON{Node: nb.Node, Score: nb.Score}
+		}
+		resp.Results[i] = rj
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (sv *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req ScoreRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Pairs) > sv.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d pairs exceeds limit %d", len(req.Pairs), sv.cfg.MaxBatch))
+		return
+	}
+	pairs := make([]nrp.Pair, len(req.Pairs))
+	for i, p := range req.Pairs {
+		pairs[i] = nrp.Pair{U: p[0], V: p[1]}
+	}
+	scores, err := sv.searcher.ScoreMany(r.Context(), pairs)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ScoreResponse{Scores: scores})
+}
+
+// writeQueryError maps Searcher errors onto HTTP statuses: the typed
+// validation sentinels are the client's fault, cancellation means the
+// server (or client) went away mid-query, anything else is a 500.
+func writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, nrp.ErrInvalidK) || errors.Is(err, nrp.ErrNodeOutOfRange):
+		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, "query cancelled: "+err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// Serve runs an HTTP server on ln until ctx is cancelled, then drains
+// in-flight requests for up to drain before forcing connections closed.
+// It returns nil on a clean (or drained) shutdown.
+func Serve(ctx context.Context, ln net.Listener, h http.Handler, drain time.Duration) error {
+	srv := &http.Server{
+		Handler: h,
+		// Detach request contexts from ctx so that cancelling ctx starts
+		// the drain without aborting in-flight queries; Shutdown waits for
+		// them, and only a drain timeout force-closes their connections.
+		BaseContext: func(net.Listener) context.Context { return context.WithoutCancel(ctx) },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		srv.Close()
+		return fmt.Errorf("serve: drain timed out: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

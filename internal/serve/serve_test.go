@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/nrp-embed/nrp"
+)
+
+func testSearcher(t *testing.T) (nrp.Searcher, *nrp.Embedding) {
+	t.Helper()
+	g, err := nrp.GenSBM(nrp.SBMConfig{N: 120, M: 700, Communities: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nrp.DefaultOptions()
+	opt.Dim = 16
+	emb, _, err := nrp.EmbedCtx(context.Background(), g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := nrp.BuildIndex(emb, nrp.WithBackend(nrp.BackendQuantized), nrp.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, emb
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body any) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec, rec.Body.Bytes()
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := testSearcher(t)
+	h := NewServer(s, Config{Backend: "quantized"}).Handler()
+	rec, body := doJSON(t, h, http.MethodGet, "/v1/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp HealthzResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "ok" || resp.Nodes != 120 || resp.Backend != "quantized" {
+		t.Fatalf("healthz %+v", resp)
+	}
+	if rec, _ := doJSON(t, h, http.MethodPost, "/v1/healthz", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST healthz status %d", rec.Code)
+	}
+}
+
+func TestTopKGetAndPost(t *testing.T) {
+	s, _ := testSearcher(t)
+	h := NewServer(s, Config{Backend: "quantized"}).Handler()
+
+	rec, body := doJSON(t, h, http.MethodGet, "/v1/topk?u=5&k=3", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET status %d: %s", rec.Code, body)
+	}
+	var resp TopKResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].U != 5 || len(resp.Results[0].Neighbors) != 3 {
+		t.Fatalf("GET response %+v", resp)
+	}
+	if resp.Results[0].Stats.Scanned == 0 {
+		t.Fatal("stats not populated")
+	}
+
+	rec, body = doJSON(t, h, http.MethodPost, "/v1/topk", TopKRequest{Us: []int{1, 2, 3}, K: 4})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST status %d: %s", rec.Code, body)
+	}
+	resp = TopKResponse{}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("batch returned %d results", len(resp.Results))
+	}
+	for i, want := range []int{1, 2, 3} {
+		if resp.Results[i].U != want || len(resp.Results[i].Neighbors) != 4 {
+			t.Fatalf("batch result %d: %+v", i, resp.Results[i])
+		}
+	}
+}
+
+func TestTopKBadRequests(t *testing.T) {
+	s, _ := testSearcher(t)
+	h := NewServer(s, Config{MaxK: 50, MaxBatch: 4}).Handler()
+	u := 3
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+	}{
+		{"non-integer u", http.MethodGet, "/v1/topk?u=zip", nil},
+		{"non-integer k", http.MethodGet, "/v1/topk?u=1&k=zap", nil},
+		{"neither u nor us", http.MethodPost, "/v1/topk", TopKRequest{K: 5}},
+		{"both u and us", http.MethodPost, "/v1/topk", TopKRequest{U: &u, Us: []int{1}, K: 5}},
+		{"k=0", http.MethodPost, "/v1/topk", TopKRequest{U: &u, K: 0}},
+		{"k over MaxK", http.MethodPost, "/v1/topk", TopKRequest{U: &u, K: 51}},
+		{"out-of-range node", http.MethodGet, "/v1/topk?u=120&k=5", nil},
+		{"negative node", http.MethodGet, "/v1/topk?u=-1&k=5", nil},
+		{"batch over MaxBatch", http.MethodPost, "/v1/topk", TopKRequest{Us: []int{1, 2, 3, 4, 5}, K: 5}},
+		{"malformed json", http.MethodPost, "/v1/topk", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var rec *httptest.ResponseRecorder
+			var body []byte
+			if tc.name == "malformed json" {
+				req := httptest.NewRequest(tc.method, tc.path, strings.NewReader("{nope"))
+				r := httptest.NewRecorder()
+				h.ServeHTTP(r, req)
+				rec, body = r, r.Body.Bytes()
+			} else {
+				rec, body = doJSON(t, h, tc.method, tc.path, tc.body)
+			}
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("status %d: %s", rec.Code, body)
+			}
+			var er errorResponse
+			if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+				t.Fatalf("error body %q (%v)", body, err)
+			}
+		})
+	}
+	if rec, _ := doJSON(t, h, http.MethodDelete, "/v1/topk", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE status %d", rec.Code)
+	}
+}
+
+func TestScore(t *testing.T) {
+	s, emb := testSearcher(t)
+	h := NewServer(s, Config{}).Handler()
+	rec, body := doJSON(t, h, http.MethodPost, "/v1/score", ScoreRequest{Pairs: [][2]int{{0, 1}, {5, 9}}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp ScoreResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Scores) != 2 || resp.Scores[0] != emb.Score(0, 1) || resp.Scores[1] != emb.Score(5, 9) {
+		t.Fatalf("scores %+v", resp.Scores)
+	}
+
+	if rec, _ := doJSON(t, h, http.MethodPost, "/v1/score", ScoreRequest{Pairs: [][2]int{{0, 500}}}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("out-of-range pair status %d", rec.Code)
+	}
+	if rec, _ := doJSON(t, h, http.MethodGet, "/v1/score", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET score status %d", rec.Code)
+	}
+}
+
+// TestServeGracefulDrain boots a real listener, verifies it serves, then
+// cancels the context and requires Serve to return cleanly within the
+// drain window.
+func TestServeGracefulDrain(t *testing.T) {
+	s, _ := testSearcher(t)
+	h := NewServer(s, Config{Backend: "quantized"}).Handler()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Serve(ctx, ln, h, 5*time.Second) }()
+
+	url := fmt.Sprintf("http://%s/v1/topk?u=2&k=4", ln.Addr())
+	var resp *http.Response
+	for i := 0; i < 50; i++ {
+		resp, err = http.Get(url)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live query status %d: %s", resp.StatusCode, raw)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after cancellation")
+	}
+	if _, err := http.Get(url); err == nil {
+		t.Fatal("server still accepting connections after drain")
+	}
+}

@@ -23,10 +23,17 @@
 //		log.Printf("%s %d/%d", ev.Phase, ev.Step, ev.Total)
 //	}))
 //
-// For serving top-k proximity queries, wrap the embedding in an Index:
+// For serving top-k proximity queries, build a query index over the
+// embedding. BuildIndex selects among pluggable Searcher backends — the
+// exact scan, an int8-quantized scan with exact rerank, and a norm-pruned
+// scan with a Cauchy–Schwarz early exit — all sharded across goroutines:
 //
-//	ix := nrp.NewIndex(emb)
-//	nbrs, err := ix.TopK(ctx, u, 10) // 10 nodes v maximizing Score(u, v)
+//	s, err := nrp.BuildIndex(emb, nrp.WithBackend(nrp.BackendQuantized))
+//	nbrs, err := s.TopK(ctx, u, 10)        // 10 nodes v maximizing Score(u, v)
+//	res, err := s.TopKMany(ctx, us, 10)    // batched, with per-query QueryStats
+//
+// A built index persists with SaveIndex and boots back with LoadIndex
+// (no re-quantization), which is how cmd/nrpserve serves HTTP traffic.
 //
 // The v1 entry points (Embed, EmbedPPR, EmbedAttributed, LearnWeights)
 // remain as thin deprecated wrappers over the ctx-taking versions.
@@ -145,8 +152,11 @@ func EmbedPPR(g *Graph, opt Options) (*Embedding, error) {
 // LearnWeightsCtx exposes the reweighting phase on fixed embeddings,
 // returning the forward and backward node weights of Eq. (5)/(6) plus run
 // stats (per-epoch residuals). The context is checked between
-// coordinate-descent passes.
+// coordinate-descent passes. Options are validated up front.
 func LearnWeightsCtx(ctx context.Context, g *Graph, emb *Embedding, opt Options, opts ...RunOption) (fw, bw []float64, stats *Stats, err error) {
+	if err := opt.Validate(); err != nil {
+		return nil, nil, nil, fmt.Errorf("nrp: invalid options: %w", err)
+	}
 	return core.LearnWeightsCtx(ctx, g, emb, opt, opts...)
 }
 

@@ -2,6 +2,7 @@ package nrp
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -63,6 +64,28 @@ func TestEmbedPPRAndWeights(t *testing.T) {
 	}
 	if len(fw) != g.N || len(bw) != g.N {
 		t.Fatal("weight lengths wrong")
+	}
+}
+
+// TestLearnWeightsCtxValidatesOptions pins that LearnWeightsCtx rejects
+// inconsistent options up front like every other public entry point.
+func TestLearnWeightsCtxValidatesOptions(t *testing.T) {
+	g, err := GenSBM(SBMConfig{N: 40, M: 150, Communities: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Dim = 8
+	base, err := EmbedPPR(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := opt
+	bad.Lambda = -1
+	if _, _, _, err := LearnWeightsCtx(context.Background(), g, base, bad); err == nil {
+		t.Fatal("invalid Lambda accepted")
+	} else if want := "nrp: invalid options:"; !strings.HasPrefix(err.Error(), want) {
+		t.Fatalf("error %q not wrapped as %q", err, want)
 	}
 }
 
