@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"github.com/nrp-embed/nrp/internal/core"
+	"github.com/nrp-embed/nrp/internal/dynamic"
 	"github.com/nrp-embed/nrp/internal/eval"
 	"github.com/nrp-embed/nrp/internal/experiments"
 	"github.com/nrp-embed/nrp/internal/graph"
@@ -31,12 +32,19 @@ import (
 )
 
 // TestMain flushes the serving-backend benchmark records to
-// BENCH_topk.json after the run (see writeTopKBenchRecords), so the CI
-// benchmark smoke step leaves a machine-readable perf trace behind.
+// BENCH_topk.json and the dynamic-refresh records to BENCH_dynamic.json
+// after the run (see writeTopKBenchRecords, writeDynamicBenchRecord), so
+// the CI benchmark smoke steps leave machine-readable perf traces behind.
 func TestMain(m *testing.M) {
 	code := m.Run()
 	if err := writeTopKBenchRecords(); err != nil {
 		fmt.Fprintln(os.Stderr, "writing BENCH_topk.json:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	if err := writeDynamicBenchRecord(); err != nil {
+		fmt.Fprintln(os.Stderr, "writing BENCH_dynamic.json:", err)
 		if code == 0 {
 			code = 1
 		}
@@ -419,6 +427,152 @@ func BenchmarkTopKBatchQuantized(b *testing.B) {
 	benchmarkTopKBatch(b, "TopKBatchQuantized", BackendQuantized)
 }
 func BenchmarkTopKBatchPruned(b *testing.B) { benchmarkTopKBatch(b, "TopKBatchPruned", BackendPruned) }
+
+// --- Dynamic-graph refresh benchmark -------------------------------------
+
+// BenchmarkDynamicRefresh is the evolving-graph serving benchmark: a
+// 100k-node SBM grows by a batch of triadic-closure edges, and the
+// incrementally refreshed embedding is raced against a from-scratch
+// re-embed of the updated graph. Both are scored on link prediction over
+// a held-out set of further future edges; the reproduction target is an
+// incremental refresh ≥5× faster than the full re-embed at AUC within
+// 0.01. One iteration measures both paths; the record lands in
+// BENCH_dynamic.json via TestMain. Run with:
+//
+//	go test -run '^$' -bench BenchmarkDynamicRefresh -benchtime 1x
+const (
+	dynBenchN       = 100_000
+	dynBenchM       = 500_000
+	dynBenchDim     = 32
+	dynBenchUpdates = 1000 // applied batch; an equal batch is held out
+)
+
+type dynamicBenchRecord struct {
+	N              int     `json:"n"`
+	M              int     `json:"m"`
+	Dim            int     `json:"dim"`
+	Updates        int     `json:"updates"`
+	TouchedNodes   int     `json:"touched_nodes"`
+	PushMass       float64 `json:"push_mass"`
+	ResidualMass   float64 `json:"residual_mass"`
+	IncrementalMs  float64 `json:"incremental_ms"`
+	FullMs         float64 `json:"full_ms"`
+	Speedup        float64 `json:"speedup"`
+	AUCStale       float64 `json:"auc_stale"`
+	AUCIncremental float64 `json:"auc_incremental"`
+	AUCFull        float64 `json:"auc_full"`
+}
+
+var (
+	dynamicBenchMu  sync.Mutex
+	dynamicBenchRec *dynamicBenchRecord
+)
+
+func writeDynamicBenchRecord() error {
+	dynamicBenchMu.Lock()
+	defer dynamicBenchMu.Unlock()
+	if dynamicBenchRec == nil {
+		return nil
+	}
+	f, err := os.Create("BENCH_dynamic.json")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(dynamicBenchRec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func BenchmarkDynamicRefresh(b *testing.B) {
+	ctx := context.Background()
+	base, future, err := graph.GenEvolving(graph.EvolvingConfig{
+		Base: graph.SBMConfig{N: dynBenchN, M: dynBenchM, Communities: 50, Seed: 4},
+		MNew: 2 * dynBenchUpdates,
+		Seed: 11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	arriving, heldOut := future[:dynBenchUpdates], future[dynBenchUpdates:]
+	opt := core.DefaultOptions()
+	opt.Dim = dynBenchDim
+
+	auc := func(emb *core.Embedding, g *graph.Graph) float64 {
+		rng := rand.New(rand.NewSource(77))
+		neg, err := eval.SampleNonEdges(g, len(heldOut), rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pos := make([]float64, len(heldOut))
+		for i, e := range heldOut {
+			pos[i] = emb.Score(int(e.U), int(e.V))
+		}
+		negS := make([]float64, len(neg))
+		for i, e := range neg {
+			negS[i] = emb.Score(int(e.U), int(e.V))
+		}
+		v, err := eval.AUC(pos, negS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return v
+	}
+
+	for i := 0; i < b.N; i++ {
+		dyn, err := dynamic.New(ctx, base, opt, dynamic.Config{Policy: dynamic.PolicyIncremental})
+		if err != nil {
+			b.Fatal(err)
+		}
+		aucStale := auc(dyn.Embedding(), dyn.Graph())
+
+		ups := make([]dynamic.EdgeUpdate, len(arriving))
+		for j, e := range arriving {
+			ups[j] = dynamic.EdgeUpdate{U: e.U, V: e.V, Op: dynamic.OpInsert}
+		}
+		incStart := time.Now()
+		if _, err := dyn.ApplyUpdates(ctx, ups); err != nil {
+			b.Fatal(err)
+		}
+		st, err := dyn.Refresh(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		incElapsed := time.Since(incStart)
+		if st.Mode != dynamic.ModeIncremental {
+			b.Fatalf("refresh mode %q, want incremental", st.Mode)
+		}
+		aucInc := auc(dyn.Embedding(), dyn.Graph())
+
+		fullStart := time.Now()
+		full, err := core.NRP(dyn.Graph(), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fullElapsed := time.Since(fullStart)
+		aucFull := auc(full, dyn.Graph())
+
+		if i == 0 {
+			rec := &dynamicBenchRecord{
+				N: dynBenchN, M: dynBenchM, Dim: dynBenchDim, Updates: len(arriving),
+				TouchedNodes: st.TouchedNodes, PushMass: st.PushMass, ResidualMass: st.ResidualMass,
+				IncrementalMs: float64(incElapsed.Microseconds()) / 1000,
+				FullMs:        float64(fullElapsed.Microseconds()) / 1000,
+				Speedup:       fullElapsed.Seconds() / incElapsed.Seconds(),
+				AUCStale:      aucStale, AUCIncremental: aucInc, AUCFull: aucFull,
+			}
+			dynamicBenchMu.Lock()
+			dynamicBenchRec = rec
+			dynamicBenchMu.Unlock()
+			fmt.Printf("\ndynamic refresh (n=%d, m=%d, %d updates): incremental %.0fms (touched %d)  full %.0fms  speedup %.1fx  AUC inc=%.4f full=%.4f stale=%.4f\n",
+				dynBenchN, dynBenchM, len(arriving), rec.IncrementalMs, st.TouchedNodes,
+				rec.FullMs, rec.Speedup, aucInc, aucFull, aucStale)
+		}
+	}
+}
 
 // --- Kernel micro-benchmarks ---------------------------------------------
 

@@ -11,20 +11,31 @@
 //	    [-shards 0] [-rerank 4] [-include-self]
 //	nrp topk -embedding emb.bin -source 42 [-k 10] [-backend quantized] [-include-self]
 //	nrp topk -index index.bin -source 42 [-k 10]
+//	nrp update -server http://localhost:8080 [-insert new.txt] [-remove gone.txt]
+//	    [-refresh] [-batch 1024]
 //
 // `nrp index` persists the built index (including the backend's
-// build-time preprocessing) for cmd/nrpserve to boot from. Embedding runs
-// print per-phase stats on completion and cancel gracefully on
-// SIGINT/SIGTERM, exiting without writing a partial output file.
+// build-time preprocessing) for cmd/nrpserve to boot from. `nrp update`
+// streams edge insertions/removals (edge-list files, "u v" per line) to a
+// live nrpserve instance started with -graph, then optionally triggers a
+// refresh so the serving index absorbs them. Embedding runs print
+// per-phase stats on completion and cancel gracefully on SIGINT/SIGTERM,
+// exiting without writing a partial output file.
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,6 +58,8 @@ func run(ctx context.Context, args []string) error {
 			return runTopK(ctx, args[1:])
 		case "index":
 			return runIndexBuild(ctx, args[1:])
+		case "update":
+			return runUpdate(ctx, args[1:])
 		}
 	}
 	return runEmbed(ctx, args)
@@ -230,6 +243,176 @@ func runTopK(ctx context.Context, args []string) error {
 	for rank, nb := range res.Neighbors {
 		fmt.Printf("%-4d %-10d %s\n", rank+1, nb.Node, strconv.FormatFloat(nb.Score, 'g', 6, 64))
 	}
+	return nil
+}
+
+// readEdgePairs parses a whitespace-separated edge list ("u v" per line,
+// '#' comments) into raw id pairs, without building a graph — update
+// batches may legitimately reference edges absent from any snapshot.
+func readEdgePairs(path string) ([][2]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var pairs [][2]int
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%s:%d: want \"u v\", got %q", path, line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad source id %q", path, line, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad target id %q", path, line, fields[1])
+		}
+		pairs = append(pairs, [2]int{u, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pairs, nil
+}
+
+// postJSON posts body to url and decodes the JSON response into out,
+// surfacing non-2xx statuses with the server's error message.
+func postJSON(ctx context.Context, client *http.Client, url string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(payload, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s (status %d)", url, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return json.Unmarshal(payload, out)
+}
+
+// runUpdate streams edge updates to a live nrpserve instance in batches,
+// then optionally triggers a refresh so the serving index absorbs them.
+func runUpdate(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("nrp update", flag.ContinueOnError)
+	var (
+		server     = fs.String("server", "", "base URL of a live nrpserve instance (required)")
+		insertPath = fs.String("insert", "", "edge-list file of edges to insert")
+		removePath = fs.String("remove", "", "edge-list file of edges to remove")
+		refresh    = fs.Bool("refresh", true, "trigger a refresh after applying the updates")
+		batch      = fs.Int("batch", 1024, "updates per request (server's -max-batch caps this)")
+		timeout    = fs.Duration("timeout", time.Minute, "per-request timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *server == "" {
+		fs.Usage()
+		return fmt.Errorf("-server is required")
+	}
+	if *insertPath == "" && *removePath == "" {
+		fs.Usage()
+		return fmt.Errorf("at least one of -insert and -remove is required")
+	}
+	if *batch <= 0 {
+		return fmt.Errorf("-batch must be positive, got %d", *batch)
+	}
+	base := strings.TrimRight(*server, "/")
+	client := &http.Client{Timeout: *timeout}
+
+	var inserts, removes [][2]int
+	var err error
+	if *insertPath != "" {
+		if inserts, err = readEdgePairs(*insertPath); err != nil {
+			return err
+		}
+	}
+	if *removePath != "" {
+		if removes, err = readEdgePairs(*removePath); err != nil {
+			return err
+		}
+	}
+
+	applied, pending := 0, 0
+	send := func(ins, rem [][2]int) error {
+		var resp struct {
+			Applied int `json:"applied"`
+			Pending int `json:"pending"`
+		}
+		req := map[string]any{}
+		if len(ins) > 0 {
+			req["insert"] = ins
+		}
+		if len(rem) > 0 {
+			req["remove"] = rem
+		}
+		if err := postJSON(ctx, client, base+"/v1/update", req, &resp); err != nil {
+			return err
+		}
+		applied += resp.Applied
+		pending = resp.Pending
+		return nil
+	}
+	for lo := 0; lo < len(inserts); lo += *batch {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := send(inserts[lo:min(lo+*batch, len(inserts))], nil); err != nil {
+			return err
+		}
+	}
+	for lo := 0; lo < len(removes); lo += *batch {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := send(nil, removes[lo:min(lo+*batch, len(removes))]); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sent %d insertions, %d removals: %d applied, %d pending\n",
+		len(inserts), len(removes), applied, pending)
+
+	if !*refresh {
+		return nil
+	}
+	var rr struct {
+		Mode         string `json:"mode"`
+		TouchedNodes int    `json:"touched_nodes"`
+		ElapsedUs    int64  `json:"elapsed_us"`
+		Nodes        int    `json:"nodes"`
+	}
+	if err := postJSON(ctx, client, base+"/v1/refresh", struct{}{}, &rr); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "refreshed (%s): touched %d nodes in %v, serving %d nodes\n",
+		rr.Mode, rr.TouchedNodes, time.Duration(rr.ElapsedUs)*time.Microsecond, rr.Nodes)
 	return nil
 }
 

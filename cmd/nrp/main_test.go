@@ -3,11 +3,15 @@ package main
 import (
 	"context"
 	"errors"
+	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/nrp-embed/nrp"
+	"github.com/nrp-embed/nrp/internal/serve"
 )
 
 func writeTestGraph(t *testing.T, dir string) (graphPath string, g *nrp.Graph) {
@@ -191,5 +195,104 @@ func TestRunIndexBuildAndQuery(t *testing.T) {
 	// snapshot's stored choice.
 	if err := run(context.Background(), []string{"topk", "-index", indexPath, "-source", "3", "-include-self"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// newLiveTestServer boots an in-process live server over a small graph
+// (the same handler cmd/nrpserve serves) for the update subcommand tests.
+func newLiveTestServer(t *testing.T) (*httptest.Server, *nrp.LiveIndex) {
+	t.Helper()
+	g, err := nrp.GenSBM(nrp.SBMConfig{N: 100, M: 500, Communities: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nrp.DefaultOptions()
+	opt.Dim = 16
+	dyn, err := nrp.NewDynamicEmbedding(context.Background(), g, opt, nrp.DynamicConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := nrp.NewLiveIndex(dyn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.NewLiveServer(live, serve.Config{Backend: "exact"}).Handler())
+	t.Cleanup(ts.Close)
+	return ts, live
+}
+
+func writeEdgeFile(t *testing.T, dir, name string, pairs [][2]int) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	var sb strings.Builder
+	sb.WriteString("# test updates\n")
+	for _, p := range pairs {
+		fmt.Fprintf(&sb, "%d %d\n", p[0], p[1])
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunUpdate(t *testing.T) {
+	ts, live := newLiveTestServer(t)
+	dir := t.TempDir()
+	insPath := writeEdgeFile(t, dir, "ins.txt", [][2]int{{0, 99}, {1, 98}, {2, 97}})
+	remPath := writeEdgeFile(t, dir, "rem.txt", [][2]int{{0, 99}})
+
+	before := live.Searcher()
+	// Small -batch forces multiple requests.
+	err := run(context.Background(), []string{"update",
+		"-server", ts.URL, "-insert", insPath, "-remove", remPath, "-batch", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Pending() != 0 {
+		t.Fatalf("%d updates still pending after -refresh", live.Pending())
+	}
+	if live.Searcher() == before {
+		t.Fatal("update run did not refresh the serving index")
+	}
+	// Net effect: inserted {1,98} and {2,97}; {0,99} was inserted then removed.
+	g := live.Dynamic().Graph()
+	if !g.HasEdge(1, 98) || !g.HasEdge(2, 97) || g.HasEdge(0, 99) {
+		t.Fatal("graph does not reflect the update stream")
+	}
+}
+
+func TestRunUpdateNoRefresh(t *testing.T) {
+	ts, live := newLiveTestServer(t)
+	dir := t.TempDir()
+	insPath := writeEdgeFile(t, dir, "ins.txt", [][2]int{{3, 96}})
+	if err := run(context.Background(), []string{"update",
+		"-server", ts.URL, "-insert", insPath, "-refresh=false"}); err != nil {
+		t.Fatal(err)
+	}
+	if live.Pending() != 1 {
+		t.Fatalf("pending %d, want 1 (refresh disabled)", live.Pending())
+	}
+}
+
+func TestRunUpdateValidation(t *testing.T) {
+	ts, _ := newLiveTestServer(t)
+	dir := t.TempDir()
+	insPath := writeEdgeFile(t, dir, "ins.txt", [][2]int{{0, 42}})
+	badPath := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(badPath, []byte("0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outOfRange := writeEdgeFile(t, dir, "oor.txt", [][2]int{{0, 100000}})
+	for _, args := range [][]string{
+		{"update"},                    // no server
+		{"update", "-server", ts.URL}, // no files
+		{"update", "-server", ts.URL, "-insert", filepath.Join(dir, "missing.txt")},
+		{"update", "-server", ts.URL, "-insert", badPath},
+		{"update", "-server", ts.URL, "-insert", insPath, "-batch", "0"},
+		{"update", "-server", ts.URL, "-insert", outOfRange}, // server-side 400
+	} {
+		if err := run(context.Background(), args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
 	}
 }

@@ -1,11 +1,15 @@
 // Command nrpserve serves NRP proximity queries over HTTP: top-k
-// retrieval and batch scoring over a saved index snapshot (or a raw
-// embedding indexed at boot), with pluggable Searcher backends.
+// retrieval and batch scoring over a saved index snapshot, a raw
+// embedding indexed at boot, or — for evolving graphs — a live index
+// embedded from an edge list at boot and refreshed in place as updates
+// stream in.
 //
 // Usage:
 //
 //	nrpserve -index index.bin [-addr :8080] [-shards 0] [-drain 10s]
 //	nrpserve -embedding emb.bin -backend quantized [-shards 0] [-rerank 4] [-include-self]
+//	nrpserve -graph graph.txt [-directed] [-dim 128] [-seed 1] [-backend exact]
+//	         [-refresh-policy incremental] [-refresh-interval 30s]
 //
 // With -index the snapshot's build-time preprocessing (quantization
 // codes, norm permutation) is loaded as-is — no re-quantizing at boot;
@@ -13,12 +17,22 @@
 // -embedding the index is built in memory at boot with the -backend of
 // choice.
 //
+// With -graph the server embeds the graph at boot and accepts live edge
+// updates: POST /v1/update stages batched insertions/removals and POST
+// /v1/refresh brings the embedding in sync under -refresh-policy (full,
+// incremental or staleness) and atomically swaps the serving index —
+// in-flight queries finish on the old index, zero downtime. A positive
+// -refresh-interval additionally refreshes in the background whenever
+// updates are pending.
+//
 // Endpoints (JSON in/out):
 //
 //	GET  /v1/healthz
 //	GET  /v1/topk?u=42&k=10
-//	POST /v1/topk   {"us":[1,2,3],"k":10}
-//	POST /v1/score  {"pairs":[[0,1],[2,3]]}
+//	POST /v1/topk    {"us":[1,2,3],"k":10}
+//	POST /v1/score   {"pairs":[[0,1],[2,3]]}
+//	POST /v1/update  {"insert":[[0,1]],"remove":[[2,3]]}   (-graph only)
+//	POST /v1/refresh {}                                    (-graph only)
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight queries for up to -drain before exiting.
@@ -48,39 +62,54 @@ func main() {
 }
 
 type config struct {
-	server *serve.Server
-	addr   string
-	drain  time.Duration
+	server       *serve.Server
+	live         *nrp.LiveIndex // nil unless booted with -graph
+	refreshEvery time.Duration
+	addr         string
+	drain        time.Duration
 }
 
 // newServerFromFlags parses args, loads or builds the Searcher, and
 // returns the wrapped HTTP server; separated from run so tests can drive
 // the handler without binding a port.
-func newServerFromFlags(args []string) (*config, error) {
+func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 	fs := flag.NewFlagSet("nrpserve", flag.ContinueOnError)
 	var (
 		indexPath   = fs.String("index", "", "index snapshot written by `nrp index` or nrp.SaveIndex")
 		embPath     = fs.String("embedding", "", "embedding file to index at boot (alternative to -index)")
-		backendName = fs.String("backend", "exact", "backend for -embedding: exact, quantized or pruned")
+		graphPath   = fs.String("graph", "", "edge-list file to embed at boot and serve live (alternative to -index/-embedding)")
+		directed    = fs.Bool("directed", false, "treat -graph edges as directed")
+		dim         = fs.Int("dim", 128, "embedding dimensionality for -graph (even)")
+		seed        = fs.Int64("seed", 1, "random seed for -graph embedding")
+		policyName  = fs.String("refresh-policy", "incremental", "live refresh policy for -graph: full, incremental or staleness")
+		refreshIntv = fs.Duration("refresh-interval", 0, "background refresh period for -graph when updates are pending (0 = refresh only via /v1/refresh)")
+		backendName = fs.String("backend", "exact", "backend for -embedding/-graph: exact, quantized or pruned")
 		shards      = fs.Int("shards", 0, "scan shards per query (0 = all cores)")
 		rerank      = fs.Int("rerank", 0, "quantized shortlist multiplier (0 = default/snapshot value)")
 		includeSelf = fs.Bool("include-self", false, "admit the query node as a result (overrides a snapshot's stored choice)")
 		addr        = fs.String("addr", ":8080", "listen address")
 		drain       = fs.Duration("drain", 10*time.Second, "in-flight query drain window on shutdown")
 		maxK        = fs.Int("max-k", 1000, "largest k a request may ask for")
-		maxBatch    = fs.Int("max-batch", 1024, "largest batch of sources or pairs per request")
+		maxBatch    = fs.Int("max-batch", 1024, "largest batch of sources, pairs or updates per request")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	if (*indexPath == "") == (*embPath == "") {
+	sources := 0
+	for _, p := range []string{*indexPath, *embPath, *graphPath} {
+		if p != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
 		fs.Usage()
-		return nil, fmt.Errorf("exactly one of -index and -embedding is required")
+		return nil, fmt.Errorf("exactly one of -index, -embedding and -graph is required")
 	}
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	var searcher nrp.Searcher
+	var live *nrp.LiveIndex
 	switch {
 	case *indexPath != "":
 		if set["backend"] {
@@ -105,6 +134,45 @@ func newServerFromFlags(args []string) (*config, error) {
 		if err != nil {
 			return nil, err
 		}
+	case *graphPath != "":
+		backend, err := nrp.ParseBackend(*backendName)
+		if err != nil {
+			return nil, err
+		}
+		policy, err := nrp.ParseRefreshPolicy(*policyName)
+		if err != nil {
+			return nil, err
+		}
+		g, err := nrp.LoadGraph(*graphPath, *directed)
+		if err != nil {
+			return nil, err
+		}
+		opt := nrp.DefaultOptions()
+		opt.Dim = *dim
+		opt.Seed = *seed
+		if err := opt.Validate(); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "nrpserve: embedding %d nodes, %d edges...\n", g.N, g.NumEdges)
+		dyn, err := nrp.NewDynamicEmbedding(ctx, g, opt, nrp.DynamicConfig{Policy: policy})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "nrpserve: embedded in %v\n", time.Since(start).Round(time.Millisecond))
+		opts := []nrp.IndexOption{
+			nrp.WithBackend(backend),
+			nrp.WithShards(*shards),
+			nrp.WithIncludeSelf(*includeSelf),
+		}
+		if *rerank > 0 {
+			opts = append(opts, nrp.WithRerank(*rerank))
+		}
+		live, err = nrp.NewLiveIndex(dyn, opts...)
+		if err != nil {
+			return nil, err
+		}
+		searcher = live
 	default:
 		backend, err := nrp.ParseBackend(*backendName)
 		if err != nil {
@@ -132,19 +200,64 @@ func newServerFromFlags(args []string) (*config, error) {
 			return nil, err
 		}
 	}
+	if live == nil {
+		for _, name := range []string{"refresh-policy", "refresh-interval", "dim", "seed", "directed"} {
+			if set[name] {
+				return nil, fmt.Errorf("-%s requires -graph", name)
+			}
+		}
+	}
 
 	label := "unknown"
 	if b, ok := searcher.(interface{ Backend() nrp.Backend }); ok {
 		label = b.Backend().String()
 	}
-	sv := serve.NewServer(searcher, serve.Config{Backend: label, MaxK: *maxK, MaxBatch: *maxBatch})
-	return &config{server: sv, addr: *addr, drain: *drain}, nil
+	svCfg := serve.Config{Backend: label, MaxK: *maxK, MaxBatch: *maxBatch}
+	var sv *serve.Server
+	if live != nil {
+		sv = serve.NewLiveServer(live, svCfg)
+	} else {
+		sv = serve.NewServer(searcher, svCfg)
+	}
+	return &config{server: sv, live: live, refreshEvery: *refreshIntv, addr: *addr, drain: *drain}, nil
+}
+
+// refreshLoop refreshes the live index whenever updates are pending, once
+// per tick, until ctx is cancelled.
+func refreshLoop(ctx context.Context, live *nrp.LiveIndex, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if live.Pending() == 0 {
+				continue
+			}
+			st, err := live.Refresh(ctx)
+			if err != nil {
+				if ctx.Err() == nil {
+					fmt.Fprintf(os.Stderr, "nrpserve: background refresh: %v\n", err)
+				}
+				continue
+			}
+			if st.Mode == nrp.RefreshedSkipped {
+				continue // staleness policy below threshold: nothing happened
+			}
+			fmt.Fprintf(os.Stderr, "nrpserve: refreshed (%s) touched=%d wall=%v\n",
+				st.Mode, st.TouchedNodes, st.Wall.Round(time.Millisecond))
+		}
+	}
 }
 
 func run(ctx context.Context, args []string) error {
-	cfg, err := newServerFromFlags(args)
+	cfg, err := newServerFromFlags(ctx, args)
 	if err != nil {
 		return err
+	}
+	if cfg.live != nil && cfg.refreshEvery > 0 {
+		go refreshLoop(ctx, cfg.live, cfg.refreshEvery)
 	}
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {

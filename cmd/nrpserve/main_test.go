@@ -63,7 +63,7 @@ func TestServeFromSnapshotEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	_, indexPath, emb := writeFixtures(t, dir)
 
-	cfg, err := newServerFromFlags([]string{"-index", indexPath, "-shards", "2"})
+	cfg, err := newServerFromFlags(context.Background(), []string{"-index", indexPath, "-shards", "2"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestServeFromEmbedding(t *testing.T) {
 	dir := t.TempDir()
 	embPath, _, emb := writeFixtures(t, dir)
 	for _, backend := range []string{"exact", "quantized", "pruned"} {
-		cfg, err := newServerFromFlags([]string{"-embedding", embPath, "-backend", backend})
+		cfg, err := newServerFromFlags(context.Background(), []string{"-embedding", embPath, "-backend", backend})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,7 +182,7 @@ func TestFlagValidation(t *testing.T) {
 		{"-embedding", embPath, "-backend", "bogus"},
 		{"-embedding", filepath.Join(dir, "missing.bin")},
 	} {
-		if _, err := newServerFromFlags(tc); err == nil {
+		if _, err := newServerFromFlags(context.Background(), tc); err == nil {
 			t.Fatalf("args %v accepted", tc)
 		}
 	}
@@ -207,5 +207,143 @@ func TestRunGracefulShutdown(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("run did not exit after cancellation")
+	}
+}
+
+// writeGraphFixture writes a small SBM graph as an edge list.
+func writeGraphFixture(t *testing.T, dir string) string {
+	t.Helper()
+	g, err := nrp.GenSBM(nrp.SBMConfig{N: 120, M: 700, Communities: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "graph.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nrp.WriteGraph(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
+}
+
+// TestServeLiveFromGraph boots the live path (-graph), applies updates,
+// refreshes, and checks the serving index swapped without failing queries.
+func TestServeLiveFromGraph(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := writeGraphFixture(t, dir)
+	cfg, err := newServerFromFlags(context.Background(), []string{
+		"-graph", graphPath, "-dim", "16", "-refresh-policy", "incremental",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.live == nil {
+		t.Fatal("live index not configured")
+	}
+	ts := httptest.NewServer(cfg.server.Handler())
+	defer ts.Close()
+
+	var hz serve.HealthzResponse
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !hz.Live || hz.Nodes != 120 {
+		t.Fatalf("healthz %+v, want live over 120 nodes", hz)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/update", "application/json",
+		strings.NewReader(`{"insert":[[0,119],[1,118]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ur serve.UpdateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ur.Applied != 2 {
+		t.Fatalf("update status %d response %+v", resp.StatusCode, ur)
+	}
+
+	before := cfg.live.Searcher()
+	resp, err = http.Post(ts.URL+"/v1/refresh", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr serve.RefreshResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rr.Mode != "incremental" {
+		t.Fatalf("refresh status %d response %+v", resp.StatusCode, rr)
+	}
+	if cfg.live.Searcher() == before {
+		t.Fatal("refresh did not swap the serving index")
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/topk?u=0&k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("topk after refresh: status %d", resp.StatusCode)
+	}
+}
+
+// TestBackgroundRefreshLoop verifies -refresh-interval picks up pending
+// updates without an explicit /v1/refresh call.
+func TestBackgroundRefreshLoop(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := writeGraphFixture(t, dir)
+	cfg, err := newServerFromFlags(context.Background(), []string{
+		"-graph", graphPath, "-dim", "16", "-refresh-interval", "50ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go refreshLoop(ctx, cfg.live, cfg.refreshEvery)
+
+	if _, err := cfg.live.ApplyUpdates(ctx, []nrp.EdgeUpdate{
+		{U: 0, V: 117, Op: nrp.UpdateInsert},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for cfg.live.Pending() != 0 {
+		select {
+		case <-deadline:
+			t.Fatal("background refresh never drained the pending updates")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+func TestLiveFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	embPath, _, _ := writeFixtures(t, dir)
+	graphPath := writeGraphFixture(t, dir)
+	for _, tc := range [][]string{
+		{"-graph", graphPath, "-embedding", embPath},              // two sources
+		{"-graph", graphPath, "-refresh-policy", "bogus"},         // bad policy
+		{"-graph", graphPath, "-dim", "7"},                        // odd dim
+		{"-graph", filepath.Join(dir, "missing.txt")},             // missing file
+		{"-embedding", embPath, "-refresh-policy", "incremental"}, // policy without -graph
+		{"-embedding", embPath, "-refresh-interval", "10s"},       // interval without -graph
+	} {
+		if _, err := newServerFromFlags(context.Background(), tc); err == nil {
+			t.Fatalf("args %v accepted", tc)
+		}
 	}
 }

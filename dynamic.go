@@ -1,0 +1,97 @@
+package nrp
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/nrp-embed/nrp/internal/dynamic"
+)
+
+// EdgeUpdate is one edge insertion or removal applied to a
+// DynamicEmbedding.
+type EdgeUpdate = dynamic.EdgeUpdate
+
+// UpdateOp distinguishes edge insertion from removal in an EdgeUpdate.
+type UpdateOp = dynamic.Op
+
+// Edge update operations.
+const (
+	// UpdateInsert adds the edge to the graph.
+	UpdateInsert = dynamic.OpInsert
+	// UpdateRemove deletes the edge from the graph.
+	UpdateRemove = dynamic.OpRemove
+)
+
+// RefreshPolicy selects how DynamicEmbedding.Refresh brings the embedding
+// back in sync with the updated graph.
+type RefreshPolicy = dynamic.Policy
+
+// Refresh policies.
+const (
+	// RefreshFull always re-runs the whole pipeline, warm-starting the
+	// factorizer from the previous run's singular factors.
+	RefreshFull = dynamic.PolicyFull
+	// RefreshIncremental patches only the rows of nodes whose
+	// neighborhoods changed, using forward/backward push residual deltas,
+	// and falls back to a (warm) full recompute when the accumulated
+	// unexplained PPR mass exceeds the configured budget.
+	RefreshIncremental = dynamic.PolicyIncremental
+	// RefreshStaleness skips refreshing while the fraction of changed
+	// arcs stays under the staleness threshold, then refreshes
+	// incrementally.
+	RefreshStaleness = dynamic.PolicyStaleness
+)
+
+// ParseRefreshPolicy resolves a policy name ("full", "incremental",
+// "staleness") as accepted by the CLI flags.
+func ParseRefreshPolicy(s string) (RefreshPolicy, error) { return dynamic.ParsePolicy(s) }
+
+// DynamicConfig tunes the refresh machinery of a DynamicEmbedding; the
+// zero value takes sensible defaults (incremental policy, residual budget
+// 0.05, staleness threshold 0.02, push rmax 1e-3, 2 warm Krylov
+// iterations).
+type DynamicConfig = dynamic.Config
+
+// RefreshStats instruments one Refresh call: the mode taken (full,
+// incremental or skipped), nodes touched, push and residual mass, and
+// wall time.
+type RefreshStats = dynamic.Stats
+
+// Refresh modes reported in RefreshStats.Mode.
+const (
+	// RefreshedFull is a full pipeline recompute.
+	RefreshedFull = dynamic.ModeFull
+	// RefreshedIncremental patched only the touched rows.
+	RefreshedIncremental = dynamic.ModeIncremental
+	// RefreshedSkipped left the embedding untouched.
+	RefreshedSkipped = dynamic.ModeSkipped
+)
+
+// DynamicEmbedding maintains an NRP embedding under batched edge
+// insertions and deletions — the paper's evolving-graph workload (VK and
+// Digg snapshots, Table 4 / Fig 9) served live instead of re-embedded
+// offline.
+//
+//	dyn, err := nrp.NewDynamicEmbedding(ctx, g, nrp.DefaultOptions(), nrp.DynamicConfig{})
+//	dyn.ApplyUpdates(ctx, []nrp.EdgeUpdate{{U: 3, V: 14, Op: nrp.UpdateInsert}})
+//	stats, err := dyn.Refresh(ctx)      // incremental by default
+//	emb := dyn.Embedding()              // immutable snapshot
+//
+// All methods are safe for concurrent use. Readers always observe a
+// consistent snapshot: updates and refreshes install fresh Graph and
+// Embedding values instead of mutating the ones previously handed out.
+// To serve queries over a DynamicEmbedding with zero-downtime index
+// swaps, wrap it in a LiveIndex.
+type DynamicEmbedding = dynamic.Engine
+
+// NewDynamicEmbedding embeds g from scratch (the usual NRP pipeline) and
+// returns a DynamicEmbedding maintaining that embedding under updates.
+// Options are validated up front; run options (e.g. WithProgress) apply
+// to the initial embed and to subsequent full refreshes started by this
+// call only.
+func NewDynamicEmbedding(ctx context.Context, g *Graph, opt Options, cfg DynamicConfig, opts ...RunOption) (*DynamicEmbedding, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, fmt.Errorf("nrp: invalid options: %w", err)
+	}
+	return dynamic.New(ctx, g, opt, cfg, opts...)
+}

@@ -1,0 +1,237 @@
+package nrp
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+)
+
+// dynFixture builds a small evolving graph and a live dynamic embedding
+// over its base snapshot.
+func dynFixture(t *testing.T, cfg DynamicConfig) (*DynamicEmbedding, []Edge) {
+	t.Helper()
+	base, newEdges, err := graph.GenEvolving(graph.EvolvingConfig{
+		Base: graph.SBMConfig{N: 250, M: 1500, Communities: 5, Seed: 13},
+		MNew: 200,
+		Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Dim = 32
+	dyn, err := NewDynamicEmbedding(context.Background(), base, opt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dyn, newEdges
+}
+
+func insertBatch(edges []Edge) []EdgeUpdate {
+	ups := make([]EdgeUpdate, len(edges))
+	for i, e := range edges {
+		ups[i] = EdgeUpdate{U: e.U, V: e.V, Op: UpdateInsert}
+	}
+	return ups
+}
+
+// TestLiveIndexQueryDuringSwap hammers TopK, TopKMany and ScoreMany from
+// many goroutines while the main goroutine repeatedly applies updates and
+// swaps the index underneath — the zero-downtime guarantee. Run under
+// -race this also proves the RCU discipline: queries touch only immutable
+// snapshots.
+func TestLiveIndexQueryDuringSwap(t *testing.T) {
+	dyn, newEdges := dynFixture(t, DynamicConfig{Policy: RefreshIncremental, ResidualBudget: 1e9})
+	live, err := NewLiveIndex(dyn, WithBackend(BackendQuantized), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	n := live.N()
+
+	var (
+		stop     atomic.Bool
+		queries  atomic.Int64
+		failures atomic.Int64
+		firstErr atomic.Value
+	)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				u := (w*1009 + i*31) % n
+				var err error
+				switch i % 3 {
+				case 0:
+					_, err = live.TopK(ctx, u, 10)
+				case 1:
+					_, err = live.TopKMany(ctx, []int{u, (u + 7) % n}, 5)
+				default:
+					_, err = live.ScoreMany(ctx, []Pair{{U: u, V: (u + 3) % n}})
+				}
+				queries.Add(1)
+				if err != nil {
+					failures.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+				}
+			}
+		}(w)
+	}
+
+	// Stream the future edges in batches, refreshing (and swapping) after
+	// each batch while the workers keep querying.
+	const batch = 25
+	swaps := 0
+	for lo := 0; lo < len(newEdges); lo += batch {
+		hi := min(lo+batch, len(newEdges))
+		if _, err := live.ApplyUpdates(ctx, insertBatch(newEdges[lo:hi])); err != nil {
+			t.Fatal(err)
+		}
+		st, err := live.Refresh(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Mode == RefreshedSkipped {
+			t.Fatalf("refresh skipped with %d pending updates", hi-lo)
+		}
+		swaps++
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if got := failures.Load(); got != 0 {
+		t.Fatalf("%d of %d queries failed during %d swaps; first error: %v",
+			got, queries.Load(), swaps, firstErr.Load())
+	}
+	if queries.Load() == 0 || swaps == 0 {
+		t.Fatalf("degenerate run: %d queries, %d swaps", queries.Load(), swaps)
+	}
+	if live.Pending() != 0 {
+		t.Fatalf("%d updates left pending", live.Pending())
+	}
+	t.Logf("%d queries across %d swaps, zero failures", queries.Load(), swaps)
+}
+
+// TestLiveIndexSnapshotConsistency verifies the RCU capture: a Searcher
+// captured before a swap keeps serving the old embedding, while the live
+// wrapper serves the new one.
+func TestLiveIndexSnapshotConsistency(t *testing.T) {
+	dyn, newEdges := dynFixture(t, DynamicConfig{Policy: RefreshFull})
+	live, err := NewLiveIndex(dyn, WithBackend(BackendExact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	old := live.Searcher()
+	oldTop, err := old.TopK(ctx, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := live.ApplyUpdates(ctx, insertBatch(newEdges)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := live.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != RefreshedFull || !st.WarmStart {
+		t.Fatalf("stats %+v, want warm full refresh", st)
+	}
+	if live.Searcher() == old {
+		t.Fatal("refresh did not swap the index")
+	}
+
+	// The captured snapshot still answers, identically to before.
+	oldTop2, err := old.TopK(ctx, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range oldTop {
+		if oldTop[i] != oldTop2[i] {
+			t.Fatalf("old snapshot drifted: %v vs %v", oldTop, oldTop2)
+		}
+	}
+}
+
+// TestLiveIndexRefreshSkippedKeepsIndex ensures a no-op refresh does not
+// rebuild or swap anything.
+func TestLiveIndexRefreshSkippedKeepsIndex(t *testing.T) {
+	dyn, _ := dynFixture(t, DynamicConfig{})
+	live, err := NewLiveIndex(dyn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := live.Searcher()
+	st, err := live.Refresh(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != RefreshedSkipped {
+		t.Fatalf("mode %q, want skipped", st.Mode)
+	}
+	if live.Searcher() != before {
+		t.Fatal("skipped refresh swapped the index")
+	}
+}
+
+// TestDynamicEmbeddingOptionValidation covers the public constructor's
+// fail-fast paths.
+func TestDynamicEmbeddingOptionValidation(t *testing.T) {
+	g, err := GenSBM(SBMConfig{N: 50, M: 200, Communities: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultOptions()
+	bad.Dim = 3 // odd
+	if _, err := NewDynamicEmbedding(context.Background(), g, bad, DynamicConfig{}); err == nil {
+		t.Fatal("expected options validation error")
+	}
+	if _, err := ParseRefreshPolicy("nope"); err == nil {
+		t.Fatal("expected policy parse error")
+	}
+	// Cancelled initial embed surfaces the context error.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := DefaultOptions()
+	opt.Dim = 16
+	if _, err := NewDynamicEmbedding(cancelled, g, opt, DynamicConfig{}); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}
+
+// TestLiveIndexRefreshUnderCancellation: a cancelled refresh leaves the
+// serving index intact and retryable.
+func TestLiveIndexRefreshUnderCancellation(t *testing.T) {
+	dyn, newEdges := dynFixture(t, DynamicConfig{Policy: RefreshFull})
+	live, err := NewLiveIndex(dyn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.ApplyUpdates(context.Background(), insertBatch(newEdges)); err != nil {
+		t.Fatal(err)
+	}
+	before := live.Searcher()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	if _, err := live.Refresh(ctx); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if live.Searcher() != before {
+		t.Fatal("failed refresh must not swap the index")
+	}
+	if _, err := live.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if live.Searcher() == before {
+		t.Fatal("retried refresh should swap the index")
+	}
+}

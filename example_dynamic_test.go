@@ -1,0 +1,63 @@
+package nrp_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/nrp-embed/nrp"
+)
+
+// ExampleDynamicEmbedding maintains an embedding over an evolving graph:
+// edges stream in as batched updates, the incremental policy patches only
+// the touched rows, and a LiveIndex swaps the serving index with zero
+// downtime.
+func ExampleDynamicEmbedding() {
+	ctx := context.Background()
+	g, err := nrp.GenSBM(nrp.SBMConfig{N: 300, M: 1800, Communities: 4, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := nrp.DefaultOptions()
+	opt.Dim = 16
+
+	dyn, err := nrp.NewDynamicEmbedding(ctx, g, opt, nrp.DynamicConfig{
+		Policy: nrp.RefreshIncremental,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	live, err := nrp.NewLiveIndex(dyn, nrp.WithBackend(nrp.BackendExact))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A batch of edge arrivals (and one departure) hits the graph.
+	applied, err := live.ApplyUpdates(ctx, []nrp.EdgeUpdate{
+		{U: 0, V: 299, Op: nrp.UpdateInsert},
+		{U: 1, V: 298, Op: nrp.UpdateInsert},
+		{U: 0, V: 299, Op: nrp.UpdateInsert}, // duplicate: skipped
+		{U: 2, V: 297, Op: nrp.UpdateRemove}, // absent: skipped
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("applied %d of 4 updates, %d pending\n", applied, live.Pending())
+
+	// Refresh patches the touched rows and swaps the serving index;
+	// queries running meanwhile finish on the old snapshot.
+	stats, err := live.Refresh(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("refresh mode=%s touched=%d pending=%d\n", stats.Mode, stats.TouchedNodes, live.Pending())
+
+	if _, err := live.TopK(ctx, 0, 5); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("serving on the refreshed index")
+	// Output:
+	// applied 2 of 4 updates, 2 pending
+	// refresh mode=incremental touched=8 pending=0
+	// serving on the refreshed index
+}

@@ -1,0 +1,154 @@
+// Dynamic graphs: the evolving-graph serving lifecycle end to end.
+// Generate an evolving SBM (an old snapshot plus future edges, the
+// paper's VK/Digg setting), embed the snapshot, bring it up behind a live
+// HTTP server, then stream the future edges in as batched /v1/update +
+// /v1/refresh calls while a client keeps querying /v1/topk — measuring
+// that the index swaps never fail a query, and how the incremental
+// refresh work compares to what a full re-embed would cost.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/nrp-embed/nrp"
+	"github.com/nrp-embed/nrp/internal/graph"
+	"github.com/nrp-embed/nrp/internal/serve"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// An old snapshot plus 600 future edges arriving by triadic closure.
+	base, future, err := graph.GenEvolving(graph.EvolvingConfig{
+		Base: graph.SBMConfig{N: 3000, M: 24000, Communities: 12, Seed: 5},
+		MNew: 600,
+		Seed: 9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("base snapshot: %d nodes, %d edges; %d future edges to stream\n",
+		base.N, base.NumEdges, len(future))
+
+	opt := nrp.DefaultOptions()
+	opt.Dim = 64
+	start := time.Now()
+	dyn, err := nrp.NewDynamicEmbedding(ctx, base, opt, nrp.DynamicConfig{
+		Policy: nrp.RefreshIncremental,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial embed: %v\n", time.Since(start).Round(time.Millisecond))
+
+	live, err := nrp.NewLiveIndex(dyn, nrp.WithBackend(nrp.BackendQuantized))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srvCtx, stopSrv := context.WithCancel(ctx)
+	srvDone := make(chan error, 1)
+	handler := serve.NewLiveServer(live, serve.Config{Backend: live.Backend().String()}).Handler()
+	go func() { srvDone <- serve.Serve(srvCtx, ln, handler, 5*time.Second) }()
+	url := "http://" + ln.Addr().String()
+	fmt.Printf("live server on %s\n", url)
+
+	// Background load: clients querying /v1/topk throughout the updates.
+	var stop atomic.Bool
+	var queries, failures atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				resp, err := http.Get(fmt.Sprintf("%s/v1/topk?u=%d&k=10", url, (w*331+i*17)%base.N))
+				queries.Add(1)
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Stream the future edges in 6 batches of updates + refreshes.
+	const batches = 6
+	per := (len(future) + batches - 1) / batches
+	for b := 0; b < batches; b++ {
+		lo, hi := b*per, min((b+1)*per, len(future))
+		req := struct {
+			Insert [][2]int `json:"insert"`
+		}{}
+		for _, e := range future[lo:hi] {
+			req.Insert = append(req.Insert, [2]int{int(e.U), int(e.V)})
+		}
+		var ur serve.UpdateResponse
+		postJSON(url+"/v1/update", req, &ur)
+		var rr serve.RefreshResponse
+		postJSON(url+"/v1/refresh", struct{}{}, &rr)
+		fmt.Printf("batch %d: applied %d edges; refresh %s touched=%d push-mass=%.2f residual=%.4f in %v\n",
+			b+1, ur.Applied, rr.Mode, rr.TouchedNodes, rr.PushMass, rr.ResidualMass,
+			(time.Duration(rr.ElapsedUs) * time.Microsecond).Round(time.Millisecond))
+	}
+
+	stop.Store(true)
+	wg.Wait()
+	fmt.Printf("served %d queries during the updates, %d failures\n", queries.Load(), failures.Load())
+
+	// For scale: what one full re-embed of the final graph costs.
+	start = time.Now()
+	if _, _, err := nrp.EmbedCtx(ctx, dyn.Graph(), opt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full re-embed of the final graph for comparison: %v\n",
+		time.Since(start).Round(time.Millisecond))
+
+	stopSrv()
+	if err := <-srvDone; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("drained and stopped")
+}
+
+func postJSON(url string, body, out any) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: status %d: %s", url, resp.StatusCode, payload)
+	}
+	if err := json.Unmarshal(payload, out); err != nil {
+		log.Fatal(err)
+	}
+}

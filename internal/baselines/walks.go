@@ -32,7 +32,7 @@ func node2vecWalk(g *graph.Graph, start int32, walkLen int, p, q float64, rng *r
 	buf = append(buf[:0], start)
 	cur := start
 	prev := int32(-1)
-	upper := maxf(1/p, maxf(1, 1/q))
+	upper := max(1/p, 1, 1/q)
 	for len(buf) < walkLen {
 		nbrs := g.OutNeighbors(int(cur))
 		if len(nbrs) == 0 {
@@ -81,11 +81,4 @@ func pprWalkEndpoint(g *graph.Graph, start int32, alpha float64, rng *rand.Rand)
 		}
 		cur = nbrs[rng.Intn(len(nbrs))]
 	}
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }

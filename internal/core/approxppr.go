@@ -8,6 +8,7 @@ import (
 	"math/rand"
 
 	"github.com/nrp-embed/nrp/internal/graph"
+	"github.com/nrp-embed/nrp/internal/matrix"
 	"github.com/nrp-embed/nrp/internal/svd"
 )
 
@@ -36,6 +37,18 @@ func ApproxPPRCtx(ctx context.Context, g *graph.Graph, opt Options, opts ...RunO
 	return emb, t.done(), err
 }
 
+// ApproxPPRFactorsCtx runs Algorithm 1 like ApproxPPRCtx, but additionally
+// accepts an optional warm-start block for the BKSVD factorizer (the V
+// factor of a previous run, pass nil for a cold start) and returns the
+// right-singular-vector block of this run for warm-starting the next one.
+// Combined with a reduced Options.KrylovIters this is how the dynamic
+// subsystem re-factorizes an updated graph at a fraction of the cold cost.
+func ApproxPPRFactorsCtx(ctx context.Context, g *graph.Graph, opt Options, init *matrix.Dense, opts ...RunOption) (*Embedding, *matrix.Dense, *Stats, error) {
+	t := newTracker(ctx, NewRunConfig(opts))
+	emb, v, err := approxPPRFactors(g, opt, t, init)
+	return emb, v, t.done(), err
+}
+
 // isCtxErr reports whether err is a context cancellation/deadline error,
 // which the pipeline propagates bare so callers can compare against
 // ctx.Err().
@@ -46,12 +59,20 @@ func isCtxErr(err error) bool {
 // approxPPR runs Algorithm 1 under an existing tracker so NRP can share
 // one stats record across its phases.
 func approxPPR(g *graph.Graph, opt Options, t *tracker) (*Embedding, error) {
+	emb, _, err := approxPPRFactors(g, opt, t, nil)
+	return emb, err
+}
+
+// approxPPRFactors is approxPPR with the factorizer's starting block
+// exposed (init, nil = Gaussian) and its right-singular-vector block
+// returned for warm-starting a future factorization.
+func approxPPRFactors(g *graph.Graph, opt Options, t *tracker, init *matrix.Dense) (*Embedding, *matrix.Dense, error) {
 	if err := opt.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	kPrime := opt.Dim / 2
 	if kPrime > g.N {
-		return nil, fmt.Errorf("core: k/2 = %d exceeds node count %d", kPrime, g.N)
+		return nil, nil, fmt.Errorf("core: k/2 = %d exceeds node count %d", kPrime, g.N)
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 
@@ -69,6 +90,7 @@ func approxPPR(g *graph.Graph, opt Options, t *tracker) (*Embedding, error) {
 		Epsilon: opt.Epsilon,
 		Iters:   opt.KrylovIters,
 		Rng:     rng,
+		Init:    init,
 		Ctx:     t.ctx,
 		Progress: func(iter, total int) {
 			kryIters = iter
@@ -79,9 +101,9 @@ func approxPPR(g *graph.Graph, opt Options, t *tracker) (*Embedding, error) {
 		stopFactorize(kryIters)
 		t.stats.KrylovIters = kryIters
 		if isCtxErr(err) {
-			return nil, err
+			return nil, nil, err
 		}
-		return nil, fmt.Errorf("core: factorizing adjacency: %w", err)
+		return nil, nil, fmt.Errorf("core: factorizing adjacency: %w", err)
 	}
 	stopFactorize(res.ItersRun)
 	t.stats.KrylovIters = res.ItersRun
@@ -120,7 +142,7 @@ func approxPPR(g *graph.Graph, opt Options, t *tracker) (*Embedding, error) {
 	for i := 2; i <= opt.L1; i++ {
 		if err := t.err(); err != nil {
 			stopPPR(iters)
-			return nil, err
+			return nil, nil, err
 		}
 		next := p.MulDense(x)
 		next.Scale(1 - opt.Alpha)
@@ -132,5 +154,5 @@ func approxPPR(g *graph.Graph, opt Options, t *tracker) (*Embedding, error) {
 	x.Scale(opt.Alpha * (1 - opt.Alpha))
 	stopPPR(iters)
 
-	return &Embedding{X: x, Y: y}, nil
+	return &Embedding{X: x, Y: y}, res.V, nil
 }

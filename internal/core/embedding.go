@@ -24,6 +24,13 @@ type Embedding struct {
 // N reports the number of embedded nodes.
 func (e *Embedding) N() int { return e.X.Rows }
 
+// Clone returns a deep copy of the embedding, so that a snapshot handed to
+// readers (a serving index, an evaluation) stays immutable while the copy
+// is updated in place.
+func (e *Embedding) Clone() *Embedding {
+	return &Embedding{X: e.X.Clone(), Y: e.Y.Clone()}
+}
+
 // Dim reports the per-side dimensionality k′.
 func (e *Embedding) Dim() int { return e.X.Cols }
 

@@ -1,0 +1,681 @@
+// Package dynamic maintains an NRP embedding under streaming edge
+// insertions and deletions — the workload of the paper's evolving
+// VK/Digg snapshots (Table 4, Fig 9), served live instead of re-embedded
+// offline.
+//
+// The Engine owns a graph and its embedding. ApplyUpdates applies a batch
+// of edge updates to the graph immediately (an amortized CSR merge, see
+// graph.AddEdges) and records which nodes were touched; Refresh brings
+// the embedding back in sync under one of three policies:
+//
+//   - PolicyFull re-runs the whole NRP pipeline, warm-starting the BKSVD
+//     factorizer from the previous run's singular factors.
+//   - PolicyIncremental recomputes only the touched rows: a forward push
+//     from each node whose out-neighborhood changed (and a backward push
+//     into each node whose in-neighborhood changed) yields its new PPR
+//     row/column, which is least-squares projected onto the fixed
+//     opposite-side factor. When the accumulated unexplained PPR mass
+//     exceeds Config.ResidualBudget, Refresh falls back to a (warm) full
+//     recompute and resets the budget.
+//   - PolicyStaleness skips refreshing entirely until the fraction of
+//     changed arcs passes Config.StalenessThreshold, then refreshes
+//     incrementally (with the same full-recompute fallback).
+//
+// Every successful Refresh installs a brand-new Embedding value; the
+// previous one is never mutated, so serving indexes built over it stay
+// consistent (RCU semantics — see nrp.LiveIndex).
+package dynamic
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/nrp-embed/nrp/internal/core"
+	"github.com/nrp-embed/nrp/internal/graph"
+	"github.com/nrp-embed/nrp/internal/matrix"
+	"github.com/nrp-embed/nrp/internal/ppr"
+)
+
+// Op distinguishes edge insertion from edge removal.
+type Op int
+
+const (
+	// OpInsert adds the edge to the graph.
+	OpInsert Op = iota
+	// OpRemove deletes the edge from the graph.
+	OpRemove
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpRemove:
+		return "remove"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// EdgeUpdate is one edge insertion or removal.
+type EdgeUpdate struct {
+	U, V int32
+	Op   Op
+}
+
+// Policy selects how Refresh brings the embedding back in sync with the
+// updated graph.
+type Policy int
+
+const (
+	// PolicyIncremental patches touched rows by local push, falling back
+	// to a full recompute when the residual budget is exhausted. The
+	// zero value, and hence the default.
+	PolicyIncremental Policy = iota
+	// PolicyFull always re-runs the whole pipeline (warm-started).
+	PolicyFull
+	// PolicyStaleness skips refreshes while the fraction of changed arcs
+	// stays under the staleness threshold, then refreshes incrementally.
+	PolicyStaleness
+)
+
+// String names the policy as accepted by ParsePolicy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyFull:
+		return "full"
+	case PolicyIncremental:
+		return "incremental"
+	case PolicyStaleness:
+		return "staleness"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy resolves a policy name ("full", "incremental", "staleness").
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "full":
+		return PolicyFull, nil
+	case "incremental":
+		return PolicyIncremental, nil
+	case "staleness":
+		return PolicyStaleness, nil
+	}
+	return 0, fmt.Errorf("dynamic: unknown refresh policy %q (want full, incremental or staleness)", s)
+}
+
+// Config tunes the refresh machinery; zero fields take the defaults noted
+// per field.
+type Config struct {
+	// Policy selects the refresh strategy (default PolicyIncremental).
+	Policy Policy
+	// ResidualBudget caps the average per-row PPR mass that incremental
+	// refreshes may leave unexplained before falling back to a full
+	// recompute (which resets the accumulator). What accumulates is the
+	// first-order mass of changed arcs divided by the node count — the
+	// drift of rows the incremental patch does not touch. Push leftovers
+	// are reported per refresh in Stats but not accumulated: patched
+	// rows are recomputed fresh every time. Default 0.05.
+	ResidualBudget float64
+	// StalenessThreshold is the fraction of arcs changed since the last
+	// refresh below which PolicyStaleness leaves the embedding stale.
+	// Default 0.02.
+	StalenessThreshold float64
+	// PushRmax is the residual threshold of the forward/backward pushes
+	// that patch touched rows. The pushed rows are least-squares
+	// projected onto a rank-k′ factor anyway, so the factorization error
+	// dominates long before push truncation does; the default 1e-3 keeps
+	// push cost low without moving the projected rows measurably.
+	PushRmax float64
+	// WarmKrylovIters is the Krylov iteration count used when a full
+	// recompute can warm-start from previous factors. Default 2.
+	WarmKrylovIters int
+}
+
+const (
+	defaultResidualBudget     = 0.05
+	defaultStalenessThreshold = 0.02
+	defaultPushRmax           = 1e-3
+	defaultWarmKrylovIters    = 2
+)
+
+func (c Config) withDefaults() Config {
+	if c.ResidualBudget == 0 {
+		c.ResidualBudget = defaultResidualBudget
+	}
+	if c.StalenessThreshold == 0 {
+		c.StalenessThreshold = defaultStalenessThreshold
+	}
+	if c.PushRmax == 0 {
+		c.PushRmax = defaultPushRmax
+	}
+	if c.WarmKrylovIters == 0 {
+		c.WarmKrylovIters = defaultWarmKrylovIters
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable (after defaults).
+func (c Config) Validate() error {
+	switch c.Policy {
+	case PolicyFull, PolicyIncremental, PolicyStaleness:
+	default:
+		return fmt.Errorf("dynamic: unknown policy %d", int(c.Policy))
+	}
+	if c.ResidualBudget < 0 {
+		return fmt.Errorf("dynamic: ResidualBudget must be non-negative, got %v", c.ResidualBudget)
+	}
+	if c.StalenessThreshold < 0 || c.StalenessThreshold >= 1 {
+		return fmt.Errorf("dynamic: StalenessThreshold must be in [0,1), got %v", c.StalenessThreshold)
+	}
+	if c.PushRmax <= 0 || c.PushRmax >= 1 {
+		return fmt.Errorf("dynamic: PushRmax must be in (0,1), got %v", c.PushRmax)
+	}
+	if c.WarmKrylovIters < 0 {
+		return fmt.Errorf("dynamic: WarmKrylovIters must be non-negative, got %d", c.WarmKrylovIters)
+	}
+	return nil
+}
+
+// Mode reports which refresh path ran.
+type Mode string
+
+const (
+	// ModeFull is a full pipeline recompute (possibly warm-started).
+	ModeFull Mode = "full"
+	// ModeIncremental patched only the touched rows.
+	ModeIncremental Mode = "incremental"
+	// ModeSkipped left the embedding untouched (nothing pending, or the
+	// staleness policy decided the drift is still tolerable).
+	ModeSkipped Mode = "skipped"
+)
+
+// Stats instruments one Refresh call.
+type Stats struct {
+	// Mode is the refresh path taken.
+	Mode Mode
+	// WarmStart reports whether a full recompute reused previous factors.
+	WarmStart bool
+	// Fallback reports that an incremental refresh was promoted to a full
+	// recompute because the residual budget was exhausted.
+	Fallback bool
+	// TouchedNodes is the number of embedding rows recomputed (forward
+	// plus backward) by an incremental refresh.
+	TouchedNodes int
+	// PushMass is the total PPR mass accounted for by the local pushes.
+	PushMass float64
+	// ResidualMass is the walk mass the pushes left unexplained this
+	// refresh (their leftover residuals).
+	ResidualMass float64
+	// AccumResidual is the running per-row unexplained mass since the
+	// last full recompute (compared against Config.ResidualBudget).
+	AccumResidual float64
+	// ArcsChanged is the number of adjacency arcs inserted or removed
+	// since the previous refresh.
+	ArcsChanged int
+	// Wall is the refresh wall time.
+	Wall time.Duration
+}
+
+// Engine maintains an NRP embedding over a mutating graph. All methods
+// are safe for concurrent use; readers obtain immutable snapshots while
+// writers serialize behind one mutex.
+type Engine struct {
+	mu  sync.Mutex
+	opt core.Options
+	cfg Config
+
+	g      *graph.Graph
+	emb    *core.Embedding // current folded embedding; never mutated in place
+	fw, bw []float64       // learned node weights of the last full recompute
+	prevV  *matrix.Dense   // factor block for warm-starting BKSVD
+
+	touchedFwd  map[int32]struct{} // nodes whose out-neighborhood changed
+	touchedBwd  map[int32]struct{} // nodes whose in-neighborhood changed
+	pendingUps  int                // edge updates applied since last refresh
+	pendingArcs int                // arcs changed since last refresh
+	arcMass     float64            // first-order PPR mass of pending arc changes
+	accum       float64            // unexplained mass since last full recompute
+	last        Stats
+}
+
+// New embeds g from scratch and returns an engine maintaining that
+// embedding under updates. The initial embed is a cold full refresh; its
+// stats are available via LastStats.
+func New(ctx context.Context, g *graph.Graph, opt core.Options, cfg Config, opts ...core.RunOption) (*Engine, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, fmt.Errorf("dynamic: invalid embedding options: %w", err)
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		opt:        opt,
+		cfg:        cfg,
+		g:          g,
+		touchedFwd: make(map[int32]struct{}),
+		touchedBwd: make(map[int32]struct{}),
+	}
+	var st Stats
+	start := time.Now()
+	if err := e.fullRefresh(ctx, &st, opts...); err != nil {
+		return nil, err
+	}
+	st.Wall = time.Since(start)
+	e.last = st
+	return e, nil
+}
+
+// Graph returns the current graph snapshot (immutable; updates install a
+// new one).
+func (e *Engine) Graph() *graph.Graph {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.g
+}
+
+// Embedding returns the current embedding snapshot (immutable; refreshes
+// install a new one).
+func (e *Engine) Embedding() *core.Embedding {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.emb
+}
+
+// Pending reports the number of edge updates applied to the graph since
+// the embedding was last refreshed.
+func (e *Engine) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pendingUps
+}
+
+// Staleness reports the fraction of adjacency arcs changed since the last
+// refresh — the quantity PolicyStaleness thresholds on.
+func (e *Engine) Staleness() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.staleness()
+}
+
+func (e *Engine) staleness() float64 {
+	return float64(e.pendingArcs) / float64(max(e.g.Arcs(), 1))
+}
+
+// LastStats returns the stats of the most recent refresh (including the
+// initial embed).
+func (e *Engine) LastStats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.last
+}
+
+// Config returns the engine's resolved configuration.
+func (e *Engine) Config() Config {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cfg
+}
+
+// ApplyUpdates applies a batch of edge insertions and removals to the
+// graph, leaving the embedding stale until the next Refresh. Consecutive
+// updates with the same Op are grouped into one amortized CSR merge, so
+// batch order is respected (an insert followed by a remove of the same
+// edge cancels out). Updates naming nodes outside [0, N) fail the whole
+// batch before any of it is applied; self-loops, duplicate edges and
+// removals of absent edges are skipped. Returns the number of updates
+// that actually changed the graph.
+func (e *Engine) ApplyUpdates(ctx context.Context, ups []EdgeUpdate) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, up := range ups {
+		if int(up.U) < 0 || int(up.U) >= e.g.N || int(up.V) < 0 || int(up.V) >= e.g.N {
+			return 0, fmt.Errorf("dynamic: update %v(%d,%d) outside [0,%d)", up.Op, up.U, up.V, e.g.N)
+		}
+		if up.Op != OpInsert && up.Op != OpRemove {
+			return 0, fmt.Errorf("dynamic: unknown op %d on edge (%d,%d)", int(up.Op), up.U, up.V)
+		}
+	}
+	applied := 0
+	for lo := 0; lo < len(ups); {
+		if err := ctx.Err(); err != nil {
+			return applied, err
+		}
+		hi := lo + 1
+		for hi < len(ups) && ups[hi].Op == ups[lo].Op {
+			hi++
+		}
+		run := ups[lo:hi]
+		lo = hi
+		edges := make([]graph.Edge, len(run))
+		for i, up := range run {
+			edges[i] = graph.Edge{U: up.U, V: up.V}
+		}
+		var (
+			ng      *graph.Graph
+			changed []graph.Edge
+			err     error
+		)
+		if run[0].Op == OpInsert {
+			ng, changed, err = e.g.AddEdges(edges)
+		} else {
+			ng, changed, err = e.g.RemoveEdges(edges)
+		}
+		if err != nil {
+			return applied, err
+		}
+		if len(changed) == 0 {
+			continue // run was all no-ops: nothing touched, nothing charged
+		}
+		arcsPerEdge := 1
+		if !ng.Directed {
+			arcsPerEdge = 2
+		}
+		e.g = ng
+		applied += len(changed)
+		// Committed per run, not once at the end: an error or
+		// cancellation in a later run must still leave the already-
+		// applied changes counted as pending, or Pending()-gated
+		// refreshes would never absorb them.
+		e.pendingUps += len(changed)
+		e.pendingArcs += len(changed) * arcsPerEdge
+		for _, edge := range changed {
+			e.touch(edge.U, edge.V)
+			if !ng.Directed {
+				e.touch(edge.V, edge.U)
+			}
+			// First-order mass of the changed arc: the weight a single
+			// arc of u carries in Π′ = Σ α(1−α)^i P^i.
+			e.arcMass += e.opt.Alpha * (1 - e.opt.Alpha) /
+				float64(max(ng.OutDeg(int(edge.U)), 1))
+		}
+	}
+	return applied, nil
+}
+
+func (e *Engine) touch(src, dst int32) {
+	e.touchedFwd[src] = struct{}{}
+	e.touchedBwd[dst] = struct{}{}
+}
+
+// Refresh brings the embedding back in sync with the graph according to
+// the configured policy, installing a fresh Embedding value on success.
+// With nothing pending (or under the staleness threshold) it is a cheap
+// no-op reporting ModeSkipped. Stats are returned even alongside an
+// error when a refresh ran far enough to collect them.
+func (e *Engine) Refresh(ctx context.Context, opts ...core.RunOption) (*Stats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	start := time.Now()
+	st := &Stats{Mode: ModeSkipped, ArcsChanged: e.pendingArcs, AccumResidual: e.accum}
+	defer func() {
+		st.Wall = time.Since(start)
+		e.last = *st
+	}()
+	if e.pendingArcs == 0 && e.pendingUps == 0 {
+		return st, nil
+	}
+
+	switch e.cfg.Policy {
+	case PolicyFull:
+		return st, e.fullRefresh(ctx, st, opts...)
+	case PolicyStaleness:
+		if e.staleness() < e.cfg.StalenessThreshold {
+			return st, nil
+		}
+		fallthrough
+	default: // PolicyIncremental
+		// Decide the fallback before doing incremental work: if the
+		// pending first-order arc mass already blows the budget, go
+		// straight to the full recompute.
+		if e.accum+e.arcMass/float64(e.g.N) > e.cfg.ResidualBudget {
+			st.Fallback = true
+			return st, e.fullRefresh(ctx, st, opts...)
+		}
+		if err := e.incrementalRefresh(ctx, st); err != nil {
+			return st, err
+		}
+		return st, nil
+	}
+}
+
+// fullRefresh re-runs the whole NRP pipeline on the current graph,
+// warm-starting the factorizer when previous factors exist, and resets
+// all staleness accounting.
+func (e *Engine) fullRefresh(ctx context.Context, st *Stats, opts ...core.RunOption) error {
+	opt := e.opt
+	warm := e.prevV != nil
+	if warm && e.cfg.WarmKrylovIters > 0 {
+		opt.KrylovIters = e.cfg.WarmKrylovIters
+	}
+	base, v, _, err := core.ApproxPPRFactorsCtx(ctx, e.g, opt, e.prevV, opts...)
+	if err != nil {
+		return err
+	}
+	n := e.g.N
+	fw := make([]float64, n)
+	bw := make([]float64, n)
+	for i := range fw {
+		fw[i], bw[i] = 1, 1
+	}
+	if e.opt.L2 > 0 {
+		fw, bw, _, err = core.LearnWeightsCtx(ctx, e.g, base, e.opt, opts...)
+		if err != nil {
+			return err
+		}
+	}
+	folded := base.Clone()
+	for i := 0; i < n; i++ {
+		folded.X.ScaleRow(i, fw[i])
+		folded.Y.ScaleRow(i, bw[i])
+	}
+	e.emb = folded
+	e.fw, e.bw = fw, bw
+	e.prevV = v
+	e.resetPending()
+	e.accum = 0
+	st.Mode = ModeFull
+	st.WarmStart = warm
+	return nil
+}
+
+func (e *Engine) resetPending() {
+	e.touchedFwd = make(map[int32]struct{})
+	e.touchedBwd = make(map[int32]struct{})
+	e.pendingUps, e.pendingArcs, e.arcMass = 0, 0, 0
+}
+
+// incrementalRefresh recomputes the touched rows only. Each touched
+// source gets a forward push on the updated graph; the resulting PPR row
+// (reweighted by the learned node weights, with the i=0 self term
+// removed to match Π′) is least-squares projected onto the backward
+// factor to give the node's new forward row — and symmetrically for
+// touched targets via backward push onto the forward factor. Untouched
+// rows and the learned weights are carried over; the mass this leaves
+// unexplained is charged against the residual budget.
+//
+// Touched rows are independent, so the pushes run on all cores, each
+// worker with its own array-backed push workspace writing to disjoint
+// rows of the new embedding.
+func (e *Engine) incrementalRefresh(ctx context.Context, st *Stats) error {
+	old := e.emb
+	projY, err := newProjector(matrix.MulAtB(old.Y, old.Y))
+	if err != nil {
+		return fmt.Errorf("dynamic: backward Gram: %w", err)
+	}
+	projX, err := newProjector(matrix.MulAtB(old.X, old.X))
+	if err != nil {
+		return fmt.Errorf("dynamic: forward Gram: %w", err)
+	}
+
+	next := old.Clone()
+	var pushMass, residMass float64
+	for _, side := range []struct {
+		nodes   map[int32]struct{}
+		forward bool
+	}{
+		{e.touchedFwd, true},
+		{e.touchedBwd, false},
+	} {
+		nodes := make([]int32, 0, len(side.nodes))
+		for v := range side.nodes {
+			nodes = append(nodes, v)
+		}
+		pm, rm, err := e.patchRows(ctx, next, nodes, side.forward, projX, projY)
+		if err != nil {
+			return err
+		}
+		pushMass += pm
+		residMass += rm
+	}
+
+	st.Mode = ModeIncremental
+	st.TouchedNodes = len(e.touchedFwd) + len(e.touchedBwd)
+	st.PushMass = pushMass
+	st.ResidualMass = residMass
+	e.accum += e.arcMass / float64(e.g.N)
+	st.AccumResidual = e.accum
+	e.emb = next
+	e.resetPending()
+	return nil
+}
+
+// patchRows recomputes one side's touched rows into next, parallelized
+// across the nodes.
+func (e *Engine) patchRows(ctx context.Context, next *core.Embedding, nodes []int32, forward bool, projX, projY *projector) (pushMass, residMass float64, err error) {
+	if len(nodes) == 0 {
+		return 0, 0, nil
+	}
+	alpha, rmax := e.opt.Alpha, e.cfg.PushRmax
+	old := e.emb
+	kp := old.Dim()
+	workers := min(runtime.GOMAXPROCS(0), len(nodes))
+	var (
+		wg     sync.WaitGroup
+		cursor atomic.Int64
+		pms    = make([]float64, workers)
+		rms    = make([]float64, workers)
+		errs   = make([]error, workers)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := ppr.NewWorkspace(e.g.N)
+			b := make([]float64, kp)
+			scratch := make([]float64, kp)
+			for done := 0; ; done++ {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(nodes) {
+					return
+				}
+				if done%16 == 0 {
+					if err := ctx.Err(); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+				u := nodes[i]
+				if forward {
+					// The forward threshold is degree-scaled (push while
+					// r > rmax·deg), so a source of degree ≥ 1/rmax would
+					// never push at all and its projected row would
+					// collapse to zero. Cap the threshold per source so
+					// the initial unit residual always pushes: one push
+					// costs O(deg) and yields the first-order row.
+					rmaxU := min(rmax, 1/(2*float64(max(e.g.OutDeg(int(u)), 1))))
+					rms[w] += ws.ForwardPush(e.g, int(u), alpha, rmaxU)
+				} else {
+					rms[w] += ws.BackwardPush(e.g, int(u), alpha, rmax)
+				}
+				for j := range b {
+					b[j] = 0
+				}
+				for _, v := range ws.Touched() {
+					// Residual-compensated estimate (see Workspace.R).
+					pv := ws.P(v) + alpha*ws.R(v)
+					if v == u {
+						pv -= alpha // Π′ starts at i=1: drop the 0-step term
+					}
+					if pv == 0 {
+						continue
+					}
+					pms[w] += pv
+					if forward {
+						matrix.Axpy(e.fw[u]*pv*e.bw[v], old.Y.Row(int(v)), b)
+					} else {
+						matrix.Axpy(e.fw[v]*pv*e.bw[u], old.X.Row(int(v)), b)
+					}
+				}
+				if forward {
+					projY.solveInto(b, scratch)
+					copy(next.X.Row(int(u)), b)
+				} else {
+					projX.solveInto(b, scratch)
+					copy(next.Y.Row(int(u)), b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return 0, 0, errs[w]
+		}
+		pushMass += pms[w]
+		residMass += rms[w]
+	}
+	return pushMass, residMass, nil
+}
+
+// projector solves G·x = b for the k′×k′ Gram matrix G of an embedding
+// factor via its eigendecomposition (a pseudo-inverse, so rank-deficient
+// factors degrade gracefully instead of blowing up).
+type projector struct {
+	vecs *matrix.Dense // columns are eigenvectors
+	inv  []float64     // 1/λ over the numerically nonzero spectrum
+}
+
+func newProjector(g *matrix.Dense) (*projector, error) {
+	if g.Rows != g.Cols {
+		return nil, fmt.Errorf("gram matrix is %dx%d", g.Rows, g.Cols)
+	}
+	vals, vecs := matrix.SymEigen(g)
+	tol := 0.0
+	for _, v := range vals {
+		tol = max(tol, v)
+	}
+	tol *= 1e-12
+	inv := make([]float64, len(vals))
+	for i, v := range vals {
+		if v > tol && v > 0 {
+			inv[i] = 1 / v
+		}
+	}
+	return &projector{vecs: vecs, inv: inv}, nil
+}
+
+// solveInto replaces b with G⁺·b, using scratch (same length) as buffer.
+func (p *projector) solveInto(b, scratch []float64) {
+	k := len(b)
+	for j := 0; j < k; j++ {
+		s := 0.0
+		for i := 0; i < k; i++ {
+			s += p.vecs.At(i, j) * b[i]
+		}
+		scratch[j] = s * p.inv[j]
+	}
+	for i := 0; i < k; i++ {
+		s := 0.0
+		for j := 0; j < k; j++ {
+			s += p.vecs.At(i, j) * scratch[j]
+		}
+		b[i] = s
+	}
+}

@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"fmt"
+
+	"github.com/nrp-embed/nrp/internal/sparse"
+)
+
+// AddEdges returns a new graph with the batch of edges inserted, leaving g
+// untouched so readers of the old snapshot (a serving index, an in-flight
+// query) keep a consistent view. The whole batch is merged into the CSR
+// adjacency in one pass (see sparse.InsertEntries), amortizing the rebuild
+// across the batch instead of paying O(m) per edge.
+//
+// Validation follows New: an edge naming a node outside [0, N) is an
+// error; self-loops, edges already present, and duplicates within the
+// batch are skipped. The returned slice holds the canonicalized edges
+// actually inserted (undirected edges once, with U < V), so callers
+// tracking which nodes changed need not re-derive the skip rules.
+func (g *Graph) AddEdges(edges []Edge) (*Graph, []Edge, error) {
+	for _, e := range edges {
+		if int(e.U) < 0 || int(e.U) >= g.N || int(e.V) < 0 || int(e.V) >= g.N {
+			return nil, nil, fmt.Errorf("graph: AddEdges edge (%d,%d) outside [0,%d)", e.U, e.V, g.N)
+		}
+	}
+	seen := make(map[int64]struct{}, len(edges))
+	arcs := make([]sparse.Triple, 0, 2*len(edges))
+	var added []Edge
+	for _, e := range edges {
+		if e.U == e.V {
+			continue // drop self-loops, as New does
+		}
+		u, v := e.U, e.V
+		if !g.Directed && u > v {
+			u, v = v, u
+		}
+		key := int64(u)*int64(g.N) + int64(v)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		if g.HasEdge(int(u), int(v)) {
+			continue
+		}
+		added = append(added, Edge{U: u, V: v})
+		arcs = append(arcs, sparse.Triple{Row: u, Col: v, Val: 1})
+		if !g.Directed {
+			arcs = append(arcs, sparse.Triple{Row: v, Col: u, Val: 1})
+		}
+	}
+	if len(added) == 0 {
+		c := *g
+		return &c, nil, nil
+	}
+	adj, err := g.Adj.InsertEntries(arcs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: AddEdges: %w", err)
+	}
+	return &Graph{
+		N:         g.N,
+		Directed:  g.Directed,
+		NumEdges:  g.NumEdges + len(added),
+		Adj:       adj,
+		RAdj:      adj.Transpose(),
+		Labels:    g.Labels,
+		NumLabels: g.NumLabels,
+	}, added, nil
+}
+
+// RemoveEdges returns a new graph with the batch of edges deleted, leaving
+// g untouched (same snapshot semantics as AddEdges). Edges naming nodes
+// outside [0, N) are an error; self-loops, edges not present, and
+// duplicates within the batch are skipped. The returned slice holds the
+// canonicalized edges actually removed.
+func (g *Graph) RemoveEdges(edges []Edge) (*Graph, []Edge, error) {
+	for _, e := range edges {
+		if int(e.U) < 0 || int(e.U) >= g.N || int(e.V) < 0 || int(e.V) >= g.N {
+			return nil, nil, fmt.Errorf("graph: RemoveEdges edge (%d,%d) outside [0,%d)", e.U, e.V, g.N)
+		}
+	}
+	seen := make(map[int64]struct{}, len(edges))
+	arcs := make([]sparse.Triple, 0, 2*len(edges))
+	var removed []Edge
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		u, v := e.U, e.V
+		if !g.Directed && u > v {
+			u, v = v, u
+		}
+		key := int64(u)*int64(g.N) + int64(v)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		if !g.HasEdge(int(u), int(v)) {
+			continue
+		}
+		removed = append(removed, Edge{U: u, V: v})
+		arcs = append(arcs, sparse.Triple{Row: u, Col: v})
+		if !g.Directed {
+			arcs = append(arcs, sparse.Triple{Row: v, Col: u})
+		}
+	}
+	if len(removed) == 0 {
+		c := *g
+		return &c, nil, nil
+	}
+	adj, _, err := g.Adj.DropEntries(arcs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: RemoveEdges: %w", err)
+	}
+	return &Graph{
+		N:         g.N,
+		Directed:  g.Directed,
+		NumEdges:  g.NumEdges - len(removed),
+		Adj:       adj,
+		RAdj:      adj.Transpose(),
+		Labels:    g.Labels,
+		NumLabels: g.NumLabels,
+	}, removed, nil
+}

@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// rebuildEqual asserts that got is structurally identical to a graph built
+// from scratch over wantEdges.
+func rebuildEqual(t *testing.T, got *Graph, n int, wantEdges []Edge, directed bool) {
+	t.Helper()
+	want, err := New(n, wantEdges, directed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != want.N || got.Directed != want.Directed || got.NumEdges != want.NumEdges {
+		t.Fatalf("shape: got N=%d dir=%v m=%d, want N=%d dir=%v m=%d",
+			got.N, got.Directed, got.NumEdges, want.N, want.Directed, want.NumEdges)
+	}
+	for _, pair := range [][2]*Graph{{got, want}} {
+		a, b := pair[0], pair[1]
+		if a.Adj.NNZ() != b.Adj.NNZ() {
+			t.Fatalf("arcs: got %d, want %d", a.Adj.NNZ(), b.Adj.NNZ())
+		}
+		for i := 0; i < a.N; i++ {
+			ar, br := a.OutNeighbors(i), b.OutNeighbors(i)
+			if len(ar) != len(br) {
+				t.Fatalf("row %d: got %v, want %v", i, ar, br)
+			}
+			for j := range ar {
+				if ar[j] != br[j] {
+					t.Fatalf("row %d: got %v, want %v", i, ar, br)
+				}
+			}
+			arIn, brIn := a.InNeighbors(i), b.InNeighbors(i)
+			if len(arIn) != len(brIn) {
+				t.Fatalf("in-row %d: got %v, want %v", i, arIn, brIn)
+			}
+			for j := range arIn {
+				if arIn[j] != brIn[j] {
+					t.Fatalf("in-row %d: got %v, want %v", i, arIn, brIn)
+				}
+			}
+		}
+	}
+}
+
+func TestAddEdgesTable(t *testing.T) {
+	base := []Edge{{0, 1}, {1, 2}, {2, 3}}
+	cases := []struct {
+		name      string
+		directed  bool
+		add       []Edge
+		wantAdded int
+		wantErr   bool
+		want      []Edge // nil means base unchanged
+	}{
+		{name: "insert two", directed: false, add: []Edge{{0, 2}, {3, 0}},
+			wantAdded: 2, want: []Edge{{0, 1}, {1, 2}, {2, 3}, {0, 2}, {3, 0}}},
+		{name: "self loop skipped", directed: false, add: []Edge{{1, 1}}, wantAdded: 0},
+		{name: "existing skipped", directed: false, add: []Edge{{0, 1}}, wantAdded: 0},
+		{name: "reversed existing skipped undirected", directed: false, add: []Edge{{1, 0}}, wantAdded: 0},
+		{name: "batch duplicate skipped", directed: false, add: []Edge{{0, 3}, {3, 0}},
+			wantAdded: 1, want: []Edge{{0, 1}, {1, 2}, {2, 3}, {0, 3}}},
+		{name: "out of range", directed: false, add: []Edge{{0, 9}}, wantErr: true},
+		{name: "negative id", directed: false, add: []Edge{{-1, 2}}, wantErr: true},
+		{name: "directed reverse arc is new", directed: true, add: []Edge{{1, 0}},
+			wantAdded: 1, want: []Edge{{0, 1}, {1, 2}, {2, 3}, {1, 0}}},
+		{name: "empty batch", directed: false, add: nil, wantAdded: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := New(5, base, tc.directed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := g.Adj.NNZ()
+			ng, added, err := g.AddEdges(tc.add)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("expected error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(added) != tc.wantAdded {
+				t.Fatalf("added %d, want %d", len(added), tc.wantAdded)
+			}
+			if g.Adj.NNZ() != before {
+				t.Fatalf("base graph mutated: %d arcs, had %d", g.Adj.NNZ(), before)
+			}
+			want := tc.want
+			if want == nil {
+				want = base
+			}
+			rebuildEqual(t, ng, 5, want, tc.directed)
+		})
+	}
+}
+
+func TestRemoveEdgesTable(t *testing.T) {
+	base := []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}}
+	cases := []struct {
+		name        string
+		directed    bool
+		remove      []Edge
+		wantRemoved int
+		wantErr     bool
+		want        []Edge
+	}{
+		{name: "remove one", directed: false, remove: []Edge{{1, 2}},
+			wantRemoved: 1, want: []Edge{{0, 1}, {2, 3}, {3, 4}}},
+		{name: "remove reversed undirected", directed: false, remove: []Edge{{2, 1}},
+			wantRemoved: 1, want: []Edge{{0, 1}, {2, 3}, {3, 4}}},
+		{name: "absent skipped", directed: false, remove: []Edge{{0, 4}}, wantRemoved: 0},
+		{name: "self loop skipped", directed: false, remove: []Edge{{2, 2}}, wantRemoved: 0},
+		{name: "batch duplicate counted once", directed: false, remove: []Edge{{0, 1}, {1, 0}},
+			wantRemoved: 1, want: []Edge{{1, 2}, {2, 3}, {3, 4}}},
+		{name: "out of range", directed: false, remove: []Edge{{0, 17}}, wantErr: true},
+		{name: "directed reverse arc absent", directed: true, remove: []Edge{{1, 0}}, wantRemoved: 0},
+		{name: "remove all", directed: false, remove: base, wantRemoved: 4, want: []Edge{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := New(5, base, tc.directed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ng, removed, err := g.RemoveEdges(tc.remove)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("expected error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(removed) != tc.wantRemoved {
+				t.Fatalf("removed %d, want %d", len(removed), tc.wantRemoved)
+			}
+			want := tc.want
+			if want == nil {
+				want = base
+			}
+			rebuildEqual(t, ng, 5, want, tc.directed)
+		})
+	}
+}
+
+// TestMutateMatchesRebuild drives random batches of insertions and
+// deletions against both the incremental path and a from-scratch New,
+// asserting identical CSR structure after every batch.
+func TestMutateMatchesRebuild(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(11))
+		n := 60
+		g, err := GenErdosRenyi(n, 180, directed, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for batch := 0; batch < 8; batch++ {
+			ins := make([]Edge, 0, 20)
+			for len(ins) < 20 {
+				ins = append(ins, Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
+			}
+			ng, _, err := g.AddEdges(ins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rebuildEqual(t, ng, n, ng.Edges(), directed)
+
+			cur := ng.Edges()
+			rng.Shuffle(len(cur), func(i, j int) { cur[i], cur[j] = cur[j], cur[i] })
+			del := cur[:10]
+			ng2, removed, err := ng.RemoveEdges(del)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(removed) != len(del) {
+				t.Fatalf("removed %d of %d present edges", len(removed), len(del))
+			}
+			rebuildEqual(t, ng2, n, ng2.Edges(), directed)
+			g = ng2
+		}
+	}
+}

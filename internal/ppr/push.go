@@ -2,6 +2,18 @@ package ppr
 
 import "github.com/nrp-embed/nrp/internal/graph"
 
+// PushResult carries a local-push PPR approximation along with the work
+// and error accounting the dynamic-refresh subsystem budgets against.
+type PushResult struct {
+	// P maps nodes to their nonzero PPR estimates.
+	P map[int32]float64
+	// Residual is the walk mass left un-pushed at termination, i.e. the
+	// mass the estimates in P do not account for.
+	Residual float64
+	// Pushes is the number of push operations performed.
+	Pushes int
+}
+
 // ForwardPush computes an approximate single-source PPR vector by local
 // push (Andersen et al.), the primitive STRAP uses to build its sparse
 // proximity matrix. Residual mass at node v is pushed while
@@ -13,10 +25,18 @@ import "github.com/nrp-embed/nrp/internal/graph"
 // The returned map contains only nonzero estimates, keeping STRAP's memory
 // proportional to 1/rmax rather than n.
 func ForwardPush(g *graph.Graph, u int, alpha, rmax float64) map[int32]float64 {
+	return ForwardPushFrom(g, u, alpha, rmax).P
+}
+
+// ForwardPushFrom is ForwardPush with the leftover residual mass and push
+// count reported, so callers maintaining embeddings incrementally can
+// track how much PPR mass their local updates leave unexplained.
+func ForwardPushFrom(g *graph.Graph, u int, alpha, rmax float64) PushResult {
 	p := make(map[int32]float64)
 	r := map[int32]float64{int32(u): 1}
 	queue := []int32{int32(u)}
 	inQueue := map[int32]bool{int32(u): true}
+	pushes := 0
 
 	for len(queue) > 0 {
 		v := queue[0]
@@ -29,6 +49,7 @@ func ForwardPush(g *graph.Graph, u int, alpha, rmax float64) map[int32]float64 {
 			continue
 		}
 		delete(r, v)
+		pushes++
 		if deg == 0 {
 			// Walk halts here: α of the residual terminates, the rest is
 			// lost exactly as in the truncated power iteration.
@@ -45,12 +66,50 @@ func ForwardPush(g *graph.Graph, u int, alpha, rmax float64) map[int32]float64 {
 			}
 		}
 	}
-	return p
+	residual := 0.0
+	for _, res := range r {
+		residual += res
+	}
+	return PushResult{P: p, Residual: residual, Pushes: pushes}
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
+// BackwardPush computes an approximate single-target PPR column by reverse
+// local push (Andersen et al.): the returned estimates satisfy
+// p(x) ≈ π(x,t) for every source x, with pointwise error
+// |π(x,t) − p(x)| ≤ rmax (the leftover residuals r(w) each weigh in by
+// π(x,w) ≤ 1). This is the target-side dual of ForwardPush, used to patch
+// backward embedding rows when a node's in-neighborhood changes.
+func BackwardPush(g *graph.Graph, t int, alpha, rmax float64) PushResult {
+	p := make(map[int32]float64)
+	r := map[int32]float64{int32(t): 1}
+	queue := []int32{int32(t)}
+	inQueue := map[int32]bool{int32(t): true}
+	pushes := 0
+
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		inQueue[w] = false
+		res := r[w]
+		if res <= rmax {
+			continue
+		}
+		delete(r, w)
+		pushes++
+		p[w] += alpha * res
+		share := (1 - alpha) * res
+		for _, x := range g.InNeighbors(int(w)) {
+			// dout(x) ≥ 1: the arc x→w exists.
+			r[x] += share / float64(g.OutDeg(int(x)))
+			if !inQueue[x] && r[x] > rmax {
+				inQueue[x] = true
+				queue = append(queue, x)
+			}
+		}
 	}
-	return b
+	residual := 0.0
+	for _, res := range r {
+		residual += res
+	}
+	return PushResult{P: p, Residual: residual, Pushes: pushes}
 }

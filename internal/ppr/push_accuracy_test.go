@@ -1,0 +1,130 @@
+package ppr
+
+import (
+	"testing"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+)
+
+// TestForwardPushVsPowerIteration checks the push guarantee against the
+// truncated power iteration ground truth: every estimate must
+// underestimate π(u,v) by at most rmax·max(dout(v),1) (the termination
+// threshold), and never overestimate it.
+func TestForwardPushVsPowerIteration(t *testing.T) {
+	g, err := graph.GenSBM(graph.SBMConfig{N: 150, M: 900, Communities: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		alpha = 0.15
+		rmax  = 1e-4
+		iters = 400 // (1-α)^400 is far below rmax: effectively exact
+		eps   = 1e-12
+	)
+	for _, u := range []int{0, 17, 63, 149} {
+		exact, err := SingleSource(g, u, alpha, iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := ForwardPushFrom(g, u, alpha, rmax)
+		for v := 0; v < g.N; v++ {
+			p := res.P[int32(v)]
+			diff := exact[v] - p
+			if diff < -eps {
+				t.Fatalf("source %d: push overestimates π(%d,%d): %g > %g", u, u, v, p, exact[v])
+			}
+			bound := rmax * float64(max(g.OutDeg(v), 1))
+			if diff > bound+eps {
+				t.Fatalf("source %d: |π(%d,%d) − p| = %g exceeds rmax·deg bound %g", u, u, v, diff, bound)
+			}
+		}
+		if res.Residual < 0 || res.Residual >= 1 {
+			t.Fatalf("source %d: residual mass %g outside [0,1)", u, res.Residual)
+		}
+		if res.Pushes == 0 {
+			t.Fatalf("source %d: no pushes performed", u)
+		}
+	}
+}
+
+// TestBackwardPushVsPowerIteration checks the reverse-push column
+// estimates p(x) ≈ π(x,t) against per-source power iteration, with the
+// pointwise rmax error bound.
+func TestBackwardPushVsPowerIteration(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		g, err := graph.GenErdosRenyi(90, 450, directed, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const (
+			alpha = 0.15
+			rmax  = 1e-4
+			iters = 400
+			eps   = 1e-12
+		)
+		for _, target := range []int{3, 41, 88} {
+			res := BackwardPush(g, target, alpha, rmax)
+			for x := 0; x < g.N; x++ {
+				exact, err := SingleSource(g, x, alpha, iters)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := res.P[int32(x)]
+				diff := exact[target] - p
+				if diff < -eps {
+					t.Fatalf("directed=%v target %d: overestimate π(%d,%d): %g > %g",
+						directed, target, x, target, p, exact[target])
+				}
+				if diff > rmax+eps {
+					t.Fatalf("directed=%v target %d: |π(%d,%d) − p| = %g exceeds rmax %g",
+						directed, target, x, target, diff, rmax)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkspacePushMatchesMapPush: the array-backed workspace pushes are
+// the same algorithm as the map-based ones — identical estimates and
+// residual, push after push on a reused workspace.
+func TestWorkspacePushMatchesMapPush(t *testing.T) {
+	g, err := graph.GenSBM(graph.SBMConfig{N: 200, M: 1200, Communities: 4, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		alpha = 0.15
+		rmax  = 1e-4
+	)
+	ws := NewWorkspace(g.N)
+	for _, u := range []int{0, 33, 107, 199} {
+		want := ForwardPushFrom(g, u, alpha, rmax)
+		resid := ws.ForwardPush(g, u, alpha, rmax)
+		if diff := resid - want.Residual; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("source %d: residual %g vs map %g", u, resid, want.Residual)
+		}
+		got := 0
+		for _, v := range ws.Touched() {
+			if p := ws.P(v); p != 0 {
+				got++
+				if p != want.P[v] {
+					t.Fatalf("source %d node %d: %g vs map %g", u, v, p, want.P[v])
+				}
+			}
+		}
+		if got != len(want.P) {
+			t.Fatalf("source %d: %d nonzero estimates vs map %d", u, got, len(want.P))
+		}
+
+		wantB := BackwardPush(g, u, alpha, rmax)
+		residB := ws.BackwardPush(g, u, alpha, rmax)
+		if diff := residB - wantB.Residual; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("target %d: residual %g vs map %g", u, residB, wantB.Residual)
+		}
+		for _, v := range ws.Touched() {
+			if p := ws.P(v); p != 0 && p != wantB.P[v] {
+				t.Fatalf("target %d node %d: %g vs map %g", u, v, p, wantB.P[v])
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package ppr
+
+import "github.com/nrp-embed/nrp/internal/graph"
+
+// Workspace is a reusable buffer set for array-backed local push. The
+// map-based ForwardPush/BackwardPush keep memory proportional to the
+// pushed support — right for one-shot calls on massive graphs — but pay
+// hashing on every residual update. A Workspace pays O(n) once and then
+// serves any number of pushes with O(support) reset cost, which is the
+// profile of incremental embedding refresh: thousands of pushes per
+// refresh over the same graph. Not safe for concurrent use; give each
+// worker its own.
+type Workspace struct {
+	p, r    []float64
+	touched []int32 // nodes with nonzero p or r since the last reset
+	marked  []bool  // whether a node is already in touched
+	queue   []int32
+	inQueue []bool
+}
+
+// NewWorkspace returns a workspace for graphs of n nodes.
+func NewWorkspace(n int) *Workspace {
+	return &Workspace{
+		p:       make([]float64, n),
+		r:       make([]float64, n),
+		marked:  make([]bool, n),
+		inQueue: make([]bool, n),
+	}
+}
+
+// reset clears only the entries touched by the previous push.
+func (ws *Workspace) reset() {
+	for _, v := range ws.touched {
+		ws.p[v], ws.r[v] = 0, 0
+		ws.marked[v] = false
+	}
+	ws.touched = ws.touched[:0]
+	ws.queue = ws.queue[:0]
+}
+
+func (ws *Workspace) mark(v int32) {
+	if !ws.marked[v] {
+		ws.marked[v] = true
+		ws.touched = append(ws.touched, v)
+	}
+}
+
+// Touched returns the nodes with a nonzero estimate or residual from the
+// last push, aliasing internal storage (valid until the next push).
+func (ws *Workspace) Touched() []int32 { return ws.touched }
+
+// P returns node v's estimate from the last push.
+func (ws *Workspace) P(v int32) float64 { return ws.p[v] }
+
+// R returns node v's leftover residual from the last push. By the push
+// invariant π = p + Σ_w π(·,w)·r(w) and π(x,w) ≥ α·1{x=w}, the corrected
+// estimate p(v) + α·r(v) is still an underestimate of π but strictly
+// tighter than p alone — callers projecting pushed rows should use it.
+func (ws *Workspace) R(v int32) float64 { return ws.r[v] }
+
+// ForwardPush runs the forward local push of ForwardPushFrom into the
+// workspace and returns the leftover residual mass. Estimates are read
+// with Touched/P and stay valid until the next push on this workspace.
+func (ws *Workspace) ForwardPush(g *graph.Graph, u int, alpha, rmax float64) (residual float64) {
+	ws.reset()
+	ws.r[u] = 1
+	ws.mark(int32(u))
+	ws.queue = append(ws.queue, int32(u))
+	ws.inQueue[u] = true
+
+	for len(ws.queue) > 0 {
+		v := ws.queue[0]
+		ws.queue = ws.queue[1:]
+		ws.inQueue[v] = false
+		res := ws.r[v]
+		deg := g.OutDeg(int(v))
+		if res <= rmax*float64(max(deg, 1)) {
+			continue
+		}
+		ws.r[v] = 0
+		ws.p[v] += alpha * res
+		if deg == 0 {
+			continue
+		}
+		share := (1 - alpha) * res / float64(deg)
+		for _, w := range g.OutNeighbors(int(v)) {
+			ws.r[w] += share
+			ws.mark(w)
+			if !ws.inQueue[w] && ws.r[w] > rmax*float64(max(g.OutDeg(int(w)), 1)) {
+				ws.inQueue[w] = true
+				ws.queue = append(ws.queue, w)
+			}
+		}
+	}
+	for _, v := range ws.touched {
+		residual += ws.r[v]
+	}
+	return residual
+}
+
+// BackwardPush runs the reverse local push of BackwardPush into the
+// workspace and returns the leftover residual mass; estimates satisfy
+// p(x) ≈ π(x,t) with pointwise error at most rmax.
+func (ws *Workspace) BackwardPush(g *graph.Graph, t int, alpha, rmax float64) (residual float64) {
+	ws.reset()
+	ws.r[t] = 1
+	ws.mark(int32(t))
+	ws.queue = append(ws.queue, int32(t))
+	ws.inQueue[t] = true
+
+	for len(ws.queue) > 0 {
+		w := ws.queue[0]
+		ws.queue = ws.queue[1:]
+		ws.inQueue[w] = false
+		res := ws.r[w]
+		if res <= rmax {
+			continue
+		}
+		ws.r[w] = 0
+		ws.p[w] += alpha * res
+		share := (1 - alpha) * res
+		for _, x := range g.InNeighbors(int(w)) {
+			ws.r[x] += share / float64(g.OutDeg(int(x)))
+			ws.mark(x)
+			if !ws.inQueue[x] && ws.r[x] > rmax {
+				ws.inQueue[x] = true
+				ws.queue = append(ws.queue, x)
+			}
+		}
+	}
+	for _, v := range ws.touched {
+		residual += ws.r[v]
+	}
+	return residual
+}

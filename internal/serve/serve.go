@@ -8,11 +8,19 @@
 //	GET  /v1/topk?u=42&k=10   single top-k query
 //	POST /v1/topk             {"u":42,"k":10} or {"us":[1,2,3],"k":10}
 //	POST /v1/score            {"pairs":[[0,1],[2,3]]}
+//	POST /v1/update           {"insert":[[0,1]],"remove":[[2,3]]}  (live servers)
+//	POST /v1/refresh          {}                                   (live servers)
 //
 // All responses are JSON. Malformed requests — bad JSON, k <= 0, node ids
 // outside [0, N) — map to 400 via the nrp.ErrInvalidK and
 // nrp.ErrNodeOutOfRange sentinels; queries cut short by server shutdown
 // map to 503.
+//
+// A server constructed with NewLiveServer additionally accepts edge
+// updates and refreshes: /v1/update applies batched insertions/removals
+// to the underlying graph and /v1/refresh brings the embedding in sync
+// and atomically swaps the serving index (in-flight queries finish on the
+// old index — zero downtime). On a static server both return 409.
 package serve
 
 import (
@@ -20,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"strconv"
@@ -46,13 +55,16 @@ const (
 	defaultMaxBatch = 1024
 )
 
-// Server serves proximity queries over a fixed Searcher.
+// Server serves proximity queries over a fixed Searcher, or — when
+// constructed with NewLiveServer — over a live index that accepts updates.
 type Server struct {
 	searcher nrp.Searcher
+	live     *nrp.LiveIndex // nil for static servers
 	cfg      Config
 }
 
-// NewServer wraps a Searcher for HTTP serving.
+// NewServer wraps a Searcher for HTTP serving. The update endpoints
+// respond 409 (the index is static); use NewLiveServer to accept updates.
 func NewServer(s nrp.Searcher, cfg Config) *Server {
 	if cfg.MaxK <= 0 {
 		cfg.MaxK = defaultMaxK
@@ -63,12 +75,23 @@ func NewServer(s nrp.Searcher, cfg Config) *Server {
 	return &Server{searcher: s, cfg: cfg}
 }
 
+// NewLiveServer wraps a LiveIndex for HTTP serving with the update and
+// refresh endpoints enabled. Queries hit the index current at request
+// start; a concurrent refresh swaps the index without failing them.
+func NewLiveServer(li *nrp.LiveIndex, cfg Config) *Server {
+	sv := NewServer(li, cfg)
+	sv.live = li
+	return sv
+}
+
 // Handler returns the route table.
 func (sv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", sv.handleHealthz)
 	mux.HandleFunc("/v1/topk", sv.handleTopK)
 	mux.HandleFunc("/v1/score", sv.handleScore)
+	mux.HandleFunc("/v1/update", sv.handleUpdate)
+	mux.HandleFunc("/v1/refresh", sv.handleRefresh)
 	return mux
 }
 
@@ -123,6 +146,42 @@ type HealthzResponse struct {
 	Status  string `json:"status"`
 	Nodes   int    `json:"nodes"`
 	Backend string `json:"backend"`
+	// Live reports whether the server accepts /v1/update and /v1/refresh.
+	Live bool `json:"live,omitempty"`
+	// PendingUpdates is the number of edge updates applied since the
+	// serving index was last refreshed. Always present on live servers
+	// (including the healthy 0), absent on static ones.
+	PendingUpdates *int `json:"pending_updates,omitempty"`
+}
+
+// UpdateRequest is the /v1/update POST body: pairs of [source, target] to
+// insert and to remove. Within one request, insertions and removals are
+// applied in that order.
+type UpdateRequest struct {
+	Insert [][2]int `json:"insert,omitempty"`
+	Remove [][2]int `json:"remove,omitempty"`
+}
+
+// UpdateResponse reports how many updates changed the graph and how many
+// changes the serving index has not absorbed yet.
+type UpdateResponse struct {
+	Applied int `json:"applied"`
+	Pending int `json:"pending"`
+}
+
+// RefreshResponse is the /v1/refresh response body: the refresh stats
+// plus the (possibly new) index size.
+type RefreshResponse struct {
+	Mode          string  `json:"mode"`
+	WarmStart     bool    `json:"warm_start,omitempty"`
+	Fallback      bool    `json:"fallback,omitempty"`
+	TouchedNodes  int     `json:"touched_nodes"`
+	PushMass      float64 `json:"push_mass"`
+	ResidualMass  float64 `json:"residual_mass"`
+	AccumResidual float64 `json:"accum_residual"`
+	ArcsChanged   int     `json:"arcs_changed"`
+	ElapsedUs     int64   `json:"elapsed_us"`
+	Nodes         int     `json:"nodes"`
 }
 
 type errorResponse struct {
@@ -134,10 +193,107 @@ func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, HealthzResponse{
+	resp := HealthzResponse{
 		Status:  "ok",
 		Nodes:   sv.searcher.N(),
 		Backend: sv.cfg.Backend,
+	}
+	if sv.live != nil {
+		resp.Live = true
+		pending := sv.live.Pending()
+		resp.PendingUpdates = &pending
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// requireLive guards the update endpoints: a static server has no graph
+// to mutate, which is the client's misunderstanding of the deployment,
+// not a malformed request — hence 409.
+func (sv *Server) requireLive(w http.ResponseWriter) bool {
+	if sv.live == nil {
+		writeError(w, http.StatusConflict, "index is static: server was not started over a live graph")
+		return false
+	}
+	return true
+}
+
+func (sv *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !sv.requireLive(w) {
+		return
+	}
+	var req UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	total := len(req.Insert) + len(req.Remove)
+	if total == 0 {
+		writeError(w, http.StatusBadRequest, `set at least one of "insert" and "remove"`)
+		return
+	}
+	if total > sv.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d updates exceeds limit %d", total, sv.cfg.MaxBatch))
+		return
+	}
+	ups := make([]nrp.EdgeUpdate, 0, total)
+	for _, batch := range []struct {
+		pairs [][2]int
+		op    nrp.UpdateOp
+	}{
+		{req.Insert, nrp.UpdateInsert},
+		{req.Remove, nrp.UpdateRemove},
+	} {
+		for _, p := range batch.pairs {
+			// Reject ids that int32 would silently wrap into range before
+			// they reach the engine's [0, N) validation.
+			if p[0] < 0 || p[0] > math.MaxInt32 || p[1] < 0 || p[1] > math.MaxInt32 {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("node id outside [0, %d] in pair [%d,%d]", math.MaxInt32, p[0], p[1]))
+				return
+			}
+			ups = append(ups, nrp.EdgeUpdate{U: int32(p[0]), V: int32(p[1]), Op: batch.op})
+		}
+	}
+	applied, err := sv.live.ApplyUpdates(r.Context(), ups)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusServiceUnavailable, "update cancelled: "+err.Error())
+			return
+		}
+		// Update batches fail only on validation (ids out of range, bad op).
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, UpdateResponse{Applied: applied, Pending: sv.live.Pending()})
+}
+
+func (sv *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !sv.requireLive(w) {
+		return
+	}
+	st, err := sv.live.Refresh(r.Context())
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RefreshResponse{
+		Mode:          string(st.Mode),
+		WarmStart:     st.WarmStart,
+		Fallback:      st.Fallback,
+		TouchedNodes:  st.TouchedNodes,
+		PushMass:      st.PushMass,
+		ResidualMass:  st.ResidualMass,
+		AccumResidual: st.AccumResidual,
+		ArcsChanged:   st.ArcsChanged,
+		ElapsedUs:     st.Wall.Microseconds(),
+		Nodes:         sv.live.N(),
 	})
 }
 

@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -220,5 +222,208 @@ func TestServeGracefulDrain(t *testing.T) {
 	}
 	if _, err := http.Get(url); err == nil {
 		t.Fatal("server still accepting connections after drain")
+	}
+}
+
+// --- live server (update/refresh) tests ----------------------------------
+
+func testLiveServer(t *testing.T) (*Server, *nrp.LiveIndex) {
+	t.Helper()
+	g, err := nrp.GenSBM(nrp.SBMConfig{N: 150, M: 900, Communities: 4, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nrp.DefaultOptions()
+	opt.Dim = 16
+	dyn, err := nrp.NewDynamicEmbedding(context.Background(), g, opt, nrp.DynamicConfig{
+		Policy: nrp.RefreshIncremental,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := nrp.NewLiveIndex(dyn, nrp.WithBackend(nrp.BackendExact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewLiveServer(live, Config{Backend: "exact"}), live
+}
+
+func TestUpdateRefreshEndpoints(t *testing.T) {
+	sv, live := testLiveServer(t)
+	h := sv.Handler()
+
+	// Healthz reports the live flag.
+	rec, body := doJSON(t, h, http.MethodGet, "/v1/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d: %s", rec.Code, body)
+	}
+	var hz HealthzResponse
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if !hz.Live || hz.PendingUpdates == nil || *hz.PendingUpdates != 0 {
+		t.Fatalf("healthz %+v, want live with pending_updates present and 0", hz)
+	}
+	if !strings.Contains(string(body), `"pending_updates":0`) {
+		t.Fatalf("healthz must serialize the healthy zero explicitly: %s", body)
+	}
+
+	// Apply a batch of insertions.
+	rec, body = doJSON(t, h, http.MethodPost, "/v1/update", UpdateRequest{
+		Insert: [][2]int{{0, 149}, {1, 148}},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("update status %d: %s", rec.Code, body)
+	}
+	var ur UpdateResponse
+	if err := json.Unmarshal(body, &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.Applied != 2 || ur.Pending != 2 {
+		t.Fatalf("update response %+v, want 2 applied 2 pending", ur)
+	}
+
+	// Refresh swaps the index.
+	before := live.Searcher()
+	rec, body = doJSON(t, h, http.MethodPost, "/v1/refresh", struct{}{})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("refresh status %d: %s", rec.Code, body)
+	}
+	var rr RefreshResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Mode != "incremental" || rr.TouchedNodes == 0 || rr.Nodes != 150 {
+		t.Fatalf("refresh response %+v", rr)
+	}
+	if live.Searcher() == before {
+		t.Fatal("refresh endpoint did not swap the index")
+	}
+
+	// Queries still served.
+	if rec, body := doJSON(t, h, http.MethodGet, "/v1/topk?u=0&k=5", nil); rec.Code != http.StatusOK {
+		t.Fatalf("topk after refresh: status %d: %s", rec.Code, body)
+	}
+}
+
+func TestUpdateEndpointValidation(t *testing.T) {
+	sv, _ := testLiveServer(t)
+	h := sv.Handler()
+	cases := []struct {
+		name string
+		body any
+		want int
+	}{
+		{"empty batch", UpdateRequest{}, http.StatusBadRequest},
+		{"out of range", UpdateRequest{Insert: [][2]int{{0, 9999}}}, http.StatusBadRequest},
+		{"negative id", UpdateRequest{Remove: [][2]int{{-1, 3}}}, http.StatusBadRequest},
+		{"id wraps int32", UpdateRequest{Insert: [][2]int{{1 << 32, 5}}}, http.StatusBadRequest},
+		{"oversized batch", UpdateRequest{Insert: make([][2]int, 5000)}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if rec, body := doJSON(t, h, http.MethodPost, "/v1/update", tc.body); rec.Code != tc.want {
+				t.Fatalf("status %d, want %d: %s", rec.Code, tc.want, body)
+			}
+		})
+	}
+	if rec, _ := doJSON(t, h, http.MethodGet, "/v1/update", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET update status %d", rec.Code)
+	}
+	if rec, _ := doJSON(t, h, http.MethodGet, "/v1/refresh", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET refresh status %d", rec.Code)
+	}
+	// Bad JSON body.
+	req := httptest.NewRequest(http.MethodPost, "/v1/update", strings.NewReader("{nope"))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad JSON status %d", rec.Code)
+	}
+}
+
+func TestUpdateOnStaticIndexConflicts(t *testing.T) {
+	s, _ := testSearcher(t)
+	h := NewServer(s, Config{Backend: "quantized"}).Handler()
+	if rec, body := doJSON(t, h, http.MethodPost, "/v1/update", UpdateRequest{Insert: [][2]int{{0, 1}}}); rec.Code != http.StatusConflict {
+		t.Fatalf("static update status %d: %s", rec.Code, body)
+	}
+	if rec, body := doJSON(t, h, http.MethodPost, "/v1/refresh", struct{}{}); rec.Code != http.StatusConflict {
+		t.Fatalf("static refresh status %d: %s", rec.Code, body)
+	}
+	var hz HealthzResponse
+	_, body := doJSON(t, h, http.MethodGet, "/v1/healthz", nil)
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Live || hz.PendingUpdates != nil {
+		t.Fatal("static server reports live state")
+	}
+}
+
+// TestZeroDowntimeOverHTTP runs a real listener and hammers /v1/topk from
+// several client goroutines while update+refresh cycles swap the index:
+// every query must come back 200.
+func TestZeroDowntimeOverHTTP(t *testing.T) {
+	sv, _ := testLiveServer(t)
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	var (
+		stop     atomic.Bool
+		queries  atomic.Int64
+		failures atomic.Int64
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := ts.Client()
+			for i := 0; !stop.Load(); i++ {
+				resp, err := client.Get(fmt.Sprintf("%s/v1/topk?u=%d&k=5", ts.URL, (w*37+i)%150))
+				queries.Add(1)
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(w)
+	}
+
+	client := ts.Client()
+	for round := 0; round < 5; round++ {
+		body, _ := json.Marshal(UpdateRequest{Insert: [][2]int{{round, 100 + round}, {round + 1, 120 + round}}})
+		resp, err := client.Post(ts.URL+"/v1/update", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("update round %d: status %d", round, resp.StatusCode)
+		}
+		resp, err = client.Post(ts.URL+"/v1/refresh", "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("refresh round %d: status %d", round, resp.StatusCode)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d of %d queries failed during live swaps", failures.Load(), queries.Load())
+	}
+	if queries.Load() == 0 {
+		t.Fatal("no queries ran")
 	}
 }

@@ -1,0 +1,96 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// InsertEntries returns a new CSR matrix with the given entries added. The
+// whole batch is merged in one O(nnz + b·log b) pass over the matrix —
+// the amortization that makes batched graph updates cheap — instead of a
+// full triple rebuild. Entries must name positions that are currently
+// zero and must not repeat within the batch; the caller is responsible
+// for deduplication (FromTriples-style summing is deliberately not done
+// here, so an accidental duplicate surfaces as an error instead of a
+// silently doubled weight).
+func (a *CSR) InsertEntries(entries []Triple) (*CSR, error) {
+	for _, e := range entries {
+		if int(e.Row) < 0 || int(e.Row) >= a.Rows || int(e.Col) < 0 || int(e.Col) >= a.Cols {
+			return nil, fmt.Errorf("sparse: insert (%d,%d) outside %dx%d", e.Row, e.Col, a.Rows, a.Cols)
+		}
+	}
+	ins := append([]Triple(nil), entries...)
+	sort.Slice(ins, func(i, j int) bool {
+		if ins[i].Row != ins[j].Row {
+			return ins[i].Row < ins[j].Row
+		}
+		return ins[i].Col < ins[j].Col
+	})
+	out := &CSR{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		RowPtr: make([]int, a.Rows+1),
+		ColIdx: make([]int32, 0, a.NNZ()+len(ins)),
+		Val:    make([]float64, 0, a.NNZ()+len(ins)),
+	}
+	k := 0 // cursor into ins
+	for i := 0; i < a.Rows; i++ {
+		p, hi := a.RowPtr[i], a.RowPtr[i+1]
+		for p < hi || (k < len(ins) && int(ins[k].Row) == i) {
+			insHere := k < len(ins) && int(ins[k].Row) == i
+			if insHere && p < hi && ins[k].Col == a.ColIdx[p] {
+				return nil, fmt.Errorf("sparse: insert (%d,%d) collides with existing entry", ins[k].Row, ins[k].Col)
+			}
+			if insHere && (p >= hi || ins[k].Col < a.ColIdx[p]) {
+				if k > 0 && ins[k-1].Row == ins[k].Row && ins[k-1].Col == ins[k].Col {
+					return nil, fmt.Errorf("sparse: duplicate insert (%d,%d)", ins[k].Row, ins[k].Col)
+				}
+				out.ColIdx = append(out.ColIdx, ins[k].Col)
+				out.Val = append(out.Val, ins[k].Val)
+				k++
+			} else {
+				out.ColIdx = append(out.ColIdx, a.ColIdx[p])
+				out.Val = append(out.Val, a.Val[p])
+				p++
+			}
+		}
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out, nil
+}
+
+// DropEntries returns a new CSR matrix with the given (row, col) positions
+// removed, merged in one pass like InsertEntries. Positions that hold no
+// entry are ignored; the number of entries actually removed is returned.
+// Triple values are ignored.
+func (a *CSR) DropEntries(entries []Triple) (*CSR, int, error) {
+	for _, e := range entries {
+		if int(e.Row) < 0 || int(e.Row) >= a.Rows || int(e.Col) < 0 || int(e.Col) >= a.Cols {
+			return nil, 0, fmt.Errorf("sparse: drop (%d,%d) outside %dx%d", e.Row, e.Col, a.Rows, a.Cols)
+		}
+	}
+	drop := make(map[int64]struct{}, len(entries))
+	for _, e := range entries {
+		drop[int64(e.Row)*int64(a.Cols)+int64(e.Col)] = struct{}{}
+	}
+	out := &CSR{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		RowPtr: make([]int, a.Rows+1),
+		ColIdx: make([]int32, 0, a.NNZ()),
+		Val:    make([]float64, 0, a.NNZ()),
+	}
+	removed := 0
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if _, ok := drop[int64(i)*int64(a.Cols)+int64(a.ColIdx[p])]; ok {
+				removed++
+				continue
+			}
+			out.ColIdx = append(out.ColIdx, a.ColIdx[p])
+			out.Val = append(out.Val, a.Val[p])
+		}
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out, removed, nil
+}

@@ -1,0 +1,54 @@
+package sparse
+
+import "testing"
+
+func testMatrix(t *testing.T) *CSR {
+	t.Helper()
+	a, err := FromTriples(3, 3, []Triple{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 2}, {Row: 2, Col: 2, Val: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestInsertEntries(t *testing.T) {
+	a := testMatrix(t)
+	out, err := a.InsertEntries([]Triple{{Row: 0, Col: 0, Val: 5}, {Row: 2, Col: 0, Val: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NNZ() != 5 || out.At(0, 0) != 5 || out.At(2, 0) != 6 || out.At(0, 1) != 1 {
+		t.Fatalf("merged matrix wrong: nnz=%d", out.NNZ())
+	}
+	if a.NNZ() != 3 {
+		t.Fatal("source matrix mutated")
+	}
+	// Colliding with an existing entry is an error, not a duplicate.
+	if _, err := a.InsertEntries([]Triple{{Row: 0, Col: 1, Val: 9}}); err == nil {
+		t.Fatal("expected collision error")
+	}
+	// Duplicate within the batch is an error.
+	if _, err := a.InsertEntries([]Triple{{Row: 0, Col: 2, Val: 1}, {Row: 0, Col: 2, Val: 1}}); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+	// Out of range is an error.
+	if _, err := a.InsertEntries([]Triple{{Row: 0, Col: 7, Val: 1}}); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestDropEntries(t *testing.T) {
+	a := testMatrix(t)
+	out, removed, err := a.DropEntries([]Triple{{Row: 0, Col: 1}, {Row: 1, Col: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || out.NNZ() != 2 || out.At(0, 1) != 0 || out.At(1, 0) != 2 {
+		t.Fatalf("drop wrong: removed=%d nnz=%d", removed, out.NNZ())
+	}
+	if _, _, err := a.DropEntries([]Triple{{Row: 9, Col: 0}}); err == nil {
+		t.Fatal("expected range error")
+	}
+}

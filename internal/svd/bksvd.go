@@ -41,6 +41,13 @@ type Options struct {
 	Iters int
 	// Rng supplies the random projection; required.
 	Rng *rand.Rand
+	// Init, when non-nil, seeds the block iteration with the given m×k
+	// block instead of a fresh Gaussian projection. Warm-starting from a
+	// previous factorization's right singular vectors lets a solver
+	// re-converge in one or two iterations after a small perturbation of
+	// a — the basis of incremental embedding refresh. Init is not
+	// mutated; its shape must be Cols(a)×Rank.
+	Init *matrix.Dense
 	// Ctx, when non-nil, is checked between block iterations so a caller
 	// can abort a long factorization; the solver returns Ctx.Err().
 	Ctx context.Context
@@ -107,14 +114,17 @@ func BKSVD(a *sparse.CSR, opt Options) (*Result, error) {
 	if k > n || k > m {
 		return nil, fmt.Errorf("svd: rank %d exceeds matrix dimensions %dx%d", k, n, m)
 	}
-	q := opt.iters(maxInt(n, m))
+	q := opt.iters(max(n, m))
 	// Cap the Krylov block so the basis never exceeds the matrix dimension.
 	for q > 1 && (q+1)*k > n {
 		q--
 	}
 
 	// Build the Krylov block K = [AΠ, (AAᵀ)AΠ, …, (AAᵀ)^q AΠ], Π ∈ R^{m×k}.
-	pi := matrix.GaussianDense(m, k, opt.Rng)
+	pi, err := opt.initBlock(m, k)
+	if err != nil {
+		return nil, err
+	}
 	blocks := make([]*matrix.Dense, 0, q+1)
 	cur := a.MulDense(pi) // n×k
 	// Orthonormalize each block before powering to tame the geometric
@@ -183,8 +193,11 @@ func SubspaceIteration(a *sparse.CSR, opt Options) (*Result, error) {
 	if k > n || k > m {
 		return nil, fmt.Errorf("svd: rank %d exceeds matrix dimensions %dx%d", k, n, m)
 	}
-	q := opt.iters(maxInt(n, m))
-	pi := matrix.GaussianDense(m, k, opt.Rng)
+	q := opt.iters(max(n, m))
+	pi, err := opt.initBlock(m, k)
+	if err != nil {
+		return nil, err
+	}
 	cur := matrix.Orthonormalize(a.MulDense(pi))
 	itersRun := 0
 	for i := 0; i < q; i++ {
@@ -239,11 +252,16 @@ func hcat(n int, blocks []*matrix.Dense) *matrix.Dense {
 	return out
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+// initBlock resolves the starting block: the caller's warm-start block
+// when provided (shape-checked), a fresh Gaussian projection otherwise.
+func (o Options) initBlock(m, k int) (*matrix.Dense, error) {
+	if o.Init == nil {
+		return matrix.GaussianDense(m, k, o.Rng), nil
 	}
-	return b
+	if o.Init.Rows != m || o.Init.Cols != k {
+		return nil, fmt.Errorf("svd: warm-start block is %dx%d, want %dx%d", o.Init.Rows, o.Init.Cols, m, k)
+	}
+	return o.Init, nil
 }
 
 // LowRankApply reconstructs (U·diag(S)·Vᵀ)[i,j] without materializing the

@@ -227,3 +227,60 @@ func TestLowRankApply(t *testing.T) {
 		}
 	}
 }
+
+// TestBKSVDWarmStart factorizes a matrix, perturbs it slightly, and checks
+// that a single warm-started iteration from the previous V factor matches
+// the accuracy of a fully converged cold run — while a cold single
+// iteration from a fresh Gaussian block is given no such guarantee.
+func TestBKSVDWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	trueS := []float64{12, 8, 5, 2.5}
+	a := lowRankSparse(t, 50, 50, trueS, rng)
+	cold, err := BKSVD(a, Options{Rank: 4, Epsilon: 0.1, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Perturb: add a small rank-1 bump.
+	bump := lowRankSparse(t, 50, 50, []float64{0.3}, rand.New(rand.NewSource(10)))
+	entries := make([]sparse.Triple, 0, a.NNZ()+bump.NNZ())
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			entries = append(entries, sparse.Triple{Row: int32(i), Col: a.ColIdx[p], Val: a.Val[p]})
+		}
+	}
+	for i := 0; i < bump.Rows; i++ {
+		for p := bump.RowPtr[i]; p < bump.RowPtr[i+1]; p++ {
+			entries = append(entries, sparse.Triple{Row: int32(i), Col: bump.ColIdx[p], Val: bump.Val[p]})
+		}
+	}
+	a2, err := sparse.FromTriples(50, 50, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := BKSVD(a2, Options{Rank: 4, Epsilon: 0.1, Rng: rand.New(rand.NewSource(11))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := BKSVD(a2, Options{Rank: 4, Iters: 1, Init: cold.V, Rng: rand.New(rand.NewSource(12))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.ItersRun != 1 {
+		t.Fatalf("warm run executed %d iterations, want 1", warm.ItersRun)
+	}
+	for i := range full.S {
+		if math.Abs(warm.S[i]-full.S[i]) > 0.02*full.S[i]+1e-9 {
+			t.Fatalf("warm singular value %d: got %v, converged run has %v", i, warm.S[i], full.S[i])
+		}
+	}
+
+	// Shape mismatch is rejected up front.
+	if _, err := BKSVD(a2, Options{Rank: 4, Init: matrix.NewDense(7, 4), Rng: rng}); err == nil {
+		t.Fatal("expected shape error for bad warm-start block")
+	}
+	if _, err := SubspaceIteration(a2, Options{Rank: 4, Init: matrix.NewDense(7, 4), Rng: rng}); err == nil {
+		t.Fatal("expected shape error for bad warm-start block (subspace)")
+	}
+}

@@ -35,6 +35,17 @@
 // A built index persists with SaveIndex and boots back with LoadIndex
 // (no re-quantization), which is how cmd/nrpserve serves HTTP traffic.
 //
+// Evolving graphs — the paper's VK/Digg workload — are served live: a
+// DynamicEmbedding maintains the embedding under batched edge
+// insertions/deletions with full, incremental (push-based) or
+// staleness-gated refresh, and a LiveIndex swaps the serving index
+// atomically so in-flight queries never fail during a refresh:
+//
+//	dyn, err := nrp.NewDynamicEmbedding(ctx, g, opt, nrp.DynamicConfig{})
+//	live, err := nrp.NewLiveIndex(dyn, nrp.WithBackend(nrp.BackendQuantized))
+//	live.ApplyUpdates(ctx, updates)
+//	stats, err := live.Refresh(ctx)        // rebuild + zero-downtime swap
+//
 // The v1 entry points (Embed, EmbedPPR, EmbedAttributed, LearnWeights)
 // remain as thin deprecated wrappers over the ctx-taking versions.
 //
