@@ -17,6 +17,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -32,9 +33,11 @@ import (
 )
 
 // TestMain flushes the serving-backend benchmark records to
-// BENCH_topk.json and the dynamic-refresh records to BENCH_dynamic.json
-// after the run (see writeTopKBenchRecords, writeDynamicBenchRecord), so
-// the CI benchmark smoke steps leave machine-readable perf traces behind.
+// BENCH_topk.json, the dynamic-refresh records to BENCH_dynamic.json and
+// the parallel-build records to BENCH_build.json after the run (see
+// writeTopKBenchRecords, writeDynamicBenchRecord, writeBuildBenchRecord),
+// so the CI benchmark smoke steps leave machine-readable perf traces
+// behind.
 func TestMain(m *testing.M) {
 	code := m.Run()
 	if err := writeTopKBenchRecords(); err != nil {
@@ -45,6 +48,12 @@ func TestMain(m *testing.M) {
 	}
 	if err := writeDynamicBenchRecord(); err != nil {
 		fmt.Fprintln(os.Stderr, "writing BENCH_dynamic.json:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	if err := writeBuildBenchRecord(); err != nil {
+		fmt.Fprintln(os.Stderr, "writing BENCH_build.json:", err)
 		if code == 0 {
 			code = 1
 		}
@@ -570,6 +579,115 @@ func BenchmarkDynamicRefresh(b *testing.B) {
 			fmt.Printf("\ndynamic refresh (n=%d, m=%d, %d updates): incremental %.0fms (touched %d)  full %.0fms  speedup %.1fx  AUC inc=%.4f full=%.4f stale=%.4f\n",
 				dynBenchN, dynBenchM, len(arriving), rec.IncrementalMs, st.TouchedNodes,
 				rec.FullMs, rec.Speedup, aucInc, aucFull, aucStale)
+		}
+	}
+}
+
+// --- Parallel end-to-end build benchmark ---------------------------------
+
+// BenchmarkEmbedBuild races the full NRP build (BKSVD + PPR folding +
+// reweighting) at 1 thread against all cores on a 100k-node SBM, and
+// scores both embeddings on held-out link prediction to confirm the
+// parallel engine changes wall time, not quality. The reproduction target
+// on an 8-core host is a ≥4× build speedup with AUC within ±0.5%. One
+// iteration measures both builds; the record lands in BENCH_build.json
+// via TestMain. Run with:
+//
+//	go test -run '^$' -bench BenchmarkEmbedBuild -benchtime 1x
+const (
+	buildBenchN   = 100_000
+	buildBenchM   = 500_000
+	buildBenchDim = 32
+)
+
+type buildBenchRecord struct {
+	N          int     `json:"n"`
+	M          int     `json:"m"`
+	Dim        int     `json:"dim"`
+	Threads    int     `json:"threads"`
+	SerialMs   float64 `json:"serial_ms"`
+	ParallelMs float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+	AUCSerial  float64 `json:"auc_serial"`
+	AUCThreads float64 `json:"auc_parallel"`
+}
+
+var (
+	buildBenchMu  sync.Mutex
+	buildBenchRec *buildBenchRecord
+)
+
+func writeBuildBenchRecord() error {
+	buildBenchMu.Lock()
+	defer buildBenchMu.Unlock()
+	if buildBenchRec == nil {
+		return nil
+	}
+	f, err := os.Create("BENCH_build.json")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(buildBenchRec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func BenchmarkEmbedBuild(b *testing.B) {
+	ctx := context.Background()
+	g, err := graph.GenSBM(graph.SBMConfig{N: buildBenchN, M: buildBenchM, Communities: 50, Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	split, err := eval.NewLinkPredSplit(g, 0.3, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.Dim = buildBenchDim
+	threads := runtime.GOMAXPROCS(0)
+
+	for i := 0; i < b.N; i++ {
+		serialStart := time.Now()
+		embSerial, _, err := core.NRPCtx(ctx, split.Train, opt, core.WithThreads(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		serialElapsed := time.Since(serialStart)
+
+		parStart := time.Now()
+		embPar, stats, err := core.NRPCtx(ctx, split.Train, opt, core.WithThreads(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		parElapsed := time.Since(parStart)
+
+		aucSerial, err := eval.LinkPredictionAUC(embSerial, split)
+		if err != nil {
+			b.Fatal(err)
+		}
+		aucPar, err := eval.LinkPredictionAUC(embPar, split)
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		if i == 0 {
+			rec := &buildBenchRecord{
+				N: buildBenchN, M: buildBenchM, Dim: buildBenchDim, Threads: stats.Threads,
+				SerialMs:   float64(serialElapsed.Microseconds()) / 1000,
+				ParallelMs: float64(parElapsed.Microseconds()) / 1000,
+				Speedup:    serialElapsed.Seconds() / parElapsed.Seconds(),
+				AUCSerial:  aucSerial, AUCThreads: aucPar,
+			}
+			buildBenchMu.Lock()
+			buildBenchRec = rec
+			buildBenchMu.Unlock()
+			fmt.Printf("\nembed build (n=%d, m=%d, k=%d): 1 thread %.0fms  %d threads %.0fms  speedup %.1fx  AUC serial=%.4f parallel=%.4f\n",
+				buildBenchN, buildBenchM, buildBenchDim, rec.SerialMs, threads, rec.ParallelMs,
+				rec.Speedup, aucSerial, aucPar)
 		}
 	}
 }

@@ -6,9 +6,9 @@
 //
 //	nrp -input graph.txt -output emb.bin [-directed] [-method nrp|approxppr]
 //	    [-k 128] [-alpha 0.15] [-l1 20] [-l2 10] [-eps 0.2] [-lambda 10] [-seed 1]
-//	    [-progress]
+//	    [-progress] [-threads 0]
 //	nrp index -embedding emb.bin -output index.bin [-backend exact|quantized|pruned]
-//	    [-shards 0] [-rerank 4] [-include-self]
+//	    [-shards 0] [-rerank 4] [-include-self] [-threads 0]
 //	nrp topk -embedding emb.bin -source 42 [-k 10] [-backend quantized] [-include-self]
 //	nrp topk -index index.bin -source 42 [-k 10]
 //	nrp update -server http://localhost:8080 [-insert new.txt] [-remove gone.txt]
@@ -80,6 +80,7 @@ func runEmbed(ctx context.Context, args []string) error {
 		lambda   = fs.Float64("lambda", 10, "reweighting regularizer λ")
 		seed     = fs.Int64("seed", 1, "random seed")
 		progress = fs.Bool("progress", false, "log per-phase progress to stderr")
+		threads  = fs.Int("threads", 0, "worker threads for the compute engine (0 = all cores)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,7 +110,7 @@ func runEmbed(ctx context.Context, args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "loaded %d nodes, %d edges in %v\n", g.N, g.NumEdges, time.Since(loadStart).Round(time.Millisecond))
 
-	var runOpts []nrp.RunOption
+	runOpts := []nrp.RunOption{nrp.WithThreads(*threads)}
 	if *progress {
 		runOpts = append(runOpts, nrp.WithProgress(func(ev nrp.ProgressEvent) {
 			fmt.Fprintf(os.Stderr, "  [%v] %s %d/%d\n", ev.Elapsed.Round(time.Millisecond), ev.Phase, ev.Step, ev.Total)
@@ -427,6 +428,7 @@ func runIndexBuild(ctx context.Context, args []string) error {
 		shards      = fs.Int("shards", 0, "scan shards to record in the snapshot (0 = all cores at load time)")
 		rerank      = fs.Int("rerank", 0, "quantized shortlist multiplier (0 = default)")
 		includeSelf = fs.Bool("include-self", false, "admit query nodes as their own results")
+		threads     = fs.Int("threads", 0, "worker threads for build-time preprocessing (0 = all cores)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -457,6 +459,7 @@ func runIndexBuild(ctx context.Context, args []string) error {
 		nrp.WithBackend(backend),
 		nrp.WithShards(*shards),
 		nrp.WithIncludeSelf(*includeSelf),
+		nrp.WithThreads(*threads),
 	}
 	if *rerank > 0 {
 		opts = append(opts, nrp.WithRerank(*rerank))

@@ -9,7 +9,7 @@
 //	nrpserve -index index.bin [-addr :8080] [-shards 0] [-drain 10s]
 //	nrpserve -embedding emb.bin -backend quantized [-shards 0] [-rerank 4] [-include-self]
 //	nrpserve -graph graph.txt [-directed] [-dim 128] [-seed 1] [-backend exact]
-//	         [-refresh-policy incremental] [-refresh-interval 30s]
+//	         [-refresh-policy incremental] [-refresh-interval 30s] [-threads 0]
 //
 // With -index the snapshot's build-time preprocessing (quantization
 // codes, norm permutation) is loaded as-is — no re-quantizing at boot;
@@ -85,6 +85,7 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 		refreshIntv = fs.Duration("refresh-interval", 0, "background refresh period for -graph when updates are pending (0 = refresh only via /v1/refresh)")
 		backendName = fs.String("backend", "exact", "backend for -embedding/-graph: exact, quantized or pruned")
 		shards      = fs.Int("shards", 0, "scan shards per query (0 = all cores)")
+		threads     = fs.Int("threads", 0, "worker threads for -graph embedding/refreshes and index builds (0 = all cores)")
 		rerank      = fs.Int("rerank", 0, "quantized shortlist multiplier (0 = default/snapshot value)")
 		includeSelf = fs.Bool("include-self", false, "admit the query node as a result (overrides a snapshot's stored choice)")
 		addr        = fs.String("addr", ":8080", "listen address")
@@ -155,7 +156,7 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 		}
 		start := time.Now()
 		fmt.Fprintf(os.Stderr, "nrpserve: embedding %d nodes, %d edges...\n", g.N, g.NumEdges)
-		dyn, err := nrp.NewDynamicEmbedding(ctx, g, opt, nrp.DynamicConfig{Policy: policy})
+		dyn, err := nrp.NewDynamicEmbedding(ctx, g, opt, nrp.DynamicConfig{Policy: policy}, nrp.WithThreads(*threads))
 		if err != nil {
 			return nil, err
 		}
@@ -164,6 +165,7 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 			nrp.WithBackend(backend),
 			nrp.WithShards(*shards),
 			nrp.WithIncludeSelf(*includeSelf),
+			nrp.WithThreads(*threads),
 		}
 		if *rerank > 0 {
 			opts = append(opts, nrp.WithRerank(*rerank))
@@ -191,6 +193,7 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 			nrp.WithBackend(backend),
 			nrp.WithShards(*shards),
 			nrp.WithIncludeSelf(*includeSelf),
+			nrp.WithThreads(*threads),
 		}
 		if *rerank > 0 {
 			opts = append(opts, nrp.WithRerank(*rerank))

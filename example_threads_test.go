@@ -1,0 +1,42 @@
+package nrp_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/nrp-embed/nrp"
+)
+
+// ExampleWithThreads embeds a graph on a bounded thread budget and reads
+// the engine's thread accounting back from the run stats. One WithThreads
+// value configures the whole stack: it is accepted by the embedding
+// pipeline (as a RunOption) and by BuildIndex (as an IndexOption).
+func ExampleWithThreads() {
+	g, err := nrp.GenSBM(nrp.SBMConfig{N: 600, M: 3000, Communities: 4, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := nrp.DefaultOptions()
+	opt.Dim = 16
+
+	// Build the embedding on exactly 2 worker threads. The default (no
+	// WithThreads, or WithThreads(0)) uses every core; results across
+	// thread counts agree to floating-point reassociation error, and
+	// repeated runs at a fixed count are bit-identical.
+	emb, stats, err := nrp.EmbedCtx(context.Background(), g, opt, nrp.WithThreads(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("threads:", stats.Threads)
+
+	// The same option bounds index-build preprocessing.
+	s, err := nrp.BuildIndex(emb, nrp.WithBackend(nrp.BackendQuantized), nrp.WithThreads(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("indexed:", s.N())
+	// Output:
+	// threads: 2
+	// indexed: 600
+}

@@ -131,37 +131,58 @@ type indexConfig struct {
 	shardsExplicit bool
 	rerank         int
 	includeSelf    bool
+	// buildThreads bounds build-time preprocessing parallelism
+	// (quantization, norm computation; 0 = GOMAXPROCS). Set with
+	// WithThreads; never persisted in snapshots.
+	buildThreads int
 }
 
-// IndexOption configures BuildIndex (and LoadIndex overrides).
-type IndexOption func(*indexConfig)
+// IndexOption configures BuildIndex (and LoadIndex overrides). It is an
+// interface so options can be shared across subsystems: WithThreads is
+// accepted both here and by the embedding pipeline's ctx entry points.
+type IndexOption interface {
+	applyIndex(*indexConfig)
+}
+
+// indexOptionFunc adapts a plain function to IndexOption.
+type indexOptionFunc func(*indexConfig)
+
+func (f indexOptionFunc) applyIndex(c *indexConfig) { f(c) }
 
 // WithBackend selects the scan strategy; BackendExact is the default.
-func WithBackend(b Backend) IndexOption { return func(c *indexConfig) { c.backend = b } }
+func WithBackend(b Backend) IndexOption {
+	return indexOptionFunc(func(c *indexConfig) { c.backend = b })
+}
 
 // WithShards partitions the candidate space into n shards, each scanned
 // by its own goroutine with a private top-k heap merged at the end
 // (0 = GOMAXPROCS, re-derived per host when a snapshot is loaded).
 func WithShards(n int) IndexOption {
-	return func(c *indexConfig) { c.shards, c.shardsExplicit = n, n > 0 }
+	return indexOptionFunc(func(c *indexConfig) { c.shards, c.shardsExplicit = n, n > 0 })
 }
 
 // WithRerank sets the quantized backend's shortlist multiplier: the top
 // r·k quantized candidates are re-scored exactly before the final top k
 // is taken. Higher r buys recall with more exact dot products; the
 // default is 4. Other backends ignore it.
-func WithRerank(r int) IndexOption { return func(c *indexConfig) { c.rerank = r } }
+func WithRerank(r int) IndexOption {
+	return indexOptionFunc(func(c *indexConfig) { c.rerank = r })
+}
 
 // WithIncludeSelf admits the query node itself as a result; by default it
 // is excluded, matching the link-prediction use of proximity scores.
-func WithIncludeSelf(on bool) IndexOption { return func(c *indexConfig) { c.includeSelf = on } }
+func WithIncludeSelf(on bool) IndexOption {
+	return indexOptionFunc(func(c *indexConfig) { c.includeSelf = on })
+}
 
 const defaultRerank = 4
 
 func resolveConfig(opts []IndexOption) (indexConfig, error) {
 	cfg := indexConfig{backend: BackendExact, rerank: defaultRerank}
 	for _, o := range opts {
-		o(&cfg)
+		if o != nil {
+			o.applyIndex(&cfg)
+		}
 	}
 	if cfg.shards < 0 {
 		return cfg, fmt.Errorf("nrp: shards must be non-negative, got %d", cfg.shards)

@@ -123,7 +123,9 @@ func LoadIndex(r io.Reader, opts ...IndexOption) (Searcher, error) {
 		shardsExplicit: shards != 0, rerank: int(rerank), includeSelf: self != 0}
 	cfg := stored
 	for _, o := range opts {
-		o(&cfg)
+		if o != nil {
+			o.applyIndex(&cfg)
+		}
 	}
 	if cfg.backend != stored.backend {
 		return nil, fmt.Errorf("nrp: snapshot was built with backend %v, cannot load as %v", stored.backend, cfg.backend)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/nrp-embed/nrp/internal/matrix"
+	"github.com/nrp-embed/nrp/internal/par"
 )
 
 // prunedIndex is the norm-pruned Searcher backend. At build time the
@@ -36,9 +37,12 @@ var _ Searcher = (*prunedIndex)(nil)
 func newPrunedIndex(emb *Embedding, cfg indexConfig) *prunedIndex {
 	n := emb.N()
 	norms := make([]float64, n)
-	for v := 0; v < n; v++ {
-		norms[v] = matrix.Norm2(emb.Y.Row(v))
-	}
+	pool := par.New(cfg.buildThreads)
+	pool.For(n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			norms[v] = matrix.Norm2(emb.Y.Row(v))
+		}
+	})
 	perm := make([]int32, n)
 	for v := range perm {
 		perm[v] = int32(v)
@@ -56,14 +60,17 @@ func loadedPrunedIndex(emb *Embedding, cfg indexConfig, perm []int32, nodeNorms 
 	n, dim := emb.N(), emb.Dim()
 	ix := &prunedIndex{emb: emb, cfg: cfg, perm: perm,
 		norms: make([]float64, n), ys: matrix.NewDense(n, dim)}
-	for i, v := range perm {
-		copy(ix.ys.Row(i), emb.Y.Row(int(v)))
-		if nodeNorms != nil {
-			ix.norms[i] = nodeNorms[v]
-		} else {
-			ix.norms[i] = matrix.Norm2(ix.ys.Row(i))
+	par.New(cfg.buildThreads).For(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := perm[i]
+			copy(ix.ys.Row(i), emb.Y.Row(int(v)))
+			if nodeNorms != nil {
+				ix.norms[i] = nodeNorms[v]
+			} else {
+				ix.norms[i] = matrix.Norm2(ix.ys.Row(i))
+			}
 		}
-	}
+	})
 	return ix
 }
 

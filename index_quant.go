@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"github.com/nrp-embed/nrp/internal/par"
 	"github.com/nrp-embed/nrp/internal/quant"
 )
 
@@ -23,7 +24,10 @@ type quantIndex struct {
 var _ Searcher = (*quantIndex)(nil)
 
 func newQuantIndex(emb *Embedding, cfg indexConfig) *quantIndex {
-	return &quantIndex{emb: emb, cfg: cfg, qy: quant.QuantizeRows(emb.Y)}
+	// Build-time quantization parallelizes over the WithThreads budget;
+	// the result is bit-identical for every thread count.
+	pool := par.New(cfg.buildThreads)
+	return &quantIndex{emb: emb, cfg: cfg, qy: quant.QuantizeRowsPool(pool, emb.Y)}
 }
 
 // loadedQuantIndex rebuilds a quantized index from snapshot payload

@@ -92,6 +92,7 @@ func approxPPRFactors(g *graph.Graph, opt Options, t *tracker, init *matrix.Dens
 		Rng:     rng,
 		Init:    init,
 		Ctx:     t.ctx,
+		Pool:    t.pool,
 		Progress: func(iter, total int) {
 			kryIters = iter
 			t.step(PhaseFactorize, iter, total)
@@ -113,26 +114,31 @@ func approxPPRFactors(g *graph.Graph, opt Options, t *tracker, init *matrix.Dens
 		}
 	}
 
-	// Line 2: X₁ = D⁻¹·U·√Σ, Y = V·√Σ.
+	// Line 2: X₁ = D⁻¹·U·√Σ, Y = V·√Σ. Row loops parallelize over the
+	// pool (disjoint rows: bit-identical for any thread count).
 	sqrtS := make([]float64, len(res.S))
 	for i, s := range res.S {
 		sqrtS[i] = math.Sqrt(s)
 	}
 	x1 := res.U.Clone()
 	invDeg := g.InvOutDegrees()
-	for u := 0; u < g.N; u++ {
-		row := x1.Row(u)
-		for j := range row {
-			row[j] *= invDeg[u] * sqrtS[j]
+	t.pool.For(g.N, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			row := x1.Row(u)
+			for j := range row {
+				row[j] *= invDeg[u] * sqrtS[j]
+			}
 		}
-	}
+	})
 	y := res.V.Clone()
-	for v := 0; v < g.N; v++ {
-		row := y.Row(v)
-		for j := range row {
-			row[j] *= sqrtS[j]
+	t.pool.For(g.N, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			row := y.Row(v)
+			for j := range row {
+				row[j] *= sqrtS[j]
+			}
 		}
-	}
+	})
 
 	// Lines 3–5: X_i = (1−α)·P·X_{i−1} + X₁; X = α(1−α)·X_{ℓ₁}.
 	stopPPR := t.phaseTimer(&t.stats.PPR)
@@ -144,14 +150,31 @@ func approxPPRFactors(g *graph.Graph, opt Options, t *tracker, init *matrix.Dens
 			stopPPR(iters)
 			return nil, nil, err
 		}
-		next := p.MulDense(x)
-		next.Scale(1 - opt.Alpha)
-		next.AddInPlace(x1)
+		next := p.MulDensePool(t.pool, x)
+		// Fused (1−α)·next + X₁, parallel over disjoint row ranges.
+		t.pool.For(g.N, func(_, lo, hi int) {
+			oneMinus := 1 - opt.Alpha
+			for u := lo; u < hi; u++ {
+				row := next.Row(u)
+				x1row := x1.Row(u)
+				for j := range row {
+					row[j] = row[j]*oneMinus + x1row[j]
+				}
+			}
+		})
 		x = next
 		iters++
 		t.step(PhasePPR, iters, opt.L1-1)
 	}
-	x.Scale(opt.Alpha * (1 - opt.Alpha))
+	scale := opt.Alpha * (1 - opt.Alpha)
+	t.pool.For(g.N, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			row := x.Row(u)
+			for j := range row {
+				row[j] *= scale
+			}
+		}
+	})
 	stopPPR(iters)
 
 	return &Embedding{X: x, Y: y}, res.V, nil

@@ -118,7 +118,7 @@ func propagateAttributes(g *graph.Graph, attrs *matrix.Dense, opt AttributedOpti
 		rng := rand.New(rand.NewSource(opt.Seed + 17))
 		proj := matrix.GaussianDense(attrs.Cols, opt.AttrDim, rng)
 		proj.Scale(1 / float64(attrs.Cols))
-		f = matrix.Mul(attrs, proj)
+		f = matrix.MulPool(t.pool, attrs, proj)
 	}
 	p := g.Transition()
 	cur := f.Clone()
@@ -130,15 +130,28 @@ func propagateAttributes(g *graph.Graph, attrs *matrix.Dense, opt AttributedOpti
 			stop(iters)
 			return nil, err
 		}
-		cur = p.MulDense(cur)
-		cur.Scale(1 - opt.Alpha)
-		acc.AddInPlace(cur)
+		cur = p.MulDensePool(t.pool, cur)
+		// Fused (1−α)-scale of cur and accumulate into acc, parallel over
+		// disjoint row ranges.
+		t.pool.For(acc.Rows, func(_, lo, hi int) {
+			oneMinus := 1 - opt.Alpha
+			for v := lo; v < hi; v++ {
+				crow := cur.Row(v)
+				arow := acc.Row(v)
+				for j := range crow {
+					crow[j] *= oneMinus
+					arow[j] += crow[j]
+				}
+			}
+		})
 		iters++
 		t.step(PhaseAttributes, iters, opt.L1)
 	}
-	for v := 0; v < acc.Rows; v++ {
-		matrix.NormalizeRow(acc.Row(v))
-	}
+	t.pool.For(acc.Rows, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			matrix.NormalizeRow(acc.Row(v))
+		}
+	})
 	stop(iters)
 	return acc, nil
 }

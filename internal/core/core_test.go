@@ -235,7 +235,7 @@ func TestObjectiveDecreases(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		state := newReweightState(emb, g.InDegrees(), g.OutDegrees(), opt)
+		state := newReweightState(emb, g.InDegrees(), g.OutDegrees(), opt, nil)
 		before := state.objective()
 		rng := rand.New(rand.NewSource(1))
 		for epoch := 0; epoch < opt.L2; epoch++ {
@@ -264,7 +264,7 @@ func TestFastCoeffsMatchNaive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	state := newReweightState(emb, g.InDegrees(), g.OutDegrees(), opt)
+	state := newReweightState(emb, g.InDegrees(), g.OutDegrees(), opt, nil)
 	// Randomize weights so the comparison is not at the special init point.
 	rng := rand.New(rand.NewSource(9))
 	for v := 0; v < g.N; v++ {

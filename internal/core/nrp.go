@@ -47,11 +47,13 @@ func nrpTracked(g *graph.Graph, opt Options, t *tracker) (*Embedding, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Lines 8–9: fold weights into the embeddings.
-	for v := 0; v < g.N; v++ {
-		emb.X.ScaleRow(v, fw[v])
-		emb.Y.ScaleRow(v, bw[v])
-	}
+	// Lines 8–9: fold weights into the embeddings (disjoint rows).
+	t.pool.For(g.N, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			emb.X.ScaleRow(v, fw[v])
+			emb.Y.ScaleRow(v, bw[v])
+		}
+	})
 	return emb, nil
 }
 
@@ -97,7 +99,7 @@ func learnWeights(emb *Embedding, din, dout []float64, opt Options, t *tracker) 
 		return nil, nil, fmt.Errorf("core: target lengths %d/%d for %d nodes", len(din), len(dout), emb.N())
 	}
 	stop := t.phaseTimer(&t.stats.Reweight)
-	state := newReweightState(emb, din, dout, opt)
+	state := newReweightState(emb, din, dout, opt, t.pool)
 	rng := rand.New(rand.NewSource(opt.Seed + 0x9e3779b9))
 	epochs := 0
 	for epoch := 0; epoch < opt.L2; epoch++ {

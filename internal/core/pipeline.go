@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"github.com/nrp-embed/nrp/internal/par"
 )
 
 // Phase identifies one stage of the embedding pipeline in progress events
@@ -46,6 +48,10 @@ type PhaseStat struct {
 	Duration time.Duration
 	// Steps is the number of units completed (iterations, epochs, …).
 	Steps int
+	// Parallel is the wall time the phase spent inside the parallel
+	// engine's kernels (sparse products, GEMM, orthonormalization,
+	// reductions) — the portion of Duration that scaled across threads.
+	Parallel time.Duration
 }
 
 // Stats describes where an embedding run spent its time and how the
@@ -74,6 +80,9 @@ type Stats struct {
 	// across both coordinate-descent passes; a decaying sequence indicates
 	// convergence.
 	ReweightResiduals []float64
+	// Threads is the worker count the run's parallel engine used
+	// (WithThreads, default GOMAXPROCS).
+	Threads int
 }
 
 // Render writes a human-readable per-phase breakdown, the CLI's
@@ -94,12 +103,16 @@ func (s *Stats) Render(w io.Writer) error {
 		if r.st.Duration == 0 && r.st.Steps == 0 {
 			continue
 		}
+		note := r.note
+		if r.st.Parallel > 0 {
+			note = fmt.Sprintf("par=%v %s", r.st.Parallel.Round(time.Millisecond), note)
+		}
 		if _, err := fmt.Fprintf(w, "%-10s %10v  steps=%-4d %s\n",
-			r.name, r.st.Duration.Round(time.Millisecond), r.st.Steps, r.note); err != nil {
+			r.name, r.st.Duration.Round(time.Millisecond), r.st.Steps, note); err != nil {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "%-10s %10v\n", "total", s.Total.Round(time.Millisecond))
+	_, err := fmt.Fprintf(w, "%-10s %10v  threads=%d\n", "total", s.Total.Round(time.Millisecond), s.Threads)
 	return err
 }
 
@@ -110,19 +123,43 @@ func residualNote(res []float64) string {
 	return fmt.Sprintf("residual %.3g → %.3g", res[0], res[len(res)-1])
 }
 
-// RunConfig carries the observability hooks of a pipeline run, separate
-// from the numerical Options.
+// RunConfig carries the execution knobs of a pipeline run, separate from
+// the numerical Options: observability hooks and the parallel engine's
+// thread budget.
 type RunConfig struct {
 	// Progress, when non-nil, receives an event per completed step.
 	Progress ProgressFunc
+	// Threads bounds the run's parallel engine (0 = GOMAXPROCS).
+	Threads int
 }
 
-// RunOption mutates a RunConfig; see WithProgress.
-type RunOption func(*RunConfig)
+// RunOption configures a pipeline run; see WithProgress and WithThreads.
+// It is an interface (rather than a bare func) so that public wrapper
+// packages can define options that double as configuration for other
+// subsystems — nrp.WithThreads, for instance, is accepted by both the
+// embedding pipeline and BuildIndex.
+type RunOption interface {
+	// ApplyRun folds the option into the run configuration.
+	ApplyRun(*RunConfig)
+}
+
+// RunOptionFunc adapts a plain function to the RunOption interface.
+type RunOptionFunc func(*RunConfig)
+
+// ApplyRun implements RunOption.
+func (f RunOptionFunc) ApplyRun(c *RunConfig) { f(c) }
 
 // WithProgress installs a progress callback on a pipeline run.
 func WithProgress(fn ProgressFunc) RunOption {
-	return func(c *RunConfig) { c.Progress = fn }
+	return RunOptionFunc(func(c *RunConfig) { c.Progress = fn })
+}
+
+// WithThreads bounds the number of worker threads the run's compute
+// kernels use (0 or negative = GOMAXPROCS). Embeddings computed with
+// different thread counts agree to floating-point reassociation error;
+// repeated runs with the same count and seed are bit-identical.
+func WithThreads(n int) RunOption {
+	return RunOptionFunc(func(c *RunConfig) { c.Threads = n })
 }
 
 // NewRunConfig folds options into a RunConfig.
@@ -130,26 +167,28 @@ func NewRunConfig(opts []RunOption) RunConfig {
 	var c RunConfig
 	for _, o := range opts {
 		if o != nil {
-			o(&c)
+			o.ApplyRun(&c)
 		}
 	}
 	return c
 }
 
-// tracker threads the context, progress sink and stats through the pipeline
-// internals.
+// tracker threads the context, progress sink, parallel engine and stats
+// through the pipeline internals.
 type tracker struct {
 	ctx   context.Context
 	cfg   RunConfig
 	stats *Stats
 	start time.Time
+	pool  *par.Pool
 }
 
 func newTracker(ctx context.Context, cfg RunConfig) *tracker {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &tracker{ctx: ctx, cfg: cfg, stats: &Stats{}, start: time.Now()}
+	pool := par.New(cfg.Threads)
+	return &tracker{ctx: ctx, cfg: cfg, stats: &Stats{Threads: pool.Workers()}, start: time.Now(), pool: pool}
 }
 
 // done stamps the total duration and returns the stats (also kept in t).
@@ -168,12 +207,14 @@ func (t *tracker) step(phase Phase, step, total int) {
 	}
 }
 
-// phaseTimer returns a stop function recording the wall time and step count
-// of a phase into the given PhaseStat.
+// phaseTimer returns a stop function recording the wall time, step count
+// and parallel-kernel time of a phase into the given PhaseStat.
 func (t *tracker) phaseTimer(st *PhaseStat) func(steps int) {
 	begin := time.Now()
+	parBase := t.pool.ParallelWall()
 	return func(steps int) {
 		st.Duration = time.Since(begin)
 		st.Steps = steps
+		st.Parallel = t.pool.ParallelWall() - parBase
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"github.com/nrp-embed/nrp/internal/matrix"
+	"github.com/nrp-embed/nrp/internal/par"
 )
 
 // reweightState carries everything the coordinate-descent weight updates
@@ -22,9 +23,10 @@ type reweightState struct {
 	perm    []int
 	kPrime  int
 	n       int
+	pool    *par.Pool // parallelizes the per-pass shared statistics
 }
 
-func newReweightState(emb *Embedding, din, dout []float64, opt Options) *reweightState {
+func newReweightState(emb *Embedding, din, dout []float64, opt Options, pool *par.Pool) *reweightState {
 	n := emb.N()
 	s := &reweightState{
 		x:       emb.X,
@@ -40,15 +42,65 @@ func newReweightState(emb *Embedding, din, dout []float64, opt Options) *reweigh
 		perm:    make([]int, n),
 		kPrime:  emb.Dim(),
 		n:       n,
+		pool:    pool,
 	}
 	// Algorithm 3 lines 3–4: →w_v = dout(v), ←w_v = 1.
-	for v := 0; v < n; v++ {
-		s.fw[v] = dout[v]
-		s.bw[v] = 1
-		s.xyDot[v] = matrix.Dot(emb.X.Row(v), emb.Y.Row(v))
-		s.perm[v] = v
-	}
+	pool.For(n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			s.fw[v] = dout[v]
+			s.bw[v] = 1
+			s.xyDot[v] = matrix.Dot(emb.X.Row(v), emb.Y.Row(v))
+			s.perm[v] = v
+		}
+	})
 	return s
+}
+
+// passStats holds one coordinate-descent pass's shared statistics
+// (Eq. 9, 10, 13 for the backward pass; Eq. 24–29 for the forward one).
+// gatherPassStats accumulates them over all nodes in parallel: each worker
+// fills a private packed accumulator over its node range and the partials
+// merge in fixed tree order, so a pass is deterministic for a fixed pool
+// size.
+type passStats struct {
+	xi, chi, rho1, rho2, phi []float64
+	lambdaM                  *matrix.Dense
+}
+
+// gatherPassStats runs body(node, acc) over all nodes, where acc is the
+// worker-private packed statistics view, and returns the merged result.
+// Layout: [ξ k][χ k][ρ₁ k][ρ₂ k][φ k][Λ k×k].
+func (s *reweightState) gatherPassStats(body func(node int, st *passStats)) *passStats {
+	k := s.kPrime
+	stride := 5*k + k*k
+	view := func(data []float64) *passStats {
+		return &passStats{
+			xi:      data[0*k : 1*k],
+			chi:     data[1*k : 2*k],
+			rho1:    data[2*k : 3*k],
+			rho2:    data[3*k : 4*k],
+			phi:     data[4*k : 5*k],
+			lambdaM: &matrix.Dense{Rows: k, Cols: k, Data: data[5*k:]},
+		}
+	}
+	nc := s.pool.Chunks(s.n)
+	if nc <= 1 {
+		st := view(make([]float64, stride))
+		for u := 0; u < s.n; u++ {
+			body(u, st)
+		}
+		return st
+	}
+	parts := make([][]float64, nc)
+	s.pool.For(s.n, func(w, lo, hi int) {
+		acc := make([]float64, stride)
+		st := view(acc)
+		for u := lo; u < hi; u++ {
+			body(u, st)
+		}
+		parts[w] = acc
+	})
+	return view(s.pool.TreeReduce(parts))
 }
 
 // updateBwdWeights is Algorithm 2: one pass of coordinate descent over all
@@ -59,28 +111,27 @@ func newReweightState(emb *Embedding, din, dout []float64, opt Options) *reweigh
 // reported in Stats.
 func (s *reweightState) updateBwdWeights(rng *rand.Rand) (moved float64) {
 	k := s.kPrime
-	// Line 1: shared statistics (Eq. 9, 10, 13).
-	xi := make([]float64, k)         // ξ  = Σ_u dout(u)·→w_u·X_u
-	chi := make([]float64, k)        // χ  = Σ_u →w_u·X_u
-	lambdaM := matrix.NewDense(k, k) // Λ = Σ_u →w_u²·X_uᵀX_u
-	rho1 := make([]float64, k)       // ρ₁ = Σ_v ←w_v·Y_v
-	rho2 := make([]float64, k)       // ρ₂ = Σ_v →w_v²·←w_v·(X_vY_vᵀ)·X_v
-	phi := make([]float64, k)        // φ[r] = Σ_u →w_u²·X_u[r]²
-	for u := 0; u < s.n; u++ {
+	// Line 1: shared statistics (Eq. 9, 10, 13), gathered in parallel:
+	//   ξ  = Σ_u dout(u)·→w_u·X_u        χ  = Σ_u →w_u·X_u
+	//   Λ  = Σ_u →w_u²·X_uᵀX_u           φ[r] = Σ_u →w_u²·X_u[r]²
+	//   ρ₁ = Σ_v ←w_v·Y_v                ρ₂ = Σ_v →w_v²·←w_v·(X_vY_vᵀ)·X_v
+	st := s.gatherPassStats(func(u int, st *passStats) {
 		xu := s.x.Row(u)
 		fwU := s.fw[u]
-		matrix.Axpy(s.dout[u]*fwU, xu, xi)
-		matrix.Axpy(fwU, xu, chi)
+		matrix.Axpy(s.dout[u]*fwU, xu, st.xi)
+		matrix.Axpy(fwU, xu, st.chi)
 		fw2 := fwU * fwU
 		for r := 0; r < k; r++ {
 			xr := xu[r]
-			phi[r] += fw2 * xr * xr
-			matrix.Axpy(fw2*xr, xu, lambdaM.Row(r))
+			st.phi[r] += fw2 * xr * xr
+			matrix.Axpy(fw2*xr, xu, st.lambdaM.Row(r))
 		}
 		yu := s.y.Row(u)
-		matrix.Axpy(s.bw[u], yu, rho1)
-		matrix.Axpy(fw2*s.bw[u]*s.xyDot[u], xu, rho2)
-	}
+		matrix.Axpy(s.bw[u], yu, st.rho1)
+		matrix.Axpy(fw2*s.bw[u]*s.xyDot[u], xu, st.rho2)
+	})
+	xi, chi, lambdaM := st.xi, st.chi, st.lambdaM
+	rho1, rho2, phi := st.rho1, st.rho2, st.phi
 
 	// Lines 4–9: visit each node in random order.
 	shuffle(s.perm, rng)
@@ -141,27 +192,27 @@ func (s *reweightState) updateBwdWeights(rng *rand.Rand) (moved float64) {
 // movement.
 func (s *reweightState) updateFwdWeights(rng *rand.Rand) (moved float64) {
 	k := s.kPrime
-	xi := make([]float64, k)         // ξ′  = Σ_v din(v)·←w_v·Y_v
-	chi := make([]float64, k)        // χ′  = Σ_v ←w_v·Y_v
-	lambdaM := matrix.NewDense(k, k) // Λ′ = Σ_v ←w_v²·Y_vᵀY_v
-	rho1 := make([]float64, k)       // ρ₁′ = Σ_u →w_u·X_u
-	rho2 := make([]float64, k)       // ρ₂′ = Σ_v →w_v·←w_v²·(X_vY_vᵀ)·Y_v
-	phi := make([]float64, k)        // φ′[r] = Σ_v ←w_v²·Y_v[r]²
-	for v := 0; v < s.n; v++ {
+	// Shared statistics (Eq. 24–29), gathered in parallel:
+	//   ξ′  = Σ_v din(v)·←w_v·Y_v        χ′  = Σ_v ←w_v·Y_v
+	//   Λ′  = Σ_v ←w_v²·Y_vᵀY_v          φ′[r] = Σ_v ←w_v²·Y_v[r]²
+	//   ρ₁′ = Σ_u →w_u·X_u               ρ₂′ = Σ_v →w_v·←w_v²·(X_vY_vᵀ)·Y_v
+	st := s.gatherPassStats(func(v int, st *passStats) {
 		yv := s.y.Row(v)
 		bwV := s.bw[v]
-		matrix.Axpy(s.din[v]*bwV, yv, xi)
-		matrix.Axpy(bwV, yv, chi)
+		matrix.Axpy(s.din[v]*bwV, yv, st.xi)
+		matrix.Axpy(bwV, yv, st.chi)
 		bw2 := bwV * bwV
 		for r := 0; r < k; r++ {
 			yr := yv[r]
-			phi[r] += bw2 * yr * yr
-			matrix.Axpy(bw2*yr, yv, lambdaM.Row(r))
+			st.phi[r] += bw2 * yr * yr
+			matrix.Axpy(bw2*yr, yv, st.lambdaM.Row(r))
 		}
 		xv := s.x.Row(v)
-		matrix.Axpy(s.fw[v], xv, rho1)
-		matrix.Axpy(s.fw[v]*bw2*s.xyDot[v], yv, rho2)
-	}
+		matrix.Axpy(s.fw[v], xv, st.rho1)
+		matrix.Axpy(s.fw[v]*bw2*s.xyDot[v], yv, st.rho2)
+	})
+	xi, chi, lambdaM := st.xi, st.chi, st.lambdaM
+	rho1, rho2, phi := st.rho1, st.rho2, st.phi
 
 	shuffle(s.perm, rng)
 	lamX := make([]float64, k)

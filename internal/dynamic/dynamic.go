@@ -29,14 +29,13 @@ package dynamic
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/nrp-embed/nrp/internal/core"
 	"github.com/nrp-embed/nrp/internal/graph"
 	"github.com/nrp-embed/nrp/internal/matrix"
+	"github.com/nrp-embed/nrp/internal/par"
 	"github.com/nrp-embed/nrp/internal/ppr"
 )
 
@@ -229,6 +228,11 @@ type Engine struct {
 	mu  sync.Mutex
 	opt core.Options
 	cfg Config
+	// threads is the WithThreads budget captured at New; pool is the
+	// shared parallel engine for incremental row patching, and every
+	// full refresh re-runs the pipeline with the same budget.
+	threads int
+	pool    *par.Pool
 
 	g      *graph.Graph
 	emb    *core.Embedding // current folded embedding; never mutated in place
@@ -255,9 +259,12 @@ func New(ctx context.Context, g *graph.Graph, opt core.Options, cfg Config, opts
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	threads := core.NewRunConfig(opts).Threads
 	e := &Engine{
 		opt:        opt,
 		cfg:        cfg,
+		threads:    threads,
+		pool:       par.New(threads),
 		g:          g,
 		touchedFwd: make(map[int32]struct{}),
 		touchedBwd: make(map[int32]struct{}),
@@ -454,6 +461,9 @@ func (e *Engine) fullRefresh(ctx context.Context, st *Stats, opts ...core.RunOpt
 	if warm && e.cfg.WarmKrylovIters > 0 {
 		opt.KrylovIters = e.cfg.WarmKrylovIters
 	}
+	// The engine's thread budget rides first so a caller's explicit
+	// WithThreads in opts still wins.
+	opts = append([]core.RunOption{core.WithThreads(e.threads)}, opts...)
 	base, v, _, err := core.ApproxPPRFactorsCtx(ctx, e.g, opt, e.prevV, opts...)
 	if err != nil {
 		return err
@@ -471,10 +481,12 @@ func (e *Engine) fullRefresh(ctx context.Context, st *Stats, opts ...core.RunOpt
 		}
 	}
 	folded := base.Clone()
-	for i := 0; i < n; i++ {
-		folded.X.ScaleRow(i, fw[i])
-		folded.Y.ScaleRow(i, bw[i])
-	}
+	e.pool.For(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			folded.X.ScaleRow(i, fw[i])
+			folded.Y.ScaleRow(i, bw[i])
+		}
+	})
 	e.emb = folded
 	e.fw, e.bw = fw, bw
 	e.prevV = v
@@ -505,11 +517,11 @@ func (e *Engine) resetPending() {
 // rows of the new embedding.
 func (e *Engine) incrementalRefresh(ctx context.Context, st *Stats) error {
 	old := e.emb
-	projY, err := newProjector(matrix.MulAtB(old.Y, old.Y))
+	projY, err := newProjector(matrix.GramPool(e.pool, old.Y))
 	if err != nil {
 		return fmt.Errorf("dynamic: backward Gram: %w", err)
 	}
-	projX, err := newProjector(matrix.MulAtB(old.X, old.X))
+	projX, err := newProjector(matrix.GramPool(e.pool, old.X))
 	if err != nil {
 		return fmt.Errorf("dynamic: forward Gram: %w", err)
 	}
@@ -546,8 +558,11 @@ func (e *Engine) incrementalRefresh(ctx context.Context, st *Stats) error {
 	return nil
 }
 
-// patchRows recomputes one side's touched rows into next, parallelized
-// across the nodes.
+// patchRows recomputes one side's touched rows into next, scheduled over
+// the engine's shared worker pool (dynamic chunks: push cost is degree-
+// skewed). Each worker keeps a private push workspace, reused across its
+// chunks; every patched row belongs to exactly one node, so the writes
+// are disjoint. The pool checks the context between chunk claims.
 func (e *Engine) patchRows(ctx context.Context, next *core.Embedding, nodes []int32, forward bool, projX, projY *projector) (pushMass, residMass float64, err error) {
 	if len(nodes) == 0 {
 		return 0, 0, nil
@@ -555,79 +570,73 @@ func (e *Engine) patchRows(ctx context.Context, next *core.Embedding, nodes []in
 	alpha, rmax := e.opt.Alpha, e.cfg.PushRmax
 	old := e.emb
 	kp := old.Dim()
-	workers := min(runtime.GOMAXPROCS(0), len(nodes))
+	type workerState struct {
+		ws         *ppr.Workspace
+		b, scratch []float64
+	}
 	var (
-		wg     sync.WaitGroup
-		cursor atomic.Int64
-		pms    = make([]float64, workers)
-		rms    = make([]float64, workers)
-		errs   = make([]error, workers)
+		states = make([]*workerState, e.pool.Workers())
+		pms    = make([]float64, e.pool.Workers())
+		rms    = make([]float64, e.pool.Workers())
 	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			ws := ppr.NewWorkspace(e.g.N)
-			b := make([]float64, kp)
-			scratch := make([]float64, kp)
-			for done := 0; ; done++ {
-				i := int(cursor.Add(1)) - 1
-				if i >= len(nodes) {
-					return
+	err = e.pool.ForChunked(ctx, len(nodes), 16, func(w, lo, hi int) error {
+		st := states[w]
+		if st == nil {
+			st = &workerState{
+				ws:      ppr.NewWorkspace(e.g.N),
+				b:       make([]float64, kp),
+				scratch: make([]float64, kp),
+			}
+			states[w] = st
+		}
+		for i := lo; i < hi; i++ {
+			u := nodes[i]
+			if forward {
+				// The forward threshold is degree-scaled (push while
+				// r > rmax·deg), so a source of degree ≥ 1/rmax would
+				// never push at all and its projected row would
+				// collapse to zero. Cap the threshold per source so
+				// the initial unit residual always pushes: one push
+				// costs O(deg) and yields the first-order row.
+				rmaxU := min(rmax, 1/(2*float64(max(e.g.OutDeg(int(u)), 1))))
+				rms[w] += st.ws.ForwardPush(e.g, int(u), alpha, rmaxU)
+			} else {
+				rms[w] += st.ws.BackwardPush(e.g, int(u), alpha, rmax)
+			}
+			b := st.b
+			for j := range b {
+				b[j] = 0
+			}
+			for _, v := range st.ws.Touched() {
+				// Residual-compensated estimate (see Workspace.R).
+				pv := st.ws.P(v) + alpha*st.ws.R(v)
+				if v == u {
+					pv -= alpha // Π′ starts at i=1: drop the 0-step term
 				}
-				if done%16 == 0 {
-					if err := ctx.Err(); err != nil {
-						errs[w] = err
-						return
-					}
+				if pv == 0 {
+					continue
 				}
-				u := nodes[i]
+				pms[w] += pv
 				if forward {
-					// The forward threshold is degree-scaled (push while
-					// r > rmax·deg), so a source of degree ≥ 1/rmax would
-					// never push at all and its projected row would
-					// collapse to zero. Cap the threshold per source so
-					// the initial unit residual always pushes: one push
-					// costs O(deg) and yields the first-order row.
-					rmaxU := min(rmax, 1/(2*float64(max(e.g.OutDeg(int(u)), 1))))
-					rms[w] += ws.ForwardPush(e.g, int(u), alpha, rmaxU)
+					matrix.Axpy(e.fw[u]*pv*e.bw[v], old.Y.Row(int(v)), b)
 				} else {
-					rms[w] += ws.BackwardPush(e.g, int(u), alpha, rmax)
-				}
-				for j := range b {
-					b[j] = 0
-				}
-				for _, v := range ws.Touched() {
-					// Residual-compensated estimate (see Workspace.R).
-					pv := ws.P(v) + alpha*ws.R(v)
-					if v == u {
-						pv -= alpha // Π′ starts at i=1: drop the 0-step term
-					}
-					if pv == 0 {
-						continue
-					}
-					pms[w] += pv
-					if forward {
-						matrix.Axpy(e.fw[u]*pv*e.bw[v], old.Y.Row(int(v)), b)
-					} else {
-						matrix.Axpy(e.fw[v]*pv*e.bw[u], old.X.Row(int(v)), b)
-					}
-				}
-				if forward {
-					projY.solveInto(b, scratch)
-					copy(next.X.Row(int(u)), b)
-				} else {
-					projX.solveInto(b, scratch)
-					copy(next.Y.Row(int(u)), b)
+					matrix.Axpy(e.fw[v]*pv*e.bw[u], old.X.Row(int(v)), b)
 				}
 			}
-		}(w)
-	}
-	wg.Wait()
-	for w := 0; w < workers; w++ {
-		if errs[w] != nil {
-			return 0, 0, errs[w]
+			if forward {
+				projY.solveInto(b, st.scratch)
+				copy(next.X.Row(int(u)), b)
+			} else {
+				projX.solveInto(b, st.scratch)
+				copy(next.Y.Row(int(u)), b)
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	for w := range pms {
 		pushMass += pms[w]
 		residMass += rms[w]
 	}

@@ -87,7 +87,7 @@ func runFig8(cfg Config) ([]*Table, error) {
 				opt.Dim = cfg.Dim
 				opt.Seed = cfg.Seed
 				sw.apply(&opt, v)
-				emb, _, err := core.NRPCtx(cfg.ctx(), split.Train, opt)
+				emb, _, err := core.NRPCtx(cfg.ctx(), split.Train, opt, singleCore)
 				if err != nil {
 					return nil, err
 				}
@@ -149,9 +149,10 @@ func runFig11(cfg Config) ([]*Table, error) {
 	return tables, nil
 }
 
+// timeNRP measures one single-core NRP build, the paper's Fig 11 protocol.
 func timeNRP(ctx context.Context, g *graph.Graph, opt core.Options) (float64, error) {
 	start := time.Now()
-	if _, _, err := core.NRPCtx(ctx, g, opt); err != nil {
+	if _, _, err := core.NRPCtx(ctx, g, opt, singleCore); err != nil {
 		return 0, err
 	}
 	return time.Since(start).Seconds(), nil

@@ -70,6 +70,13 @@ func nrpOptions(dim int, seed int64) core.Options {
 	return opt
 }
 
+// singleCore pins the harness's NRP-family runs to one worker thread.
+// The pipeline defaults to all cores, but the baselines here are serial
+// and the paper's evaluation protocol is single-core — TrainTimed's
+// cross-method wall-time comparisons (Fig 7, 10, 11 and the table time
+// columns) are only meaningful if NRP plays by the same rule.
+var singleCore = core.WithThreads(1)
+
 // Methods lists every implemented method in the order the paper's figures
 // use. The SGD sample budgets are the "quick" profile; cmd/nrpexp -full
 // raises them.
@@ -77,7 +84,7 @@ var Methods = []Method{
 	{
 		Name: "NRP", Protocol: ProtoDual,
 		Train: func(ctx context.Context, g *graph.Graph, dim int, seed int64) (*Model, error) {
-			emb, _, err := core.NRPCtx(ctx, g, nrpOptions(dim, seed))
+			emb, _, err := core.NRPCtx(ctx, g, nrpOptions(dim, seed), singleCore)
 			if err != nil {
 				return nil, err
 			}
@@ -87,7 +94,7 @@ var Methods = []Method{
 	{
 		Name: "ApproxPPR", Protocol: ProtoDual,
 		Train: func(ctx context.Context, g *graph.Graph, dim int, seed int64) (*Model, error) {
-			emb, _, err := core.ApproxPPRCtx(ctx, g, nrpOptions(dim, seed))
+			emb, _, err := core.ApproxPPRCtx(ctx, g, nrpOptions(dim, seed), singleCore)
 			if err != nil {
 				return nil, err
 			}

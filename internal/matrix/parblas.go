@@ -1,0 +1,271 @@
+package matrix
+
+// This file holds the cache-blocked, pool-parallel kernels of the dense
+// layer. Every function takes a *par.Pool (nil = serial) and follows the
+// engine's determinism contract:
+//
+//   - MulPool and MulABtPool partition output rows, so each element's
+//     accumulation order matches the serial kernel exactly — results are
+//     bit-identical to Mul/MulABt for every pool size.
+//   - MulAtBPool and GramPool accumulate per-worker partial products over
+//     row ranges and merge them in fixed tree order — bit-identical for a
+//     fixed pool size, ≈machine-epsilon reassociation across sizes.
+//   - OrthonormalizePool is a blocked classical Gram–Schmidt with full
+//     reorthogonalization (BCGS2) whose parallel building blocks write
+//     disjoint ranges in fixed loop order — bit-identical for every pool
+//     size (including nil), though not to the serial modified-Gram-Schmidt
+//     Orthonormalize, which orders its projections differently.
+
+import (
+	"math"
+
+	"github.com/nrp-embed/nrp/internal/par"
+)
+
+// mulKBlock is the k-panel height of the blocked GEMM inner loops: panels
+// of b this tall stay resident in L1/L2 while a chunk of output rows
+// streams over them. Blocking over k preserves each output element's
+// ascending-k accumulation order, so results match the unblocked kernel
+// bit for bit.
+const mulKBlock = 256
+
+// MulPool returns a·b, row-partitioned across the pool and cache-blocked
+// over the inner dimension. Bit-identical to Mul for every pool size.
+func MulPool(p *par.Pool, a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic("matrix: MulPool shape mismatch")
+	}
+	out := NewDense(a.Rows, b.Cols)
+	p.For(a.Rows, func(_, lo, hi int) {
+		for k0 := 0; k0 < a.Cols; k0 += mulKBlock {
+			k1 := k0 + mulKBlock
+			if k1 > a.Cols {
+				k1 = a.Cols
+			}
+			for i := lo; i < hi; i++ {
+				arow := a.Row(i)
+				orow := out.Row(i)
+				for k := k0; k < k1; k++ {
+					av := arow[k]
+					if av == 0 {
+						continue
+					}
+					brow := b.Row(k)
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MulABtPool returns a·bᵀ, row-partitioned across the pool. Each output
+// element is one serial dot product, so results are bit-identical to
+// MulABt for every pool size.
+func MulABtPool(p *par.Pool, a, b *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic("matrix: MulABtPool shape mismatch")
+	}
+	out := NewDense(a.Rows, b.Rows)
+	p.For(a.Rows, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				orow[j] = Dot(arow, b.Row(j))
+			}
+		}
+	})
+	return out
+}
+
+// MulAtBPool returns aᵀ·b. The accumulation runs over the shared row
+// dimension, so each worker reduces its row range into a private
+// a.Cols×b.Cols partial and the partials merge in fixed tree order:
+// bit-identical for a fixed pool size.
+func MulAtBPool(p *par.Pool, a, b *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic("matrix: MulAtBPool shape mismatch")
+	}
+	nc := p.Chunks(a.Rows)
+	if nc <= 1 {
+		return MulAtB(a, b)
+	}
+	parts := make([][]float64, nc)
+	p.For(a.Rows, func(w, lo, hi int) {
+		acc := make([]float64, a.Cols*b.Cols)
+		for r := lo; r < hi; r++ {
+			arow := a.Row(r)
+			brow := b.Row(r)
+			for i, av := range arow {
+				if av == 0 {
+					continue
+				}
+				orow := acc[i*b.Cols : (i+1)*b.Cols]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+		parts[w] = acc
+	})
+	return &Dense{Rows: a.Cols, Cols: b.Cols, Data: p.TreeReduce(parts)}
+}
+
+// GramPool returns aᵀ·a, exploiting symmetry: each worker accumulates
+// only the upper triangle of its row-range partial (half the flops of
+// MulAtBPool), the partials merge in fixed tree order, and the result is
+// mirrored. Bit-identical for a fixed pool size.
+func GramPool(p *par.Pool, a *Dense) *Dense {
+	k := a.Cols
+	if a.Rows == 0 {
+		return NewDense(k, k)
+	}
+	nc := p.Chunks(a.Rows)
+	parts := make([][]float64, nc)
+	p.For(a.Rows, func(w, lo, hi int) {
+		acc := make([]float64, k*k)
+		for r := lo; r < hi; r++ {
+			arow := a.Row(r)
+			for i, av := range arow {
+				if av == 0 {
+					continue
+				}
+				orow := acc[i*k : (i+1)*k]
+				for j := i; j < k; j++ {
+					orow[j] += av * arow[j]
+				}
+			}
+		}
+		parts[w] = acc
+	})
+	out := &Dense{Rows: k, Cols: k, Data: p.TreeReduce(parts)}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			out.Data[j*k+i] = out.Data[i*k+j]
+		}
+	}
+	return out
+}
+
+// orthBlock is the column-block width of OrthonormalizePool. Within a
+// block, columns are orthonormalized serially (O(n·nb²) per block); the
+// dominant inter-block projections are the parallel kernels.
+const orthBlock = 32
+
+// OrthonormalizePool returns a matrix whose columns form an orthonormal
+// basis of the column space of a — the pool-parallel counterpart of
+// Orthonormalize, computed by blocked classical Gram–Schmidt with full
+// reorthogonalization (BCGS2): each 32-column block is projected against
+// the basis built so far (twice, via parallel panel products), then
+// orthonormalized internally by serial MGS2. Numerically dependent
+// columns are dropped with Orthonormalize's tolerance. The parallel
+// building blocks write disjoint ranges in fixed loop order, so the
+// result is bit-identical for every pool size, including nil.
+func OrthonormalizePool(p *par.Pool, a *Dense) *Dense {
+	n, c := a.Rows, a.Cols
+	if c == 0 || n == 0 {
+		return NewDense(n, 0)
+	}
+	// qt holds the basis column-major: row q of qt is basis vector q.
+	qt := NewDense(c, n)
+	built := 0
+
+	bcols := make([][]float64, 0, orthBlock)
+	for c0 := 0; c0 < c; c0 += orthBlock {
+		c1 := c0 + orthBlock
+		if c1 > c {
+			c1 = c
+		}
+		nb := c1 - c0
+		// Gather the block column-major (parallel over rows).
+		bcols = bcols[:0]
+		for j := 0; j < nb; j++ {
+			bcols = append(bcols, make([]float64, n))
+		}
+		p.For(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				arow := a.Row(i)
+				for j := 0; j < nb; j++ {
+					bcols[j][i] = arow[c0+j]
+				}
+			}
+		})
+		orig := make([]float64, nb)
+		for j := 0; j < nb; j++ {
+			orig[j] = Norm2(bcols[j])
+		}
+
+		// Project the block against the basis built so far, twice
+		// (classical Gram–Schmidt with reorthogonalization).
+		for pass := 0; pass < 2 && built > 0; pass++ {
+			// S[q][j] = <basis q, block column j>: disjoint S rows, each a
+			// serial dot — order independent of the partition.
+			s := NewDense(built, nb)
+			p.For(built, func(_, qlo, qhi int) {
+				for q := qlo; q < qhi; q++ {
+					qrow := qt.Row(q)
+					srow := s.Row(q)
+					for j := 0; j < nb; j++ {
+						srow[j] = Dot(qrow, bcols[j])
+					}
+				}
+			})
+			// block -= basisᵀ·S: parallel over element ranges, basis
+			// vectors applied in fixed ascending order.
+			p.For(n, func(_, lo, hi int) {
+				for q := 0; q < built; q++ {
+					qseg := qt.Row(q)[lo:hi]
+					srow := s.Row(q)
+					for j := 0; j < nb; j++ {
+						sv := srow[j]
+						if sv == 0 {
+							continue
+						}
+						bseg := bcols[j][lo:hi]
+						for i, qv := range qseg {
+							bseg[i] -= sv * qv
+						}
+					}
+				}
+			})
+		}
+
+		// Orthonormalize within the block: serial MGS with a second pass,
+		// appending surviving columns to the basis.
+		blockStart := built
+		for j := 0; j < nb; j++ {
+			col := bcols[j]
+			for pass := 0; pass < 2; pass++ {
+				for q := blockStart; q < built; q++ {
+					proj := Dot(qt.Row(q), col)
+					Axpy(-proj, qt.Row(q), col)
+				}
+			}
+			nrm := Norm2(col)
+			if nrm <= orthTol || nrm <= orthTol*math.Max(1, orig[j]) {
+				continue // dependent column
+			}
+			inv := 1 / nrm
+			dst := qt.Row(built)
+			for i, v := range col {
+				dst[i] = v * inv
+			}
+			built++
+		}
+	}
+
+	// Transpose the basis back to column layout (parallel over rows).
+	out := NewDense(n, built)
+	p.For(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Row(i)
+			for q := 0; q < built; q++ {
+				orow[q] = qt.Data[q*n+i]
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,147 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/nrp-embed/nrp/internal/par"
+)
+
+func bitIdentical(t *testing.T, name string, got, want *Dense) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i, v := range want.Data {
+		if got.Data[i] != v {
+			t.Fatalf("%s: element %d = %v, want %v (must be bit-identical)", name, i, got.Data[i], v)
+		}
+	}
+}
+
+// TestMulPoolBitIdentical checks the blocked parallel GEMM matches the
+// serial kernel exactly for every pool size (k-ascending accumulation
+// order is preserved by the blocking).
+func TestMulPoolBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := GaussianDense(70, 513, rng) // inner dim spans two k-blocks
+	b := GaussianDense(513, 29, rng)
+	want := Mul(a, b)
+	for _, workers := range []int{0, 1, 3, 8} {
+		var pool *par.Pool
+		if workers > 0 {
+			pool = par.New(workers)
+		}
+		bitIdentical(t, "MulPool", MulPool(pool, a, b), want)
+	}
+}
+
+// TestMulABtPoolBitIdentical checks the row-partitioned A·Bᵀ matches the
+// serial kernel exactly.
+func TestMulABtPoolBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := GaussianDense(57, 33, rng)
+	b := GaussianDense(41, 33, rng)
+	want := MulABt(a, b)
+	for _, workers := range []int{1, 4, 9} {
+		bitIdentical(t, "MulABtPool", MulABtPool(par.New(workers), a, b), want)
+	}
+}
+
+// TestMulAtBPoolMatchesSerial checks the partial-merged Aᵀ·B agrees with
+// the serial kernel to reassociation tolerance and repeats bit-identically
+// at a fixed pool size.
+func TestMulAtBPoolMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := GaussianDense(301, 23, rng)
+	b := GaussianDense(301, 17, rng)
+	want := MulAtB(a, b)
+	for _, workers := range []int{1, 2, 5} {
+		pool := par.New(workers)
+		got := MulAtBPool(pool, a, b)
+		if d := got.MaxAbsDiff(want); d > 1e-12 {
+			t.Fatalf("workers=%d: max abs diff %g", workers, d)
+		}
+		bitIdentical(t, "MulAtBPool repeat", MulAtBPool(pool, a, b), got)
+	}
+}
+
+// TestGramPoolSymmetricAndCorrect checks GramPool against MulAtB(a, a)
+// and that the result is exactly symmetric.
+func TestGramPoolSymmetricAndCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := GaussianDense(211, 19, rng)
+	want := MulAtB(a, a)
+	for _, workers := range []int{1, 3, 6} {
+		g := GramPool(par.New(workers), a)
+		if d := g.MaxAbsDiff(want); d > 1e-12 {
+			t.Fatalf("workers=%d: max abs diff %g", workers, d)
+		}
+		for i := 0; i < g.Rows; i++ {
+			for j := 0; j < g.Cols; j++ {
+				if g.At(i, j) != g.At(j, i) {
+					t.Fatalf("workers=%d: asymmetric at (%d,%d)", workers, i, j)
+				}
+			}
+		}
+	}
+	empty := GramPool(par.New(2), NewDense(0, 5))
+	if empty.Rows != 5 || empty.Cols != 5 {
+		t.Fatalf("empty Gram shape %dx%d", empty.Rows, empty.Cols)
+	}
+}
+
+// TestOrthonormalizePoolProperties checks the blocked BCGS2 produces an
+// orthonormal basis spanning the input columns, is invariant to pool
+// size bit for bit, and drops dependent columns.
+func TestOrthonormalizePoolProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := GaussianDense(157, 45, rng) // spans two column blocks
+	ref := OrthonormalizePool(nil, a)
+	if ref.Cols != 45 {
+		t.Fatalf("full-rank input kept %d of 45 columns", ref.Cols)
+	}
+	// Orthonormality.
+	g := MulAtB(ref, ref)
+	for i := 0; i < g.Rows; i++ {
+		for j := 0; j < g.Cols; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(g.At(i, j)-want) > 1e-10 {
+				t.Fatalf("QᵀQ[%d,%d] = %v", i, j, g.At(i, j))
+			}
+		}
+	}
+	// Span: every input column reconstructs from the basis.
+	proj := Mul(ref, MulAtB(ref, a)) // Q·QᵀA
+	if d := proj.MaxAbsDiff(a); d > 1e-9 {
+		t.Fatalf("span not preserved: residual %g", d)
+	}
+	// Pool-size invariance, bit for bit.
+	for _, workers := range []int{1, 2, 7} {
+		bitIdentical(t, "OrthonormalizePool", OrthonormalizePool(par.New(workers), a), ref)
+	}
+}
+
+// TestOrthonormalizePoolDropsDependent feeds duplicated and zero columns.
+func TestOrthonormalizePoolDropsDependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	base := GaussianDense(50, 3, rng)
+	a := NewDense(50, 7)
+	for i := 0; i < 50; i++ {
+		row := a.Row(i)
+		brow := base.Row(i)
+		row[0], row[1], row[2] = brow[0], brow[1], brow[2]
+		row[3] = brow[0]                     // duplicate
+		row[4] = 2*brow[1] - 0.5*brow[2]     // combination
+		row[5] = 0                           // zero column
+		row[6] = brow[0] + brow[1] + brow[2] // combination
+	}
+	q := OrthonormalizePool(par.New(3), a)
+	if q.Cols != 3 {
+		t.Fatalf("kept %d columns of rank-3 input, want 3", q.Cols)
+	}
+}

@@ -1,0 +1,253 @@
+// Package par is the shared parallel execution engine of the NRP compute
+// layers: a context-aware bounded worker pool with deterministic range
+// partitioning and fixed-order tree reductions.
+//
+// Every compute kernel in internal/sparse, internal/matrix, internal/svd,
+// internal/core and internal/dynamic parallelizes through a Pool instead of
+// hand-rolled goroutine fan-outs, so thread budgets, cancellation and
+// per-phase thread accounting behave uniformly across the pipeline.
+//
+// Determinism contract: For and ForWeighted split their iteration space
+// into contiguous chunks whose boundaries depend only on the problem size
+// and the pool's worker count — never on scheduling. Kernels that combine
+// per-chunk partial results do so with TreeReduce (a fixed pairwise
+// reduction order), so repeated runs with the same pool size are
+// bit-identical, and runs with different pool sizes differ only by
+// floating-point reassociation (≈ machine epsilon per reduction level).
+package par
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool executes range-partitioned work on a bounded number of concurrent
+// workers. A nil *Pool is valid and runs everything serially, so kernels
+// can take a pool unconditionally. Pools are stateless between calls
+// (goroutines are spawned per parallel region, capped at Workers()-1 plus
+// the calling goroutine) and safe for concurrent use.
+type Pool struct {
+	workers int
+	// busyNanos accumulates wall time spent inside parallel regions, the
+	// "per-phase parallel wall time" surfaced in pipeline Stats.
+	busyNanos atomic.Int64
+}
+
+// New returns a pool of n workers; n <= 0 selects GOMAXPROCS.
+func New(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: n}
+}
+
+// Workers reports the pool's worker bound; a nil pool has one worker.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// ParallelWall reports the cumulative wall time spent inside this pool's
+// parallel regions (For, ForWeighted, ForChunked, TreeReduce). Callers
+// snapshot it before and after a pipeline phase to attribute kernel time
+// per phase.
+func (p *Pool) ParallelWall() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return time.Duration(p.busyNanos.Load())
+}
+
+func (p *Pool) track(start time.Time) {
+	if p != nil {
+		p.busyNanos.Add(int64(time.Since(start)))
+	}
+}
+
+// Chunks reports how many chunks For and ForWeighted split an n-sized
+// range into — min(Workers, n), at least 1. Kernels allocating per-chunk
+// accumulators size them with this.
+func (p *Pool) Chunks(n int) int {
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runChunks invokes body(w, bounds[w], bounds[w+1]) for each chunk w,
+// concurrently when more than one chunk exists. The calling goroutine
+// runs chunk 0, so a single-chunk call has zero scheduling overhead.
+func (p *Pool) runChunks(bounds []int, body func(w, lo, hi int)) {
+	nc := len(bounds) - 1
+	if nc <= 0 {
+		return
+	}
+	if nc == 1 {
+		body(0, bounds[0], bounds[1])
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < nc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			body(w, bounds[w], bounds[w+1])
+		}(w)
+	}
+	body(0, bounds[0], bounds[1])
+	wg.Wait()
+}
+
+// For splits [0, n) into Workers() near-equal contiguous chunks and runs
+// body once per chunk, concurrently. Chunk boundaries depend only on n
+// and the pool size. body receives its chunk index w (dense in
+// [0, chunks)) for indexing per-worker accumulators.
+func (p *Pool) For(n int, body func(w, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	defer p.track(time.Now())
+	nc := p.Chunks(n)
+	bounds := make([]int, nc+1)
+	for w := 0; w <= nc; w++ {
+		bounds[w] = w * n / nc
+	}
+	p.runChunks(bounds, body)
+}
+
+// ForWeighted splits [0, n) into Workers() contiguous chunks of
+// near-equal total weight and runs body once per non-empty chunk,
+// concurrently. prefix must be a monotone prefix-weight array of length
+// n+1 with prefix[i] = total weight of [0, i) — a CSR RowPtr is exactly
+// this shape, making ForWeighted the natural scheduler for skewed
+// sparse-row work. Boundaries depend only on prefix and the pool size.
+func (p *Pool) ForWeighted(n int, prefix []int, body func(w, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	total := prefix[n] - prefix[0]
+	if total <= 0 {
+		// Degenerate weights: fall back to equal-count chunks.
+		p.For(n, body)
+		return
+	}
+	defer p.track(time.Now())
+	nc := p.Chunks(n)
+	bounds := make([]int, nc+1)
+	bounds[nc] = n
+	for w := 1; w < nc; w++ {
+		target := prefix[0] + w*total/nc
+		// First i with prefix[i] >= target; clamp to keep chunks monotone.
+		i := sort.SearchInts(prefix, target)
+		if i > n {
+			i = n
+		}
+		if i < bounds[w-1] {
+			i = bounds[w-1]
+		}
+		bounds[w] = i
+	}
+	p.runChunks(bounds, body)
+}
+
+// ForChunked schedules fixed-size chunks of [0, n) dynamically: workers
+// claim the next chunk from an atomic cursor, so skewed per-item cost
+// load-balances. body receives a stable worker index w in [0, Workers())
+// for per-worker scratch state and may be called many times per worker.
+// The context is checked before each chunk claim; the first error (by
+// worker index) is returned after all workers stop. Chunk boundaries are
+// deterministic; their assignment to workers is not — use For or
+// ForWeighted when per-worker partials feed a reduction.
+func (p *Pool) ForChunked(ctx context.Context, n, chunk int, body func(w, lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	defer p.track(time.Now())
+	workers := p.Workers()
+	if nc := (n + chunk - 1) / chunk; workers > nc {
+		workers = nc
+	}
+	var (
+		cursor atomic.Int64
+		errs   = make([]error, workers)
+		wg     sync.WaitGroup
+	)
+	run := func(w int) {
+		for {
+			if err := ctx.Err(); err != nil {
+				errs[w] = err
+				return
+			}
+			lo := int(cursor.Add(int64(chunk))) - chunk
+			if lo >= n {
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if err := body(w, lo, hi); err != nil {
+				errs[w] = err
+				return
+			}
+		}
+	}
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			run(w)
+		}(w)
+	}
+	run(0)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TreeReduce folds equal-length partial slices into parts[0] with a fixed
+// pairwise tree order (parts[i] += parts[i+span], span doubling), the
+// deterministic reduction every per-worker accumulator in the engine is
+// merged with. The element loop parallelizes across the pool; the
+// reduction order per element is independent of the partition, so the
+// result depends only on len(parts) — not on scheduling or pool size.
+// Returns parts[0] (nil if parts is empty). The other slices are
+// clobbered.
+func (p *Pool) TreeReduce(parts [][]float64) []float64 {
+	if len(parts) == 0 {
+		return nil
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	// No track here: the For below accounts the region once.
+	out := parts[0]
+	p.For(len(out), func(_, lo, hi int) {
+		for span := 1; span < len(parts); span *= 2 {
+			for i := 0; i+span < len(parts); i += 2 * span {
+				a, b := parts[i][lo:hi], parts[i+span][lo:hi]
+				for j, v := range b {
+					a[j] += v
+				}
+			}
+		}
+	})
+	return out
+}

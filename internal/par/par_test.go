@@ -1,0 +1,234 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversRange checks that every index is visited exactly once and
+// chunk indexes are dense, for a spread of sizes and worker counts.
+func TestForCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 17} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			p := New(workers)
+			visited := make([]int32, n)
+			var chunks atomic.Int32
+			p.For(n, func(w, lo, hi int) {
+				if lo > hi || lo < 0 || hi > n {
+					t.Errorf("workers=%d n=%d: bad chunk [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visited[i], 1)
+				}
+				chunks.Add(1)
+			})
+			if n > 0 && int(chunks.Load()) > workers {
+				t.Fatalf("workers=%d n=%d: %d chunks, want <= workers", workers, n, chunks.Load())
+			}
+			for i, c := range visited {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestForNilPool checks the nil pool runs serially over the whole range.
+func TestForNilPool(t *testing.T) {
+	var p *Pool
+	if got := p.Workers(); got != 1 {
+		t.Fatalf("nil pool workers = %d, want 1", got)
+	}
+	calls := 0
+	p.For(10, func(w, lo, hi int) {
+		calls++
+		if w != 0 || lo != 0 || hi != 10 {
+			t.Fatalf("nil pool chunk (%d,%d,%d), want (0,0,10)", w, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("nil pool made %d chunk calls, want 1", calls)
+	}
+	if p.ParallelWall() != 0 {
+		t.Fatalf("nil pool reports nonzero parallel wall")
+	}
+}
+
+// TestForWeightedBalance checks weighted chunking covers the range once
+// and roughly balances total weight across chunks.
+func TestForWeightedBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 500
+	weights := make([]int, n)
+	prefix := make([]int, n+1)
+	for i := range weights {
+		// Heavy-tailed weights: most rows tiny, a few huge.
+		w := 1
+		if rng.Intn(20) == 0 {
+			w = 200 + rng.Intn(500)
+		}
+		weights[i] = w
+		prefix[i+1] = prefix[i] + w
+	}
+	p := New(4)
+	visited := make([]int32, n)
+	var chunkWeights [4]int64
+	p.ForWeighted(n, prefix, func(w, lo, hi int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&visited[i], 1)
+			s += int64(weights[i])
+		}
+		atomic.AddInt64(&chunkWeights[w], s)
+	})
+	for i, c := range visited {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+	total := int64(prefix[n])
+	for w, s := range chunkWeights {
+		if s > total {
+			t.Fatalf("chunk %d weight %d exceeds total %d", w, s, total)
+		}
+	}
+	// The largest chunk should hold well under the whole weight: each
+	// boundary targets total/4, so no chunk exceeds total/4 plus one
+	// maximal row.
+	maxRow := int64(0)
+	for _, w := range weights {
+		if int64(w) > maxRow {
+			maxRow = int64(w)
+		}
+	}
+	for w, s := range chunkWeights {
+		if s > total/4+maxRow {
+			t.Fatalf("chunk %d weight %d, want <= %d", w, s, total/4+maxRow)
+		}
+	}
+}
+
+// TestForWeightedZeroTotal exercises the equal-count fallback.
+func TestForWeightedZeroTotal(t *testing.T) {
+	p := New(3)
+	prefix := make([]int, 10)
+	visited := make([]int32, 9)
+	p.ForWeighted(9, prefix, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&visited[i], 1)
+		}
+	})
+	for i, c := range visited {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+// TestForChunkedCancellation checks a cancelled context stops scheduling
+// and surfaces ctx.Err().
+func TestForChunkedCancellation(t *testing.T) {
+	p := New(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int64
+	err := p.ForChunked(ctx, 1_000_000, 8, func(w, lo, hi int) error {
+		if done.Add(int64(hi-lo)) > 256 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if done.Load() >= 1_000_000 {
+		t.Fatalf("cancellation did not stop the schedule")
+	}
+}
+
+// TestForChunkedError propagates a body error and stops the worker that
+// hit it.
+func TestForChunkedError(t *testing.T) {
+	p := New(2)
+	boom := errors.New("boom")
+	err := p.ForChunked(context.Background(), 100, 10, func(w, lo, hi int) error {
+		if lo >= 50 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// TestForChunkedCovers checks full coverage with worker indexes in range.
+func TestForChunkedCovers(t *testing.T) {
+	p := New(3)
+	n := 1000
+	visited := make([]int32, n)
+	err := p.ForChunked(context.Background(), n, 7, func(w, lo, hi int) error {
+		if w < 0 || w >= 3 {
+			return fmt.Errorf("worker index %d out of range", w)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&visited[i], 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range visited {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+// TestTreeReduceDeterministic checks the reduction is exact on integers,
+// independent of pool size, and bit-identical across repeats.
+func TestTreeReduceDeterministic(t *testing.T) {
+	const parts, width = 13, 257
+	mk := func() [][]float64 {
+		rng := rand.New(rand.NewSource(11))
+		ps := make([][]float64, parts)
+		for w := range ps {
+			ps[w] = make([]float64, width)
+			for j := range ps[w] {
+				ps[w][j] = rng.NormFloat64()
+			}
+		}
+		return ps
+	}
+	ref := New(1).TreeReduce(mk())
+	for _, workers := range []int{2, 5, 8} {
+		got := New(workers).TreeReduce(mk())
+		for j := range ref {
+			if got[j] != ref[j] {
+				t.Fatalf("workers=%d: element %d = %v, want %v (tree order must not depend on pool size)",
+					workers, j, got[j], ref[j])
+			}
+		}
+	}
+}
+
+// TestParallelWallAccumulates checks the busy-time accounting moves.
+func TestParallelWallAccumulates(t *testing.T) {
+	p := New(2)
+	sinks := make([]float64, p.Workers())
+	p.For(1_000_00, func(w, lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += float64(i) * 1e-9
+		}
+		sinks[w] = s
+	})
+	if p.ParallelWall() <= 0 {
+		t.Fatalf("ParallelWall = %v, want > 0", p.ParallelWall())
+	}
+}

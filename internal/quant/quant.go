@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"github.com/nrp-embed/nrp/internal/matrix"
+	"github.com/nrp-embed/nrp/internal/par"
 )
 
 // Matrix is a row-major int8 quantization of an n×dim float matrix with
@@ -38,14 +39,36 @@ type Matrix struct {
 const qmax = 127
 
 // QuantizeRows quantizes every row of m with per-dimension symmetric
-// scales chosen from the column-wise absolute maxima.
+// scales chosen from the column-wise absolute maxima. Single-threaded;
+// see QuantizeRowsPool.
 func QuantizeRows(m *matrix.Dense) *Matrix {
+	return QuantizeRowsPool(nil, m)
+}
+
+// QuantizeRowsPool is QuantizeRows parallelized over a par.Pool (nil =
+// serial): the column-maxima pass reduces per-worker maxima (max is
+// order-independent) and the encode pass writes disjoint row ranges, so
+// the result is bit-identical for every pool size.
+func QuantizeRowsPool(p *par.Pool, m *matrix.Dense) *Matrix {
 	n, dim := m.Rows, m.Cols
 	q := &Matrix{N: n, Dim: dim, Scales: make([]float64, dim), Codes: make([]int8, n*dim)}
-	for v := 0; v < n; v++ {
-		row := m.Row(v)
-		for j, x := range row {
-			if a := math.Abs(x); a > q.Scales[j] {
+	nc := p.Chunks(n)
+	maxParts := make([][]float64, nc)
+	p.For(n, func(w, lo, hi int) {
+		mx := make([]float64, dim)
+		for v := lo; v < hi; v++ {
+			row := m.Row(v)
+			for j, x := range row {
+				if a := math.Abs(x); a > mx[j] {
+					mx[j] = a
+				}
+			}
+		}
+		maxParts[w] = mx
+	})
+	for _, mx := range maxParts {
+		for j, a := range mx {
+			if a > q.Scales[j] {
 				q.Scales[j] = a
 			}
 		}
@@ -57,13 +80,15 @@ func QuantizeRows(m *matrix.Dense) *Matrix {
 			inv[j] = 1 / q.Scales[j]
 		}
 	}
-	for v := 0; v < n; v++ {
-		row := m.Row(v)
-		codes := q.Codes[v*dim : (v+1)*dim]
-		for j, x := range row {
-			codes[j] = clampInt8(math.Round(x * inv[j]))
+	p.For(n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			row := m.Row(v)
+			codes := q.Codes[v*dim : (v+1)*dim]
+			for j, x := range row {
+				codes[j] = clampInt8(math.Round(x * inv[j]))
+			}
 		}
-	}
+	})
 	return q
 }
 

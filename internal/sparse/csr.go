@@ -3,8 +3,13 @@
 // sparse×vector and sparse×dense products, transposes and row scalings.
 //
 // Column indices are stored as int32 (graphs up to 2^31-1 nodes), values as
-// float64. All products are single-threaded, matching the paper's
-// single-core evaluation protocol.
+// float64. The dense products come in two forms: the plain methods
+// (MulDense, MulDenseT) are single-threaded, and the Pool-taking variants
+// (MulDensePool, MulDenseTPool) partition work across a par.Pool — the
+// forward product by nnz-balanced row ranges writing disjoint output rows
+// (bit-identical to serial for any pool size), the transpose product via
+// per-worker accumulator matrices merged in fixed tree order (conflict-free
+// columns, deterministic for a fixed pool size).
 package sparse
 
 import (
@@ -12,6 +17,7 @@ import (
 	"sort"
 
 	"github.com/nrp-embed/nrp/internal/matrix"
+	"github.com/nrp-embed/nrp/internal/par"
 )
 
 // CSR is a sparse matrix in compressed-sparse-row form.
@@ -58,36 +64,65 @@ type Triple struct {
 // FromTriples builds a CSR matrix from an unordered list of entries.
 // Duplicate (row, col) entries are summed. Triples outside the matrix
 // bounds yield an error.
+//
+// The build is two stable counting sorts — first by column, then by row —
+// so the entries land in (row, col) order in O(nnz + rows + cols) time
+// with no comparison sort, followed by a single duplicate-merging sweep.
 func FromTriples(rows, cols int, entries []Triple) (*CSR, error) {
 	for _, e := range entries {
 		if int(e.Row) < 0 || int(e.Row) >= rows || int(e.Col) < 0 || int(e.Col) >= cols {
 			return nil, fmt.Errorf("sparse: triple (%d,%d) outside %dx%d", e.Row, e.Col, rows, cols)
 		}
 	}
-	// Counting sort by row, then sort each row by column and merge duplicates.
-	counts := make([]int, rows+1)
+	nnz := len(entries)
+
+	// Pass 1: stable counting sort by column into scratch arrays.
+	colStart := make([]int, cols+1)
 	for _, e := range entries {
-		counts[e.Row+1]++
+		colStart[e.Col+1]++
+	}
+	for j := 0; j < cols; j++ {
+		colStart[j+1] += colStart[j]
+	}
+	rowTmp := make([]int32, nnz)
+	colTmp := make([]int32, nnz)
+	valTmp := make([]float64, nnz)
+	for _, e := range entries {
+		p := colStart[e.Col]
+		colStart[e.Col]++
+		rowTmp[p] = e.Row
+		colTmp[p] = e.Col
+		valTmp[p] = e.Val
+	}
+
+	// Pass 2: stable counting sort by row. Stability preserves the column
+	// order established by pass 1, so each row segment comes out sorted by
+	// column with duplicates adjacent.
+	rowStart := make([]int, rows+1)
+	for _, r := range rowTmp {
+		rowStart[r+1]++
 	}
 	for i := 0; i < rows; i++ {
-		counts[i+1] += counts[i]
+		rowStart[i+1] += rowStart[i]
 	}
-	colIdx := make([]int32, len(entries))
-	val := make([]float64, len(entries))
+	colIdx := make([]int32, nnz)
+	val := make([]float64, nnz)
 	next := make([]int, rows)
-	copy(next, counts[:rows])
-	for _, e := range entries {
-		p := next[e.Row]
-		colIdx[p] = e.Col
-		val[p] = e.Val
-		next[e.Row]++
+	copy(next, rowStart[:rows])
+	for p := 0; p < nnz; p++ {
+		r := rowTmp[p]
+		q := next[r]
+		next[r]++
+		colIdx[q] = colTmp[p]
+		val[q] = valTmp[p]
 	}
+
+	// Merge duplicates in place: entries are sorted by (row, col), so
+	// duplicates are adjacent within each row segment.
 	rowPtr := make([]int, rows+1)
 	out := 0
 	for i := 0; i < rows; i++ {
-		lo, hi := counts[i], counts[i+1]
-		seg := rowSeg{colIdx[lo:hi], val[lo:hi]}
-		sort.Sort(seg)
+		lo, hi := rowStart[i], rowStart[i+1]
 		rowPtr[i] = out
 		for p := lo; p < hi; p++ {
 			if out > rowPtr[i] && colIdx[out-1] == colIdx[p] {
@@ -101,18 +136,6 @@ func FromTriples(rows, cols int, entries []Triple) (*CSR, error) {
 	}
 	rowPtr[rows] = out
 	return &CSR{Rows: rows, Cols: cols, RowPtr: rowPtr, ColIdx: colIdx[:out], Val: val[:out]}, nil
-}
-
-type rowSeg struct {
-	idx []int32
-	val []float64
-}
-
-func (s rowSeg) Len() int           { return len(s.idx) }
-func (s rowSeg) Less(i, j int) bool { return s.idx[i] < s.idx[j] }
-func (s rowSeg) Swap(i, j int) {
-	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
-	s.val[i], s.val[j] = s.val[j], s.val[i]
 }
 
 // NNZ reports the number of stored entries.
@@ -237,34 +260,75 @@ func (a *CSR) MulVecT(x, y []float64) {
 // MulDense computes a·x for a dense x (a.Cols rows), returning a new
 // a.Rows-by-x.Cols dense matrix. This is the workhorse of the block Krylov
 // iteration: the inner loop streams rows of x, which are contiguous.
+// Single-threaded; see MulDensePool.
 func (a *CSR) MulDense(x *matrix.Dense) *matrix.Dense {
+	return a.MulDensePool(nil, x)
+}
+
+// MulDensePool is MulDense parallelized over a par.Pool: the output rows
+// are partitioned into nnz-balanced contiguous ranges (one per worker),
+// each written by exactly one worker with the same inner loop as the
+// serial product — so the result is bit-identical to MulDense for every
+// pool size. A nil pool runs serially.
+func (a *CSR) MulDensePool(p *par.Pool, x *matrix.Dense) *matrix.Dense {
 	if x.Rows != a.Cols {
 		panic(fmt.Sprintf("sparse: MulDense shape %dx%d * %dx%d", a.Rows, a.Cols, x.Rows, x.Cols))
 	}
 	out := matrix.NewDense(a.Rows, x.Cols)
-	for i := 0; i < a.Rows; i++ {
-		orow := out.Row(i)
-		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
-			matrix.Axpy(a.Val[p], x.Row(int(a.ColIdx[p])), orow)
+	p.ForWeighted(a.Rows, a.RowPtr, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Row(i)
+			for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+				matrix.Axpy(a.Val[q], x.Row(int(a.ColIdx[q])), orow)
+			}
 		}
-	}
+	})
 	return out
 }
 
 // MulDenseT computes aᵀ·x for a dense x (a.Rows rows), returning a new
-// a.Cols-by-x.Cols dense matrix.
+// a.Cols-by-x.Cols dense matrix. Single-threaded; see MulDenseTPool.
 func (a *CSR) MulDenseT(x *matrix.Dense) *matrix.Dense {
+	return a.MulDenseTPool(nil, x)
+}
+
+// MulDenseTPool is MulDenseT parallelized over a par.Pool. The transpose
+// product scatters into output rows indexed by column, so a row partition
+// of the input would conflict; instead each worker accumulates its
+// nnz-balanced input range into a private a.Cols×x.Cols accumulator and
+// the partials are merged in fixed tree order — conflict-free and
+// deterministic for a fixed pool size (different pool sizes differ only
+// by floating-point reassociation). Memory cost is one accumulator per
+// worker; a nil pool runs serially with no extra allocation.
+func (a *CSR) MulDenseTPool(p *par.Pool, x *matrix.Dense) *matrix.Dense {
 	if x.Rows != a.Rows {
 		panic(fmt.Sprintf("sparse: MulDenseT shape %dx%d^T * %dx%d", a.Rows, a.Cols, x.Rows, x.Cols))
 	}
-	out := matrix.NewDense(a.Cols, x.Cols)
-	for i := 0; i < a.Rows; i++ {
-		xrow := x.Row(i)
-		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
-			matrix.Axpy(a.Val[p], xrow, out.Row(int(a.ColIdx[p])))
+	k := x.Cols
+	nc := p.Chunks(a.Rows)
+	if nc <= 1 {
+		out := matrix.NewDense(a.Cols, k)
+		for i := 0; i < a.Rows; i++ {
+			xrow := x.Row(i)
+			for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+				matrix.Axpy(a.Val[q], xrow, out.Row(int(a.ColIdx[q])))
+			}
 		}
+		return out
 	}
-	return out
+	parts := make([][]float64, nc)
+	p.ForWeighted(a.Rows, a.RowPtr, func(w, lo, hi int) {
+		acc := make([]float64, a.Cols*k)
+		for i := lo; i < hi; i++ {
+			xrow := x.Row(i)
+			for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+				j := int(a.ColIdx[q]) * k
+				matrix.Axpy(a.Val[q], xrow, acc[j:j+k])
+			}
+		}
+		parts[w] = acc
+	})
+	return &matrix.Dense{Rows: a.Cols, Cols: k, Data: p.TreeReduce(parts)}
 }
 
 // ToDense materializes a as a dense matrix (for tests and tiny graphs).

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"github.com/nrp-embed/nrp/internal/matrix"
+	"github.com/nrp-embed/nrp/internal/par"
 	"github.com/nrp-embed/nrp/internal/sparse"
 )
 
@@ -51,6 +52,11 @@ type Options struct {
 	// Ctx, when non-nil, is checked between block iterations so a caller
 	// can abort a long factorization; the solver returns Ctx.Err().
 	Ctx context.Context
+	// Pool, when non-nil, parallelizes the sparse products, Gram matrix
+	// and orthonormalizations across its workers (nil = serial). Results
+	// are deterministic for a fixed pool size; different sizes differ only
+	// by floating-point reassociation in the reduction steps.
+	Pool *par.Pool
 	// Progress, when non-nil, is invoked after each block iteration with
 	// the number of iterations completed and the total planned.
 	Progress func(iter, total int)
@@ -125,19 +131,20 @@ func BKSVD(a *sparse.CSR, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	pool := opt.Pool
 	blocks := make([]*matrix.Dense, 0, q+1)
-	cur := a.MulDense(pi) // n×k
+	cur := a.MulDensePool(pool, pi) // n×k
 	// Orthonormalize each block before powering to tame the geometric
 	// growth of the leading direction (standard practice; preserves span).
-	cur = matrix.Orthonormalize(cur)
+	cur = matrix.OrthonormalizePool(pool, cur)
 	blocks = append(blocks, cur)
 	itersRun := 0
 	for i := 0; i < q; i++ {
 		if err := opt.checkCtx(); err != nil {
 			return nil, err
 		}
-		next := a.MulDense(a.MulDenseT(cur)) // (A Aᵀ) cur
-		next = matrix.Orthonormalize(next)
+		next := a.MulDensePool(pool, a.MulDenseTPool(pool, cur)) // (A Aᵀ) cur
+		next = matrix.OrthonormalizePool(pool, next)
 		blocks = append(blocks, next)
 		cur = next
 		itersRun++
@@ -149,9 +156,9 @@ func BKSVD(a *sparse.CSR, opt Options) (*Result, error) {
 	kry := hcat(n, blocks)
 
 	// Q = orth(K); M = Qᵀ A Aᵀ Q = WᵀW with W = AᵀQ.
-	qMat := matrix.Orthonormalize(kry)
-	w := a.MulDenseT(qMat) // m × B
-	mSmall := matrix.MulAtB(w, w)
+	qMat := matrix.OrthonormalizePool(pool, kry)
+	w := a.MulDenseTPool(pool, qMat) // m × B
+	mSmall := matrix.GramPool(pool, w)
 
 	vals, vecs := matrix.TopKEigen(mSmall, k)
 	s := make([]float64, len(vals))
@@ -161,19 +168,33 @@ func BKSVD(a *sparse.CSR, opt Options) (*Result, error) {
 		}
 		s[i] = math.Sqrt(lambda)
 	}
-	u := matrix.Mul(qMat, vecs) // n × k
+	u := matrix.MulPool(pool, qMat, vecs) // n × k
 	// V = AᵀUΣ⁻¹ = W · vecs · Σ⁻¹.
-	v := matrix.Mul(w, vecs)
-	for j := range s {
-		if s[j] <= 1e-12 {
-			continue
-		}
-		inv := 1 / s[j]
-		for i := 0; i < v.Rows; i++ {
-			v.Set(i, j, v.At(i, j)*inv)
+	v := scaledV(pool, w, vecs, s)
+	return &Result{U: u, S: s, V: v, ItersRun: itersRun}, nil
+}
+
+// scaledV computes V = W·vecs·Σ⁻¹, zeroing the inverse for numerically
+// vanishing singular values; the row loop parallelizes over the pool.
+func scaledV(pool *par.Pool, w, vecs *matrix.Dense, s []float64) *matrix.Dense {
+	v := matrix.MulPool(pool, w, vecs)
+	inv := make([]float64, len(s))
+	for j, sv := range s {
+		if sv > 1e-12 {
+			inv[j] = 1 / sv
+		} else {
+			inv[j] = 1 // leave the (zero) column untouched
 		}
 	}
-	return &Result{U: u, S: s, V: v, ItersRun: itersRun}, nil
+	pool.For(v.Rows, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := v.Row(i)
+			for j := range row {
+				row[j] *= inv[j]
+			}
+		}
+	})
+	return v
 }
 
 // SubspaceIteration computes an approximate rank-k SVD by randomized
@@ -198,21 +219,22 @@ func SubspaceIteration(a *sparse.CSR, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cur := matrix.Orthonormalize(a.MulDense(pi))
+	pool := opt.Pool
+	cur := matrix.OrthonormalizePool(pool, a.MulDensePool(pool, pi))
 	itersRun := 0
 	for i := 0; i < q; i++ {
 		if err := opt.checkCtx(); err != nil {
 			return nil, err
 		}
-		cur = matrix.Orthonormalize(a.MulDense(a.MulDenseT(cur)))
+		cur = matrix.OrthonormalizePool(pool, a.MulDensePool(pool, a.MulDenseTPool(pool, cur)))
 		itersRun++
 		opt.step(itersRun, q)
 	}
 	if err := opt.checkCtx(); err != nil {
 		return nil, err
 	}
-	w := a.MulDenseT(cur)
-	mSmall := matrix.MulAtB(w, w)
+	w := a.MulDenseTPool(pool, cur)
+	mSmall := matrix.GramPool(pool, w)
 	vals, vecs := matrix.TopKEigen(mSmall, k)
 	s := make([]float64, len(vals))
 	for i, lambda := range vals {
@@ -221,17 +243,8 @@ func SubspaceIteration(a *sparse.CSR, opt Options) (*Result, error) {
 		}
 		s[i] = math.Sqrt(lambda)
 	}
-	u := matrix.Mul(cur, vecs)
-	v := matrix.Mul(w, vecs)
-	for j := range s {
-		if s[j] <= 1e-12 {
-			continue
-		}
-		inv := 1 / s[j]
-		for i := 0; i < v.Rows; i++ {
-			v.Set(i, j, v.At(i, j)*inv)
-		}
-	}
+	u := matrix.MulPool(pool, cur, vecs)
+	v := scaledV(pool, w, vecs, s)
 	return &Result{U: u, S: s, V: v, ItersRun: itersRun}, nil
 }
 

@@ -17,11 +17,14 @@
 //
 // Long-running entry points take a context.Context and stop promptly with
 // ctx.Err() when it is cancelled, and accept run options such as
-// WithProgress for live phase/step reporting:
+// WithProgress for live phase/step reporting and WithThreads to bound the
+// parallel compute engine (default: all cores — the build phases scale
+// near-linearly with the core count):
 //
-//	emb, stats, err := nrp.EmbedCtx(ctx, g, opt, nrp.WithProgress(func(ev nrp.ProgressEvent) {
-//		log.Printf("%s %d/%d", ev.Phase, ev.Step, ev.Total)
-//	}))
+//	emb, stats, err := nrp.EmbedCtx(ctx, g, opt, nrp.WithThreads(8),
+//		nrp.WithProgress(func(ev nrp.ProgressEvent) {
+//			log.Printf("%s %d/%d", ev.Phase, ev.Step, ev.Total)
+//		}))
 //
 // For serving top-k proximity queries, build a query index over the
 // embedding. BuildIndex selects among pluggable Searcher backends — the
@@ -108,12 +111,38 @@ type PhaseStat = core.PhaseStat
 // reweighting residuals. Returned by the ctx-taking entry points.
 type Stats = core.Stats
 
-// RunOption configures a pipeline run; see WithProgress.
+// RunOption configures a pipeline run; see WithProgress and WithThreads.
 type RunOption = core.RunOption
 
 // WithProgress installs a progress callback on a pipeline run. The callback
 // runs synchronously on the computing goroutine and should return quickly.
 func WithProgress(fn ProgressFunc) RunOption { return core.WithProgress(fn) }
+
+// ThreadsOption bounds the worker threads of a parallel computation. It
+// satisfies both RunOption (EmbedCtx, EmbedPPRCtx, LearnWeightsCtx,
+// EmbedAttributedCtx, NewDynamicEmbedding) and IndexOption (BuildIndex),
+// so one WithThreads value configures the whole stack.
+type ThreadsOption int
+
+// ApplyRun implements RunOption: the pipeline's compute kernels (BKSVD,
+// PPR folding, reweighting sweeps) run on this many workers.
+func (t ThreadsOption) ApplyRun(c *core.RunConfig) { c.Threads = int(t) }
+
+// applyIndex implements IndexOption: build-time preprocessing
+// (quantization, norm computation) runs on this many workers. The query-
+// time fan-out is still governed by WithShards.
+func (t ThreadsOption) applyIndex(c *indexConfig) { c.buildThreads = int(t) }
+
+// WithThreads bounds the number of worker threads used by the embedding
+// pipeline's compute kernels and by index-build preprocessing (0 or
+// negative = GOMAXPROCS, the default). Embeddings computed with different
+// thread counts agree to floating-point reassociation error (≈1e-12
+// relative); repeated runs with the same thread count and seed are
+// bit-identical.
+//
+//	emb, stats, err := nrp.EmbedCtx(ctx, g, opt, nrp.WithThreads(8))
+//	s, err := nrp.BuildIndex(emb, nrp.WithThreads(8))
+func WithThreads(n int) ThreadsOption { return ThreadsOption(n) }
 
 // DefaultOptions returns the paper's parameter settings: k=128, α=0.15,
 // ℓ₁=20, ℓ₂=10, ε=0.2, λ=10.
