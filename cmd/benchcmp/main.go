@@ -1,0 +1,127 @@
+// Command benchcmp is the CI benchmark-regression gate: it compares
+// fresh BENCH_*.json records (written by `go test -bench`, see
+// bench_test.go) against committed baselines and fails when a gated
+// metric regresses beyond the tolerance.
+//
+// Usage:
+//
+//	benchcmp -baseline bench/baseline [-current .] [-tolerance 0.25]
+//	         [-relative-only] [-files BENCH_topk.json,BENCH_ingest.json]
+//
+// Every *.json record in the baseline directory with a known schema is
+// compared by default. Metrics are either relative (speedups, AUC —
+// machine-independent, safe to gate against a baseline recorded on
+// different hardware) or absolute (QPS, wall milliseconds — only
+// comparable on similar hosts). CI passes -relative-only; when
+// refreshing baselines on your own machine, run without it for full
+// coverage. Exit status: 0 clean, 1 regression detected, 2 usage or I/O
+// error.
+//
+// To update the baselines after an intentional performance change:
+//
+//	GOMAXPROCS=4 go test -run '^$' -bench 'TopK|DynamicRefresh|EmbedBuild|Ingest' -benchtime 1x -timeout 40m .
+//	cp BENCH_*.json bench/baseline/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/nrp-embed/nrp/internal/benchgate"
+)
+
+func main() {
+	regressed, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	if regressed {
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) (regressed bool, err error) {
+	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
+	var (
+		baselineDir  = fs.String("baseline", "bench/baseline", "directory of committed baseline records")
+		currentDir   = fs.String("current", ".", "directory holding freshly produced records")
+		tolerance    = fs.Float64("tolerance", 0.25, "allowed fractional regression per metric")
+		relativeOnly = fs.Bool("relative-only", false, "gate machine-independent metrics only (for CI against foreign baselines)")
+		files        = fs.String("files", "", "comma-separated record names to compare (default: every known record in -baseline)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+
+	var names []string
+	if *files != "" {
+		names = strings.Split(*files, ",")
+	} else {
+		entries, err := os.ReadDir(*baselineDir)
+		if err != nil {
+			return false, fmt.Errorf("reading baseline directory: %w", err)
+		}
+		for _, e := range entries {
+			if !e.IsDir() && benchgate.Known(e.Name()) {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+	}
+	if len(names) == 0 {
+		return false, fmt.Errorf("no known baseline records in %s", *baselineDir)
+	}
+
+	var all []benchgate.Delta
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		base, err := extractFile(filepath.Join(*baselineDir, name), name)
+		if err != nil {
+			return false, err
+		}
+		cur, err := extractFile(filepath.Join(*currentDir, name), name)
+		if err != nil {
+			return false, fmt.Errorf("%w (did the benchmark that writes %s run?)", err, name)
+		}
+		deltas, err := benchgate.Compare(base, cur, *tolerance, *relativeOnly)
+		if err != nil {
+			return false, err
+		}
+		all = append(all, deltas...)
+	}
+
+	fmt.Fprintf(out, "%-18s %-28s %12s %12s %8s  %s\n",
+		"record", "metric", "baseline", "current", "change", "status")
+	for _, d := range all {
+		status := "ok"
+		switch {
+		case d.Regressed:
+			status = fmt.Sprintf("REGRESSED (tolerance %.0f%%)", 100*d.Tolerance)
+		case d.Skipped:
+			status = "skipped (absolute metric)"
+		case d.Change > d.Tolerance:
+			status = "improved"
+		}
+		fmt.Fprintf(out, "%-18s %-28s %12.4g %12.4g %+7.1f%%  %s\n",
+			d.Metric.File, d.Metric.Name, d.Baseline, d.Metric.Value, 100*d.Change, status)
+	}
+	if n := benchgate.Regressions(all); n > 0 {
+		fmt.Fprintf(out, "\n%d metric(s) regressed beyond tolerance\n", n)
+		return true, nil
+	}
+	fmt.Fprintf(out, "\nall gated metrics within tolerance\n")
+	return false, nil
+}
+
+func extractFile(path, name string) ([]benchgate.Metric, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return benchgate.Extract(name, data)
+}

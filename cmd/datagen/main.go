@@ -1,12 +1,19 @@
 // Command datagen generates the synthetic datasets used by the experiment
-// harness (or custom graphs) as edge-list and label files.
+// harness (or custom graphs) as edge-list/label files or NRPG binary
+// snapshots.
 //
 // Usage:
 //
 //	datagen -preset wiki-sim -out wiki            # wiki.edges + wiki.labels
 //	datagen -type er -n 100000 -m 1000000 -out er # custom Erdős–Rényi
 //	datagen -type sbm -n 10000 -m 200000 -labels 20 -directed -out sbm
+//	datagen -type sbm -n 1000000 -m 10000000 -format nrpg -out big  # big.nrpg
 //	datagen -list                                 # preset names
+//
+// -format selects the output: "edges" (default) writes <out>.edges plus
+// <out>.labels when the generator labels nodes; "nrpg" writes a single
+// <out>.nrpg binary snapshot (labels bundled inside) that nrp and
+// nrpserve memory-map at boot; "both" writes all of them.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"syscall"
 
 	"github.com/nrp-embed/nrp/internal/experiments"
+	"github.com/nrp-embed/nrp/internal/gio"
 	"github.com/nrp-embed/nrp/internal/graph"
 )
 
@@ -42,6 +50,7 @@ func run(ctx context.Context, args []string) error {
 		directed = fs.Bool("directed", false, "generate a directed graph")
 		scale    = fs.Float64("scale", 1, "preset size multiplier")
 		seed     = fs.Int64("seed", 1, "random seed")
+		format   = fs.String("format", "edges", "output format: edges, nrpg or both")
 		out      = fs.String("out", "", "output path prefix (required)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -57,6 +66,13 @@ func run(ctx context.Context, args []string) error {
 	if *out == "" {
 		fs.Usage()
 		return fmt.Errorf("-out is required")
+	}
+	// Validate -format before generating: a typo must not cost a
+	// minutes-long million-edge generation.
+	writeEdges := *format == "edges" || *format == "both"
+	writeNRPG := *format == "nrpg" || *format == "both"
+	if !writeEdges && !writeNRPG {
+		return fmt.Errorf("unknown -format %q (want edges, nrpg or both)", *format)
 	}
 
 	// Generation is monolithic; honor a pre-generation interrupt and skip
@@ -89,34 +105,52 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 
-	edgePath := *out + ".edges"
-	f, err := os.Create(edgePath)
-	if err != nil {
-		return err
-	}
-	if err := graph.WriteEdgeList(f, g); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%d nodes, %d edges)\n", edgePath, g.N, g.NumEdges)
-
-	if g.Labels != nil {
-		labelPath := *out + ".labels"
-		lf, err := os.Create(labelPath)
+	if writeEdges {
+		edgePath := *out + ".edges"
+		f, err := os.Create(edgePath)
 		if err != nil {
 			return err
 		}
-		if err := graph.WriteLabels(lf, g.Labels); err != nil {
-			lf.Close()
+		if err := graph.WriteEdgeList(f, g); err != nil {
+			f.Close()
 			return err
 		}
-		if err := lf.Close(); err != nil {
+		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s (%d classes)\n", labelPath, g.NumLabels)
+		fmt.Fprintf(os.Stderr, "wrote %s (%d nodes, %d edges)\n", edgePath, g.N, g.NumEdges)
+
+		if g.Labels != nil {
+			labelPath := *out + ".labels"
+			lf, err := os.Create(labelPath)
+			if err != nil {
+				return err
+			}
+			if err := graph.WriteLabels(lf, g.Labels); err != nil {
+				lf.Close()
+				return err
+			}
+			if err := lf.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d classes)\n", labelPath, g.NumLabels)
+		}
+	}
+	if writeNRPG {
+		snapPath := *out + ".nrpg"
+		sf, err := os.Create(snapPath)
+		if err != nil {
+			return err
+		}
+		if err := gio.Save(sf, g, nil); err != nil {
+			sf.Close()
+			return err
+		}
+		if err := sf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d nodes, %d edges, %d label classes)\n",
+			snapPath, g.N, g.NumEdges, g.NumLabels)
 	}
 	return nil
 }

@@ -52,3 +52,51 @@ func TestDatagenValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDatagenNRPGFormat(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "snap")
+	if err := run(context.Background(), []string{
+		"-type", "sbm", "-n", "70", "-m", "250", "-labels", "3",
+		"-format", "nrpg", "-out", out, "-seed", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out + ".edges"); err == nil {
+		t.Fatal("-format nrpg also wrote an edge list")
+	}
+	g, err := nrp.LoadGraph(out+".nrpg", false) // sniffed as a snapshot
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 70 || g.NumEdges != 250 || g.NumLabels != 3 {
+		t.Fatalf("reloaded n=%d m=%d labels=%d", g.N, g.NumEdges, g.NumLabels)
+	}
+
+	both := filepath.Join(dir, "both")
+	if err := run(context.Background(), []string{
+		"-type", "sbm", "-n", "70", "-m", "250", "-format", "both", "-out", both}); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".edges", ".labels", ".nrpg"} {
+		if _, err := os.Stat(both + suffix); err != nil {
+			t.Fatalf("-format both missing %s: %v", suffix, err)
+		}
+	}
+	ge, err := nrp.LoadGraph(both+".edges", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := nrp.LoadGraph(both+".nrpg", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge.N != gb.N || ge.NumEdges != gb.NumEdges {
+		t.Fatalf("edge list (n=%d m=%d) and snapshot (n=%d m=%d) disagree",
+			ge.N, ge.NumEdges, gb.N, gb.NumEdges)
+	}
+
+	if err := run(context.Background(), []string{
+		"-type", "sbm", "-n", "10", "-m", "20", "-format", "bogus", "-out", out}); err == nil {
+		t.Fatal("bogus -format accepted")
+	}
+}

@@ -13,14 +13,24 @@
 //	nrp topk -index index.bin -source 42 [-k 10]
 //	nrp update -server http://localhost:8080 [-insert new.txt] [-remove gone.txt]
 //	    [-refresh] [-batch 1024]
+//	nrp convert -input graph.txt -output graph.nrpg [-directed] [-labels graph.labels]
+//	nrp convert -input graph.nrpg -output graph.txt
 //
 // `nrp index` persists the built index (including the backend's
 // build-time preprocessing) for cmd/nrpserve to boot from. `nrp update`
 // streams edge insertions/removals (edge-list files, "u v" per line) to a
 // live nrpserve instance started with -graph, then optionally triggers a
-// refresh so the serving index absorbs them. Embedding runs print
-// per-phase stats on completion and cancel gracefully on SIGINT/SIGTERM,
-// exiting without writing a partial output file.
+// refresh so the serving index absorbs them. `nrp convert` translates
+// between text edge lists and NRPG binary snapshots (format auto-detected
+// from the input's magic bytes, overridable with -to); a binary → binary
+// conversion re-verifies the checksum and rewrites the snapshot.
+//
+// Graph-reading flags (-input here, -graph on nrpserve) accept either
+// format, sniffed by magic bytes. NRPG snapshots are memory-mapped, so an
+// embed run on a multi-gigabyte graph starts in milliseconds instead of
+// re-parsing text. Embedding runs print per-phase stats on completion and
+// cancel gracefully on SIGINT/SIGTERM, exiting without writing a partial
+// output file.
 package main
 
 import (
@@ -40,6 +50,8 @@ import (
 	"time"
 
 	"github.com/nrp-embed/nrp"
+	"github.com/nrp-embed/nrp/internal/gio"
+	"github.com/nrp-embed/nrp/internal/graph"
 )
 
 func main() {
@@ -60,9 +72,142 @@ func run(ctx context.Context, args []string) error {
 			return runIndexBuild(ctx, args[1:])
 		case "update":
 			return runUpdate(ctx, args[1:])
+		case "convert":
+			return runConvert(ctx, args[1:])
 		}
 	}
 	return runEmbed(ctx, args)
+}
+
+// runConvert translates between the text edge-list format and NRPG
+// binary snapshots. Snapshot input is fully verified (checksum and CSR
+// structure) and its attributes section, which the text format cannot
+// represent, is carried through to snapshot output.
+func runConvert(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("nrp convert", flag.ContinueOnError)
+	var (
+		input      = fs.String("input", "", "input graph: edge list or NRPG snapshot (required)")
+		output     = fs.String("output", "", "output path (required)")
+		to         = fs.String("to", "auto", "output format: nrpg, edges, or auto (the opposite of the input)")
+		directed   = fs.Bool("directed", false, "treat text edge-list input as directed (snapshots store their own)")
+		labelsPath = fs.String("labels", "", "label file to bundle into the snapshot (text input only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *input == "" || *output == "" {
+		fs.Usage()
+		return fmt.Errorf("-input and -output are required")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	bin, err := gio.SniffFile(*input)
+	if err != nil {
+		return err
+	}
+	if bin && *labelsPath != "" {
+		return fmt.Errorf("-labels applies to text input; snapshots carry their labels inline")
+	}
+
+	start := time.Now()
+	var g *nrp.Graph
+	var attrs [][]float64
+	if bin {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		g, attrs, err = gio.Load(f) // full verification, attributes kept
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if g, err = nrp.LoadGraph(*input, *directed); err != nil {
+			return err
+		}
+	}
+	if *labelsPath != "" {
+		lf, err := os.Open(*labelsPath)
+		if err != nil {
+			return err
+		}
+		labels, numLabels, err := graph.ReadLabels(lf, g.N)
+		lf.Close()
+		if err != nil {
+			return err
+		}
+		if g, err = g.WithLabels(labels, numLabels); err != nil {
+			return err
+		}
+	}
+	loadElapsed := time.Since(start)
+
+	format := *to
+	if format == "auto" {
+		if bin {
+			format = "edges"
+		} else {
+			format = "nrpg"
+		}
+	}
+	start = time.Now()
+	switch format {
+	case "nrpg":
+		f, err := os.Create(*output)
+		if err != nil {
+			return err
+		}
+		if err := gio.Save(f, g, attrs); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	case "edges":
+		f, err := os.Create(*output)
+		if err != nil {
+			return err
+		}
+		if err := nrp.WriteGraph(f, g); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if g.Labels != nil {
+			lf, err := os.Create(*output + ".labels")
+			if err != nil {
+				return err
+			}
+			if err := graph.WriteLabels(lf, g.Labels); err != nil {
+				lf.Close()
+				return err
+			}
+			if err := lf.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s.labels (%d classes)\n", *output, g.NumLabels)
+		}
+		if attrs != nil {
+			fmt.Fprintf(os.Stderr, "warning: the text format cannot carry the snapshot's %d-dimensional attributes section; dropped\n", len(attrs[0]))
+		}
+	default:
+		return fmt.Errorf("unknown -to format %q (want nrpg, edges or auto)", format)
+	}
+	st, err := os.Stat(*output)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "converted %d nodes, %d edges (directed=%v, labels=%d): read %v, wrote %s (%.1f MB) in %v\n",
+		g.N, g.NumEdges, g.Directed, g.NumLabels,
+		loadElapsed.Round(time.Millisecond), *output,
+		float64(st.Size())/(1<<20), time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 func runEmbed(ctx context.Context, args []string) error {
@@ -104,10 +249,11 @@ func runEmbed(ctx context.Context, args []string) error {
 	}
 
 	loadStart := time.Now()
-	g, err := nrp.LoadGraph(*input, *directed)
+	g, graphCloser, err := nrp.OpenGraph(*input, *directed)
 	if err != nil {
 		return err
 	}
+	defer graphCloser.Close()
 	fmt.Fprintf(os.Stderr, "loaded %d nodes, %d edges in %v\n", g.N, g.NumEdges, time.Since(loadStart).Round(time.Millisecond))
 
 	runOpts := []nrp.RunOption{nrp.WithThreads(*threads)}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -11,6 +12,8 @@ import (
 	"testing"
 
 	"github.com/nrp-embed/nrp"
+	"github.com/nrp-embed/nrp/internal/gio"
+	"github.com/nrp-embed/nrp/internal/graph"
 	"github.com/nrp-embed/nrp/internal/serve"
 )
 
@@ -293,6 +296,185 @@ func TestRunUpdateValidation(t *testing.T) {
 	} {
 		if err := run(context.Background(), args); err == nil {
 			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRunConvertRoundTrip drives text → NRPG → text through the convert
+// subcommand and checks the graph (labels included) survives unchanged.
+func TestRunConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g, err := nrp.GenSBM(nrp.SBMConfig{N: 90, M: 400, Communities: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgePath := filepath.Join(dir, "g.edges")
+	f, err := os.Create(edgePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nrp.WriteGraph(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	lf, err := os.Create(filepath.Join(dir, "g.labels"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteLabels(lf, g.Labels); err != nil {
+		t.Fatal(err)
+	}
+	lf.Close()
+
+	snapPath := filepath.Join(dir, "g.nrpg")
+	if err := run(context.Background(), []string{"convert",
+		"-input", edgePath, "-output", snapPath, "-labels", filepath.Join(dir, "g.labels")}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := nrp.LoadGraph(snapPath, false) // sniffed as NRPG
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N != g.N || loaded.NumEdges != g.NumEdges || loaded.NumLabels != g.NumLabels {
+		t.Fatalf("snapshot graph n=%d m=%d labels=%d, want n=%d m=%d labels=%d",
+			loaded.N, loaded.NumEdges, loaded.NumLabels, g.N, g.NumEdges, g.NumLabels)
+	}
+
+	backPath := filepath.Join(dir, "back.edges")
+	if err := run(context.Background(), []string{"convert", "-input", snapPath, "-output", backPath}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := nrp.LoadGraph(backPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != g.N || back.NumEdges != g.NumEdges {
+		t.Fatalf("round-tripped graph n=%d m=%d, want n=%d m=%d", back.N, back.NumEdges, g.N, g.NumEdges)
+	}
+	if _, err := os.Stat(backPath + ".labels"); err != nil {
+		t.Fatalf("labels file not emitted on snapshot → edges conversion: %v", err)
+	}
+
+	// A second text → NRPG conversion of the round-tripped pair must be
+	// byte-identical to the first snapshot: the pipeline is deterministic.
+	snap2 := filepath.Join(dir, "g2.nrpg")
+	if err := run(context.Background(), []string{"convert",
+		"-input", backPath, "-output", snap2, "-labels", backPath + ".labels"}); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(snap2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("text → NRPG conversion is not deterministic across a round trip")
+	}
+}
+
+// TestRunEmbedFromSnapshot embeds straight from a memory-mapped NRPG
+// snapshot (the -input sniffing path).
+func TestRunEmbedFromSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	g, err := nrp.GenSBM(nrp.SBMConfig{N: 100, M: 500, Communities: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "g.nrpg")
+	if err := nrp.SaveGraph(snapPath, g); err != nil {
+		t.Fatal(err)
+	}
+	embPath := filepath.Join(dir, "emb.bin")
+	if err := run(context.Background(), []string{"-input", snapPath, "-output", embPath, "-k", "16"}); err != nil {
+		t.Fatal(err)
+	}
+	ef, err := os.Open(embPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ef.Close()
+	emb, err := nrp.LoadEmbedding(ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.N() != g.N {
+		t.Fatalf("embedding covers %d nodes, want %d", emb.N(), g.N)
+	}
+}
+
+func TestRunConvertValidation(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	if err := run(ctx, []string{"convert"}); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+	g, err := nrp.GenSBM(nrp.SBMConfig{N: 40, M: 120, Communities: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "g.nrpg")
+	if err := nrp.SaveGraph(snapPath, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ctx, []string{"convert", "-input", snapPath, "-output",
+		filepath.Join(dir, "out"), "-labels", "x.labels"}); err == nil {
+		t.Fatal("-labels with snapshot input accepted")
+	}
+	if err := run(ctx, []string{"convert", "-input", snapPath, "-output",
+		filepath.Join(dir, "out"), "-to", "bogus"}); err == nil {
+		t.Fatal("bogus -to accepted")
+	}
+}
+
+// TestRunConvertPreservesAttributes rewrites a snapshot carrying an
+// attributes section (which the text format cannot represent) and
+// checks the section survives a binary → binary conversion.
+func TestRunConvertPreservesAttributes(t *testing.T) {
+	dir := t.TempDir()
+	g, err := nrp.GenSBM(nrp.SBMConfig{N: 50, M: 150, Communities: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs, err := nrp.GenAttributes(g, 4, 0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "a.nrpg")
+	f, err := os.Create(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gio.Save(f, g, attrs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	outPath := filepath.Join(dir, "b.nrpg")
+	if err := run(context.Background(), []string{"convert",
+		"-input", snapPath, "-output", outPath, "-to", "nrpg"}); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	_, gotAttrs, err := gio.Load(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotAttrs) != g.N || len(gotAttrs[0]) != 4 {
+		t.Fatalf("attributes did not survive conversion: got %dx%d rows",
+			len(gotAttrs), len(gotAttrs[0]))
+	}
+	for v, row := range attrs {
+		for j, x := range row {
+			if gotAttrs[v][j] != x {
+				t.Fatalf("attr[%d][%d] = %v, want %v", v, j, gotAttrs[v][j], x)
+			}
 		}
 	}
 }

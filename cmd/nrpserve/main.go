@@ -18,7 +18,12 @@
 // choice.
 //
 // With -graph the server embeds the graph at boot and accepts live edge
-// updates: POST /v1/update stages batched insertions/removals and POST
+// updates. The file may be a text edge list or an NRPG binary snapshot
+// (`nrp convert`), sniffed by magic bytes; snapshots are memory-mapped,
+// so the graph itself loads in milliseconds and its pages are shared
+// with other processes serving the same file (-directed applies to text
+// input only — a snapshot stores its own orientation). POST /v1/update
+// stages batched insertions/removals and POST
 // /v1/refresh brings the embedding in sync under -refresh-policy (full,
 // incremental or staleness) and atomically swaps the serving index —
 // in-flight queries finish on the old index, zero downtime. A positive
@@ -42,6 +47,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
@@ -64,6 +70,7 @@ func main() {
 type config struct {
 	server       *serve.Server
 	live         *nrp.LiveIndex // nil unless booted with -graph
+	graphCloser  io.Closer      // non-nil when -graph mapped an NRPG snapshot
 	refreshEvery time.Duration
 	addr         string
 	drain        time.Duration
@@ -111,6 +118,15 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 
 	var searcher nrp.Searcher
 	var live *nrp.LiveIndex
+	var graphCloser io.Closer
+	// Unmap a -graph snapshot if a later boot step fails: the CLI would
+	// exit anyway, but tests (and any embedder) call this repeatedly.
+	bootOK := false
+	defer func() {
+		if !bootOK && graphCloser != nil {
+			graphCloser.Close()
+		}
+	}()
 	switch {
 	case *indexPath != "":
 		if set["backend"] {
@@ -144,10 +160,15 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 		if err != nil {
 			return nil, err
 		}
-		g, err := nrp.LoadGraph(*graphPath, *directed)
+		// NRPG snapshots are memory-mapped: multi-gigabyte graphs boot in
+		// milliseconds and share page cache across server processes; live
+		// updates are copy-on-write, so the read-only mapping is safe. The
+		// closer stays open for the server's lifetime.
+		g, closer, err := nrp.OpenGraph(*graphPath, *directed)
 		if err != nil {
 			return nil, err
 		}
+		graphCloser = closer
 		opt := nrp.DefaultOptions()
 		opt.Dim = *dim
 		opt.Seed = *seed
@@ -222,7 +243,9 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 	} else {
 		sv = serve.NewServer(searcher, svCfg)
 	}
-	return &config{server: sv, live: live, refreshEvery: *refreshIntv, addr: *addr, drain: *drain}, nil
+	bootOK = true
+	return &config{server: sv, live: live, graphCloser: graphCloser,
+		refreshEvery: *refreshIntv, addr: *addr, drain: *drain}, nil
 }
 
 // refreshLoop refreshes the live index whenever updates are pending, once
@@ -259,13 +282,35 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	// The refresh loop runs under its own cancelable context so it can be
+	// stopped (and joined) even when serve.Serve returns an error without
+	// the signal context ever being cancelled.
+	loopCtx, stopLoop := context.WithCancel(ctx)
+	defer stopLoop()
+	var refreshDone chan struct{}
 	if cfg.live != nil && cfg.refreshEvery > 0 {
-		go refreshLoop(ctx, cfg.live, cfg.refreshEvery)
+		refreshDone = make(chan struct{})
+		go func() {
+			defer close(refreshDone)
+			refreshLoop(loopCtx, cfg.live, cfg.refreshEvery)
+		}()
 	}
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "nrpserve: listening on %s (drain %v)\n", ln.Addr(), cfg.drain)
-	return serve.Serve(ctx, ln, cfg.server.Handler(), cfg.drain)
+	err = serve.Serve(ctx, ln, cfg.server.Handler(), cfg.drain)
+	// Join the background refresh loop before unmapping the graph: a
+	// refresh caught mid-recompute at shutdown still reads the mapped CSR
+	// arrays, and munmapping under it would segfault instead of exiting
+	// cleanly.
+	stopLoop()
+	if refreshDone != nil {
+		<-refreshDone
+	}
+	if cfg.graphCloser != nil {
+		cfg.graphCloser.Close()
+	}
+	return err
 }

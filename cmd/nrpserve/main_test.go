@@ -347,3 +347,73 @@ func TestLiveFlagValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestServeLiveFromNRPGSnapshot boots the live path from a memory-mapped
+// binary snapshot and exercises an update + refresh, proving the
+// copy-on-write mutation path works over read-only mapped pages.
+func TestServeLiveFromNRPGSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	g, err := nrp.GenSBM(nrp.SBMConfig{N: 120, M: 600, Communities: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "graph.nrpg")
+	if err := nrp.SaveGraph(snapPath, g); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := newServerFromFlags(context.Background(), []string{
+		"-graph", snapPath, "-dim", "16", "-refresh-policy", "incremental",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.live == nil {
+		t.Fatal("live index not configured")
+	}
+	if cfg.graphCloser == nil {
+		t.Fatal("snapshot boot did not record a mapping closer")
+	}
+	defer cfg.graphCloser.Close()
+	ts := httptest.NewServer(cfg.server.Handler())
+	defer ts.Close()
+
+	var hz serve.HealthzResponse
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !hz.Live || hz.Nodes != 120 {
+		t.Fatalf("healthz %+v, want live over 120 nodes", hz)
+	}
+
+	// Insert an edge (copy-on-write over the mapped CSR) and refresh.
+	body := strings.NewReader(`{"insert":[[0,119],[1,117]]}`)
+	resp, err = http.Post(ts.URL+"/v1/update", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/refresh", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refresh status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/topk?u=0&k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("topk status %d after refresh", resp.StatusCode)
+	}
+}

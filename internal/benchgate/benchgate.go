@@ -1,0 +1,202 @@
+// Package benchgate turns the repository's BENCH_*.json benchmark
+// records into a CI regression gate: it extracts named metrics from each
+// known record schema and compares a fresh run against committed
+// baselines with a configurable tolerance.
+//
+// Metrics are classified as relative (machine-independent ratios such as
+// parallel speedups and AUC quality scores, comparable across hosts) or
+// absolute (throughput and wall-time numbers, only comparable on similar
+// hardware). CI gates on relative metrics so a committed baseline from
+// one machine remains meaningful on another; local runs can gate on
+// everything. Quality metrics (AUC) carry a tight per-metric tolerance —
+// a 2% AUC drop is a real regression even when a 25% throughput swing is
+// noise.
+package benchgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Metric is one gated measurement extracted from a benchmark record.
+type Metric struct {
+	File        string // record file name, e.g. "BENCH_topk.json"
+	Name        string // metric name within the file, e.g. "qps/TopKQuantized"
+	Value       float64
+	LowerBetter bool    // regression direction: true when rising is bad
+	Relative    bool    // machine-independent ratio vs host-bound absolute
+	Tolerance   float64 // per-metric override; 0 = caller's global tolerance
+}
+
+// aucTolerance gates embedding-quality metrics far tighter than
+// throughput: quality does not wobble with machine load.
+const aucTolerance = 0.02
+
+// Known reports whether the gate understands a record file's schema.
+func Known(file string) bool {
+	switch file {
+	case "BENCH_topk.json", "BENCH_build.json", "BENCH_dynamic.json", "BENCH_ingest.json":
+		return true
+	}
+	return false
+}
+
+// Extract parses one benchmark record (dispatching on its base file
+// name) into gated metrics.
+func Extract(file string, data []byte) ([]Metric, error) {
+	switch file {
+	case "BENCH_topk.json":
+		return extractTopK(file, data)
+	case "BENCH_build.json":
+		var r struct {
+			Speedup     float64 `json:"speedup"`
+			SerialMs    float64 `json:"serial_ms"`
+			ParallelMs  float64 `json:"parallel_ms"`
+			AUCSerial   float64 `json:"auc_serial"`
+			AUCParallel float64 `json:"auc_parallel"`
+		}
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("benchgate: %s: %w", file, err)
+		}
+		return []Metric{
+			{File: file, Name: "speedup", Value: r.Speedup, Relative: true},
+			{File: file, Name: "serial_ms", Value: r.SerialMs, LowerBetter: true},
+			{File: file, Name: "parallel_ms", Value: r.ParallelMs, LowerBetter: true},
+			{File: file, Name: "auc_serial", Value: r.AUCSerial, Relative: true, Tolerance: aucTolerance},
+			{File: file, Name: "auc_parallel", Value: r.AUCParallel, Relative: true, Tolerance: aucTolerance},
+		}, nil
+	case "BENCH_dynamic.json":
+		var r struct {
+			Speedup        float64 `json:"speedup"`
+			IncrementalMs  float64 `json:"incremental_ms"`
+			FullMs         float64 `json:"full_ms"`
+			AUCIncremental float64 `json:"auc_incremental"`
+			AUCFull        float64 `json:"auc_full"`
+		}
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("benchgate: %s: %w", file, err)
+		}
+		return []Metric{
+			{File: file, Name: "speedup", Value: r.Speedup, Relative: true},
+			{File: file, Name: "incremental_ms", Value: r.IncrementalMs, LowerBetter: true},
+			{File: file, Name: "full_ms", Value: r.FullMs, LowerBetter: true},
+			{File: file, Name: "auc_incremental", Value: r.AUCIncremental, Relative: true, Tolerance: aucTolerance},
+			{File: file, Name: "auc_full", Value: r.AUCFull, Relative: true, Tolerance: aucTolerance},
+		}, nil
+	case "BENCH_ingest.json":
+		var r struct {
+			SerialParseMs   float64 `json:"serial_parse_ms"`
+			ParallelParseMs float64 `json:"parallel_parse_ms"`
+			HeapLoadMs      float64 `json:"heap_load_ms"`
+			MmapLoadMs      float64 `json:"mmap_load_ms"`
+			ParallelSpeedup float64 `json:"parallel_speedup"`
+			MmapSpeedup     float64 `json:"mmap_vs_text_speedup"`
+		}
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("benchgate: %s: %w", file, err)
+		}
+		return []Metric{
+			{File: file, Name: "parallel_speedup", Value: r.ParallelSpeedup, Relative: true},
+			{File: file, Name: "mmap_vs_text_speedup", Value: r.MmapSpeedup, Relative: true},
+			{File: file, Name: "serial_parse_ms", Value: r.SerialParseMs, LowerBetter: true},
+			{File: file, Name: "parallel_parse_ms", Value: r.ParallelParseMs, LowerBetter: true},
+			{File: file, Name: "heap_load_ms", Value: r.HeapLoadMs, LowerBetter: true},
+			{File: file, Name: "mmap_load_ms", Value: r.MmapLoadMs, LowerBetter: true},
+		}, nil
+	}
+	return nil, fmt.Errorf("benchgate: unknown record file %q", file)
+}
+
+func extractTopK(file string, data []byte) ([]Metric, error) {
+	var r struct {
+		Benchmarks []struct {
+			Name string  `json:"name"`
+			QPS  float64 `json:"qps"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchgate: %s: %w", file, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchgate: %s holds no benchmark entries", file)
+	}
+	ms := make([]Metric, 0, len(r.Benchmarks))
+	for _, b := range r.Benchmarks {
+		ms = append(ms, Metric{File: file, Name: "qps/" + b.Name, Value: b.QPS})
+	}
+	return ms, nil
+}
+
+// Delta is the comparison of one metric against its baseline.
+type Delta struct {
+	Metric    Metric
+	Baseline  float64
+	Change    float64 // fractional change, signed so that positive = better
+	Tolerance float64 // tolerance actually applied (0 when skipped)
+	Skipped   bool    // absolute metric under relativeOnly
+	Regressed bool
+}
+
+// Compare evaluates current metrics against baselines. Every baseline
+// metric must be present in current — a silently vanished benchmark is a
+// gate failure, not a pass. Metrics present only in current (newly added
+// benchmarks whose baseline has not been recorded yet) are ignored.
+// tolerance is the allowed fractional regression; relativeOnly restricts
+// gating to machine-independent metrics, which is how CI compares a
+// committed baseline against a different host.
+func Compare(baseline, current []Metric, tolerance float64, relativeOnly bool) ([]Delta, error) {
+	if tolerance < 0 {
+		return nil, fmt.Errorf("benchgate: negative tolerance %v", tolerance)
+	}
+	cur := make(map[string]Metric, len(current))
+	for _, m := range current {
+		cur[m.File+"\x00"+m.Name] = m
+	}
+	deltas := make([]Delta, 0, len(baseline))
+	for _, b := range baseline {
+		c, ok := cur[b.File+"\x00"+b.Name]
+		if !ok {
+			return nil, fmt.Errorf("benchgate: %s: metric %q has a baseline but no current measurement", b.File, b.Name)
+		}
+		if b.Value == 0 {
+			// A zero baseline cannot anchor a ratio and almost always means
+			// a renamed/absent JSON field unmarshalled to its zero value —
+			// gating against it would pass vacuously forever.
+			return nil, fmt.Errorf("benchgate: %s: metric %q has a zero baseline (stale or mismatched record?); refresh bench/baseline", b.File, b.Name)
+		}
+		d := Delta{Metric: c, Baseline: b.Value}
+		d.Change = (c.Value - b.Value) / b.Value
+		if b.LowerBetter {
+			d.Change = -d.Change
+		}
+		if relativeOnly && !b.Relative {
+			d.Skipped = true
+		} else {
+			d.Tolerance = tolerance
+			if b.Tolerance > 0 {
+				d.Tolerance = b.Tolerance
+			}
+			d.Regressed = d.Change < -d.Tolerance
+		}
+		deltas = append(deltas, d)
+	}
+	sort.SliceStable(deltas, func(i, j int) bool {
+		if deltas[i].Regressed != deltas[j].Regressed {
+			return deltas[i].Regressed
+		}
+		return deltas[i].Change < deltas[j].Change
+	})
+	return deltas, nil
+}
+
+// Regressions counts the failed deltas.
+func Regressions(deltas []Delta) int {
+	n := 0
+	for _, d := range deltas {
+		if d.Regressed {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,227 @@
+package benchgate
+
+import (
+	"strings"
+	"testing"
+)
+
+const topkRecord = `{"benchmarks":[
+  {"name":"TopKExact","backend":"exact","n":100000,"dim":64,"k":10,"ns_per_op":5000000,"qps":200},
+  {"name":"TopKQuantized","backend":"quantized","n":100000,"dim":64,"k":10,"ns_per_op":800000,"qps":1250}
+]}`
+
+const buildRecord = `{"n":100000,"m":500000,"dim":32,"threads":8,
+  "serial_ms":9000,"parallel_ms":1800,"speedup":5.0,
+  "auc_serial":0.972,"auc_parallel":0.972}`
+
+const ingestRecord = `{"n":200000,"m":800000,"threads":8,
+  "serial_parse_ms":400,"parallel_parse_ms":90,"heap_load_ms":30,"mmap_load_ms":2,
+  "parallel_speedup":4.4,"mmap_vs_text_speedup":200}`
+
+func TestExtractSchemas(t *testing.T) {
+	cases := map[string]struct {
+		data    string
+		metrics int
+	}{
+		"BENCH_topk.json":   {topkRecord, 2},
+		"BENCH_build.json":  {buildRecord, 5},
+		"BENCH_ingest.json": {ingestRecord, 6},
+	}
+	for file, tc := range cases {
+		ms, err := Extract(file, []byte(tc.data))
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		if len(ms) != tc.metrics {
+			t.Fatalf("%s: %d metrics, want %d", file, len(ms), tc.metrics)
+		}
+		for _, m := range ms {
+			if m.File != file || m.Name == "" {
+				t.Fatalf("%s: malformed metric %+v", file, m)
+			}
+		}
+	}
+	if _, err := Extract("BENCH_mystery.json", []byte("{}")); err == nil {
+		t.Fatal("unknown record accepted")
+	}
+	if _, err := Extract("BENCH_topk.json", []byte(`{"benchmarks":[]}`)); err == nil {
+		t.Fatal("empty topk record accepted")
+	}
+	if !Known("BENCH_dynamic.json") || Known("notes.json") {
+		t.Fatal("Known misclassifies record names")
+	}
+}
+
+// TestCompareInjectedRegression is the gate's own acceptance test: a
+// synthetic 40% throughput collapse must fail the gate, and the same
+// numbers within tolerance must pass.
+func TestCompareInjectedRegression(t *testing.T) {
+	base, err := Extract("BENCH_topk.json", []byte(topkRecord))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical run: clean.
+	deltas, err := Compare(base, base, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := Regressions(deltas); n != 0 {
+		t.Fatalf("identical records produced %d regressions", n)
+	}
+
+	// Inject: quantized throughput drops 1250 → 700 qps (-44%).
+	injected := strings.Replace(topkRecord, `"qps":1250`, `"qps":700`, 1)
+	cur, err := Extract("BENCH_topk.json", []byte(injected))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err = Compare(base, cur, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := Regressions(deltas); n != 1 {
+		t.Fatalf("injected -44%% regression produced %d failures, want 1", n)
+	}
+	if !deltas[0].Regressed || deltas[0].Metric.Name != "qps/TopKQuantized" {
+		t.Fatalf("worst delta %+v, want the injected quantized regression first", deltas[0])
+	}
+	// A generous tolerance forgives it.
+	deltas, err = Compare(base, cur, 0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := Regressions(deltas); n != 0 {
+		t.Fatalf("50%% tolerance still reports %d regressions", n)
+	}
+}
+
+// TestCompareRelativeOnly mirrors the CI configuration: absolute metrics
+// (wall ms) are skipped, relative ones (speedup, AUC) still gate.
+func TestCompareRelativeOnly(t *testing.T) {
+	base, err := Extract("BENCH_build.json", []byte(buildRecord))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Halve the speedup and double the wall time.
+	injected := strings.NewReplacer(
+		`"speedup":5.0`, `"speedup":2.0`,
+		`"parallel_ms":1800`, `"parallel_ms":4500`,
+	).Replace(buildRecord)
+	cur, err := Extract("BENCH_build.json", []byte(injected))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := Compare(base, cur, 0.25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := Regressions(deltas); n != 1 {
+		t.Fatalf("%d regressions, want exactly the speedup collapse", n)
+	}
+	for _, d := range deltas {
+		switch d.Metric.Name {
+		case "speedup":
+			if !d.Regressed {
+				t.Fatal("speedup collapse not flagged")
+			}
+		case "parallel_ms":
+			if !d.Skipped || d.Regressed {
+				t.Fatalf("absolute metric delta %+v should be skipped under relative-only", d)
+			}
+		}
+	}
+}
+
+// TestCompareAUCTightTolerance checks quality metrics gate at their own
+// 2% tolerance even when the global tolerance is loose.
+func TestCompareAUCTightTolerance(t *testing.T) {
+	base, err := Extract("BENCH_build.json", []byte(buildRecord))
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := strings.Replace(buildRecord, `"auc_parallel":0.972`, `"auc_parallel":0.91`, 1)
+	cur, err := Extract("BENCH_build.json", []byte(injected))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := Compare(base, cur, 0.25, true) // −6% AUC ≪ 25% global tolerance
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := Regressions(deltas); n != 1 {
+		t.Fatalf("%d regressions, want the AUC drop alone", n)
+	}
+	if deltas[0].Metric.Name != "auc_parallel" {
+		t.Fatalf("flagged %q, want auc_parallel", deltas[0].Metric.Name)
+	}
+}
+
+func TestCompareMissingMetricFails(t *testing.T) {
+	base, err := Extract("BENCH_topk.json", []byte(topkRecord))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk := `{"benchmarks":[{"name":"TopKExact","qps":200}]}`
+	cur, err := Extract("BENCH_topk.json", []byte(shrunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compare(base, cur, 0.25, false); err == nil {
+		t.Fatal("vanished benchmark passed the gate")
+	}
+	// The reverse — new metrics without baselines — is allowed.
+	if _, err := Compare(cur, base, 0.25, false); err != nil {
+		t.Fatalf("new current-only metric rejected: %v", err)
+	}
+}
+
+// TestCompareZeroBaselineFails: a zero baseline (renamed JSON field, or
+// a stale record) must fail loudly instead of gating vacuously.
+func TestCompareZeroBaselineFails(t *testing.T) {
+	zeroed := strings.Replace(topkRecord, `"qps":1250`, `"qps":0`, 1)
+	base, err := Extract("BENCH_topk.json", []byte(zeroed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := Extract("BENCH_topk.json", []byte(topkRecord))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compare(base, cur, 0.25, false); err == nil {
+		t.Fatal("zero baseline gated as a pass")
+	}
+}
+
+func TestCompareImprovement(t *testing.T) {
+	base, err := Extract("BENCH_ingest.json", []byte(ingestRecord))
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := strings.Replace(ingestRecord, `"mmap_vs_text_speedup":200`, `"mmap_vs_text_speedup":500`, 1)
+	cur, err := Extract("BENCH_ingest.json", []byte(injected))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := Compare(base, cur, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Regressions(deltas) != 0 {
+		t.Fatal("an improvement was flagged as regression")
+	}
+	// Lower-is-better direction: a drop in wall time is a positive change.
+	injected = strings.Replace(ingestRecord, `"parallel_parse_ms":90`, `"parallel_parse_ms":45`, 1)
+	cur, err = Extract("BENCH_ingest.json", []byte(injected))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err = Compare(base, cur, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range deltas {
+		if d.Metric.Name == "parallel_parse_ms" && (d.Regressed || d.Change < 0.4) {
+			t.Fatalf("halved wall time reported as %+v", d)
+		}
+	}
+}

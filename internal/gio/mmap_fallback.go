@@ -1,0 +1,32 @@
+//go:build !(unix && (amd64 || arm64))
+
+package gio
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+)
+
+// LoadMmap on platforms without a little-endian 64-bit unix mmap path
+// falls back to a fully-validated heap load; the returned Closer is a
+// no-op. The call signature and the read-only-arrays contract match the
+// zero-copy implementation, so callers need no platform awareness.
+func LoadMmap(path string) (*graph.Graph, [][]float64, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("gio: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	g, attrs, err := Load(f)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return g, attrs, nopCloser{}, nil
+}
+
+type nopCloser struct{}
+
+func (nopCloser) Close() error { return nil }

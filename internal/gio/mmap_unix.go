@@ -1,0 +1,200 @@
+//go:build unix && (amd64 || arm64)
+
+package gio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+	"unsafe"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+	"github.com/nrp-embed/nrp/internal/sparse"
+)
+
+// LoadMmap maps an NRPG snapshot and builds the graph zero-copy: the CSR
+// arrays (and attribute rows) are slices into the read-only mapping, so
+// a multi-gigabyte graph boots in milliseconds, pages fault in lazily as
+// they are touched, and concurrent processes serving the same snapshot
+// share one page-cache copy.
+//
+// Contract: the returned graph's arrays are backed by PROT_READ pages —
+// writing through them faults. Every mutation path in this codebase is
+// copy-on-write (AddEdges/RemoveEdges, ScaleRows, Transition all build
+// fresh arrays), so read-only backing is safe by construction. The
+// Closer unmaps the file; the graph (and any graph derived from it that
+// still shares arrays, such as an undirected Transpose) must not be used
+// afterwards. Unlike Load, LoadMmap validates the header, section table
+// and row-pointer structure but skips the trailing checksum and the
+// per-entry column-index scan — verifying them would touch every page,
+// forfeiting lazy loading; run Load (or `nrp convert`) to fully verify a
+// snapshot of doubtful provenance.
+func LoadMmap(path string) (*graph.Graph, [][]float64, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("gio: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("gio: stat snapshot: %w", err)
+	}
+	size := st.Size()
+	if size < headerSize+4 {
+		return nil, nil, nil, fmt.Errorf("gio: snapshot %s is %d bytes, smaller than an empty NRPG file", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("gio: mmap %s: %w", path, err)
+	}
+	m := &mapping{data: data}
+	g, attrs, err := loadMapped(data)
+	if err != nil {
+		m.Close()
+		return nil, nil, nil, err
+	}
+	return g, attrs, m, nil
+}
+
+func loadMapped(data []byte) (*graph.Graph, [][]float64, error) {
+	h, err := parseHeader(data[:headerSize], func(n int) ([]byte, error) {
+		if headerSize+n > len(data) {
+			return nil, truncated(io.ErrUnexpectedEOF)
+		}
+		return data[headerSize : headerSize+n], nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	last := h.sections[len(h.sections)-1]
+	if want := last.offset + last.length + 4; int64(len(data)) != want {
+		return nil, nil, fmt.Errorf("gio: snapshot is %d bytes, header describes %d", len(data), want)
+	}
+	body := func(s tableSection) []byte { return data[s.offset : s.offset+s.length] }
+
+	var (
+		adjRowPtr, radjRowPtr []int
+		adjColIdx, radjColIdx []int32
+		adjVal, radjVal       []float64
+		labels                [][]int32
+		attrs                 [][]float64
+	)
+	for _, s := range h.sections {
+		switch s.tag {
+		case secAdjRowPtr:
+			adjRowPtr = castInts(body(s))
+		case secAdjColIdx:
+			adjColIdx = castInt32s(body(s))
+		case secVal, secAdjVal:
+			adjVal = castFloat64s(body(s))
+		case secRAdjRowPtr:
+			radjRowPtr = castInts(body(s))
+		case secRAdjColIdx:
+			radjColIdx = castInt32s(body(s))
+		case secRAdjVal:
+			radjVal = castFloat64s(body(s))
+		case secLabels:
+			counts := castInt32s(body(s)[:4*h.n])
+			flat := castInt32s(body(s)[4*h.n:])
+			labels, err = assembleLabels(counts, flat)
+			if err != nil {
+				return nil, nil, fmt.Errorf("gio: corrupt labels: %w", err)
+			}
+		case secAttrs:
+			attrs = sliceRows(castFloat64s(body(s)), int(h.n), int(h.attrDim))
+		}
+	}
+
+	adj, err := csrFromMapped(int(h.n), int(h.nnz), adjRowPtr, adjColIdx, adjVal)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gio: corrupt adjacency: %w", err)
+	}
+	var radj *sparse.CSR
+	if h.has(flagHasRAdj) {
+		if h.has(flagUnitVal) {
+			radjVal = adjVal
+		}
+		radj, err = csrFromMapped(int(h.n), int(h.nnz), radjRowPtr, radjColIdx, radjVal)
+		if err != nil {
+			return nil, nil, fmt.Errorf("gio: corrupt reverse adjacency: %w", err)
+		}
+	} else {
+		radj = &sparse.CSR{Rows: adj.Rows, Cols: adj.Cols, RowPtr: adj.RowPtr, ColIdx: adj.ColIdx, Val: adj.Val}
+	}
+	return assemble(h, adj, radj, labels, attrs)
+}
+
+// csrFromMapped builds a CSR over mapped arrays, validating the row
+// pointers (O(n), the difference between a clean error and an
+// out-of-range panic later) but not the column indices (O(nnz), would
+// fault in every page).
+func csrFromMapped(n, nnz int, rowPtr []int, colIdx []int32, val []float64) (*sparse.CSR, error) {
+	if len(rowPtr) != n+1 || rowPtr[0] != 0 || rowPtr[n] != nnz {
+		return nil, fmt.Errorf("row pointers span [%d,%d], want [0,%d]", rowPtr[0], rowPtr[n], nnz)
+	}
+	for i := 0; i < n; i++ {
+		if rowPtr[i] > rowPtr[i+1] {
+			return nil, fmt.Errorf("row pointers not monotone at row %d", i)
+		}
+	}
+	return &sparse.CSR{Rows: n, Cols: n, RowPtr: rowPtr, ColIdx: colIdx, Val: val}, nil
+}
+
+// assembleLabels slices per-node label rows out of the mapped flat array.
+func assembleLabels(counts, flat []int32) ([][]int32, error) {
+	labels := make([][]int32, len(counts))
+	off := 0
+	for v, c := range counts {
+		if c < 0 || off+int(c) > len(flat) {
+			return nil, fmt.Errorf("label counts overrun section at node %d", v)
+		}
+		if c > 0 {
+			labels[v] = flat[off : off+int(c) : off+int(c)]
+			off += int(c)
+		}
+	}
+	if off != len(flat) {
+		return nil, fmt.Errorf("label counts sum to %d, section holds %d", off, len(flat))
+	}
+	return labels, nil
+}
+
+// mapping is the io.Closer returned by LoadMmap; Close unmaps the
+// snapshot (idempotently).
+type mapping struct{ data []byte }
+
+func (m *mapping) Close() error {
+	if m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return syscall.Munmap(data)
+}
+
+// The casts below are what the format's 8-byte section alignment exists
+// for: mmap returns page-aligned memory and every section offset is
+// 8-aligned, so reinterpreting the bytes as int/int32/float64 slices is
+// legal on the little-endian 64-bit platforms this file builds for.
+
+func castInts(b []byte) []int {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func castInt32s(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+func castFloat64s(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}

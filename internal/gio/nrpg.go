@@ -1,0 +1,724 @@
+package gio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+	"github.com/nrp-embed/nrp/internal/sparse"
+)
+
+// NRPG v1 — the binary graph snapshot format.
+//
+// Layout (all little-endian):
+//
+//	header (80 bytes):
+//	  [0:4]   magic "NRPG"
+//	  [4:8]   uint32 version (1)
+//	  [8:16]  uint64 flags (directed, labels, attrs, unit values, explicit RAdj)
+//	  [16:72] int64 n, numEdges, nnz, numLabels, totalLabels, attrDim, sectionCount
+//	  [72:80] int64 reserved (0)
+//	section table: sectionCount × 24 bytes {uint32 tag, uint32 0, int64 offset, int64 length}
+//	sections, each zero-padded to an 8-byte-aligned file offset:
+//	  adj row pointers   int64 × (n+1)
+//	  adj column indices int32 × nnz          (raw, not delta-varint: zero-copy mmap)
+//	  values             float64 × nnz        (one shared section when all weights are 1)
+//	  radj row pointers / column indices      (directed graphs only; an undirected
+//	                                           adjacency is symmetric, so RAdj aliases Adj)
+//	  labels             int32 × n counts, then int32 × totalLabels label ids
+//	  attributes         float64 × n·attrDim, row-major
+//	trailer: uint32 CRC-32C of every preceding byte
+//
+// The CSR arrays are stored in their in-memory layout so LoadMmap can
+// slice them straight out of a page-aligned mapping; the 8-byte section
+// alignment is what makes those casts legal. Column indices are raw
+// int32 rather than delta-varint for the same reason — a varint stream
+// would halve the file but force a decode pass, forfeiting zero-copy.
+const (
+	nrpgMagic   = "NRPG"
+	nrpgVersion = 1
+	headerSize  = 80
+	tableEntry  = 24
+)
+
+const (
+	flagDirected = 1 << 0
+	flagLabels   = 1 << 1
+	flagAttrs    = 1 << 2
+	flagUnitVal  = 1 << 3
+	flagHasRAdj  = 1 << 4
+	flagsKnown   = flagDirected | flagLabels | flagAttrs | flagUnitVal | flagHasRAdj
+)
+
+const (
+	secAdjRowPtr  = 1
+	secAdjColIdx  = 2
+	secVal        = 3 // shared unit-weight values (flagUnitVal)
+	secRAdjRowPtr = 4
+	secRAdjColIdx = 5
+	secAdjVal     = 6 // per-matrix values when weights are not all 1
+	secRAdjVal    = 7
+	secLabels     = 8
+	secAttrs      = 9
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// IsNRPG reports whether the buffer starts with the NRPG snapshot magic.
+// Four bytes suffice.
+func IsNRPG(prefix []byte) bool {
+	return len(prefix) >= len(nrpgMagic) && string(prefix[:len(nrpgMagic)]) == nrpgMagic
+}
+
+// SniffFile reports whether the file at path starts with the NRPG
+// snapshot magic; a file too short to hold the magic sniffs false. This
+// is the single format-dispatch helper behind nrp.LoadGraph/OpenGraph
+// and the CLIs.
+func SniffFile(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	var magic [4]byte
+	n, err := io.ReadFull(f, magic[:])
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return false, err
+	}
+	return IsNRPG(magic[:n]), nil
+}
+
+// header is the decoded fixed-size NRPG header.
+type header struct {
+	flags                           uint64
+	n, numEdges, nnz                int64
+	numLabels, totalLabels, attrDim int64
+	sections                        []tableSection
+}
+
+type tableSection struct {
+	tag    uint32
+	offset int64
+	length int64
+}
+
+func (h *header) has(flag uint64) bool { return h.flags&flag != 0 }
+
+// expectedSections derives the v1 section sequence (tags and byte sizes,
+// in file order) from the header fields. The stored table must match it
+// exactly.
+func (h *header) expectedSections() []tableSection {
+	secs := []tableSection{
+		{tag: secAdjRowPtr, length: 8 * (h.n + 1)},
+		{tag: secAdjColIdx, length: 4 * h.nnz},
+	}
+	if h.has(flagUnitVal) {
+		secs = append(secs, tableSection{tag: secVal, length: 8 * h.nnz})
+	} else {
+		secs = append(secs, tableSection{tag: secAdjVal, length: 8 * h.nnz})
+	}
+	if h.has(flagHasRAdj) {
+		secs = append(secs,
+			tableSection{tag: secRAdjRowPtr, length: 8 * (h.n + 1)},
+			tableSection{tag: secRAdjColIdx, length: 4 * h.nnz})
+		if !h.has(flagUnitVal) {
+			secs = append(secs, tableSection{tag: secRAdjVal, length: 8 * h.nnz})
+		}
+	}
+	if h.has(flagLabels) {
+		secs = append(secs, tableSection{tag: secLabels, length: 4*h.n + 4*h.totalLabels})
+	}
+	if h.has(flagAttrs) {
+		secs = append(secs, tableSection{tag: secAttrs, length: 8 * h.n * h.attrDim})
+	}
+	off := int64(headerSize + tableEntry*len(secs))
+	for i := range secs {
+		off = align8(off)
+		secs[i].offset = off
+		off += secs[i].length
+	}
+	return secs
+}
+
+func align8(off int64) int64 { return (off + 7) &^ 7 }
+
+// Save writes g (and, optionally, per-node attribute rows) as an NRPG v1
+// snapshot. attrs may be nil; otherwise it must hold one equal-length row
+// per node. The output is deterministic: the same graph always produces
+// the same bytes.
+func Save(w io.Writer, g *graph.Graph, attrs [][]float64) error {
+	if g == nil || g.N < 1 {
+		return fmt.Errorf("gio: cannot save an empty graph")
+	}
+	attrDim := 0
+	if len(attrs) > 0 {
+		if len(attrs) != g.N {
+			return fmt.Errorf("gio: %d attribute rows for %d nodes", len(attrs), g.N)
+		}
+		attrDim = len(attrs[0])
+		for v, row := range attrs {
+			if len(row) != attrDim {
+				return fmt.Errorf("gio: attribute row %d has %d columns, want %d", v, len(row), attrDim)
+			}
+		}
+	}
+	unit := allOnes(g.Adj.Val) && allOnes(g.RAdj.Val)
+	hasRAdj := g.Directed || !unit
+
+	h := header{
+		n:        int64(g.N),
+		numEdges: int64(g.NumEdges),
+		nnz:      int64(g.Adj.NNZ()),
+		attrDim:  int64(attrDim),
+	}
+	if g.Directed {
+		h.flags |= flagDirected
+	}
+	if unit {
+		h.flags |= flagUnitVal
+	}
+	if hasRAdj {
+		h.flags |= flagHasRAdj
+	}
+	if g.Labels != nil {
+		h.flags |= flagLabels
+		h.numLabels = int64(g.NumLabels)
+		for _, ls := range g.Labels {
+			h.totalLabels += int64(len(ls))
+		}
+	}
+	if attrDim > 0 {
+		h.flags |= flagAttrs
+	}
+	secs := h.expectedSections()
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	cw := &crcWriter{w: bw}
+
+	var hdr [headerSize]byte
+	copy(hdr[0:4], nrpgMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], nrpgVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], h.flags)
+	for i, x := range []int64{h.n, h.numEdges, h.nnz, h.numLabels, h.totalLabels, h.attrDim, int64(len(secs))} {
+		binary.LittleEndian.PutUint64(hdr[16+8*i:], uint64(x))
+	}
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("gio: writing header: %w", err)
+	}
+	var ent [tableEntry]byte
+	for _, s := range secs {
+		binary.LittleEndian.PutUint32(ent[0:4], s.tag)
+		binary.LittleEndian.PutUint32(ent[4:8], 0)
+		binary.LittleEndian.PutUint64(ent[8:16], uint64(s.offset))
+		binary.LittleEndian.PutUint64(ent[16:24], uint64(s.length))
+		if _, err := cw.Write(ent[:]); err != nil {
+			return fmt.Errorf("gio: writing section table: %w", err)
+		}
+	}
+
+	for _, s := range secs {
+		if err := cw.pad(s.offset); err != nil {
+			return err
+		}
+		var err error
+		switch s.tag {
+		case secAdjRowPtr:
+			err = writeInts(cw, g.Adj.RowPtr)
+		case secAdjColIdx:
+			err = writeInt32s(cw, g.Adj.ColIdx)
+		case secVal, secAdjVal:
+			err = writeFloat64s(cw, g.Adj.Val)
+		case secRAdjRowPtr:
+			err = writeInts(cw, g.RAdj.RowPtr)
+		case secRAdjColIdx:
+			err = writeInt32s(cw, g.RAdj.ColIdx)
+		case secRAdjVal:
+			err = writeFloat64s(cw, g.RAdj.Val)
+		case secLabels:
+			err = writeLabels(cw, g.Labels)
+		case secAttrs:
+			for _, row := range attrs {
+				if err = writeFloat64s(cw, row); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("gio: writing section %d: %w", s.tag, err)
+		}
+	}
+
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], cw.crc)
+	if _, err := bw.Write(trailer[:]); err != nil {
+		return fmt.Errorf("gio: writing checksum: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load reads an NRPG snapshot into heap-allocated arrays, verifying the
+// trailing checksum and fully validating the CSR structure. For
+// multi-gigabyte snapshots prefer LoadMmap, which maps the arrays
+// directly instead of copying them.
+func Load(r io.Reader) (*graph.Graph, [][]float64, error) {
+	cr := &crcReader{r: bufio.NewReaderSize(r, 1<<20)}
+	h, err := readHeader(cr)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var (
+		adjRowPtr, radjRowPtr []int
+		adjColIdx, radjColIdx []int32
+		adjVal, radjVal       []float64
+		labels                [][]int32
+		attrs                 [][]float64
+	)
+	for _, s := range h.sections {
+		if err := cr.skipTo(s.offset); err != nil {
+			return nil, nil, fmt.Errorf("gio: seeking section %d: %w", s.tag, err)
+		}
+		switch s.tag {
+		case secAdjRowPtr:
+			adjRowPtr, err = readInts(cr, int(h.n)+1)
+		case secAdjColIdx:
+			adjColIdx, err = readInt32s(cr, int(h.nnz))
+		case secVal, secAdjVal:
+			adjVal, err = readFloat64s(cr, int(h.nnz))
+		case secRAdjRowPtr:
+			radjRowPtr, err = readInts(cr, int(h.n)+1)
+		case secRAdjColIdx:
+			radjColIdx, err = readInt32s(cr, int(h.nnz))
+		case secRAdjVal:
+			radjVal, err = readFloat64s(cr, int(h.nnz))
+		case secLabels:
+			labels, err = readLabels(cr, int(h.n), int(h.totalLabels))
+		case secAttrs:
+			flat, ferr := readFloat64s(cr, int(h.n*h.attrDim))
+			if ferr == nil {
+				attrs = sliceRows(flat, int(h.n), int(h.attrDim))
+			}
+			err = ferr
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("gio: reading section %d: %w", s.tag, err)
+		}
+	}
+
+	var trailer [4]byte
+	want := cr.crc // snapshot before the trailer bytes pass through
+	if _, err := io.ReadFull(cr.r, trailer[:]); err != nil {
+		return nil, nil, fmt.Errorf("gio: reading checksum: %w", truncated(err))
+	}
+	if got := binary.LittleEndian.Uint32(trailer[:]); got != want {
+		return nil, nil, fmt.Errorf("gio: checksum mismatch: file says %08x, content hashes to %08x", got, want)
+	}
+	// The trailer ends the snapshot; trailing bytes (concatenated or
+	// doubly-resumed downloads) must fail here, matching LoadMmap's
+	// exact-size check, so a file that passes verification also boots.
+	var extra [1]byte
+	switch _, err := io.ReadFull(cr.r, extra[:]); err {
+	case io.EOF:
+	case nil:
+		return nil, nil, fmt.Errorf("gio: snapshot has trailing data after the checksum")
+	default:
+		return nil, nil, fmt.Errorf("gio: reading past checksum: %w", err)
+	}
+
+	adj, err := sparse.New(int(h.n), int(h.n), adjRowPtr, adjColIdx, adjVal)
+	if err == nil {
+		err = validateSortedRows(adj)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("gio: corrupt adjacency: %w", err)
+	}
+	var radj *sparse.CSR
+	if h.has(flagHasRAdj) {
+		if h.has(flagUnitVal) {
+			radjVal = adjVal // one shared unit-weight array
+		}
+		radj, err = sparse.New(int(h.n), int(h.n), radjRowPtr, radjColIdx, radjVal)
+		if err == nil {
+			err = validateSortedRows(radj)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("gio: corrupt reverse adjacency: %w", err)
+		}
+	} else {
+		// Undirected: the adjacency is symmetric, so its transpose is
+		// itself; share the arrays instead of materializing a copy.
+		radj = &sparse.CSR{Rows: adj.Rows, Cols: adj.Cols, RowPtr: adj.RowPtr, ColIdx: adj.ColIdx, Val: adj.Val}
+	}
+	return assemble(h, adj, radj, labels, attrs)
+}
+
+// assemble builds the Graph from decoded parts, applying the label
+// validation of graph.WithLabels.
+func assemble(h *header, adj, radj *sparse.CSR, labels [][]int32, attrs [][]float64) (*graph.Graph, [][]float64, error) {
+	g := &graph.Graph{
+		N:        int(h.n),
+		Directed: h.has(flagDirected),
+		NumEdges: int(h.numEdges),
+		Adj:      adj,
+		RAdj:     radj,
+	}
+	if labels != nil {
+		lg, err := g.WithLabels(labels, int(h.numLabels))
+		if err != nil {
+			return nil, nil, fmt.Errorf("gio: corrupt labels: %w", err)
+		}
+		g = lg
+	}
+	return g, attrs, nil
+}
+
+// readHeader decodes and validates the fixed header plus section table.
+func readHeader(cr *crcReader) (*header, error) {
+	var hdr [headerSize]byte
+	// Check the magic before demanding a full header, so a short text file
+	// reports "not an NRPG snapshot" rather than a truncation.
+	if _, err := io.ReadFull(cr, hdr[:4]); err != nil {
+		return nil, fmt.Errorf("gio: reading header: %w", truncated(err))
+	}
+	if !IsNRPG(hdr[:4]) {
+		return nil, fmt.Errorf("gio: bad magic %q (not an NRPG snapshot)", hdr[:4])
+	}
+	if _, err := io.ReadFull(cr, hdr[4:]); err != nil {
+		return nil, fmt.Errorf("gio: reading header: %w", truncated(err))
+	}
+	return parseHeader(hdr[:], func(n int) ([]byte, error) {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(cr, buf); err != nil {
+			return nil, truncated(err)
+		}
+		return buf, nil
+	})
+}
+
+// parseHeader validates the 80-byte fixed header and fetches the section
+// table via more (which reads or slices the next n bytes). Shared by the
+// stream loader and the mmap loader.
+func parseHeader(hdr []byte, more func(n int) ([]byte, error)) (*header, error) {
+	if !IsNRPG(hdr) {
+		return nil, fmt.Errorf("gio: bad magic %q (not an NRPG snapshot)", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != nrpgVersion {
+		return nil, fmt.Errorf("gio: unsupported NRPG version %d (have %d)", v, nrpgVersion)
+	}
+	h := &header{flags: binary.LittleEndian.Uint64(hdr[8:16])}
+	fields := []*int64{&h.n, &h.numEdges, &h.nnz, &h.numLabels, &h.totalLabels, &h.attrDim}
+	for i, p := range fields {
+		*p = int64(binary.LittleEndian.Uint64(hdr[16+8*i:]))
+	}
+	sectionCount := int64(binary.LittleEndian.Uint64(hdr[64:72]))
+
+	if h.flags&^uint64(flagsKnown) != 0 {
+		return nil, fmt.Errorf("gio: snapshot uses unknown flags %#x", h.flags)
+	}
+	// Bound each field before trusting products or allocations.
+	if h.n < 1 || h.n > math.MaxInt32 {
+		return nil, fmt.Errorf("gio: implausible node count %d", h.n)
+	}
+	if h.nnz < 0 || h.nnz > 1<<40 || h.numEdges < 0 {
+		return nil, fmt.Errorf("gio: implausible arc count %d (edges %d)", h.nnz, h.numEdges)
+	}
+	if h.has(flagDirected) && h.numEdges != h.nnz {
+		return nil, fmt.Errorf("gio: directed snapshot with %d edges but %d arcs", h.numEdges, h.nnz)
+	}
+	if !h.has(flagDirected) && h.nnz != 2*h.numEdges {
+		return nil, fmt.Errorf("gio: undirected snapshot with %d edges but %d arcs", h.numEdges, h.nnz)
+	}
+	if h.numLabels < 0 || h.numLabels > math.MaxInt32 || h.totalLabels < 0 || h.totalLabels > 1<<40 {
+		return nil, fmt.Errorf("gio: implausible label counts (%d classes, %d assignments)", h.numLabels, h.totalLabels)
+	}
+	if h.attrDim < 0 || h.attrDim > 1<<24 {
+		return nil, fmt.Errorf("gio: implausible attribute dimension %d", h.attrDim)
+	}
+	if (h.has(flagLabels) && h.numLabels == 0) || (!h.has(flagLabels) && (h.numLabels != 0 || h.totalLabels != 0)) {
+		return nil, fmt.Errorf("gio: label flag and counts disagree")
+	}
+	if h.has(flagAttrs) != (h.attrDim > 0) {
+		return nil, fmt.Errorf("gio: attribute flag and dimension disagree")
+	}
+	if !h.has(flagHasRAdj) && (h.has(flagDirected) || !h.has(flagUnitVal)) {
+		return nil, fmt.Errorf("gio: snapshot omits the reverse adjacency but is not symmetric unit-weight")
+	}
+
+	want := h.expectedSections()
+	if sectionCount != int64(len(want)) {
+		return nil, fmt.Errorf("gio: section count %d, want %d for these flags", sectionCount, len(want))
+	}
+	table, err := more(tableEntry * len(want))
+	if err != nil {
+		return nil, fmt.Errorf("gio: reading section table: %w", err)
+	}
+	for i, w := range want {
+		ent := table[tableEntry*i:]
+		got := tableSection{
+			tag:    binary.LittleEndian.Uint32(ent[0:4]),
+			offset: int64(binary.LittleEndian.Uint64(ent[8:16])),
+			length: int64(binary.LittleEndian.Uint64(ent[16:24])),
+		}
+		if got != w {
+			return nil, fmt.Errorf("gio: section %d is {tag %d, offset %d, length %d}, want {tag %d, offset %d, length %d}",
+				i, got.tag, got.offset, got.length, w.tag, w.offset, w.length)
+		}
+	}
+	h.sections = want
+	return h, nil
+}
+
+// validateSortedRows rejects rows whose column indices are not strictly
+// increasing: sparse.New checks only bounds and row-pointer shape, but
+// every consumer (the binary-search At, the one-pass sorted merges
+// behind AddEdges/RemoveEdges) assumes sorted, duplicate-free rows, so
+// a foreign snapshot violating that must fail here rather than corrupt
+// queries silently. Snapshots written by Save always pass.
+func validateSortedRows(a *sparse.CSR) error {
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i] + 1; p < a.RowPtr[i+1]; p++ {
+			if a.ColIdx[p-1] >= a.ColIdx[p] {
+				return fmt.Errorf("row %d columns not strictly increasing at entry %d", i, p)
+			}
+		}
+	}
+	return nil
+}
+
+func allOnes(xs []float64) bool {
+	for _, x := range xs {
+		if x != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func sliceRows(flat []float64, n, dim int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return rows
+}
+
+func truncated(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("truncated snapshot: %w", err)
+	}
+	return err
+}
+
+// --- checksummed stream plumbing -----------------------------------------
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+	n   int64
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, crcTable, p[:n])
+	cw.n += int64(n)
+	return n, err
+}
+
+// pad writes zero bytes until the stream reaches off.
+func (cw *crcWriter) pad(off int64) error {
+	var zeros [8]byte
+	for cw.n < off {
+		k := off - cw.n
+		if k > int64(len(zeros)) {
+			k = int64(len(zeros))
+		}
+		if _, err := cw.Write(zeros[:k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+	n   int64
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, crcTable, p[:n])
+	cr.n += int64(n)
+	return n, err
+}
+
+// skipTo consumes (and hashes) bytes until the stream reaches off.
+func (cr *crcReader) skipTo(off int64) error {
+	var buf [8]byte
+	for cr.n < off {
+		k := off - cr.n
+		if k > int64(len(buf)) {
+			k = int64(len(buf))
+		}
+		if _, err := io.ReadFull(cr, buf[:k]); err != nil {
+			return truncated(err)
+		}
+	}
+	return nil
+}
+
+// --- chunked little-endian array codecs ----------------------------------
+
+const codecBuf = 1 << 13
+
+func writeInts(w io.Writer, xs []int) error {
+	var buf [codecBuf]byte
+	for len(xs) > 0 {
+		k := min(len(xs), codecBuf/8)
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], uint64(xs[i]))
+		}
+		if _, err := w.Write(buf[:8*k]); err != nil {
+			return err
+		}
+		xs = xs[k:]
+	}
+	return nil
+}
+
+func writeInt32s(w io.Writer, xs []int32) error {
+	var buf [codecBuf]byte
+	for len(xs) > 0 {
+		k := min(len(xs), codecBuf/4)
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(xs[i]))
+		}
+		if _, err := w.Write(buf[:4*k]); err != nil {
+			return err
+		}
+		xs = xs[k:]
+	}
+	return nil
+}
+
+func writeFloat64s(w io.Writer, xs []float64) error {
+	var buf [codecBuf]byte
+	for len(xs) > 0 {
+		k := min(len(xs), codecBuf/8)
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(xs[i]))
+		}
+		if _, err := w.Write(buf[:8*k]); err != nil {
+			return err
+		}
+		xs = xs[k:]
+	}
+	return nil
+}
+
+func writeLabels(w io.Writer, labels [][]int32) error {
+	counts := make([]int32, len(labels))
+	for v, ls := range labels {
+		counts[v] = int32(len(ls))
+	}
+	if err := writeInt32s(w, counts); err != nil {
+		return err
+	}
+	for _, ls := range labels {
+		if err := writeInt32s(w, ls); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// initialCap bounds the decoders' upfront allocation: the header's
+// element counts are attacker-controlled until the payload actually
+// arrives, so the output slices start at ≤1M elements and grow with
+// append as data is read — a tiny file claiming 2^40 arcs fails with
+// "truncated snapshot" after a few megabytes instead of a fatal
+// out-of-memory allocation.
+func initialCap(n int) int { return min(n, 1<<20) }
+
+func readInts(r io.Reader, n int) ([]int, error) {
+	out := make([]int, 0, initialCap(n))
+	var buf [codecBuf]byte
+	for i := 0; i < n; {
+		k := min(n-i, codecBuf/8)
+		if _, err := io.ReadFull(r, buf[:8*k]); err != nil {
+			return nil, truncated(err)
+		}
+		for j := 0; j < k; j++ {
+			out = append(out, int(int64(binary.LittleEndian.Uint64(buf[8*j:]))))
+		}
+		i += k
+	}
+	return out, nil
+}
+
+func readInt32s(r io.Reader, n int) ([]int32, error) {
+	out := make([]int32, 0, initialCap(n))
+	var buf [codecBuf]byte
+	for i := 0; i < n; {
+		k := min(n-i, codecBuf/4)
+		if _, err := io.ReadFull(r, buf[:4*k]); err != nil {
+			return nil, truncated(err)
+		}
+		for j := 0; j < k; j++ {
+			out = append(out, int32(binary.LittleEndian.Uint32(buf[4*j:])))
+		}
+		i += k
+	}
+	return out, nil
+}
+
+func readFloat64s(r io.Reader, n int) ([]float64, error) {
+	out := make([]float64, 0, initialCap(n))
+	var buf [codecBuf]byte
+	for i := 0; i < n; {
+		k := min(n-i, codecBuf/8)
+		if _, err := io.ReadFull(r, buf[:8*k]); err != nil {
+			return nil, truncated(err)
+		}
+		for j := 0; j < k; j++ {
+			out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:])))
+		}
+		i += k
+	}
+	return out, nil
+}
+
+func readLabels(r io.Reader, n, total int) ([][]int32, error) {
+	counts, err := readInt32s(r, n)
+	if err != nil {
+		return nil, err
+	}
+	sum := int64(0)
+	for _, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("negative label count %d", c)
+		}
+		sum += int64(c)
+	}
+	if sum != int64(total) {
+		return nil, fmt.Errorf("label counts sum to %d, header says %d", sum, total)
+	}
+	flat, err := readInt32s(r, total)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([][]int32, n)
+	off := 0
+	for v, c := range counts {
+		if c > 0 {
+			labels[v] = flat[off : off+int(c) : off+int(c)]
+			off += int(c)
+		}
+	}
+	return labels, nil
+}

@@ -1,0 +1,368 @@
+package gio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+	"github.com/nrp-embed/nrp/internal/sparse"
+)
+
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	sbm, err := graph.GenSBM(graph.SBMConfig{N: 200, M: 900, Communities: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := graph.GenErdosRenyi(150, 600, true, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny, err := graph.New(1, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparseLabels, err := graph.GenErdosRenyi(40, 80, false, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([][]int32, 40)
+	labels[3] = []int32{0, 2}
+	labels[17] = []int32{1}
+	sparseLabels, err = sparseLabels.WithLabels(labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*graph.Graph{
+		"undirected labeled sbm": sbm,
+		"directed er":            er,
+		"single node no edges":   tiny,
+		"partially labeled":      sparseLabels,
+	}
+}
+
+func TestNRPGRoundTrip(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Save(&buf, g, nil); err != nil {
+				t.Fatal(err)
+			}
+			if !IsNRPG(buf.Bytes()) {
+				t.Fatal("snapshot does not start with the NRPG magic")
+			}
+			got, attrs, err := Load(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if attrs != nil {
+				t.Fatalf("attrs %v from a graph saved without attributes", attrs)
+			}
+			graphsEqual(t, got, g)
+
+			// Saving is deterministic: same graph, same bytes.
+			var buf2 bytes.Buffer
+			if err := Save(&buf2, got, nil); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+				t.Fatal("re-saving a loaded snapshot changed the bytes")
+			}
+		})
+	}
+}
+
+func TestNRPGAttributesRoundTrip(t *testing.T) {
+	g, err := graph.GenSBM(graph.SBMConfig{N: 60, M: 200, Communities: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs, err := graph.GenAttributes(g, 5, 0.1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, g, attrs); err != nil {
+		t.Fatal(err)
+	}
+	got, gotAttrs, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, got, g)
+	if len(gotAttrs) != len(attrs) {
+		t.Fatalf("%d attribute rows, want %d", len(gotAttrs), len(attrs))
+	}
+	for v, row := range attrs {
+		for j, x := range row {
+			if gotAttrs[v][j] != x {
+				t.Fatalf("attr[%d][%d] = %v, want %v", v, j, gotAttrs[v][j], x)
+			}
+		}
+	}
+}
+
+func TestNRPGTruncated(t *testing.T) {
+	g, err := graph.GenSBM(graph.SBMConfig{N: 80, M: 300, Communities: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix must fail cleanly — never panic, never succeed.
+	for _, cut := range []int{0, 3, 4, headerSize - 1, headerSize, headerSize + 10,
+		len(full) / 2, len(full) - 5, len(full) - 1} {
+		if _, _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("accepted snapshot truncated to %d of %d bytes", cut, len(full))
+		}
+	}
+}
+
+func TestNRPGBadChecksum(t *testing.T) {
+	g, err := graph.GenSBM(graph.SBMConfig{N: 80, M: 300, Communities: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Flip one byte in an array section (past header and table, before the
+	// trailer): the CRC must catch it.
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	_, _, err = Load(bytes.NewReader(corrupt))
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupted payload: err = %v, want checksum mismatch", err)
+	}
+	// Flip the trailer itself.
+	corrupt = append([]byte(nil), full...)
+	corrupt[len(corrupt)-1] ^= 0x01
+	if _, _, err := Load(bytes.NewReader(corrupt)); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupted trailer: err = %v, want checksum mismatch", err)
+	}
+	// Trailing garbage after the trailer: Load must agree with LoadMmap's
+	// exact-size check and reject it.
+	padded := append(append([]byte(nil), full...), "extra"...)
+	if _, _, err := Load(bytes.NewReader(padded)); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing garbage: err = %v, want trailing-data error", err)
+	}
+}
+
+func TestNRPGBadHeader(t *testing.T) {
+	if _, _, err := Load(strings.NewReader("0 1\n1 2\n")); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("text input: err = %v, want bad magic", err)
+	}
+	g, err := graph.New(2, []graph.Edge{{U: 0, V: 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	future := append([]byte(nil), buf.Bytes()...)
+	future[4] = 99 // version
+	if _, _, err := Load(bytes.NewReader(future)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version: err = %v, want version error", err)
+	}
+}
+
+func TestNRPGMmapMatchesHeapLoad(t *testing.T) {
+	dir := t.TempDir()
+	for name, g := range testGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(dir, "g.nrpg")
+			f, err := os.Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Save(f, g, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			mg, attrs, closer, err := LoadMmap(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if attrs != nil {
+				t.Fatal("unexpected attributes")
+			}
+			graphsEqual(t, mg, g)
+
+			// The mapped arrays are read-only; mutation must go copy-on-write.
+			if mg.NumEdges > 0 {
+				e := mg.Edges()[0]
+				smaller, removed, err := mg.RemoveEdges([]graph.Edge{e})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(removed) != 1 || smaller.NumEdges != g.NumEdges-1 {
+					t.Fatalf("removed %d edges, graph now %d, want %d", len(removed), smaller.NumEdges, g.NumEdges-1)
+				}
+				graphsEqual(t, mg, g) // original snapshot untouched
+			}
+			if err := closer.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := closer.Close(); err != nil {
+				t.Fatalf("double close: %v", err)
+			}
+		})
+	}
+}
+
+func TestNRPGMmapAttrs(t *testing.T) {
+	g, err := graph.GenSBM(graph.SBMConfig{N: 50, M: 150, Communities: 3, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs, err := graph.GenAttributes(g, 4, 0.2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "a.nrpg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(f, g, attrs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mg, gotAttrs, closer, err := LoadMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	graphsEqual(t, mg, g)
+	for v, row := range attrs {
+		for j, x := range row {
+			if gotAttrs[v][j] != x {
+				t.Fatalf("attr[%d][%d] = %v, want %v", v, j, gotAttrs[v][j], x)
+			}
+		}
+	}
+}
+
+func TestNRPGMmapRejectsCorruptStructure(t *testing.T) {
+	g, err := graph.GenSBM(graph.SBMConfig{N: 64, M: 256, Communities: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	dir := t.TempDir()
+	write := func(name string, b []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// Truncated file: size no longer matches the header's description.
+	if _, _, _, err := LoadMmap(write("trunc.nrpg", full[:len(full)-100])); err == nil {
+		t.Fatal("mmap accepted a truncated snapshot")
+	}
+	// Non-monotone row pointers in the mapped CSR region.
+	bad := append([]byte(nil), full...)
+	// RowPtr section starts right after header+table; write a huge value
+	// into the second row pointer.
+	secStart := headerSize + tableEntry*3 // undirected unit graph: 3 sections
+	for i := 0; i < 8; i++ {
+		bad[secStart+8+i] = 0xff
+	}
+	if _, _, _, err := LoadMmap(write("badrowptr.nrpg", bad)); err == nil {
+		t.Fatal("mmap accepted corrupt row pointers")
+	}
+}
+
+// TestNRPGRejectsUnsortedColumns writes a snapshot whose adjacency rows
+// violate the sorted-column invariant (as a foreign writer could) and
+// checks the heap loader rejects it: downstream one-pass sorted merges
+// would otherwise corrupt silently.
+func TestNRPGRejectsUnsortedColumns(t *testing.T) {
+	csr := &sparse.CSR{Rows: 2, Cols: 2, RowPtr: []int{0, 2, 2}, ColIdx: []int32{1, 0}, Val: []float64{1, 1}}
+	g := &graph.Graph{N: 2, Directed: true, NumEdges: 2, Adj: csr, RAdj: csr.Transpose()}
+	var buf bytes.Buffer
+	if err := Save(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Load(bytes.NewReader(buf.Bytes()))
+	if err == nil || !strings.Contains(err.Error(), "strictly increasing") {
+		t.Fatalf("unsorted columns: err = %v, want strictly-increasing violation", err)
+	}
+}
+
+// TestNRPGCraftedHugeCounts feeds Load a tiny file whose header (and
+// matching section table) claim 2^40 arcs: the bounded decoders must
+// fail with a truncation error after a small allocation, not abort the
+// process trying to materialize terabyte arrays.
+func TestNRPGCraftedHugeCounts(t *testing.T) {
+	h := header{flags: flagUnitVal, n: 2, numEdges: 1 << 39, nnz: 1 << 40}
+	secs := h.expectedSections()
+	buf := make([]byte, headerSize+tableEntry*len(secs))
+	copy(buf[0:4], nrpgMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], nrpgVersion)
+	binary.LittleEndian.PutUint64(buf[8:16], h.flags)
+	for i, x := range []int64{h.n, h.numEdges, h.nnz, 0, 0, 0, int64(len(secs))} {
+		binary.LittleEndian.PutUint64(buf[16+8*i:], uint64(x))
+	}
+	for i, s := range secs {
+		ent := buf[headerSize+tableEntry*i:]
+		binary.LittleEndian.PutUint32(ent[0:4], s.tag)
+		binary.LittleEndian.PutUint64(ent[8:16], uint64(s.offset))
+		binary.LittleEndian.PutUint64(ent[16:24], uint64(s.length))
+	}
+	_, _, err := Load(bytes.NewReader(buf))
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("crafted 2^40-arc header: err = %v, want truncation", err)
+	}
+}
+
+func TestNRPGParseSaveLoadPipeline(t *testing.T) {
+	// Text → parallel parse → snapshot → mmap: the full ingestion path.
+	rng := rand.New(rand.NewSource(77))
+	text := randomEdgeText(rng, 3000)
+	want, err := graph.ReadEdgeList(strings.NewReader(text), false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseEdgeList([]byte(text), false, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.nrpg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(f, parsed, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, _, closer, err := LoadMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	graphsEqual(t, g, want)
+}

@@ -1,0 +1,153 @@
+// Package gio is the massive-graph ingestion layer: a chunked parallel
+// edge-list parser and the versioned NRPG binary snapshot format with
+// heap and zero-copy mmap loaders.
+//
+// The text parser splits its input into byte ranges aligned to line
+// boundaries, parses each range concurrently on the shared par.Pool with
+// the exact line grammar of graph.ReadEdgeList (graph.ParseEdgeLine), and
+// concatenates the per-chunk edge slices in chunk order — so the edge
+// sequence, and therefore the CSR built from it, is bit-identical to the
+// serial reader at every thread count.
+//
+// NRPG snapshots store the CSR arrays in their in-memory layout (raw
+// little-endian int64 row pointers, int32 column indices, float64
+// values), which is what makes LoadMmap zero-copy: the arrays are sliced
+// straight out of the mapping, multi-gigabyte graphs boot in
+// milliseconds, and page cache is shared across processes serving the
+// same snapshot.
+package gio
+
+import (
+	"fmt"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+	"github.com/nrp-embed/nrp/internal/par"
+)
+
+// parseChunk is the result of parsing one byte range of the input.
+type parseChunk struct {
+	edges   []graph.Edge
+	lines   int   // total lines seen, including comments and blanks
+	maxID   int32 // largest node id in edges, -1 if none
+	errLine int   // 1-based line offset within the chunk of err
+	err     error
+}
+
+// ParseEdgeList parses a whitespace-separated edge list (the grammar of
+// graph.ReadEdgeList: "u v" per line, '#'/'%' comments, '\r\n' tolerated,
+// lines capped at graph.MaxLineLen) from an in-memory byte slice,
+// splitting the work across the pool. The resulting graph is
+// bit-identical to graph.ReadEdgeList on the same bytes for any pool
+// size, and malformed-line errors name the same (1-based) line the
+// serial reader would have stopped at (oversized lines also fail both
+// parsers, with differing messages — the serial reader's scanner reports
+// no line number). A nil pool parses on one goroutine.
+func ParseEdgeList(data []byte, directed bool, minNodes int, p *par.Pool) (*graph.Graph, error) {
+	bounds := chunkBounds(data, p.Chunks(len(data)))
+	chunks := make([]parseChunk, len(bounds)-1)
+	p.For(len(chunks), func(_, lo, hi int) {
+		for c := lo; c < hi; c++ {
+			chunks[c] = parseRange(data[bounds[c]:bounds[c+1]])
+		}
+	})
+
+	// Surface the earliest error at its global line number, exactly where
+	// the serial reader would have stopped.
+	line := 0
+	for _, c := range chunks {
+		if c.err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line+c.errLine, c.err)
+		}
+		line += c.lines
+	}
+
+	total := 0
+	maxID := int32(-1)
+	for _, c := range chunks {
+		total += len(c.edges)
+		if c.maxID > maxID {
+			maxID = c.maxID
+		}
+	}
+	edges := make([]graph.Edge, 0, total)
+	for _, c := range chunks {
+		edges = append(edges, c.edges...)
+	}
+	n := int(maxID) + 1
+	if n < minNodes {
+		n = minNodes
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("graph: empty edge list and no minimum node count")
+	}
+	return graph.New(n, edges, directed)
+}
+
+// chunkBounds splits [0, len(data)) into nc byte ranges whose boundaries
+// sit just past a '\n', so every chunk starts at a line start and no line
+// crosses a boundary. Boundaries depend only on the data and nc.
+func chunkBounds(data []byte, nc int) []int {
+	if nc < 1 {
+		nc = 1
+	}
+	bounds := make([]int, 1, nc+1)
+	for w := 1; w < nc; w++ {
+		cut := w * len(data) / nc
+		if cut < bounds[len(bounds)-1] {
+			cut = bounds[len(bounds)-1]
+		}
+		// Advance to just past the next newline; the remainder of the file
+		// joins the final chunk if none is found.
+		for cut < len(data) && data[cut] != '\n' {
+			cut++
+		}
+		if cut < len(data) {
+			cut++
+		}
+		if cut > bounds[len(bounds)-1] {
+			bounds = append(bounds, cut)
+		}
+	}
+	if last := bounds[len(bounds)-1]; last < len(data) || len(bounds) == 1 {
+		bounds = append(bounds, len(data))
+	}
+	return bounds
+}
+
+// parseRange parses one line-aligned byte range. On error it keeps the
+// 1-based line offset within the range so the caller can reconstruct the
+// global line number.
+func parseRange(data []byte) parseChunk {
+	c := parseChunk{maxID: -1}
+	for pos := 0; pos < len(data); {
+		end := pos
+		for end < len(data) && data[end] != '\n' {
+			end++
+		}
+		c.lines++
+		// Match the serial reader's scanner cap exactly: bufio.Scanner
+		// declares ErrTooLong once its MaxLineLen buffer fills without
+		// yielding a token, which rejects every line of MaxLineLen bytes
+		// or more (the '\n' of a shorter line always fits alongside it).
+		if end-pos >= graph.MaxLineLen {
+			c.errLine, c.err = c.lines, fmt.Errorf("line exceeds %d bytes", graph.MaxLineLen-1)
+			return c
+		}
+		u, v, ok, err := graph.ParseEdgeLine(data[pos:end])
+		if err != nil {
+			c.errLine, c.err = c.lines, err
+			return c
+		}
+		if ok {
+			c.edges = append(c.edges, graph.Edge{U: u, V: v})
+			if u > c.maxID {
+				c.maxID = u
+			}
+			if v > c.maxID {
+				c.maxID = v
+			}
+		}
+		pos = end + 1
+	}
+	return c
+}

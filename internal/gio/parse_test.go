@@ -1,0 +1,237 @@
+package gio
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+	"github.com/nrp-embed/nrp/internal/par"
+	"github.com/nrp-embed/nrp/internal/sparse"
+)
+
+// graphsEqual asserts two graphs are bit-identical: same scalars, same
+// CSR arrays for both orientations, same labels. Label rows are compared
+// element-wise so a nil row equals an empty one.
+func graphsEqual(t *testing.T, got, want *graph.Graph) {
+	t.Helper()
+	if got.N != want.N || got.Directed != want.Directed || got.NumEdges != want.NumEdges {
+		t.Fatalf("graph shape (n=%d directed=%v m=%d), want (n=%d directed=%v m=%d)",
+			got.N, got.Directed, got.NumEdges, want.N, want.Directed, want.NumEdges)
+	}
+	csrEqual(t, "Adj", got.Adj, want.Adj)
+	csrEqual(t, "RAdj", got.RAdj, want.RAdj)
+	if got.NumLabels != want.NumLabels || (got.Labels == nil) != (want.Labels == nil) {
+		t.Fatalf("labels: %d classes (nil=%v), want %d (nil=%v)",
+			got.NumLabels, got.Labels == nil, want.NumLabels, want.Labels == nil)
+	}
+	for v := range want.Labels {
+		g, w := got.Labels[v], want.Labels[v]
+		if len(g) != len(w) {
+			t.Fatalf("node %d has %d labels, want %d", v, len(g), len(w))
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("node %d label %d is %d, want %d", v, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+func csrEqual(t *testing.T, name string, got, want *sparse.CSR) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols || got.NNZ() != want.NNZ() {
+		t.Fatalf("%s shape %dx%d/%d, want %dx%d/%d", name,
+			got.Rows, got.Cols, got.NNZ(), want.Rows, want.Cols, want.NNZ())
+	}
+	for i, p := range want.RowPtr {
+		if got.RowPtr[i] != p {
+			t.Fatalf("%s RowPtr[%d] = %d, want %d", name, i, got.RowPtr[i], p)
+		}
+	}
+	for i, c := range want.ColIdx {
+		if got.ColIdx[i] != c {
+			t.Fatalf("%s ColIdx[%d] = %d, want %d", name, i, got.ColIdx[i], c)
+		}
+	}
+	for i, v := range want.Val {
+		if got.Val[i] != v {
+			t.Fatalf("%s Val[%d] = %v, want %v", name, i, got.Val[i], v)
+		}
+	}
+}
+
+func TestParseEdgeListMatchesSerialGenerated(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		text := randomEdgeText(rng, 1+rng.Intn(400))
+		directed := rng.Intn(2) == 0
+		minNodes := rng.Intn(3) * rng.Intn(50)
+		want, serr := graph.ReadEdgeList(strings.NewReader(text), directed, minNodes)
+		for _, workers := range []int{1, 2, 3, 7, 16} {
+			got, perr := ParseEdgeList([]byte(text), directed, minNodes, par.New(workers))
+			if (serr == nil) != (perr == nil) {
+				t.Fatalf("trial %d workers %d: serial err %v, parallel err %v", trial, workers, serr, perr)
+			}
+			if serr != nil {
+				if serr.Error() != perr.Error() {
+					t.Fatalf("trial %d workers %d: serial error %q, parallel %q", trial, workers, serr, perr)
+				}
+				continue
+			}
+			graphsEqual(t, got, want)
+		}
+	}
+}
+
+// randomEdgeText generates edge-list text mixing edges, comments, blank
+// lines, '\r\n' endings, duplicate edges, self-loops and messy spacing.
+func randomEdgeText(rng *rand.Rand, lines int) string {
+	var sb strings.Builder
+	n := 1 + rng.Intn(60)
+	for i := 0; i < lines; i++ {
+		switch r := rng.Float64(); {
+		case r < 0.05:
+			sb.WriteString("# a comment line\n")
+		case r < 0.08:
+			sb.WriteString("% another comment\n")
+		case r < 0.12:
+			sb.WriteString("\n")
+		case r < 0.14:
+			sb.WriteString("   \t \n")
+		default:
+			u, v := rng.Intn(n), rng.Intn(n)
+			pad1 := strings.Repeat(" ", rng.Intn(3))
+			sep := []string{" ", "\t", "  ", " \t"}[rng.Intn(4)]
+			end := []string{"\n", "\r\n", " \n", "\t\r\n"}[rng.Intn(4)]
+			fmt.Fprintf(&sb, "%s%d%s%d%s", pad1, u, sep, v, end)
+		}
+	}
+	return sb.String()
+}
+
+func TestParseEdgeListErrorLineNumbers(t *testing.T) {
+	// Build a long input with the bad line deep enough that it lands in a
+	// late chunk for every worker count tested.
+	var sb strings.Builder
+	for i := 0; i < 5000; i++ {
+		fmt.Fprintf(&sb, "%d %d\n", i%97, (i+1)%97)
+	}
+	sb.WriteString("not numbers\n")
+	for i := 0; i < 500; i++ {
+		sb.WriteString("bogus too\n") // later errors must not win
+	}
+	text := sb.String()
+	want, serr := graph.ReadEdgeList(strings.NewReader(text), false, 0)
+	if want != nil || serr == nil {
+		t.Fatalf("serial: graph %v err %v", want, serr)
+	}
+	if !strings.Contains(serr.Error(), "line 5001") {
+		t.Fatalf("serial error %q does not name line 5001", serr)
+	}
+	for _, workers := range []int{1, 2, 5, 13} {
+		_, perr := ParseEdgeList([]byte(text), false, 0, par.New(workers))
+		if perr == nil || perr.Error() != serr.Error() {
+			t.Fatalf("workers %d: error %q, want %q", workers, perr, serr)
+		}
+	}
+}
+
+func TestParseEdgeListWriteReadCycle(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		g, err := graph.GenErdosRenyi(300, 1200, directed, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := graph.WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		want, err := graph.ReadEdgeList(bytes.NewReader(buf.Bytes()), directed, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseEdgeList(buf.Bytes(), directed, 0, par.New(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphsEqual(t, got, want)
+	}
+}
+
+func TestParseEdgeListNilPoolAndEdgeCases(t *testing.T) {
+	g, err := ParseEdgeList([]byte("0 1\n1 2"), false, 0, nil) // no trailing newline
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.NumEdges != 2 {
+		t.Fatalf("got n=%d m=%d", g.N, g.NumEdges)
+	}
+	if _, err := ParseEdgeList(nil, false, 0, par.New(4)); err == nil {
+		t.Fatal("empty input without minNodes accepted")
+	}
+	g, err = ParseEdgeList([]byte("# nothing\n"), true, 7, par.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 7 || g.NumEdges != 0 {
+		t.Fatalf("got n=%d m=%d, want n=7 m=0", g.N, g.NumEdges)
+	}
+}
+
+// TestParseEdgeListOversizedLine: both parsers must reject a line past
+// graph.MaxLineLen (the serial scanner's cap), keeping the accepted
+// language identical even though the error text differs.
+func TestParseEdgeListOversizedLine(t *testing.T) {
+	// comment pads a comment line to exactly n bytes (excluding '\n').
+	comment := func(n int) string { return "#" + strings.Repeat("x", n-1) }
+	cases := []struct {
+		name string
+		text string
+		ok   bool
+	}{
+		// The scanner rejects any line of MaxLineLen bytes or more,
+		// terminated or not; both parsers must draw the same boundary.
+		{"way over", "0 1\n" + comment(graph.MaxLineLen+5) + "\n1 2\n", false},
+		{"terminated at cap", "0 1\n" + comment(graph.MaxLineLen) + "\n1 2\n", false},
+		{"terminated under cap", "0 1\n" + comment(graph.MaxLineLen-1) + "\n1 2\n", true},
+		{"unterminated at cap", "0 1\n" + comment(graph.MaxLineLen), false},
+		{"unterminated under cap", "0 1\n" + comment(graph.MaxLineLen-1), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, serr := graph.ReadEdgeList(strings.NewReader(tc.text), false, 0)
+			if (serr == nil) != tc.ok {
+				t.Fatalf("serial: err = %v, want ok=%v", serr, tc.ok)
+			}
+			for _, workers := range []int{1, 4} {
+				_, perr := ParseEdgeList([]byte(tc.text), false, 0, par.New(workers))
+				if (perr == nil) != tc.ok {
+					t.Fatalf("workers %d: err = %v, want ok=%v (serial: %v)", workers, perr, tc.ok, serr)
+				}
+			}
+		})
+	}
+}
+
+func TestChunkBoundsLineAligned(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		data := []byte(randomEdgeText(rng, rng.Intn(40)))
+		nc := 1 + rng.Intn(9)
+		bounds := chunkBounds(data, nc)
+		if bounds[0] != 0 || bounds[len(bounds)-1] != len(data) {
+			t.Fatalf("bounds %v do not cover [0,%d)", bounds, len(data))
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] && !(len(data) == 0 && bounds[i] == 0) {
+				t.Fatalf("bounds %v not strictly increasing", bounds)
+			}
+			if b := bounds[i]; b < len(data) && b > 0 && data[b-1] != '\n' {
+				t.Fatalf("boundary %d not line-aligned in %q", b, data)
+			}
+		}
+	}
+}

@@ -46,34 +46,36 @@ func New(n int, edges []Edge, directed bool) (*Graph, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("graph: need at least one node, got %d", n)
 	}
-	seen := make(map[int64]struct{}, len(edges))
-	triples := make([]sparse.Triple, 0, 2*len(edges))
-	numEdges := 0
 	for _, e := range edges {
 		if int(e.U) < 0 || int(e.U) >= n || int(e.V) < 0 || int(e.V) >= n {
 			return nil, fmt.Errorf("graph: edge (%d,%d) outside [0,%d)", e.U, e.V, n)
 		}
+	}
+	// Deduplication rides on FromTriples' counting sort instead of a hash
+	// set: duplicate arcs land adjacent and are summed, so clamping the
+	// values back to 1 afterwards yields exactly the unit-weight adjacency
+	// a per-edge dedup would build, in O(nnz + n) with no map.
+	triples := make([]sparse.Triple, 0, 2*len(edges))
+	for _, e := range edges {
 		if e.U == e.V {
 			continue // drop self-loops
 		}
-		u, v := e.U, e.V
-		if !directed && u > v {
-			u, v = v, u
-		}
-		key := int64(u)*int64(n) + int64(v)
-		if _, dup := seen[key]; dup {
-			continue
-		}
-		seen[key] = struct{}{}
-		numEdges++
-		triples = append(triples, sparse.Triple{Row: u, Col: v, Val: 1})
+		triples = append(triples, sparse.Triple{Row: e.U, Col: e.V, Val: 1})
 		if !directed {
-			triples = append(triples, sparse.Triple{Row: v, Col: u, Val: 1})
+			triples = append(triples, sparse.Triple{Row: e.V, Col: e.U, Val: 1})
 		}
 	}
 	adj, err := sparse.FromTriples(n, n, triples)
 	if err != nil {
 		return nil, err
+	}
+	for i := range adj.Val {
+		adj.Val[i] = 1
+	}
+	numEdges := adj.NNZ()
+	if !directed {
+		// Each unique undirected edge was inserted as both arcs.
+		numEdges /= 2
 	}
 	g := &Graph{
 		N:        n,

@@ -9,42 +9,36 @@ import (
 )
 
 // ReadEdgeList parses a whitespace-separated edge list ("u v" per line;
-// '#' and '%' start comments) and returns the graph. Node ids must be
-// non-negative integers; the node count is max id + 1 unless minNodes is
-// larger.
+// '#' and '%' start comments; '\r\n' endings and surrounding whitespace
+// are tolerated) and returns the graph. Node ids must be non-negative
+// integers fitting in int32 — overflowing or malformed ids are rejected
+// with the offending line number. The node count is max id + 1 unless
+// minNodes is larger.
+//
+// ReadEdgeList streams serially; internal/gio.ParseEdgeList parses the
+// same grammar in parallel byte-range chunks and produces a bit-identical
+// graph.
 func ReadEdgeList(r io.Reader, directed bool, minNodes int) (*Graph, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, 64<<10), MaxLineLen)
 	var edges []Edge
 	maxID := int32(-1)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || line[0] == '#' || line[0] == '%' {
+		u, v, ok, err := ParseEdgeLine(sc.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		if !ok {
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: line %d: want 'u v', got %q", lineNo, line)
+		edges = append(edges, Edge{U: u, V: v})
+		if u > maxID {
+			maxID = u
 		}
-		u, err := strconv.ParseInt(fields[0], 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
-		}
-		v, err := strconv.ParseInt(fields[1], 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
-		}
-		if u < 0 || v < 0 {
-			return nil, fmt.Errorf("graph: line %d: negative node id", lineNo)
-		}
-		edges = append(edges, Edge{U: int32(u), V: int32(v)})
-		if int32(u) > maxID {
-			maxID = int32(u)
-		}
-		if int32(v) > maxID {
-			maxID = int32(v)
+		if v > maxID {
+			maxID = v
 		}
 	}
 	if err := sc.Err(); err != nil {

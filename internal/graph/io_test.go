@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReadEdgeListGrammar exercises the tolerated line shapes: comments,
+// blank lines, '\r\n' endings, surrounding whitespace, extra fields, and
+// duplicate/self-loop edges.
+func TestReadEdgeListGrammar(t *testing.T) {
+	input := strings.Join([]string{
+		"# comment",
+		"% matrix-market style comment",
+		"",
+		"   ",
+		"0 1",
+		"1\t2",
+		"  2   3  ",
+		"3 4\r",
+		"4 5 999 ignored trailing fields",
+		"+5 6",
+		"1 0", // duplicate of 0 1 (undirected)
+		"2 2", // self-loop, dropped
+		"\t#indented comment",
+	}, "\n")
+	g, err := ReadEdgeList(strings.NewReader(input), false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 7 {
+		t.Fatalf("n = %d, want 7", g.N)
+	}
+	if g.NumEdges != 6 {
+		t.Fatalf("edges = %d, want 6", g.NumEdges)
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}} {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Errorf("missing edge %v", e)
+		}
+	}
+	if g.HasEdge(2, 2) {
+		t.Error("self-loop survived")
+	}
+}
+
+// TestReadEdgeListMalformed checks that malformed input is rejected with
+// the offending line number in the error.
+func TestReadEdgeListMalformed(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		line  string // substring the error must contain (the line number)
+	}{
+		{"single field", "0 1\n7\n", "line 2"},
+		{"non-numeric", "0 1\nfoo bar\n", "line 2"},
+		{"non-numeric second", "0 1\n2 bar\n", "line 2"},
+		{"negative id", "0 1\n1 -2\n", "line 2"},
+		{"negative first", "-1 2\n", "line 1"},
+		{"int32 overflow", "0 1\n1 2\n2 2147483648\n", "line 3"},
+		{"big overflow", "0 99999999999999999999\n", "line 1"},
+		{"float id", "0 1.5\n", "line 1"},
+		{"hex id", "0 0x1f\n", "line 1"},
+		{"stray sign", "0 +\n", "line 1"},
+		{"crlf preserved line count", "0 1\r\n\r\nbogus line\r\n", "line 3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadEdgeList(strings.NewReader(tc.input), true, 0)
+			if err == nil {
+				t.Fatalf("accepted %q", tc.input)
+			}
+			if !strings.Contains(err.Error(), tc.line) {
+				t.Fatalf("error %q does not name %s", err, tc.line)
+			}
+		})
+	}
+}
+
+// TestParseEdgeLineBoundaryIDs pins down the int32 boundary at the line
+// grammar level (a 2^31-node graph would not fit in memory): MaxInt32 is
+// a valid node id, MaxInt32+1 is not.
+func TestParseEdgeLineBoundaryIDs(t *testing.T) {
+	u, v, ok, err := ParseEdgeLine([]byte("2147483647 0"))
+	if err != nil || !ok {
+		t.Fatalf("max int32 id rejected: ok=%v err=%v", ok, err)
+	}
+	if u != 1<<31-1 || v != 0 {
+		t.Fatalf("parsed (%d,%d)", u, v)
+	}
+	if _, _, _, err := ParseEdgeLine([]byte("2147483648 0")); err == nil {
+		t.Fatal("accepted id overflowing int32")
+	}
+	if _, _, _, err := ParseEdgeLine([]byte("0 -0")); err != nil {
+		t.Fatalf("-0 rejected: %v", err) // strconv.ParseInt accepts -0; keep it
+	}
+}
+
+func TestReadEdgeListEmpty(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("# only comments\n"), false, 0); err == nil {
+		t.Fatal("accepted empty edge list without minNodes")
+	}
+	g, err := ReadEdgeList(strings.NewReader(""), false, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 5 || g.NumEdges != 0 {
+		t.Fatalf("got n=%d m=%d, want n=5 m=0", g.N, g.NumEdges)
+	}
+}

@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// MaxLineLen is the longest edge-list line both parsers accept: the
+// serial ReadEdgeList caps its scanner buffer here, and the parallel
+// parser in internal/gio enforces the same bound so the two loaders
+// keep accepting and rejecting the same inputs.
+const MaxLineLen = 1 << 20
+
+// asciiSpace marks the single-byte runes strings.Fields splits on; lines
+// made of these bytes parse on the allocation-free fast path below.
+var asciiSpace = [256]bool{'\t': true, '\n': true, '\v': true, '\f': true, '\r': true, ' ': true}
+
+// ParseEdgeLine parses one edge-list line: at least two whitespace-
+// separated non-negative integer node ids (extra fields are ignored, as
+// are trailing '\r' and surrounding whitespace). Blank lines and lines
+// whose first non-space byte is '#' or '%' report ok=false. Malformed
+// lines — fewer than two fields, non-numeric ids, negative ids, or ids
+// overflowing int32 — return an error without a line number; callers
+// prepend their own position. ParseEdgeLine is the single line grammar
+// shared by the serial ReadEdgeList and the parallel parser in
+// internal/gio, which keeps the two loaders equivalent by construction.
+func ParseEdgeLine(line []byte) (u, v int32, ok bool, err error) {
+	i, n := 0, len(line)
+	for i < n && asciiSpace[line[i]] {
+		i++
+	}
+	if i == n || line[i] == '#' || line[i] == '%' {
+		return 0, 0, false, nil
+	}
+	for _, c := range line {
+		if c >= utf8.RuneSelf {
+			// Non-ASCII bytes are vanishingly rare in edge lists; take the
+			// unicode-correct reference path so exotic whitespace still
+			// parses the way strings.Fields would split it.
+			return parseEdgeLineSlow(line)
+		}
+	}
+	u, i, err = parseNodeID(line, i)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	for i < n && asciiSpace[line[i]] {
+		i++
+	}
+	if i == n {
+		return 0, 0, false, fmt.Errorf("want 'u v', got %q", bytes.TrimSpace(line))
+	}
+	v, _, err = parseNodeID(line, i)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return u, v, true, nil
+}
+
+// parseNodeID parses the whitespace-delimited token starting at line[i] as
+// a non-negative int32, returning the index just past the token.
+func parseNodeID(line []byte, i int) (int32, int, error) {
+	j := i
+	for j < len(line) && !asciiSpace[line[j]] {
+		j++
+	}
+	tok := line[i:j]
+	k := 0
+	neg := false
+	if tok[0] == '+' || tok[0] == '-' {
+		neg = tok[0] == '-'
+		k++
+	}
+	if k == len(tok) {
+		return 0, 0, fmt.Errorf("invalid node id %q", tok)
+	}
+	var x int64
+	for ; k < len(tok); k++ {
+		c := tok[k]
+		if c < '0' || c > '9' {
+			return 0, 0, fmt.Errorf("invalid node id %q", tok)
+		}
+		x = x*10 + int64(c-'0')
+		if x > math.MaxInt32 {
+			return 0, 0, fmt.Errorf("node id %q overflows int32", tok)
+		}
+	}
+	if neg && x != 0 {
+		return 0, 0, fmt.Errorf("negative node id")
+	}
+	return int32(x), j, nil
+}
+
+// parseEdgeLineSlow is the strings-based reference grammar, kept for lines
+// containing non-ASCII bytes.
+func parseEdgeLineSlow(line []byte) (int32, int32, bool, error) {
+	s := strings.TrimSpace(string(line))
+	if s == "" || s[0] == '#' || s[0] == '%' {
+		return 0, 0, false, nil
+	}
+	fields := strings.Fields(s)
+	if len(fields) < 2 {
+		return 0, 0, false, fmt.Errorf("want 'u v', got %q", s)
+	}
+	u, err := strconv.ParseInt(fields[0], 10, 32)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	v, err := strconv.ParseInt(fields[1], 10, 32)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if u < 0 || v < 0 {
+		return 0, 0, false, fmt.Errorf("negative node id")
+	}
+	return int32(u), int32(v), true, nil
+}

@@ -59,14 +59,17 @@
 package nrp
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"io"
 	"os"
 
 	"github.com/nrp-embed/nrp/internal/core"
+	"github.com/nrp-embed/nrp/internal/gio"
 	"github.com/nrp-embed/nrp/internal/graph"
 	"github.com/nrp-embed/nrp/internal/matrix"
+	"github.com/nrp-embed/nrp/internal/par"
 )
 
 // Graph is a node-indexed graph with CSR adjacency. Construct with
@@ -215,20 +218,108 @@ func NewGraph(n int, edges []Edge, directed bool) (*Graph, error) {
 	return graph.New(n, edges, directed)
 }
 
-// ReadGraph parses a whitespace-separated edge list ("u v" per line, '#'
-// comments) from r.
+// ReadGraph reads a graph from r in either supported format, sniffing the
+// magic bytes: an NRPG binary snapshot (written by SaveGraph or
+// `nrp convert`) is decoded with full checksum verification and its stored
+// directedness wins; anything else is parsed as a whitespace-separated
+// edge list ("u v" per line, '#'/'%' comments) with the parallel chunked
+// parser, which produces a graph bit-identical to the serial reader.
 func ReadGraph(r io.Reader, directed bool) (*Graph, error) {
-	return graph.ReadEdgeList(r, directed, 0)
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic, err := br.Peek(4)
+	if err == nil && gio.IsNRPG(magic) {
+		g, _, err := gio.Load(br)
+		return g, err
+	}
+	data, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("nrp: reading edge list: %w", err)
+	}
+	return gio.ParseEdgeList(data, directed, 0, par.New(0))
 }
 
-// LoadGraph reads an edge-list file from disk.
+// LoadGraph reads a graph file from disk — an edge list or an NRPG
+// snapshot, sniffed as in ReadGraph. NRPG snapshots are heap-loaded and
+// fully verified; use LoadGraphMmap (or OpenGraph) to boot a large
+// snapshot zero-copy. Unlike ReadGraph, the text path reads the file
+// into one exactly-sized buffer instead of growing through io.ReadAll.
 func LoadGraph(path string, directed bool) (*Graph, error) {
-	f, err := os.Open(path)
+	bin, err := gio.SniffFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("nrp: opening graph: %w", err)
 	}
-	defer f.Close()
-	return ReadGraph(f, directed)
+	if bin {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("nrp: opening graph: %w", err)
+		}
+		defer f.Close()
+		g, _, err := gio.Load(f)
+		return g, err
+	}
+	return loadGraphText(path, directed)
+}
+
+// loadGraphText reads an edge-list file into one exactly-sized buffer
+// and runs the parallel parser over it.
+func loadGraphText(path string, directed bool) (*Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("nrp: reading graph: %w", err)
+	}
+	return gio.ParseEdgeList(data, directed, 0, par.New(0))
+}
+
+// OpenGraph loads a graph file in either supported format, picking the
+// fastest loader: NRPG snapshots are memory-mapped as in LoadGraphMmap
+// (with its caveats), text edge lists are parsed in parallel as in
+// LoadGraph (the closer is then a no-op). This is the boot path of
+// cmd/nrp and cmd/nrpserve; the closer must stay open for as long as
+// the graph is used.
+func OpenGraph(path string, directed bool) (*Graph, io.Closer, error) {
+	bin, err := gio.SniffFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("nrp: opening graph: %w", err)
+	}
+	if bin {
+		return LoadGraphMmap(path)
+	}
+	g, err := loadGraphText(path, directed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, io.NopCloser(nil), nil
+}
+
+// SaveGraph writes g to path as an NRPG v1 binary snapshot (labels
+// included), the format LoadGraph sniffs and LoadGraphMmap boots
+// zero-copy. Snapshots are deterministic: the same graph always produces
+// the same bytes.
+func SaveGraph(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nrp: creating snapshot: %w", err)
+	}
+	if err := gio.Save(f, g, nil); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadGraphMmap memory-maps an NRPG snapshot and returns a graph whose
+// CSR arrays alias the read-only mapping: multi-gigabyte graphs boot in
+// milliseconds, pages load lazily, and concurrent processes serving the
+// same snapshot share one page-cache copy. The graph must not be used
+// after the returned Closer is closed. Unlike LoadGraph, the trailing
+// checksum and per-entry column indices are not verified (that would
+// touch every page); load a snapshot of doubtful provenance with
+// LoadGraph first. All mutation paths (AddEdges, RemoveEdges, live
+// serving refreshes) are copy-on-write and therefore safe on a mapped
+// graph.
+func LoadGraphMmap(path string) (*Graph, io.Closer, error) {
+	g, _, closer, err := gio.LoadMmap(path)
+	return g, closer, err
 }
 
 // WriteGraph writes g as an edge list readable by ReadGraph.
