@@ -7,6 +7,7 @@
 //
 //	benchcmp -baseline bench/baseline [-current .] [-tolerance 0.25]
 //	         [-relative-only] [-files BENCH_topk.json,BENCH_ingest.json]
+//	         [-write-baseline]
 //
 // Every *.json record in the baseline directory with a known schema is
 // compared by default. Metrics are either relative (speedups, AUC —
@@ -17,10 +18,12 @@
 // coverage. Exit status: 0 clean, 1 regression detected, 2 usage or I/O
 // error.
 //
-// To update the baselines after an intentional performance change:
+// To update the baselines after an intentional performance change, run
+// the gated benchmarks and let -write-baseline validate each fresh
+// record against its schema before copying it over the committed one:
 //
-//	GOMAXPROCS=4 go test -run '^$' -bench 'TopK|DynamicRefresh|EmbedBuild|Ingest' -benchtime 1x -timeout 40m .
-//	cp BENCH_*.json bench/baseline/
+//	GOMAXPROCS=4 go test -run '^$' -bench 'TopK|DynamicRefresh|EmbedBuild|Ingest|PPRQuery' -benchtime 1x -timeout 40m .
+//	go run ./cmd/benchcmp -write-baseline
 package main
 
 import (
@@ -53,18 +56,26 @@ func run(args []string, out *os.File) (regressed bool, err error) {
 		tolerance    = fs.Float64("tolerance", 0.25, "allowed fractional regression per metric")
 		relativeOnly = fs.Bool("relative-only", false, "gate machine-independent metrics only (for CI against foreign baselines)")
 		files        = fs.String("files", "", "comma-separated record names to compare (default: every known record in -baseline)")
+		writeBase    = fs.Bool("write-baseline", false, "validate the fresh records in -current and install them as the new baselines instead of gating")
 	)
 	if err := fs.Parse(args); err != nil {
 		return false, err
 	}
 
+	// -write-baseline adopts the current records: the source of names is
+	// what the benchmarks just produced, not what the baseline holds, so
+	// a newly added record gets its first baseline here.
+	scanDir := *baselineDir
+	if *writeBase {
+		scanDir = *currentDir
+	}
 	var names []string
 	if *files != "" {
 		names = strings.Split(*files, ",")
 	} else {
-		entries, err := os.ReadDir(*baselineDir)
+		entries, err := os.ReadDir(scanDir)
 		if err != nil {
-			return false, fmt.Errorf("reading baseline directory: %w", err)
+			return false, fmt.Errorf("reading %s: %w", scanDir, err)
 		}
 		for _, e := range entries {
 			if !e.IsDir() && benchgate.Known(e.Name()) {
@@ -74,7 +85,11 @@ func run(args []string, out *os.File) (regressed bool, err error) {
 		sort.Strings(names)
 	}
 	if len(names) == 0 {
-		return false, fmt.Errorf("no known baseline records in %s", *baselineDir)
+		return false, fmt.Errorf("no known benchmark records in %s", scanDir)
+	}
+
+	if *writeBase {
+		return false, writeBaselines(names, *currentDir, *baselineDir, out)
 	}
 
 	var all []benchgate.Delta
@@ -116,6 +131,35 @@ func run(args []string, out *os.File) (regressed bool, err error) {
 	}
 	fmt.Fprintf(out, "\nall gated metrics within tolerance\n")
 	return false, nil
+}
+
+// writeBaselines installs fresh records as the committed baselines. Each
+// record must pass schema extraction first — a half-written or zeroed
+// record would otherwise poison every future gate run.
+func writeBaselines(names []string, currentDir, baselineDir string, out *os.File) error {
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		src := filepath.Join(currentDir, name)
+		data, err := os.ReadFile(src)
+		if err != nil {
+			return fmt.Errorf("%w (did the benchmark that writes %s run?)", err, name)
+		}
+		ms, err := benchgate.Extract(name, data)
+		if err != nil {
+			return err
+		}
+		for _, m := range ms {
+			if m.Value == 0 {
+				return fmt.Errorf("%s: metric %q is zero; refusing to install a baseline the gate would reject", name, m.Name)
+			}
+		}
+		dst := filepath.Join(baselineDir, name)
+		if err := os.WriteFile(dst, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (%d metrics)\n", dst, len(ms))
+	}
+	return nil
 }
 
 func extractFile(path, name string) ([]benchgate.Metric, error) {

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const pprRecord = `{"n":100000,"m":500000,"queries":8,"seeds_per_query":4,"k":10,
+  "epsilon":0.5,"delta":0.0001,"power_iters":100,"walks_per_node":16,
+  "fora_ms":40,"fora_plus_ms":28,"power_ms":900,
+  "speedup_vs_power":22.5,"index_speedup":1.43,"max_rel_err":0.11}`
+
+// TestWriteBaseline exercises the baseline-refresh path end to end: a
+// fresh record with no committed baseline is validated and installed,
+// and a subsequent gate run against the new baseline passes clean.
+func TestWriteBaseline(t *testing.T) {
+	current := t.TempDir()
+	baseline := t.TempDir()
+	if err := os.WriteFile(filepath.Join(current, "BENCH_ppr.json"), []byte(pprRecord), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+
+	regressed, err := run([]string{"-write-baseline", "-current", current, "-baseline", baseline}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatal("write-baseline reported a regression")
+	}
+	installed, err := os.ReadFile(filepath.Join(baseline, "BENCH_ppr.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(installed) != pprRecord {
+		t.Fatal("installed baseline differs from the current record")
+	}
+
+	// The freshly installed baseline gates the same record clean.
+	regressed, err = run([]string{"-current", current, "-baseline", baseline}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatal("identical record regressed against its own baseline")
+	}
+}
+
+// TestWriteBaselineRejectsBrokenRecords: neither a schema mismatch nor a
+// zeroed metric (both signs of a renamed field or an aborted run) may
+// become a committed baseline.
+func TestWriteBaselineRejectsBrokenRecords(t *testing.T) {
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+
+	for name, record := range map[string]string{
+		"malformed":   `{"speedup_vs_power":`,
+		"zero metric": strings.Replace(pprRecord, `"speedup_vs_power":22.5`, `"speedup_vs_power":0`, 1),
+	} {
+		current := t.TempDir()
+		baseline := t.TempDir()
+		if err := os.WriteFile(filepath.Join(current, "BENCH_ppr.json"), []byte(record), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := run([]string{"-write-baseline", "-current", current, "-baseline", baseline}, out); err == nil {
+			t.Fatalf("%s record installed as baseline", name)
+		}
+		if _, err := os.Stat(filepath.Join(baseline, "BENCH_ppr.json")); !os.IsNotExist(err) {
+			t.Fatalf("%s record left a baseline file behind", name)
+		}
+	}
+
+	// An empty current directory is an error, not a silent no-op.
+	if _, err := run([]string{"-write-baseline", "-current", t.TempDir(), "-baseline", t.TempDir()}, out); err == nil {
+		t.Fatal("empty current directory accepted")
+	}
+}

@@ -13,17 +13,27 @@
 //	nrp topk -index index.bin -source 42 [-k 10]
 //	nrp update -server http://localhost:8080 [-insert new.txt] [-remove gone.txt]
 //	    [-refresh] [-batch 1024]
+//	nrp ppr -input graph.txt -seeds 3,17,42 [-k 10] [-alpha 0.15] [-epsilon 0.5]
+//	    [-directed] [-walks 0] [-threads 0] [-json]
 //	nrp convert -input graph.txt -output graph.nrpg [-directed] [-labels graph.labels]
+//	    [-walk-index 0] [-walk-alpha 0.15] [-walk-seed 1]
 //	nrp convert -input graph.nrpg -output graph.txt
 //
 // `nrp index` persists the built index (including the backend's
 // build-time preprocessing) for cmd/nrpserve to boot from. `nrp update`
 // streams edge insertions/removals (edge-list files, "u v" per line) to a
 // live nrpserve instance started with -graph, then optionally triggers a
-// refresh so the serving index absorbs them. `nrp convert` translates
-// between text edge lists and NRPG binary snapshots (format auto-detected
-// from the input's magic bytes, overridable with -to); a binary → binary
-// conversion re-verifies the checksum and rewrites the snapshot.
+// refresh so the serving index absorbs them. `nrp ppr` answers one online
+// seed-set PPR query with the FORA estimator — the offline twin of
+// nrpserve's /v1/ppr endpoint; -walks N precomputes a FORA+ walk index
+// before querying, and an NRPG input saved with one uses it
+// automatically. `nrp convert` translates between text edge lists and
+// NRPG binary snapshots (format auto-detected from the input's magic
+// bytes, overridable with -to); a binary → binary conversion re-verifies
+// the checksum and rewrites the snapshot. `nrp convert -walk-index N`
+// additionally simulates N walks per node and bundles the FORA+ index
+// into the snapshot, so PPR-serving processes boot without re-simulating
+// (older readers skip the extra section).
 //
 // Graph-reading flags (-input here, -graph on nrpserve) accept either
 // format, sniffed by magic bytes. NRPG snapshots are memory-mapped, so an
@@ -72,11 +82,112 @@ func run(ctx context.Context, args []string) error {
 			return runIndexBuild(ctx, args[1:])
 		case "update":
 			return runUpdate(ctx, args[1:])
+		case "ppr":
+			return runPPR(ctx, args[1:])
 		case "convert":
 			return runConvert(ctx, args[1:])
 		}
 	}
 	return runEmbed(ctx, args)
+}
+
+// runPPR answers one online seed-set PPR query from the command line —
+// load (or map) the graph, run the FORA estimator, print the top-k.
+func runPPR(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("nrp ppr", flag.ContinueOnError)
+	var (
+		input    = fs.String("input", "", "graph file: edge list or NRPG snapshot (required)")
+		seedsStr = fs.String("seeds", "", "comma-separated seed node ids (required)")
+		k        = fs.Int("k", 10, "number of top results to return")
+		alpha    = fs.Float64("alpha", 0, "walk termination probability (0 = default 0.15)")
+		epsilon  = fs.Float64("epsilon", 0, "relative error bound (0 = default 0.5)")
+		directed = fs.Bool("directed", false, "treat text edge-list input as directed")
+		walks    = fs.Int("walks", 0, "precompute a FORA+ walk index with this many walks per node before querying (0 = none)")
+		threads  = fs.Int("threads", 0, "worker threads for walks (0 = all cores)")
+		jsonOut  = fs.Bool("json", false, "write the result as JSON to stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *input == "" || *seedsStr == "" {
+		fs.Usage()
+		return fmt.Errorf("-input and -seeds are required")
+	}
+	var seeds []int
+	for _, fld := range strings.Split(*seedsStr, ",") {
+		fld = strings.TrimSpace(fld)
+		if fld == "" {
+			continue
+		}
+		s, err := strconv.Atoi(fld)
+		if err != nil {
+			return fmt.Errorf("bad seed id %q", fld)
+		}
+		seeds = append(seeds, s)
+	}
+
+	loadStart := time.Now()
+	g, storedIdx, closer, err := nrp.OpenGraphIndexed(*input, *directed)
+	if err != nil {
+		return err
+	}
+	defer closer.Close()
+	fmt.Fprintf(os.Stderr, "loaded %d nodes, %d edges in %v\n", g.N, g.NumEdges, time.Since(loadStart).Round(time.Millisecond))
+
+	opts := []nrp.PPROption{nrp.WithThreads(*threads)}
+	if *alpha != 0 {
+		opts = append(opts, nrp.WithAlpha(*alpha))
+	}
+	if *epsilon != 0 {
+		opts = append(opts, nrp.WithEpsilon(*epsilon))
+	}
+	switch {
+	case *walks > 0:
+		start := time.Now()
+		wi, err := nrp.BuildWalkIndex(ctx, g, *walks, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "walk index (%d walks/node) built in %v\n", *walks, time.Since(start).Round(time.Millisecond))
+		opts = append(opts, nrp.WithWalkIndex(wi))
+	case storedIdx != nil:
+		fmt.Fprintf(os.Stderr, "using snapshot walk index (%d walks/node)\n", storedIdx.WalksPerNode())
+		opts = append(opts, nrp.WithWalkIndex(storedIdx))
+	}
+	pe, err := nrp.NewPPREngine(g, opts...)
+	if err != nil {
+		return err
+	}
+	res, err := pe.Query(ctx, nrp.PPRQuery{Seeds: seeds, K: *k})
+	if err != nil {
+		return err
+	}
+	st := res.Stats
+	fmt.Fprintf(os.Stderr, "ppr of %d seeds over %d nodes: push %v (%d nodes, rmax %.3g), %d walks in %v (index=%v), %d candidates\n",
+		len(seeds), g.N, st.PushTime.Round(time.Microsecond), st.Pushed, st.Rmax,
+		st.Walks, st.WalkTime.Round(time.Microsecond), st.UsedIndex, st.Candidates)
+
+	if *jsonOut {
+		type scoreJSON struct {
+			Node  int     `json:"node"`
+			Score float64 `json:"score"`
+		}
+		out := struct {
+			Seeds  []int       `json:"seeds"`
+			K      int         `json:"k"`
+			Scores []scoreJSON `json:"scores"`
+		}{Seeds: seeds, K: *k}
+		for _, s := range res.Scores {
+			out.Scores = append(out.Scores, scoreJSON{Node: s.Node, Score: s.Score})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	for rank, s := range res.Scores {
+		fmt.Printf("%-4d %-10d %s\n", rank+1, s.Node, strconv.FormatFloat(s.Score, 'g', 6, 64))
+	}
+	return nil
 }
 
 // runConvert translates between the text edge-list format and NRPG
@@ -91,6 +202,9 @@ func runConvert(ctx context.Context, args []string) error {
 		to         = fs.String("to", "auto", "output format: nrpg, edges, or auto (the opposite of the input)")
 		directed   = fs.Bool("directed", false, "treat text edge-list input as directed (snapshots store their own)")
 		labelsPath = fs.String("labels", "", "label file to bundle into the snapshot (text input only)")
+		walkIdx    = fs.Int("walk-index", 0, "bundle a FORA+ walk index with this many walks per node into the snapshot (nrpg output only)")
+		walkAlpha  = fs.Float64("walk-alpha", 0.15, "walk termination probability for -walk-index")
+		walkSeed   = fs.Int64("walk-seed", 1, "RNG seed for -walk-index")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -156,11 +270,26 @@ func runConvert(ctx context.Context, args []string) error {
 	start = time.Now()
 	switch format {
 	case "nrpg":
+		snap := &gio.Snapshot{Graph: g, Attrs: attrs}
+		if *walkIdx > 0 {
+			wi, err := nrp.BuildWalkIndex(ctx, g, *walkIdx,
+				nrp.WithAlpha(*walkAlpha), nrp.WithPPRSeed(*walkSeed))
+			if err != nil {
+				return err
+			}
+			snap.WalkIndex = &gio.WalkIndexSection{
+				Alpha:        wi.Alpha(),
+				WalksPerNode: wi.WalksPerNode(),
+				Seed:         wi.Seed(),
+				Ends:         wi.Raw(),
+			}
+			fmt.Fprintf(os.Stderr, "walk index: %d walks/node at alpha %g\n", *walkIdx, *walkAlpha)
+		}
 		f, err := os.Create(*output)
 		if err != nil {
 			return err
 		}
-		if err := gio.Save(f, g, attrs); err != nil {
+		if err := gio.SaveSnapshot(f, snap); err != nil {
 			f.Close()
 			return err
 		}
@@ -168,6 +297,9 @@ func runConvert(ctx context.Context, args []string) error {
 			return err
 		}
 	case "edges":
+		if *walkIdx > 0 {
+			return fmt.Errorf("-walk-index requires nrpg output; the text format has no optional sections")
+		}
 		f, err := os.Create(*output)
 		if err != nil {
 			return err

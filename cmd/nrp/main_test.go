@@ -478,3 +478,63 @@ func TestRunConvertPreservesAttributes(t *testing.T) {
 		}
 	}
 }
+
+// TestRunPPR drives the ppr subcommand over a text graph, a precomputed
+// walk index, and a snapshot that carries its index inline.
+func TestRunPPR(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	graphPath, _ := writeTestGraph(t, dir)
+
+	if err := run(ctx, []string{"ppr", "-input", graphPath, "-seeds", "0,3,17", "-k", "5"}); err != nil {
+		t.Fatalf("ppr: %v", err)
+	}
+	if err := run(ctx, []string{"ppr", "-input", graphPath, "-seeds", "2", "-walks", "16", "-json"}); err != nil {
+		t.Fatalf("ppr -walks: %v", err)
+	}
+
+	// A snapshot converted with -walk-index answers from the stored index.
+	snapPath := filepath.Join(dir, "g.nrpg")
+	if err := run(ctx, []string{"convert", "-input", graphPath, "-output", snapPath, "-walk-index", "8"}); err != nil {
+		t.Fatalf("convert -walk-index: %v", err)
+	}
+	g, wi, closer, err := nrp.OpenGraphIndexed(snapPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	if wi == nil || wi.WalksPerNode() != 8 || wi.Nodes() != g.N {
+		t.Fatalf("snapshot walk index missing or wrong shape: %+v", wi)
+	}
+	if err := run(ctx, []string{"ppr", "-input", snapPath, "-seeds", "1,2"}); err != nil {
+		t.Fatalf("ppr from indexed snapshot: %v", err)
+	}
+}
+
+func TestRunPPRValidation(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	graphPath, _ := writeTestGraph(t, dir)
+	for _, tc := range [][]string{
+		{"ppr"},                      // no input/seeds
+		{"ppr", "-input", graphPath}, // no seeds
+		{"ppr", "-input", graphPath, "-seeds", "zap"},              // non-numeric seed
+		{"ppr", "-input", graphPath, "-seeds", "1000"},             // out of range
+		{"ppr", "-input", graphPath, "-seeds", "1", "-k", "0"},     // bad k
+		{"ppr", "-input", graphPath, "-seeds", "1", "-alpha", "2"}, // bad alpha
+		{"ppr", "-input", "/nope", "-seeds", "1"},                  // missing file
+	} {
+		if err := run(ctx, tc); err == nil {
+			t.Fatalf("args %v accepted", tc)
+		}
+	}
+	// -walk-index is an NRPG feature: text output must refuse it.
+	snapPath := filepath.Join(dir, "s.nrpg")
+	if err := run(ctx, []string{"convert", "-input", graphPath, "-output", snapPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ctx, []string{"convert", "-input", snapPath, "-output",
+		filepath.Join(dir, "out.txt"), "-walk-index", "4"}); err == nil {
+		t.Fatal("convert -walk-index with text output accepted")
+	}
+}

@@ -36,8 +36,17 @@
 //	GET  /v1/topk?u=42&k=10
 //	POST /v1/topk    {"us":[1,2,3],"k":10}
 //	POST /v1/score   {"pairs":[[0,1],[2,3]]}
+//	POST /v1/ppr     {"seeds":[1,2],"k":10}                (-graph only)
 //	POST /v1/update  {"insert":[[0,1]],"remove":[[2,3]]}   (-graph only)
 //	POST /v1/refresh {}                                    (-graph only)
+//
+// A -graph server additionally answers online seed-set PPR queries with
+// the FORA two-phase estimator at /v1/ppr; queries observe edges applied
+// through /v1/update immediately, no refresh required. -ppr-alpha and
+// -ppr-epsilon set the engine defaults; -ppr-walks N precomputes a FORA+
+// walk index (N walk endpoints per node) at boot, and when the graph is
+// an NRPG snapshot saved with a walk index (`nrp convert -walk-index`),
+// that index is used without re-simulation.
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight queries for up to -drain before exiting.
@@ -98,7 +107,10 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 		addr        = fs.String("addr", ":8080", "listen address")
 		drain       = fs.Duration("drain", 10*time.Second, "in-flight query drain window on shutdown")
 		maxK        = fs.Int("max-k", 1000, "largest k a request may ask for")
-		maxBatch    = fs.Int("max-batch", 1024, "largest batch of sources, pairs or updates per request")
+		maxBatch    = fs.Int("max-batch", 1024, "largest batch of sources, pairs, seeds or updates per request")
+		pprWalks    = fs.Int("ppr-walks", 0, "FORA+ walk-index size for -graph: walks per node precomputed at boot (0 = use the snapshot's stored index, if any)")
+		pprAlpha    = fs.Float64("ppr-alpha", 0, "PPR termination probability for /v1/ppr (0 = default 0.15)")
+		pprEpsilon  = fs.Float64("ppr-epsilon", 0, "PPR relative error bound for /v1/ppr (0 = default 0.5)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -118,6 +130,7 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 
 	var searcher nrp.Searcher
 	var live *nrp.LiveIndex
+	var pprEngine *nrp.PPREngine
 	var graphCloser io.Closer
 	// Unmap a -graph snapshot if a later boot step fails: the CLI would
 	// exit anyway, but tests (and any embedder) call this repeatedly.
@@ -163,8 +176,9 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 		// NRPG snapshots are memory-mapped: multi-gigabyte graphs boot in
 		// milliseconds and share page cache across server processes; live
 		// updates are copy-on-write, so the read-only mapping is safe. The
-		// closer stays open for the server's lifetime.
-		g, closer, err := nrp.OpenGraph(*graphPath, *directed)
+		// closer stays open for the server's lifetime. A snapshot saved
+		// with a walk index hands it to the PPR engine for free.
+		g, storedIdx, closer, err := nrp.OpenGraphIndexed(*graphPath, *directed)
 		if err != nil {
 			return nil, err
 		}
@@ -196,6 +210,32 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 			return nil, err
 		}
 		searcher = live
+		pprOpts := []nrp.PPROption{nrp.WithThreads(*threads)}
+		if *pprAlpha != 0 {
+			pprOpts = append(pprOpts, nrp.WithAlpha(*pprAlpha))
+		}
+		if *pprEpsilon != 0 {
+			pprOpts = append(pprOpts, nrp.WithEpsilon(*pprEpsilon))
+		}
+		switch {
+		case *pprWalks > 0:
+			start := time.Now()
+			wi, err := nrp.BuildWalkIndex(ctx, g, *pprWalks, pprOpts...)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "nrpserve: walk index (%d walks/node) built in %v\n",
+				*pprWalks, time.Since(start).Round(time.Millisecond))
+			pprOpts = append(pprOpts, nrp.WithWalkIndex(wi))
+		case storedIdx != nil:
+			fmt.Fprintf(os.Stderr, "nrpserve: using snapshot walk index (%d walks/node)\n",
+				storedIdx.WalksPerNode())
+			pprOpts = append(pprOpts, nrp.WithWalkIndex(storedIdx))
+		}
+		pprEngine, err = nrp.NewPPREngine(g, pprOpts...)
+		if err != nil {
+			return nil, err
+		}
 	default:
 		backend, err := nrp.ParseBackend(*backendName)
 		if err != nil {
@@ -225,7 +265,7 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 		}
 	}
 	if live == nil {
-		for _, name := range []string{"refresh-policy", "refresh-interval", "dim", "seed", "directed"} {
+		for _, name := range []string{"refresh-policy", "refresh-interval", "dim", "seed", "directed", "ppr-walks", "ppr-alpha", "ppr-epsilon"} {
 			if set[name] {
 				return nil, fmt.Errorf("-%s requires -graph", name)
 			}
@@ -236,7 +276,7 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 	if b, ok := searcher.(interface{ Backend() nrp.Backend }); ok {
 		label = b.Backend().String()
 	}
-	svCfg := serve.Config{Backend: label, MaxK: *maxK, MaxBatch: *maxBatch}
+	svCfg := serve.Config{Backend: label, MaxK: *maxK, MaxBatch: *maxBatch, PPR: pprEngine}
 	var sv *serve.Server
 	if live != nil {
 		sv = serve.NewLiveServer(live, svCfg)

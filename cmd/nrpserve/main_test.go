@@ -417,3 +417,134 @@ func TestServeLiveFromNRPGSnapshot(t *testing.T) {
 		t.Fatalf("topk status %d after refresh", resp.StatusCode)
 	}
 }
+
+// TestServePPRFromGraph boots a live server with a boot-time walk index
+// and checks /v1/ppr answers from it, observing live updates.
+func TestServePPRFromGraph(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := writeGraphFixture(t, dir)
+	cfg, err := newServerFromFlags(context.Background(), []string{
+		"-graph", graphPath, "-dim", "16", "-ppr-walks", "8", "-ppr-epsilon", "0.4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(cfg.server.Handler())
+	defer ts.Close()
+
+	post := func(body string) (*http.Response, serve.PPRResponse) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/ppr", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pr serve.PPRResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp, pr
+	}
+
+	resp, pr := post(`{"seeds":[0,7],"k":5}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ppr status %d", resp.StatusCode)
+	}
+	if len(pr.Scores) != 5 || !pr.Stats.UsedIndex {
+		t.Fatalf("ppr response %+v, want 5 scores answered from the walk index", pr)
+	}
+
+	// Queries see /v1/update immediately (no refresh): connect node 0 to an
+	// otherwise-far node and watch its score appear.
+	upd, err := http.Post(ts.URL+"/v1/update", "application/json",
+		strings.NewReader(`{"insert":[[0,119]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd.Body.Close()
+	if upd.StatusCode != http.StatusOK {
+		t.Fatalf("update status %d", upd.StatusCode)
+	}
+	resp, pr = post(`{"seeds":[0],"k":120}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ppr after update: status %d", resp.StatusCode)
+	}
+	found := false
+	for _, s := range pr.Scores {
+		if s.Node == 119 && s.Score > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ppr did not observe the live-inserted edge 0->119")
+	}
+}
+
+// TestServePPRFromIndexedSnapshot boots from an NRPG snapshot carrying a
+// walk index and verifies /v1/ppr uses it without -ppr-walks.
+func TestServePPRFromIndexedSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	g, err := nrp.GenSBM(nrp.SBMConfig{N: 120, M: 600, Communities: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wi, err := nrp.BuildWalkIndex(context.Background(), g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "graph.nrpg")
+	if err := nrp.SaveGraphIndexed(snapPath, g, wi); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := newServerFromFlags(context.Background(), []string{
+		"-graph", snapPath, "-dim", "16",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cfg.graphCloser.Close()
+	ts := httptest.NewServer(cfg.server.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/ppr", "application/json", strings.NewReader(`{"seeds":[3],"k":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr serve.PPRResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !pr.Stats.UsedIndex {
+		t.Fatalf("status %d, stats %+v: snapshot walk index not used", resp.StatusCode, pr.Stats)
+	}
+}
+
+func TestPPRFlagsRequireGraph(t *testing.T) {
+	dir := t.TempDir()
+	embPath, _, _ := writeFixtures(t, dir)
+	for _, tc := range [][]string{
+		{"-embedding", embPath, "-ppr-walks", "8"},
+		{"-embedding", embPath, "-ppr-alpha", "0.2"},
+		{"-embedding", embPath, "-ppr-epsilon", "0.3"},
+	} {
+		if _, err := newServerFromFlags(context.Background(), tc); err == nil {
+			t.Fatalf("args %v accepted", tc)
+		}
+	}
+	// And /v1/ppr on a non-graph server conflicts.
+	cfg, err := newServerFromFlags(context.Background(), []string{"-embedding", embPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(cfg.server.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/ppr", "application/json", strings.NewReader(`{"seeds":[1],"k":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("ppr without a graph: status %d, want 409", resp.StatusCode)
+	}
+}

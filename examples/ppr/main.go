@@ -1,0 +1,125 @@
+// PPR: online seed-set personalized PageRank on a synthetic community
+// graph — query a live engine with the FORA two-phase estimator, compare
+// plain queries against a FORA+ walk index, persist the index inside an
+// NRPG snapshot, and serve /v1/ppr over HTTP for a moment.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/nrp-embed/nrp"
+	"github.com/nrp-embed/nrp/internal/serve"
+)
+
+func main() {
+	ctx := context.Background()
+	g, err := nrp.GenSBM(nrp.SBMConfig{N: 20000, M: 120000, Communities: 10, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d nodes, %d edges\n\n", g.N, g.NumEdges)
+
+	// One-shot query: forward push + Monte Carlo walks, (ε, δ) guarantee.
+	seeds := []int{42, 4711, 9000}
+	res, err := nrp.PPR(ctx, g, seeds, 5, nrp.WithEpsilon(0.3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-5 for seeds %v (pushed %d nodes, %d walks):\n", seeds, res.Stats.Pushed, res.Stats.Walks)
+	for rank, s := range res.Scores {
+		fmt.Printf("  %d. node %-6d  %.5f\n", rank+1, s.Node, s.Score)
+	}
+
+	// An engine amortizes workspaces across queries; a FORA+ walk index
+	// precomputes walk endpoints so the walk phase becomes array lookups.
+	eng, err := nrp.NewPPREngine(g, nrp.WithEpsilon(0.3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	wi, err := nrp.BuildWalkIndex(ctx, g, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwalk index: 64 walks/node built in %v\n", time.Since(start).Round(time.Millisecond))
+	fast, err := nrp.NewPPREngine(g, nrp.WithEpsilon(0.3), nrp.WithWalkIndex(wi))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for name, e := range map[string]*nrp.PPREngine{"fora ": eng, "fora+": fast} {
+		start = time.Now()
+		var st nrp.PPRStats
+		for q := 0; q < 20; q++ {
+			r, err := e.PPR(ctx, []int{q * 997 % g.N}, 10)
+			if err != nil {
+				log.Fatal(err)
+			}
+			st = r.Stats
+		}
+		fmt.Printf("%s: 20 queries in %v (last: push %v, walk %v, index=%v)\n",
+			name, time.Since(start).Round(time.Millisecond),
+			st.PushTime.Round(time.Microsecond), st.WalkTime.Round(time.Microsecond), st.UsedIndex)
+	}
+
+	// The walk index rides inside the NRPG snapshot (an optional section —
+	// older readers skip it), so serving processes boot without
+	// re-simulating walks.
+	dir, err := os.MkdirTemp("", "nrp-ppr")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	snapPath := filepath.Join(dir, "graph.nrpg")
+	if err := nrp.SaveGraphIndexed(snapPath, g, wi); err != nil {
+		log.Fatal(err)
+	}
+	g2, wi2, closer, err := nrp.OpenGraphIndexed(snapPath, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closer.Close()
+	fmt.Printf("\nsnapshot round-trip: %d nodes, walk index %d walks/node\n", g2.N, wi2.WalksPerNode())
+
+	// Serve /v1/ppr over HTTP for one request.
+	sv := serve.NewServer(stub{}, serve.Config{Backend: "none", PPR: fast})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srvCtx, stop := context.WithCancel(ctx)
+	done := make(chan error, 1)
+	go func() { done <- serve.Serve(srvCtx, ln, sv.Handler(), time.Second) }()
+
+	resp, err := http.Post("http://"+ln.Addr().String()+"/v1/ppr", "application/json",
+		strings.NewReader(`{"seeds":[42,4711],"k":3}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pr serve.PPRResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("\nPOST /v1/ppr -> %d scores, %d walks, index=%v\n", len(pr.Scores), pr.Stats.Walks, pr.Stats.UsedIndex)
+	stop()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+}
+
+// stub satisfies nrp.Searcher for a server that only answers /v1/ppr.
+type stub struct{}
+
+func (stub) TopK(context.Context, int, int) ([]nrp.Neighbor, error)     { return nil, nil }
+func (stub) TopKMany(context.Context, []int, int) ([]nrp.Result, error) { return nil, nil }
+func (stub) ScoreMany(context.Context, []nrp.Pair) ([]float64, error)   { return nil, nil }
+func (stub) N() int                                                     { return 0 }

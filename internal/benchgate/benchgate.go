@@ -33,10 +33,25 @@ type Metric struct {
 // throughput: quality does not wobble with machine load.
 const aucTolerance = 0.02
 
+// pprErrTolerance forgives the PPR estimator's max relative error
+// doubling against the baseline. The measurement is deterministic for a
+// fixed walk seed and thread count, so CI (which pins GOMAXPROCS) sees
+// the baseline value bit-for-bit; the slack only covers local runs on
+// other core counts. The benchmark itself already fails hard when the
+// error exceeds ε, so this gate catches silent accuracy drift, not the
+// guarantee.
+const pprErrTolerance = 1.0
+
+// pprIndexTolerance gates the FORA+ walk-index speedup loosely: the walk
+// phase is a modest share of query time, so the ratio hovers near 1.5×
+// and wobbles with load. Halving it still fails — that means the index
+// path has stopped helping at all.
+const pprIndexTolerance = 0.5
+
 // Known reports whether the gate understands a record file's schema.
 func Known(file string) bool {
 	switch file {
-	case "BENCH_topk.json", "BENCH_build.json", "BENCH_dynamic.json", "BENCH_ingest.json":
+	case "BENCH_topk.json", "BENCH_build.json", "BENCH_dynamic.json", "BENCH_ingest.json", "BENCH_ppr.json":
 		return true
 	}
 	return false
@@ -103,6 +118,26 @@ func Extract(file string, data []byte) ([]Metric, error) {
 			{File: file, Name: "parallel_parse_ms", Value: r.ParallelParseMs, LowerBetter: true},
 			{File: file, Name: "heap_load_ms", Value: r.HeapLoadMs, LowerBetter: true},
 			{File: file, Name: "mmap_load_ms", Value: r.MmapLoadMs, LowerBetter: true},
+		}, nil
+	case "BENCH_ppr.json":
+		var r struct {
+			SpeedupVsPower float64 `json:"speedup_vs_power"`
+			IndexSpeedup   float64 `json:"index_speedup"`
+			MaxRelErr      float64 `json:"max_rel_err"`
+			ForaMs         float64 `json:"fora_ms"`
+			ForaPlusMs     float64 `json:"fora_plus_ms"`
+			PowerMs        float64 `json:"power_ms"`
+		}
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("benchgate: %s: %w", file, err)
+		}
+		return []Metric{
+			{File: file, Name: "speedup_vs_power", Value: r.SpeedupVsPower, Relative: true},
+			{File: file, Name: "index_speedup", Value: r.IndexSpeedup, Relative: true, Tolerance: pprIndexTolerance},
+			{File: file, Name: "max_rel_err", Value: r.MaxRelErr, LowerBetter: true, Relative: true, Tolerance: pprErrTolerance},
+			{File: file, Name: "fora_ms", Value: r.ForaMs, LowerBetter: true},
+			{File: file, Name: "fora_plus_ms", Value: r.ForaPlusMs, LowerBetter: true},
+			{File: file, Name: "power_ms", Value: r.PowerMs, LowerBetter: true},
 		}, nil
 	}
 	return nil, fmt.Errorf("benchgate: unknown record file %q", file)

@@ -18,6 +18,11 @@ const ingestRecord = `{"n":200000,"m":800000,"threads":8,
   "serial_parse_ms":400,"parallel_parse_ms":90,"heap_load_ms":30,"mmap_load_ms":2,
   "parallel_speedup":4.4,"mmap_vs_text_speedup":200}`
 
+const pprRecord = `{"n":100000,"m":500000,"queries":8,"seeds_per_query":4,"k":10,
+  "epsilon":0.5,"delta":0.0001,"power_iters":100,"walks_per_node":16,
+  "fora_ms":40,"fora_plus_ms":28,"power_ms":900,
+  "speedup_vs_power":22.5,"index_speedup":1.43,"max_rel_err":0.11}`
+
 func TestExtractSchemas(t *testing.T) {
 	cases := map[string]struct {
 		data    string
@@ -26,6 +31,7 @@ func TestExtractSchemas(t *testing.T) {
 		"BENCH_topk.json":   {topkRecord, 2},
 		"BENCH_build.json":  {buildRecord, 5},
 		"BENCH_ingest.json": {ingestRecord, 6},
+		"BENCH_ppr.json":    {pprRecord, 6},
 	}
 	for file, tc := range cases {
 		ms, err := Extract(file, []byte(tc.data))
@@ -153,6 +159,75 @@ func TestCompareAUCTightTolerance(t *testing.T) {
 	}
 	if deltas[0].Metric.Name != "auc_parallel" {
 		t.Fatalf("flagged %q, want auc_parallel", deltas[0].Metric.Name)
+	}
+}
+
+// TestComparePPRRecord covers the online-PPR gate: the FORA-vs-power
+// speedup gates as a relative metric, wall times skip under CI's
+// relative-only mode, and max_rel_err (lower-better, deterministic in
+// CI) only fails once it blows past its own doubled-error tolerance.
+func TestComparePPRRecord(t *testing.T) {
+	base, err := Extract("BENCH_ppr.json", []byte(pprRecord))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Speedup collapses 22.5× → 9× while wall times balloon: only the
+	// relative metrics may fire under relative-only.
+	injected := strings.NewReplacer(
+		`"speedup_vs_power":22.5`, `"speedup_vs_power":9`,
+		`"fora_ms":40`, `"fora_ms":100`,
+		`"power_ms":900`, `"power_ms":900.5`,
+	).Replace(pprRecord)
+	cur, err := Extract("BENCH_ppr.json", []byte(injected))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := Compare(base, cur, 0.25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := Regressions(deltas); n != 1 {
+		t.Fatalf("%d regressions, want exactly the speedup collapse", n)
+	}
+	for _, d := range deltas {
+		switch d.Metric.Name {
+		case "speedup_vs_power":
+			if !d.Regressed {
+				t.Fatal("speedup collapse not flagged")
+			}
+		case "fora_ms", "power_ms":
+			if !d.Skipped || d.Regressed {
+				t.Fatalf("absolute metric delta %+v should be skipped under relative-only", d)
+			}
+		}
+	}
+
+	// Error wobble within 2× passes; past it, fails — even though the
+	// global tolerance would forgive far more than 80%.
+	for _, tc := range []struct {
+		errVal    string
+		regressed bool
+	}{
+		{`0.2`, false}, {`0.4`, true},
+	} {
+		cur, err := Extract("BENCH_ppr.json",
+			[]byte(strings.Replace(pprRecord, `"max_rel_err":0.11`, `"max_rel_err":`+tc.errVal, 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		deltas, err := Compare(base, cur, 5.0, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := false
+		for _, d := range deltas {
+			if d.Metric.Name == "max_rel_err" && d.Regressed {
+				got = true
+			}
+		}
+		if got != tc.regressed {
+			t.Fatalf("max_rel_err=%s: regressed=%v, want %v", tc.errVal, got, tc.regressed)
+		}
 	}
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package fora
+
+const raceEnabled = false

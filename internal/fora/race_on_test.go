@@ -1,0 +1,8 @@
+//go:build race
+
+package fora
+
+// The race detector makes sync.Pool drop items at random to flush out
+// lifetime bugs, so the strict workspace-reuse assertion only holds in
+// normal builds.
+const raceEnabled = true

@@ -1,0 +1,44 @@
+package fora
+
+// splitmix64 is the engine's walk RNG: a tiny counter-based generator
+// (Steele et al., "Fast splittable pseudorandom number generators") whose
+// state is one uint64. Each parallel walk chunk gets its own stream seeded
+// by mixing the query seed with the chunk index, so walk results are
+// deterministic for a fixed pool size — the same contract the rest of the
+// compute engine keeps via internal/par.
+type splitmix64 struct{ s uint64 }
+
+func newSplitmix64(seed uint64) splitmix64 { return splitmix64{s: seed} }
+
+func (r *splitmix64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// float64 returns a uniform draw in [0, 1) with 53 bits of precision.
+func (r *splitmix64) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform draw in [0, n) for n > 0. The modulo bias is at
+// most n/2^64 — far below the sampling error of any walk budget this
+// engine can run — so the cheap reduction is fine here.
+func (r *splitmix64) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// mix64 hashes a seed/stream-index pair into an independent stream seed
+// (finalizer of splitmix64, applied to the XOR of the inputs).
+func mix64(a, b uint64) uint64 {
+	z := a ^ (b * 0xff51afd7ed558ccd)
+	z ^= z >> 33
+	z *= 0xc4ceb9fe1a85ec53
+	z ^= z >> 33
+	return z
+}

@@ -1,0 +1,131 @@
+package fora
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+	"github.com/nrp-embed/nrp/internal/par"
+)
+
+// WalkIndex is the FORA+ acceleration structure: K precomputed
+// α-terminating walk endpoints per node, stored flat as n×K int32. A
+// query that needs walks from residual node v samples stored endpoints
+// (with replacement) instead of traversing the graph, turning each walk
+// into one array read. Endpoint -1 records a walk that halted at a
+// dangling node without terminating (its mass is lost, matching the
+// truncated Eq. (1) semantics used across the repo).
+//
+// The index is built against one graph snapshot. Queries against a graph
+// with the same node count reuse it even after live edge updates — the
+// resampled endpoints then approximate the pre-update graph, which is the
+// standard FORA+ staleness trade-off; rebuild (or query without an index)
+// when updates must be reflected exactly. An index never changes after
+// build, so it is safe for concurrent readers.
+type WalkIndex struct {
+	n     int
+	k     int
+	alpha float64
+	seed  int64
+	ends  []int32
+}
+
+// BuildWalkIndex simulates k α-terminating walks from every node of g on
+// the pool and records their endpoints. Each node's walks use an RNG
+// stream derived only from (seed, node), so the built index is
+// bit-identical for any pool size. Cost is O(n·k/α) expected steps.
+func BuildWalkIndex(ctx context.Context, g *graph.Graph, pool *par.Pool, alpha float64, k int, seed int64) (*WalkIndex, error) {
+	if err := checkAlpha(alpha); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("fora: walks per node must be positive, got %d", k)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	wi := &WalkIndex{
+		n:     g.N,
+		k:     k,
+		alpha: alpha,
+		seed:  seed,
+		ends:  make([]int32, g.N*k),
+	}
+	var canceled atomic.Bool
+	pool.For(g.N, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if v%4096 == 0 && ctx.Err() != nil {
+				canceled.Store(true)
+				return
+			}
+			rng := newSplitmix64(mix64(uint64(seed), uint64(v)))
+			row := wi.ends[v*k : (v+1)*k]
+			for i := range row {
+				row[i] = walkEnd(g, int32(v), alpha, &rng)
+			}
+		}
+	})
+	if canceled.Load() {
+		return nil, ctx.Err()
+	}
+	return wi, nil
+}
+
+// WalkIndexFromRaw wraps endpoints loaded from a snapshot, validating
+// shape and range (len(ends) == n·k, each endpoint in [-1, n)).
+func WalkIndexFromRaw(n int, alpha float64, k int, seed int64, ends []int32) (*WalkIndex, error) {
+	if err := checkAlpha(alpha); err != nil {
+		return nil, err
+	}
+	if n < 0 || k < 1 {
+		return nil, fmt.Errorf("fora: invalid walk index shape n=%d k=%d", n, k)
+	}
+	if len(ends) != n*k {
+		return nil, fmt.Errorf("fora: walk index has %d endpoints, want n·k = %d", len(ends), n*k)
+	}
+	for _, t := range ends {
+		if t < -1 || int(t) >= n {
+			return nil, fmt.Errorf("fora: walk endpoint %d outside [-1,%d)", t, n)
+		}
+	}
+	return &WalkIndex{n: n, k: k, alpha: alpha, seed: seed, ends: ends}, nil
+}
+
+// Nodes reports the node count the index was built for.
+func (wi *WalkIndex) Nodes() int { return wi.n }
+
+// WalksPerNode reports K, the stored walks per node.
+func (wi *WalkIndex) WalksPerNode() int { return wi.k }
+
+// Alpha reports the termination probability the walks were run with.
+func (wi *WalkIndex) Alpha() float64 { return wi.alpha }
+
+// Seed reports the RNG seed the index was built with.
+func (wi *WalkIndex) Seed() int64 { return wi.seed }
+
+// Raw exposes the flat n×K endpoint array for snapshot serialization.
+// Callers must not mutate it.
+func (wi *WalkIndex) Raw() []int32 { return wi.ends }
+
+// endpoint resamples one stored walk endpoint of node v.
+func (wi *WalkIndex) endpoint(v int32, rng *splitmix64) int32 {
+	row := wi.ends[int(v)*wi.k : (int(v)+1)*wi.k]
+	return row[rng.intn(wi.k)]
+}
+
+// walkEnd runs one α-terminating walk from start and returns the node it
+// terminates at, or -1 if it halts at a dangling node (mass lost).
+func walkEnd(g *graph.Graph, start int32, alpha float64, rng *splitmix64) int32 {
+	cur := start
+	for {
+		if rng.float64() < alpha {
+			return cur
+		}
+		nbrs := g.OutNeighbors(int(cur))
+		if len(nbrs) == 0 {
+			return -1
+		}
+		cur = nbrs[rng.intn(len(nbrs))]
+	}
+}

@@ -15,16 +15,26 @@ import (
 // no-op. The call signature and the read-only-arrays contract match the
 // zero-copy implementation, so callers need no platform awareness.
 func LoadMmap(path string) (*graph.Graph, [][]float64, io.Closer, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("gio: opening snapshot: %w", err)
-	}
-	defer f.Close()
-	g, attrs, err := Load(f)
+	snap, closer, err := LoadMmapSnapshot(path)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	return g, attrs, nopCloser{}, nil
+	return snap.Graph, snap.Attrs, closer, nil
+}
+
+// LoadMmapSnapshot falls back to the fully-validated heap loader on
+// platforms without the zero-copy path.
+func LoadMmapSnapshot(path string) (*Snapshot, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gio: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	snap, err := LoadSnapshot(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return snap, nopCloser{}, nil
 }
 
 type nopCloser struct{}

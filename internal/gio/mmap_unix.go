@@ -3,8 +3,10 @@
 package gio
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"syscall"
 	"unsafe"
@@ -31,33 +33,46 @@ import (
 // forfeiting lazy loading; run Load (or `nrp convert`) to fully verify a
 // snapshot of doubtful provenance.
 func LoadMmap(path string) (*graph.Graph, [][]float64, io.Closer, error) {
+	snap, closer, err := LoadMmapSnapshot(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return snap.Graph, snap.Attrs, closer, nil
+}
+
+// LoadMmapSnapshot is LoadMmap plus the optional sections: the walk
+// index, when present, is sliced zero-copy out of the mapping (its
+// fixed prefix is validated; the endpoint array is range-checked only
+// when a consumer wraps it, preserving lazy loading). Unknown optional
+// sections are skipped per the format's forward-compatibility rule.
+func LoadMmapSnapshot(path string) (*Snapshot, io.Closer, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("gio: opening snapshot: %w", err)
+		return nil, nil, fmt.Errorf("gio: opening snapshot: %w", err)
 	}
 	defer f.Close()
 	st, err := f.Stat()
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("gio: stat snapshot: %w", err)
+		return nil, nil, fmt.Errorf("gio: stat snapshot: %w", err)
 	}
 	size := st.Size()
 	if size < headerSize+4 {
-		return nil, nil, nil, fmt.Errorf("gio: snapshot %s is %d bytes, smaller than an empty NRPG file", path, size)
+		return nil, nil, fmt.Errorf("gio: snapshot %s is %d bytes, smaller than an empty NRPG file", path, size)
 	}
 	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("gio: mmap %s: %w", path, err)
+		return nil, nil, fmt.Errorf("gio: mmap %s: %w", path, err)
 	}
 	m := &mapping{data: data}
-	g, attrs, err := loadMapped(data)
+	snap, err := loadMapped(data)
 	if err != nil {
 		m.Close()
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
-	return g, attrs, m, nil
+	return snap, m, nil
 }
 
-func loadMapped(data []byte) (*graph.Graph, [][]float64, error) {
+func loadMapped(data []byte) (*Snapshot, error) {
 	h, err := parseHeader(data[:headerSize], func(n int) ([]byte, error) {
 		if headerSize+n > len(data) {
 			return nil, truncated(io.ErrUnexpectedEOF)
@@ -65,11 +80,11 @@ func loadMapped(data []byte) (*graph.Graph, [][]float64, error) {
 		return data[headerSize : headerSize+n], nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	last := h.sections[len(h.sections)-1]
 	if want := last.offset + last.length + 4; int64(len(data)) != want {
-		return nil, nil, fmt.Errorf("gio: snapshot is %d bytes, header describes %d", len(data), want)
+		return nil, fmt.Errorf("gio: snapshot is %d bytes, header describes %d", len(data), want)
 	}
 	body := func(s tableSection) []byte { return data[s.offset : s.offset+s.length] }
 
@@ -79,6 +94,7 @@ func loadMapped(data []byte) (*graph.Graph, [][]float64, error) {
 		adjVal, radjVal       []float64
 		labels                [][]int32
 		attrs                 [][]float64
+		wi                    *WalkIndexSection
 	)
 	for _, s := range h.sections {
 		switch s.tag {
@@ -99,8 +115,21 @@ func loadMapped(data []byte) (*graph.Graph, [][]float64, error) {
 			flat := castInt32s(body(s)[4*h.n:])
 			labels, err = assembleLabels(counts, flat)
 			if err != nil {
-				return nil, nil, fmt.Errorf("gio: corrupt labels: %w", err)
+				return nil, fmt.Errorf("gio: corrupt labels: %w", err)
 			}
+		case secWalkIdx:
+			if s.length < walkIdxHeadSize {
+				return nil, fmt.Errorf("gio: walk index section is %d bytes, shorter than its %d-byte header", s.length, walkIdxHeadSize)
+			}
+			b := body(s)
+			alpha := math.Float64frombits(binary.LittleEndian.Uint64(b[0:8]))
+			k := int64(binary.LittleEndian.Uint64(b[8:16]))
+			wi, err = checkWalkIndexHead(alpha, k, h.n, s.length)
+			if err != nil {
+				return nil, fmt.Errorf("gio: reading section %d: %w", s.tag, err)
+			}
+			wi.Seed = int64(binary.LittleEndian.Uint64(b[16:24]))
+			wi.Ends = castInt32s(b[walkIdxHeadSize:])
 		case secAttrs:
 			attrs = sliceRows(castFloat64s(body(s)), int(h.n), int(h.attrDim))
 		}
@@ -108,7 +137,7 @@ func loadMapped(data []byte) (*graph.Graph, [][]float64, error) {
 
 	adj, err := csrFromMapped(int(h.n), int(h.nnz), adjRowPtr, adjColIdx, adjVal)
 	if err != nil {
-		return nil, nil, fmt.Errorf("gio: corrupt adjacency: %w", err)
+		return nil, fmt.Errorf("gio: corrupt adjacency: %w", err)
 	}
 	var radj *sparse.CSR
 	if h.has(flagHasRAdj) {
@@ -117,12 +146,17 @@ func loadMapped(data []byte) (*graph.Graph, [][]float64, error) {
 		}
 		radj, err = csrFromMapped(int(h.n), int(h.nnz), radjRowPtr, radjColIdx, radjVal)
 		if err != nil {
-			return nil, nil, fmt.Errorf("gio: corrupt reverse adjacency: %w", err)
+			return nil, fmt.Errorf("gio: corrupt reverse adjacency: %w", err)
 		}
 	} else {
 		radj = &sparse.CSR{Rows: adj.Rows, Cols: adj.Cols, RowPtr: adj.RowPtr, ColIdx: adj.ColIdx, Val: adj.Val}
 	}
-	return assemble(h, adj, radj, labels, attrs)
+	snap, err := assemble(h, adj, radj, labels, attrs)
+	if err != nil {
+		return nil, err
+	}
+	snap.WalkIndex = wi
+	return snap, nil
 }
 
 // csrFromMapped builds a CSR over mapped arrays, validating the row

@@ -32,6 +32,7 @@ import (
 //	                                           adjacency is symmetric, so RAdj aliases Adj)
 //	  labels             int32 × n counts, then int32 × totalLabels label ids
 //	  attributes         float64 × n·attrDim, row-major
+//	  optional sections (tags ≥ 128), see below
 //	trailer: uint32 CRC-32C of every preceding byte
 //
 // The CSR arrays are stored in their in-memory layout so LoadMmap can
@@ -39,6 +40,23 @@ import (
 // alignment is what makes those casts legal. Column indices are raw
 // int32 rather than delta-varint for the same reason — a varint stream
 // would halve the file but force a decode pass, forfeiting zero-copy.
+//
+// # Section-table forward compatibility
+//
+// Tags below secOptionalMin (128) are required: their exact sequence is
+// derived from the header flags and the stored table must match it
+// entry for entry. Tags ≥ secOptionalMin are optional payloads appended
+// after the required sections, still 8-aligned, contiguously packed and
+// covered by the trailing CRC. A reader encountering an optional tag it
+// does not recognize must skip the section and load the rest of the
+// snapshot as if it were absent — this is the format's escape hatch for
+// adding payloads (such as the FORA+ walk index, tag 128) without
+// breaking older readers or bumping the version. TestOptionalSection-
+// ForwardCompat asserts the rule for both the stream and mmap loaders.
+//
+//	walk index (tag 128, optional):
+//	  float64 alpha, int64 walksPerNode K, int64 rng seed,
+//	  then int32 × n·K walk endpoints (-1 = walk lost at a dangling node)
 const (
 	nrpgMagic   = "NRPG"
 	nrpgVersion = 1
@@ -65,6 +83,20 @@ const (
 	secRAdjVal    = 7
 	secLabels     = 8
 	secAttrs      = 9
+
+	// secOptionalMin starts the optional tag range: sections a reader may
+	// skip without understanding (see the forward-compatibility rule in
+	// the format comment).
+	secOptionalMin = 128
+	secWalkIdx     = 128 // FORA+ precomputed walk endpoints
+
+	// walkIdxHeadSize is the fixed prefix of the walk-index section:
+	// alpha, walksPerNode, seed.
+	walkIdxHeadSize = 24
+
+	// maxSections bounds the table so a hostile header cannot demand an
+	// arbitrarily large upfront allocation.
+	maxSections = 1 << 16
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -109,10 +141,11 @@ type tableSection struct {
 
 func (h *header) has(flag uint64) bool { return h.flags&flag != 0 }
 
-// expectedSections derives the v1 section sequence (tags and byte sizes,
-// in file order) from the header fields. The stored table must match it
-// exactly.
-func (h *header) expectedSections() []tableSection {
+// requiredSections derives the v1 required section sequence (tags and
+// byte sizes, in file order) from the header fields. The stored table
+// must match it exactly, entry for entry, as its prefix; offsets are
+// assigned by layoutSections once the total table size is known.
+func (h *header) requiredSections() []tableSection {
 	secs := []tableSection{
 		{tag: secAdjRowPtr, length: 8 * (h.n + 1)},
 		{tag: secAdjColIdx, length: 4 * h.nnz},
@@ -136,24 +169,72 @@ func (h *header) expectedSections() []tableSection {
 	if h.has(flagAttrs) {
 		secs = append(secs, tableSection{tag: secAttrs, length: 8 * h.n * h.attrDim})
 	}
-	off := int64(headerSize + tableEntry*len(secs))
+	return secs
+}
+
+// layoutSections assigns 8-aligned contiguous offsets to secs, for a
+// file whose section table holds total entries.
+func layoutSections(secs []tableSection, total int) {
+	off := int64(headerSize + tableEntry*total)
 	for i := range secs {
 		off = align8(off)
 		secs[i].offset = off
 		off += secs[i].length
 	}
-	return secs
 }
 
 func align8(off int64) int64 { return (off + 7) &^ 7 }
+
+// WalkIndexSection is the decoded optional walk-index section (tag 128):
+// the raw payload of a FORA+ precomputed walk index. gio stores and
+// validates it; internal/fora gives it meaning.
+type WalkIndexSection struct {
+	// Alpha is the walk termination probability the endpoints were
+	// simulated with.
+	Alpha float64
+	// WalksPerNode is K, the stored endpoints per node.
+	WalksPerNode int
+	// Seed is the RNG seed the index was built with.
+	Seed int64
+	// Ends holds the n×K endpoints, flat; -1 marks a walk lost at a
+	// dangling node.
+	Ends []int32
+}
+
+// Snapshot bundles everything an NRPG file can carry.
+type Snapshot struct {
+	Graph *graph.Graph
+	// Attrs are optional per-node attribute rows (nil when absent).
+	Attrs [][]float64
+	// WalkIndex is the optional FORA+ walk index (nil when absent).
+	WalkIndex *WalkIndexSection
+}
 
 // Save writes g (and, optionally, per-node attribute rows) as an NRPG v1
 // snapshot. attrs may be nil; otherwise it must hold one equal-length row
 // per node. The output is deterministic: the same graph always produces
 // the same bytes.
 func Save(w io.Writer, g *graph.Graph, attrs [][]float64) error {
+	return SaveSnapshot(w, &Snapshot{Graph: g, Attrs: attrs})
+}
+
+// SaveSnapshot writes snap as an NRPG v1 snapshot, appending the
+// optional walk-index section when present. The output is deterministic.
+func SaveSnapshot(w io.Writer, snap *Snapshot) error {
+	g, attrs, wi := snap.Graph, snap.Attrs, snap.WalkIndex
 	if g == nil || g.N < 1 {
 		return fmt.Errorf("gio: cannot save an empty graph")
+	}
+	if wi != nil {
+		if wi.WalksPerNode < 1 {
+			return fmt.Errorf("gio: walk index needs at least one walk per node, got %d", wi.WalksPerNode)
+		}
+		if !(wi.Alpha > 0 && wi.Alpha < 1) {
+			return fmt.Errorf("gio: walk index alpha must be in (0,1), got %v", wi.Alpha)
+		}
+		if len(wi.Ends) != g.N*wi.WalksPerNode {
+			return fmt.Errorf("gio: walk index has %d endpoints, want n·K = %d", len(wi.Ends), g.N*wi.WalksPerNode)
+		}
 	}
 	attrDim := 0
 	if len(attrs) > 0 {
@@ -195,7 +276,11 @@ func Save(w io.Writer, g *graph.Graph, attrs [][]float64) error {
 	if attrDim > 0 {
 		h.flags |= flagAttrs
 	}
-	secs := h.expectedSections()
+	secs := h.requiredSections()
+	if wi != nil {
+		secs = append(secs, tableSection{tag: secWalkIdx, length: walkIdxHeadSize + 4*int64(len(wi.Ends))})
+	}
+	layoutSections(secs, len(secs))
 
 	bw := bufio.NewWriterSize(w, 1<<20)
 	cw := &crcWriter{w: bw}
@@ -247,6 +332,14 @@ func Save(w io.Writer, g *graph.Graph, attrs [][]float64) error {
 					break
 				}
 			}
+		case secWalkIdx:
+			var head [walkIdxHeadSize]byte
+			binary.LittleEndian.PutUint64(head[0:8], math.Float64bits(wi.Alpha))
+			binary.LittleEndian.PutUint64(head[8:16], uint64(int64(wi.WalksPerNode)))
+			binary.LittleEndian.PutUint64(head[16:24], uint64(wi.Seed))
+			if _, err = cw.Write(head[:]); err == nil {
+				err = writeInt32s(cw, wi.Ends)
+			}
 		}
 		if err != nil {
 			return fmt.Errorf("gio: writing section %d: %w", s.tag, err)
@@ -266,10 +359,22 @@ func Save(w io.Writer, g *graph.Graph, attrs [][]float64) error {
 // multi-gigabyte snapshots prefer LoadMmap, which maps the arrays
 // directly instead of copying them.
 func Load(r io.Reader) (*graph.Graph, [][]float64, error) {
+	snap, err := LoadSnapshot(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return snap.Graph, snap.Attrs, nil
+}
+
+// LoadSnapshot is Load plus the optional sections: it additionally
+// decodes (and fully validates) the walk-index section when present.
+// Unknown optional sections are skipped per the format's
+// forward-compatibility rule.
+func LoadSnapshot(r io.Reader) (*Snapshot, error) {
 	cr := &crcReader{r: bufio.NewReaderSize(r, 1<<20)}
 	h, err := readHeader(cr)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	var (
@@ -278,10 +383,11 @@ func Load(r io.Reader) (*graph.Graph, [][]float64, error) {
 		adjVal, radjVal       []float64
 		labels                [][]int32
 		attrs                 [][]float64
+		wi                    *WalkIndexSection
 	)
 	for _, s := range h.sections {
 		if err := cr.skipTo(s.offset); err != nil {
-			return nil, nil, fmt.Errorf("gio: seeking section %d: %w", s.tag, err)
+			return nil, fmt.Errorf("gio: seeking section %d: %w", s.tag, err)
 		}
 		switch s.tag {
 		case secAdjRowPtr:
@@ -304,19 +410,29 @@ func Load(r io.Reader) (*graph.Graph, [][]float64, error) {
 				attrs = sliceRows(flat, int(h.n), int(h.attrDim))
 			}
 			err = ferr
+		case secWalkIdx:
+			wi, err = readWalkIndex(cr, int(h.n), s.length)
+		default:
+			// Unknown optional section: skip its bytes (they still feed
+			// the checksum via skipTo at the next iteration or below).
 		}
 		if err != nil {
-			return nil, nil, fmt.Errorf("gio: reading section %d: %w", s.tag, err)
+			return nil, fmt.Errorf("gio: reading section %d: %w", s.tag, err)
 		}
+	}
+	// Consume any bytes of a trailing skipped section before the trailer.
+	last := h.sections[len(h.sections)-1]
+	if err := cr.skipTo(last.offset + last.length); err != nil {
+		return nil, fmt.Errorf("gio: seeking past section %d: %w", last.tag, err)
 	}
 
 	var trailer [4]byte
 	want := cr.crc // snapshot before the trailer bytes pass through
 	if _, err := io.ReadFull(cr.r, trailer[:]); err != nil {
-		return nil, nil, fmt.Errorf("gio: reading checksum: %w", truncated(err))
+		return nil, fmt.Errorf("gio: reading checksum: %w", truncated(err))
 	}
 	if got := binary.LittleEndian.Uint32(trailer[:]); got != want {
-		return nil, nil, fmt.Errorf("gio: checksum mismatch: file says %08x, content hashes to %08x", got, want)
+		return nil, fmt.Errorf("gio: checksum mismatch: file says %08x, content hashes to %08x", got, want)
 	}
 	// The trailer ends the snapshot; trailing bytes (concatenated or
 	// doubly-resumed downloads) must fail here, matching LoadMmap's
@@ -325,9 +441,9 @@ func Load(r io.Reader) (*graph.Graph, [][]float64, error) {
 	switch _, err := io.ReadFull(cr.r, extra[:]); err {
 	case io.EOF:
 	case nil:
-		return nil, nil, fmt.Errorf("gio: snapshot has trailing data after the checksum")
+		return nil, fmt.Errorf("gio: snapshot has trailing data after the checksum")
 	default:
-		return nil, nil, fmt.Errorf("gio: reading past checksum: %w", err)
+		return nil, fmt.Errorf("gio: reading past checksum: %w", err)
 	}
 
 	adj, err := sparse.New(int(h.n), int(h.n), adjRowPtr, adjColIdx, adjVal)
@@ -335,7 +451,7 @@ func Load(r io.Reader) (*graph.Graph, [][]float64, error) {
 		err = validateSortedRows(adj)
 	}
 	if err != nil {
-		return nil, nil, fmt.Errorf("gio: corrupt adjacency: %w", err)
+		return nil, fmt.Errorf("gio: corrupt adjacency: %w", err)
 	}
 	var radj *sparse.CSR
 	if h.has(flagHasRAdj) {
@@ -347,19 +463,24 @@ func Load(r io.Reader) (*graph.Graph, [][]float64, error) {
 			err = validateSortedRows(radj)
 		}
 		if err != nil {
-			return nil, nil, fmt.Errorf("gio: corrupt reverse adjacency: %w", err)
+			return nil, fmt.Errorf("gio: corrupt reverse adjacency: %w", err)
 		}
 	} else {
 		// Undirected: the adjacency is symmetric, so its transpose is
 		// itself; share the arrays instead of materializing a copy.
 		radj = &sparse.CSR{Rows: adj.Rows, Cols: adj.Cols, RowPtr: adj.RowPtr, ColIdx: adj.ColIdx, Val: adj.Val}
 	}
-	return assemble(h, adj, radj, labels, attrs)
+	snap, err := assemble(h, adj, radj, labels, attrs)
+	if err != nil {
+		return nil, err
+	}
+	snap.WalkIndex = wi
+	return snap, nil
 }
 
 // assemble builds the Graph from decoded parts, applying the label
-// validation of graph.WithLabels.
-func assemble(h *header, adj, radj *sparse.CSR, labels [][]int32, attrs [][]float64) (*graph.Graph, [][]float64, error) {
+// validation of graph.WithLabels. The caller attaches optional sections.
+func assemble(h *header, adj, radj *sparse.CSR, labels [][]int32, attrs [][]float64) (*Snapshot, error) {
 	g := &graph.Graph{
 		N:        int(h.n),
 		Directed: h.has(flagDirected),
@@ -370,11 +491,54 @@ func assemble(h *header, adj, radj *sparse.CSR, labels [][]int32, attrs [][]floa
 	if labels != nil {
 		lg, err := g.WithLabels(labels, int(h.numLabels))
 		if err != nil {
-			return nil, nil, fmt.Errorf("gio: corrupt labels: %w", err)
+			return nil, fmt.Errorf("gio: corrupt labels: %w", err)
 		}
 		g = lg
 	}
-	return g, attrs, nil
+	return &Snapshot{Graph: g, Attrs: attrs}, nil
+}
+
+// readWalkIndex decodes and fully validates the optional walk-index
+// section payload (stream loader path; the mmap path slices it
+// zero-copy and defers endpoint validation to the consumer).
+func readWalkIndex(r io.Reader, n int, length int64) (*WalkIndexSection, error) {
+	var head [walkIdxHeadSize]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, truncated(err)
+	}
+	alpha := math.Float64frombits(binary.LittleEndian.Uint64(head[0:8]))
+	k := int64(binary.LittleEndian.Uint64(head[8:16]))
+	seed := int64(binary.LittleEndian.Uint64(head[16:24]))
+	wi, err := checkWalkIndexHead(alpha, k, int64(n), length)
+	if err != nil {
+		return nil, err
+	}
+	wi.Seed = seed
+	wi.Ends, err = readInt32s(r, n*int(k))
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range wi.Ends {
+		if t < -1 || int(t) >= n {
+			return nil, fmt.Errorf("walk endpoint %d outside [-1,%d)", t, n)
+		}
+	}
+	return wi, nil
+}
+
+// checkWalkIndexHead validates the fixed walk-index prefix against the
+// section length; shared by the stream and mmap loaders.
+func checkWalkIndexHead(alpha float64, k, n, length int64) (*WalkIndexSection, error) {
+	if k < 1 || k > 1<<20 {
+		return nil, fmt.Errorf("implausible walks per node %d", k)
+	}
+	if !(alpha > 0 && alpha < 1) {
+		return nil, fmt.Errorf("implausible walk alpha %v", alpha)
+	}
+	if want := walkIdxHeadSize + 4*n*k; length != want {
+		return nil, fmt.Errorf("walk index section is %d bytes, want %d for n=%d K=%d", length, want, n, k)
+	}
+	return &WalkIndexSection{Alpha: alpha, WalksPerNode: int(k)}, nil
 }
 
 // readHeader decodes and validates the fixed header plus section table.
@@ -449,27 +613,48 @@ func parseHeader(hdr []byte, more func(n int) ([]byte, error)) (*header, error) 
 		return nil, fmt.Errorf("gio: snapshot omits the reverse adjacency but is not symmetric unit-weight")
 	}
 
-	want := h.expectedSections()
-	if sectionCount != int64(len(want)) {
-		return nil, fmt.Errorf("gio: section count %d, want %d for these flags", sectionCount, len(want))
+	want := h.requiredSections()
+	if sectionCount < int64(len(want)) || sectionCount > maxSections {
+		return nil, fmt.Errorf("gio: section count %d, want at least %d for these flags (max %d)", sectionCount, len(want), maxSections)
 	}
-	table, err := more(tableEntry * len(want))
+	layoutSections(want, int(sectionCount))
+	table, err := more(tableEntry * int(sectionCount))
 	if err != nil {
 		return nil, fmt.Errorf("gio: reading section table: %w", err)
 	}
-	for i, w := range want {
+	secs := make([]tableSection, sectionCount)
+	for i := range secs {
 		ent := table[tableEntry*i:]
-		got := tableSection{
+		secs[i] = tableSection{
 			tag:    binary.LittleEndian.Uint32(ent[0:4]),
 			offset: int64(binary.LittleEndian.Uint64(ent[8:16])),
 			length: int64(binary.LittleEndian.Uint64(ent[16:24])),
 		}
-		if got != w {
+	}
+	for i, w := range want {
+		if secs[i] != w {
 			return nil, fmt.Errorf("gio: section %d is {tag %d, offset %d, length %d}, want {tag %d, offset %d, length %d}",
-				i, got.tag, got.offset, got.length, w.tag, w.offset, w.length)
+				i, secs[i].tag, secs[i].offset, secs[i].length, w.tag, w.offset, w.length)
 		}
 	}
-	h.sections = want
+	// Optional sections (tags ≥ secOptionalMin) follow the required
+	// ones, 8-aligned and contiguously packed. Validate the shape so
+	// loaders can trust the offsets, but leave the tags uninterpreted:
+	// unknown optional sections are skipped, the format's
+	// forward-compatibility rule.
+	end := secs[len(want)-1].offset + secs[len(want)-1].length
+	for i := len(want); i < len(secs); i++ {
+		s := secs[i]
+		if s.tag < secOptionalMin {
+			return nil, fmt.Errorf("gio: extra section %d has required-range tag %d (optional tags start at %d)", i, s.tag, secOptionalMin)
+		}
+		if s.length < 0 || s.length > 1<<42 || s.offset != align8(end) {
+			return nil, fmt.Errorf("gio: optional section %d (tag %d) at offset %d length %d, want contiguous offset %d",
+				i, s.tag, s.offset, s.length, align8(end))
+		}
+		end = s.offset + s.length
+	}
+	h.sections = secs
 	return h, nil
 }
 

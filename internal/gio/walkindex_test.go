@@ -1,0 +1,208 @@
+package gio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+)
+
+func testWalkIndex(n, k int) *WalkIndexSection {
+	ends := make([]int32, n*k)
+	for i := range ends {
+		// Deterministic endpoints within [-1, n), including lost walks.
+		ends[i] = int32(i%(n+1)) - 1
+	}
+	return &WalkIndexSection{Alpha: 0.15, WalksPerNode: k, Seed: 42, Ends: ends}
+}
+
+func walkIndexesEqual(t *testing.T, got, want *WalkIndexSection) {
+	t.Helper()
+	if got == nil {
+		t.Fatalf("walk index missing after load")
+	}
+	if got.Alpha != want.Alpha || got.WalksPerNode != want.WalksPerNode || got.Seed != want.Seed {
+		t.Fatalf("walk index header = {%v %d %d}, want {%v %d %d}",
+			got.Alpha, got.WalksPerNode, got.Seed, want.Alpha, want.WalksPerNode, want.Seed)
+	}
+	if len(got.Ends) != len(want.Ends) {
+		t.Fatalf("walk index has %d endpoints, want %d", len(got.Ends), len(want.Ends))
+	}
+	for i := range got.Ends {
+		if got.Ends[i] != want.Ends[i] {
+			t.Fatalf("endpoint %d = %d, want %d", i, got.Ends[i], want.Ends[i])
+		}
+	}
+}
+
+func TestNRPGWalkIndexRoundTrip(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			wi := testWalkIndex(g.N, 4)
+			var buf bytes.Buffer
+			if err := SaveSnapshot(&buf, &Snapshot{Graph: g, WalkIndex: wi}); err != nil {
+				t.Fatal(err)
+			}
+
+			snap, err := LoadSnapshot(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			graphsEqual(t, snap.Graph, g)
+			walkIndexesEqual(t, snap.WalkIndex, wi)
+
+			// The legacy entry point still loads the graph and simply
+			// ignores the optional payload.
+			got, _, err := Load(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			graphsEqual(t, got, g)
+
+			path := filepath.Join(t.TempDir(), "wi.nrpg")
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			msnap, closer, err := LoadMmapSnapshot(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closer.Close()
+			graphsEqual(t, msnap.Graph, g)
+			walkIndexesEqual(t, msnap.WalkIndex, wi)
+
+			// Deterministic bytes, walk index included.
+			var buf2 bytes.Buffer
+			if err := SaveSnapshot(&buf2, &Snapshot{Graph: g, WalkIndex: wi}); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+				t.Fatal("re-saving changed the bytes")
+			}
+		})
+	}
+}
+
+// retagOptionalSection rewrites the table tag of the first optional
+// section and fixes the trailing CRC, simulating a snapshot written by a
+// newer writer with an optional section this reader has never heard of.
+func retagOptionalSection(t *testing.T, b []byte, oldTag, newTag uint32) {
+	t.Helper()
+	sectionCount := binary.LittleEndian.Uint64(b[64:72])
+	found := false
+	for i := 0; i < int(sectionCount); i++ {
+		ent := b[headerSize+tableEntry*i:]
+		if binary.LittleEndian.Uint32(ent[0:4]) == oldTag {
+			binary.LittleEndian.PutUint32(ent[0:4], newTag)
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no section with tag %d in table", oldTag)
+	}
+	crc := crc32.Checksum(b[:len(b)-4], crcTable)
+	binary.LittleEndian.PutUint32(b[len(b)-4:], crc)
+}
+
+// TestOptionalSectionForwardCompat asserts the format's
+// forward-compatibility rule: a reader must load a snapshot carrying an
+// unknown optional section (tag ≥ secOptionalMin) as if that section
+// were absent — same graph, no error — through both the stream and mmap
+// loaders.
+func TestOptionalSectionForwardCompat(t *testing.T) {
+	g, err := graph.GenSBM(graph.SBMConfig{N: 120, M: 500, Communities: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveSnapshot(&buf, &Snapshot{Graph: g, WalkIndex: testWalkIndex(g.N, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	retagOptionalSection(t, b, secWalkIdx, 255)
+
+	snap, err := LoadSnapshot(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("unknown optional section must be skipped, got error: %v", err)
+	}
+	graphsEqual(t, snap.Graph, g)
+	if snap.WalkIndex != nil {
+		t.Fatal("unknown optional section was decoded as a walk index")
+	}
+
+	path := filepath.Join(t.TempDir(), "future.nrpg")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	msnap, closer, err := LoadMmapSnapshot(path)
+	if err != nil {
+		t.Fatalf("mmap loader must skip unknown optional sections, got: %v", err)
+	}
+	defer closer.Close()
+	graphsEqual(t, msnap.Graph, g)
+	if msnap.WalkIndex != nil {
+		t.Fatal("mmap loader decoded an unknown optional section as a walk index")
+	}
+}
+
+// Required-range tags may not appear as extra sections: the exact-match
+// rule for tags < secOptionalMin is what older readers rely on.
+func TestOptionalSectionRejectsRequiredRangeTag(t *testing.T) {
+	g, err := graph.GenSBM(graph.SBMConfig{N: 50, M: 200, Communities: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveSnapshot(&buf, &Snapshot{Graph: g, WalkIndex: testWalkIndex(g.N, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	retagOptionalSection(t, b, secWalkIdx, 100)
+	if _, err := LoadSnapshot(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "required-range tag") {
+		t.Fatalf("extra section with required-range tag accepted: %v", err)
+	}
+}
+
+func TestSaveSnapshotValidatesWalkIndex(t *testing.T) {
+	g, err := graph.New(3, []graph.Edge{{U: 0, V: 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for name, wi := range map[string]*WalkIndexSection{
+		"zero walks":      {Alpha: 0.15, WalksPerNode: 0, Ends: nil},
+		"bad alpha":       {Alpha: 1.5, WalksPerNode: 1, Ends: []int32{0, 1, 2}},
+		"wrong end count": {Alpha: 0.15, WalksPerNode: 2, Ends: []int32{0, 1, 2}},
+	} {
+		if err := SaveSnapshot(&buf, &Snapshot{Graph: g, WalkIndex: wi}); err == nil {
+			t.Errorf("%s: invalid walk index accepted", name)
+		}
+	}
+}
+
+func TestLoadRejectsCorruptWalkIndexEndpoint(t *testing.T) {
+	g, err := graph.New(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wi := testWalkIndex(g.N, 2)
+	var buf bytes.Buffer
+	if err := SaveSnapshot(&buf, &Snapshot{Graph: g, WalkIndex: wi}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// The walk-index endpoints are the last section before the trailer.
+	off := len(b) - 4 - 4*len(wi.Ends)
+	binary.LittleEndian.PutUint32(b[off:], uint32(int32(g.N)))
+	crc := crc32.Checksum(b[:len(b)-4], crcTable)
+	binary.LittleEndian.PutUint32(b[len(b)-4:], crc)
+	if _, err := LoadSnapshot(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "walk endpoint") {
+		t.Fatalf("out-of-range walk endpoint accepted: %v", err)
+	}
+}

@@ -44,11 +44,29 @@ func Exact(g *graph.Graph, alpha float64, iters int) (*matrix.Dense, error) {
 // SingleSource computes the PPR row π(u,·) truncated after iters terms.
 // Cost is O(iters·m) time, O(n) space.
 func SingleSource(g *graph.Graph, u int, alpha float64, iters int) ([]float64, error) {
+	if u < 0 || u >= g.N {
+		return nil, fmt.Errorf("ppr: source %d outside [0,%d)", u, g.N)
+	}
+	return MultiSource(g, []int32{int32(u)}, alpha, iters)
+}
+
+// MultiSource computes the seed-set PPR vector π_S = (1/|S|)·Σ_{s∈S}
+// π(s,·) truncated after iters terms of Eq. (1), i.e. the stationary
+// distribution of an α-terminating walk whose start is drawn uniformly
+// from the seed set. Duplicate seeds sum their starting mass. This is the
+// exact ground truth the online FORA engine (internal/fora) is tested
+// against. Cost is O(iters·m) time, O(n) space.
+func MultiSource(g *graph.Graph, seeds []int32, alpha float64, iters int) ([]float64, error) {
 	if err := checkAlpha(alpha); err != nil {
 		return nil, err
 	}
-	if u < 0 || u >= g.N {
-		return nil, fmt.Errorf("ppr: source %d outside [0,%d)", u, g.N)
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("ppr: seed set is empty")
+	}
+	for _, s := range seeds {
+		if s < 0 || int(s) >= g.N {
+			return nil, fmt.Errorf("ppr: seed %d outside [0,%d)", s, g.N)
+		}
 	}
 	if iters <= 0 {
 		iters = DefaultIters
@@ -57,7 +75,10 @@ func SingleSource(g *graph.Graph, u int, alpha float64, iters int) ([]float64, e
 	pi := make([]float64, n)
 	cur := make([]float64, n)
 	next := make([]float64, n)
-	cur[u] = 1
+	w := 1 / float64(len(seeds))
+	for _, s := range seeds {
+		cur[s] += w
+	}
 	invDeg := g.InvOutDegrees()
 	adj := g.Adj
 	for i := 0; i <= iters; i++ {

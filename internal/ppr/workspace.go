@@ -62,15 +62,35 @@ func (ws *Workspace) R(v int32) float64 { return ws.r[v] }
 // workspace and returns the leftover residual mass. Estimates are read
 // with Touched/P and stay valid until the next push on this workspace.
 func (ws *Workspace) ForwardPush(g *graph.Graph, u int, alpha, rmax float64) (residual float64) {
-	ws.reset()
-	ws.r[u] = 1
-	ws.mark(int32(u))
-	ws.queue = append(ws.queue, int32(u))
-	ws.inQueue[u] = true
+	return ws.ForwardPushSeeds(g, []int32{int32(u)}, alpha, rmax)
+}
 
-	for len(ws.queue) > 0 {
-		v := ws.queue[0]
-		ws.queue = ws.queue[1:]
+// ForwardPushSeeds runs the forward local push from a seed set: each seed
+// starts with residual 1/|seeds| so the converged estimate approximates
+// the seed-set PPR π_S = (1/|S|)·Σ_{s∈S} π(s,·). Duplicate seeds sum
+// their mass (callers wanting uniform set semantics should dedupe first).
+// An empty seed set is a no-op returning zero residual.
+func (ws *Workspace) ForwardPushSeeds(g *graph.Graph, seeds []int32, alpha, rmax float64) (residual float64) {
+	ws.reset()
+	if len(seeds) == 0 {
+		return 0
+	}
+	w := 1 / float64(len(seeds))
+	for _, s := range seeds {
+		ws.r[s] += w
+		ws.mark(s)
+		if !ws.inQueue[s] {
+			ws.inQueue[s] = true
+			ws.queue = append(ws.queue, s)
+		}
+	}
+
+	// Drain by index rather than re-slicing the front: queue[1:] would
+	// advance the slice base, so reset's queue[:0] could never give the
+	// backing array back to append — every push would regrow it from
+	// scratch instead of reusing capacity.
+	for head := 0; head < len(ws.queue); head++ {
+		v := ws.queue[head]
 		ws.inQueue[v] = false
 		res := ws.r[v]
 		deg := g.OutDeg(int(v))
@@ -108,9 +128,8 @@ func (ws *Workspace) BackwardPush(g *graph.Graph, t int, alpha, rmax float64) (r
 	ws.queue = append(ws.queue, int32(t))
 	ws.inQueue[t] = true
 
-	for len(ws.queue) > 0 {
-		w := ws.queue[0]
-		ws.queue = ws.queue[1:]
+	for head := 0; head < len(ws.queue); head++ {
+		w := ws.queue[head]
 		ws.inQueue[w] = false
 		res := ws.r[w]
 		if res <= rmax {

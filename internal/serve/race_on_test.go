@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled gates assertions that the race detector invalidates by
+// design (sync.Pool drops items at random under -race).
+const raceEnabled = true

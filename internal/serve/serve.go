@@ -8,13 +8,15 @@
 //	GET  /v1/topk?u=42&k=10   single top-k query
 //	POST /v1/topk             {"u":42,"k":10} or {"us":[1,2,3],"k":10}
 //	POST /v1/score            {"pairs":[[0,1],[2,3]]}
+//	POST /v1/ppr              {"seeds":[1,2],"k":10}               (PPR-enabled servers)
 //	POST /v1/update           {"insert":[[0,1]],"remove":[[2,3]]}  (live servers)
 //	POST /v1/refresh          {}                                   (live servers)
 //
 // All responses are JSON. Malformed requests — bad JSON, k <= 0, node ids
-// outside [0, N) — map to 400 via the nrp.ErrInvalidK and
-// nrp.ErrNodeOutOfRange sentinels; queries cut short by server shutdown
-// map to 503.
+// outside [0, N), invalid PPR parameters — map to 400 via the
+// nrp.ErrInvalidK, nrp.ErrNodeOutOfRange, nrp.ErrEmptySeedSet,
+// nrp.ErrInvalidAlpha and nrp.ErrInvalidEpsilon sentinels; queries cut
+// short by server shutdown map to 503.
 //
 // A server constructed with NewLiveServer additionally accepts edge
 // updates and refreshes: /v1/update applies batched insertions/removals
@@ -45,9 +47,15 @@ type Config struct {
 	// MaxK caps the k a single request may ask for (default 1000): a cheap
 	// guard against a single query holding a worker for a full-index sort.
 	MaxK int
-	// MaxBatch caps the number of sources in one /v1/topk batch and the
-	// number of pairs in one /v1/score call (default 1024).
+	// MaxBatch caps the number of sources in one /v1/topk batch, the
+	// number of pairs in one /v1/score call, and the number of seeds in
+	// one /v1/ppr call (default 1024).
 	MaxBatch int
+	// PPR, when non-nil, enables /v1/ppr: online seed-set PPR queries on
+	// the graph the server was booted from. On a live server, queries run
+	// against the current graph snapshot, so they observe edges applied
+	// through /v1/update immediately — no /v1/refresh needed.
+	PPR *nrp.PPREngine
 }
 
 const (
@@ -90,6 +98,7 @@ func (sv *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/healthz", sv.handleHealthz)
 	mux.HandleFunc("/v1/topk", sv.handleTopK)
 	mux.HandleFunc("/v1/score", sv.handleScore)
+	mux.HandleFunc("/v1/ppr", sv.handlePPR)
 	mux.HandleFunc("/v1/update", sv.handleUpdate)
 	mux.HandleFunc("/v1/refresh", sv.handleRefresh)
 	return mux
@@ -397,12 +406,100 @@ func (sv *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ScoreResponse{Scores: scores})
 }
 
+// PPRRequest is the /v1/ppr POST body. Alpha and Epsilon, when nonzero,
+// override the engine defaults for this query.
+type PPRRequest struct {
+	Seeds   []int   `json:"seeds"`
+	K       int     `json:"k,omitempty"`
+	Alpha   float64 `json:"alpha,omitempty"`
+	Epsilon float64 `json:"epsilon,omitempty"`
+}
+
+// PPRStatsJSON reports how one PPR query was answered.
+type PPRStatsJSON struct {
+	Rmax       float64 `json:"rmax"`
+	Residual   float64 `json:"residual"`
+	Walks      int64   `json:"walks"`
+	Pushed     int     `json:"pushed"`
+	Candidates int     `json:"candidates"`
+	UsedIndex  bool    `json:"used_index"`
+	PushUs     int64   `json:"push_us"`
+	WalkUs     int64   `json:"walk_us"`
+}
+
+// PPRResponse is the /v1/ppr response body: the top-k nodes by estimated
+// PPR from the seed set, descending.
+type PPRResponse struct {
+	K      int            `json:"k"`
+	Scores []NeighborJSON `json:"scores"`
+	Stats  PPRStatsJSON   `json:"stats"`
+}
+
+func (sv *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if sv.cfg.PPR == nil {
+		// Like /v1/update on a static server: the deployment has no graph
+		// to query, which is not a malformed request — hence 409.
+		writeError(w, http.StatusConflict, "PPR is disabled: server was not started over a graph")
+		return
+	}
+	var req PPRRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Seeds) > sv.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("seed set of %d exceeds limit %d", len(req.Seeds), sv.cfg.MaxBatch))
+		return
+	}
+	if req.K == 0 {
+		req.K = 10
+	}
+	if req.K > sv.cfg.MaxK {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("k=%d exceeds limit %d", req.K, sv.cfg.MaxK))
+		return
+	}
+	q := nrp.PPRQuery{Seeds: req.Seeds, K: req.K, Alpha: req.Alpha, Epsilon: req.Epsilon}
+	if sv.live != nil {
+		// The current RCU snapshot: PPR answers on the updated topology as
+		// soon as /v1/update returns, independent of index refreshes.
+		q.Graph = sv.live.Dynamic().Graph()
+	}
+	res, err := sv.cfg.PPR.Query(r.Context(), q)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	resp := PPRResponse{
+		K:      req.K,
+		Scores: make([]NeighborJSON, len(res.Scores)),
+		Stats: PPRStatsJSON{
+			Rmax:       res.Stats.Rmax,
+			Residual:   res.Stats.Residual,
+			Walks:      res.Stats.Walks,
+			Pushed:     res.Stats.Pushed,
+			Candidates: res.Stats.Candidates,
+			UsedIndex:  res.Stats.UsedIndex,
+			PushUs:     res.Stats.PushTime.Microseconds(),
+			WalkUs:     res.Stats.WalkTime.Microseconds(),
+		},
+	}
+	for i, s := range res.Scores {
+		resp.Scores[i] = NeighborJSON{Node: s.Node, Score: s.Score}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // writeQueryError maps Searcher errors onto HTTP statuses: the typed
 // validation sentinels are the client's fault, cancellation means the
 // server (or client) went away mid-query, anything else is a 500.
 func writeQueryError(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, nrp.ErrInvalidK) || errors.Is(err, nrp.ErrNodeOutOfRange):
+	case errors.Is(err, nrp.ErrInvalidK) || errors.Is(err, nrp.ErrNodeOutOfRange),
+		errors.Is(err, nrp.ErrEmptySeedSet) || errors.Is(err, nrp.ErrInvalidAlpha) || errors.Is(err, nrp.ErrInvalidEpsilon):
 		writeError(w, http.StatusBadRequest, err.Error())
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusServiceUnavailable, "query cancelled: "+err.Error())

@@ -1,0 +1,288 @@
+package nrp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/nrp-embed/nrp/internal/fora"
+	"github.com/nrp-embed/nrp/internal/gio"
+	"github.com/nrp-embed/nrp/internal/par"
+)
+
+// Online seed-set PPR queries (the FORA family, internal/fora): forward
+// push to an adaptive residual threshold, then alias-sampled Monte Carlo
+// walks, answering arbitrary seed sets on the live graph with an (ε, δ)
+// relative-error guarantee. This is the serving-side complement to the
+// batch embedding pipeline: embeddings answer "similar to u" by inner
+// product, PPR queries answer "relevant to this seed set" exactly on the
+// current topology.
+
+// Typed sentinels for PPR query validation; internal/serve maps them to
+// HTTP 400 alongside ErrInvalidK and ErrNodeOutOfRange.
+var (
+	// ErrInvalidAlpha is returned when a PPR alpha is outside (0,1).
+	ErrInvalidAlpha = fora.ErrInvalidAlpha
+	// ErrInvalidEpsilon is returned when a PPR epsilon is not positive.
+	ErrInvalidEpsilon = fora.ErrInvalidEpsilon
+	// ErrEmptySeedSet is returned when a PPR query has no seeds.
+	ErrEmptySeedSet = fora.ErrEmptySeedSet
+)
+
+// WalkIndex is the FORA+ acceleration structure: precomputed walk
+// endpoints that let a PPR engine answer the walk phase with array reads
+// instead of graph traversals. Build with BuildWalkIndex, persist inside
+// NRPG snapshots with SaveGraphIndexed, and attach to an engine with
+// WithWalkIndex.
+type WalkIndex = fora.WalkIndex
+
+// PPRStats describes how one PPR query was answered (push threshold,
+// residual, walk count, per-phase time).
+type PPRStats = fora.Stats
+
+// PPRResult is a ranked PPR answer: the top-k nodes by estimated π_S,
+// descending, plus query stats.
+type PPRResult struct {
+	Scores []Neighbor
+	Stats  PPRStats
+}
+
+type pprConfig struct {
+	params  fora.Params
+	threads int
+	index   *WalkIndex
+}
+
+// PPROption configures a PPR engine or a one-shot PPR call; see
+// WithAlpha, WithEpsilon, WithWalkIndex, WithPPRSeed and WithThreads.
+type PPROption interface{ applyPPR(*pprConfig) }
+
+type pprOptionFunc func(*pprConfig)
+
+func (f pprOptionFunc) applyPPR(c *pprConfig) { f(c) }
+
+// applyPPR implements PPROption, so one WithThreads value configures the
+// embedding pipeline, index builds and PPR engines alike.
+func (t ThreadsOption) applyPPR(c *pprConfig) { c.threads = int(t) }
+
+// WithAlpha sets the walk termination probability α of Eq. (1) (default
+// 0.15, the paper's setting). Values outside (0,1) fail with
+// ErrInvalidAlpha at validation time.
+func WithAlpha(alpha float64) PPROption {
+	return pprOptionFunc(func(c *pprConfig) { c.params.Alpha = alpha })
+}
+
+// WithEpsilon sets the relative error bound ε of the (ε, δ) guarantee
+// (default 0.5). Smaller ε means more walks and tighter estimates;
+// non-positive values fail with ErrInvalidEpsilon.
+func WithEpsilon(eps float64) PPROption {
+	return pprOptionFunc(func(c *pprConfig) { c.params.Epsilon = eps })
+}
+
+// WithPPRDelta sets δ, the PPR value down to which the relative-error
+// guarantee applies (default 1/n). Raising it makes queries cheaper while
+// still guaranteeing the head of the ranking.
+func WithPPRDelta(delta float64) PPROption {
+	return pprOptionFunc(func(c *pprConfig) { c.params.Delta = delta })
+}
+
+// WithPPRFailureProb sets the per-query failure probability of the
+// guarantee (default 1/n).
+func WithPPRFailureProb(p float64) PPROption {
+	return pprOptionFunc(func(c *pprConfig) { c.params.PFail = p })
+}
+
+// WithPPRSeed seeds the walk RNG streams (default 1). Queries are
+// deterministic for a fixed seed and thread count.
+func WithPPRSeed(seed int64) PPROption {
+	return pprOptionFunc(func(c *pprConfig) { c.params.Seed = seed })
+}
+
+// WithWalkIndex attaches a FORA+ walk index: the walk phase then samples
+// precomputed endpoints instead of traversing the graph. The index must
+// match the graph's node count; queries whose α differs from the index's
+// fall back to live walks.
+func WithWalkIndex(wi *WalkIndex) PPROption {
+	return pprOptionFunc(func(c *pprConfig) { c.index = wi })
+}
+
+// PPREngine answers online seed-set PPR queries. It is safe for
+// concurrent use and reuses per-query workspaces through a sync.Pool, so
+// steady-state queries allocate O(k) rather than O(n).
+type PPREngine struct {
+	eng *fora.Engine
+}
+
+// NewPPREngine builds a PPR query engine over g. Options are validated
+// here: ErrInvalidAlpha and ErrInvalidEpsilon surface before any query
+// runs.
+func NewPPREngine(g *Graph, opts ...PPROption) (*PPREngine, error) {
+	var c pprConfig
+	for _, o := range opts {
+		o.applyPPR(&c)
+	}
+	eng, err := fora.NewEngine(g, par.New(c.threads), c.index, c.params)
+	if err != nil {
+		return nil, fmt.Errorf("nrp: invalid PPR parameters: %w", err)
+	}
+	return &PPREngine{eng: eng}, nil
+}
+
+// PPRQuery is one online seed-set PPR request.
+type PPRQuery struct {
+	// Seeds is the non-empty seed set; duplicates are deduped. The
+	// estimated vector is π_S = (1/|S|)·Σ_{s∈S} π(s,·).
+	Seeds []int
+	// K is the number of top results to return.
+	K int
+	// Alpha and Epsilon, when nonzero, override the engine defaults for
+	// this query only.
+	Alpha, Epsilon float64
+	// Graph, when non-nil, answers the query on that snapshot instead of
+	// the engine's boot graph — the live-serving path passes the current
+	// RCU snapshot here so queries see applied edge updates. Node count
+	// must match the boot graph.
+	Graph *Graph
+}
+
+// Query answers q with the engine's (ε, δ) relative-error guarantee.
+// Validation errors wrap the typed sentinels: ErrEmptySeedSet,
+// ErrNodeOutOfRange, ErrInvalidK, ErrInvalidAlpha, ErrInvalidEpsilon.
+func (pe *PPREngine) Query(ctx context.Context, q PPRQuery) (*PPRResult, error) {
+	n := pe.eng.Graph().N
+	if len(q.Seeds) == 0 {
+		return nil, fmt.Errorf("nrp: PPR query: %w", ErrEmptySeedSet)
+	}
+	seeds := make([]int32, len(q.Seeds))
+	for i, s := range q.Seeds {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("nrp: PPR seed %d out of range [0,%d): %w", s, n, ErrNodeOutOfRange)
+		}
+		seeds[i] = int32(s)
+	}
+	if q.K <= 0 {
+		return nil, fmt.Errorf("nrp: PPR k=%d: %w", q.K, ErrInvalidK)
+	}
+	res, err := pe.eng.Query(ctx, fora.Query{
+		Seeds:   seeds,
+		K:       q.K,
+		Alpha:   q.Alpha,
+		Epsilon: q.Epsilon,
+		Graph:   q.Graph,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("nrp: PPR query: %w", err)
+	}
+	out := &PPRResult{Scores: make([]Neighbor, len(res.Scores)), Stats: res.Stats}
+	for i, s := range res.Scores {
+		out.Scores[i] = Neighbor{Node: int(s.Node), Score: s.Score}
+	}
+	return out, nil
+}
+
+// PPR is the convenience form of Query: top-k PPR of a seed set with the
+// engine's default parameters.
+func (pe *PPREngine) PPR(ctx context.Context, seeds []int, k int) (*PPRResult, error) {
+	return pe.Query(ctx, PPRQuery{Seeds: seeds, K: k})
+}
+
+// WorkspaceBuilds reports how many O(n) query workspaces the engine has
+// constructed; steady sequential traffic holds this at 1 (sync.Pool
+// reuse).
+func (pe *PPREngine) WorkspaceBuilds() int64 { return pe.eng.WorkspaceBuilds() }
+
+// PPR answers a one-shot seed-set PPR query on g:
+//
+//	res, err := nrp.PPR(ctx, g, []int{12, 87}, 10, nrp.WithEpsilon(0.3))
+//
+// For repeated queries build a PPREngine once — it amortizes the O(n)
+// workspaces across requests.
+func PPR(ctx context.Context, g *Graph, seeds []int, k int, opts ...PPROption) (*PPRResult, error) {
+	pe, err := NewPPREngine(g, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return pe.Query(ctx, PPRQuery{Seeds: seeds, K: k})
+}
+
+// BuildWalkIndex precomputes the FORA+ walk index of g: walksPerNode
+// α-terminating walk endpoints per node, simulated on the configured
+// thread count (deterministic for a fixed seed, independent of threads).
+// Honors WithAlpha, WithPPRSeed and WithThreads.
+func BuildWalkIndex(ctx context.Context, g *Graph, walksPerNode int, opts ...PPROption) (*WalkIndex, error) {
+	var c pprConfig
+	for _, o := range opts {
+		o.applyPPR(&c)
+	}
+	if c.params.Alpha == 0 {
+		c.params.Alpha = fora.DefaultAlpha
+	}
+	if c.params.Seed == 0 {
+		c.params.Seed = 1
+	}
+	wi, err := fora.BuildWalkIndex(ctx, g, par.New(c.threads), c.params.Alpha, walksPerNode, c.params.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("nrp: building walk index: %w", err)
+	}
+	return wi, nil
+}
+
+// SaveGraphIndexed writes g plus a FORA+ walk index as one NRPG snapshot
+// (the index rides in an optional section, tag 128), so a server can boot
+// and answer indexed PPR queries without re-simulating walks. Older
+// NRPG readers load such a snapshot as a plain graph. wi may be nil,
+// making this equivalent to SaveGraph.
+func SaveGraphIndexed(path string, g *Graph, wi *WalkIndex) error {
+	snap := &gio.Snapshot{Graph: g}
+	if wi != nil {
+		snap.WalkIndex = &gio.WalkIndexSection{
+			Alpha:        wi.Alpha(),
+			WalksPerNode: wi.WalksPerNode(),
+			Seed:         wi.Seed(),
+			Ends:         wi.Raw(),
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nrp: creating snapshot: %w", err)
+	}
+	if err := gio.SaveSnapshot(f, snap); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// OpenGraphIndexed opens a graph file like OpenGraph — NRPG snapshots
+// are memory-mapped, text edge lists parsed in parallel — and
+// additionally returns the snapshot's stored FORA+ walk index, or nil
+// when the file carries none (text files never do). A mapped graph and
+// index alias the mapping and must not be used after the Closer is
+// closed.
+func OpenGraphIndexed(path string, directed bool) (*Graph, *WalkIndex, io.Closer, error) {
+	bin, err := gio.SniffFile(path)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("nrp: opening graph: %w", err)
+	}
+	if !bin {
+		g, err := loadGraphText(path, directed)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return g, nil, io.NopCloser(nil), nil
+	}
+	snap, closer, err := gio.LoadMmapSnapshot(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var wi *WalkIndex
+	if s := snap.WalkIndex; s != nil {
+		wi, err = fora.WalkIndexFromRaw(snap.Graph.N, s.Alpha, s.WalksPerNode, s.Seed, s.Ends)
+		if err != nil {
+			closer.Close()
+			return nil, nil, nil, fmt.Errorf("nrp: corrupt walk index: %w", err)
+		}
+	}
+	return snap.Graph, wi, closer, nil
+}
