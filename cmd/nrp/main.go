@@ -7,10 +7,12 @@
 //	nrp -input graph.txt -output emb.bin [-directed] [-method nrp|approxppr]
 //	    [-k 128] [-alpha 0.15] [-l1 20] [-l2 10] [-eps 0.2] [-lambda 10] [-seed 1]
 //	    [-progress] [-threads 0]
-//	nrp index -embedding emb.bin -output index.bin [-backend exact|quantized|pruned]
+//	nrp index -embedding emb.bin -output index.bin [-backend exact|quantized|pruned|hnsw]
 //	    [-shards 0] [-rerank 4] [-include-self] [-threads 0]
+//	    [-hnsw-m 16] [-hnsw-efc 200] [-hnsw-seed 1] [-hnsw-quant]
+//	    [-ef-search 64] [-hnsw-seed-rows 0]
 //	nrp topk -embedding emb.bin -source 42 [-k 10] [-backend quantized] [-include-self]
-//	nrp topk -index index.bin -source 42 [-k 10]
+//	nrp topk -index index.bin -source 42 [-k 10] [-ef-search 64] [-hnsw-seed-rows 0]
 //	nrp update -server http://localhost:8080 [-insert new.txt] [-remove gone.txt]
 //	    [-refresh] [-batch 1024]
 //	nrp ppr -input graph.txt -seeds 3,17,42 [-k 10] [-alpha 0.15] [-epsilon 0.5]
@@ -428,8 +430,11 @@ func runEmbed(ctx context.Context, args []string) error {
 // topk subcommand: a snapshot is loaded as built (serving knobs may
 // override its stored configuration), a raw embedding is indexed on the
 // fly with the requested backend. includeSelf is a pointer so that only
-// an explicitly set flag overrides a snapshot's stored choice.
-func loadSearcher(embPath, indexPath, backendName string, backendSet bool, shards, rerank int, includeSelf *bool) (nrp.Searcher, error) {
+// an explicitly set flag overrides a snapshot's stored choice. extra
+// carries explicitly set HNSW flags; the library rejects the ones that
+// are baked into a snapshot (build-time parameters) with a clear error,
+// so they are passed through on both paths.
+func loadSearcher(embPath, indexPath, backendName string, backendSet bool, shards, rerank int, includeSelf *bool, extra ...nrp.IndexOption) (nrp.Searcher, error) {
 	if (embPath == "") == (indexPath == "") {
 		return nil, fmt.Errorf("exactly one of -embedding and -index is required")
 	}
@@ -452,6 +457,7 @@ func loadSearcher(embPath, indexPath, backendName string, backendSet bool, shard
 		if includeSelf != nil {
 			opts = append(opts, nrp.WithIncludeSelf(*includeSelf))
 		}
+		opts = append(opts, extra...)
 		return nrp.LoadIndex(f, opts...)
 	}
 	backend, err := nrp.ParseBackend(backendName)
@@ -477,6 +483,7 @@ func loadSearcher(embPath, indexPath, backendName string, backendSet bool, shard
 	if rerank > 0 {
 		opts = append(opts, nrp.WithRerank(rerank))
 	}
+	opts = append(opts, extra...)
 	return nrp.BuildIndex(emb, opts...)
 }
 
@@ -487,10 +494,13 @@ func runTopK(ctx context.Context, args []string) error {
 		indexPath   = fs.String("index", "", "index snapshot written by `nrp index` (alternative to -embedding)")
 		source      = fs.Int("source", -1, "query source node id (required)")
 		k           = fs.Int("k", 10, "number of neighbors to return")
-		backendName = fs.String("backend", "exact", "query backend: exact, quantized or pruned (with -embedding)")
+		backendName = fs.String("backend", "exact", "query backend: exact, quantized, pruned or hnsw (with -embedding)")
 		shards      = fs.Int("shards", 0, "scan shards (0 = all cores)")
 		rerank      = fs.Int("rerank", 0, "quantized shortlist multiplier (0 = default)")
 		includeSelf = fs.Bool("include-self", false, "admit the source node as a result")
+		efSearch    = fs.Int("ef-search", 0, "hnsw beam width (serving knob; overrides a snapshot's stored value)")
+		seedRows    = fs.Int("hnsw-seed-rows", 0, "hnsw top-norm rows seeding each beam (serving knob; 0 = 4*ef-search)")
+		hnswQuant   = fs.Bool("hnsw-quant", false, "hnsw: score in-graph with the int8 kernel, rerank exactly (build-time; -embedding only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -505,7 +515,20 @@ func runTopK(ctx context.Context, args []string) error {
 	if set["include-self"] {
 		selfOverride = includeSelf
 	}
-	ix, err := loadSearcher(*embPath, *indexPath, *backendName, set["backend"], *shards, *rerank, selfOverride)
+	// Only explicitly set HNSW flags become options, so the library can
+	// loudly reject combinations that make no sense (an HNSW knob on a
+	// scan backend, a build-time parameter against a snapshot).
+	var extra []nrp.IndexOption
+	if set["ef-search"] {
+		extra = append(extra, nrp.WithEfSearch(*efSearch))
+	}
+	if set["hnsw-seed-rows"] {
+		extra = append(extra, nrp.WithHNSWSeedRows(*seedRows))
+	}
+	if set["hnsw-quant"] {
+		extra = append(extra, nrp.WithHNSWQuantized(*hnswQuant))
+	}
+	ix, err := loadSearcher(*embPath, *indexPath, *backendName, set["backend"], *shards, *rerank, selfOverride, extra...)
 	if err != nil {
 		return err
 	}
@@ -702,11 +725,17 @@ func runIndexBuild(ctx context.Context, args []string) error {
 	var (
 		embPath     = fs.String("embedding", "", "embedding file written by an embed run (required)")
 		output      = fs.String("output", "", "output index snapshot file (required)")
-		backendName = fs.String("backend", "quantized", "index backend: exact, quantized or pruned")
+		backendName = fs.String("backend", "quantized", "index backend: exact, quantized, pruned or hnsw")
 		shards      = fs.Int("shards", 0, "scan shards to record in the snapshot (0 = all cores at load time)")
 		rerank      = fs.Int("rerank", 0, "quantized shortlist multiplier (0 = default)")
 		includeSelf = fs.Bool("include-self", false, "admit query nodes as their own results")
 		threads     = fs.Int("threads", 0, "worker threads for build-time preprocessing (0 = all cores)")
+		hnswM       = fs.Int("hnsw-m", 0, "hnsw graph degree (0 = default)")
+		hnswEfc     = fs.Int("hnsw-efc", 0, "hnsw construction beam width (0 = default)")
+		hnswSeed    = fs.Uint64("hnsw-seed", 0, "hnsw level-assignment RNG seed (explicit 0 is honored)")
+		hnswQuant   = fs.Bool("hnsw-quant", false, "hnsw: quantize the coarse stage, rerank exactly")
+		efSearch    = fs.Int("ef-search", 0, "hnsw query beam width recorded in the snapshot (0 = default)")
+		seedRows    = fs.Int("hnsw-seed-rows", 0, "hnsw top-norm seed rows recorded in the snapshot (0 = 4*ef-search)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -742,6 +771,26 @@ func runIndexBuild(ctx context.Context, args []string) error {
 	if *rerank > 0 {
 		opts = append(opts, nrp.WithRerank(*rerank))
 	}
+	// Forward only explicitly set HNSW flags: BuildIndex validates them
+	// against the backend, so -hnsw-m on a scan backend fails loudly
+	// instead of being silently dropped. fs.Visit distinguishes an
+	// explicit -hnsw-seed 0 (a deliberate, honored seed) from the default.
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "hnsw-m":
+			opts = append(opts, nrp.WithHNSWM(*hnswM))
+		case "hnsw-efc":
+			opts = append(opts, nrp.WithHNSWEfConstruction(*hnswEfc))
+		case "hnsw-seed":
+			opts = append(opts, nrp.WithHNSWSeed(*hnswSeed))
+		case "hnsw-quant":
+			opts = append(opts, nrp.WithHNSWQuantized(*hnswQuant))
+		case "ef-search":
+			opts = append(opts, nrp.WithEfSearch(*efSearch))
+		case "hnsw-seed-rows":
+			opts = append(opts, nrp.WithHNSWSeedRows(*seedRows))
+		}
+	})
 	ix, err := nrp.BuildIndex(emb, opts...)
 	if err != nil {
 		return err

@@ -7,15 +7,19 @@
 // Usage:
 //
 //	nrpserve -index index.bin [-addr :8080] [-shards 0] [-drain 10s]
+//	         [-ef-search 64] [-hnsw-seed-rows 0]
 //	nrpserve -embedding emb.bin -backend quantized [-shards 0] [-rerank 4] [-include-self]
 //	nrpserve -graph graph.txt [-directed] [-dim 128] [-seed 1] [-backend exact]
 //	         [-refresh-policy incremental] [-refresh-interval 30s] [-threads 0]
 //
 // With -index the snapshot's build-time preprocessing (quantization
-// codes, norm permutation) is loaded as-is — no re-quantizing at boot;
-// -shards/-rerank override the snapshot's serving configuration. With
+// codes, norm permutation, the HNSW graph) is loaded as-is — no
+// re-quantizing or graph rebuild at boot; -shards/-rerank/-ef-search/
+// -hnsw-seed-rows override the snapshot's serving configuration (the
+// HNSW knobs are rejected unless the snapshot holds an HNSW index). With
 // -embedding the index is built in memory at boot with the -backend of
-// choice.
+// choice — -backend hnsw plus -hnsw-quant builds the sublinear graph
+// backend with the int8 coarse stage.
 //
 // With -graph the server embeds the graph at boot and accepts live edge
 // updates. The file may be a text edge list or an NRPG binary snapshot
@@ -99,10 +103,13 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 		seed        = fs.Int64("seed", 1, "random seed for -graph embedding")
 		policyName  = fs.String("refresh-policy", "incremental", "live refresh policy for -graph: full, incremental or staleness")
 		refreshIntv = fs.Duration("refresh-interval", 0, "background refresh period for -graph when updates are pending (0 = refresh only via /v1/refresh)")
-		backendName = fs.String("backend", "exact", "backend for -embedding/-graph: exact, quantized or pruned")
+		backendName = fs.String("backend", "exact", "backend for -embedding/-graph: exact, quantized, pruned or hnsw")
 		shards      = fs.Int("shards", 0, "scan shards per query (0 = all cores)")
 		threads     = fs.Int("threads", 0, "worker threads for -graph embedding/refreshes and index builds (0 = all cores)")
 		rerank      = fs.Int("rerank", 0, "quantized shortlist multiplier (0 = default/snapshot value)")
+		efSearch    = fs.Int("ef-search", 0, "HNSW query beam width (default/snapshot value if unset)")
+		seedRows    = fs.Int("hnsw-seed-rows", 0, "HNSW top-norm rows seeding each query's beam (default 4x ef-search if unset; 0 disables)")
+		hnswQuant   = fs.Bool("hnsw-quant", false, "HNSW: score in-graph with the int8 quantized kernel, rerank exactly (-embedding/-graph only)")
 		includeSelf = fs.Bool("include-self", false, "admit the query node as a result (overrides a snapshot's stored choice)")
 		addr        = fs.String("addr", ":8080", "listen address")
 		drain       = fs.Duration("drain", 10*time.Second, "in-flight query drain window on shutdown")
@@ -127,6 +134,21 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 	}
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	// HNSW options are forwarded only when explicitly set: the library
+	// validates them against the backend (and, for snapshots, against
+	// what is baked in), so a stray flag fails loudly instead of being
+	// silently ignored.
+	var hnswOpts []nrp.IndexOption
+	if set["ef-search"] {
+		hnswOpts = append(hnswOpts, nrp.WithEfSearch(*efSearch))
+	}
+	if set["hnsw-seed-rows"] {
+		hnswOpts = append(hnswOpts, nrp.WithHNSWSeedRows(*seedRows))
+	}
+	if set["hnsw-quant"] {
+		hnswOpts = append(hnswOpts, nrp.WithHNSWQuantized(*hnswQuant))
+	}
 
 	var searcher nrp.Searcher
 	var live *nrp.LiveIndex
@@ -159,6 +181,7 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 		if set["include-self"] {
 			opts = append(opts, nrp.WithIncludeSelf(*includeSelf))
 		}
+		opts = append(opts, hnswOpts...)
 		searcher, err = nrp.LoadIndex(f, opts...)
 		f.Close()
 		if err != nil {
@@ -205,6 +228,7 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 		if *rerank > 0 {
 			opts = append(opts, nrp.WithRerank(*rerank))
 		}
+		opts = append(opts, hnswOpts...)
 		live, err = nrp.NewLiveIndex(dyn, opts...)
 		if err != nil {
 			return nil, err
@@ -259,6 +283,7 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 		if *rerank > 0 {
 			opts = append(opts, nrp.WithRerank(*rerank))
 		}
+		opts = append(opts, hnswOpts...)
 		searcher, err = nrp.BuildIndex(emb, opts...)
 		if err != nil {
 			return nil, err

@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,6 +34,15 @@ var (
 	// ErrNodeOutOfRange is returned when a query names a node id outside
 	// [0, N).
 	ErrNodeOutOfRange = errors.New("node id out of range")
+	// ErrInvalidIndexOption is returned by BuildIndex/LoadIndex when an
+	// option's value is out of range (negative shards, rerank < 1, a shard
+	// count exceeding the index size, ...).
+	ErrInvalidIndexOption = errors.New("invalid index option")
+	// ErrIndexOptionConflict is returned by BuildIndex/LoadIndex when an
+	// option is meaningless for the selected backend (WithRerank on an
+	// exact scan, WithEfSearch on a non-HNSW backend, ...). Silently
+	// ignoring such combinations would hide configuration mistakes.
+	ErrIndexOptionConflict = errors.New("index option conflicts with backend")
 )
 
 // QueryStats instruments one top-k query: how much work the backend
@@ -61,8 +70,9 @@ type Result struct {
 }
 
 // Searcher answers proximity queries over an embedding. BuildIndex
-// constructs one backed by an exact, int8-quantized, or norm-pruned scan;
-// all backends are safe for concurrent use.
+// constructs one backed by an exact, int8-quantized, or norm-pruned scan,
+// or by a sublinear HNSW graph search; all backends are safe for
+// concurrent use.
 type Searcher interface {
 	// TopK returns the k nodes v maximizing the directed proximity
 	// Score(u, v), best first, fanning one query out across all shards.
@@ -92,6 +102,14 @@ const (
 	// as soon as the Cauchy–Schwarz bound ‖X_u‖·‖Y_v‖ cannot beat the
 	// current k-th score. Exact results; fast when norms are skewed.
 	BackendPruned
+	// BackendHNSW answers queries with a greedy beam search over a
+	// hierarchical navigable small-world graph built over the backward
+	// embedding rows — sublinear per-query work (O(efSearch·M) score
+	// evaluations instead of n). Approximate; recall is tuned with
+	// WithEfSearch. Optionally evaluates in-graph scores with the int8
+	// quantized kernel and reranks the top rerank·k exactly
+	// (WithHNSWQuantized).
+	BackendHNSW
 )
 
 // String names the backend as accepted by ParseBackend and the CLI flags.
@@ -103,6 +121,8 @@ func (b Backend) String() string {
 		return "quantized"
 	case BackendPruned:
 		return "pruned"
+	case BackendHNSW:
+		return "hnsw"
 	}
 	return fmt.Sprintf("backend(%d)", int(b))
 }
@@ -116,8 +136,10 @@ func ParseBackend(s string) (Backend, error) {
 		return BackendQuantized, nil
 	case "pruned":
 		return BackendPruned, nil
+	case "hnsw":
+		return BackendHNSW, nil
 	}
-	return 0, fmt.Errorf("nrp: unknown backend %q (want exact, quantized or pruned)", s)
+	return 0, fmt.Errorf("nrp: unknown backend %q (want exact, quantized, pruned or hnsw)", s)
 }
 
 // indexConfig is the resolved build configuration shared by all backends.
@@ -130,11 +152,36 @@ type indexConfig struct {
 	// re-derived on the serving host at load time.
 	shardsExplicit bool
 	rerank         int
+	// rerankExplicit records a caller-passed WithRerank, which only makes
+	// sense on backends with an approximate scoring pass (quantized, or
+	// HNSW with the quantized coarse stage) — elsewhere it is a
+	// configuration mistake and rejected.
+	rerankExplicit bool
 	includeSelf    bool
 	// buildThreads bounds build-time preprocessing parallelism
-	// (quantization, norm computation; 0 = GOMAXPROCS). Set with
-	// WithThreads; never persisted in snapshots.
+	// (quantization, norm computation, HNSW construction; 0 = GOMAXPROCS).
+	// Set with WithThreads; never persisted in snapshots.
 	buildThreads int
+	// HNSW backend parameters; zero values select internal/ann defaults.
+	// The explicit flags drive conflict validation (HNSW options on a scan
+	// backend are rejected) and the snapshot override rules (efSearch is a
+	// serving knob overridable at load; the rest are build-time and baked
+	// into the persisted graph).
+	hnswM          int
+	hnswEfCons     int
+	efSearch       int
+	hnswSeed       uint64
+	hnswQuant      bool
+	hnswMExplicit  bool
+	hnswEfConsExpl bool
+	efSearchExpl   bool
+	hnswSeedExpl   bool
+	hnswQuantExpl  bool
+	// hnswSeedRows is the number of top-norm rows seeding each query's
+	// layer-0 beam (a serving knob like efSearch; 0 defaults to 4·ef,
+	// WithHNSWSeedRows(0) explicitly disables seeding).
+	hnswSeedRows     int
+	hnswSeedRowsExpl bool
 }
 
 // IndexOption configures BuildIndex (and LoadIndex overrides). It is an
@@ -161,12 +208,62 @@ func WithShards(n int) IndexOption {
 	return indexOptionFunc(func(c *indexConfig) { c.shards, c.shardsExplicit = n, n > 0 })
 }
 
-// WithRerank sets the quantized backend's shortlist multiplier: the top
-// r·k quantized candidates are re-scored exactly before the final top k
-// is taken. Higher r buys recall with more exact dot products; the
-// default is 4. Other backends ignore it.
+// WithRerank sets the approximate backends' shortlist multiplier: the top
+// r·k approximately-scored candidates are re-scored exactly before the
+// final top k is taken. Higher r buys recall with more exact dot
+// products; the default is 4. Valid only for BackendQuantized and for
+// BackendHNSW with the quantized coarse stage — passing it to an exact
+// backend returns ErrIndexOptionConflict.
 func WithRerank(r int) IndexOption {
-	return indexOptionFunc(func(c *indexConfig) { c.rerank = r })
+	return indexOptionFunc(func(c *indexConfig) { c.rerank, c.rerankExplicit = r, true })
+}
+
+// WithEfSearch sets the HNSW query beam width: the search keeps the best
+// ef candidates seen so far and stops when none of the frontier can
+// improve them. Higher ef buys recall with proportionally more score
+// evaluations. Valid only for BackendHNSW; it is a serving-time knob and
+// may also be passed to LoadIndex to override the persisted value.
+func WithEfSearch(ef int) IndexOption {
+	return indexOptionFunc(func(c *indexConfig) { c.efSearch, c.efSearchExpl = ef, true })
+}
+
+// WithHNSWSeedRows sets how many of the highest-norm rows seed each HNSW
+// query's layer-0 beam. Seeding exploits NRP's heavy-tailed norm profile:
+// the seeds cover the hub rows every query shares (raising the beam's
+// admission threshold before any edge is followed), so a much narrower
+// beam recovers only the query-specific tail. The default is 4·efSearch;
+// WithHNSWSeedRows(0) disables seeding and restores the pure hierarchical
+// descent. Serving-time knob like WithEfSearch: valid only for
+// BackendHNSW, overridable at LoadIndex.
+func WithHNSWSeedRows(t int) IndexOption {
+	return indexOptionFunc(func(c *indexConfig) { c.hnswSeedRows, c.hnswSeedRowsExpl = t, true })
+}
+
+// WithHNSWM sets the HNSW graph's out-degree budget M (layer 0 keeps 2M
+// links). Build-time only; baked into snapshots.
+func WithHNSWM(m int) IndexOption {
+	return indexOptionFunc(func(c *indexConfig) { c.hnswM, c.hnswMExplicit = m, true })
+}
+
+// WithHNSWEfConstruction sets the beam width of build-time neighbor
+// searches. Build-time only; baked into snapshots.
+func WithHNSWEfConstruction(ef int) IndexOption {
+	return indexOptionFunc(func(c *indexConfig) { c.hnswEfCons, c.hnswEfConsExpl = ef, true })
+}
+
+// WithHNSWSeed seeds the deterministic level assignment. Builds with the
+// same embedding, config and seed are bit-identical regardless of thread
+// count. Build-time only; baked into snapshots.
+func WithHNSWSeed(seed uint64) IndexOption {
+	return indexOptionFunc(func(c *indexConfig) { c.hnswSeed, c.hnswSeedExpl = seed, true })
+}
+
+// WithHNSWQuantized evaluates in-graph scores with the int8 quantized
+// kernel instead of the float64 kernel, then re-scores the top rerank·k
+// shortlist exactly (the quantized backend's contract). Cuts per-hop
+// memory traffic 8×. Build-time only; baked into snapshots.
+func WithHNSWQuantized(on bool) IndexOption {
+	return indexOptionFunc(func(c *indexConfig) { c.hnswQuant, c.hnswQuantExpl = on, true })
 }
 
 // WithIncludeSelf admits the query node itself as a result; by default it
@@ -184,21 +281,73 @@ func resolveConfig(opts []IndexOption) (indexConfig, error) {
 			o.applyIndex(&cfg)
 		}
 	}
-	if cfg.shards < 0 {
-		return cfg, fmt.Errorf("nrp: shards must be non-negative, got %d", cfg.shards)
+	if err := cfg.validate(); err != nil {
+		return cfg, err
 	}
 	if cfg.shards == 0 {
 		cfg.shards = runtime.GOMAXPROCS(0)
 	}
-	if cfg.rerank < 1 {
-		return cfg, fmt.Errorf("nrp: rerank multiplier must be at least 1, got %d", cfg.rerank)
-	}
-	switch cfg.backend {
-	case BackendExact, BackendQuantized, BackendPruned:
-	default:
-		return cfg, fmt.Errorf("nrp: unknown backend %d", int(cfg.backend))
-	}
 	return cfg, nil
+}
+
+// validate checks option values and backend/option compatibility; it is
+// shared by BuildIndex and LoadIndex. Size-dependent checks (explicit
+// shard counts vs n) live in validateSize, which runs once the embedding
+// is known.
+func (c *indexConfig) validate() error {
+	switch c.backend {
+	case BackendExact, BackendQuantized, BackendPruned, BackendHNSW:
+	default:
+		return fmt.Errorf("nrp: unknown backend %d: %w", int(c.backend), ErrInvalidIndexOption)
+	}
+	if c.shards < 0 {
+		return fmt.Errorf("nrp: shards must be non-negative, got %d: %w", c.shards, ErrInvalidIndexOption)
+	}
+	if c.rerank < 1 {
+		return fmt.Errorf("nrp: rerank multiplier must be at least 1, got %d: %w", c.rerank, ErrInvalidIndexOption)
+	}
+	if c.hnswMExplicit && c.hnswM < 2 {
+		return fmt.Errorf("nrp: HNSW M must be at least 2, got %d: %w", c.hnswM, ErrInvalidIndexOption)
+	}
+	if c.hnswEfConsExpl && c.hnswEfCons < 1 {
+		return fmt.Errorf("nrp: HNSW efConstruction must be positive, got %d: %w", c.hnswEfCons, ErrInvalidIndexOption)
+	}
+	if c.efSearchExpl && c.efSearch < 1 {
+		return fmt.Errorf("nrp: efSearch must be positive, got %d: %w", c.efSearch, ErrInvalidIndexOption)
+	}
+	if c.hnswSeedRowsExpl && c.hnswSeedRows < 0 {
+		return fmt.Errorf("nrp: HNSW seed rows must be non-negative, got %d: %w", c.hnswSeedRows, ErrInvalidIndexOption)
+	}
+	if c.backend != BackendHNSW {
+		switch {
+		case c.efSearchExpl:
+			return fmt.Errorf("nrp: WithEfSearch on %v backend: %w", c.backend, ErrIndexOptionConflict)
+		case c.hnswSeedRowsExpl:
+			return fmt.Errorf("nrp: WithHNSWSeedRows on %v backend: %w", c.backend, ErrIndexOptionConflict)
+		case c.hnswMExplicit, c.hnswEfConsExpl, c.hnswSeedExpl, c.hnswQuantExpl:
+			return fmt.Errorf("nrp: HNSW build options on %v backend: %w", c.backend, ErrIndexOptionConflict)
+		}
+	}
+	if c.rerankExplicit {
+		switch {
+		case c.backend == BackendExact, c.backend == BackendPruned:
+			return fmt.Errorf("nrp: WithRerank on %v backend (results are already exact): %w", c.backend, ErrIndexOptionConflict)
+		case c.backend == BackendHNSW && !c.hnswQuant:
+			return fmt.Errorf("nrp: WithRerank on hnsw backend without WithHNSWQuantized (scores are already exact): %w", ErrIndexOptionConflict)
+		}
+	}
+	return nil
+}
+
+// validateSize checks configuration against the index size: an explicit
+// shard count larger than n means most shards scan nothing — a
+// configuration mistake, not a tuning choice. Defaulted (host-derived)
+// counts are clamped instead, as before.
+func (c *indexConfig) validateSize(n int) error {
+	if c.shardsExplicit && c.shards > n {
+		return fmt.Errorf("nrp: %d shards exceed index size %d: %w", c.shards, n, ErrInvalidIndexOption)
+	}
+	return nil
 }
 
 // BuildIndex constructs a query index over emb with the selected backend:
@@ -214,11 +363,16 @@ func BuildIndex(emb *Embedding, opts ...IndexOption) (Searcher, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := cfg.validateSize(emb.N()); err != nil {
+		return nil, err
+	}
 	switch cfg.backend {
 	case BackendQuantized:
 		return newQuantIndex(emb, cfg), nil
 	case BackendPruned:
 		return newPrunedIndex(emb, cfg), nil
+	case BackendHNSW:
+		return newHNSWIndex(emb, cfg), nil
 	default:
 		return &Index{emb: emb, cfg: cfg}, nil
 	}
@@ -541,11 +695,17 @@ func runShardScan(ctx context.Context, n, shards, k int, parallel bool, scan sha
 // sortNeighbors orders results by decreasing score, ties by ascending
 // node id, in place.
 func sortNeighbors(out []Neighbor) []Neighbor {
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	// slices.SortFunc over sort.Slice: the reflection-based swapper costs
+	// about a microsecond per call, which the graph backend's
+	// single-digit-microsecond queries actually notice.
+	slices.SortFunc(out, func(a, b Neighbor) int {
+		if a.Score != b.Score {
+			if a.Score > b.Score {
+				return -1
+			}
+			return 1
 		}
-		return out[i].Node < out[j].Node
+		return a.Node - b.Node
 	})
 	return out
 }

@@ -44,17 +44,22 @@ func TestBackendsMatchExact(t *testing.T) {
 		shards    int
 		minRecall float64
 		exactTies bool // results must equal the exact backend's exactly
+		extra     []IndexOption
 	}{
-		{"exact/1shard", BackendExact, 1, 1, true},
-		{"exact/4shards", BackendExact, 4, 1, true},
-		{"pruned/1shard", BackendPruned, 1, 1, true},
-		{"pruned/4shards", BackendPruned, 4, 1, true},
-		{"quantized/1shard", BackendQuantized, 1, 0.99, false},
-		{"quantized/4shards", BackendQuantized, 4, 0.99, false},
+		{"exact/1shard", BackendExact, 1, 1, true, nil},
+		{"exact/4shards", BackendExact, 4, 1, true, nil},
+		{"pruned/1shard", BackendPruned, 1, 1, true, nil},
+		{"pruned/4shards", BackendPruned, 4, 1, true, nil},
+		{"quantized/1shard", BackendQuantized, 1, 0.99, false, nil},
+		{"quantized/4shards", BackendQuantized, 4, 0.99, false, nil},
+		{"hnsw", BackendHNSW, 1, 0.95, false, nil},
+		{"hnsw/quantcoarse", BackendHNSW, 1, 0.95, false,
+			[]IndexOption{WithHNSWQuantized(true), WithRerank(4)}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			s, err := BuildIndex(emb, WithBackend(tc.backend), WithShards(tc.shards))
+			opts := append([]IndexOption{WithBackend(tc.backend), WithShards(tc.shards)}, tc.extra...)
+			s, err := BuildIndex(emb, opts...)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -96,7 +101,7 @@ func TestBackendQueryStats(t *testing.T) {
 	ctx := context.Background()
 	n := emb.N()
 
-	for _, backend := range []Backend{BackendExact, BackendQuantized, BackendPruned} {
+	for _, backend := range []Backend{BackendExact, BackendQuantized, BackendPruned, BackendHNSW} {
 		s, err := BuildIndex(emb, WithBackend(backend), WithShards(4))
 		if err != nil {
 			t.Fatal(err)
@@ -125,6 +130,13 @@ func TestBackendQueryStats(t *testing.T) {
 				if st.Scanned+st.Pruned != n-1 && st.Scanned+st.Pruned != n {
 					t.Fatalf("pruned stats %+v don't cover n=%d", st, n)
 				}
+			case BackendHNSW:
+				// The graph search scores only the nodes the beam visits;
+				// no pruning counters, no rerank without the quantized
+				// coarse stage.
+				if st.Scanned == 0 || st.Pruned != 0 || st.Reranked != 0 {
+					t.Fatalf("hnsw stats %+v", st)
+				}
 			}
 			if st.Elapsed <= 0 {
 				t.Fatalf("%v: no elapsed time recorded", backend)
@@ -141,7 +153,7 @@ func TestBackendQueryStats(t *testing.T) {
 func TestTopKManyMatchesTopK(t *testing.T) {
 	emb := testEmbedding(t, 300)
 	ctx := context.Background()
-	for _, backend := range []Backend{BackendExact, BackendQuantized, BackendPruned} {
+	for _, backend := range []Backend{BackendExact, BackendQuantized, BackendPruned, BackendHNSW} {
 		s, err := BuildIndex(emb, WithBackend(backend), WithShards(3))
 		if err != nil {
 			t.Fatal(err)
@@ -183,7 +195,7 @@ func TestTopKManyMatchesTopK(t *testing.T) {
 func TestTypedSentinelErrors(t *testing.T) {
 	emb := testEmbedding(t, 50)
 	ctx := context.Background()
-	for _, backend := range []Backend{BackendExact, BackendQuantized, BackendPruned} {
+	for _, backend := range []Backend{BackendExact, BackendQuantized, BackendPruned, BackendHNSW} {
 		s, err := BuildIndex(emb, WithBackend(backend))
 		if err != nil {
 			t.Fatal(err)
@@ -219,11 +231,12 @@ func TestConcurrentQueriesSharedIndex(t *testing.T) {
 		want[u] = nbrs
 	}
 
-	for _, backend := range []Backend{BackendExact, BackendQuantized, BackendPruned} {
+	for _, backend := range []Backend{BackendExact, BackendQuantized, BackendPruned, BackendHNSW} {
 		s, err := BuildIndex(emb, WithBackend(backend), WithShards(4))
 		if err != nil {
 			t.Fatal(err)
 		}
+		exactBackend := backend == BackendExact || backend == BackendPruned
 		var wg sync.WaitGroup
 		errc := make(chan error, 64)
 		for g := 0; g < 8; g++ {
@@ -237,7 +250,7 @@ func TestConcurrentQueriesSharedIndex(t *testing.T) {
 						errc <- err
 						return
 					}
-					if backend != BackendQuantized {
+					if exactBackend {
 						for i := range nbrs {
 							if nbrs[i] != want[u][i] {
 								errc <- errors.New("concurrent TopK diverged from sequential answer")
@@ -269,8 +282,22 @@ func TestConcurrentQueriesSharedIndex(t *testing.T) {
 func TestIndexSnapshotRoundTrip(t *testing.T) {
 	emb := testEmbedding(t, 250)
 	ctx := context.Background()
-	for _, backend := range []Backend{BackendExact, BackendQuantized, BackendPruned} {
-		s, err := BuildIndex(emb, WithBackend(backend), WithShards(3), WithRerank(5), WithIncludeSelf(true))
+	// Each backend with the serving options that are valid for it
+	// (WithRerank only where an approximate scoring pass exists).
+	cases := []struct {
+		backend Backend
+		extra   []IndexOption
+	}{
+		{BackendExact, nil},
+		{BackendQuantized, []IndexOption{WithRerank(5)}},
+		{BackendPruned, nil},
+		{BackendHNSW, []IndexOption{WithEfSearch(120)}},
+		{BackendHNSW, []IndexOption{WithHNSWQuantized(true), WithRerank(5)}},
+	}
+	for _, tc := range cases {
+		backend := tc.backend
+		opts := append([]IndexOption{WithBackend(backend), WithShards(3), WithIncludeSelf(true)}, tc.extra...)
+		s, err := BuildIndex(emb, opts...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -431,22 +458,69 @@ func TestLoadIndexCorruptHeader(t *testing.T) {
 	}
 }
 
-// TestBuildIndexValidation covers the constructor's error paths.
+// TestBuildIndexValidation is the table-driven contract for the
+// constructor's error paths: out-of-range values report
+// ErrInvalidIndexOption, backend-meaningless options report
+// ErrIndexOptionConflict, and sensible configurations build.
 func TestBuildIndexValidation(t *testing.T) {
 	emb := testEmbedding(t, 40)
-	if _, err := BuildIndex(emb, WithShards(-1)); err == nil {
-		t.Fatal("negative shards accepted")
+	cases := []struct {
+		name string
+		opts []IndexOption
+		want error // nil means the build must succeed
+	}{
+		{"defaults", nil, nil},
+		{"shards equal n", []IndexOption{WithShards(40)}, nil},
+		{"hnsw tuned", []IndexOption{WithBackend(BackendHNSW), WithHNSWM(8),
+			WithHNSWEfConstruction(40), WithEfSearch(32), WithHNSWSeed(7)}, nil},
+		{"hnsw quantized rerank", []IndexOption{WithBackend(BackendHNSW),
+			WithHNSWQuantized(true), WithRerank(3)}, nil},
+		{"hnsw seed rows disabled", []IndexOption{WithBackend(BackendHNSW),
+			WithHNSWSeedRows(0)}, nil},
+		{"hnsw seed rows tuned", []IndexOption{WithBackend(BackendHNSW),
+			WithHNSWSeedRows(128)}, nil},
+
+		{"negative shards", []IndexOption{WithShards(-1)}, ErrInvalidIndexOption},
+		{"shards exceed n", []IndexOption{WithShards(41)}, ErrInvalidIndexOption},
+		{"rerank zero", []IndexOption{WithBackend(BackendQuantized), WithRerank(0)}, ErrInvalidIndexOption},
+		{"unknown backend", []IndexOption{WithBackend(Backend(99))}, ErrInvalidIndexOption},
+		{"hnsw M too small", []IndexOption{WithBackend(BackendHNSW), WithHNSWM(1)}, ErrInvalidIndexOption},
+		{"efConstruction zero", []IndexOption{WithBackend(BackendHNSW), WithHNSWEfConstruction(0)}, ErrInvalidIndexOption},
+		{"efSearch zero", []IndexOption{WithBackend(BackendHNSW), WithEfSearch(0)}, ErrInvalidIndexOption},
+		{"negative seed rows", []IndexOption{WithBackend(BackendHNSW), WithHNSWSeedRows(-1)}, ErrInvalidIndexOption},
+
+		{"rerank on exact", []IndexOption{WithRerank(4)}, ErrIndexOptionConflict},
+		{"rerank on pruned", []IndexOption{WithBackend(BackendPruned), WithRerank(4)}, ErrIndexOptionConflict},
+		{"rerank on unquantized hnsw", []IndexOption{WithBackend(BackendHNSW), WithRerank(4)}, ErrIndexOptionConflict},
+		{"efSearch on exact", []IndexOption{WithEfSearch(64)}, ErrIndexOptionConflict},
+		{"efSearch on pruned", []IndexOption{WithBackend(BackendPruned), WithEfSearch(64)}, ErrIndexOptionConflict},
+		{"hnsw M on quantized", []IndexOption{WithBackend(BackendQuantized), WithHNSWM(8)}, ErrIndexOptionConflict},
+		{"hnsw seed on pruned", []IndexOption{WithBackend(BackendPruned), WithHNSWSeed(9)}, ErrIndexOptionConflict},
+		{"hnsw quant on exact", []IndexOption{WithHNSWQuantized(true)}, ErrIndexOptionConflict},
+		{"seed rows on quantized", []IndexOption{WithBackend(BackendQuantized), WithHNSWSeedRows(64)}, ErrIndexOptionConflict},
 	}
-	if _, err := BuildIndex(emb, WithRerank(0)); err == nil {
-		t.Fatal("rerank=0 accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := BuildIndex(emb, tc.opts...)
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("BuildIndex: %v", err)
+				}
+				if s.N() != emb.N() {
+					t.Fatalf("built index N=%d", s.N())
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("BuildIndex error = %v, want %v", err, tc.want)
+			}
+		})
 	}
-	if _, err := BuildIndex(emb, WithBackend(Backend(99))); err == nil {
-		t.Fatal("unknown backend accepted")
-	}
+
 	if _, err := ParseBackend("bogus"); err == nil {
 		t.Fatal("bogus backend name parsed")
 	}
-	for _, name := range []string{"exact", "quantized", "pruned"} {
+	for _, name := range []string{"exact", "quantized", "pruned", "hnsw"} {
 		b, err := ParseBackend(name)
 		if err != nil || b.String() != name {
 			t.Fatalf("ParseBackend(%q) = %v, %v", name, b, err)

@@ -1,0 +1,232 @@
+package nrp
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/nrp-embed/nrp/internal/ann"
+	"github.com/nrp-embed/nrp/internal/matrix"
+	"github.com/nrp-embed/nrp/internal/par"
+	"github.com/nrp-embed/nrp/internal/quant"
+)
+
+// hnswIndex is the sublinear Searcher backend: a hierarchical navigable
+// small-world graph (internal/ann) over the backward embedding rows,
+// answering each top-k query with a greedy beam search that scores
+// O(efSearch·M) candidates instead of all n. Results are approximate —
+// recall is bought with a wider beam (WithEfSearch) — which is the only
+// backend in this package trading exactness for sublinear query time.
+//
+// With the quantized coarse stage (WithHNSWQuantized), in-graph scores
+// use the fused int8 kernel and the top rerank·k beam survivors are
+// re-scored exactly, mirroring the quantized scan backend's contract:
+// returned scores are always exact, only ranks can be missed.
+type hnswIndex struct {
+	emb *Embedding
+	cfg indexConfig
+	g   *ann.Index
+	qy  *quant.Matrix // non-nil iff the coarse stage is quantized
+	// seeds holds the ids of the highest-norm rows (descending norm).
+	// Each query's beam starts from a prefix of this list — NRP's
+	// heavy-tailed norms mean these hubs dominate every top-k answer, so
+	// seeding them raises the beam's admission bar immediately and the
+	// graph only has to recover the query-specific tail. Derived from the
+	// embedding, never persisted.
+	seeds []int32
+	// qbuf recycles per-query int8 quantization buffers: at a few
+	// microseconds per query the two small allocations inside
+	// QuantizeQuery are measurable.
+	qbuf sync.Pool
+}
+
+var _ Searcher = (*hnswIndex)(nil)
+
+// hnswSeedPool caps the stored seed list; queries take the leading
+// hnswSeedRows entries (default 4·efSearch).
+const hnswSeedPool = 1024
+
+// hnswSeedPoolSize sizes the stored list so an explicit WithHNSWSeedRows
+// or a wide default beam is never silently clipped.
+func hnswSeedPoolSize(cfg *indexConfig) int {
+	want := 4 * cfg.efSearch
+	if cfg.hnswSeedRowsExpl {
+		want = cfg.hnswSeedRows
+	}
+	if want < hnswSeedPool {
+		want = hnswSeedPool
+	}
+	return want
+}
+
+// topNormRows returns the ids of the top-t rows of y by norm (ties by
+// ascending id). pool bounds the norm pass; nil runs serially.
+func topNormRows(y *matrix.Dense, t int, pool *par.Pool) []int32 {
+	n := y.Rows
+	if t > n {
+		t = n
+	}
+	if t <= 0 {
+		return nil
+	}
+	norms := make([]float64, n)
+	pool.For(n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			r := y.Row(v)
+			norms[v] = matrix.Dot(r, r)
+		}
+	})
+	ids := make([]int32, n)
+	for v := range ids {
+		ids[v] = int32(v)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if norms[a] != norms[b] {
+			return norms[a] > norms[b]
+		}
+		return a < b
+	})
+	return append([]int32(nil), ids[:t]...)
+}
+
+func newHNSWIndex(emb *Embedding, cfg indexConfig) *hnswIndex {
+	// Graph construction parallelizes over the WithThreads budget; the
+	// result is bit-identical for every thread count (internal/ann's
+	// determinism contract), so snapshots don't depend on the build host.
+	pool := par.New(cfg.buildThreads)
+	g := ann.Build(emb.Y, ann.Config{
+		M:              cfg.hnswM,
+		EfConstruction: cfg.hnswEfCons,
+		EfSearch:       cfg.efSearch,
+		Seed:           cfg.hnswSeed,
+	}, pool)
+	// Reflect resolved defaults back into the config so SaveIndex
+	// persists the parameters the graph was actually built with.
+	ac := g.Config()
+	cfg.hnswM, cfg.hnswEfCons, cfg.efSearch, cfg.hnswSeed = ac.M, ac.EfConstruction, ac.EfSearch, ac.Seed
+	ix := &hnswIndex{emb: emb, cfg: cfg, g: g}
+	ix.seeds = topNormRows(emb.Y, hnswSeedPoolSize(&cfg), pool)
+	if cfg.hnswQuant {
+		ix.qy = quant.QuantizeRowsPool(pool, emb.Y)
+	}
+	return ix
+}
+
+// loadedHNSWIndex rebinds a decoded graph (and optional quantized rows)
+// from snapshot payload without rebuilding. The seed list is not part of
+// the snapshot — it is re-derived from the embedding (a single norm pass
+// plus a sort, milliseconds at n=100k).
+func loadedHNSWIndex(emb *Embedding, cfg indexConfig, g *ann.Index, qy *quant.Matrix) *hnswIndex {
+	ix := &hnswIndex{emb: emb, cfg: cfg, g: g, qy: qy}
+	ix.seeds = topNormRows(emb.Y, hnswSeedPoolSize(&cfg), nil)
+	return ix
+}
+
+func (ix *hnswIndex) N() int { return ix.emb.N() }
+
+// Backend reports BackendHNSW.
+func (ix *hnswIndex) Backend() Backend { return BackendHNSW }
+
+func (ix *hnswIndex) TopK(ctx context.Context, u, k int) ([]Neighbor, error) {
+	nbrs, _, err := ix.topkOne(ctx, u, k, true)
+	return nbrs, err
+}
+
+func (ix *hnswIndex) TopKMany(ctx context.Context, us []int, k int) ([]Result, error) {
+	return topkMany(ctx, ix.emb.N(), ix.cfg.shards, us, k, ix.topkOne)
+}
+
+func (ix *hnswIndex) ScoreMany(ctx context.Context, pairs []Pair) ([]float64, error) {
+	return scoreManyExact(ctx, ix.emb, pairs, ix.cfg.shards)
+}
+
+// topkOne runs one graph search. A query is a few microseconds of work,
+// so shards play no role here (the parallel flag is accepted only to
+// satisfy topkOneFunc); TopKMany still parallelizes across queries.
+func (ix *hnswIndex) topkOne(ctx context.Context, u, k int, _ bool) ([]Neighbor, QueryStats, error) {
+	start := time.Now()
+	var stats QueryStats
+	n := ix.emb.N()
+	if err := validateQuery(n, u, k); err != nil {
+		return nil, stats, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	k = clampK(n, k, ix.cfg.includeSelf)
+	if k == 0 {
+		return nil, stats, nil
+	}
+
+	// The beam must return at least k results plus one slot for a self
+	// hit that will be filtered out. The rerank shortlist does NOT widen
+	// the beam: re-scoring beam survivors exactly costs ~15ns each, so
+	// rerank·k is simply capped by what the beam returns — recall is
+	// bought with efSearch (graph work), precision within the beam with
+	// rerank (a few exact dots).
+	short := k
+	if ix.qy != nil {
+		short = k * ix.cfg.rerank
+	}
+	ef := ix.cfg.efSearch
+	need := k
+	if !ix.cfg.includeSelf {
+		need++
+	}
+	if ef < need {
+		ef = need
+	}
+
+	var score func(int32) float64
+	if ix.qy != nil {
+		// Quantized scale factors are positive per-query constants: they
+		// cannot change the candidate ordering, so the raw int32 dot
+		// drives the search and the exact rerank below restores scores.
+		var qx []int8
+		if v, ok := ix.qbuf.Get().(*[]int8); ok {
+			qx = *v
+		} else {
+			qx = make([]int8, ix.emb.Dim())
+		}
+		defer ix.qbuf.Put(&qx)
+		ix.qy.QuantizeQueryInto(qx, ix.emb.X.Row(u))
+		score = func(v int32) float64 { return float64(quant.Dot(qx, ix.qy.Row(int(v)))) }
+	} else {
+		xu := ix.emb.X.Row(u)
+		score = func(v int32) float64 { return matrix.Dot(xu, ix.emb.Y.Row(int(v))) }
+	}
+
+	seeds := ix.seeds
+	t := 4 * ef
+	if ix.cfg.hnswSeedRowsExpl {
+		t = ix.cfg.hnswSeedRows
+	}
+	if t > len(seeds) {
+		t = len(seeds)
+	}
+	cands, scanned := ix.g.TopCandidatesSeeded(score, ef, seeds[:t])
+	stats.Scanned = scanned
+
+	final := newTopkHeap(k)
+	taken := 0
+	for _, c := range cands {
+		if taken == short {
+			break
+		}
+		v := int(c.Node)
+		if v == u && !ix.cfg.includeSelf {
+			continue
+		}
+		taken++
+		if ix.qy != nil {
+			final.offer(v, ix.emb.Score(u, v))
+			stats.Reranked++
+		} else {
+			final.offer(v, c.Score)
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	return sortNeighbors(final.items), stats, nil
+}

@@ -2,11 +2,14 @@ package nrp
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"runtime"
 
+	"github.com/nrp-embed/nrp/internal/ann"
 	"github.com/nrp-embed/nrp/internal/matrix"
 	"github.com/nrp-embed/nrp/internal/quant"
 )
@@ -20,10 +23,25 @@ import (
 // {version, backend, shards, rerank, includeSelf, n, dim}, the X then Y
 // float64 payloads, and a backend-specific payload (quantized: dim
 // scales + n·dim int8 codes; pruned: n int32 permutation).
+//
+// An HNSW snapshot is framed as a valid exact (or, with the quantized
+// coarse stage, quantized) snapshot followed by a trailing section:
+// the magic "NRPH", int64 {sectionVersion, payloadLen}, the ann graph
+// payload, and its CRC-32C. Readers of the base format stop after the
+// base payload and never see the section, so an old binary loads the
+// same file as a scan index over the identical embedding; readers that
+// know the section reconstruct the graph without rebuilding it.
 const (
 	indexMagic   = "NRPX"
 	indexVersion = 1
+
+	hnswSectionMagic   = "NRPH"
+	hnswSectionVersion = 1
 )
+
+// indexCRCTable is the CRC-32C (Castagnoli) table guarding the HNSW
+// section payload, matching the NRPG snapshot checksums.
+var indexCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 // SaveIndex writes a snapshot of a Searcher built by BuildIndex (or
 // loaded by LoadIndex). Searcher implementations from outside this
@@ -33,23 +51,56 @@ func SaveIndex(w io.Writer, s Searcher) error {
 		emb     *Embedding
 		cfg     indexConfig
 		payload func(*bufio.Writer) error
+		section func(*bufio.Writer) error
 	)
+	quantPayload := func(qy *quant.Matrix) func(*bufio.Writer) error {
+		return func(bw *bufio.Writer) error {
+			if err := binary.Write(bw, binary.LittleEndian, qy.Scales); err != nil {
+				return err
+			}
+			return binary.Write(bw, binary.LittleEndian, qy.Codes)
+		}
+	}
 	switch ix := s.(type) {
 	case *Index:
 		emb, cfg = ix.emb, ix.cfg
 		payload = func(*bufio.Writer) error { return nil }
 	case *quantIndex:
 		emb, cfg = ix.emb, ix.cfg
-		payload = func(bw *bufio.Writer) error {
-			if err := binary.Write(bw, binary.LittleEndian, ix.qy.Scales); err != nil {
-				return err
-			}
-			return binary.Write(bw, binary.LittleEndian, ix.qy.Codes)
-		}
+		payload = quantPayload(ix.qy)
 	case *prunedIndex:
 		emb, cfg = ix.emb, ix.cfg
 		payload = func(bw *bufio.Writer) error {
 			return binary.Write(bw, binary.LittleEndian, ix.perm)
+		}
+	case *hnswIndex:
+		emb, cfg = ix.emb, ix.cfg
+		// The header names the base backend an old reader should fall
+		// back to; the graph itself rides in the trailing section.
+		if ix.qy != nil {
+			cfg.backend = BackendQuantized
+			payload = quantPayload(ix.qy)
+		} else {
+			cfg.backend = BackendExact
+			payload = func(*bufio.Writer) error { return nil }
+		}
+		section = func(bw *bufio.Writer) error {
+			var buf bytes.Buffer
+			if err := ix.g.Encode(&buf); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(hnswSectionMagic); err != nil {
+				return err
+			}
+			for _, h := range []int64{hnswSectionVersion, int64(buf.Len())} {
+				if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.Write(buf.Bytes()); err != nil {
+				return err
+			}
+			return binary.Write(bw, binary.LittleEndian, crc32.Checksum(buf.Bytes(), indexCRCTable))
 		}
 	default:
 		return fmt.Errorf("nrp: SaveIndex: unsupported Searcher %T", s)
@@ -84,14 +135,21 @@ func SaveIndex(w io.Writer, s Searcher) error {
 	if err := payload(bw); err != nil {
 		return err
 	}
+	if section != nil {
+		if err := section(bw); err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
 }
 
 // LoadIndex reads a snapshot written by SaveIndex and reconstructs the
 // Searcher without redoing build-time preprocessing. Options override the
 // snapshot's serving configuration — WithShards to match the host's cores,
-// WithRerank, WithIncludeSelf — but the backend is part of the payload:
-// passing WithBackend with a different backend is an error.
+// WithRerank, WithIncludeSelf, WithEfSearch for HNSW snapshots — but the
+// backend and the HNSW build parameters are part of the payload: passing
+// WithBackend with a different backend, or an HNSW build option, is an
+// error.
 func LoadIndex(r io.Reader, opts ...IndexOption) (Searcher, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(indexMagic))
@@ -121,24 +179,6 @@ func LoadIndex(r io.Reader, opts ...IndexOption) (Searcher, error) {
 
 	stored := indexConfig{backend: Backend(backend), shards: int(shards),
 		shardsExplicit: shards != 0, rerank: int(rerank), includeSelf: self != 0}
-	cfg := stored
-	for _, o := range opts {
-		if o != nil {
-			o.applyIndex(&cfg)
-		}
-	}
-	if cfg.backend != stored.backend {
-		return nil, fmt.Errorf("nrp: snapshot was built with backend %v, cannot load as %v", stored.backend, cfg.backend)
-	}
-	if cfg.shards < 0 {
-		return nil, fmt.Errorf("nrp: shards must be non-negative, got %d", cfg.shards)
-	}
-	if cfg.shards == 0 {
-		cfg.shards = runtime.GOMAXPROCS(0)
-	}
-	if cfg.rerank < 1 {
-		return nil, fmt.Errorf("nrp: rerank multiplier must be at least 1, got %d", cfg.rerank)
-	}
 
 	emb := &Embedding{X: matrix.NewDense(int(n), int(dim)), Y: matrix.NewDense(int(n), int(dim))}
 	for _, m := range []*matrix.Dense{emb.X, emb.Y} {
@@ -147,11 +187,15 @@ func LoadIndex(r io.Reader, opts ...IndexOption) (Searcher, error) {
 		}
 	}
 
-	switch cfg.backend {
+	// Base backend payload.
+	var (
+		qy   *quant.Matrix
+		perm []int32
+	)
+	switch stored.backend {
 	case BackendExact:
-		return &Index{emb: emb, cfg: cfg}, nil
 	case BackendQuantized:
-		qy := &quant.Matrix{N: int(n), Dim: int(dim),
+		qy = &quant.Matrix{N: int(n), Dim: int(dim),
 			Scales: make([]float64, dim), Codes: make([]int8, n*dim)}
 		if err := binary.Read(br, binary.LittleEndian, qy.Scales); err != nil {
 			return nil, fmt.Errorf("nrp: reading quantization scales: %w", err)
@@ -159,9 +203,8 @@ func LoadIndex(r io.Reader, opts ...IndexOption) (Searcher, error) {
 		if err := binary.Read(br, binary.LittleEndian, qy.Codes); err != nil {
 			return nil, fmt.Errorf("nrp: reading quantization codes: %w", err)
 		}
-		return loadedQuantIndex(emb, cfg, qy), nil
 	case BackendPruned:
-		perm := make([]int32, n)
+		perm = make([]int32, n)
 		if err := binary.Read(br, binary.LittleEndian, perm); err != nil {
 			return nil, fmt.Errorf("nrp: reading norm permutation: %w", err)
 		}
@@ -172,6 +215,57 @@ func LoadIndex(r io.Reader, opts ...IndexOption) (Searcher, error) {
 			}
 			seen[v] = true
 		}
+	default:
+		return nil, fmt.Errorf("nrp: snapshot names unknown backend %d", backend)
+	}
+
+	// Trailing HNSW section. A base-format snapshot simply ends here; any
+	// trailing bytes must be a well-formed, checksummed graph section.
+	var graph *ann.Index
+	if _, err := br.Peek(1); err == nil {
+		graph, err = readHNSWSection(br, emb.Y)
+		if err != nil {
+			return nil, err
+		}
+		if stored.backend == BackendPruned {
+			return nil, fmt.Errorf("nrp: HNSW section on a pruned base snapshot")
+		}
+		ac := graph.Config()
+		stored.backend = BackendHNSW
+		stored.hnswM, stored.hnswEfCons, stored.efSearch, stored.hnswSeed = ac.M, ac.EfConstruction, ac.EfSearch, ac.Seed
+		stored.hnswQuant = qy != nil
+	} else if err != io.EOF {
+		return nil, fmt.Errorf("nrp: probing for index sections: %w", err)
+	}
+
+	cfg := stored
+	for _, o := range opts {
+		if o != nil {
+			o.applyIndex(&cfg)
+		}
+	}
+	if cfg.backend != stored.backend {
+		return nil, fmt.Errorf("nrp: snapshot was built with backend %v, cannot load as %v", stored.backend, cfg.backend)
+	}
+	if cfg.hnswMExplicit || cfg.hnswEfConsExpl || cfg.hnswSeedExpl || cfg.hnswQuantExpl {
+		return nil, fmt.Errorf("nrp: HNSW build parameters are baked into the snapshot; only serving options (WithEfSearch, WithHNSWSeedRows, WithShards, WithRerank, WithIncludeSelf) can be overridden at load: %w", ErrIndexOptionConflict)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validateSize(int(n)); err != nil {
+		return nil, err
+	}
+	if cfg.shards == 0 {
+		cfg.shards = runtime.GOMAXPROCS(0)
+	}
+
+	switch cfg.backend {
+	case BackendExact:
+		return &Index{emb: emb, cfg: cfg}, nil
+	case BackendQuantized:
+		return loadedQuantIndex(emb, cfg, qy), nil
+	case BackendPruned:
 		ix := loadedPrunedIndex(emb, cfg, perm, nil)
 		// The early-exit bound assumes positions are in non-increasing norm
 		// order; a bijective but shuffled permutation would silently drop
@@ -183,6 +277,47 @@ func LoadIndex(r io.Reader, opts ...IndexOption) (Searcher, error) {
 		}
 		return ix, nil
 	default:
-		return nil, fmt.Errorf("nrp: snapshot names unknown backend %d", backend)
+		return loadedHNSWIndex(emb, cfg, graph, qy), nil
 	}
+}
+
+// readHNSWSection parses and verifies the trailing graph section: magic,
+// version, length-prefixed payload, CRC-32C, then the graph's own
+// structural validation against the embedding it will search.
+func readHNSWSection(br *bufio.Reader, y *matrix.Dense) (*ann.Index, error) {
+	magic := make([]byte, len(hnswSectionMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("nrp: reading index section magic: %w", err)
+	}
+	if string(magic) != hnswSectionMagic {
+		return nil, fmt.Errorf("nrp: bad index section magic %q", magic)
+	}
+	var sversion, plen int64
+	for _, p := range []*int64{&sversion, &plen} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("nrp: reading index section header: %w", err)
+		}
+	}
+	if sversion != hnswSectionVersion {
+		return nil, fmt.Errorf("nrp: unsupported index section version %d", sversion)
+	}
+	if plen < 0 || plen > 1<<38 {
+		return nil, fmt.Errorf("nrp: implausible index section length %d", plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, fmt.Errorf("nrp: reading index section payload: %w", err)
+	}
+	var sum uint32
+	if err := binary.Read(br, binary.LittleEndian, &sum); err != nil {
+		return nil, fmt.Errorf("nrp: reading index section checksum: %w", err)
+	}
+	if got := crc32.Checksum(payload, indexCRCTable); got != sum {
+		return nil, fmt.Errorf("nrp: index section checksum mismatch (stored %08x, computed %08x)", sum, got)
+	}
+	graph, err := ann.Decode(payload, y)
+	if err != nil {
+		return nil, fmt.Errorf("nrp: decoding HNSW section: %w", err)
+	}
+	return graph, nil
 }

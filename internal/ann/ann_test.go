@@ -1,0 +1,311 @@
+package ann
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/nrp-embed/nrp/internal/matrix"
+	"github.com/nrp-embed/nrp/internal/par"
+)
+
+// fixture builds query rows X and candidate rows Y with NRP's
+// heavy-tailed norm profile (row norms decaying as rank^-1/2), which is
+// the regime the MIPS graph is designed for.
+func fixture(n, dim int, seed int64) (x, y *matrix.Dense) {
+	rng := rand.New(rand.NewSource(seed))
+	x = matrix.NewDense(n, dim)
+	y = matrix.NewDense(n, dim)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range y.Data {
+		y.Data[i] = rng.NormFloat64()
+	}
+	for v := 0; v < n; v++ {
+		y.ScaleRow(v, 1/float64(v+1))
+	}
+	return x, y
+}
+
+// exactTopK is the brute-force reference.
+func exactTopK(q []float64, y *matrix.Dense, k int) []int32 {
+	type sc struct {
+		v int32
+		s float64
+	}
+	all := make([]sc, y.Rows)
+	for v := 0; v < y.Rows; v++ {
+		all[v] = sc{int32(v), matrix.Dot(q, y.Row(v))}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].s != all[j].s {
+			return all[i].s > all[j].s
+		}
+		return all[i].v < all[j].v
+	})
+	out := make([]int32, k)
+	for i := range out {
+		out[i] = all[i].v
+	}
+	return out
+}
+
+// TestSearchRecall pins the accuracy contract at the ann layer: beam
+// search with the default parameters recovers at least 95% of the exact
+// top 10 while scoring a strict subset of the rows.
+func TestSearchRecall(t *testing.T) {
+	const n, dim, k, queries = 2000, 16, 10, 60
+	x, y := fixture(n, dim, 1)
+	ix := Build(y, Config{}, par.New(2))
+
+	hits, total, maxScanned := 0, 0, 0
+	for qi := 0; qi < queries; qi++ {
+		q := x.Row(qi)
+		want := exactTopK(q, y, k)
+		got, scanned := ix.TopCandidates(func(v int32) float64 { return matrix.Dot(q, y.Row(int(v))) }, 0)
+		if scanned > maxScanned {
+			maxScanned = scanned
+		}
+		in := make(map[int32]bool, k)
+		for _, c := range got[:k] {
+			in[c.Node] = true
+		}
+		for _, v := range want {
+			if in[v] {
+				hits++
+			}
+			total++
+		}
+	}
+	recall := float64(hits) / float64(total)
+	t.Logf("recall@%d = %.4f, max scanned %d of %d", k, recall, maxScanned, n)
+	if recall < 0.95 {
+		t.Fatalf("recall@%d = %.4f < 0.95", k, recall)
+	}
+	if maxScanned >= n {
+		t.Fatalf("search scanned %d >= n=%d: not sublinear", maxScanned, n)
+	}
+}
+
+// TestBuildDeterminism pins the thread-count independence contract:
+// builds with the same config encode to identical bytes for every pool
+// size, and a different seed produces a different graph.
+func TestBuildDeterminism(t *testing.T) {
+	_, y := fixture(900, 12, 2)
+	encode := func(pool *par.Pool, seed uint64) []byte {
+		ix := Build(y, Config{M: 8, EfConstruction: 60, Seed: seed}, pool)
+		var buf bytes.Buffer
+		if err := ix.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ref := encode(nil, 7)
+	for _, workers := range []int{1, 3, 8} {
+		if got := encode(par.New(workers), 7); !bytes.Equal(got, ref) {
+			t.Fatalf("%d-worker build encodes differently (%d vs %d bytes)", workers, len(got), len(ref))
+		}
+	}
+	if bytes.Equal(encode(nil, 8), ref) {
+		t.Fatal("different seeds encoded identically")
+	}
+}
+
+// TestEncodeDecodeRoundTrip checks a decoded graph answers exactly like
+// the original and re-encodes to the same bytes.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	x, y := fixture(600, 10, 3)
+	ix := Build(y, Config{M: 6, EfConstruction: 50, EfSearch: 40, Seed: 11}, nil)
+	var buf bytes.Buffer
+	if err := ix.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(buf.Bytes(), y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Config() != ix.Config() {
+		t.Fatalf("decoded config %+v, want %+v", dec.Config(), ix.Config())
+	}
+	for qi := 0; qi < 20; qi++ {
+		q := x.Row(qi)
+		score := func(v int32) float64 { return matrix.Dot(q, y.Row(int(v))) }
+		want, _ := ix.TopCandidates(score, 0)
+		got, _ := dec.TopCandidates(score, 0)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %d rank %d: %+v want %+v", qi, i, got[i], want[i])
+			}
+		}
+	}
+	var again bytes.Buffer
+	if err := dec.Encode(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), buf.Bytes()) {
+		t.Fatal("re-encode differs from original encode")
+	}
+}
+
+// TestDecodeRejectsCorruption fuzzes the structural validation: header
+// and adjacency mutations must produce errors, never panics or silently
+// broken graphs.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	_, y := fixture(300, 8, 4)
+	ix := Build(y, Config{M: 4, EfConstruction: 30, Seed: 5}, nil)
+	var buf bytes.Buffer
+	if err := ix.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	base := buf.Bytes()
+
+	mutate := func(off int, b byte) []byte {
+		c := append([]byte(nil), base...)
+		c[off] ^= b
+		return c
+	}
+	// Node 0's first layer-0 slot is guaranteed live (node 1 back-links to
+	// it during the first insert); setting its high byte pushes the id far
+	// past n.
+	liveNbr := encodeHeaderLen + 300*4 + int(ix.cntOff[300])*4
+	cases := map[string][]byte{
+		"config M":      mutate(0, 0xff),
+		"node count":    mutate(4*8, 0x01),
+		"entry point":   mutate(5*8, 0x40),
+		"max level":     mutate(6*8, 0x07),
+		"a level":       mutate(encodeHeaderLen+17*4, 0x13),
+		"a count":       mutate(encodeHeaderLen+300*4+9*4, 0x7f),
+		"a neighbor id": mutate(liveNbr+3, 0x7f),
+		"truncated":     base[:len(base)-10],
+		"extended":      append(append([]byte(nil), base...), 0, 0, 0, 0),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data, y); err == nil {
+			t.Errorf("%s corruption accepted", name)
+		}
+	}
+	// Decoding against a different-sized embedding is also rejected.
+	if _, err := Decode(base, matrix.NewDense(299, 8)); err == nil {
+		t.Error("row-count mismatch accepted")
+	}
+	// The untouched payload still decodes.
+	if _, err := Decode(base, y); err != nil {
+		t.Fatalf("pristine payload rejected: %v", err)
+	}
+}
+
+// TestEmptyAndTinyGraphs covers the degenerate sizes.
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5} {
+		x, y := fixture(n, 4, int64(10+n))
+		ix := Build(y, Config{M: 4, EfConstruction: 8}, nil)
+		var buf bytes.Buffer
+		if err := ix.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decode(buf.Bytes(), y)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if n == 0 {
+			if got, _ := dec.TopCandidates(func(int32) float64 { return 0 }, 4); len(got) != 0 {
+				t.Fatalf("empty graph returned %d results", len(got))
+			}
+			continue
+		}
+		q := x.Row(0)
+		got, _ := dec.TopCandidates(func(v int32) float64 { return matrix.Dot(q, y.Row(int(v))) }, n)
+		if len(got) != n {
+			t.Fatalf("n=%d: beam of %d returned %d results", n, n, len(got))
+		}
+	}
+}
+
+// TestSearchSeeded pins the seeded-beam contract: an empty seed list
+// answers exactly like Search, pre-seeding a narrow beam with the
+// top-norm rows never lowers its recall (it raises the admission bar
+// before the walk starts), and malformed seed lists — duplicates,
+// out-of-range ids — are tolerated rather than corrupting the beam.
+func TestSearchSeeded(t *testing.T) {
+	const n, dim, k, ef = 2000, 16, 10, 12
+	x, y := fixture(n, dim, 4)
+	ix := Build(y, Config{M: 8, EfConstruction: 60, Seed: 5}, par.New(2))
+
+	// The fixture scales row v by (v+1)^-1, so ids 0..63 are exactly the
+	// top-norm seed pool a caller would derive.
+	seeds := make([]int32, 64)
+	for i := range seeds {
+		seeds[i] = int32(i)
+	}
+
+	scoreFor := func(q []float64) func(int32) float64 {
+		return func(v int32) float64 { return matrix.Dot(q, y.Row(int(v))) }
+	}
+
+	for qi := 0; qi < 20; qi++ {
+		score := scoreFor(x.Row(qi))
+		plain, _ := ix.TopCandidates(score, ef)
+		seeded, _ := ix.TopCandidatesSeeded(score, ef, nil)
+		if len(plain) != len(seeded) {
+			t.Fatalf("query %d: empty seed list changed result length %d != %d", qi, len(seeded), len(plain))
+		}
+		for i := range plain {
+			if plain[i] != seeded[i] {
+				t.Fatalf("query %d rank %d: empty seed list changed result %+v != %+v", qi, i, seeded[i], plain[i])
+			}
+		}
+	}
+
+	recall := func(seeds []int32) float64 {
+		hits, total := 0, 0
+		for qi := 0; qi < 60; qi++ {
+			q := x.Row(qi)
+			want := exactTopK(q, y, k)
+			got, scanned := ix.TopCandidatesSeeded(scoreFor(q), ef, seeds)
+			if scanned >= n {
+				t.Fatalf("seeded search scanned %d >= n=%d: not sublinear", scanned, n)
+			}
+			in := make(map[int32]bool, k)
+			for _, c := range got[:k] {
+				in[c.Node] = true
+			}
+			for _, v := range want {
+				if in[v] {
+					hits++
+				}
+				total++
+			}
+		}
+		return float64(hits) / float64(total)
+	}
+	base, boosted := recall(nil), recall(seeds)
+	t.Logf("recall@%d at ef=%d: unseeded %.4f, seeded %.4f", k, ef, base, boosted)
+	if boosted < base {
+		t.Fatalf("seeding lowered recall: %.4f < %.4f", boosted, base)
+	}
+
+	// Junk seeds: duplicates and out-of-range ids must be ignored.
+	junk := []int32{-5, 3, 3, int32(n), int32(n + 100), 3, 0, 0}
+	got, _ := ix.TopCandidatesSeeded(scoreFor(x.Row(0)), ef, junk)
+	if len(got) == 0 {
+		t.Fatal("junk seed list produced no results")
+	}
+	seen := make(map[int32]bool, len(got))
+	for i, c := range got {
+		if c.Node < 0 || c.Node >= int32(n) {
+			t.Fatalf("rank %d: out-of-range node %d in results", i, c.Node)
+		}
+		if seen[c.Node] {
+			t.Fatalf("rank %d: duplicate node %d in results", i, c.Node)
+		}
+		seen[c.Node] = true
+		if i > 0 && got[i-1].Score < c.Score {
+			t.Fatalf("rank %d: results out of order (%.6f < %.6f)", i, got[i-1].Score, c.Score)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package ann
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/nrp-embed/nrp/internal/matrix"
+)
+
+// Graph serialization. The payload is little-endian:
+//
+//	int64  M, efConstruction, efSearch
+//	uint64 seed
+//	int64  n, entry, maxLevel
+//	int32  levels[n]
+//	int32  cnts[cntOff[n]]
+//	int32  nbrs[nbrOff[n]]
+//
+// The offset tables are not stored — they are a pure function of
+// (levels, M) and are recomputed on decode. Build is deterministic, so
+// encoding the same build twice yields identical bytes (the snapshot
+// determinism tests pin this).
+const encodeHeaderLen = 7 * 8
+
+// Encode writes the built graph's payload to w.
+func (ix *Index) Encode(w io.Writer) error {
+	n := ix.N()
+	header := []int64{int64(ix.cfg.M), int64(ix.cfg.EfConstruction), int64(ix.cfg.EfSearch),
+		int64(ix.cfg.Seed), int64(n), int64(ix.entry), int64(ix.maxLevel)}
+	for _, h := range header {
+		if err := binary.Write(w, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for _, a := range [][]int32{ix.levels, ix.cnts, ix.nbrs} {
+		if err := binary.Write(w, binary.LittleEndian, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode reconstructs a graph from an Encode payload over the candidate
+// rows y. Every structural invariant a search relies on is re-validated
+// — level bounds, offset consistency against the payload length, live
+// counts within capacity, neighbor ids in range and only at layers the
+// neighbor reaches — so a corrupted section is rejected instead of
+// causing out-of-bounds reads or silent garbage results.
+func Decode(data []byte, y *matrix.Dense) (*Index, error) {
+	r := bytes.NewReader(data)
+	var m, efc, efs, seed, n, entry, maxLevel int64
+	for _, p := range []*int64{&m, &efc, &efs, &seed, &n, &entry, &maxLevel} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("ann: reading graph header: %w", err)
+		}
+	}
+	if m < 2 || m > 1<<20 || efc < 1 || efc > 1<<24 || efs < 1 || efs > 1<<24 {
+		return nil, fmt.Errorf("ann: implausible graph config (M=%d efConstruction=%d efSearch=%d)", m, efc, efs)
+	}
+	if n != int64(y.Rows) {
+		return nil, fmt.Errorf("ann: graph covers %d rows, embedding has %d", n, y.Rows)
+	}
+	ix := &Index{
+		cfg:      Config{M: int(m), EfConstruction: int(efc), EfSearch: int(efs), Seed: uint64(seed)},
+		y:        y,
+		levels:   make([]int32, n),
+		nbrOff:   make([]int64, n+1),
+		cntOff:   make([]int64, n+1),
+		entry:    int32(entry),
+		maxLevel: int32(maxLevel),
+	}
+	if n == 0 {
+		if entry != -1 || maxLevel != 0 || len(data) != encodeHeaderLen {
+			return nil, fmt.Errorf("ann: corrupt empty graph")
+		}
+		return ix, nil
+	}
+	if err := binary.Read(r, binary.LittleEndian, ix.levels); err != nil {
+		return nil, fmt.Errorf("ann: reading graph levels: %w", err)
+	}
+	var top int32
+	for v, l := range ix.levels {
+		if l < 0 || l > maxLevelCap {
+			return nil, fmt.Errorf("ann: corrupt graph (node %d level %d)", v, l)
+		}
+		if l > top {
+			top = l
+		}
+		ix.nbrOff[v+1] = ix.nbrOff[v] + 2*m + int64(l)*m
+		ix.cntOff[v+1] = ix.cntOff[v] + int64(l) + 1
+	}
+	if entry < 0 || entry >= n || ix.levels[entry] != ix.maxLevel || top != ix.maxLevel {
+		return nil, fmt.Errorf("ann: corrupt graph (entry %d level %d, max level %d)", entry, maxLevel, top)
+	}
+	// The header and levels are consumed; the rest of the payload must be
+	// exactly the two adjacency arrays.
+	want := int64(encodeHeaderLen) + 4*n + 4*ix.cntOff[n] + 4*ix.nbrOff[n]
+	if int64(len(data)) != want {
+		return nil, fmt.Errorf("ann: graph payload is %d bytes, layout needs %d", len(data), want)
+	}
+	ix.cnts = make([]int32, ix.cntOff[n])
+	ix.nbrs = make([]int32, ix.nbrOff[n])
+	for _, a := range [][]int32{ix.cnts, ix.nbrs} {
+		if err := binary.Read(r, binary.LittleEndian, a); err != nil {
+			return nil, fmt.Errorf("ann: reading graph adjacency: %w", err)
+		}
+	}
+	for v := int32(0); int64(v) < n; v++ {
+		for l := int32(0); l <= ix.levels[v]; l++ {
+			start, capacity := ix.layerSpan(v, l)
+			cnt := ix.cnts[ix.cntOff[v]+int64(l)]
+			if cnt < 0 || cnt > capacity {
+				return nil, fmt.Errorf("ann: corrupt graph (node %d layer %d count %d, capacity %d)", v, l, cnt, capacity)
+			}
+			for _, u := range ix.nbrs[start : start+int64(cnt)] {
+				// A link at layer l must point to a node whose own block
+				// reaches layer l, or searches would read another node's
+				// slots.
+				if u < 0 || int64(u) >= n || u == v || ix.levels[u] < l {
+					return nil, fmt.Errorf("ann: corrupt graph (node %d layer %d links to %d)", v, l, u)
+				}
+			}
+		}
+	}
+	return ix, nil
+}

@@ -1,0 +1,37 @@
+package ann
+
+// splitmix64 is the level-assignment RNG: a counter-based generator
+// (Steele et al., "Fast splittable pseudorandom number generators")
+// whose state is one uint64. Each node gets its own stream seeded by
+// mixing the index seed with the node id, so level draws depend only on
+// (seed, node) — never on insertion order or thread count. Same idiom
+// as internal/fora's walk RNG.
+type splitmix64 struct{ s uint64 }
+
+func newSplitmix64(seed uint64) splitmix64 { return splitmix64{s: seed} }
+
+func (r *splitmix64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// float64 returns a uniform draw in [0, 1) with 53 bits of precision.
+func (r *splitmix64) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// mix64 hashes a seed/stream-index pair into an independent stream seed
+// (finalizer of splitmix64, applied to the XOR of the inputs).
+func mix64(a, b uint64) uint64 {
+	z := a ^ (b * 0xff51afd7ed558ccd)
+	z ^= z >> 33
+	z *= 0xc4ceb9fe1a85ec53
+	z ^= z >> 33
+	return z
+}

@@ -1,0 +1,164 @@
+package ann
+
+import (
+	"slices"
+	"sync"
+)
+
+// workspace holds one search's scratch state: an epoch-stamped visited
+// set (O(1) reset, no per-query allocation) plus the frontier max-heap
+// and the bounded best-ef result heap. Workspaces are pooled across
+// queries; each is used by one goroutine at a time.
+type workspace struct {
+	stamp []uint32
+	epoch uint32
+	cand  maxHeap
+	res   boundedMinHeap
+	// batch/scores stage one expansion's unvisited neighbors so they can
+	// be scored in a tight loop (their independent row loads overlap in
+	// the memory pipeline) before any heap updates.
+	batch  []int32
+	scores []float64
+}
+
+func newWorkspace(n int) *workspace {
+	return &workspace{stamp: make([]uint32, n)}
+}
+
+// reset clears the visited set and both heaps. Epoch wraparound (one in
+// 2^32 resets) falls back to zeroing the stamps.
+func (ws *workspace) reset() {
+	ws.epoch++
+	if ws.epoch == 0 {
+		for i := range ws.stamp {
+			ws.stamp[i] = 0
+		}
+		ws.epoch = 1
+	}
+	ws.cand.a = ws.cand.a[:0]
+	ws.res.a = ws.res.a[:0]
+}
+
+func (ws *workspace) visit(v int32)        { ws.stamp[v] = ws.epoch }
+func (ws *workspace) visited(v int32) bool { return ws.stamp[v] == ws.epoch }
+
+// stage ensures the batch/scores buffers can hold n entries.
+func (ws *workspace) stage(n int) {
+	if cap(ws.batch) < n {
+		ws.batch = make([]int32, n)
+		ws.scores = make([]float64, n)
+	}
+}
+
+// wsPool recycles workspaces across concurrent queries.
+type wsPool struct{ p sync.Pool }
+
+func (wp *wsPool) get(n int) *workspace {
+	if v := wp.p.Get(); v != nil {
+		ws := v.(*workspace)
+		if len(ws.stamp) >= n {
+			return ws
+		}
+	}
+	return newWorkspace(n)
+}
+
+func (wp *wsPool) put(ws *workspace) { wp.p.Put(ws) }
+
+// maxHeap is the search frontier: pop returns the best (highest-score,
+// then lowest-id) pending candidate.
+type maxHeap struct{ a []scored }
+
+func (h *maxHeap) len() int { return len(h.a) }
+
+func (h *maxHeap) push(s scored) {
+	h.a = append(h.a, s)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !better(h.a[i], h.a[p]) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+func (h *maxHeap) pop() scored {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < last && better(h.a[l], h.a[best]) {
+			best = l
+		}
+		if r < last && better(h.a[r], h.a[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h.a[i], h.a[best] = h.a[best], h.a[i]
+		i = best
+	}
+	return top
+}
+
+// boundedMinHeap keeps the best ef candidates seen so far; its root is
+// the weakest of them, so admission tests are O(1).
+type boundedMinHeap struct{ a []scored }
+
+func (h *boundedMinHeap) len() int    { return len(h.a) }
+func (h *boundedMinHeap) min() scored { return h.a[0] }
+
+// push inserts s, evicting the current weakest when the heap already
+// holds ef elements (s must beat it — callers check via min()).
+func (h *boundedMinHeap) push(s scored, ef int) {
+	if len(h.a) < ef {
+		h.a = append(h.a, s)
+		i := len(h.a) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !better(h.a[p], h.a[i]) {
+				break
+			}
+			h.a[i], h.a[p] = h.a[p], h.a[i]
+			i = p
+		}
+		return
+	}
+	if !better(s, h.a[0]) {
+		return
+	}
+	h.a[0] = s
+	i, n := 0, len(h.a)
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < n && better(h.a[worst], h.a[l]) {
+			worst = l
+		}
+		if r < n && better(h.a[worst], h.a[r]) {
+			worst = r
+		}
+		if worst == i {
+			break
+		}
+		h.a[i], h.a[worst] = h.a[worst], h.a[i]
+		i = worst
+	}
+}
+
+// drainSorted returns the kept candidates best-first in a fresh slice
+// (the workspace may be recycled immediately after).
+func (h *boundedMinHeap) drainSorted() []scored {
+	out := make([]scored, len(h.a))
+	copy(out, h.a)
+	h.a = h.a[:0]
+	slices.SortFunc(out, compareScored)
+	return out
+}

@@ -48,6 +48,11 @@ const pprErrTolerance = 1.0
 // path has stopped helping at all.
 const pprIndexTolerance = 0.5
 
+// hnswRecallTolerance gates the HNSW serving recall as tightly as AUC:
+// recall@10 is deterministic for a fixed graph seed and query set, so
+// any drop beyond a point of noise means the accuracy contract broke.
+const hnswRecallTolerance = 0.01
+
 // Known reports whether the gate understands a record file's schema.
 func Known(file string) bool {
 	switch file {
@@ -149,6 +154,13 @@ func extractTopK(file string, data []byte) ([]Metric, error) {
 			Name string  `json:"name"`
 			QPS  float64 `json:"qps"`
 		} `json:"benchmarks"`
+		// The optional "hnsw" object holds the ANN backend's accuracy and
+		// speedup contract; absent in records from runs that skipped the
+		// HNSW benchmarks.
+		HNSW *struct {
+			RecallAt10      float64 `json:"recall_at_10"`
+			SpeedupVsPruned float64 `json:"speedup_vs_pruned"`
+		} `json:"hnsw"`
 	}
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("benchgate: %s: %w", file, err)
@@ -156,9 +168,18 @@ func extractTopK(file string, data []byte) ([]Metric, error) {
 	if len(r.Benchmarks) == 0 {
 		return nil, fmt.Errorf("benchgate: %s holds no benchmark entries", file)
 	}
-	ms := make([]Metric, 0, len(r.Benchmarks))
+	ms := make([]Metric, 0, len(r.Benchmarks)+2)
 	for _, b := range r.Benchmarks {
 		ms = append(ms, Metric{File: file, Name: "qps/" + b.Name, Value: b.QPS})
+	}
+	if r.HNSW != nil {
+		// Both are machine-independent: recall is deterministic for a fixed
+		// graph, and the speedup is a QPS ratio of two batch benchmarks that
+		// parallelize across queries identically.
+		ms = append(ms,
+			Metric{File: file, Name: "hnsw_recall_at_10", Value: r.HNSW.RecallAt10, Relative: true, Tolerance: hnswRecallTolerance},
+			Metric{File: file, Name: "hnsw_speedup_vs_pruned", Value: r.HNSW.SpeedupVsPruned, Relative: true},
+		)
 	}
 	return ms, nil
 }

@@ -10,6 +10,13 @@ const topkRecord = `{"benchmarks":[
   {"name":"TopKQuantized","backend":"quantized","n":100000,"dim":64,"k":10,"ns_per_op":800000,"qps":1250}
 ]}`
 
+const topkHNSWRecord = `{"benchmarks":[
+  {"name":"TopKExact","backend":"exact","n":100000,"dim":64,"k":10,"ns_per_op":5000000,"qps":200},
+  {"name":"TopKQuantized","backend":"quantized","n":100000,"dim":64,"k":10,"ns_per_op":800000,"qps":1250},
+  {"name":"TopKHNSW","backend":"hnsw","n":100000,"dim":64,"k":10,"ns_per_op":9000,"qps":111111}
+],"hnsw":{"recall_at_10":0.97,"speedup_vs_pruned":12.5,"m":16,"ef_construction":200,
+  "ef_search":24,"rerank":3,"quantized":true,"build_ms":54000}}`
+
 const buildRecord = `{"n":100000,"m":500000,"dim":32,"threads":8,
   "serial_ms":9000,"parallel_ms":1800,"speedup":5.0,
   "auc_serial":0.972,"auc_parallel":0.972}`
@@ -98,6 +105,71 @@ func TestCompareInjectedRegression(t *testing.T) {
 	}
 	if n := Regressions(deltas); n != 0 {
 		t.Fatalf("50%% tolerance still reports %d regressions", n)
+	}
+}
+
+// TestCompareHNSWRecord covers the ANN serving gate: the optional "hnsw"
+// object contributes two relative metrics — recall@10 at the tight
+// quality tolerance (a 2-point drop fails even under a loose global
+// tolerance) and the speedup-vs-pruned ratio at the global tolerance —
+// and records without the object still extract cleanly.
+func TestCompareHNSWRecord(t *testing.T) {
+	ms, err := Extract("BENCH_topk.json", []byte(topkHNSWRecord))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 5 {
+		t.Fatalf("%d metrics, want qps×3 + recall + speedup", len(ms))
+	}
+	byName := map[string]Metric{}
+	for _, m := range ms {
+		byName[m.Name] = m
+	}
+	if m := byName["hnsw_recall_at_10"]; !m.Relative || m.Tolerance != hnswRecallTolerance || m.Value != 0.97 {
+		t.Fatalf("recall metric %+v", m)
+	}
+	if m := byName["hnsw_speedup_vs_pruned"]; !m.Relative || m.Value != 12.5 {
+		t.Fatalf("speedup metric %+v", m)
+	}
+
+	// recall 0.97 → 0.95 is past the 1% tolerance even when the global
+	// throughput tolerance forgives 25%; CI's relative-only mode still
+	// gates both.
+	injected := strings.Replace(topkHNSWRecord, `"recall_at_10":0.97`, `"recall_at_10":0.95`, 1)
+	cur, err := Extract("BENCH_topk.json", []byte(injected))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := Compare(ms, cur, 0.25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := Regressions(deltas); n != 1 || deltas[0].Metric.Name != "hnsw_recall_at_10" {
+		t.Fatalf("recall drop: %d regressions, worst %+v", n, deltas[0])
+	}
+
+	// A speedup collapse past the global tolerance fails too.
+	injected = strings.Replace(topkHNSWRecord, `"speedup_vs_pruned":12.5`, `"speedup_vs_pruned":6`, 1)
+	cur, err = Extract("BENCH_topk.json", []byte(injected))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err = Compare(ms, cur, 0.25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := Regressions(deltas); n != 1 || deltas[0].Metric.Name != "hnsw_speedup_vs_pruned" {
+		t.Fatalf("speedup collapse: %d regressions, worst %+v", n, deltas[0])
+	}
+
+	// An old baseline without the hnsw object compares cleanly against a
+	// new record that has it (current-only metrics are ignored).
+	base, err := Extract("BENCH_topk.json", []byte(topkRecord))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compare(base, ms, 0.25, true); err != nil {
+		t.Fatalf("old baseline vs hnsw-bearing record: %v", err)
 	}
 }
 

@@ -100,25 +100,38 @@ func (q *Matrix) Row(v int) []int8 { return q.Codes[v*q.Dim : (v+1)*q.Dim] }
 // per-query scale, so that scale·Dot(codes, q.Row(v)) ≈ x·Y_v. A zero
 // query yields scale 0 and all-zero codes.
 func (q *Matrix) QuantizeQuery(x []float64) (codes []int8, scale float64) {
-	dim := q.Dim
-	folded := make([]float64, dim)
+	codes = make([]int8, q.Dim)
+	scale = q.QuantizeQueryInto(codes, x)
+	return codes, scale
+}
+
+// QuantizeQueryInto is QuantizeQuery writing into a caller-owned buffer
+// of length Dim, for query paths hot enough that two small allocations
+// per call show up (the HNSW searcher quantizes on every TopK).
+func (q *Matrix) QuantizeQueryInto(codes []int8, x []float64) (scale float64) {
+	if len(codes) != q.Dim {
+		panic("quant: QuantizeQueryInto buffer length mismatch")
+	}
+	x = x[:q.Dim]
+	scales := q.Scales[:q.Dim]
 	var maxAbs float64
-	for j := 0; j < dim; j++ {
-		folded[j] = x[j] * q.Scales[j]
-		if a := math.Abs(folded[j]); a > maxAbs {
+	for j, v := range x {
+		if a := math.Abs(v * scales[j]); a > maxAbs {
 			maxAbs = a
 		}
 	}
-	codes = make([]int8, dim)
 	if maxAbs == 0 {
-		return codes, 0
+		for j := range codes {
+			codes[j] = 0
+		}
+		return 0
 	}
 	scale = maxAbs / qmax
 	inv := 1 / scale
-	for j, f := range folded {
-		codes[j] = clampInt8(math.Round(f * inv))
+	for j, v := range x {
+		codes[j] = clampInt8(math.Round(v * scales[j] * inv))
 	}
-	return codes, scale
+	return scale
 }
 
 func clampInt8(x float64) int8 {
