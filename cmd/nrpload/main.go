@@ -1,0 +1,138 @@
+// Command nrpload is a closed-loop load generator for nrpserve. It
+// drives a mixed topk/score/ppr/update workload at an optional target
+// rate, reports achieved QPS and client-side latency quantiles per
+// endpoint, and can write the report as a BENCH_serve.json-style record
+// for the bench gate.
+//
+// Usage:
+//
+//	nrpload -addr http://127.0.0.1:8080 -duration 15s -concurrency 8 \
+//	    -mix topk=80,score=10,ppr=5,update=5 -zipf 1.2 \
+//	    -out nrpload-report.json -max-p99 50ms
+//
+// The exit status is the smoke-test verdict: nonzero when any request
+// got a 5xx, when any transport error occurred, or when -max-p99 is set
+// and some endpoint's observed p99 exceeds it. Endpoints the server does
+// not support (update on a static snapshot, ppr when disabled) have
+// their traffic share folded into topk with a warning.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"github.com/nrp-embed/nrp/internal/loadgen"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nrpload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nrpload", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "server base URL")
+	duration := fs.Duration("duration", 15*time.Second, "how long to drive load")
+	concurrency := fs.Int("concurrency", 8, "closed-loop worker count")
+	rate := fs.Float64("rate", 0, "target aggregate QPS (0 = unpaced)")
+	mixSpec := fs.String("mix", "topk=80,score=10,ppr=5,update=5", "traffic mix as name=weight pairs")
+	k := fs.Int("k", 10, "top-k per query")
+	zipfS := fs.Float64("zipf", 1.2, "Zipf skew for source nodes (<=1 = uniform)")
+	seed := fs.Int64("seed", 1, "traffic seed")
+	outPath := fs.String("out", "", "write the JSON report to this file")
+	maxP99 := fs.Duration("max-p99", 0, "fail if any endpoint's p99 exceeds this (0 = no bound)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mix, err := loadgen.ParseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	report, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:     *addr,
+		Duration:    *duration,
+		Concurrency: *concurrency,
+		TargetQPS:   *rate,
+		K:           *k,
+		Mix:         mix,
+		ZipfS:       *zipfS,
+		Seed:        *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	printReport(out, report)
+	if *outPath != "" {
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "report written to %s\n", *outPath)
+	}
+	return verdict(report, *maxP99)
+}
+
+// printReport renders the human-readable summary.
+func printReport(out io.Writer, r *loadgen.Report) {
+	for _, w := range r.Warnings {
+		fmt.Fprintf(out, "warning: %s\n", w)
+	}
+	fmt.Fprintf(out, "%d requests in %.1fs -> %.0f req/s (%d workers)\n",
+		r.TotalRequests, r.DurationSec, r.AchievedQPS, r.Concurrency)
+	fmt.Fprintf(out, "5xx: %d  429: %d  transport errors: %d\n",
+		r.Errors5xx, r.RateLimited, r.TransportErrors)
+	names := make([]string, 0, len(r.Endpoints))
+	for name := range r.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(out, "%-8s %10s %10s %10s %10s\n", "endpoint", "requests", "p50", "p90", "p99")
+	for _, name := range names {
+		ep := r.Endpoints[name]
+		fmt.Fprintf(out, "%-8s %10d %10s %10s %10s\n", name, ep.Requests,
+			usDur(ep.P50Us), usDur(ep.P90Us), usDur(ep.P99Us))
+	}
+}
+
+// verdict applies the smoke-test pass/fail rules to a finished report.
+func verdict(r *loadgen.Report, maxP99 time.Duration) error {
+	if r.TotalRequests == 0 {
+		return fmt.Errorf("no requests completed")
+	}
+	if r.Errors5xx > 0 {
+		return fmt.Errorf("%d requests got 5xx responses", r.Errors5xx)
+	}
+	if r.TransportErrors > 0 {
+		return fmt.Errorf("%d requests failed at the transport", r.TransportErrors)
+	}
+	if maxP99 > 0 {
+		for name, ep := range r.Endpoints {
+			if p99 := time.Duration(ep.P99Us) * time.Microsecond; p99 > maxP99 {
+				return fmt.Errorf("%s p99 %v exceeds bound %v", name, p99, maxP99)
+			}
+		}
+	}
+	return nil
+}
+
+func usDur(us int64) time.Duration {
+	return time.Duration(us) * time.Microsecond
+}

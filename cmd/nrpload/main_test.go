@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/nrp-embed/nrp"
+	"github.com/nrp-embed/nrp/internal/loadgen"
+	"github.com/nrp-embed/nrp/internal/serve"
+)
+
+// testServer boots a static quantized server over a small synthetic
+// graph.
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	g, err := nrp.GenSBM(nrp.SBMConfig{N: 150, M: 900, Communities: 3, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nrp.DefaultOptions()
+	opt.Dim = 16
+	emb, _, err := nrp.EmbedCtx(context.Background(), g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := nrp.BuildIndex(emb, nrp.WithBackend(nrp.BackendQuantized))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.NewServer(s, serve.Config{Backend: "quantized"}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRunWritesReport runs a short smoke load and checks the exit
+// verdict, the human summary, and the -out JSON report.
+func TestRunWritesReport(t *testing.T) {
+	ts := testServer(t)
+	outPath := filepath.Join(t.TempDir(), "report.json")
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-addr", ts.URL, "-duration", "300ms", "-concurrency", "2",
+		"-mix", "topk=80,score=20", "-k", "4", "-out", outPath,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "req/s") {
+		t.Fatalf("summary missing throughput line:\n%s", buf.String())
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report loadgen.Report
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	if report.TotalRequests == 0 || report.Endpoints["topk"] == nil {
+		t.Fatalf("report incomplete: %+v", report)
+	}
+}
+
+// TestRunP99Verdict fails the run when the p99 bound is impossible.
+func TestRunP99Verdict(t *testing.T) {
+	ts := testServer(t)
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-addr", ts.URL, "-duration", "200ms", "-concurrency", "2",
+		"-mix", "topk=1", "-max-p99", "1ns",
+	}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "exceeds bound") {
+		t.Fatalf("p99 bound not enforced: %v", err)
+	}
+}
+
+// TestRunBadFlags rejects malformed mixes and dead targets.
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-mix", "bogus"}, &buf); err == nil {
+		t.Fatal("bad mix accepted")
+	}
+	if err := run(context.Background(), []string{
+		"-addr", "http://127.0.0.1:1", "-duration", "100ms",
+	}, &buf); err == nil {
+		t.Fatal("dead server accepted")
+	}
+}

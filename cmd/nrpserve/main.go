@@ -34,15 +34,25 @@
 // -refresh-interval additionally refreshes in the background whenever
 // updates are pending.
 //
-// Endpoints (JSON in/out):
+// Endpoints (JSON in/out, except /metrics):
 //
 //	GET  /v1/healthz
-//	GET  /v1/topk?u=42&k=10
+//	GET  /v1/topk?u=42&k=10[&stats=1]
 //	POST /v1/topk    {"us":[1,2,3],"k":10}
 //	POST /v1/score   {"pairs":[[0,1],[2,3]]}
 //	POST /v1/ppr     {"seeds":[1,2],"k":10}                (-graph only)
 //	POST /v1/update  {"insert":[[0,1]],"remove":[[2,3]]}   (-graph only)
 //	POST /v1/refresh {}                                    (-graph only)
+//	GET  /metrics    Prometheus text exposition
+//
+// Observability and traffic protection: every request is counted and
+// timed on /metrics and logged as one structured line (-log-format
+// json|text, -log-level). -rate-limit R enables per-client-IP
+// token-bucket limiting at R req/s (-rate-burst B tokens of burst; 429 +
+// Retry-After beyond that). -coalesce aggregates concurrent
+// single-source /v1/topk calls into one batched TopKMany pass,
+// deduplicating hot sources — a throughput win under concurrent skewed
+// traffic (see cmd/nrpload to measure it).
 //
 // A -graph server additionally answers online seed-set PPR queries with
 // the FORA two-phase estimator at /v1/ppr; queries observe edges applied
@@ -61,6 +71,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -70,6 +81,10 @@ import (
 	"github.com/nrp-embed/nrp"
 	"github.com/nrp-embed/nrp/internal/serve"
 )
+
+// defaultLogLevel seeds the -log-level flag; the test harness lowers it
+// to "error" so e2e tests stay quiet without threading flags everywhere.
+var defaultLogLevel = "info"
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -87,6 +102,27 @@ type config struct {
 	refreshEvery time.Duration
 	addr         string
 	drain        time.Duration
+	logger       *slog.Logger
+}
+
+// newLogger builds the process logger from the -log-format/-log-level
+// flags. Everything nrpserve prints — boot progress, per-request lines,
+// background refresh outcomes — goes through it, so `-log-format=json`
+// yields machine-parseable output end to end.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level: %w", err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format must be text or json, got %q", format)
+	}
 }
 
 // newServerFromFlags parses args, loads or builds the Searcher, and
@@ -118,8 +154,18 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 		pprWalks    = fs.Int("ppr-walks", 0, "FORA+ walk-index size for -graph: walks per node precomputed at boot (0 = use the snapshot's stored index, if any)")
 		pprAlpha    = fs.Float64("ppr-alpha", 0, "PPR termination probability for /v1/ppr (0 = default 0.15)")
 		pprEpsilon  = fs.Float64("ppr-epsilon", 0, "PPR relative error bound for /v1/ppr (0 = default 0.5)")
+		logFormat   = fs.String("log-format", "text", "structured log format: text or json")
+		logLevel    = fs.String("log-level", defaultLogLevel, "minimum log level: debug, info, warn or error (request lines log at info)")
+		rateLimit   = fs.Float64("rate-limit", 0, "per-client requests/second; over-limit requests get 429 with Retry-After (0 = unlimited)")
+		rateBurst   = fs.Int("rate-burst", 0, "per-client token-bucket burst (default max(1, rate-limit))")
+		coalesce    = fs.Bool("coalesce", false, "aggregate concurrent single-source /v1/topk calls into one batched TopKMany pass")
+		coalesceWin = fs.Duration("coalesce-window", 0, "how long a lone coalescing leader waits for concurrent callers before scanning (default 250µs, negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
 		return nil, err
 	}
 	sources := 0
@@ -213,12 +259,12 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 			return nil, err
 		}
 		start := time.Now()
-		fmt.Fprintf(os.Stderr, "nrpserve: embedding %d nodes, %d edges...\n", g.N, g.NumEdges)
+		logger.Info("embedding graph", "nodes", g.N, "edges", g.NumEdges)
 		dyn, err := nrp.NewDynamicEmbedding(ctx, g, opt, nrp.DynamicConfig{Policy: policy}, nrp.WithThreads(*threads))
 		if err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(os.Stderr, "nrpserve: embedded in %v\n", time.Since(start).Round(time.Millisecond))
+		logger.Info("embedded", "wall", time.Since(start).Round(time.Millisecond))
 		opts := []nrp.IndexOption{
 			nrp.WithBackend(backend),
 			nrp.WithShards(*shards),
@@ -248,12 +294,11 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 			if err != nil {
 				return nil, err
 			}
-			fmt.Fprintf(os.Stderr, "nrpserve: walk index (%d walks/node) built in %v\n",
-				*pprWalks, time.Since(start).Round(time.Millisecond))
+			logger.Info("walk index built", "walks_per_node", *pprWalks,
+				"wall", time.Since(start).Round(time.Millisecond))
 			pprOpts = append(pprOpts, nrp.WithWalkIndex(wi))
 		case storedIdx != nil:
-			fmt.Fprintf(os.Stderr, "nrpserve: using snapshot walk index (%d walks/node)\n",
-				storedIdx.WalksPerNode())
+			logger.Info("using snapshot walk index", "walks_per_node", storedIdx.WalksPerNode())
 			pprOpts = append(pprOpts, nrp.WithWalkIndex(storedIdx))
 		}
 		pprEngine, err = nrp.NewPPREngine(g, pprOpts...)
@@ -301,7 +346,17 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 	if b, ok := searcher.(interface{ Backend() nrp.Backend }); ok {
 		label = b.Backend().String()
 	}
-	svCfg := serve.Config{Backend: label, MaxK: *maxK, MaxBatch: *maxBatch, PPR: pprEngine}
+	svCfg := serve.Config{
+		Backend:        label,
+		MaxK:           *maxK,
+		MaxBatch:       *maxBatch,
+		PPR:            pprEngine,
+		Logger:         logger,
+		RateLimit:      *rateLimit,
+		RateBurst:      *rateBurst,
+		Coalesce:       *coalesce,
+		CoalesceWindow: *coalesceWin,
+	}
 	var sv *serve.Server
 	if live != nil {
 		sv = serve.NewLiveServer(live, svCfg)
@@ -310,12 +365,14 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 	}
 	bootOK = true
 	return &config{server: sv, live: live, graphCloser: graphCloser,
-		refreshEvery: *refreshIntv, addr: *addr, drain: *drain}, nil
+		refreshEvery: *refreshIntv, addr: *addr, drain: *drain, logger: logger}, nil
 }
 
 // refreshLoop refreshes the live index whenever updates are pending, once
-// per tick, until ctx is cancelled.
-func refreshLoop(ctx context.Context, live *nrp.LiveIndex, every time.Duration) {
+// per tick, until ctx is cancelled. Each refresh is recorded on the
+// server's /metrics registry, so background swaps are as observable as
+// /v1/refresh ones.
+func refreshLoop(ctx context.Context, live *nrp.LiveIndex, every time.Duration, m *serve.Metrics, logger *slog.Logger) {
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for {
@@ -329,15 +386,16 @@ func refreshLoop(ctx context.Context, live *nrp.LiveIndex, every time.Duration) 
 			st, err := live.Refresh(ctx)
 			if err != nil {
 				if ctx.Err() == nil {
-					fmt.Fprintf(os.Stderr, "nrpserve: background refresh: %v\n", err)
+					logger.Error("background refresh failed", "err", err)
 				}
 				continue
 			}
+			m.ObserveRefresh(st)
 			if st.Mode == nrp.RefreshedSkipped {
 				continue // staleness policy below threshold: nothing happened
 			}
-			fmt.Fprintf(os.Stderr, "nrpserve: refreshed (%s) touched=%d wall=%v\n",
-				st.Mode, st.TouchedNodes, st.Wall.Round(time.Millisecond))
+			logger.Info("refreshed", "mode", st.Mode, "touched", st.TouchedNodes,
+				"wall", st.Wall.Round(time.Millisecond))
 		}
 	}
 }
@@ -357,15 +415,15 @@ func run(ctx context.Context, args []string) error {
 		refreshDone = make(chan struct{})
 		go func() {
 			defer close(refreshDone)
-			refreshLoop(loopCtx, cfg.live, cfg.refreshEvery)
+			refreshLoop(loopCtx, cfg.live, cfg.refreshEvery, cfg.server.Metrics(), cfg.logger)
 		}()
 	}
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "nrpserve: listening on %s (drain %v)\n", ln.Addr(), cfg.drain)
-	err = serve.Serve(ctx, ln, cfg.server.Handler(), cfg.drain)
+	cfg.logger.Info("listening", "addr", ln.Addr().String(), "drain", cfg.drain)
+	err = cfg.server.Serve(ctx, ln, cfg.drain)
 	// Join the background refresh loop before unmapping the graph: a
 	// refresh caught mid-recompute at shutdown still reads the mapped CSR
 	// arrays, and munmapping under it would segfault instead of exiting

@@ -313,7 +313,7 @@ func TestBackgroundRefreshLoop(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	go refreshLoop(ctx, cfg.live, cfg.refreshEvery)
+	go refreshLoop(ctx, cfg.live, cfg.refreshEvery, cfg.server.Metrics(), cfg.logger)
 
 	if _, err := cfg.live.ApplyUpdates(ctx, []nrp.EdgeUpdate{
 		{U: 0, V: 117, Op: nrp.UpdateInsert},

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/nrp-embed/nrp"
+	"github.com/nrp-embed/nrp/internal/serve"
+	"github.com/nrp-embed/nrp/internal/telemetry"
+)
+
+// TestMain lowers the default request-log level so the e2e tests in this
+// package don't spray one line per HTTP call onto stderr.
+func TestMain(m *testing.M) {
+	defaultLogLevel = "error"
+	os.Exit(m.Run())
+}
+
+// TestObservabilityFlagsEndToEnd boots a server with rate limiting and
+// coalescing on and checks the full observability surface over HTTP:
+// /metrics parses, healthz carries build info, ?stats=1 gates the query
+// stats, and the limiter 429s with Retry-After.
+func TestObservabilityFlagsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	_, indexPath, _ := writeFixtures(t, dir)
+	cfg, err := newServerFromFlags(context.Background(), []string{
+		"-index", indexPath, "-rate-limit", "2", "-rate-burst", "3", "-coalesce",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(cfg.server.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, http.Header, []byte) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header, raw
+	}
+
+	// Stats are absent by default, present with ?stats=1.
+	code, _, raw := get("/v1/topk?u=3&k=5")
+	if code != http.StatusOK {
+		t.Fatalf("topk status %d: %s", code, raw)
+	}
+	var tk serve.TopKResponse
+	if err := json.Unmarshal(raw, &tk); err != nil {
+		t.Fatal(err)
+	}
+	if tk.Results[0].Stats != nil {
+		t.Fatal("stats present without ?stats=1")
+	}
+	code, _, raw = get("/v1/topk?u=3&k=5&stats=1")
+	if code != http.StatusOK {
+		t.Fatalf("topk stats status %d: %s", code, raw)
+	}
+	tk = serve.TopKResponse{}
+	if err := json.Unmarshal(raw, &tk); err != nil {
+		t.Fatal(err)
+	}
+	if tk.Results[0].Stats == nil {
+		t.Fatalf("stats missing with ?stats=1: %s", raw)
+	}
+
+	// Burst 3, two spent: one more passes, the fourth 429s.
+	if code, _, raw = get("/v1/topk?u=1&k=3"); code != http.StatusOK {
+		t.Fatalf("third request status %d: %s", code, raw)
+	}
+	code, hdr, _ := get("/v1/topk?u=1&k=3")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-burst status %d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// /metrics is exempt from limiting, parses strictly, and shows the
+	// traffic above (three 200s, one 429, coalesced singles).
+	code, hdr, raw = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	if !strings.Contains(hdr.Get("Content-Type"), "text/plain") {
+		t.Fatalf("metrics content type %q", hdr.Get("Content-Type"))
+	}
+	samples, err := telemetry.ParseText(string(raw))
+	if err != nil {
+		t.Fatalf("metrics output invalid: %v", err)
+	}
+	if got := samples[`nrp_http_requests_total{endpoint="topk",code="200"}`]; got != 3 {
+		t.Errorf("topk 200s = %v, want 3", got)
+	}
+	if got := samples[`nrp_http_requests_total{endpoint="topk",code="429"}`]; got != 1 {
+		t.Errorf("topk 429s = %v, want 1", got)
+	}
+	if got := samples[`nrp_http_rate_limited_total`]; got != 1 {
+		t.Errorf("rate_limited_total = %v, want 1", got)
+	}
+	if got := samples[`nrp_coalesce_requests_total`]; got != 3 {
+		t.Errorf("coalesce_requests_total = %v, want 3", got)
+	}
+
+	// healthz reports build info and uptime.
+	code, _, raw = get("/v1/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	var hz serve.HealthzResponse
+	if err := json.Unmarshal(raw, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Version == "" || hz.Revision == "" || hz.UptimeSeconds < 0 {
+		t.Fatalf("healthz build info missing: %+v", hz)
+	}
+}
+
+// TestJSONRequestLog asserts -log-format=json emits one machine-readable
+// line per request with the promised fields.
+func TestJSONRequestLog(t *testing.T) {
+	dir := t.TempDir()
+	_, indexPath, _ := writeFixtures(t, dir)
+	if _, err := newServerFromFlags(context.Background(), []string{"-index", indexPath, "-log-format", "json"}); err != nil {
+		t.Fatal(err) // the flag itself must be accepted
+	}
+	// Capture the line itself with a logger writing to a buffer.
+	f, err := os.Open(indexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := nrp.LoadIndex(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	logged := serve.NewServer(s, serve.Config{
+		Backend: "quantized",
+		Logger:  slog.New(slog.NewJSONHandler(&buf, nil)),
+	})
+	ts := httptest.NewServer(logged.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/topk?u=2&k=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	line := struct {
+		Msg      string  `json:"msg"`
+		Endpoint string  `json:"endpoint"`
+		Method   string  `json:"method"`
+		Status   int     `json:"status"`
+		Duration float64 `json:"duration"`
+		K        int     `json:"k"`
+		Client   string  `json:"client"`
+	}{}
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("request log is not one JSON line: %v\n%s", err, buf.String())
+	}
+	if line.Msg != "request" || line.Endpoint != "topk" || line.Method != "GET" ||
+		line.Status != 200 || line.K != 4 || line.Client == "" {
+		t.Fatalf("request log line %+v (%s)", line, buf.String())
+	}
+}
+
+// TestLogFlagValidation rejects unknown formats and levels.
+func TestLogFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	_, indexPath, _ := writeFixtures(t, dir)
+	for _, tc := range [][]string{
+		{"-index", indexPath, "-log-format", "yaml"},
+		{"-index", indexPath, "-log-level", "chatty"},
+	} {
+		if _, err := newServerFromFlags(context.Background(), tc); err == nil {
+			t.Fatalf("args %v accepted", tc)
+		}
+	}
+}

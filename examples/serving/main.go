@@ -94,7 +94,7 @@ func main() {
 	handler := serve.NewServer(loaded, serve.Config{Backend: "quantized"}).Handler()
 	go func() { done <- serve.Serve(srvCtx, ln, handler, 2*time.Second) }()
 
-	url := fmt.Sprintf("http://%s/v1/topk?u=%d&k=%d", ln.Addr(), u, k)
+	url := fmt.Sprintf("http://%s/v1/topk?u=%d&k=%d&stats=1", ln.Addr(), u, k)
 	resp, err := http.Get(url)
 	if err != nil {
 		log.Fatal(err)

@@ -393,10 +393,12 @@ func BuildIndex(emb *Embedding, opts ...IndexOption) (Searcher, error) {
 // ApplyUpdates and Refresh serialize behind a mutex; queries never block
 // on them.
 type LiveIndex struct {
-	mu   sync.Mutex // serializes updates and refreshes, not queries
-	dyn  *DynamicEmbedding
-	opts []IndexOption
-	cur  atomic.Pointer[searcherBox]
+	mu       sync.Mutex // serializes updates and refreshes, not queries
+	dyn      *DynamicEmbedding
+	opts     []IndexOption
+	cur      atomic.Pointer[searcherBox]
+	swaps    atomic.Uint64
+	lastSwap atomic.Int64 // unix nanos of the latest index swap
 }
 
 // searcherBox keeps the atomic pointer monomorphic while the boxed
@@ -416,7 +418,19 @@ func NewLiveIndex(dyn *DynamicEmbedding, opts ...IndexOption) (*LiveIndex, error
 	}
 	li := &LiveIndex{dyn: dyn, opts: opts}
 	li.cur.Store(&searcherBox{s: s})
+	li.lastSwap.Store(time.Now().UnixNano())
 	return li, nil
+}
+
+// Swaps reports how many times the backing index has been rebuilt and
+// swapped in by Refresh since construction.
+func (li *LiveIndex) Swaps() uint64 { return li.swaps.Load() }
+
+// LastSwap reports when the current backing index was installed (the
+// construction time until the first refresh swap). Observability uses
+// this to derive refresh lag — how stale the serving index is.
+func (li *LiveIndex) LastSwap() time.Time {
+	return time.Unix(0, li.lastSwap.Load())
 }
 
 // Searcher returns the current backing index. The returned value stays
@@ -465,6 +479,8 @@ func (li *LiveIndex) Refresh(ctx context.Context) (*RefreshStats, error) {
 		return st, fmt.Errorf("nrp: rebuilding live index: %w", err)
 	}
 	li.cur.Store(&searcherBox{s: s})
+	li.swaps.Add(1)
+	li.lastSwap.Store(time.Now().UnixNano())
 	return st, nil
 }
 

@@ -53,10 +53,16 @@ const pprIndexTolerance = 0.5
 // any drop beyond a point of noise means the accuracy contract broke.
 const hnswRecallTolerance = 0.01
 
+// coalesceTolerance gates the request-coalescing speedup loosely: it is
+// a QPS ratio of two identical load phases, machine-independent in
+// direction but noisy under closed-loop HTTP timing. Halving still fails
+// — that means coalescing has stopped paying for itself.
+const coalesceTolerance = 0.5
+
 // Known reports whether the gate understands a record file's schema.
 func Known(file string) bool {
 	switch file {
-	case "BENCH_topk.json", "BENCH_build.json", "BENCH_dynamic.json", "BENCH_ingest.json", "BENCH_ppr.json":
+	case "BENCH_topk.json", "BENCH_build.json", "BENCH_dynamic.json", "BENCH_ingest.json", "BENCH_ppr.json", "BENCH_serve.json":
 		return true
 	}
 	return false
@@ -144,8 +150,53 @@ func Extract(file string, data []byte) ([]Metric, error) {
 			{File: file, Name: "fora_plus_ms", Value: r.ForaPlusMs, LowerBetter: true},
 			{File: file, Name: "power_ms", Value: r.PowerMs, LowerBetter: true},
 		}, nil
+	case "BENCH_serve.json":
+		return extractServe(file, data)
 	}
 	return nil, fmt.Errorf("benchgate: unknown record file %q", file)
+}
+
+// extractServe reads the HTTP serving load record written by
+// BenchmarkServeLoad (or cmd/nrpload's -out, which shares the endpoint
+// stats shape). The coalescing speedup is the gated relative metric;
+// raw QPS and the client-side latency quantiles are host-bound
+// absolutes, compared only on like hardware.
+func extractServe(file string, data []byte) ([]Metric, error) {
+	var r struct {
+		DirectQPS       float64 `json:"direct_qps"`
+		CoalescedQPS    float64 `json:"coalesced_qps"`
+		CoalesceSpeedup float64 `json:"coalesce_speedup"`
+		MixedQPS        float64 `json:"mixed_qps"`
+		Endpoints       map[string]struct {
+			P50Us float64 `json:"p50_us"`
+			P99Us float64 `json:"p99_us"`
+		} `json:"endpoints"`
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchgate: %s: %w", file, err)
+	}
+	if r.CoalesceSpeedup == 0 {
+		return nil, fmt.Errorf("benchgate: %s holds no coalesce_speedup", file)
+	}
+	ms := []Metric{
+		{File: file, Name: "coalesce_speedup", Value: r.CoalesceSpeedup, Relative: true, Tolerance: coalesceTolerance},
+		{File: file, Name: "direct_qps", Value: r.DirectQPS},
+		{File: file, Name: "coalesced_qps", Value: r.CoalescedQPS},
+		{File: file, Name: "mixed_qps", Value: r.MixedQPS},
+	}
+	names := make([]string, 0, len(r.Endpoints))
+	for name := range r.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ep := r.Endpoints[name]
+		ms = append(ms,
+			Metric{File: file, Name: name + "_p50_us", Value: ep.P50Us, LowerBetter: true},
+			Metric{File: file, Name: name + "_p99_us", Value: ep.P99Us, LowerBetter: true},
+		)
+	}
+	return ms, nil
 }
 
 func extractTopK(file string, data []byte) ([]Metric, error) {

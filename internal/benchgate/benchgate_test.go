@@ -30,6 +30,13 @@ const pprRecord = `{"n":100000,"m":500000,"queries":8,"seeds_per_query":4,"k":10
   "fora_ms":40,"fora_plus_ms":28,"power_ms":900,
   "speedup_vs_power":22.5,"index_speedup":1.43,"max_rel_err":0.11}`
 
+const serveRecord = `{"n":100000,"dim":64,"k":10,"concurrency":16,"zipf_s":1.5,
+  "phase_sec":2,"direct_qps":900,"coalesced_qps":1800,"coalesce_speedup":2.0,
+  "mixed_qps":1500,"errors_5xx":0,
+  "endpoints":{
+    "topk":{"requests":2400,"p50_us":800,"p90_us":2000,"p99_us":5000},
+    "score":{"requests":600,"p50_us":120,"p90_us":300,"p99_us":700}}}`
+
 func TestExtractSchemas(t *testing.T) {
 	cases := map[string]struct {
 		data    string
@@ -39,6 +46,7 @@ func TestExtractSchemas(t *testing.T) {
 		"BENCH_build.json":  {buildRecord, 5},
 		"BENCH_ingest.json": {ingestRecord, 6},
 		"BENCH_ppr.json":    {pprRecord, 6},
+		"BENCH_serve.json":  {serveRecord, 8},
 	}
 	for file, tc := range cases {
 		ms, err := Extract(file, []byte(tc.data))
@@ -105,6 +113,88 @@ func TestCompareInjectedRegression(t *testing.T) {
 	}
 	if n := Regressions(deltas); n != 0 {
 		t.Fatalf("50%% tolerance still reports %d regressions", n)
+	}
+}
+
+// TestCompareServeRecord covers the HTTP serving-load gate. The
+// acceptance contract: an injected p99 latency regression beyond
+// tolerance must fail the gate; so must a collapsed coalescing speedup;
+// and under relativeOnly (CI's cross-host mode) only the speedup gates
+// while the host-bound QPS and quantile absolutes are skipped.
+func TestCompareServeRecord(t *testing.T) {
+	base, err := Extract("BENCH_serve.json", []byte(serveRecord))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical run: clean.
+	deltas, err := Compare(base, base, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := Regressions(deltas); n != 0 {
+		t.Fatalf("identical serve records produced %d regressions", n)
+	}
+
+	// Inject: topk p99 5000µs → 9000µs (+80%, lower-is-better) fails a
+	// local full gate.
+	injected := strings.Replace(serveRecord, `"p99_us":5000`, `"p99_us":9000`, 1)
+	cur, err := Extract("BENCH_serve.json", []byte(injected))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err = Compare(base, cur, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := Regressions(deltas); n != 1 {
+		t.Fatalf("injected p99 regression produced %d failures, want 1", n)
+	}
+	if !deltas[0].Regressed || deltas[0].Metric.Name != "topk_p99_us" {
+		t.Fatalf("worst delta %+v, want topk_p99_us", deltas[0])
+	}
+	// The same record passes CI's relative-only mode: p99 is host-bound.
+	deltas, err = Compare(base, cur, 0.25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := Regressions(deltas); n != 0 {
+		t.Fatalf("relative-only mode gated an absolute metric: %d failures", n)
+	}
+
+	// A coalescing speedup collapse (2.0 → 0.9) fails even relative-only:
+	// the ratio is machine-independent.
+	injected = strings.Replace(serveRecord, `"coalesce_speedup":2.0`, `"coalesce_speedup":0.9`, 1)
+	cur, err = Extract("BENCH_serve.json", []byte(injected))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err = Compare(base, cur, 0.25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := Regressions(deltas); n != 1 {
+		t.Fatalf("collapsed coalescing speedup produced %d failures, want 1", n)
+	}
+	// ... but its dedicated tolerance forgives noise down to half: 1.1x
+	// against a 2.0x baseline is a 45% drop, inside the 50% band.
+	injected = strings.Replace(serveRecord, `"coalesce_speedup":2.0`, `"coalesce_speedup":1.1`, 1)
+	cur, err = Extract("BENCH_serve.json", []byte(injected))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err = Compare(base, cur, 0.25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := Regressions(deltas); n != 0 {
+		t.Fatalf("in-tolerance speedup wobble produced %d failures", n)
+	}
+
+	// Records without the speedup (e.g. a raw nrpload report) are not
+	// gateable and must be rejected loudly.
+	if _, err := Extract("BENCH_serve.json", []byte(`{"achieved_qps":100}`)); err == nil {
+		t.Fatal("record without coalesce_speedup accepted")
 	}
 }
 

@@ -1,0 +1,369 @@
+// Package loadgen is a closed-loop HTTP load generator for nrpserve: a
+// pool of workers drives mixed topk/score/ppr/update traffic against a
+// live server — optionally paced to a target rate, optionally with
+// Zipf-skewed source nodes — and reports achieved QPS plus client-side
+// latency quantiles per endpoint. cmd/nrpload is the CLI; the root-level
+// BenchmarkServeLoad reuses it to measure the request-coalescing win for
+// BENCH_serve.json.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mix is the traffic composition by endpoint. Weights are relative; they
+// need not sum to 1. Endpoints the target server does not support
+// (update on a static server, ppr when disabled) have their weight
+// folded into TopK, with a warning on the report.
+type Mix struct {
+	TopK   float64
+	Score  float64
+	PPR    float64
+	Update float64
+}
+
+// DefaultMix is read-heavy with a trickle of writes, the serving
+// scenario the roadmap names.
+var DefaultMix = Mix{TopK: 0.80, Score: 0.10, PPR: 0.05, Update: 0.05}
+
+// ParseMix parses "topk=80,score=10,ppr=5,update=5" (weights are
+// relative, missing endpoints are zero).
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Mix{}, fmt.Errorf("loadgen: mix element %q is not name=weight", part)
+		}
+		var w float64
+		if _, err := fmt.Sscanf(val, "%g", &w); err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("loadgen: bad weight in %q", part)
+		}
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "topk":
+			m.TopK = w
+		case "score":
+			m.Score = w
+		case "ppr":
+			m.PPR = w
+		case "update":
+			m.Update = w
+		default:
+			return Mix{}, fmt.Errorf("loadgen: unknown endpoint %q in mix", name)
+		}
+	}
+	if m.TopK+m.Score+m.PPR+m.Update <= 0 {
+		return Mix{}, fmt.Errorf("loadgen: mix has no positive weight")
+	}
+	return m, nil
+}
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Duration is how long to drive traffic.
+	Duration time.Duration
+	// Concurrency is the number of closed-loop workers.
+	Concurrency int
+	// TargetQPS paces the aggregate request rate; 0 drives as fast as the
+	// closed loop allows.
+	TargetQPS float64
+	// K is the top-k per query (default 10).
+	K int
+	// Mix is the traffic composition (zero value: DefaultMix).
+	Mix Mix
+	// ZipfS skews source-node selection with a Zipf(s) law when > 1;
+	// otherwise sources are uniform. Skew is what makes request
+	// coalescing's hot-key dedup measurable.
+	ZipfS float64
+	// Seed makes the traffic reproducible.
+	Seed int64
+	// Client overrides the HTTP client (default: pooled transport).
+	Client *http.Client
+}
+
+// EndpointStats aggregates client-observed behavior of one endpoint.
+type EndpointStats struct {
+	Requests int64            `json:"requests"`
+	Errors   int64            `json:"transport_errors"`
+	Status   map[string]int64 `json:"status,omitempty"`
+	P50Us    int64            `json:"p50_us"`
+	P90Us    int64            `json:"p90_us"`
+	P99Us    int64            `json:"p99_us"`
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	DurationSec     float64                   `json:"duration_sec"`
+	Concurrency     int                       `json:"concurrency"`
+	TotalRequests   int64                     `json:"total_requests"`
+	AchievedQPS     float64                   `json:"achieved_qps"`
+	Errors5xx       int64                     `json:"errors_5xx"`
+	RateLimited     int64                     `json:"rate_limited"`
+	TransportErrors int64                     `json:"transport_errors"`
+	Endpoints       map[string]*EndpointStats `json:"endpoints"`
+	Warnings        []string                  `json:"warnings,omitempty"`
+}
+
+// healthz is the slice of the server's health response the generator
+// needs: the id space and which optional endpoints exist.
+type healthz struct {
+	Nodes int  `json:"nodes"`
+	Live  bool `json:"live"`
+	PPR   bool `json:"ppr"`
+}
+
+// sample is one completed request.
+type sample struct {
+	endpoint int
+	us       int64
+	status   int
+	failed   bool // transport error
+}
+
+const (
+	epTopK = iota
+	epScore
+	epPPR
+	epUpdate
+	epCount
+)
+
+var epNames = [epCount]string{"topk", "score", "ppr", "update"}
+
+// Run drives the configured load and reports. It fails only on setup
+// errors (unreachable server, bad config); request-level failures are
+// counted in the report for the caller to judge.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.K <= 0 {
+		cfg.K = 10
+	}
+	if (cfg.Mix == Mix{}) {
+		cfg.Mix = DefaultMix
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: non-positive duration")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: cfg.Concurrency,
+		}}
+	}
+
+	var report Report
+	report.Concurrency = cfg.Concurrency
+
+	// Probe the server: node count bounds the id space, and capability
+	// flags prune the mix.
+	var hz healthz
+	if err := getJSON(ctx, client, cfg.BaseURL+"/v1/healthz", &hz); err != nil {
+		return nil, fmt.Errorf("loadgen: probing %s: %w", cfg.BaseURL, err)
+	}
+	if hz.Nodes <= 1 {
+		return nil, fmt.Errorf("loadgen: server reports %d nodes", hz.Nodes)
+	}
+	mix := cfg.Mix
+	if mix.Update > 0 && !hz.Live {
+		report.Warnings = append(report.Warnings,
+			"server is static: update share folded into topk")
+		mix.TopK += mix.Update
+		mix.Update = 0
+	}
+	if mix.PPR > 0 && !hz.PPR {
+		report.Warnings = append(report.Warnings,
+			"server has no PPR engine: ppr share folded into topk")
+		mix.TopK += mix.PPR
+		mix.PPR = 0
+	}
+	total := mix.TopK + mix.Score + mix.PPR + mix.Update
+	cum := [epCount]float64{
+		mix.TopK / total,
+		(mix.TopK + mix.Score) / total,
+		(mix.TopK + mix.Score + mix.PPR) / total,
+		1,
+	}
+
+	var slots atomic.Int64 // global pacing counter for TargetQPS
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	perWorker := make([][]sample, cfg.Concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			var zipf *rand.Zipf
+			if cfg.ZipfS > 1 {
+				zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(hz.Nodes-1))
+			}
+			pick := func() int {
+				if zipf != nil {
+					return int(zipf.Uint64())
+				}
+				return rng.Intn(hz.Nodes)
+			}
+			samples := make([]sample, 0, 4096)
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				if cfg.TargetQPS > 0 {
+					slot := slots.Add(1) - 1
+					due := start.Add(time.Duration(float64(slot) / cfg.TargetQPS * float64(time.Second)))
+					if d := time.Until(due); d > 0 {
+						select {
+						case <-time.After(d):
+						case <-ctx.Done(): // loop condition exits next pass
+						}
+					}
+				}
+				r := rng.Float64()
+				ep := epTopK
+				for ep < epCount-1 && r >= cum[ep] {
+					ep++
+				}
+				samples = append(samples, doRequest(ctx, client, cfg, ep, pick, rng))
+			}
+			perWorker[w] = samples
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	byEp := make([][]int64, epCount)
+	status := make([]map[string]int64, epCount)
+	counts := make([]int64, epCount)
+	fails := make([]int64, epCount)
+	for _, samples := range perWorker {
+		for _, s := range samples {
+			report.TotalRequests++
+			if s.failed {
+				fails[s.endpoint]++
+				report.TransportErrors++
+				continue
+			}
+			counts[s.endpoint]++
+			byEp[s.endpoint] = append(byEp[s.endpoint], s.us)
+			if status[s.endpoint] == nil {
+				status[s.endpoint] = make(map[string]int64)
+			}
+			status[s.endpoint][fmt.Sprint(s.status)]++
+			if s.status >= 500 {
+				report.Errors5xx++
+			}
+			if s.status == http.StatusTooManyRequests {
+				report.RateLimited++
+			}
+		}
+	}
+	report.DurationSec = elapsed.Seconds()
+	report.AchievedQPS = float64(report.TotalRequests) / elapsed.Seconds()
+	report.Endpoints = make(map[string]*EndpointStats)
+	for ep := 0; ep < epCount; ep++ {
+		if counts[ep]+fails[ep] == 0 {
+			continue
+		}
+		lat := byEp[ep]
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		report.Endpoints[epNames[ep]] = &EndpointStats{
+			Requests: counts[ep] + fails[ep],
+			Errors:   fails[ep],
+			Status:   status[ep],
+			P50Us:    quantile(lat, 0.50),
+			P90Us:    quantile(lat, 0.90),
+			P99Us:    quantile(lat, 0.99),
+		}
+	}
+	return &report, nil
+}
+
+// doRequest issues one request of the given endpoint type and times it.
+func doRequest(ctx context.Context, client *http.Client, cfg Config, ep int, pick func() int, rng *rand.Rand) sample {
+	var (
+		method = http.MethodPost
+		url    string
+		body   io.Reader
+	)
+	switch ep {
+	case epTopK:
+		method = http.MethodGet
+		url = fmt.Sprintf("%s/v1/topk?u=%d&k=%d", cfg.BaseURL, pick(), cfg.K)
+	case epScore:
+		url = cfg.BaseURL + "/v1/score"
+		raw, _ := json.Marshal(map[string]any{"pairs": [][2]int{{pick(), pick()}}})
+		body = bytes.NewReader(raw)
+	case epPPR:
+		url = cfg.BaseURL + "/v1/ppr"
+		raw, _ := json.Marshal(map[string]any{"seeds": []int{pick()}, "k": cfg.K})
+		body = bytes.NewReader(raw)
+	case epUpdate:
+		url = cfg.BaseURL + "/v1/update"
+		raw, _ := json.Marshal(map[string]any{"insert": [][2]int{{pick(), pick()}}})
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return sample{endpoint: ep, failed: true}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	us := time.Since(t0).Microseconds()
+	if err != nil {
+		return sample{endpoint: ep, us: us, failed: true}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return sample{endpoint: ep, us: us, status: resp.StatusCode}
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// quantile reads the q-quantile from an ascending latency slice.
+func quantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

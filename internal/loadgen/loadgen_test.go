@@ -1,0 +1,180 @@
+package loadgen_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/nrp-embed/nrp"
+	"github.com/nrp-embed/nrp/internal/loadgen"
+	"github.com/nrp-embed/nrp/internal/serve"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := loadgen.ParseMix("topk=70, score=20 ,ppr=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TopK != 70 || m.Score != 20 || m.PPR != 10 || m.Update != 0 {
+		t.Fatalf("mix %+v", m)
+	}
+	for _, bad := range []string{"", "topk", "topk=-1", "walk=5", "topk=0,score=0"} {
+		if _, err := loadgen.ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// liveServer builds a full live server (update + ppr available) for
+// end-to-end load runs.
+func liveServer(t *testing.T) *serve.Server {
+	t.Helper()
+	g, err := nrp.GenSBM(nrp.SBMConfig{N: 200, M: 1200, Communities: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nrp.DefaultOptions()
+	opt.Dim = 16
+	dyn, err := nrp.NewDynamicEmbedding(context.Background(), g, opt, nrp.DynamicConfig{
+		Policy: nrp.RefreshIncremental,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := nrp.NewLiveIndex(dyn, nrp.WithBackend(nrp.BackendExact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := nrp.NewPPREngine(g, nrp.WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serve.NewLiveServer(live, serve.Config{Backend: "exact", PPR: pe})
+}
+
+// TestRunMixedLoad drives the default mix against a live server and
+// checks the report is coherent: traffic on every endpoint, quantiles
+// ordered, no errors.
+func TestRunMixedLoad(t *testing.T) {
+	ts := httptest.NewServer(liveServer(t).Handler())
+	defer ts.Close()
+
+	report, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:     ts.URL,
+		Duration:    400 * time.Millisecond,
+		Concurrency: 4,
+		K:           5,
+		Mix:         loadgen.Mix{TopK: 40, Score: 30, PPR: 15, Update: 15},
+		ZipfS:       1.3,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TotalRequests == 0 || report.AchievedQPS <= 0 {
+		t.Fatalf("no traffic: %+v", report)
+	}
+	if report.Errors5xx != 0 || report.TransportErrors != 0 {
+		t.Fatalf("errors during clean run: %+v", report)
+	}
+	if len(report.Warnings) != 0 {
+		t.Fatalf("unexpected warnings %v", report.Warnings)
+	}
+	for _, name := range []string{"topk", "score", "ppr", "update"} {
+		ep := report.Endpoints[name]
+		if ep == nil || ep.Requests == 0 {
+			t.Fatalf("endpoint %s saw no traffic: %+v", name, report.Endpoints)
+		}
+		if ep.P50Us > ep.P90Us || ep.P90Us > ep.P99Us {
+			t.Fatalf("endpoint %s quantiles out of order: %+v", name, ep)
+		}
+		if ep.Status["200"] != ep.Requests {
+			t.Fatalf("endpoint %s non-200s: %+v", name, ep.Status)
+		}
+	}
+}
+
+// TestRunFoldsUnsupportedEndpoints points a write-heavy mix at a static
+// snapshot server: update and ppr shares must fold into topk with
+// warnings rather than producing 4xx noise.
+func TestRunFoldsUnsupportedEndpoints(t *testing.T) {
+	g, err := nrp.GenSBM(nrp.SBMConfig{N: 150, M: 900, Communities: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nrp.DefaultOptions()
+	opt.Dim = 16
+	emb, _, err := nrp.EmbedCtx(context.Background(), g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := nrp.BuildIndex(emb, nrp.WithBackend(nrp.BackendQuantized))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.NewServer(s, serve.Config{Backend: "quantized"}).Handler())
+	defer ts.Close()
+
+	report, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:     ts.URL,
+		Duration:    250 * time.Millisecond,
+		Concurrency: 2,
+		Mix:         loadgen.Mix{TopK: 50, PPR: 25, Update: 25},
+		Seed:        9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Warnings) != 2 {
+		t.Fatalf("warnings %v, want ppr+update folds", report.Warnings)
+	}
+	if ep := report.Endpoints["ppr"]; ep != nil {
+		t.Fatalf("ppr traffic sent to a server without PPR: %+v", ep)
+	}
+	if ep := report.Endpoints["update"]; ep != nil {
+		t.Fatalf("update traffic sent to a static server: %+v", ep)
+	}
+	if report.Errors5xx != 0 {
+		t.Fatalf("5xx: %+v", report)
+	}
+	if ep := report.Endpoints["topk"]; ep == nil || ep.Requests == 0 {
+		t.Fatal("folded mix drove no topk traffic")
+	}
+}
+
+// TestRunPacing checks a target rate is honored within slack: at 50 QPS
+// for half a second the closed loop must not blast thousands of
+// requests.
+func TestRunPacing(t *testing.T) {
+	ts := httptest.NewServer(liveServer(t).Handler())
+	defer ts.Close()
+
+	report, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:     ts.URL,
+		Duration:    500 * time.Millisecond,
+		Concurrency: 4,
+		TargetQPS:   50,
+		Mix:         loadgen.Mix{TopK: 1},
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 QPS over 0.5s is ~25 requests; allow generous jitter but catch
+	// an unpaced blast (hundreds+).
+	if report.TotalRequests < 5 || report.TotalRequests > 60 {
+		t.Fatalf("paced run issued %d requests, want ~25", report.TotalRequests)
+	}
+}
+
+// TestRunRejectsUnreachable fails fast when the server is absent.
+func TestRunRejectsUnreachable(t *testing.T) {
+	_, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:  "http://127.0.0.1:1",
+		Duration: 100 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("Run against dead address succeeded")
+	}
+}

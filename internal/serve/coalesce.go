@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/nrp-embed/nrp"
+)
+
+// defaultGatherWindow is how long a leader that finds itself alone waits
+// for company before scanning. Closed-loop clients synchronize on round
+// boundaries — every follower gets its response at the same instant,
+// loops, and re-sends — so the first re-arrival would otherwise lead a
+// round of one and the batches (and the dedup win) collapse. The window
+// is far below a scan's cost at serving scale, so the latency price of a
+// genuinely lone request is small; it is also the knob Config exposes as
+// CoalesceWindow.
+const defaultGatherWindow = 250 * time.Microsecond
+
+// coalescer aggregates concurrent single-source /v1/topk calls into one
+// TopKMany pass through the batched kernel. The first arriver becomes the
+// round leader: it drains the queue, deduplicates sources (hot keys under
+// skewed traffic collapse into one scan), executes one batched query at
+// the round's max k, and fans results back out. Leadership then hands off
+// to the first caller queued during the round, so no request serves more
+// than one round of other callers' work.
+//
+// Callers must pre-validate u and k: a coalesced batch is executed as one
+// query, and per-call validation errors must not fail innocent neighbors
+// in the same round.
+type coalescer struct {
+	searcher nrp.Searcher
+	metrics  *Metrics
+	window   time.Duration // gather window for lone leaders; <=0 disables
+
+	mu     sync.Mutex
+	queue  []*coalesceCall
+	active bool // a leader is running or a handoff is pending
+}
+
+type coalesceCall struct {
+	u, k int
+	res  nrp.Result
+	err  error
+	done chan struct{} // closed once res/err are set
+	lead chan struct{} // receives when this call must lead the next round
+}
+
+func newCoalescer(s nrp.Searcher, m *Metrics, window time.Duration) *coalescer {
+	if window == 0 {
+		window = defaultGatherWindow
+	}
+	return &coalescer{searcher: s, metrics: m, window: window}
+}
+
+// topK answers one single-source query through the coalescer.
+//
+// The batch runs detached from any one caller's context (a leader whose
+// client disconnects mid-round must not fail its followers); rounds are
+// one index scan, so the unbounded context is short-lived. For the same
+// reason followers wait for the round to finish rather than honoring
+// cancellation — abandoning the queue could strand a pending leadership
+// handoff.
+func (c *coalescer) topK(ctx context.Context, u, k int) (nrp.Result, error) {
+	cl := &coalesceCall{u: u, k: k, done: make(chan struct{}), lead: make(chan struct{}, 1)}
+	c.mu.Lock()
+	c.queue = append(c.queue, cl)
+	isLeader := !c.active
+	c.active = true
+	c.mu.Unlock()
+
+	c.metrics.coalesceRequests.Inc()
+	if !isLeader {
+		select {
+		case <-cl.done:
+			return cl.res, cl.err
+		case <-cl.lead:
+			// Promoted: run the round that includes this call.
+		}
+	}
+	// A leader with no company yet pauses one gather window so the
+	// concurrent callers racing toward the queue can join this round;
+	// leaders promoted into a waiting batch run immediately.
+	if c.window > 0 {
+		c.mu.Lock()
+		alone := len(c.queue) == 1
+		c.mu.Unlock()
+		if alone {
+			time.Sleep(c.window)
+		}
+	}
+	c.runRound(context.WithoutCancel(ctx))
+	c.handoff()
+	return cl.res, cl.err
+}
+
+// runRound drains the current queue and answers it with one TopKMany.
+func (c *coalescer) runRound(ctx context.Context) {
+	c.mu.Lock()
+	batch := c.queue
+	c.queue = nil
+	c.mu.Unlock()
+
+	c.metrics.coalesceBatches.Inc()
+	c.metrics.coalesceBatchSize.Observe(float64(len(batch)))
+
+	// Deduplicate sources; the batch runs at the round's max k and each
+	// call truncates to its own.
+	kmax := 0
+	slot := make(map[int]int, len(batch))
+	us := make([]int, 0, len(batch))
+	for _, cl := range batch {
+		if _, ok := slot[cl.u]; !ok {
+			slot[cl.u] = len(us)
+			us = append(us, cl.u)
+		}
+		if cl.k > kmax {
+			kmax = cl.k
+		}
+	}
+
+	results, err := c.searcher.TopKMany(ctx, us, kmax)
+	for _, cl := range batch {
+		if err != nil {
+			cl.err = err
+		} else {
+			cl.res = results[slot[cl.u]]
+			if len(cl.res.Neighbors) > cl.k {
+				cl.res.Neighbors = cl.res.Neighbors[:cl.k]
+			}
+		}
+		close(cl.done)
+	}
+}
+
+// handoff promotes the first caller queued during the round to lead the
+// next one, or marks the coalescer idle. The promoted call is guaranteed
+// waiting: queued callers never leave before done or lead fires.
+func (c *coalescer) handoff() {
+	c.mu.Lock()
+	if len(c.queue) == 0 {
+		c.active = false
+		c.mu.Unlock()
+		return
+	}
+	next := c.queue[0]
+	c.mu.Unlock()
+	next.lead <- struct{}{}
+}

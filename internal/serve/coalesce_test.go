@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/nrp-embed/nrp"
+)
+
+// TestCoalescerMatchesDirect fires concurrent single-source queries
+// through the coalescer and requires byte-identical answers to direct
+// TopK calls, including per-call k truncation within a shared round.
+func TestCoalescerMatchesDirect(t *testing.T) {
+	s, _ := testSearcher(t)
+	sv := NewServer(s, Config{Coalesce: true})
+	c := sv.coal
+
+	const workers = 16
+	type ans struct {
+		res nrp.Result
+		err error
+	}
+	got := make([]ans, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Overlapping sources (hot keys) and mixed k exercise dedup
+			// and truncation.
+			res, err := c.topK(context.Background(), w%5, 2+w%4)
+			got[w] = ans{res, err}
+		}(w)
+	}
+	wg.Wait()
+
+	for w := 0; w < workers; w++ {
+		if got[w].err != nil {
+			t.Fatalf("worker %d: %v", w, got[w].err)
+		}
+		u, k := w%5, 2+w%4
+		want, err := s.TopK(context.Background(), u, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := got[w].res
+		if res.Source != u || len(res.Neighbors) != len(want) {
+			t.Fatalf("worker %d: got %d neighbors of u=%d, want %d", w, len(res.Neighbors), res.Source, len(want))
+		}
+		for i := range want {
+			if res.Neighbors[i].Node != want[i].Node {
+				t.Fatalf("worker %d neighbor %d: got node %d, want %d", w, i, res.Neighbors[i].Node, want[i].Node)
+			}
+		}
+	}
+
+	// Every request went through the coalescer; rounds never exceed the
+	// request count and at least one round ran.
+	m := sv.metrics
+	if got := m.coalesceRequests.Value(); got != workers {
+		t.Fatalf("coalesce_requests_total = %v, want %d", got, workers)
+	}
+	batches := m.coalesceBatches.Value()
+	if batches < 1 || batches > workers {
+		t.Fatalf("coalesce_batches_total = %v, want in [1, %d]", batches, workers)
+	}
+}
+
+// TestCoalesceOverHTTP runs the full handler path with coalescing on:
+// concurrent GETs must all succeed with correct per-request answers, and
+// invalid requests must fail individually without poisoning a round.
+func TestCoalesceOverHTTP(t *testing.T) {
+	s, _ := testSearcher(t)
+	sv := NewServer(s, Config{Backend: "quantized", Coalesce: true})
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	const workers = 12
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			u, k := w%4, 3
+			if w == 5 {
+				u = 10_000 // out of range: must 400 without failing others
+			}
+			resp, err := ts.Client().Get(fmt.Sprintf("%s/v1/topk?u=%d&k=%d", ts.URL, u, k))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			raw, _ := io.ReadAll(resp.Body)
+			if w == 5 {
+				if resp.StatusCode != http.StatusBadRequest {
+					errs <- fmt.Errorf("bad-u status %d: %s", resp.StatusCode, raw)
+				}
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("worker %d status %d: %s", w, resp.StatusCode, raw)
+				return
+			}
+			var tr TopKResponse
+			if err := json.Unmarshal(raw, &tr); err != nil {
+				errs <- err
+				return
+			}
+			if len(tr.Results) != 1 || tr.Results[0].U != u || len(tr.Results[0].Neighbors) != k {
+				errs <- fmt.Errorf("worker %d: unexpected response %+v", w, tr)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

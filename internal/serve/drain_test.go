@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nrp-embed/nrp"
+)
+
+// gateSearcher blocks every TopKMany until the gate opens, so the test
+// can hold requests in flight deterministically.
+type gateSearcher struct {
+	nrp.Searcher
+	gate    chan struct{}
+	entered chan struct{}
+}
+
+func (g *gateSearcher) TopKMany(ctx context.Context, us []int, k int) ([]nrp.Result, error) {
+	g.entered <- struct{}{}
+	<-g.gate
+	return g.Searcher.TopKMany(ctx, us, k)
+}
+
+// TestDrainUnderLoad holds requests open at the backend, flips the
+// server into drain mode, and asserts the contract: in-flight requests
+// complete with 200, new requests are shed with 503, health checks keep
+// answering (and report draining), and the in-flight gauge returns to
+// zero once the load resolves.
+func TestDrainUnderLoad(t *testing.T) {
+	s, _ := testSearcher(t)
+	gs := &gateSearcher{Searcher: s, gate: make(chan struct{}), entered: make(chan struct{})}
+	sv := NewServer(gs, Config{Backend: "quantized"})
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	const inflight = 4
+	errs := make(chan error, inflight)
+	var wg sync.WaitGroup
+	for w := 0; w < inflight; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			resp, err := ts.Client().Get(fmt.Sprintf("%s/v1/topk?u=%d&k=3", ts.URL, w))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("in-flight request %d finished %d, want 200", w, resp.StatusCode)
+			}
+		}(w)
+	}
+	for i := 0; i < inflight; i++ {
+		select {
+		case <-gs.entered:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of %d requests reached the backend", i, inflight)
+		}
+	}
+	if got := sv.metrics.inflight.Value(); got != inflight {
+		t.Fatalf("inflight gauge = %v with %d requests held", got, inflight)
+	}
+
+	sv.BeginDrain()
+
+	// New work is shed…
+	resp, err := ts.Client().Get(ts.URL + "/v1/topk?u=1&k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("new request during drain got %d, want 503", resp.StatusCode)
+	}
+	// …but health checks answer, reporting the drain.
+	resp, err = ts.Client().Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during drain got %d: %s", resp.StatusCode, raw)
+	}
+	var hz HealthzResponse
+	mustUnmarshal(t, raw, &hz)
+	if !hz.Draining {
+		t.Fatalf("healthz during drain: %+v, want draining=true", hz)
+	}
+	if got := sv.metrics.drainGauge.Value(); got != 1 {
+		t.Fatalf("drain gauge = %v, want 1", got)
+	}
+
+	close(gs.gate)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for sv.metrics.inflight.Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("inflight gauge stuck at %v after drain", sv.metrics.inflight.Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

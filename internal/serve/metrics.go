@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"runtime/debug"
+	"time"
+
+	"github.com/nrp-embed/nrp"
+	"github.com/nrp-embed/nrp/internal/telemetry"
+)
+
+// Metrics is the server's telemetry surface, exposed at GET /metrics in
+// Prometheus text format. Every Server owns one registry; cmd/nrpserve
+// reaches it through Server.Metrics to record events that happen outside
+// the HTTP handlers (the background refresh loop).
+type Metrics struct {
+	reg *telemetry.Registry
+
+	requests    *telemetry.CounterVec   // nrp_http_requests_total{endpoint,code}
+	latency     *telemetry.HistogramVec // nrp_http_request_duration_seconds{endpoint}
+	inflight    *telemetry.Gauge        // nrp_http_inflight_requests
+	drainGauge  *telemetry.Gauge        // nrp_http_draining
+	rateLimited *telemetry.Counter      // nrp_http_rate_limited_total
+
+	batchSize *telemetry.Histogram // nrp_topk_batch_size
+
+	coalesceBatches   *telemetry.Counter   // nrp_coalesce_batches_total
+	coalesceRequests  *telemetry.Counter   // nrp_coalesce_requests_total
+	coalesceBatchSize *telemetry.Histogram // nrp_coalesce_batch_size
+
+	refreshes  *telemetry.CounterVec // nrp_index_refreshes_total{mode}
+	refreshDur *telemetry.Histogram  // nrp_index_refresh_duration_seconds
+}
+
+// newMetrics registers the full metric surface for sv. The live-index
+// families (swap count, pending updates, refresh lag) only exist on live
+// servers; a static snapshot server has no refresh lifecycle to report.
+func newMetrics(sv *Server) *Metrics {
+	reg := telemetry.NewRegistry()
+	m := &Metrics{
+		reg: reg,
+		requests: reg.CounterVec("nrp_http_requests_total",
+			"HTTP requests by endpoint and status code.", "endpoint", "code"),
+		latency: reg.HistogramVec("nrp_http_request_duration_seconds",
+			"Request latency in seconds by endpoint.", telemetry.DefBuckets, "endpoint"),
+		inflight: reg.Gauge("nrp_http_inflight_requests",
+			"Requests currently being served."),
+		drainGauge: reg.Gauge("nrp_http_draining",
+			"1 while the server is draining (new requests get 503), else 0."),
+		rateLimited: reg.Counter("nrp_http_rate_limited_total",
+			"Requests rejected with 429 by the per-client rate limiter."),
+		batchSize: reg.Histogram("nrp_topk_batch_size",
+			"Number of source nodes per /v1/topk request.", telemetry.SizeBuckets),
+		coalesceBatches: reg.Counter("nrp_coalesce_batches_total",
+			"Coalesced TopKMany passes executed."),
+		coalesceRequests: reg.Counter("nrp_coalesce_requests_total",
+			"Single-source /v1/topk requests served through the coalescer."),
+		coalesceBatchSize: reg.Histogram("nrp_coalesce_batch_size",
+			"Requests aggregated into one coalesced TopKMany pass.", telemetry.SizeBuckets),
+		refreshes: reg.CounterVec("nrp_index_refreshes_total",
+			"Index refreshes by outcome mode (incremental, full, skipped).", "mode"),
+		refreshDur: reg.Histogram("nrp_index_refresh_duration_seconds",
+			"Wall time of index refreshes.", telemetry.DefBuckets),
+	}
+
+	version, revision := buildInfo()
+	reg.ConstGauge("nrp_build_info",
+		"Build metadata; value is always 1.",
+		[]string{"version", "revision", "backend"},
+		[]string{version, revision, sv.cfg.Backend})
+	reg.GaugeFunc("nrp_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(sv.start).Seconds() })
+	reg.GaugeFunc("nrp_index_nodes", "Number of indexed nodes.",
+		func() float64 { return float64(sv.searcher.N()) })
+
+	if li := sv.live; li != nil {
+		reg.CounterFunc("nrp_index_swaps_total",
+			"Times the serving index was rebuilt and atomically swapped in.",
+			func() float64 { return float64(li.Swaps()) })
+		reg.GaugeFunc("nrp_index_pending_updates",
+			"Edge updates applied since the serving index was last refreshed.",
+			func() float64 { return float64(li.Pending()) })
+		reg.GaugeFunc("nrp_index_refresh_lag_seconds",
+			"Seconds since the current serving index was installed.",
+			func() float64 { return time.Since(li.LastSwap()).Seconds() })
+	}
+	return m
+}
+
+// ObserveRefresh records one index refresh: its outcome mode and wall
+// time. The HTTP handler calls it for /v1/refresh; cmd/nrpserve calls it
+// from the periodic background refresh loop.
+func (m *Metrics) ObserveRefresh(st *nrp.RefreshStats) {
+	m.refreshes.With(string(st.Mode)).Inc()
+	m.refreshDur.Observe(st.Wall.Seconds())
+}
+
+// Registry exposes the underlying registry for callers that want to
+// register additional process-level metrics on the same /metrics page.
+func (m *Metrics) Registry() *telemetry.Registry { return m.reg }
+
+// buildInfo extracts the module version and VCS revision embedded by the
+// go toolchain. Both degrade to "unknown" under plain `go test`.
+func buildInfo() (version, revision string) {
+	version, revision = "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	if bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			revision = s.Value
+			if len(revision) > 12 {
+				revision = revision[:12]
+			}
+		}
+	}
+	return
+}

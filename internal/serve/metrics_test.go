@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/nrp-embed/nrp"
+	"github.com/nrp-embed/nrp/internal/telemetry"
+)
+
+func mustUnmarshal(t *testing.T, body []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("unmarshal %q: %v", body, err)
+	}
+}
+
+// testFullServer builds a live server with PPR enabled, so every /v1
+// endpoint is exercisable.
+func testFullServer(t *testing.T) *Server {
+	t.Helper()
+	g, err := nrp.GenSBM(nrp.SBMConfig{N: 150, M: 900, Communities: 4, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nrp.DefaultOptions()
+	opt.Dim = 16
+	dyn, err := nrp.NewDynamicEmbedding(context.Background(), g, opt, nrp.DynamicConfig{
+		Policy: nrp.RefreshIncremental,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := nrp.NewLiveIndex(dyn, nrp.WithBackend(nrp.BackendExact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := nrp.NewPPREngine(g, nrp.WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewLiveServer(live, Config{Backend: "exact", PPR: pe})
+}
+
+// TestMetricsEndpointCoversLifecycle drives all six /v1 endpoints and
+// asserts GET /metrics afterwards serves valid Prometheus text (checked
+// with the strict parser) covering each of them, plus the index
+// lifecycle families.
+func TestMetricsEndpointCoversLifecycle(t *testing.T) {
+	sv := testFullServer(t)
+	h := sv.Handler()
+
+	doJSON(t, h, http.MethodGet, "/v1/healthz", nil)
+	doJSON(t, h, http.MethodGet, "/v1/topk?u=3&k=5", nil)
+	doJSON(t, h, http.MethodPost, "/v1/topk", TopKRequest{Us: []int{1, 2, 3}, K: 4})
+	doJSON(t, h, http.MethodPost, "/v1/score", ScoreRequest{Pairs: [][2]int{{0, 1}}})
+	doJSON(t, h, http.MethodPost, "/v1/ppr", PPRRequest{Seeds: []int{5}, K: 3})
+	doJSON(t, h, http.MethodPost, "/v1/update", UpdateRequest{Insert: [][2]int{{0, 149}}})
+	doJSON(t, h, http.MethodPost, "/v1/refresh", struct{}{})
+	// One client error, so the 400 code label exists too.
+	if rec, _ := doJSON(t, h, http.MethodGet, "/v1/topk?u=99999&k=5", nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad topk status %d", rec.Code)
+	}
+
+	rec, body := doJSON(t, h, http.MethodGet, "/metrics", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d: %s", rec.Code, body)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	samples, err := telemetry.ParseText(string(body))
+	if err != nil {
+		t.Fatalf("metrics output is not valid Prometheus text: %v\n%s", err, body)
+	}
+
+	// Request counts for all six endpoints.
+	for _, ep := range []string{"healthz", "topk", "score", "ppr", "update", "refresh"} {
+		key := `nrp_http_requests_total{endpoint="` + ep + `",code="200"}`
+		if samples[key] < 1 {
+			t.Errorf("missing request count for %s: %s = %v", ep, key, samples[key])
+		}
+	}
+	if samples[`nrp_http_requests_total{endpoint="topk",code="400"}`] != 1 {
+		t.Error("400 on topk not counted")
+	}
+	// Latency histogram: the p99 source. Two 200s plus one 400 on topk.
+	if got := samples[`nrp_http_request_duration_seconds_count{endpoint="topk"}`]; got != 3 {
+		t.Errorf("topk latency count = %v, want 3", got)
+	}
+	// Quiescent server: nothing in flight (the /metrics request itself is
+	// rendered before its own decrement, so it reports 1).
+	if got := samples[`nrp_http_inflight_requests`]; got != 1 {
+		t.Errorf("inflight during scrape = %v, want 1", got)
+	}
+	if got := samples[`nrp_http_draining`]; got != 0 {
+		t.Errorf("draining = %v, want 0", got)
+	}
+	// Index lifecycle: one update pending-then-refreshed, one swap.
+	if got := samples[`nrp_index_swaps_total`]; got != 1 {
+		t.Errorf("swaps = %v, want 1", got)
+	}
+	if got := samples[`nrp_index_pending_updates`]; got != 0 {
+		t.Errorf("pending updates = %v, want 0", got)
+	}
+	if _, ok := samples[`nrp_index_refresh_lag_seconds`]; !ok {
+		t.Error("refresh lag gauge missing")
+	}
+	if got := samples[`nrp_index_refreshes_total{mode="incremental"}`]; got != 1 {
+		t.Errorf("refreshes{incremental} = %v, want 1", got)
+	}
+	if got := samples[`nrp_index_refresh_duration_seconds_count`]; got != 1 {
+		t.Errorf("refresh duration count = %v, want 1", got)
+	}
+	// Batch sizes observed for the GET (1), the POST batch (3), and the
+	// bad-u GET (1, observed before the backend rejects it): 3 samples.
+	if got := samples[`nrp_topk_batch_size_count`]; got != 3 {
+		t.Errorf("topk batch size count = %v, want 3", got)
+	}
+	if got := samples[`nrp_index_nodes`]; got != 150 {
+		t.Errorf("index nodes = %v, want 150", got)
+	}
+	// Build info renders with value 1.
+	found := false
+	for k, v := range samples {
+		if strings.HasPrefix(k, "nrp_build_info{") && v == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("nrp_build_info missing")
+	}
+	if _, ok := samples[`nrp_uptime_seconds`]; !ok {
+		t.Error("uptime gauge missing")
+	}
+}
+
+func TestHealthzBuildInfo(t *testing.T) {
+	sv := testFullServer(t)
+	h := sv.Handler()
+	rec, body := doJSON(t, h, http.MethodGet, "/v1/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var hz HealthzResponse
+	mustUnmarshal(t, body, &hz)
+	if hz.Version == "" || hz.Revision == "" {
+		t.Fatalf("healthz missing build info: %+v", hz)
+	}
+	if !hz.PPR {
+		t.Fatalf("healthz must report ppr enabled: %+v", hz)
+	}
+	if hz.UptimeSeconds < 0 {
+		t.Fatalf("negative uptime: %+v", hz)
+	}
+}

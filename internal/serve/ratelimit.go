@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// maxTrackedClients bounds the limiter's memory: when the client table
+// grows past this, buckets idle long enough to have fully refilled are
+// dropped (rejoining at full burst, exactly as if they were retained).
+const maxTrackedClients = 4096
+
+// rateLimiter is a per-client token bucket: each client accrues `rate`
+// tokens per second up to `burst`, and each request spends one. Clients
+// are keyed by source IP.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = int(rate)
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     time.Now,
+		clients: make(map[string]*bucket),
+	}
+}
+
+// allow spends one token for key. When the bucket is empty it returns
+// ok=false and how long until the next token accrues (the Retry-After
+// hint).
+func (rl *rateLimiter) allow(key string) (retry time.Duration, ok bool) {
+	now := rl.now()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b := rl.clients[key]
+	if b == nil {
+		if len(rl.clients) >= maxTrackedClients {
+			rl.evictLocked(now)
+		}
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.clients[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * rl.rate
+		if b.tokens > rl.burst {
+			b.tokens = rl.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	return time.Duration((1 - b.tokens) / rl.rate * float64(time.Second)), false
+}
+
+// evictLocked drops buckets that have been idle long enough to refill
+// completely — forgetting them is behavior-preserving.
+func (rl *rateLimiter) evictLocked(now time.Time) {
+	full := time.Duration(rl.burst / rl.rate * float64(time.Second))
+	for k, b := range rl.clients {
+		if now.Sub(b.last) >= full {
+			delete(rl.clients, k)
+		}
+	}
+}

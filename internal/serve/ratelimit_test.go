@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestRateLimiterBucket drives the token bucket with a fake clock.
+func TestRateLimiterBucket(t *testing.T) {
+	rl := newRateLimiter(2, 2) // 2 rps, burst 2
+	now := time.Unix(1000, 0)
+	rl.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if _, ok := rl.allow("a"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	retry, ok := rl.allow("a")
+	if ok {
+		t.Fatal("request beyond burst allowed")
+	}
+	if retry <= 0 || retry > 500*time.Millisecond {
+		t.Fatalf("retry hint %v, want in (0, 500ms]", retry)
+	}
+	// Another client has its own bucket.
+	if _, ok := rl.allow("b"); !ok {
+		t.Fatal("independent client denied")
+	}
+	// Half a second refills one token at 2 rps.
+	now = now.Add(500 * time.Millisecond)
+	if _, ok := rl.allow("a"); !ok {
+		t.Fatal("refilled request denied")
+	}
+	if _, ok := rl.allow("a"); ok {
+		t.Fatal("second request after single-token refill allowed")
+	}
+}
+
+func TestRateLimiterEviction(t *testing.T) {
+	rl := newRateLimiter(1, 1)
+	now := time.Unix(1000, 0)
+	rl.now = func() time.Time { return now }
+	for i := 0; i < maxTrackedClients; i++ {
+		rl.allow(string(rune(i)) + "x")
+	}
+	if len(rl.clients) != maxTrackedClients {
+		t.Fatalf("tracked %d clients", len(rl.clients))
+	}
+	// All buckets fully refill after 1s; the next new client triggers a
+	// sweep that drops them.
+	now = now.Add(2 * time.Second)
+	rl.allow("fresh")
+	if len(rl.clients) != 1 {
+		t.Fatalf("eviction left %d clients, want 1", len(rl.clients))
+	}
+}
+
+// TestRateLimitOverHandler asserts the middleware's 429 path: over-limit
+// requests get Retry-After, exempt paths never shed, and the rejection
+// counter moves.
+func TestRateLimitOverHandler(t *testing.T) {
+	s, _ := testSearcher(t)
+	sv := NewServer(s, Config{RateLimit: 1, RateBurst: 1})
+	h := sv.Handler()
+
+	rec, body := doJSON(t, h, http.MethodGet, "/v1/topk?u=1&k=3", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("first request status %d: %s", rec.Code, body)
+	}
+	rec, body = doJSON(t, h, http.MethodGet, "/v1/topk?u=1&k=3", nil)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request status %d, want 429: %s", rec.Code, body)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Health checks and scrapes are never rate limited.
+	if rec, _ := doJSON(t, h, http.MethodGet, "/v1/healthz", nil); rec.Code != http.StatusOK {
+		t.Fatalf("healthz shed by limiter: %d", rec.Code)
+	}
+	if rec, _ := doJSON(t, h, http.MethodGet, "/metrics", nil); rec.Code != http.StatusOK {
+		t.Fatalf("metrics shed by limiter: %d", rec.Code)
+	}
+	if got := sv.metrics.rateLimited.Value(); got != 1 {
+		t.Fatalf("rate_limited_total = %v, want 1", got)
+	}
+}

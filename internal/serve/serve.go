@@ -30,10 +30,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"github.com/nrp-embed/nrp"
@@ -56,6 +58,25 @@ type Config struct {
 	// against the current graph snapshot, so they observe edges applied
 	// through /v1/update immediately — no /v1/refresh needed.
 	PPR *nrp.PPREngine
+	// Logger, when non-nil, receives one structured request line per call
+	// (endpoint, method, status, duration, k, client). Nil keeps the
+	// server quiet — the default in tests.
+	Logger *slog.Logger
+	// RateLimit, when > 0, enables per-client-IP token-bucket rate
+	// limiting at this many requests per second. Over-limit requests get
+	// 429 with a Retry-After header. /metrics and /v1/healthz are exempt.
+	RateLimit float64
+	// RateBurst is the token-bucket burst capacity (default
+	// max(1, RateLimit)). Only meaningful with RateLimit > 0.
+	RateBurst int
+	// Coalesce aggregates concurrent single-source /v1/topk calls into
+	// one TopKMany pass through the batched kernel, deduplicating hot
+	// sources — a throughput win under concurrent skewed traffic.
+	Coalesce bool
+	// CoalesceWindow is how long a lone round leader waits for concurrent
+	// callers to join its batch before scanning (default 250µs; negative
+	// disables the wait). Only meaningful with Coalesce.
+	CoalesceWindow time.Duration
 }
 
 const (
@@ -69,6 +90,11 @@ type Server struct {
 	searcher nrp.Searcher
 	live     *nrp.LiveIndex // nil for static servers
 	cfg      Config
+	metrics  *Metrics
+	limiter  *rateLimiter // nil unless cfg.RateLimit > 0
+	coal     *coalescer   // nil unless cfg.Coalesce
+	draining atomic.Bool
+	start    time.Time
 }
 
 // NewServer wraps a Searcher for HTTP serving. The update endpoints
@@ -80,7 +106,15 @@ func NewServer(s nrp.Searcher, cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = defaultMaxBatch
 	}
-	return &Server{searcher: s, cfg: cfg}
+	sv := &Server{searcher: s, cfg: cfg, start: time.Now()}
+	sv.metrics = newMetrics(sv)
+	if cfg.RateLimit > 0 {
+		sv.limiter = newRateLimiter(cfg.RateLimit, cfg.RateBurst)
+	}
+	if cfg.Coalesce {
+		sv.coal = newCoalescer(s, sv.metrics, cfg.CoalesceWindow)
+	}
+	return sv
 }
 
 // NewLiveServer wraps a LiveIndex for HTTP serving with the update and
@@ -89,10 +123,35 @@ func NewServer(s nrp.Searcher, cfg Config) *Server {
 func NewLiveServer(li *nrp.LiveIndex, cfg Config) *Server {
 	sv := NewServer(li, cfg)
 	sv.live = li
+	// Re-register so the live-index families (swaps, pending, lag) exist.
+	sv.metrics = newMetrics(sv)
+	if sv.coal != nil {
+		sv.coal = newCoalescer(li, sv.metrics, cfg.CoalesceWindow)
+	}
 	return sv
 }
 
-// Handler returns the route table.
+// Metrics exposes the server's telemetry surface so callers outside the
+// HTTP handlers (the background refresh loop in cmd/nrpserve) can record
+// events on the same registry /metrics serves.
+func (sv *Server) Metrics() *Metrics { return sv.metrics }
+
+// BeginDrain flips the server into drain mode: requests already in
+// flight run to completion, while new requests (except /v1/healthz and
+// /metrics) are rejected with 503 so a load balancer retries them on a
+// healthy replica.
+func (sv *Server) BeginDrain() {
+	if sv.draining.CompareAndSwap(false, true) {
+		sv.metrics.drainGauge.Set(1)
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (sv *Server) Draining() bool { return sv.draining.Load() }
+
+// Handler returns the route table wrapped in the observability and
+// protection middleware (metrics, request logging, drain gating, rate
+// limiting), plus the GET /metrics exposition endpoint.
 func (sv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", sv.handleHealthz)
@@ -101,15 +160,18 @@ func (sv *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/ppr", sv.handlePPR)
 	mux.HandleFunc("/v1/update", sv.handleUpdate)
 	mux.HandleFunc("/v1/refresh", sv.handleRefresh)
-	return mux
+	mux.Handle("/metrics", sv.metrics.reg.Handler())
+	return sv.instrument(mux)
 }
 
 // TopKRequest is the /v1/topk POST body. Exactly one of U or Us must be
-// set.
+// set. Stats opts into per-query backend work counters in the response
+// (the GET form uses the ?stats=1 query parameter).
 type TopKRequest struct {
-	U  *int  `json:"u,omitempty"`
-	Us []int `json:"us,omitempty"`
-	K  int   `json:"k"`
+	U     *int  `json:"u,omitempty"`
+	Us    []int `json:"us,omitempty"`
+	K     int   `json:"k"`
+	Stats bool  `json:"stats,omitempty"`
 }
 
 // NeighborJSON is one scored candidate.
@@ -126,11 +188,12 @@ type StatsJSON struct {
 	ElapsedUs int64 `json:"elapsed_us"`
 }
 
-// ResultJSON is one query's answer.
+// ResultJSON is one query's answer. Stats is present only when the
+// request asked for it (?stats=1 or "stats":true).
 type ResultJSON struct {
 	U         int            `json:"u"`
 	Neighbors []NeighborJSON `json:"neighbors"`
-	Stats     StatsJSON      `json:"stats"`
+	Stats     *StatsJSON     `json:"stats,omitempty"`
 }
 
 // TopKResponse is the /v1/topk response body.
@@ -155,12 +218,23 @@ type HealthzResponse struct {
 	Status  string `json:"status"`
 	Nodes   int    `json:"nodes"`
 	Backend string `json:"backend"`
+	// Version and Revision identify the running build (module version and
+	// VCS commit from runtime/debug.ReadBuildInfo; "unknown" when the
+	// binary was built without that metadata).
+	Version  string `json:"version"`
+	Revision string `json:"revision"`
+	// UptimeSeconds is the time since the Server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// PPR reports whether /v1/ppr is enabled on this deployment.
+	PPR bool `json:"ppr,omitempty"`
 	// Live reports whether the server accepts /v1/update and /v1/refresh.
 	Live bool `json:"live,omitempty"`
 	// PendingUpdates is the number of edge updates applied since the
 	// serving index was last refreshed. Always present on live servers
 	// (including the healthy 0), absent on static ones.
 	PendingUpdates *int `json:"pending_updates,omitempty"`
+	// Draining reports that the server is shedding new requests with 503.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // UpdateRequest is the /v1/update POST body: pairs of [source, target] to
@@ -202,10 +276,16 @@ func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	version, revision := buildInfo()
 	resp := HealthzResponse{
-		Status:  "ok",
-		Nodes:   sv.searcher.N(),
-		Backend: sv.cfg.Backend,
+		Status:        "ok",
+		Nodes:         sv.searcher.N(),
+		Backend:       sv.cfg.Backend,
+		Version:       version,
+		Revision:      revision,
+		UptimeSeconds: time.Since(sv.start).Seconds(),
+		PPR:           sv.cfg.PPR != nil,
+		Draining:      sv.draining.Load(),
 	}
 	if sv.live != nil {
 		resp.Live = true
@@ -292,6 +372,7 @@ func (sv *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 		writeQueryError(w, err)
 		return
 	}
+	sv.metrics.ObserveRefresh(st)
 	writeJSON(w, http.StatusOK, RefreshResponse{
 		Mode:          string(st.Mode),
 		WarmStart:     st.WarmStart,
@@ -322,6 +403,11 @@ func (sv *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 				writeError(w, http.StatusBadRequest, "query parameter k must be an integer")
 				return
 			}
+		}
+		switch r.URL.Query().Get("stats") {
+		case "", "0", "false":
+		default:
+			req.Stats = true
 		}
 	case http.MethodPost:
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -354,8 +440,35 @@ func (sv *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("k=%d exceeds limit %d", req.K, sv.cfg.MaxK))
 		return
 	}
+	if ri := infoFrom(r.Context()); ri != nil {
+		ri.k = req.K
+		ri.batch = len(us)
+	}
+	sv.metrics.batchSize.Observe(float64(len(us)))
 
-	results, err := sv.searcher.TopKMany(r.Context(), us, req.K)
+	var results []nrp.Result
+	var err error
+	if sv.coal != nil && len(us) == 1 {
+		// The coalescer batches this call with its concurrent neighbors,
+		// so validation the backend would do per-call must happen first:
+		// one bad request must not fail the round it rides in.
+		if req.K <= 0 {
+			writeQueryError(w, fmt.Errorf("%w: k=%d", nrp.ErrInvalidK, req.K))
+			return
+		}
+		if n := sv.searcher.N(); us[0] < 0 || us[0] >= n {
+			writeQueryError(w, fmt.Errorf("%w: u=%d not in [0, %d)", nrp.ErrNodeOutOfRange, us[0], n))
+			return
+		}
+		if ri := infoFrom(r.Context()); ri != nil {
+			ri.coalesced = true
+		}
+		var res nrp.Result
+		res, err = sv.coal.topK(r.Context(), us[0], req.K)
+		results = []nrp.Result{res}
+	} else {
+		results, err = sv.searcher.TopKMany(r.Context(), us, req.K)
+	}
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -365,12 +478,14 @@ func (sv *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		rj := ResultJSON{
 			U:         res.Source,
 			Neighbors: make([]NeighborJSON, len(res.Neighbors)),
-			Stats: StatsJSON{
+		}
+		if req.Stats {
+			rj.Stats = &StatsJSON{
 				Scanned:   res.Stats.Scanned,
 				Pruned:    res.Stats.Pruned,
 				Reranked:  res.Stats.Reranked,
 				ElapsedUs: res.Stats.Elapsed.Microseconds(),
-			},
+			}
 		}
 		for j, nb := range res.Neighbors {
 			rj.Neighbors[j] = NeighborJSON{Node: nb.Node, Score: nb.Score}
@@ -393,6 +508,9 @@ func (sv *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if len(req.Pairs) > sv.cfg.MaxBatch {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d pairs exceeds limit %d", len(req.Pairs), sv.cfg.MaxBatch))
 		return
+	}
+	if ri := infoFrom(r.Context()); ri != nil {
+		ri.batch = len(req.Pairs)
 	}
 	pairs := make([]nrp.Pair, len(req.Pairs))
 	for i, p := range req.Pairs {
@@ -462,6 +580,10 @@ func (sv *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("k=%d exceeds limit %d", req.K, sv.cfg.MaxK))
 		return
 	}
+	if ri := infoFrom(r.Context()); ri != nil {
+		ri.k = req.K
+		ri.batch = len(req.Seeds)
+	}
 	q := nrp.PPRQuery{Seeds: req.Seeds, K: req.K, Alpha: req.Alpha, Epsilon: req.Epsilon}
 	if sv.live != nil {
 		// The current RCU snapshot: PPR answers on the updated topology as
@@ -522,6 +644,18 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 // in-flight requests for up to drain before forcing connections closed.
 // It returns nil on a clean (or drained) shutdown.
 func Serve(ctx context.Context, ln net.Listener, h http.Handler, drain time.Duration) error {
+	return serveHTTP(ctx, ln, h, drain, nil)
+}
+
+// Serve runs sv's handler on ln until ctx is cancelled, then flips the
+// server into drain mode (new requests shed with 503, the drain gauge
+// raised) while in-flight requests run to completion, for up to drain
+// before forcing connections closed.
+func (sv *Server) Serve(ctx context.Context, ln net.Listener, drain time.Duration) error {
+	return serveHTTP(ctx, ln, sv.Handler(), drain, sv.BeginDrain)
+}
+
+func serveHTTP(ctx context.Context, ln net.Listener, h http.Handler, drain time.Duration, onDrain func()) error {
 	srv := &http.Server{
 		Handler: h,
 		// Detach request contexts from ctx so that cancelling ctx starts
@@ -535,6 +669,9 @@ func Serve(ctx context.Context, ln net.Listener, h http.Handler, drain time.Dura
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+	}
+	if onDrain != nil {
+		onDrain()
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()

@@ -87,8 +87,21 @@ func TestTopKGetAndPost(t *testing.T) {
 	if len(resp.Results) != 1 || resp.Results[0].U != 5 || len(resp.Results[0].Neighbors) != 3 {
 		t.Fatalf("GET response %+v", resp)
 	}
-	if resp.Results[0].Stats.Scanned == 0 {
-		t.Fatal("stats not populated")
+	if resp.Results[0].Stats != nil {
+		t.Fatal("stats present without ?stats=1")
+	}
+
+	// ?stats=1 opts into the per-query work counters.
+	rec, body = doJSON(t, h, http.MethodGet, "/v1/topk?u=5&k=3&stats=1", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET stats status %d: %s", rec.Code, body)
+	}
+	resp = TopKResponse{}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].Stats == nil || resp.Results[0].Stats.Scanned == 0 {
+		t.Fatalf("stats not populated with ?stats=1: %s", body)
 	}
 
 	rec, body = doJSON(t, h, http.MethodPost, "/v1/topk", TopKRequest{Us: []int{1, 2, 3}, K: 4})

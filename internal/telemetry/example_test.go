@@ -1,0 +1,47 @@
+package telemetry_test
+
+import (
+	"fmt"
+
+	"github.com/nrp-embed/nrp/internal/telemetry"
+)
+
+// Example shows the life of a metrics endpoint: register the families a
+// server cares about, record traffic as it happens, and expose the
+// registry over HTTP with Handler (mount it at GET /metrics). Here we
+// render the payload directly instead of starting a server.
+func Example() {
+	reg := telemetry.NewRegistry()
+
+	requests := reg.CounterVec("nrp_http_requests_total",
+		"HTTP requests by endpoint and status code.", "endpoint", "code")
+	latency := reg.HistogramVec("nrp_http_request_duration_seconds",
+		"Request latency.", []float64{0.001, 0.01, 0.1}, "endpoint")
+	inflight := reg.Gauge("nrp_http_inflight_requests",
+		"Requests currently being served.")
+
+	// A request arrives, is served in 2ms, and succeeds.
+	inflight.Inc()
+	requests.With("topk", "200").Inc()
+	latency.With("topk").Observe(0.002)
+	inflight.Dec()
+
+	fmt.Print(reg.String())
+	// In a server: mux.Handle("/metrics", reg.Handler())
+
+	// Output:
+	// # HELP nrp_http_requests_total HTTP requests by endpoint and status code.
+	// # TYPE nrp_http_requests_total counter
+	// nrp_http_requests_total{endpoint="topk",code="200"} 1
+	// # HELP nrp_http_request_duration_seconds Request latency.
+	// # TYPE nrp_http_request_duration_seconds histogram
+	// nrp_http_request_duration_seconds_bucket{endpoint="topk",le="0.001"} 0
+	// nrp_http_request_duration_seconds_bucket{endpoint="topk",le="0.01"} 1
+	// nrp_http_request_duration_seconds_bucket{endpoint="topk",le="0.1"} 1
+	// nrp_http_request_duration_seconds_bucket{endpoint="topk",le="+Inf"} 1
+	// nrp_http_request_duration_seconds_sum{endpoint="topk"} 0.002
+	// nrp_http_request_duration_seconds_count{endpoint="topk"} 1
+	// # HELP nrp_http_inflight_requests Requests currently being served.
+	// # TYPE nrp_http_inflight_requests gauge
+	// nrp_http_inflight_requests 0
+}

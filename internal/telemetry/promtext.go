@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Line shapes of the text exposition format, used by ParseText.
+var (
+	sampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$`)
+	helpRE   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+	typeRE   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+)
+
+// ParseText validates a Prometheus text-format payload and returns its
+// sample values keyed by `name{labels}` exactly as rendered. It checks
+// what a scraper checks: every line parses, each family's TYPE comes
+// before its samples, HELP appears at most once per family, no series
+// repeats, and histogram bucket counts are cumulative. It exists so the
+// serving tests can assert /metrics is genuinely scrapeable rather than
+// merely non-empty.
+func ParseText(payload string) (map[string]float64, error) {
+	samples := make(map[string]float64)
+	typed := make(map[string]string)
+	helped := make(map[string]bool)
+	var lastBucketKey string
+	var lastBucketVal float64
+	for i, line := range strings.Split(payload, "\n") {
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			m := helpRE.FindStringSubmatch(line)
+			if m == nil {
+				return nil, fmt.Errorf("line %d: malformed HELP: %q", i+1, line)
+			}
+			if helped[m[1]] {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %s", i+1, m[1])
+			}
+			helped[m[1]] = true
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			m := typeRE.FindStringSubmatch(line)
+			if m == nil {
+				return nil, fmt.Errorf("line %d: malformed TYPE: %q", i+1, line)
+			}
+			typed[m[1]] = m[2]
+			continue
+		case strings.HasPrefix(line, "#"):
+			return nil, fmt.Errorf("line %d: unexpected comment %q", i+1, line)
+		}
+		m := sampleRE.FindStringSubmatch(line)
+		if m == nil {
+			return nil, fmt.Errorf("line %d: malformed sample: %q", i+1, line)
+		}
+		name := m[1]
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if typed[name] == "" && typed[base] == "" {
+			return nil, fmt.Errorf("line %d: sample %q before its TYPE line", i+1, name)
+		}
+		v, err := strconv.ParseFloat(m[len(m)-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value in %q: %v", i+1, line, err)
+		}
+		key := strings.SplitN(line, " ", 2)[0]
+		if _, dup := samples[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %q", i+1, key)
+		}
+		samples[key] = v
+		if strings.HasSuffix(name, "_bucket") {
+			bk := name + stripLe(line)
+			if bk == lastBucketKey && v < lastBucketVal {
+				return nil, fmt.Errorf("line %d: bucket counts not cumulative: %q", i+1, line)
+			}
+			lastBucketKey, lastBucketVal = bk, v
+		}
+	}
+	return samples, nil
+}
+
+// stripLe drops the le="..." label so consecutive buckets of one series
+// compare under the same monotonicity key.
+func stripLe(line string) string {
+	labels := ""
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		labels = line[i : strings.IndexByte(line, '}')+1]
+	}
+	parts := strings.Split(strings.Trim(labels, "{}"), ",")
+	kept := parts[:0]
+	for _, p := range parts {
+		if !strings.HasPrefix(p, `le="`) && p != "" {
+			kept = append(kept, p)
+		}
+	}
+	return strings.Join(kept, ",")
+}

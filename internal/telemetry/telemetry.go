@@ -1,0 +1,503 @@
+// Package telemetry is a dependency-free metrics library exposing the
+// Prometheus text exposition format (version 0.0.4): counters, gauges
+// and fixed-bucket histograms with lock-free atomic hot paths, plus
+// labelled vector variants and scrape-time function metrics.
+//
+// It exists so the serving tier (internal/serve, cmd/nrpserve) can
+// publish QPS, error and latency series on GET /metrics without pulling
+// the Prometheus client library into a zero-dependency module. The
+// subset implemented is exactly what a Prometheus (or VictoriaMetrics,
+// or `promtool check metrics`) scraper needs:
+//
+//	# HELP nrp_http_requests_total Total HTTP requests.
+//	# TYPE nrp_http_requests_total counter
+//	nrp_http_requests_total{code="200",endpoint="topk"} 42
+//
+// Metrics register once on a Registry (registration takes a lock, may
+// panic on programmer error — duplicate names, bad label counts — and
+// is meant for construction time); observation paths are wait-free
+// atomics. A labelled series is resolved with With(values...), which
+// callers on hot paths should do once up front and cache.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// nameRE validates metric and label names against the Prometheus data
+// model ([a-zA-Z_:][a-zA-Z0-9_:]* for metrics, no colons for labels).
+var (
+	nameRE  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomicFloat
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Add adds delta, which must be non-negative; negative deltas are
+// dropped (a counter never goes down).
+func (c *Counter) Add(delta float64) {
+	if delta > 0 {
+		c.v.add(delta)
+	}
+}
+
+// Value reports the current count.
+func (c *Counter) Value() float64 { return c.v.load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomicFloat
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v.store(v) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.add(-1) }
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta float64) { g.v.add(delta) }
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 { return g.v.load() }
+
+// atomicFloat is a float64 with atomic add/load via CAS on the bit
+// pattern, so histograms can sum observations without a lock.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (a *atomicFloat) load() float64   { return math.Float64frombits(a.bits.Load()) }
+func (a *atomicFloat) store(v float64) { a.bits.Store(math.Float64bits(v)) }
+func (a *atomicFloat) add(delta float64) {
+	for {
+		old := a.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if a.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Histogram counts observations into fixed cumulative buckets. Observe
+// is wait-free: one atomic increment on the owning bucket plus a CAS
+// loop on the running sum.
+type Histogram struct {
+	// bounds are the inclusive upper bounds of each bucket, strictly
+	// increasing; an implicit +Inf bucket follows.
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, non-cumulative per bucket
+	sum    atomicFloat
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v; most latency observations
+	// land in the first few buckets, but the search is branch-cheap either
+	// way (len is small and fixed).
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.add(v)
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum reports the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket
+// counts with linear interpolation inside the winning bucket, the same
+// estimate PromQL's histogram_quantile computes. Observations in the
+// +Inf bucket clamp to the largest finite bound. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen float64
+	for i, bound := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if seen+c >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			if c == 0 {
+				return bound
+			}
+			frac := (rank - seen) / c
+			return lower + (bound-lower)*frac
+		}
+		seen += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// DefBuckets are the default latency buckets in seconds: 100µs to 10s,
+// roughly geometric, matching the range an in-process query server
+// spans from a cache-warm HNSW hit to a drain-window worst case.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets are power-of-two buckets for batch-size distributions.
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// metricKind is the TYPE line of a family.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labelled instance inside a family.
+type series struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+	fn          func() float64 // scrape-time value (CounterFunc/GaugeFunc)
+}
+
+// family is one named metric with its help text and all label
+// instantiations.
+type family struct {
+	name       string
+	help       string
+	kind       metricKind
+	labelNames []string
+	bounds     []float64 // histogram families only
+
+	mu     sync.RWMutex
+	series map[string]*series
+	order  []string // insertion-ordered keys; output sorts, this bounds it
+}
+
+// Registry holds metric families and renders them in the Prometheus
+// text format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// register adds a family, panicking on invalid or duplicate names —
+// metric registration is construction-time code, and a silently dropped
+// metric is worse than a crash at boot.
+func (r *Registry) register(name, help string, kind metricKind, labelNames []string, bounds []float64) *family {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labelNames {
+		if !labelRE.MatchString(l) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q on %q", l, name))
+		}
+	}
+	if kind == kindHistogram {
+		if len(bounds) == 0 {
+			panic(fmt.Sprintf("telemetry: histogram %q needs at least one bucket", name))
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("telemetry: histogram %q buckets not strictly increasing", name))
+			}
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	f := &family{name: name, help: help, kind: kind, labelNames: labelNames,
+		bounds: bounds, series: make(map[string]*series)}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// get returns the series for the given label values, creating it with
+// mk on first use. Reads take the fast RLock path.
+func (f *family) get(labelValues []string, mk func() *series) *series {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("telemetry: metric %q wants %d label values, got %d",
+			f.name, len(f.labelNames), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	f.mu.RLock()
+	s, ok := f.series[key]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok = f.series[key]; ok {
+		return s
+	}
+	s = mk()
+	s.labelValues = append([]string(nil), labelValues...)
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// Counter registers an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter, nil, nil)
+	return f.get(nil, func() *series { return &series{counter: &Counter{}} }).counter
+}
+
+// Gauge registers an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge, nil, nil)
+	return f.get(nil, func() *series { return &series{gauge: &Gauge{}} }).gauge
+}
+
+// Histogram registers an unlabelled histogram with the given bucket
+// upper bounds (strictly increasing; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, kindHistogram, nil, buckets)
+	return f.get(nil, func() *series { return &series{hist: newHistogram(buckets)} }).hist
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time —
+// for values the process already tracks elsewhere (pending updates,
+// uptime, lag).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindGauge, nil, nil)
+	f.get(nil, func() *series { return &series{fn: fn} })
+}
+
+// CounterFunc registers a counter whose value is computed at scrape
+// time; fn must be monotonically non-decreasing.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindCounter, nil, nil)
+	f.get(nil, func() *series { return &series{fn: fn} })
+}
+
+// ConstGauge registers a gauge fixed at 1 with constant labels — the
+// build_info idiom, where the information lives in the label values.
+func (r *Registry) ConstGauge(name, help string, labelNames, labelValues []string) {
+	f := r.register(name, help, kindGauge, labelNames, nil)
+	g := f.get(labelValues, func() *series { return &series{gauge: &Gauge{}} }).gauge
+	g.Set(1)
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, kindCounter, labelNames, nil)}
+}
+
+// With returns (creating on first use) the counter for the given label
+// values, in registration order of the label names.
+func (cv *CounterVec) With(labelValues ...string) *Counter {
+	return cv.f.get(labelValues, func() *series { return &series{counter: &Counter{}} }).counter
+}
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, kindGauge, labelNames, nil)}
+}
+
+// With returns (creating on first use) the gauge for the label values.
+func (gv *GaugeVec) With(labelValues ...string) *Gauge {
+	return gv.f.get(labelValues, func() *series { return &series{gauge: &Gauge{}} }).gauge
+}
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labelled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labelNames, buckets)}
+}
+
+// With returns (creating on first use) the histogram for the label
+// values.
+func (hv *HistogramVec) With(labelValues ...string) *Histogram {
+	return hv.f.get(labelValues, func() *series { return &series{hist: newHistogram(hv.f.bounds)} }).hist
+}
+
+// WritePrometheus renders every registered family in the text
+// exposition format to w, families in registration order, series
+// within a family sorted by label values so scrapes are deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	_, err := io.WriteString(w, r.String())
+	return err
+}
+
+// String renders the registry to a string (the scrape payload).
+func (r *Registry) String() string {
+	var b strings.Builder
+	r.mu.RLock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.RUnlock()
+	for _, f := range fams {
+		f.write(&b)
+	}
+	return b.String()
+}
+
+// Handler serves the registry as GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(r.String()))
+	})
+}
+
+func (f *family) write(w *strings.Builder) {
+	f.mu.RLock()
+	keys := append([]string(nil), f.order...)
+	sort.Strings(keys)
+	sers := make([]*series, len(keys))
+	for i, k := range keys {
+		sers[i] = f.series[k]
+	}
+	f.mu.RUnlock()
+	if len(sers) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	for _, s := range sers {
+		switch {
+		case s.fn != nil:
+			writeSample(w, f.name, f.labelNames, s.labelValues, "", "", s.fn())
+		case s.counter != nil:
+			writeSample(w, f.name, f.labelNames, s.labelValues, "", "", s.counter.Value())
+		case s.gauge != nil:
+			writeSample(w, f.name, f.labelNames, s.labelValues, "", "", s.gauge.Value())
+		case s.hist != nil:
+			// Cumulative buckets; snapshot counts first so sum/count stay
+			// consistent with the bucket lines within one scrape.
+			var cum uint64
+			for i, bound := range s.hist.bounds {
+				cum += s.hist.counts[i].Load()
+				writeSample(w, f.name+"_bucket", f.labelNames, s.labelValues,
+					"le", formatFloat(bound), float64(cum))
+			}
+			cum += s.hist.counts[len(s.hist.bounds)].Load()
+			writeSample(w, f.name+"_bucket", f.labelNames, s.labelValues, "le", "+Inf", float64(cum))
+			writeSample(w, f.name+"_sum", f.labelNames, s.labelValues, "", "", s.hist.Sum())
+			writeSample(w, f.name+"_count", f.labelNames, s.labelValues, "", "", float64(cum))
+		}
+	}
+}
+
+// writeSample emits one `name{labels} value` line; extraName/extraValue
+// append the histogram "le" label after the family's own labels.
+func writeSample(w *strings.Builder, name string, labelNames, labelValues []string, extraName, extraValue string, v float64) {
+	w.WriteString(name)
+	if len(labelNames) > 0 || extraName != "" {
+		w.WriteByte('{')
+		for i, ln := range labelNames {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(ln)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(labelValues[i]))
+			w.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labelNames) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(extraName)
+			w.WriteString(`="`)
+			w.WriteString(extraValue)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// formatFloat renders a sample value: integral values without an
+// exponent (counters stay readable), everything else in shortest form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

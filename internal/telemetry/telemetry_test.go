@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	g := r.Gauge("test_gauge", "a gauge")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-4) // dropped: counters never go down
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %v, want 4", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // first bucket
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.05) // second bucket
+	}
+	h.Observe(5) // +Inf bucket
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	wantSum := 90*0.005 + 9*0.05 + 5
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+	// p50 lands mid-first-bucket, p99 at the top of the second.
+	if q := h.Quantile(0.5); q <= 0 || q > 0.01 {
+		t.Fatalf("p50 = %v, want in (0, 0.01]", q)
+	}
+	if q := h.Quantile(0.99); q <= 0.01 || q > 0.1 {
+		t.Fatalf("p99 = %v, want in (0.01, 0.1]", q)
+	}
+	// +Inf observations clamp the estimate to the largest finite bound.
+	if q := h.Quantile(1); q != 1 {
+		t.Fatalf("p100 = %v, want clamp to 1", q)
+	}
+	empty := r.Histogram("empty_seconds", "none", []float64{1})
+	if q := empty.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestVectorsResolveAndCache(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("req_total", "requests", "endpoint", "code")
+	cv.With("topk", "200").Inc()
+	cv.With("topk", "200").Inc()
+	cv.With("topk", "400").Inc()
+	if a, b := cv.With("topk", "200"), cv.With("topk", "200"); a != b {
+		t.Fatal("With must return the cached series")
+	}
+	if got := cv.With("topk", "200").Value(); got != 2 {
+		t.Fatalf("series value = %v, want 2", got)
+	}
+	hv := r.HistogramVec("lat_seconds", "latency", []float64{0.1, 1}, "endpoint")
+	hv.With("topk").Observe(0.05)
+	if got := hv.With("topk").Count(); got != 1 {
+		t.Fatalf("hist count = %d, want 1", got)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"bad metric name", func(r *Registry) { r.Counter("0bad", "x") }},
+		{"bad label name", func(r *Registry) { r.CounterVec("ok_total", "x", "0bad") }},
+		{"duplicate name", func(r *Registry) { r.Counter("dup", "x"); r.Gauge("dup", "y") }},
+		{"empty buckets", func(r *Registry) { r.Histogram("h", "x", nil) }},
+		{"unsorted buckets", func(r *Registry) { r.Histogram("h", "x", []float64{1, 1}) }},
+		{"label arity", func(r *Registry) { r.CounterVec("v_total", "x", "a").With("1", "2") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "x")
+	h := r.Histogram("h_seconds", "x", DefBuckets)
+	g := r.Gauge("g", "x")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(float64(i%100) / 1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %v, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Fatalf("gauge = %v, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("hist count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+// --- exposition-format validation ----------------------------------------
+
+// parsePrometheus wraps ParseText with test failure semantics.
+func parsePrometheus(t *testing.T, payload string) map[string]float64 {
+	t.Helper()
+	samples, err := ParseText(payload)
+	if err != nil {
+		t.Fatalf("%v\npayload:\n%s", err, payload)
+	}
+	return samples
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"no_type_line 1",
+		"# TYPE x counter\nx{unclosed 1",
+		"# TYPE x counter\nx oops",
+		"# TYPE x histogram\nx_bucket{le=\"1\"} 5\nx_bucket{le=\"+Inf\"} 3",
+		"# HELP x one\n# HELP x twice\n# TYPE x counter\nx 1",
+		"# TYPE x counter\nx 1\nx 2",
+	} {
+		if _, err := ParseText(bad); err == nil {
+			t.Fatalf("payload accepted: %q", bad)
+		}
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("nrp_requests_total", "Total requests.", "endpoint", "code")
+	cv.With("topk", "200").Add(5)
+	cv.With("score", "400").Inc()
+	r.Gauge("nrp_inflight", "In-flight requests.").Set(3)
+	h := r.HistogramVec("nrp_latency_seconds", "Latency.", []float64{0.01, 0.1}, "endpoint")
+	h.With("topk").Observe(0.005)
+	h.With("topk").Observe(0.05)
+	h.With("topk").Observe(7)
+	r.GaugeFunc("nrp_uptime_seconds", "Uptime.", func() float64 { return 12.5 })
+	r.CounterFunc("nrp_swaps_total", "Swaps.", func() float64 { return 2 })
+	r.ConstGauge("nrp_build_info", "Build info.", []string{"version", "revision"}, []string{"v1.2.3", "abc\"def"})
+
+	payload := r.String()
+	samples := parsePrometheus(t, payload)
+
+	want := map[string]float64{
+		`nrp_requests_total{endpoint="topk",code="200"}`:  5,
+		`nrp_requests_total{endpoint="score",code="400"}`: 1,
+		`nrp_inflight`: 3,
+		`nrp_latency_seconds_bucket{endpoint="topk",le="0.01"}`: 1,
+		`nrp_latency_seconds_bucket{endpoint="topk",le="0.1"}`:  2,
+		`nrp_latency_seconds_bucket{endpoint="topk",le="+Inf"}`: 3,
+		`nrp_latency_seconds_count{endpoint="topk"}`:            3,
+		`nrp_uptime_seconds`: 12.5,
+		`nrp_swaps_total`:    2,
+		`nrp_build_info{version="v1.2.3",revision="abc\"def"}`: 1,
+	}
+	for k, v := range want {
+		got, ok := samples[k]
+		if !ok {
+			t.Fatalf("missing sample %q in:\n%s", k, payload)
+		}
+		if got != v {
+			t.Fatalf("sample %q = %v, want %v", k, got, v)
+		}
+	}
+	if sum := samples[`nrp_latency_seconds_sum{endpoint="topk"}`]; math.Abs(sum-7.055) > 1e-9 {
+		t.Fatalf("histogram sum = %v, want 7.055", sum)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").Inc()
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	var buf strings.Builder
+	if _, err := fmt.Fprint(&buf, r.String()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "x_total 1") {
+		t.Fatalf("payload %q", buf.String())
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL, nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d", resp2.StatusCode)
+	}
+}

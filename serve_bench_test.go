@@ -1,0 +1,152 @@
+package nrp_test
+
+// Serving-layer load benchmark: drives the HTTP stack end to end with
+// internal/loadgen and records the request-coalescing win plus
+// client-observed latency quantiles to BENCH_serve.json for the bench
+// gate. It lives in package nrp_test (same test binary, so CI's
+// root-package bench run picks it up) because it imports internal/serve,
+// which package nrp itself cannot.
+//
+// The fixture mirrors bench_test.go's servingEmbedding: same seed, size,
+// and power-law hub spectrum, rebuilt here via internal/core because the
+// helper is unexported across the package boundary.
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/nrp-embed/nrp"
+	"github.com/nrp-embed/nrp/internal/core"
+	"github.com/nrp-embed/nrp/internal/loadgen"
+	"github.com/nrp-embed/nrp/internal/matrix"
+	"github.com/nrp-embed/nrp/internal/serve"
+)
+
+const (
+	serveBenchN    = 100_000
+	serveBenchDim  = 64
+	serveBenchK    = 10
+	serveBenchConc = 16
+	// serveBenchZipf skews sources hard enough that concurrent workers
+	// collide on hot nodes — the regime coalescing's dedup is built for
+	// (and the realistic one: serving traffic on hub-heavy graphs).
+	serveBenchZipf  = 1.5
+	serveBenchPhase = 2 * time.Second
+)
+
+// serveBenchEmbedding reconstructs bench_test.go's serving fixture:
+// Gaussian factors with Y's row norms decaying as a power law.
+func serveBenchEmbedding() *core.Embedding {
+	rng := rand.New(rand.NewSource(42))
+	emb := &core.Embedding{
+		X: matrix.GaussianDense(serveBenchN, serveBenchDim, rng),
+		Y: matrix.GaussianDense(serveBenchN, serveBenchDim, rng),
+	}
+	for v, rank := range rng.Perm(serveBenchN) {
+		emb.Y.ScaleRow(v, math.Pow(1+float64(rank), -0.5))
+	}
+	return emb
+}
+
+// serveBenchRecord is the BENCH_serve.json schema consumed by
+// internal/benchgate.
+type serveBenchRecord struct {
+	N               int                              `json:"n"`
+	Dim             int                              `json:"dim"`
+	K               int                              `json:"k"`
+	Concurrency     int                              `json:"concurrency"`
+	ZipfS           float64                          `json:"zipf_s"`
+	PhaseSec        float64                          `json:"phase_sec"`
+	DirectQPS       float64                          `json:"direct_qps"`
+	CoalescedQPS    float64                          `json:"coalesced_qps"`
+	CoalesceSpeedup float64                          `json:"coalesce_speedup"`
+	MixedQPS        float64                          `json:"mixed_qps"`
+	Errors5xx       int64                            `json:"errors_5xx"`
+	Endpoints       map[string]loadgen.EndpointStats `json:"endpoints"`
+}
+
+// runServePhase boots a server with the given config and drives one load
+// phase against it.
+func runServePhase(b *testing.B, s nrp.Searcher, cfg serve.Config, lcfg loadgen.Config) *loadgen.Report {
+	b.Helper()
+	ts := httptest.NewServer(serve.NewServer(s, cfg).Handler())
+	defer ts.Close()
+	lcfg.BaseURL = ts.URL
+	report, err := loadgen.Run(context.Background(), lcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if report.Errors5xx > 0 || report.TransportErrors > 0 {
+		b.Fatalf("load phase saw %d 5xx / %d transport errors", report.Errors5xx, report.TransportErrors)
+	}
+	return report
+}
+
+// BenchmarkServeLoad measures the HTTP serving stack under concurrent
+// Zipf-skewed load, three phases over the same quantized index: single-u
+// /v1/topk without coalescing, the same traffic with coalescing (the
+// gated speedup), then a mixed topk+score workload for the latency
+// quantile record. Writes BENCH_serve.json itself — TestMain lives in
+// package nrp and cannot see this phase structure.
+func BenchmarkServeLoad(b *testing.B) {
+	s, err := nrp.BuildIndex(serveBenchEmbedding(), nrp.WithBackend(nrp.BackendQuantized))
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := loadgen.Config{
+		Duration:    serveBenchPhase,
+		Concurrency: serveBenchConc,
+		K:           serveBenchK,
+		Mix:         loadgen.Mix{TopK: 1},
+		ZipfS:       serveBenchZipf,
+		Seed:        42,
+	}
+
+	b.ResetTimer()
+	direct := runServePhase(b, s, serve.Config{Backend: "quantized"}, base)
+	coalesced := runServePhase(b, s, serve.Config{Backend: "quantized", Coalesce: true}, base)
+
+	mixedCfg := base
+	mixedCfg.Mix = loadgen.Mix{TopK: 0.8, Score: 0.2}
+	mixed := runServePhase(b, s, serve.Config{Backend: "quantized", Coalesce: true}, mixedCfg)
+	b.StopTimer()
+
+	speedup := coalesced.AchievedQPS / direct.AchievedQPS
+	rec := serveBenchRecord{
+		N:               serveBenchN,
+		Dim:             serveBenchDim,
+		K:               serveBenchK,
+		Concurrency:     serveBenchConc,
+		ZipfS:           serveBenchZipf,
+		PhaseSec:        serveBenchPhase.Seconds(),
+		DirectQPS:       direct.AchievedQPS,
+		CoalescedQPS:    coalesced.AchievedQPS,
+		CoalesceSpeedup: speedup,
+		MixedQPS:        mixed.AchievedQPS,
+		Errors5xx:       direct.Errors5xx + coalesced.Errors5xx + mixed.Errors5xx,
+		Endpoints:       make(map[string]loadgen.EndpointStats),
+	}
+	for name, ep := range mixed.Endpoints {
+		rec.Endpoints[name] = *ep
+	}
+	raw, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(raw, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportMetric(direct.AchievedQPS, "direct-qps")
+	b.ReportMetric(coalesced.AchievedQPS, "coalesced-qps")
+	b.ReportMetric(speedup, "coalesce-x")
+	b.Logf("direct %.0f qps, coalesced %.0f qps (%.2fx), mixed %.0f qps; topk p99 %v",
+		direct.AchievedQPS, coalesced.AchievedQPS, speedup, mixed.AchievedQPS,
+		time.Duration(mixed.Endpoints["topk"].P99Us)*time.Microsecond)
+}
