@@ -761,15 +761,18 @@ const (
 )
 
 type buildBenchRecord struct {
-	N          int     `json:"n"`
-	M          int     `json:"m"`
-	Dim        int     `json:"dim"`
-	Threads    int     `json:"threads"`
-	SerialMs   float64 `json:"serial_ms"`
-	ParallelMs float64 `json:"parallel_ms"`
-	Speedup    float64 `json:"speedup"`
-	AUCSerial  float64 `json:"auc_serial"`
-	AUCThreads float64 `json:"auc_parallel"`
+	N           int     `json:"n"`
+	M           int     `json:"m"`
+	Dim         int     `json:"dim"`
+	Threads     int     `json:"threads"`
+	SerialMs    float64 `json:"serial_ms"`
+	ParallelMs  float64 `json:"parallel_ms"`
+	Speedup     float64 `json:"speedup"`
+	AUCSerial   float64 `json:"auc_serial"`
+	AUCThreads  float64 `json:"auc_parallel"`
+	ForaMs      float64 `json:"fora_ms"`
+	ForaSpeedup float64 `json:"fora_speedup"`
+	AUCFora     float64 `json:"auc_fora"`
 }
 
 var (
@@ -825,11 +828,23 @@ func BenchmarkEmbedBuild(b *testing.B) {
 		}
 		parElapsed := time.Since(parStart)
 
+		foraStart := time.Now()
+		embFora, _, err := core.NRPCtx(ctx, split.Train, opt,
+			core.WithThreads(0), core.WithEstimator(core.EstimatorFORA))
+		if err != nil {
+			b.Fatal(err)
+		}
+		foraElapsed := time.Since(foraStart)
+
 		aucSerial, err := eval.LinkPredictionAUC(embSerial, split)
 		if err != nil {
 			b.Fatal(err)
 		}
 		aucPar, err := eval.LinkPredictionAUC(embPar, split)
+		if err != nil {
+			b.Fatal(err)
+		}
+		aucFora, err := eval.LinkPredictionAUC(embFora, split)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -841,13 +856,16 @@ func BenchmarkEmbedBuild(b *testing.B) {
 				ParallelMs: float64(parElapsed.Microseconds()) / 1000,
 				Speedup:    serialElapsed.Seconds() / parElapsed.Seconds(),
 				AUCSerial:  aucSerial, AUCThreads: aucPar,
+				ForaMs:      float64(foraElapsed.Microseconds()) / 1000,
+				ForaSpeedup: parElapsed.Seconds() / foraElapsed.Seconds(),
+				AUCFora:     aucFora,
 			}
 			buildBenchMu.Lock()
 			buildBenchRec = rec
 			buildBenchMu.Unlock()
-			fmt.Printf("\nembed build (n=%d, m=%d, k=%d): 1 thread %.0fms  %d threads %.0fms  speedup %.1fx  AUC serial=%.4f parallel=%.4f\n",
+			fmt.Printf("\nembed build (n=%d, m=%d, k=%d): 1 thread %.0fms  %d threads %.0fms  speedup %.1fx  fora %.0fms (%.1fx vs parallel push)  AUC serial=%.4f parallel=%.4f fora=%.4f\n",
 				buildBenchN, buildBenchM, buildBenchDim, rec.SerialMs, threads, rec.ParallelMs,
-				rec.Speedup, aucSerial, aucPar)
+				rec.Speedup, rec.ForaMs, rec.ForaSpeedup, aucSerial, aucPar, aucFora)
 		}
 	}
 }

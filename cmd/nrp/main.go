@@ -6,7 +6,7 @@
 //
 //	nrp -input graph.txt -output emb.bin [-directed] [-method nrp|approxppr]
 //	    [-k 128] [-alpha 0.15] [-l1 20] [-l2 10] [-eps 0.2] [-lambda 10] [-seed 1]
-//	    [-progress] [-threads 0]
+//	    [-progress] [-threads 0] [-estimator push|fora]
 //	nrp index -embedding emb.bin -output index.bin [-backend exact|quantized|pruned|hnsw]
 //	    [-shards 0] [-rerank 4] [-include-self] [-threads 0]
 //	    [-hnsw-m 16] [-hnsw-efc 200] [-hnsw-seed 1] [-hnsw-quant]
@@ -347,19 +347,20 @@ func runConvert(ctx context.Context, args []string) error {
 func runEmbed(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("nrp", flag.ContinueOnError)
 	var (
-		input    = fs.String("input", "", "edge-list file (required)")
-		output   = fs.String("output", "", "output embedding file (required)")
-		directed = fs.Bool("directed", false, "treat edges as directed")
-		method   = fs.String("method", "nrp", "embedding method: nrp or approxppr")
-		k        = fs.Int("k", 128, "embedding dimensionality (even)")
-		alpha    = fs.Float64("alpha", 0.15, "random walk decay factor α")
-		l1       = fs.Int("l1", 20, "PPR truncation order ℓ1")
-		l2       = fs.Int("l2", 10, "reweighting epochs ℓ2")
-		eps      = fs.Float64("eps", 0.2, "BKSVD error threshold ε")
-		lambda   = fs.Float64("lambda", 10, "reweighting regularizer λ")
-		seed     = fs.Int64("seed", 1, "random seed")
-		progress = fs.Bool("progress", false, "log per-phase progress to stderr")
-		threads  = fs.Int("threads", 0, "worker threads for the compute engine (0 = all cores)")
+		input     = fs.String("input", "", "edge-list file (required)")
+		output    = fs.String("output", "", "output embedding file (required)")
+		directed  = fs.Bool("directed", false, "treat edges as directed")
+		method    = fs.String("method", "nrp", "embedding method: nrp or approxppr")
+		k         = fs.Int("k", 128, "embedding dimensionality (even)")
+		alpha     = fs.Float64("alpha", 0.15, "random walk decay factor α")
+		l1        = fs.Int("l1", 20, "PPR truncation order ℓ1")
+		l2        = fs.Int("l2", 10, "reweighting epochs ℓ2")
+		eps       = fs.Float64("eps", 0.2, "BKSVD error threshold ε")
+		lambda    = fs.Float64("lambda", 10, "reweighting regularizer λ")
+		seed      = fs.Int64("seed", 1, "random seed")
+		progress  = fs.Bool("progress", false, "log per-phase progress to stderr")
+		threads   = fs.Int("threads", 0, "worker threads for the compute engine (0 = all cores)")
+		estimator = fs.String("estimator", "", "approximate-PPR backend: push (default) or fora")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -381,6 +382,10 @@ func runEmbed(ctx context.Context, args []string) error {
 	if err := opt.Validate(); err != nil {
 		return err
 	}
+	est, err := nrp.ParseEstimator(*estimator)
+	if err != nil {
+		return err
+	}
 
 	loadStart := time.Now()
 	g, graphCloser, err := nrp.OpenGraph(*input, *directed)
@@ -390,7 +395,7 @@ func runEmbed(ctx context.Context, args []string) error {
 	defer graphCloser.Close()
 	fmt.Fprintf(os.Stderr, "loaded %d nodes, %d edges in %v\n", g.N, g.NumEdges, time.Since(loadStart).Round(time.Millisecond))
 
-	runOpts := []nrp.RunOption{nrp.WithThreads(*threads)}
+	runOpts := []nrp.RunOption{nrp.WithThreads(*threads), nrp.WithEstimator(est)}
 	if *progress {
 		runOpts = append(runOpts, nrp.WithProgress(func(ev nrp.ProgressEvent) {
 			fmt.Fprintf(os.Stderr, "  [%v] %s %d/%d\n", ev.Elapsed.Round(time.Millisecond), ev.Phase, ev.Step, ev.Total)

@@ -305,6 +305,15 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Keep indexed PPR queries honest under live edge updates: mark
+		// walk-index rows stale as update batches land, so stale starts
+		// fall back to live walks until the lazy repair re-walks them.
+		if idx := pprEngine.Index(); idx != nil {
+			idx.EnableMaintenance()
+			dyn.SetWalkInvalidator(idx)
+			logger.Info("walk index maintenance enabled",
+				"walks_per_node", idx.WalksPerNode())
+		}
 	default:
 		backend, err := nrp.ParseBackend(*backendName)
 		if err != nil {

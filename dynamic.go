@@ -67,6 +67,13 @@ const (
 	RefreshedSkipped = dynamic.ModeSkipped
 )
 
+// WalkInvalidator receives the nodes whose out-neighborhoods changed in
+// an applied update batch. Register one with
+// DynamicEmbedding.SetWalkInvalidator to keep a FORA+ walk index honest
+// under live updates — a maintained WalkIndex (see
+// WalkIndex.EnableMaintenance) satisfies the interface.
+type WalkInvalidator = dynamic.WalkInvalidator
+
 // DynamicEmbedding maintains an NRP embedding under batched edge
 // insertions and deletions — the paper's evolving-graph workload (VK and
 // Digg snapshots, Table 4 / Fig 9) served live instead of re-embedded

@@ -1,0 +1,53 @@
+package nrp_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/nrp-embed/nrp"
+)
+
+// ExampleWithEstimator builds the same embedding twice, once per
+// approximate-PPR backend: the default backward-push scheme (Algorithm 1
+// of the paper) and the FORA sampling estimator, which shares one walk
+// index across all source rows and stops each row early once its top-k
+// entries are resolved. The two backends return different (not
+// bit-comparable) factor pairs that agree on downstream task quality;
+// the FORA path is the faster choice on large graphs, the push path the
+// reference protocol.
+func ExampleWithEstimator() {
+	g, err := nrp.GenSBM(nrp.SBMConfig{N: 600, M: 3000, Communities: 4, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := nrp.DefaultOptions()
+	opt.Dim = 16
+
+	push, _, err := nrp.EmbedCtx(context.Background(), g, opt,
+		nrp.WithEstimator(nrp.EstimatorPush))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fora, _, err := nrp.EmbedCtx(context.Background(), g, opt,
+		nrp.WithEstimator(nrp.EstimatorFORA),
+		nrp.WithEstimatorTopK(48)) // entries kept per PPR row (FORA only)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Dim() is the per-side width: Options.Dim covers both the forward
+	// and backward halves of the factorization.
+	fmt.Println("push:", push.N(), "nodes ×", push.Dim(), "dims per side")
+	fmt.Println("fora:", fora.N(), "nodes ×", fora.Dim(), "dims per side")
+
+	// The estimator name round-trips through the CLI flag parser.
+	est, err := nrp.ParseEstimator("fora")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("parsed:", est)
+	// Output:
+	// push: 600 nodes × 8 dims per side
+	// fora: 600 nodes × 8 dims per side
+	// parsed: fora
+}

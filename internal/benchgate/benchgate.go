@@ -81,17 +81,31 @@ func Extract(file string, data []byte) ([]Metric, error) {
 			ParallelMs  float64 `json:"parallel_ms"`
 			AUCSerial   float64 `json:"auc_serial"`
 			AUCParallel float64 `json:"auc_parallel"`
+			ForaMs      float64 `json:"fora_ms"`
+			ForaSpeedup float64 `json:"fora_speedup"`
+			AUCFora     float64 `json:"auc_fora"`
 		}
 		if err := json.Unmarshal(data, &r); err != nil {
 			return nil, fmt.Errorf("benchgate: %s: %w", file, err)
 		}
-		return []Metric{
+		ms := []Metric{
 			{File: file, Name: "speedup", Value: r.Speedup, Relative: true},
 			{File: file, Name: "serial_ms", Value: r.SerialMs, LowerBetter: true},
 			{File: file, Name: "parallel_ms", Value: r.ParallelMs, LowerBetter: true},
 			{File: file, Name: "auc_serial", Value: r.AUCSerial, Relative: true, Tolerance: aucTolerance},
 			{File: file, Name: "auc_parallel", Value: r.AUCParallel, Relative: true, Tolerance: aucTolerance},
-		}, nil
+		}
+		// The FORA-estimator metrics are optional until a baseline records
+		// them (Compare ignores current-only metrics, but a zero value
+		// against a real baseline would fail the stale-record check).
+		if r.ForaMs > 0 {
+			ms = append(ms,
+				Metric{File: file, Name: "fora_ms", Value: r.ForaMs, LowerBetter: true},
+				Metric{File: file, Name: "fora_speedup", Value: r.ForaSpeedup, Relative: true},
+				Metric{File: file, Name: "auc_fora", Value: r.AUCFora, Relative: true, Tolerance: aucTolerance},
+			)
+		}
+		return ms, nil
 	case "BENCH_dynamic.json":
 		var r struct {
 			Speedup        float64 `json:"speedup"`

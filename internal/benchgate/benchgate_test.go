@@ -19,6 +19,14 @@ const topkHNSWRecord = `{"benchmarks":[
 
 const buildRecord = `{"n":100000,"m":500000,"dim":32,"threads":8,
   "serial_ms":9000,"parallel_ms":1800,"speedup":5.0,
+  "auc_serial":0.972,"auc_parallel":0.972,
+  "fora_ms":900,"fora_speedup":2.0,"auc_fora":0.968}`
+
+// buildRecordNoFora is a pre-FORA-estimator record: the fora_* metrics
+// are absent, so Extract must omit them instead of emitting zeros that
+// would trip the stale-baseline check.
+const buildRecordNoFora = `{"n":100000,"m":500000,"dim":32,"threads":8,
+  "serial_ms":9000,"parallel_ms":1800,"speedup":5.0,
   "auc_serial":0.972,"auc_parallel":0.972}`
 
 const ingestRecord = `{"n":200000,"m":800000,"threads":8,
@@ -43,7 +51,7 @@ func TestExtractSchemas(t *testing.T) {
 		metrics int
 	}{
 		"BENCH_topk.json":   {topkRecord, 2},
-		"BENCH_build.json":  {buildRecord, 5},
+		"BENCH_build.json":  {buildRecord, 8},
 		"BENCH_ingest.json": {ingestRecord, 6},
 		"BENCH_ppr.json":    {pprRecord, 6},
 		"BENCH_serve.json":  {serveRecord, 8},
@@ -70,6 +78,47 @@ func TestExtractSchemas(t *testing.T) {
 	}
 	if !Known("BENCH_dynamic.json") || Known("notes.json") {
 		t.Fatal("Known misclassifies record names")
+	}
+}
+
+// TestBuildRecordForaOptional checks both directions of schema drift: a
+// pre-FORA baseline still extracts its 5 metrics and compares cleanly
+// against a FORA-bearing current record (current-only metrics are
+// ignored), and a fora_speedup collapse in a FORA-bearing pair fails.
+func TestBuildRecordForaOptional(t *testing.T) {
+	old, err := Extract("BENCH_build.json", []byte(buildRecordNoFora))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old) != 5 {
+		t.Fatalf("pre-fora record extracts %d metrics, want 5", len(old))
+	}
+	cur, err := Extract("BENCH_build.json", []byte(buildRecord))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := Compare(old, cur, 0.25, true)
+	if err != nil {
+		t.Fatalf("old baseline vs fora-bearing record: %v", err)
+	}
+	if n := Regressions(deltas); n != 0 {
+		t.Fatalf("%d regressions from identical push metrics", n)
+	}
+
+	injected := strings.Replace(buildRecord, `"fora_speedup":2.0`, `"fora_speedup":1.0`, 1)
+	curBad, err := Extract("BENCH_build.json", []byte(injected))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err = Compare(cur, curBad, 0.25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := Regressions(deltas); n != 1 {
+		t.Fatalf("%d regressions, want the fora_speedup collapse alone", n)
+	}
+	if deltas[0].Metric.Name != "fora_speedup" {
+		t.Fatalf("flagged %q, want fora_speedup", deltas[0].Metric.Name)
 	}
 }
 

@@ -70,9 +70,18 @@ func approxPPRFactors(g *graph.Graph, opt Options, t *tracker, init *matrix.Dens
 	if err := opt.Validate(); err != nil {
 		return nil, nil, err
 	}
+	if err := t.cfg.Estimator.validate(); err != nil {
+		return nil, nil, err
+	}
 	kPrime := opt.Dim / 2
 	if kPrime > g.N {
 		return nil, nil, fmt.Errorf("core: k/2 = %d exceeds node count %d", kPrime, g.N)
+	}
+	if t.cfg.Estimator.Kind == EstimatorFORA {
+		if init != nil {
+			return nil, nil, fmt.Errorf("%w: warm-start factorization requires the %q estimator", ErrEstimatorOptionConflict, EstimatorPush)
+		}
+		return foraPPRFactors(g, opt, t)
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 

@@ -114,9 +114,17 @@ func learnWeights(emb *Embedding, din, dout []float64, opt Options, t *tracker) 
 		}
 		moveF := state.updateFwdWeights(rng)
 		epochs++
-		t.stats.ReweightResiduals = append(t.stats.ReweightResiduals,
-			(moveB+moveF)/float64(2*emb.N()))
+		residual := (moveB + moveF) / float64(2*emb.N())
+		t.stats.ReweightResiduals = append(t.stats.ReweightResiduals, residual)
 		t.step(PhaseReweight, epochs, opt.L2)
+		// Convergence early-stop: the coordinate descent contracts
+		// geometrically, so once an epoch moves the weights below
+		// ReweightTol of the first epoch's movement, further epochs are
+		// noise-level refinement at full cost.
+		if opt.ReweightTol > 0 && epoch > 0 &&
+			residual <= opt.ReweightTol*t.stats.ReweightResiduals[0] {
+			break
+		}
 	}
 	stop(epochs)
 	return state.fw, state.bw, nil

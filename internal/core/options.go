@@ -12,8 +12,16 @@ type Options struct {
 	Alpha float64
 	// L1 is the PPR truncation order ℓ₁ of Eq. (3).
 	L1 int
-	// L2 is the number of reweighting epochs ℓ₂ of Algorithm 3.
+	// L2 is the maximum number of reweighting epochs ℓ₂ of Algorithm 3.
 	L2 int
+	// ReweightTol stops the reweighting loop early once an epoch's mean
+	// absolute weight movement falls below ReweightTol times the first
+	// epoch's — the coordinate descent converges geometrically, so the
+	// trailing epochs of a fixed ℓ₂ schedule move the weights (and the
+	// downstream task quality) by noise-level amounts while costing as
+	// much as the first ones. Zero disables early stopping and always
+	// runs ℓ₂ epochs (the paper's fixed schedule).
+	ReweightTol float64
 	// Epsilon is the BKSVD relative error threshold ε.
 	Epsilon float64
 	// Lambda is the L2 regularizer λ of the reweighting objective (Eq. 6).
@@ -37,13 +45,14 @@ type Options struct {
 // k=128, α=0.15, ℓ₁=20, ℓ₂=10, ε=0.2, λ=10.
 func DefaultOptions() Options {
 	return Options{
-		Dim:     128,
-		Alpha:   0.15,
-		L1:      20,
-		L2:      10,
-		Epsilon: 0.2,
-		Lambda:  10,
-		Seed:    1,
+		Dim:         128,
+		Alpha:       0.15,
+		L1:          20,
+		L2:          10,
+		ReweightTol: 0.01,
+		Epsilon:     0.2,
+		Lambda:      10,
+		Seed:        1,
 	}
 }
 
@@ -60,6 +69,9 @@ func (o Options) Validate() error {
 	}
 	if o.L2 < 0 {
 		return fmt.Errorf("core: L2 must be non-negative, got %d", o.L2)
+	}
+	if o.ReweightTol < 0 || o.ReweightTol >= 1 {
+		return fmt.Errorf("core: ReweightTol must be in [0,1), got %v", o.ReweightTol)
 	}
 	if o.Epsilon <= 0 || o.Epsilon >= 1 {
 		return fmt.Errorf("core: Epsilon must be in (0,1), got %v", o.Epsilon)

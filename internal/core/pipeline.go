@@ -131,6 +131,9 @@ type RunConfig struct {
 	Progress ProgressFunc
 	// Threads bounds the run's parallel engine (0 = GOMAXPROCS).
 	Threads int
+	// Estimator selects and tunes the approximate-PPR backend (zero
+	// value = Algorithm 1 backward push, the paper protocol).
+	Estimator EstimatorConfig
 }
 
 // RunOption configures a pipeline run; see WithProgress and WithThreads.

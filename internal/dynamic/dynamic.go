@@ -246,6 +246,19 @@ type Engine struct {
 	arcMass     float64            // first-order PPR mass of pending arc changes
 	accum       float64            // unexplained mass since last full recompute
 	last        Stats
+
+	walkInv WalkInvalidator // optional walk-index staleness sink
+}
+
+// WalkInvalidator receives the nodes whose out-neighborhoods changed in
+// an update batch, so a FORA+ walk index serving the same live graph can
+// mark their cached walks stale instead of silently serving pre-update
+// endpoints. fora.WalkIndex (with maintenance enabled) implements it; the
+// interface keeps this package free of a fora dependency. Implementations
+// must be safe for concurrent use. Invalidate returns how many nodes were
+// newly marked.
+type WalkInvalidator interface {
+	Invalidate(nodes []int32) int
 }
 
 // New embeds g from scratch and returns an engine maintaining that
@@ -330,6 +343,16 @@ func (e *Engine) Config() Config {
 	return e.cfg
 }
 
+// SetWalkInvalidator registers inv (nil to unregister) to be notified,
+// from inside ApplyUpdates, of every node whose out-neighborhood changed.
+// Wire the serving stack's walk index here so live /v1/ppr queries stop
+// resampling stale walks for updated nodes.
+func (e *Engine) SetWalkInvalidator(inv WalkInvalidator) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.walkInv = inv
+}
+
 // ApplyUpdates applies a batch of edge insertions and removals to the
 // graph, leaving the embedding stale until the next Refresh. Consecutive
 // updates with the same Op are grouped into one amortized CSR merge, so
@@ -401,6 +424,19 @@ func (e *Engine) ApplyUpdates(ctx context.Context, ups []EdgeUpdate) (int, error
 			// arc of u carries in Π′ = Σ α(1−α)^i P^i.
 			e.arcMass += e.opt.Alpha * (1 - e.opt.Alpha) /
 				float64(max(ng.OutDeg(int(edge.U)), 1))
+		}
+		if e.walkInv != nil {
+			// Walks start from out-edges, so nodes whose out-lists
+			// changed are the ones whose cached walks went stale: U
+			// always, V too on undirected graphs (the reverse arc).
+			stale := make([]int32, 0, len(changed)*arcsPerEdge)
+			for _, edge := range changed {
+				stale = append(stale, edge.U)
+				if !ng.Directed {
+					stale = append(stale, edge.V)
+				}
+			}
+			e.walkInv.Invalidate(stale)
 		}
 	}
 	return applied, nil

@@ -1,0 +1,392 @@
+package fora
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/nrp-embed/nrp/internal/graph"
+	"github.com/nrp-embed/nrp/internal/par"
+	"github.com/nrp-embed/nrp/internal/ppr"
+)
+
+// collectRows runs a full Rows sweep and returns every emitted row,
+// copied out of the estimator's scratch.
+func collectRows(t *testing.T, e *BuildEstimator) (cols [][]int32, vals [][]float64) {
+	t.Helper()
+	cols = make([][]int32, e.g.N)
+	vals = make([][]float64, e.g.N)
+	var mu sync.Mutex
+	err := e.Rows(context.Background(), func(u int32, c []int32, v []float64) {
+		cc := make([]int32, len(c))
+		vv := make([]float64, len(v))
+		copy(cc, c)
+		copy(vv, v)
+		mu.Lock()
+		cols[u], vals[u] = cc, vv
+		mu.Unlock()
+	}, nil)
+	if err != nil {
+		t.Fatalf("Rows: %v", err)
+	}
+	return cols, vals
+}
+
+// TestBuildEarlyTerminationReducesWork is the early-termination
+// accounting test of the acceptance criteria: on the same graph, the
+// top-k early-terminated sweep must spend a fraction of the push
+// operations and walks of the exhaustive (full per-row guarantee)
+// control arm.
+func TestBuildEarlyTerminationReducesWork(t *testing.T) {
+	g := testGraph(t, 600, 3000, false, 9)
+	pool := par.New(2)
+	base := BuildOptions{TopK: 32, Seed: 5}
+
+	early, err := NewBuildEstimator(context.Background(), g, pool, base)
+	if err != nil {
+		t.Fatalf("NewBuildEstimator: %v", err)
+	}
+	collectRows(t, early)
+
+	exOpts := base
+	exOpts.Exhaustive = true
+	exhaustive, err := NewBuildEstimator(context.Background(), g, pool, exOpts)
+	if err != nil {
+		t.Fatalf("NewBuildEstimator(exhaustive): %v", err)
+	}
+	collectRows(t, exhaustive)
+
+	es, xs := early.Stats(), exhaustive.Stats()
+	if es.Rows != int64(g.N) || xs.Rows != int64(g.N) {
+		t.Fatalf("row counts %d/%d, want %d", es.Rows, xs.Rows, g.N)
+	}
+	if es.Walks == 0 || es.PushOps == 0 {
+		t.Fatalf("early-terminated sweep did no work: %+v", es)
+	}
+	if es.Walks*2 > xs.Walks {
+		t.Errorf("early termination ran %d walks, exhaustive %d — want < half", es.Walks, xs.Walks)
+	}
+	if es.PushOps*2 > xs.PushOps {
+		t.Errorf("early termination ran %d push ops, exhaustive %d — want < half", es.PushOps, xs.PushOps)
+	}
+}
+
+// TestBuildRowsDeterministicAcrossPools asserts the (Seed, row)
+// determinism contract: sweeps on 1 and 4 workers emit bit-identical
+// rows.
+func TestBuildRowsDeterministicAcrossPools(t *testing.T) {
+	g := testGraph(t, 400, 2000, false, 12)
+	var refC [][]int32
+	var refV [][]float64
+	for i, workers := range []int{1, 4} {
+		e, err := NewBuildEstimator(context.Background(), g, par.New(workers), BuildOptions{TopK: 24, Seed: 3})
+		if err != nil {
+			t.Fatalf("NewBuildEstimator(%d workers): %v", workers, err)
+		}
+		c, v := collectRows(t, e)
+		if i == 0 {
+			refC, refV = c, v
+			continue
+		}
+		for u := range c {
+			if len(c[u]) != len(refC[u]) {
+				t.Fatalf("row %d: %d entries on %d workers, %d on 1", u, len(c[u]), workers, len(refC[u]))
+			}
+			for j := range c[u] {
+				if c[u][j] != refC[u][j] || v[u][j] != refV[u][j] {
+					t.Fatalf("row %d entry %d differs across pool sizes", u, j)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildRowsShape checks the per-row output contract: at most TopK
+// entries, strictly ascending columns, strictly positive values.
+func TestBuildRowsShape(t *testing.T) {
+	g := testGraph(t, 300, 1500, true, 8)
+	e, err := NewBuildEstimator(context.Background(), g, par.New(2), BuildOptions{TopK: 16, Seed: 2})
+	if err != nil {
+		t.Fatalf("NewBuildEstimator: %v", err)
+	}
+	cols, vals := collectRows(t, e)
+	for u := range cols {
+		if len(cols[u]) > 16 {
+			t.Fatalf("row %d has %d entries, want ≤ 16", u, len(cols[u]))
+		}
+		prev := int32(-1)
+		for j, c := range cols[u] {
+			if c <= prev || int(c) >= g.N {
+				t.Fatalf("row %d columns not strictly ascending in range at %d", u, c)
+			}
+			prev = c
+			if !(vals[u][j] > 0) {
+				t.Fatalf("row %d entry %d has non-positive value %v", u, j, vals[u][j])
+			}
+		}
+	}
+}
+
+func TestBuildOptionsValidation(t *testing.T) {
+	g := testGraph(t, 50, 200, false, 1)
+	pool := par.New(1)
+	for _, tc := range []struct {
+		name string
+		o    BuildOptions
+	}{
+		{"alpha", BuildOptions{Alpha: 1.5}},
+		{"epsilon", BuildOptions{Epsilon: -1}},
+		{"topk", BuildOptions{TopK: -2}},
+		{"walks per node", BuildOptions{WalksPerNode: -1}},
+		{"walk budget", BuildOptions{WalkBudget: -1}},
+		{"push budget", BuildOptions{PushBudget: -3}},
+		{"pfail", BuildOptions{PFail: 1}},
+	} {
+		if _, err := NewBuildEstimator(context.Background(), g, pool, tc.o); err == nil {
+			t.Errorf("%s: invalid options accepted", tc.name)
+		}
+	}
+}
+
+// TestWalkIndexInvalidateRepair covers the maintenance lifecycle after a
+// batch of edge insertions and removals: invalidation marks exactly the
+// changed nodes, stale rows are excluded from the fast path, and Repair
+// re-walks them to bit-match a fresh build on the updated graph.
+func TestWalkIndexInvalidateRepair(t *testing.T) {
+	g0 := testGraph(t, 300, 1500, false, 7)
+	pool := par.New(2)
+	const walks, seed = 16, 5
+	idx, err := BuildWalkIndex(context.Background(), g0, pool, DefaultAlpha, walks, seed)
+	if err != nil {
+		t.Fatalf("BuildWalkIndex: %v", err)
+	}
+
+	// Unmaintained indexes ignore invalidation entirely.
+	if n := idx.Invalidate([]int32{1, 2}); n != 0 {
+		t.Fatalf("unmaintained Invalidate marked %d nodes", n)
+	}
+
+	g1, added, err := g0.AddEdges([]graph.Edge{{U: 0, V: 9}, {U: 4, V: 120}, {U: 7, V: 250}})
+	if err != nil {
+		t.Fatalf("AddEdges: %v", err)
+	}
+	g1, removed, err := g1.RemoveEdges(g0.Edges()[:5])
+	if err != nil {
+		t.Fatalf("RemoveEdges: %v", err)
+	}
+	var touched []int32
+	for _, e := range append(added, removed...) {
+		touched = append(touched, e.U, e.V) // undirected: both out-lists changed
+	}
+
+	idx.EnableMaintenance()
+	if !idx.Maintained() {
+		t.Fatal("Maintained() = false after EnableMaintenance")
+	}
+	marked := idx.Invalidate(touched)
+	if marked == 0 || marked > len(touched) {
+		t.Fatalf("Invalidate marked %d of %d touched nodes", marked, len(touched))
+	}
+	// Re-invalidating already-stale nodes is a no-op.
+	if n := idx.Invalidate(touched); n != 0 {
+		t.Fatalf("second Invalidate marked %d nodes", n)
+	}
+	// Out-of-range ids are skipped, in-range ones still marked.
+	if n := idx.Invalidate([]int32{-1, int32(g1.N)}); n != 0 {
+		t.Fatalf("out-of-range Invalidate marked %d nodes", n)
+	}
+	if p := idx.StalePending(); p != marked {
+		t.Fatalf("StalePending() = %d, want %d", p, marked)
+	}
+	if c := idx.Counters(); c.Invalidated != int64(marked) {
+		t.Fatalf("Counters().Invalidated = %d, want %d", c.Invalidated, marked)
+	}
+
+	// Partial repair drains the queue incrementally…
+	if n := idx.Repair(g1, 2); n != 2 {
+		t.Fatalf("Repair(2) repaired %d nodes", n)
+	}
+	if p := idx.StalePending(); p != marked-2 {
+		t.Fatalf("StalePending() after partial repair = %d, want %d", p, marked-2)
+	}
+	// …and a full repair returns every row to fresh.
+	if n := idx.Repair(g1, 0); n != marked-2 {
+		t.Fatalf("Repair(0) repaired %d nodes, want %d", n, marked-2)
+	}
+	if p := idx.StalePending(); p != 0 {
+		t.Fatalf("StalePending() after full repair = %d", p)
+	}
+	if c := idx.Counters(); c.Repaired != int64(marked) {
+		t.Fatalf("Counters().Repaired = %d, want %d", c.Repaired, marked)
+	}
+
+	// Repaired rows use the same (seed, node) RNG streams as a fresh
+	// build, so the touched rows must now bit-match an index built on g1.
+	fresh, err := BuildWalkIndex(context.Background(), g1, pool, DefaultAlpha, walks, seed)
+	if err != nil {
+		t.Fatalf("BuildWalkIndex(g1): %v", err)
+	}
+	for _, v := range touched {
+		for j := 0; j < walks; j++ {
+			got := idx.Raw()[int(v)*walks+j]
+			want := fresh.Raw()[int(v)*walks+j]
+			if got != want {
+				t.Fatalf("repaired row %d walk %d = %d, want %d", v, j, got, want)
+			}
+		}
+	}
+}
+
+// TestWalkIndexStalenessBoundUnderUpdateStream is the staleness-bound
+// acceptance test: after a 1k-edge update stream with per-node
+// invalidation (no explicit repair), queries through the maintained
+// index on the updated graph must still meet the (ε, δ) relative-error
+// guarantee against power-iteration ground truth — stale starts fall
+// back to live walks, and the residual staleness of cached walks merely
+// passing through changed nodes stays inside the guarantee slack.
+func TestWalkIndexStalenessBoundUnderUpdateStream(t *testing.T) {
+	const eps = 0.3
+	g0, err := graph.GenSBM(graph.SBMConfig{N: 2000, M: 20000, Communities: 4, Seed: 21})
+	if err != nil {
+		t.Fatalf("GenSBM: %v", err)
+	}
+	pool := par.New(2)
+	idx, err := BuildWalkIndex(context.Background(), g0, pool, DefaultAlpha, 128, 5)
+	if err != nil {
+		t.Fatalf("BuildWalkIndex: %v", err)
+	}
+	idx.EnableMaintenance()
+	delta := 1.0 / float64(g0.N)
+	e, err := NewEngine(g0, pool, idx, Params{Epsilon: eps, Delta: delta, PFail: 1e-3})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+
+	// 1k-edge stream: 500 removals of existing edges, 500 insertions.
+	stream := make([]graph.Edge, 0, 500)
+	for i := 0; i < 500; i++ {
+		stream = append(stream, graph.Edge{U: int32((13 * i) % g0.N), V: int32((29*i + 7) % g0.N)})
+	}
+	g1, removed, err := g0.RemoveEdges(g0.Edges()[:500])
+	if err != nil {
+		t.Fatalf("RemoveEdges: %v", err)
+	}
+	g1, added, err := g1.AddEdges(stream)
+	if err != nil {
+		t.Fatalf("AddEdges: %v", err)
+	}
+	if len(removed)+len(added) < 900 {
+		t.Fatalf("update stream only changed %d edges", len(removed)+len(added))
+	}
+	var touched []int32
+	for _, ed := range append(removed, added...) {
+		touched = append(touched, ed.U, ed.V)
+	}
+	if idx.Invalidate(touched) == 0 {
+		t.Fatal("no nodes invalidated by the update stream")
+	}
+
+	for _, seeds := range [][]int32{{0}, {3, 17, 42}, {100, 900, 1500}} {
+		res, err := e.Query(context.Background(), Query{Seeds: seeds, K: g1.N, Epsilon: eps, Graph: g1})
+		if err != nil {
+			t.Fatalf("Query(%v): %v", seeds, err)
+		}
+		if !res.Stats.UsedIndex {
+			t.Fatalf("query %v bypassed the maintained index", seeds)
+		}
+		est := make(map[int32]float64, len(res.Scores))
+		for _, s := range res.Scores {
+			est[s.Node] = s.Score
+		}
+		truth, err := ppr.MultiSource(g1, seeds, e.Params().Alpha, 400)
+		if err != nil {
+			t.Fatalf("MultiSource: %v", err)
+		}
+		for v, pi := range truth {
+			if pi < delta {
+				continue
+			}
+			if diff := math.Abs(est[int32(v)] - pi); diff > eps*pi {
+				t.Errorf("seeds %v node %d: |%.3g - %.3g| = %.3g > ε·π = %.3g",
+					seeds, v, est[int32(v)], pi, diff, eps*pi)
+			}
+		}
+	}
+	c := idx.Counters()
+	if c.StaleWalks == 0 {
+		t.Error("no stale walks simulated — invalidation had no effect on the walk phase")
+	}
+	// The engine's lazy post-query repair should have started draining
+	// the stale queue as queries touched it.
+	if c.Repaired == 0 && idx.StalePending() == 0 {
+		t.Error("stale queue empty without any repairs recorded")
+	}
+}
+
+// TestWalkIndexQueryDuringMaintenanceRace hammers concurrent queries
+// against an invalidate/repair churn loop; run under -race it is the
+// reader/maintainer race check of the acceptance criteria.
+func TestWalkIndexQueryDuringMaintenanceRace(t *testing.T) {
+	g0 := testGraph(t, 400, 2000, false, 15)
+	pool := par.New(4)
+	idx, err := BuildWalkIndex(context.Background(), g0, pool, DefaultAlpha, 32, 5)
+	if err != nil {
+		t.Fatalf("BuildWalkIndex: %v", err)
+	}
+	idx.EnableMaintenance()
+	e, err := NewEngine(g0, pool, idx, Params{})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	g1, _, err := g0.AddEdges([]graph.Edge{{U: 1, V: 200}, {U: 2, V: 300}})
+	if err != nil {
+		t.Fatalf("AddEdges: %v", err)
+	}
+
+	iters := 60
+	if raceEnabled {
+		iters = 25
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			seeds := []int32{int32(w * 10), int32(w*10 + 5)}
+			for i := 0; i < iters; i++ {
+				if _, err := e.Query(context.Background(), Query{Seeds: seeds, K: 10, Graph: g1}); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		nodes := make([]int32, g0.N)
+		for i := range nodes {
+			nodes[i] = int32(i)
+		}
+		for i := 0; i < iters; i++ {
+			lo := (i * 37) % (g0.N - 40)
+			idx.Invalidate(nodes[lo : lo+40])
+			idx.Repair(g1, 25)
+		}
+		idx.Repair(g1, 0)
+	}()
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatalf("query during maintenance: %v", err)
+	default:
+	}
+	if p := idx.StalePending(); p != 0 {
+		t.Fatalf("StalePending() = %d after final full repair", p)
+	}
+}

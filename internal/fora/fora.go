@@ -54,6 +54,10 @@ const (
 	// maxWalksPerQuery caps ω so a pathological (ε, δ) choice degrades
 	// into an error instead of an unbounded compute bill.
 	maxWalksPerQuery = 1 << 27
+	// lazyRepairBudget caps how many stale walk-index rows one query's
+	// post-answer repair pass re-walks, bounding the latency tax any
+	// single request pays for index maintenance.
+	lazyRepairBudget = 2048
 )
 
 // Params are the engine-level estimation parameters. Zero values select
@@ -174,6 +178,7 @@ type Engine struct {
 	maxChunks int
 	ws        sync.Pool
 	wsBuilds  atomic.Int64
+	walksRun  atomic.Int64
 }
 
 // NewEngine builds an engine over g. pool may be nil (serial); idx may be
@@ -203,6 +208,35 @@ func (e *Engine) Index() *WalkIndex { return e.idx }
 // constructed — observability for the sync.Pool reuse contract (a
 // steady sequential caller should see this stay at 1).
 func (e *Engine) WorkspaceBuilds() int64 { return e.wsBuilds.Load() }
+
+// EngineCounters are the engine's cumulative work counters, exported on
+// /metrics by serving.
+type EngineCounters struct {
+	// WorkspaceBuilds counts O(n) query-workspace constructions.
+	WorkspaceBuilds int64
+	// WalksRun counts Monte Carlo walks across all queries (index-served
+	// and simulated alike).
+	WalksRun int64
+	// WalkIndex holds the walk-index maintenance counters (zero when no
+	// index is attached or maintenance is off).
+	WalkIndex WalkIndexCounters
+	// WalkIndexStalePending is the current count of invalidated nodes
+	// awaiting repair (a gauge, not a counter).
+	WalkIndexStalePending int
+}
+
+// Counters returns a snapshot of the engine's work counters.
+func (e *Engine) Counters() EngineCounters {
+	c := EngineCounters{
+		WorkspaceBuilds: e.wsBuilds.Load(),
+		WalksRun:        e.walksRun.Load(),
+	}
+	if e.idx != nil {
+		c.WalkIndex = e.idx.Counters()
+		c.WalkIndexStalePending = e.idx.StalePending()
+	}
+	return c
+}
 
 // workspace is the per-query scratch state: the push workspace, the alias
 // table over residuals, per-chunk walk-endpoint counters with their touch
@@ -319,15 +353,25 @@ func (e *Engine) Query(ctx context.Context, q Query) (*Result, error) {
 
 	res.Scores = e.selectTopK(ws, nc, rsum, res.Stats.Walks, k)
 	res.Stats.Candidates = len(ws.cand)
-	res.Stats.UsedIndex = e.usableIndex(g, p.Alpha) != nil && rsum > 0
+	idx := e.usableIndex(g, p.Alpha)
+	res.Stats.UsedIndex = idx != nil && rsum > 0
 	cleanup(ws, nc)
+	e.walksRun.Add(res.Stats.Walks)
+	if idx != nil && idx.Maintained() {
+		// Lazy maintenance: piggyback a bounded repair pass on the query
+		// path so stale rows drain back to the fast path under load,
+		// without a dedicated repair goroutine. Non-blocking — skipped
+		// when another pass holds the maintenance lock.
+		idx.tryRepair(g, lazyRepairBudget)
+	}
 	return res, nil
 }
 
 // usableIndex returns the walk index when it answers walks for this
 // (graph, alpha) pair: matching node count and termination probability.
-// Live edge updates do not invalidate it (the FORA+ staleness trade-off
-// documented on WalkIndex).
+// Without maintenance, live edge updates do not invalidate it (the FORA+
+// staleness trade-off documented on WalkIndex); a maintained index serves
+// fresh rows fast and simulates walks for invalidated nodes.
 func (e *Engine) usableIndex(g *graph.Graph, alpha float64) *WalkIndex {
 	if e.idx != nil && e.idx.Nodes() == g.N && e.idx.Alpha() == alpha {
 		return e.idx
@@ -359,6 +403,7 @@ func (e *Engine) runWalks(ctx context.Context, g *graph.Graph, ws *workspace, p 
 		counts := ws.counts[w]
 		hits := ws.hits[w][:0]
 		rng := newSplitmix64(mix64(uint64(p.Seed), uint64(w)))
+		var served, simulated int64
 		for i := lo; i < hi; i++ {
 			if i&0xfff == 0 && ctx.Err() != nil {
 				canceled.Store(true)
@@ -367,7 +412,13 @@ func (e *Engine) runWalks(ctx context.Context, g *graph.Graph, ws *workspace, p 
 			v := ws.starts[ws.alias.sample(&rng)]
 			var t int32
 			if idx != nil {
-				t = idx.endpoint(v, &rng)
+				var cached bool
+				t, cached = idx.endpoint(g, v, &rng)
+				if cached {
+					served++
+				} else {
+					simulated++
+				}
 			} else {
 				t = walkEnd(g, v, p.Alpha, &rng)
 			}
@@ -379,6 +430,9 @@ func (e *Engine) runWalks(ctx context.Context, g *graph.Graph, ws *workspace, p 
 			}
 		}
 		ws.hits[w] = hits
+		if idx != nil {
+			idx.addEndpointStats(served, simulated)
+		}
 	})
 	if canceled.Load() {
 		cleanup(ws, nc)

@@ -3,6 +3,7 @@ package fora
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"github.com/nrp-embed/nrp/internal/graph"
@@ -17,18 +18,46 @@ import (
 // dangling node without terminating (its mass is lost, matching the
 // truncated Eq. (1) semantics used across the repo).
 //
-// The index is built against one graph snapshot. Queries against a graph
-// with the same node count reuse it even after live edge updates — the
-// resampled endpoints then approximate the pre-update graph, which is the
-// standard FORA+ staleness trade-off; rebuild (or query without an index)
-// when updates must be reflected exactly. An index never changes after
-// build, so it is safe for concurrent readers.
+// The index is built against one graph snapshot. By default it never
+// changes after build (safe for concurrent readers): queries against a
+// graph with the same node count reuse it even after live edge updates,
+// and the resampled endpoints then approximate the pre-update graph —
+// the classic FORA+ staleness trade-off.
+//
+// EnableMaintenance upgrades that contract for live graphs. A maintained
+// index tracks per-node staleness: Invalidate marks nodes whose out-edges
+// changed, queries fall back to simulating walks for stale nodes (always
+// correct on the current snapshot, just slower), and Repair / the
+// engine's lazy post-query repair re-walk stale rows against the current
+// graph and return them to the fast path. Walks that merely pass
+// *through* a changed node from an unchanged start stay cached — that
+// residual staleness is second-order in the update size and bounded by
+// the (ε, δ) guarantee slack (asserted in the maintenance tests).
 type WalkIndex struct {
 	n     int
 	k     int
 	alpha float64
 	seed  int64
 	ends  []int32
+	maint *walkMaintenance
+}
+
+// walkMaintenance is the mutable state of a maintained index. Writers
+// (Invalidate, Repair) serialize on mu and are the only mutators of ends;
+// readers never block: they atomically load the per-node state word and
+// either use the cached row (fresh) or simulate the walk (stale). Row
+// slots are written and read with atomic int32 ops while maintenance is
+// on, so a reader racing a repair observes either the old or the new
+// endpoint — both are valid walk samples.
+type walkMaintenance struct {
+	mu    sync.Mutex
+	state []atomic.Int32 // per node: 0 = fresh, 1 = stale
+	queue []int32        // stale nodes awaiting repair (guarded by mu)
+
+	hits        atomic.Int64 // endpoint served from the cached row
+	staleWalks  atomic.Int64 // endpoint simulated because the node was stale
+	invalidated atomic.Int64 // nodes marked stale by Invalidate
+	repaired    atomic.Int64 // nodes re-walked back to fresh
 }
 
 // BuildWalkIndex simulates k α-terminating walks from every node of g on
@@ -108,10 +137,169 @@ func (wi *WalkIndex) Seed() int64 { return wi.seed }
 // Callers must not mutate it.
 func (wi *WalkIndex) Raw() []int32 { return wi.ends }
 
-// endpoint resamples one stored walk endpoint of node v.
-func (wi *WalkIndex) endpoint(v int32, rng *splitmix64) int32 {
-	row := wi.ends[int(v)*wi.k : (int(v)+1)*wi.k]
-	return row[rng.intn(wi.k)]
+// EnableMaintenance switches the index into maintained mode, allocating
+// the per-node staleness state and copying the endpoint array onto the
+// heap (snapshot-loaded indexes may wrap a read-only mmap, which Repair
+// could not write through). Idempotent. Call it during setup, before the
+// index is shared with concurrent readers — the mode switch itself is not
+// synchronized.
+func (wi *WalkIndex) EnableMaintenance() {
+	if wi.maint != nil {
+		return
+	}
+	ends := make([]int32, len(wi.ends))
+	copy(ends, wi.ends)
+	wi.ends = ends
+	wi.maint = &walkMaintenance{state: make([]atomic.Int32, wi.n)}
+}
+
+// Maintained reports whether EnableMaintenance has been called.
+func (wi *WalkIndex) Maintained() bool { return wi.maint != nil }
+
+// Invalidate marks the given nodes stale: until repaired, walks starting
+// at them are simulated on the query's graph snapshot instead of served
+// from the cached rows. Out-of-range and already-stale nodes are skipped.
+// Returns the number of nodes newly marked. No-op (returning 0) unless
+// maintenance is enabled. Safe for concurrent use with queries and
+// Repair.
+func (wi *WalkIndex) Invalidate(nodes []int32) int {
+	m := wi.maint
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	marked := 0
+	for _, v := range nodes {
+		if v < 0 || int(v) >= wi.n {
+			continue
+		}
+		if m.state[v].CompareAndSwap(0, 1) {
+			m.queue = append(m.queue, v)
+			marked++
+		}
+	}
+	m.invalidated.Add(int64(marked))
+	return marked
+}
+
+// Repair re-walks up to maxNodes stale nodes (0 = all pending) against g
+// and returns them to the fast path, using the same per-node RNG streams
+// as the original build so a fully repaired index matches a fresh
+// BuildWalkIndex on g. Returns the number of nodes repaired. No-op unless
+// maintenance is enabled or if g's node count does not match. Safe for
+// concurrent use with queries.
+func (wi *WalkIndex) Repair(g *graph.Graph, maxNodes int) int {
+	m := wi.maint
+	if m == nil || g.N != wi.n {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return wi.repairLocked(g, maxNodes)
+}
+
+// tryRepair is Repair without blocking: if another maintenance pass holds
+// the lock it does nothing. The engine calls it after queries that hit
+// stale nodes, so repair work rides on the query path without stacking up
+// behind itself.
+func (wi *WalkIndex) tryRepair(g *graph.Graph, maxNodes int) int {
+	m := wi.maint
+	if m == nil || g.N != wi.n {
+		return 0
+	}
+	if !m.mu.TryLock() {
+		return 0
+	}
+	defer m.mu.Unlock()
+	return wi.repairLocked(g, maxNodes)
+}
+
+func (wi *WalkIndex) repairLocked(g *graph.Graph, maxNodes int) int {
+	m := wi.maint
+	todo := len(m.queue)
+	if maxNodes > 0 && todo > maxNodes {
+		todo = maxNodes
+	}
+	for i := 0; i < todo; i++ {
+		v := m.queue[i]
+		rng := newSplitmix64(mix64(uint64(wi.seed), uint64(v)))
+		base := int(v) * wi.k
+		for j := 0; j < wi.k; j++ {
+			atomic.StoreInt32(&wi.ends[base+j], walkEnd(g, v, wi.alpha, &rng))
+		}
+		m.state[v].Store(0)
+	}
+	m.queue = m.queue[:copy(m.queue, m.queue[todo:])]
+	m.repaired.Add(int64(todo))
+	return todo
+}
+
+// StalePending reports how many invalidated nodes currently await repair.
+func (wi *WalkIndex) StalePending() int {
+	m := wi.maint
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// WalkIndexCounters are the cumulative maintenance counters of a
+// maintained index (all zero otherwise), exported on /metrics by serving.
+type WalkIndexCounters struct {
+	// Hits counts walk endpoints served from cached rows.
+	Hits int64
+	// StaleWalks counts walks simulated because their start was stale.
+	StaleWalks int64
+	// Invalidated counts nodes marked stale by Invalidate.
+	Invalidated int64
+	// Repaired counts nodes re-walked back to fresh.
+	Repaired int64
+}
+
+// Counters returns a snapshot of the maintenance counters.
+func (wi *WalkIndex) Counters() WalkIndexCounters {
+	m := wi.maint
+	if m == nil {
+		return WalkIndexCounters{}
+	}
+	return WalkIndexCounters{
+		Hits:        m.hits.Load(),
+		StaleWalks:  m.staleWalks.Load(),
+		Invalidated: m.invalidated.Load(),
+		Repaired:    m.repaired.Load(),
+	}
+}
+
+// addEndpointStats folds a query chunk's local hit/miss tallies into the
+// counters (batched so the walk hot loop stays free of shared atomics).
+func (wi *WalkIndex) addEndpointStats(hits, staleWalks int64) {
+	m := wi.maint
+	if m == nil {
+		return
+	}
+	if hits > 0 {
+		m.hits.Add(hits)
+	}
+	if staleWalks > 0 {
+		m.staleWalks.Add(staleWalks)
+	}
+}
+
+// endpoint resamples one stored walk endpoint of node v, reporting whether
+// the cached row served it (false = v was stale and the walk was simulated
+// on g). Callers batch the tallies via addEndpointStats.
+func (wi *WalkIndex) endpoint(g *graph.Graph, v int32, rng *splitmix64) (int32, bool) {
+	base := int(v) * wi.k
+	if m := wi.maint; m != nil {
+		if m.state[v].Load() != 0 {
+			return walkEnd(g, v, wi.alpha, rng), false
+		}
+		return atomic.LoadInt32(&wi.ends[base+rng.intn(wi.k)]), true
+	}
+	return wi.ends[base+rng.intn(wi.k)], true
 }
 
 // walkEnd runs one α-terminating walk from start and returns the node it

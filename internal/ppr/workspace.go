@@ -2,6 +2,33 @@ package ppr
 
 import "github.com/nrp-embed/nrp/internal/graph"
 
+// nodeRec interleaves the per-node state the push inner loop touches on
+// every edge relaxation — the residual, the node's cached out-degree (for
+// the degree-scaled threshold), and the marked/queued flags — into one
+// 16-byte record. Relaxing an edge then costs a single random cache-line
+// fetch instead of four (residual array, marked array, queue-membership
+// array, and the CSR row pointer for the degree): local push is miss-bound
+// on graphs whose node ids carry no locality, so this is the difference
+// between one and four outstanding misses per frontier edge.
+type nodeRec struct {
+	r    float64
+	deg  float32 // out-degree under the bound graph; exact below 2^24
+	flag uint32
+}
+
+const (
+	flagMarked = 1 << 0 // node is in touched
+	flagQueued = 1 << 1 // node is in the frontier queue
+)
+
+// degClamp is max(deg, 1) — dangling nodes use threshold rmax·1.
+func degClamp(d float32) float64 {
+	if d < 1 {
+		return 1
+	}
+	return float64(d)
+}
+
 // Workspace is a reusable buffer set for array-backed local push. The
 // map-based ForwardPush/BackwardPush keep memory proportional to the
 // pushed support — right for one-shot calls on massive graphs — but pay
@@ -11,52 +38,76 @@ import "github.com/nrp-embed/nrp/internal/graph"
 // refresh over the same graph. Not safe for concurrent use; give each
 // worker its own.
 type Workspace struct {
-	p, r    []float64
+	rec     []nodeRec
+	p       []float64
 	touched []int32 // nodes with nonzero p or r since the last reset
-	marked  []bool  // whether a node is already in touched
 	queue   []int32
-	inQueue []bool
+	g       *graph.Graph // graph whose out-degrees are cached in rec
+	pmax    float64      // largest estimate written since the last reset
+	resid   float64      // leftover residual mass after the last forward drain
+	ops     int64        // monotonic count of node-push operations across resets
 }
 
 // NewWorkspace returns a workspace for graphs of n nodes.
 func NewWorkspace(n int) *Workspace {
 	return &Workspace{
-		p:       make([]float64, n),
-		r:       make([]float64, n),
-		marked:  make([]bool, n),
-		inQueue: make([]bool, n),
+		rec: make([]nodeRec, n),
+		p:   make([]float64, n),
 	}
+}
+
+// bind refreshes the cached out-degrees when the workspace first serves a
+// graph (or a different graph than last time — e.g. after a dynamic-update
+// rebuild swaps in a new snapshot).
+func (ws *Workspace) bind(g *graph.Graph) {
+	if ws.g == g {
+		return
+	}
+	for i := range ws.rec {
+		ws.rec[i].deg = float32(g.OutDeg(i))
+	}
+	ws.g = g
 }
 
 // reset clears only the entries touched by the previous push.
 func (ws *Workspace) reset() {
 	for _, v := range ws.touched {
-		ws.p[v], ws.r[v] = 0, 0
-		ws.marked[v] = false
+		ws.rec[v].r = 0
+		ws.rec[v].flag = 0
+		ws.p[v] = 0
 	}
 	ws.touched = ws.touched[:0]
 	ws.queue = ws.queue[:0]
-}
-
-func (ws *Workspace) mark(v int32) {
-	if !ws.marked[v] {
-		ws.marked[v] = true
-		ws.touched = append(ws.touched, v)
-	}
+	ws.pmax = 0
+	ws.resid = 0
 }
 
 // Touched returns the nodes with a nonzero estimate or residual from the
 // last push, aliasing internal storage (valid until the next push).
 func (ws *Workspace) Touched() []int32 { return ws.touched }
 
+// Ops returns the monotonic count of node-push operations (queue pops
+// whose residual cleared the threshold) performed by this workspace over
+// its lifetime. It survives resets, so callers can difference it around a
+// push to measure work — the early-termination accounting of the FORA
+// build estimator.
+func (ws *Workspace) Ops() int64 { return ws.ops }
+
 // P returns node v's estimate from the last push.
 func (ws *Workspace) P(v int32) float64 { return ws.p[v] }
+
+// PMax returns the largest estimate written since the last reset — the
+// current p_1 of the pushed row. The FORA build estimator uses it as a
+// free upper bound on the k-th largest estimate: whenever even δ = θ·p_1
+// would demand more walks than the per-row budget, the exact k-th
+// selection cannot terminate the row either and is skipped.
+func (ws *Workspace) PMax() float64 { return ws.pmax }
 
 // R returns node v's leftover residual from the last push. By the push
 // invariant π = p + Σ_w π(·,w)·r(w) and π(x,w) ≥ α·1{x=w}, the corrected
 // estimate p(v) + α·r(v) is still an underestimate of π but strictly
 // tighter than p alone — callers projecting pushed rows should use it.
-func (ws *Workspace) R(v int32) float64 { return ws.r[v] }
+func (ws *Workspace) R(v int32) float64 { return ws.rec[v].r }
 
 // ForwardPush runs the forward local push of ForwardPushFrom into the
 // workspace and returns the leftover residual mass. Estimates are read
@@ -72,50 +123,99 @@ func (ws *Workspace) ForwardPush(g *graph.Graph, u int, alpha, rmax float64) (re
 // An empty seed set is a no-op returning zero residual.
 func (ws *Workspace) ForwardPushSeeds(g *graph.Graph, seeds []int32, alpha, rmax float64) (residual float64) {
 	ws.reset()
+	ws.bind(g)
 	if len(seeds) == 0 {
 		return 0
 	}
 	w := 1 / float64(len(seeds))
+	total := 0.0
 	for _, s := range seeds {
-		ws.r[s] += w
-		ws.mark(s)
-		if !ws.inQueue[s] {
-			ws.inQueue[s] = true
+		rs := &ws.rec[s]
+		rs.r += w
+		total += w
+		if rs.flag&flagMarked == 0 {
+			rs.flag |= flagMarked
+			ws.touched = append(ws.touched, s)
+		}
+		if rs.flag&flagQueued == 0 {
+			rs.flag |= flagQueued
 			ws.queue = append(ws.queue, s)
 		}
 	}
 
-	// Drain by index rather than re-slicing the front: queue[1:] would
-	// advance the slice base, so reset's queue[:0] could never give the
-	// backing array back to append — every push would regrow it from
-	// scratch instead of reusing capacity.
+	return ws.drainForward(g, alpha, rmax, total)
+}
+
+// ForwardPushResume continues the previous forward push at a smaller
+// threshold: it re-enqueues every touched node whose residual exceeds the
+// new degree-scaled rmax and drains the frontier, refining the same
+// estimate in place without redoing converged work. The coarse-to-fine
+// refinement loop of the FORA build estimator is its caller. Returns the
+// leftover residual mass at the new threshold.
+func (ws *Workspace) ForwardPushResume(g *graph.Graph, alpha, rmax float64) (residual float64) {
+	ws.queue = ws.queue[:0]
+	for _, v := range ws.touched {
+		rv := &ws.rec[v]
+		if rv.flag&flagQueued == 0 && rv.r > rmax*degClamp(rv.deg) {
+			rv.flag |= flagQueued
+			ws.queue = append(ws.queue, v)
+		}
+	}
+	return ws.drainForward(g, alpha, rmax, ws.resid)
+}
+
+// drainForward runs the forward frontier to exhaustion at threshold rmax
+// and returns the leftover residual, tracked incrementally from rsum (the
+// residual mass entering the drain): a push on a node of positive degree
+// converts α·res of its residual into estimate mass, a push on a dangling
+// node retires all of res — so the leftover needs no O(touched) re-sum per
+// refinement round.
+//
+// Drain by index rather than re-slicing the front: queue[1:] would
+// advance the slice base, so reset's queue[:0] could never give the
+// backing array back to append — every push would regrow it from
+// scratch instead of reusing capacity.
+func (ws *Workspace) drainForward(g *graph.Graph, alpha, rmax, rsum float64) (residual float64) {
 	for head := 0; head < len(ws.queue); head++ {
 		v := ws.queue[head]
-		ws.inQueue[v] = false
-		res := ws.r[v]
-		deg := g.OutDeg(int(v))
-		if res <= rmax*float64(max(deg, 1)) {
+		rv := &ws.rec[v]
+		rv.flag &^= flagQueued
+		res := rv.r
+		deg := rv.deg
+		if res <= rmax*degClamp(deg) {
 			continue
 		}
-		ws.r[v] = 0
-		ws.p[v] += alpha * res
+		ws.ops++
+		rv.r = 0
+		pv := ws.p[v] + alpha*res
+		ws.p[v] = pv
+		if pv > ws.pmax {
+			ws.pmax = pv
+		}
 		if deg == 0 {
+			rsum -= res
 			continue
 		}
+		rsum -= alpha * res
 		share := (1 - alpha) * res / float64(deg)
 		for _, w := range g.OutNeighbors(int(v)) {
-			ws.r[w] += share
-			ws.mark(w)
-			if !ws.inQueue[w] && ws.r[w] > rmax*float64(max(g.OutDeg(int(w)), 1)) {
-				ws.inQueue[w] = true
+			rw := &ws.rec[w]
+			rw.r += share
+			if rw.flag&flagMarked == 0 {
+				rw.flag |= flagMarked
+				ws.touched = append(ws.touched, w)
+			}
+			if rw.flag&flagQueued == 0 && rw.r > rmax*degClamp(rw.deg) {
+				rw.flag |= flagQueued
 				ws.queue = append(ws.queue, w)
 			}
 		}
 	}
-	for _, v := range ws.touched {
-		residual += ws.r[v]
+	if rsum < 0 {
+		rsum = 0
 	}
-	return residual
+	ws.resid = rsum
+	return rsum
 }
 
 // BackwardPush runs the reverse local push of BackwardPush into the
@@ -123,32 +223,45 @@ func (ws *Workspace) ForwardPushSeeds(g *graph.Graph, seeds []int32, alpha, rmax
 // p(x) ≈ π(x,t) with pointwise error at most rmax.
 func (ws *Workspace) BackwardPush(g *graph.Graph, t int, alpha, rmax float64) (residual float64) {
 	ws.reset()
-	ws.r[t] = 1
-	ws.mark(int32(t))
+	ws.bind(g)
+	rt := &ws.rec[t]
+	rt.r = 1
+	rt.flag = flagMarked | flagQueued
+	ws.touched = append(ws.touched, int32(t))
 	ws.queue = append(ws.queue, int32(t))
-	ws.inQueue[t] = true
 
 	for head := 0; head < len(ws.queue); head++ {
 		w := ws.queue[head]
-		ws.inQueue[w] = false
-		res := ws.r[w]
+		rw := &ws.rec[w]
+		rw.flag &^= flagQueued
+		res := rw.r
 		if res <= rmax {
 			continue
 		}
-		ws.r[w] = 0
-		ws.p[w] += alpha * res
+		ws.ops++
+		rw.r = 0
+		pw := ws.p[w] + alpha*res
+		ws.p[w] = pw
+		if pw > ws.pmax {
+			ws.pmax = pw
+		}
 		share := (1 - alpha) * res
 		for _, x := range g.InNeighbors(int(w)) {
-			ws.r[x] += share / float64(g.OutDeg(int(x)))
-			ws.mark(x)
-			if !ws.inQueue[x] && ws.r[x] > rmax {
-				ws.inQueue[x] = true
+			rx := &ws.rec[x]
+			// x has an out-arc to w, so its cached out-degree is ≥ 1.
+			rx.r += share / float64(rx.deg)
+			if rx.flag&flagMarked == 0 {
+				rx.flag |= flagMarked
+				ws.touched = append(ws.touched, x)
+			}
+			if rx.flag&flagQueued == 0 && rx.r > rmax {
+				rx.flag |= flagQueued
 				ws.queue = append(ws.queue, x)
 			}
 		}
 	}
 	for _, v := range ws.touched {
-		residual += ws.r[v]
+		residual += ws.rec[v].r
 	}
 	return residual
 }

@@ -83,6 +83,30 @@ func newMetrics(sv *Server) *Metrics {
 			"Seconds since the current serving index was installed.",
 			func() float64 { return time.Since(li.LastSwap()).Seconds() })
 	}
+
+	if pe := sv.cfg.PPR; pe != nil {
+		reg.CounterFunc("nrp_fora_workspace_builds_total",
+			"O(n) PPR query workspaces constructed (sync.Pool misses).",
+			func() float64 { return float64(pe.Counters().WorkspaceBuilds) })
+		reg.CounterFunc("nrp_fora_walks_total",
+			"Monte Carlo walks run across all PPR queries.",
+			func() float64 { return float64(pe.Counters().WalksRun) })
+		reg.CounterFunc("nrp_fora_walk_index_hits_total",
+			"Walk endpoints served from cached walk-index rows.",
+			func() float64 { return float64(pe.Counters().WalkIndex.Hits) })
+		reg.CounterFunc("nrp_fora_walk_index_stale_walks_total",
+			"Walks simulated live because their start node was stale.",
+			func() float64 { return float64(pe.Counters().WalkIndex.StaleWalks) })
+		reg.CounterFunc("nrp_fora_walk_index_invalidated_total",
+			"Walk-index nodes marked stale after edge updates.",
+			func() float64 { return float64(pe.Counters().WalkIndex.Invalidated) })
+		reg.CounterFunc("nrp_fora_walk_index_repaired_total",
+			"Walk-index nodes re-walked back to the fast path.",
+			func() float64 { return float64(pe.Counters().WalkIndex.Repaired) })
+		reg.GaugeFunc("nrp_fora_walk_index_stale_pending",
+			"Invalidated walk-index nodes currently awaiting repair.",
+			func() float64 { return float64(pe.Counters().WalkIndexStalePending) })
+	}
 	return m
 }
 

@@ -136,6 +136,24 @@ func TestMetricsEndpointCoversLifecycle(t *testing.T) {
 	if _, ok := samples[`nrp_uptime_seconds`]; !ok {
 		t.Error("uptime gauge missing")
 	}
+	// FORA engine counters: the /v1/ppr request above built at least one
+	// query workspace; the walk-index families render at zero (no index
+	// attached) rather than disappearing.
+	if got := samples[`nrp_fora_workspace_builds_total`]; got < 1 {
+		t.Errorf("fora workspace builds = %v, want ≥ 1", got)
+	}
+	for _, name := range []string{
+		"nrp_fora_walks_total",
+		"nrp_fora_walk_index_hits_total",
+		"nrp_fora_walk_index_stale_walks_total",
+		"nrp_fora_walk_index_invalidated_total",
+		"nrp_fora_walk_index_repaired_total",
+		"nrp_fora_walk_index_stale_pending",
+	} {
+		if _, ok := samples[name]; !ok {
+			t.Errorf("%s missing from /metrics", name)
+		}
+	}
 }
 
 func TestHealthzBuildInfo(t *testing.T) {

@@ -55,6 +55,54 @@ func New(rows, cols int, rowPtr []int, colIdx []int32, val []float64) (*CSR, err
 	return &CSR{Rows: rows, Cols: cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}, nil
 }
 
+// FromStridedRows assembles a CSR matrix from fixed-stride row storage:
+// row i occupies colIdx[i*stride : i*stride+int(lens[i])] and the matching
+// vals range, with strictly ascending column indices within each row.
+// This is the zero-sort assembly path for row-emitting estimators that
+// already produce sorted, duplicate-free rows (each worker writes its rows
+// into disjoint stride-sized slots with no coordination): FromTriples
+// would pay two counting passes plus a triple buffer over the whole nnz to
+// rediscover an order the producer already had.
+func FromStridedRows(rows, cols int, lens []int32, stride int, colIdx []int32, vals []float64) (*CSR, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("sparse: negative dimension %dx%d", rows, cols)
+	}
+	if stride < 0 {
+		return nil, fmt.Errorf("sparse: negative stride %d", stride)
+	}
+	if len(lens) != rows {
+		return nil, fmt.Errorf("sparse: %d row lengths for %d rows", len(lens), rows)
+	}
+	if len(colIdx) < rows*stride || len(vals) < rows*stride {
+		return nil, fmt.Errorf("sparse: strided buffers hold %d/%d entries, want ≥ %d", len(colIdx), len(vals), rows*stride)
+	}
+	nnz := 0
+	rowPtr := make([]int, rows+1)
+	for i, l := range lens {
+		if l < 0 || int(l) > stride {
+			return nil, fmt.Errorf("sparse: row %d length %d outside [0,%d]", i, l, stride)
+		}
+		nnz += int(l)
+		rowPtr[i+1] = nnz
+	}
+	outC := make([]int32, nnz)
+	outV := make([]float64, nnz)
+	for i := 0; i < rows; i++ {
+		base := i * stride
+		row := colIdx[base : base+int(lens[i])]
+		prev := int32(-1)
+		for _, c := range row {
+			if c <= prev || int(c) >= cols {
+				return nil, fmt.Errorf("sparse: row %d columns not strictly ascending in [0,%d) at %d", i, cols, c)
+			}
+			prev = c
+		}
+		copy(outC[rowPtr[i]:rowPtr[i+1]], row)
+		copy(outV[rowPtr[i]:rowPtr[i+1]], vals[base:base+int(lens[i])])
+	}
+	return &CSR{Rows: rows, Cols: cols, RowPtr: rowPtr, ColIdx: outC, Val: outV}, nil
+}
+
 // Triple is a single (row, col, value) entry used by FromTriples.
 type Triple struct {
 	Row, Col int32

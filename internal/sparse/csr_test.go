@@ -242,3 +242,144 @@ func TestEmptyMatrixOps(t *testing.T) {
 		t.Fatal("empty transpose wrong")
 	}
 }
+
+func TestFromStridedRowsBasic(t *testing.T) {
+	// Three rows in stride-3 slots, partially filled; slack entries in the
+	// buffers must be ignored.
+	lens := []int32{2, 0, 3}
+	cols := []int32{
+		1, 3, -9,
+		-9, -9, -9,
+		0, 2, 3,
+	}
+	vals := []float64{
+		1.5, -2, 99,
+		99, 99, 99,
+		4, 5, 6,
+	}
+	m, err := FromStridedRows(3, 4, lens, 3, cols, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := FromTriples(3, 4, []Triple{
+		{Row: 0, Col: 1, Val: 1.5}, {Row: 0, Col: 3, Val: -2},
+		{Row: 2, Col: 0, Val: 4}, {Row: 2, Col: 2, Val: 5}, {Row: 2, Col: 3, Val: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != want.NNZ() {
+		t.Fatalf("nnz %d, want %d", m.NNZ(), want.NNZ())
+	}
+	for i := 0; i <= 3; i++ {
+		if m.RowPtr[i] != want.RowPtr[i] {
+			t.Fatalf("rowPtr[%d] = %d, want %d", i, m.RowPtr[i], want.RowPtr[i])
+		}
+	}
+	for i := range m.ColIdx {
+		if m.ColIdx[i] != want.ColIdx[i] || m.Val[i] != want.Val[i] {
+			t.Fatalf("entry %d = (%d,%v), want (%d,%v)", i, m.ColIdx[i], m.Val[i], want.ColIdx[i], want.Val[i])
+		}
+	}
+}
+
+func TestFromStridedRowsMatchesTriples(t *testing.T) {
+	// Random strided rows with ascending columns must assemble to the same
+	// matrix FromTriples builds from the equivalent entry list.
+	rng := rand.New(rand.NewSource(11))
+	const rows, colsN, stride = 40, 60, 8
+	lens := make([]int32, rows)
+	colBuf := make([]int32, rows*stride)
+	valBuf := make([]float64, rows*stride)
+	var entries []Triple
+	for i := 0; i < rows; i++ {
+		l := rng.Intn(stride + 1)
+		perm := rng.Perm(colsN)[:l]
+		cs := make([]int, l)
+		copy(cs, perm)
+		sortInts(cs)
+		lens[i] = int32(l)
+		for j, c := range cs {
+			v := rng.NormFloat64()
+			colBuf[i*stride+j] = int32(c)
+			valBuf[i*stride+j] = v
+			entries = append(entries, Triple{Row: int32(i), Col: int32(c), Val: v})
+		}
+	}
+	m, err := FromStridedRows(rows, colsN, lens, stride, colBuf, valBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := FromTriples(rows, colsN, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != want.NNZ() {
+		t.Fatalf("nnz %d, want %d", m.NNZ(), want.NNZ())
+	}
+	for i := range m.ColIdx {
+		if m.ColIdx[i] != want.ColIdx[i] || m.Val[i] != want.Val[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+func TestFromStridedRowsValidation(t *testing.T) {
+	ok := func() ([]int32, []int32, []float64) {
+		return []int32{2, 2}, []int32{0, 2, -9, 1, 2, -9}, []float64{1, 2, 99, 3, 4, 99}
+	}
+	cases := []struct {
+		name string
+		mut  func(lens, cols []int32, vals []float64) (int, int, []int32, int, []int32, []float64)
+	}{
+		{"negative rows", func(l, c []int32, v []float64) (int, int, []int32, int, []int32, []float64) {
+			return -1, 3, l, 3, c, v
+		}},
+		{"lens mismatch", func(l, c []int32, v []float64) (int, int, []int32, int, []int32, []float64) {
+			return 2, 3, l[:1], 3, c, v
+		}},
+		{"short buffer", func(l, c []int32, v []float64) (int, int, []int32, int, []int32, []float64) {
+			return 2, 3, l, 3, c[:4], v
+		}},
+		{"len exceeds stride", func(l, c []int32, v []float64) (int, int, []int32, int, []int32, []float64) {
+			l[0] = 4
+			return 2, 3, l, 3, c, v
+		}},
+		{"negative len", func(l, c []int32, v []float64) (int, int, []int32, int, []int32, []float64) {
+			l[1] = -1
+			return 2, 3, l, 3, c, v
+		}},
+		{"descending cols", func(l, c []int32, v []float64) (int, int, []int32, int, []int32, []float64) {
+			c[0], c[1] = 2, 0
+			return 2, 3, l, 3, c, v
+		}},
+		{"duplicate cols", func(l, c []int32, v []float64) (int, int, []int32, int, []int32, []float64) {
+			c[1] = c[0]
+			return 2, 3, l, 3, c, v
+		}},
+		{"col out of range", func(l, c []int32, v []float64) (int, int, []int32, int, []int32, []float64) {
+			c[3] = 3
+			return 2, 3, l, 3, c, v
+		}},
+	}
+	for _, tc := range cases {
+		l, c, v := ok()
+		rows, colsN, lens, stride, cols, vals := tc.mut(l, c, v)
+		if _, err := FromStridedRows(rows, colsN, lens, stride, cols, vals); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// The unmutated fixture is valid.
+	l, c, v := ok()
+	if _, err := FromStridedRows(2, 3, l, 3, c, v); err != nil {
+		t.Fatalf("valid fixture rejected: %v", err)
+	}
+}

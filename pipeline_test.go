@@ -137,11 +137,14 @@ func TestEmbedCtxStatsAndProgress(t *testing.T) {
 	if stats.PPR.Steps != opt.L1-1 {
 		t.Fatalf("PPR steps = %d, want %d", stats.PPR.Steps, opt.L1-1)
 	}
-	if stats.Reweight.Steps != opt.L2 {
-		t.Fatalf("Reweight steps = %d, want %d", stats.Reweight.Steps, opt.L2)
+	// Early stopping (Options.ReweightTol) may converge before the ℓ₂
+	// epoch cap; at least two epochs always run so the residual sequence
+	// witnesses a decay.
+	if stats.Reweight.Steps < 2 || stats.Reweight.Steps > opt.L2 {
+		t.Fatalf("Reweight steps = %d, want in [2,%d]", stats.Reweight.Steps, opt.L2)
 	}
-	if len(stats.ReweightResiduals) != opt.L2 {
-		t.Fatalf("%d residuals for %d epochs", len(stats.ReweightResiduals), opt.L2)
+	if len(stats.ReweightResiduals) != stats.Reweight.Steps {
+		t.Fatalf("%d residuals for %d epochs", len(stats.ReweightResiduals), stats.Reweight.Steps)
 	}
 	if stats.Total <= 0 {
 		t.Fatalf("Total = %v", stats.Total)

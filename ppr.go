@@ -192,6 +192,24 @@ func (pe *PPREngine) PPR(ctx context.Context, seeds []int, k int) (*PPRResult, e
 // reuse).
 func (pe *PPREngine) WorkspaceBuilds() int64 { return pe.eng.WorkspaceBuilds() }
 
+// PPRCounters are a PPR engine's cumulative work counters — workspace
+// builds, Monte Carlo walks, and the walk-index maintenance tallies —
+// exported on /metrics by the serving stack.
+type PPRCounters = fora.EngineCounters
+
+// PPRWalkIndexCounters are the walk-index maintenance counters nested in
+// PPRCounters (hits, stale walks, invalidations, repairs).
+type PPRWalkIndexCounters = fora.WalkIndexCounters
+
+// Counters returns a snapshot of the engine's work counters. Safe for
+// concurrent use with queries.
+func (pe *PPREngine) Counters() PPRCounters { return pe.eng.Counters() }
+
+// Index returns the engine's attached walk index, nil if none. Enabling
+// maintenance on it and registering it as a DynamicEmbedding's
+// WalkInvalidator keeps indexed queries correct under live edge updates.
+func (pe *PPREngine) Index() *WalkIndex { return pe.eng.Index() }
+
 // PPR answers a one-shot seed-set PPR query on g:
 //
 //	res, err := nrp.PPR(ctx, g, []int{12, 87}, 10, nrp.WithEpsilon(0.3))
