@@ -15,6 +15,11 @@
 // and some endpoint's observed p99 exceeds it. Endpoints the server does
 // not support (update on a static snapshot, ppr when disabled) have
 // their traffic share folded into topk with a warning.
+//
+// Pointed at a cmd/nrprouter front, nrpload also counts topk answers the
+// router flagged "partial": true (served from a degraded shard fleet);
+// -expect-partial turns that count into an assertion — the
+// kill-a-shard-mid-run smoke must observe the degradation it induced.
 package main
 
 import (
@@ -51,6 +56,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "traffic seed")
 	outPath := fs.String("out", "", "write the JSON report to this file")
 	maxP99 := fs.Duration("max-p99", 0, "fail if any endpoint's p99 exceeds this (0 = no bound)")
+	expectPartial := fs.Bool("expect-partial", false, "require at least one partial topk response (degraded-router smoke: a shard was killed mid-run and the router must have kept serving)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,7 +93,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "report written to %s\n", *outPath)
 	}
-	return verdict(report, *maxP99)
+	return verdict(report, *maxP99, *expectPartial)
 }
 
 // printReport renders the human-readable summary.
@@ -97,8 +103,8 @@ func printReport(out io.Writer, r *loadgen.Report) {
 	}
 	fmt.Fprintf(out, "%d requests in %.1fs -> %.0f req/s (%d workers)\n",
 		r.TotalRequests, r.DurationSec, r.AchievedQPS, r.Concurrency)
-	fmt.Fprintf(out, "5xx: %d  429: %d  transport errors: %d\n",
-		r.Errors5xx, r.RateLimited, r.TransportErrors)
+	fmt.Fprintf(out, "5xx: %d  429: %d  transport errors: %d  partial: %d\n",
+		r.Errors5xx, r.RateLimited, r.TransportErrors, r.PartialResponses)
 	names := make([]string, 0, len(r.Endpoints))
 	for name := range r.Endpoints {
 		names = append(names, name)
@@ -113,9 +119,12 @@ func printReport(out io.Writer, r *loadgen.Report) {
 }
 
 // verdict applies the smoke-test pass/fail rules to a finished report.
-func verdict(r *loadgen.Report, maxP99 time.Duration) error {
+func verdict(r *loadgen.Report, maxP99 time.Duration, expectPartial bool) error {
 	if r.TotalRequests == 0 {
 		return fmt.Errorf("no requests completed")
+	}
+	if expectPartial && r.PartialResponses == 0 {
+		return fmt.Errorf("expected partial responses from a degraded router, saw none")
 	}
 	if r.Errors5xx > 0 {
 		return fmt.Errorf("%d requests got 5xx responses", r.Errors5xx)

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -90,5 +92,46 @@ func TestRunBadFlags(t *testing.T) {
 		"-addr", "http://127.0.0.1:1", "-duration", "100ms",
 	}, &buf); err == nil {
 		t.Fatal("dead server accepted")
+	}
+}
+
+// TestExpectPartial drives load through a router over a degraded shard
+// fleet: -expect-partial passes there, and fails against a healthy
+// single-node server (which never flags partial).
+func TestExpectPartial(t *testing.T) {
+	ts := testServer(t)
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-addr", ts.URL, "-duration", "200ms", "-concurrency", "2",
+		"-mix", "topk=1", "-expect-partial",
+	}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "partial") {
+		t.Fatalf("healthy server satisfied -expect-partial: %v", err)
+	}
+
+	// A minimal degraded-router stand-in: healthz like a fleet front,
+	// every topk flagged partial.
+	deg := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch r.URL.Path {
+		case "/v1/healthz":
+			io.WriteString(w, `{"status":"degraded","nodes":100}`)
+		case "/v1/topk":
+			io.WriteString(w, `{"k":4,"results":[{"u":1,"neighbors":[]}],"partial":true}`)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer deg.Close()
+	buf.Reset()
+	err = run(context.Background(), []string{
+		"-addr", deg.URL, "-duration", "200ms", "-concurrency", "2",
+		"-mix", "topk=1", "-expect-partial",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("degraded router failed -expect-partial: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "partial:") {
+		t.Fatalf("summary missing partial count:\n%s", buf.String())
 	}
 }

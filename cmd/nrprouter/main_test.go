@@ -1,0 +1,128 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/nrp-embed/nrp"
+	"github.com/nrp-embed/nrp/internal/serve"
+)
+
+func init() { defaultLogLevel = "error" }
+
+// startShards boots a count-way shard fleet over one embedding, the way
+// `nrpserve -shard i/count` would.
+func startShards(t *testing.T, count int) (urls []string, ref *httptest.Server) {
+	t.Helper()
+	g, err := nrp.GenSBM(nrp.SBMConfig{N: 120, M: 700, Communities: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nrp.DefaultOptions()
+	opt.Dim = 16
+	emb, _, err := nrp.EmbedCtx(context.Background(), g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < count; i++ {
+		s, err := nrp.BuildIndex(emb, nrp.WithShardSlice(i, count))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := nrp.ShardRange(emb.N(), i, count)
+		sv := serve.NewServer(s, serve.Config{
+			Backend: "exact",
+			Shard:   &serve.ShardInfo{Index: i, Count: count, Lo: lo, Hi: hi},
+		})
+		ts := httptest.NewServer(sv.Handler())
+		t.Cleanup(ts.Close)
+		urls = append(urls, ts.URL)
+	}
+	full, err := nrp.BuildIndex(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref = httptest.NewServer(serve.NewServer(full, serve.Config{Backend: "exact"}).Handler())
+	t.Cleanup(ref.Close)
+	return urls, ref
+}
+
+// TestRouterFromFlagsEndToEnd drives the CLI boot path against a live
+// fleet and checks the routed answer against a single-node server.
+func TestRouterFromFlagsEndToEnd(t *testing.T) {
+	urls, ref := startShards(t, 3)
+	cfg, err := newRouterFromFlags(context.Background(),
+		[]string{"-shards", strings.Join(urls, ","), "-boot-timeout", "5s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(cfg.rt.Handler())
+	defer rts.Close()
+
+	for _, base := range []string{rts.URL, ref.URL} {
+		resp, err := http.Get(base + "/v1/topk?u=11&k=7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", base, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	get := func(base string) serve.TopKResponse {
+		resp, err := http.Get(base + "/v1/topk?u=11&k=7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var tk serve.TopKResponse
+		if err := json.NewDecoder(resp.Body).Decode(&tk); err != nil {
+			t.Fatal(err)
+		}
+		return tk
+	}
+	got, want := get(rts.URL), get(ref.URL)
+	if !reflect.DeepEqual(got.Results, want.Results) {
+		t.Fatalf("router %+v\nsingle %+v", got.Results, want.Results)
+	}
+}
+
+func TestRouterFlagValidation(t *testing.T) {
+	for _, tc := range [][]string{
+		{}, // -shards required
+		{"-shards", "http://x", "-log-format", "bogus"},             // bad log format
+		{"-shards", "http://127.0.0.1:1", "-boot-timeout", "200ms"}, // unreachable fleet
+	} {
+		if _, err := newRouterFromFlags(context.Background(), tc); err == nil {
+			t.Fatalf("args %v accepted", tc)
+		}
+	}
+}
+
+// TestRunGracefulShutdown exercises the real run() path: boot against a
+// live fleet on an ephemeral port, then cancel and expect a clean exit.
+func TestRunGracefulShutdown(t *testing.T) {
+	urls, _ := startShards(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-shards", strings.Join(urls, ","),
+			"-addr", "127.0.0.1:0", "-drain", "2s", "-health-interval", "50ms"})
+	}()
+	time.Sleep(300 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not exit after cancel")
+	}
+}

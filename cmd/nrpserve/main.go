@@ -7,7 +7,7 @@
 // Usage:
 //
 //	nrpserve -index index.bin [-addr :8080] [-shards 0] [-drain 10s]
-//	         [-ef-search 64] [-hnsw-seed-rows 0]
+//	         [-ef-search 64] [-hnsw-seed-rows 0] [-shard i/N]
 //	nrpserve -embedding emb.bin -backend quantized [-shards 0] [-rerank 4] [-include-self]
 //	nrpserve -graph graph.txt [-directed] [-dim 128] [-seed 1] [-backend exact]
 //	         [-refresh-policy incremental] [-refresh-interval 30s] [-threads 0]
@@ -61,6 +61,14 @@
 // walk index (N walk endpoints per node) at boot, and when the graph is
 // an NRPG snapshot saved with a walk index (`nrp convert -walk-index`),
 // that index is used without re-simulation.
+//
+// Sharded serving: -shard i/N (0-based) restricts top-k candidates to
+// the i-th of N contiguous node-range slices while still loading the full
+// snapshot, so /v1/score and any query source work unchanged. N such
+// processes behind cmd/nrprouter answer exactly what one unsharded server
+// would; the slice is advertised in /v1/healthz for the router to
+// validate. -shard composes with -index and -embedding but not -graph or
+// -backend hnsw (the HNSW beam search is global by construction).
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight queries for up to -drain before exiting.
@@ -141,6 +149,7 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 		refreshIntv = fs.Duration("refresh-interval", 0, "background refresh period for -graph when updates are pending (0 = refresh only via /v1/refresh)")
 		backendName = fs.String("backend", "exact", "backend for -embedding/-graph: exact, quantized, pruned or hnsw")
 		shards      = fs.Int("shards", 0, "scan shards per query (0 = all cores)")
+		shardSpec   = fs.String("shard", "", "serve one slice i/N of the node space, e.g. -shard 0/3 (scatter-gather via cmd/nrprouter; -index/-embedding only)")
 		threads     = fs.Int("threads", 0, "worker threads for -graph embedding/refreshes and index builds (0 = all cores)")
 		rerank      = fs.Int("rerank", 0, "quantized shortlist multiplier (0 = default/snapshot value)")
 		efSearch    = fs.Int("ef-search", 0, "HNSW query beam width (default/snapshot value if unset)")
@@ -180,6 +189,16 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 	}
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	shardIdx, shardCnt := -1, 0
+	if *shardSpec != "" {
+		if *graphPath != "" {
+			return nil, fmt.Errorf("-shard requires a static index (-index or -embedding); a live -graph server re-embeds and cannot hold a stable slice")
+		}
+		if _, err := fmt.Sscanf(*shardSpec, "%d/%d", &shardIdx, &shardCnt); err != nil {
+			return nil, fmt.Errorf("-shard must look like i/N, e.g. 0/3: %w", err)
+		}
+	}
 
 	// HNSW options are forwarded only when explicitly set: the library
 	// validates them against the backend (and, for snapshots, against
@@ -226,6 +245,9 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 		}
 		if set["include-self"] {
 			opts = append(opts, nrp.WithIncludeSelf(*includeSelf))
+		}
+		if *shardSpec != "" {
+			opts = append(opts, nrp.WithShardSlice(shardIdx, shardCnt))
 		}
 		opts = append(opts, hnswOpts...)
 		searcher, err = nrp.LoadIndex(f, opts...)
@@ -337,6 +359,9 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 		if *rerank > 0 {
 			opts = append(opts, nrp.WithRerank(*rerank))
 		}
+		if *shardSpec != "" {
+			opts = append(opts, nrp.WithShardSlice(shardIdx, shardCnt))
+		}
 		opts = append(opts, hnswOpts...)
 		searcher, err = nrp.BuildIndex(emb, opts...)
 		if err != nil {
@@ -365,6 +390,11 @@ func newServerFromFlags(ctx context.Context, args []string) (*config, error) {
 		RateBurst:      *rateBurst,
 		Coalesce:       *coalesce,
 		CoalesceWindow: *coalesceWin,
+	}
+	if *shardSpec != "" {
+		lo, hi := nrp.ShardRange(searcher.N(), shardIdx, shardCnt)
+		svCfg.Shard = &serve.ShardInfo{Index: shardIdx, Count: shardCnt, Lo: lo, Hi: hi}
+		logger.Info("serving shard slice", "shard", *shardSpec, "lo", lo, "hi", hi)
 	}
 	var sv *serve.Server
 	if live != nil {

@@ -3,10 +3,12 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -546,5 +548,117 @@ func TestPPRFlagsRequireGraph(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("ppr without a graph: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestServeShardSlice boots three -shard i/3 servers from one snapshot
+// and checks that each advertises its slice in /v1/healthz, answers only
+// from it, and that the merged per-shard answers reproduce the unsharded
+// server's — the contract cmd/nrprouter is built on.
+func TestServeShardSlice(t *testing.T) {
+	dir := t.TempDir()
+	_, indexPath, emb := writeFixtures(t, dir)
+	const count, k = 3, 8
+
+	full, err := newServerFromFlags(context.Background(), []string{"-index", indexPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullTS := httptest.NewServer(full.server.Handler())
+	defer fullTS.Close()
+
+	type merged struct {
+		Node  int
+		Score float64
+	}
+	var union []merged
+	next := 0
+	for i := 0; i < count; i++ {
+		cfg, err := newServerFromFlags(context.Background(),
+			[]string{"-index", indexPath, "-shard", fmt.Sprintf("%d/%d", i, count)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(cfg.server.Handler())
+		resp, err := http.Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hz serve.HealthzResponse
+		if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if hz.Shard == nil || hz.Shard.Index != i || hz.Shard.Count != count || hz.Shard.Lo != next {
+			t.Fatalf("shard %d healthz shard info %+v", i, hz.Shard)
+		}
+		next = hz.Shard.Hi
+
+		resp, err = http.Get(fmt.Sprintf("%s/v1/topk?u=7&k=%d", ts.URL, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tk serve.TopKResponse
+		if err := json.NewDecoder(resp.Body).Decode(&tk); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		for _, nb := range tk.Results[0].Neighbors {
+			if nb.Node < hz.Shard.Lo || nb.Node >= hz.Shard.Hi {
+				t.Fatalf("shard %d returned node %d outside [%d,%d)", i, nb.Node, hz.Shard.Lo, hz.Shard.Hi)
+			}
+			union = append(union, merged{nb.Node, nb.Score})
+		}
+		ts.Close()
+	}
+	if next != emb.N() {
+		t.Fatalf("shard slices end at %d, want %d", next, emb.N())
+	}
+
+	// Merge: score desc, node asc, truncate k — the router's merge rule.
+	sort.Slice(union, func(i, j int) bool {
+		if union[i].Score != union[j].Score {
+			return union[i].Score > union[j].Score
+		}
+		return union[i].Node < union[j].Node
+	})
+	union = union[:k]
+	resp, err := http.Get(fmt.Sprintf("%s/v1/topk?u=7&k=%d", fullTS.URL, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want serve.TopKResponse
+	if err := json.NewDecoder(resp.Body).Decode(&want); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// The quantized snapshot's merged shortlist is a superset of the
+	// single-node one: assert per-rank score dominance (equality for the
+	// exact backends is covered in the nrp package tests).
+	for r, nb := range want.Results[0].Neighbors {
+		if union[r].Score < nb.Score {
+			t.Fatalf("rank %d: merged score %g below single-node %g", r, union[r].Score, nb.Score)
+		}
+	}
+}
+
+func TestShardFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	embPath, indexPath, _ := writeFixtures(t, dir)
+	g := filepath.Join(dir, "graph.txt")
+	if err := os.WriteFile(g, []byte("0 1\n1 2\n2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range [][]string{
+		{"-index", indexPath, "-shard", "three"},                     // not i/N
+		{"-index", indexPath, "-shard", "3/3"},                       // index out of range
+		{"-index", indexPath, "-shard", "-1/3"},                      // negative index
+		{"-embedding", embPath, "-shard", "0/0"},                     // zero count
+		{"-graph", g, "-shard", "0/2"},                               // live servers cannot shard
+		{"-embedding", embPath, "-backend", "hnsw", "-shard", "0/2"}, // global beam search
+	} {
+		if _, err := newServerFromFlags(context.Background(), tc); err == nil {
+			t.Fatalf("args %v accepted", tc)
+		}
 	}
 }

@@ -1,0 +1,122 @@
+package nrp
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocsLinks walks every markdown file in the repository and checks
+// that relative links resolve: the target file must exist, and when the
+// link carries a #fragment, the target must contain a heading that
+// slugs to it (GitHub's anchor rule: lowercase, drop everything that is
+// not a letter, digit, space or hyphen, then spaces to hyphens). The
+// docs under docs/ cross-link each other and the README heavily; this
+// keeps a rename or a heading edit from silently breaking them.
+func TestDocsLinks(t *testing.T) {
+	var files []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found")
+	}
+
+	anchors := make(map[string]map[string]bool, len(files))
+	contents := make(map[string][]byte, len(files))
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		contents[f] = raw
+		anchors[f] = headingAnchors(string(raw))
+	}
+
+	linkRe := regexp.MustCompile(`\]\(([^()\s]+)\)`)
+	for _, f := range files {
+		for _, m := range linkRe.FindAllStringSubmatch(string(contents[f]), -1) {
+			link := m[1]
+			if strings.Contains(link, "://") || strings.HasPrefix(link, "mailto:") {
+				continue
+			}
+			target, frag, _ := strings.Cut(link, "#")
+			resolved := f
+			if target != "" {
+				resolved = filepath.Join(filepath.Dir(f), target)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: link %q: target does not exist", f, link)
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			set, ok := anchors[resolved]
+			if !ok {
+				// Fragment into a non-markdown file (e.g. a source
+				// file); existence is all we can check.
+				continue
+			}
+			if !set[frag] {
+				t.Errorf("%s: link %q: no heading in %s slugs to #%s", f, link, resolved, frag)
+			}
+		}
+	}
+}
+
+// headingAnchors returns the set of GitHub anchor slugs for a markdown
+// document's headings. Fenced code blocks are skipped so a commented
+// shell line starting with # is not mistaken for a heading.
+func headingAnchors(doc string) map[string]bool {
+	slugs := make(map[string]bool)
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		text := strings.TrimLeft(trimmed, "#")
+		if text == "" || !strings.HasPrefix(text, " ") {
+			continue
+		}
+		slug := slugify(strings.TrimSpace(text))
+		// Duplicate headings get -1, -2, ... suffixes on GitHub; links
+		// here only ever point at the first occurrence.
+		if !slugs[slug] {
+			slugs[slug] = true
+		}
+	}
+	return slugs
+}
+
+var nonSlug = regexp.MustCompile(`[^\p{L}\p{N} \-]`)
+
+func slugify(heading string) string {
+	s := strings.ToLower(heading)
+	s = strings.ReplaceAll(s, "`", "")
+	s = nonSlug.ReplaceAllString(s, "")
+	return strings.ReplaceAll(s, " ", "-")
+}

@@ -182,6 +182,14 @@ type indexConfig struct {
 	// WithHNSWSeedRows(0) explicitly disables seeding).
 	hnswSeedRows     int
 	hnswSeedRowsExpl bool
+	// shardIdx/shardCnt restrict the candidate set to slice shardIdx of a
+	// shardCnt-way contiguous partition of [0, n) — the distributed-serving
+	// seam (WithShardSlice). The slice resolves to concrete bounds only
+	// once n is known, so the same option works for BuildIndex and for
+	// LoadIndex before the snapshot header is read. Never persisted: a
+	// snapshot always holds the full index, the slice is a serving choice.
+	shardIdx, shardCnt int
+	sliceSet           bool
 }
 
 // IndexOption configures BuildIndex (and LoadIndex overrides). It is an
@@ -266,6 +274,34 @@ func WithHNSWQuantized(on bool) IndexOption {
 	return indexOptionFunc(func(c *indexConfig) { c.hnswQuant, c.hnswQuantExpl = on, true })
 }
 
+// WithShardSlice restricts the candidate set to slice i of a count-way
+// contiguous partition of the node space — the building block of
+// distributed scatter-gather serving: a fleet of processes, each built
+// (or loaded) with a distinct slice of the same embedding, together
+// covers [0, n) exactly once, and a stateless router (cmd/nrprouter)
+// merging their per-slice top-k answers reproduces the single-node
+// result. Slice boundaries are ShardRange(n, i, count), the same range
+// partition the in-process sharded scans use.
+//
+// Queries still accept any source node in [0, n) — only returned
+// candidates are restricted — and ScoreMany stays global (the full
+// embedding is always held). Valid for the scan backends (exact, pruned,
+// quantized, whose results stay exact over the slice); BackendHNSW's
+// graph traversal is global by construction, so combining it with a
+// slice returns ErrIndexOptionConflict. A slice-restricted Searcher
+// cannot be persisted with SaveIndex.
+func WithShardSlice(i, count int) IndexOption {
+	return indexOptionFunc(func(c *indexConfig) { c.shardIdx, c.shardCnt, c.sliceSet = i, count, true })
+}
+
+// ShardRange computes the half-open node range [lo, hi) that slice i of a
+// count-way partition covers: the same contiguous range partition the
+// sharded in-process scans use, lifted to process granularity so shard
+// servers and the router agree on boundaries without coordination.
+func ShardRange(n, i, count int) (lo, hi int) {
+	return contiguousSpan(n, i, count)
+}
+
 // WithIncludeSelf admits the query node itself as a result; by default it
 // is excluded, matching the link-prediction use of proximity scores.
 func WithIncludeSelf(on bool) IndexOption {
@@ -336,6 +372,14 @@ func (c *indexConfig) validate() error {
 			return fmt.Errorf("nrp: WithRerank on hnsw backend without WithHNSWQuantized (scores are already exact): %w", ErrIndexOptionConflict)
 		}
 	}
+	if c.sliceSet {
+		if c.shardCnt < 1 || c.shardIdx < 0 || c.shardIdx >= c.shardCnt {
+			return fmt.Errorf("nrp: shard slice %d/%d out of range: %w", c.shardIdx, c.shardCnt, ErrInvalidIndexOption)
+		}
+		if c.backend == BackendHNSW {
+			return fmt.Errorf("nrp: WithShardSlice on hnsw backend (graph traversal is global): %w", ErrIndexOptionConflict)
+		}
+	}
 	return nil
 }
 
@@ -347,7 +391,31 @@ func (c *indexConfig) validateSize(n int) error {
 	if c.shardsExplicit && c.shards > n {
 		return fmt.Errorf("nrp: %d shards exceed index size %d: %w", c.shards, n, ErrInvalidIndexOption)
 	}
+	if c.sliceSet && c.shardCnt > n {
+		return fmt.Errorf("nrp: %d shard slices exceed index size %d: %w", c.shardCnt, n, ErrInvalidIndexOption)
+	}
 	return nil
+}
+
+// candRange resolves the candidate node range a query may return: the
+// configured shard slice, or all of [0, n) on an unrestricted index.
+func (c *indexConfig) candRange(n int) (lo, hi int) {
+	if !c.sliceSet {
+		return 0, n
+	}
+	return contiguousSpan(n, c.shardIdx, c.shardCnt)
+}
+
+// availCandidates counts the results a query for source u can maximally
+// return: the candidate range, minus the source itself when it lies
+// inside the range and self-results are excluded.
+func (c *indexConfig) availCandidates(n, u int) int {
+	lo, hi := c.candRange(n)
+	avail := hi - lo
+	if !c.includeSelf && u >= lo && u < hi {
+		avail--
+	}
+	return avail
 }
 
 // BuildIndex constructs a query index over emb with the selected backend:
@@ -600,14 +668,21 @@ func (ix *Index) topkOne(ctx context.Context, u, k int, parallel bool) ([]Neighb
 	if err := ctx.Err(); err != nil {
 		return nil, stats, err
 	}
-	k = clampK(n, k, ix.cfg.includeSelf)
-	if k == 0 {
+	if avail := ix.cfg.availCandidates(n, u); k > avail {
+		k = avail
+	}
+	if k <= 0 {
 		return nil, stats, nil
 	}
 
+	// The candidate range is all of [0, n) on an unrestricted index and
+	// this process's slice under WithShardSlice; per-query shard spans
+	// subdivide whatever the range is.
+	rlo, rhi := ix.cfg.candRange(n)
 	xu := ix.emb.X.Row(u)
 	scan := func(ctx context.Context, w, shards int, h *topkHeap) (scanned, pruned int, err error) {
-		lo, hi := contiguousSpan(n, w, shards)
+		lo, hi := contiguousSpan(rhi-rlo, w, shards)
+		lo, hi = lo+rlo, hi+rlo
 		for v := lo; v < hi; v++ {
 			if (v-lo)%ctxCheckStride == 0 {
 				if err := ctx.Err(); err != nil {
@@ -622,7 +697,7 @@ func (ix *Index) topkOne(ctx context.Context, u, k int, parallel bool) ([]Neighb
 		}
 		return scanned, 0, nil
 	}
-	nbrs, stats, err := runShardScan(ctx, n, ix.cfg.shards, k, parallel, scan)
+	nbrs, stats, err := runShardScan(ctx, rhi-rlo, ix.cfg.shards, k, parallel, scan)
 	stats.Elapsed = time.Since(start)
 	return nbrs, stats, err
 }

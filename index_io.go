@@ -105,6 +105,12 @@ func SaveIndex(w io.Writer, s Searcher) error {
 	default:
 		return fmt.Errorf("nrp: SaveIndex: unsupported Searcher %T", s)
 	}
+	if cfg.sliceSet {
+		// A slice-restricted index holds filtered build state (the pruned
+		// backend's permutation); snapshots always persist the full index.
+		// Persist an unrestricted build and load it with WithShardSlice.
+		return fmt.Errorf("nrp: SaveIndex: index is restricted to shard slice %d/%d; save the full index and pass WithShardSlice at load", cfg.shardIdx, cfg.shardCnt)
+	}
 
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(indexMagic); err != nil {

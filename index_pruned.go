@@ -56,11 +56,26 @@ func newPrunedIndex(emb *Embedding, cfg indexConfig) *prunedIndex {
 // copy than to store twice). nodeNorms, when non-nil, supplies the
 // per-node norms already computed by the build path; the snapshot load
 // path passes nil and recomputes them from the rows.
+//
+// Under WithShardSlice the permutation is filtered to the slice's node
+// range first: a subsequence of a norm-sorted sequence stays sorted, so
+// the early-exit bound is unchanged and per-slice results remain exact
+// over the slice's candidates.
 func loadedPrunedIndex(emb *Embedding, cfg indexConfig, perm []int32, nodeNorms []float64) *prunedIndex {
 	n, dim := emb.N(), emb.Dim()
+	if rlo, rhi := cfg.candRange(n); rlo != 0 || rhi != n {
+		kept := make([]int32, 0, rhi-rlo)
+		for _, v := range perm {
+			if int(v) >= rlo && int(v) < rhi {
+				kept = append(kept, v)
+			}
+		}
+		perm = kept
+	}
+	m := len(perm)
 	ix := &prunedIndex{emb: emb, cfg: cfg, perm: perm,
-		norms: make([]float64, n), ys: matrix.NewDense(n, dim)}
-	par.New(cfg.buildThreads).For(n, func(_, lo, hi int) {
+		norms: make([]float64, m), ys: matrix.NewDense(m, dim)}
+	par.New(cfg.buildThreads).For(m, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			v := perm[i]
 			copy(ix.ys.Row(i), emb.Y.Row(int(v)))
@@ -102,16 +117,21 @@ func (ix *prunedIndex) topkOne(ctx context.Context, u, k int, parallel bool) ([]
 	if err := ctx.Err(); err != nil {
 		return nil, stats, err
 	}
-	k = clampK(n, k, ix.cfg.includeSelf)
-	if k == 0 {
+	if avail := ix.cfg.availCandidates(n, u); k > avail {
+		k = avail
+	}
+	if k <= 0 {
 		return nil, stats, nil
 	}
 
+	// m is the number of scan positions: all n nodes, or the slice's
+	// share when the permutation was filtered under WithShardSlice.
+	m := len(ix.perm)
 	xu := ix.emb.X.Row(u)
 	xnorm := matrix.Norm2(xu)
 	scan := func(ctx context.Context, w, shards int, h *topkHeap) (scanned, pruned int, err error) {
 		steps := 0
-		for p := w; p < n; p += shards {
+		for p := w; p < m; p += shards {
 			if steps%ctxCheckStride == 0 {
 				if err := ctx.Err(); err != nil {
 					return scanned, pruned, err
@@ -124,7 +144,7 @@ func (ix *prunedIndex) topkOne(ctx context.Context, u, k int, parallel bool) ([]
 			// exactness under the ascending-node-id tie-break: an exact
 			// tie with the threshold could still displace a higher id.
 			if h.full() && xnorm*ix.norms[p] < h.min().Score {
-				pruned = (n - p + shards - 1) / shards
+				pruned = (m - p + shards - 1) / shards
 				break
 			}
 			v := int(ix.perm[p])
@@ -136,7 +156,7 @@ func (ix *prunedIndex) topkOne(ctx context.Context, u, k int, parallel bool) ([]
 		}
 		return scanned, pruned, nil
 	}
-	nbrs, stats, err := runShardScan(ctx, n, ix.cfg.shards, k, parallel, scan)
+	nbrs, stats, err := runShardScan(ctx, m, ix.cfg.shards, k, parallel, scan)
 	stats.Elapsed = time.Since(start)
 	return nbrs, stats, err
 }

@@ -64,11 +64,18 @@ func (ix *quantIndex) topkOne(ctx context.Context, u, k int, parallel bool) ([]N
 	if err := ctx.Err(); err != nil {
 		return nil, stats, err
 	}
-	k = clampK(n, k, ix.cfg.includeSelf)
-	if k == 0 {
+	if avail := ix.cfg.availCandidates(n, u); k > avail {
+		k = avail
+	}
+	if k <= 0 {
 		return nil, stats, nil
 	}
 
+	// Candidate range: the whole index, or this process's slice under
+	// WithShardSlice. The quantization scales stay global (computed over
+	// all rows at build time), so per-slice quantized scores are identical
+	// to the single-process scan's.
+	rlo, rhi := ix.cfg.candRange(n)
 	qx, _ := ix.qy.QuantizeQuery(ix.emb.X.Row(u))
 	// Each shard shortlists its own top rerank·k by quantized score; the
 	// merged shortlist is re-scored exactly below, so the quantized scale
@@ -76,7 +83,8 @@ func (ix *quantIndex) topkOne(ctx context.Context, u, k int, parallel bool) ([]N
 	// it cannot change the ordering.
 	rk := k * ix.cfg.rerank
 	scan := func(ctx context.Context, w, shards int, h *topkHeap) (scanned, pruned int, err error) {
-		lo, hi := contiguousSpan(n, w, shards)
+		lo, hi := contiguousSpan(rhi-rlo, w, shards)
+		lo, hi = lo+rlo, hi+rlo
 		for v := lo; v < hi; v++ {
 			if (v-lo)%ctxCheckStride == 0 {
 				if err := ctx.Err(); err != nil {
@@ -91,7 +99,7 @@ func (ix *quantIndex) topkOne(ctx context.Context, u, k int, parallel bool) ([]N
 		}
 		return scanned, 0, nil
 	}
-	shortlist, stats, err := runShardScan(ctx, n, ix.cfg.shards, rk, parallel, scan)
+	shortlist, stats, err := runShardScan(ctx, rhi-rlo, ix.cfg.shards, rk, parallel, scan)
 	if err != nil {
 		return nil, stats, err
 	}

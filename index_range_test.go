@@ -1,0 +1,215 @@
+package nrp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"slices"
+	"testing"
+)
+
+// mergeSliceResults emulates the router's scatter-gather merge: union the
+// per-slice answers, re-sort by the exact scores the slices returned
+// (score desc, node asc — the backends' own order), truncate to k.
+func mergeSliceResults(parts [][]Neighbor, k int) []Neighbor {
+	union := make([]Neighbor, 0, k*len(parts))
+	for _, p := range parts {
+		union = append(union, p...)
+	}
+	sortNeighbors(union)
+	if len(union) > k {
+		union = union[:k]
+	}
+	return union
+}
+
+// TestShardSliceUnionMatchesFull is the library-level statement of the
+// distributed-serving contract: for the exact-result backends, merging
+// the per-slice top-k answers of a count-way WithShardSlice partition
+// reproduces the single-index answer bit for bit.
+func TestShardSliceUnionMatchesFull(t *testing.T) {
+	emb := testEmbedding(t, 150)
+	n := emb.N()
+	ctx := context.Background()
+	for _, backend := range []Backend{BackendExact, BackendPruned} {
+		for _, count := range []int{1, 2, 3, 5, 8} {
+			full, err := BuildIndex(emb, WithBackend(backend))
+			if err != nil {
+				t.Fatal(err)
+			}
+			slices_ := make([]Searcher, count)
+			for i := range slices_ {
+				s, err := BuildIndex(emb, WithBackend(backend), WithShardSlice(i, count))
+				if err != nil {
+					t.Fatalf("%v slice %d/%d: %v", backend, i, count, err)
+				}
+				slices_[i] = s
+			}
+			for _, u := range []int{0, 7, n - 1} {
+				for _, k := range []int{1, 10, n + 5} {
+					want, err := full.TopK(ctx, u, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					parts := make([][]Neighbor, count)
+					for i, s := range slices_ {
+						if parts[i], err = s.TopK(ctx, u, k); err != nil {
+							t.Fatal(err)
+						}
+					}
+					got := mergeSliceResults(parts, k)
+					if !slices.Equal(got, want) {
+						t.Fatalf("%v count=%d u=%d k=%d: merged slices differ from full index\n got %v\nwant %v",
+							backend, count, u, k, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardSliceQuantizedDominates: the quantized backend's per-slice
+// shortlists union to a superset of the single-index shortlist, so the
+// merged answer's exact scores can only be at least as good, rank for
+// rank.
+func TestShardSliceQuantizedDominates(t *testing.T) {
+	emb := testEmbedding(t, 150)
+	ctx := context.Background()
+	const count, k = 3, 10
+	full, err := BuildIndex(emb, WithBackend(BackendQuantized))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([][]Neighbor, count)
+	for u := 0; u < 20; u++ {
+		want, err := full.TopK(ctx, u, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range parts {
+			s, err := BuildIndex(emb, WithBackend(BackendQuantized), WithShardSlice(i, count))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parts[i], err = s.TopK(ctx, u, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := mergeSliceResults(parts, k)
+		if len(got) != len(want) {
+			t.Fatalf("u=%d: merged %d results, full %d", u, len(got), len(want))
+		}
+		for r := range got {
+			if got[r].Score < want[r].Score {
+				t.Fatalf("u=%d rank %d: merged score %g below single-index %g", u, r, got[r].Score, want[r].Score)
+			}
+		}
+	}
+}
+
+// TestShardSliceTopKMany: the batched path respects the slice too.
+func TestShardSliceTopKMany(t *testing.T) {
+	emb := testEmbedding(t, 120)
+	ctx := context.Background()
+	lo, hi := ShardRange(emb.N(), 1, 3)
+	s, err := BuildIndex(emb, WithShardSlice(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.TopKMany(ctx, []int{3, 50, 110}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		for _, nb := range r.Neighbors {
+			if nb.Node < lo || nb.Node >= hi {
+				t.Fatalf("source %d: candidate %d outside slice [%d,%d)", r.Source, nb.Node, lo, hi)
+			}
+		}
+	}
+	// ScoreMany stays global: pairs outside the slice still score.
+	if _, err := s.ScoreMany(ctx, []Pair{{U: 0, V: emb.N() - 1}}); err != nil {
+		t.Fatalf("ScoreMany outside slice: %v", err)
+	}
+}
+
+func TestShardSliceValidation(t *testing.T) {
+	emb := testEmbedding(t, 60)
+	for _, tc := range []struct {
+		name string
+		opts []IndexOption
+		want error
+	}{
+		{"negative index", []IndexOption{WithShardSlice(-1, 3)}, ErrInvalidIndexOption},
+		{"index past count", []IndexOption{WithShardSlice(3, 3)}, ErrInvalidIndexOption},
+		{"zero count", []IndexOption{WithShardSlice(0, 0)}, ErrInvalidIndexOption},
+		{"count past n", []IndexOption{WithShardSlice(0, 61)}, ErrInvalidIndexOption},
+		{"hnsw conflict", []IndexOption{WithBackend(BackendHNSW), WithShardSlice(0, 2)}, ErrIndexOptionConflict},
+	} {
+		if _, err := BuildIndex(emb, tc.opts...); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestShardSliceSnapshot: slices are a load-time choice — a restricted
+// index cannot be persisted, and loading a full snapshot with
+// WithShardSlice reproduces the restricted build for every backend that
+// persists build state.
+func TestShardSliceSnapshot(t *testing.T) {
+	emb := testEmbedding(t, 90)
+	ctx := context.Background()
+	for _, backend := range []Backend{BackendExact, BackendQuantized, BackendPruned} {
+		full, err := BuildIndex(emb, WithBackend(backend))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := SaveIndex(&buf, full); err != nil {
+			t.Fatal(err)
+		}
+		restricted, err := LoadIndex(bytes.NewReader(buf.Bytes()), WithShardSlice(1, 2))
+		if err != nil {
+			t.Fatalf("%v: loading with slice: %v", backend, err)
+		}
+		built, err := BuildIndex(emb, WithBackend(backend), WithShardSlice(1, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range []int{0, 45, 89} {
+			got, err := restricted.TopK(ctx, u, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := built.TopK(ctx, u, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(got, want) {
+				t.Fatalf("%v u=%d: snapshot-loaded slice differs from built slice", backend, u)
+			}
+		}
+		// The restricted index itself must refuse to persist.
+		if err := SaveIndex(&bytes.Buffer{}, restricted); err == nil {
+			t.Fatalf("%v: SaveIndex accepted a slice-restricted index", backend)
+		}
+	}
+}
+
+func TestShardRangePartition(t *testing.T) {
+	for _, n := range []int{1, 5, 7, 100, 101} {
+		for count := 1; count <= n && count <= 9; count++ {
+			next := 0
+			for i := 0; i < count; i++ {
+				lo, hi := ShardRange(n, i, count)
+				if lo != next || hi < lo || hi > n {
+					t.Fatalf("n=%d count=%d slice %d: [%d,%d) does not continue partition at %d", n, count, i, lo, hi, next)
+				}
+				next = hi
+			}
+			if next != n {
+				t.Fatalf("n=%d count=%d: partition ends at %d", n, count, next)
+			}
+		}
+	}
+}

@@ -110,15 +110,19 @@ type EndpointStats struct {
 
 // Report is the outcome of one load run.
 type Report struct {
-	DurationSec     float64                   `json:"duration_sec"`
-	Concurrency     int                       `json:"concurrency"`
-	TotalRequests   int64                     `json:"total_requests"`
-	AchievedQPS     float64                   `json:"achieved_qps"`
-	Errors5xx       int64                     `json:"errors_5xx"`
-	RateLimited     int64                     `json:"rate_limited"`
-	TransportErrors int64                     `json:"transport_errors"`
-	Endpoints       map[string]*EndpointStats `json:"endpoints"`
-	Warnings        []string                  `json:"warnings,omitempty"`
+	DurationSec     float64 `json:"duration_sec"`
+	Concurrency     int     `json:"concurrency"`
+	TotalRequests   int64   `json:"total_requests"`
+	AchievedQPS     float64 `json:"achieved_qps"`
+	Errors5xx       int64   `json:"errors_5xx"`
+	RateLimited     int64   `json:"rate_limited"`
+	TransportErrors int64   `json:"transport_errors"`
+	// PartialResponses counts topk 200s flagged "partial": true — answers
+	// a scatter-gather router (cmd/nrprouter) served from a degraded shard
+	// fleet. Always 0 against a single-node server.
+	PartialResponses int64                     `json:"partial_responses,omitempty"`
+	Endpoints        map[string]*EndpointStats `json:"endpoints"`
+	Warnings         []string                  `json:"warnings,omitempty"`
 }
 
 // healthz is the slice of the server's health response the generator
@@ -135,6 +139,7 @@ type sample struct {
 	us       int64
 	status   int
 	failed   bool // transport error
+	partial  bool // topk 200 flagged "partial": true by a degraded router
 }
 
 const (
@@ -272,6 +277,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			if s.status == http.StatusTooManyRequests {
 				report.RateLimited++
 			}
+			if s.partial {
+				report.PartialResponses++
+			}
 		}
 	}
 	report.DurationSec = elapsed.Seconds()
@@ -332,9 +340,16 @@ func doRequest(ctx context.Context, client *http.Client, cfg Config, ep int, pic
 	if err != nil {
 		return sample{endpoint: ep, us: us, failed: true}
 	}
+	s := sample{endpoint: ep, us: us, status: resp.StatusCode}
+	if ep == epTopK && resp.StatusCode == http.StatusOK {
+		// Sniff the router's degradation flag without a full JSON decode on
+		// the hot path; single-node servers never emit the field.
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		s.partial = bytes.Contains(raw, []byte(`"partial":true`))
+	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return sample{endpoint: ep, us: us, status: resp.StatusCode}
+	return s
 }
 
 func getJSON(ctx context.Context, client *http.Client, url string, v any) error {

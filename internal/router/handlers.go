@@ -1,0 +1,247 @@
+package router
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/nrp-embed/nrp/internal/serve"
+)
+
+// HealthzResponse is the router's /v1/healthz body: fleet-level status
+// plus one entry per shard. Status is "ok" when every shard is in
+// rotation and "degraded" while any is out — load balancers should keep
+// routing here either way (the router still answers), but alerting can
+// key off the field or the nrp_router_degraded gauge.
+type HealthzResponse struct {
+	Status        string        `json:"status"`
+	Nodes         int           `json:"nodes"`
+	Backend       string        `json:"backend"`
+	HealthyShards int           `json:"healthy_shards"`
+	Shards        []ShardStatus `json:"shards"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+}
+
+// ShardStatus is one shard's slice and rotation state.
+type ShardStatus struct {
+	URL     string `json:"url"`
+	Index   int    `json:"index"`
+	Lo      int    `json:"lo"`
+	Hi      int    `json:"hi"`
+	Healthy bool   `json:"healthy"`
+}
+
+// Handler returns the router's route table wrapped in the metrics and
+// logging middleware. The surface is the read-only subset of a shard
+// server's: healthz, topk (GET and POST batch), score and metrics. The
+// write and PPR endpoints do not exist here — a sharded fleet serves
+// static snapshots.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", rt.handleHealthz)
+	mux.HandleFunc("/v1/topk", rt.handleTopK)
+	mux.HandleFunc("/v1/score", rt.handleScore)
+	mux.Handle("/metrics", rt.metrics.reg.Handler())
+	return rt.instrument(mux)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	resp := HealthzResponse{
+		Status:        "ok",
+		Nodes:         rt.n,
+		Backend:       rt.backend,
+		Shards:        make([]ShardStatus, len(rt.shards)),
+		UptimeSeconds: time.Since(rt.start).Seconds(),
+	}
+	for i, sh := range rt.shards {
+		ok := sh.healthy.Load()
+		if ok {
+			resp.HealthyShards++
+		}
+		resp.Shards[i] = ShardStatus{
+			URL: sh.url, Index: sh.info.Index, Lo: sh.info.Lo, Hi: sh.info.Hi, Healthy: ok,
+		}
+	}
+	if resp.HealthyShards < len(rt.shards) {
+		resp.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req serve.TopKRequest
+	switch r.Method {
+	case http.MethodGet:
+		u, err := strconv.Atoi(r.URL.Query().Get("u"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "query parameter u must be an integer")
+			return
+		}
+		req.U = &u
+		req.K = 10
+		if ks := r.URL.Query().Get("k"); ks != "" {
+			if req.K, err = strconv.Atoi(ks); err != nil {
+				writeError(w, http.StatusBadRequest, "query parameter k must be an integer")
+				return
+			}
+		}
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST only")
+		return
+	}
+
+	var us []int
+	switch {
+	case req.U != nil && len(req.Us) > 0:
+		writeError(w, http.StatusBadRequest, `set exactly one of "u" and "us"`)
+		return
+	case req.U != nil:
+		us = []int{*req.U}
+	case len(req.Us) > 0:
+		us = req.Us
+	default:
+		writeError(w, http.StatusBadRequest, `set one of "u" and "us"`)
+		return
+	}
+	if len(us) > rt.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d sources exceeds limit %d", len(us), rt.cfg.MaxBatch))
+		return
+	}
+	if req.K > rt.cfg.MaxK {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("k=%d exceeds limit %d", req.K, rt.cfg.MaxK))
+		return
+	}
+
+	resp, err := rt.topKMany(r.Context(), us, req.K)
+	if err != nil {
+		var se *shardError
+		if errors.As(err, &se) {
+			writeError(w, se.status, se.msg)
+			return
+		}
+		writeError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleScore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	status, out, err := rt.forwardScore(r.Context(), body)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(out)
+}
+
+func readBody(r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		return nil, fmt.Errorf("bad request body: %w", err)
+	}
+	return body, nil
+}
+
+// statusRecorder captures the response status for metrics and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// endpointLabel bounds the metric label space: unknown paths collapse
+// into "other".
+func endpointLabel(path string) string {
+	switch path {
+	case "/v1/healthz", "/v1/topk", "/v1/score":
+		return strings.TrimPrefix(path, "/v1/")
+	case "/metrics":
+		return "metrics"
+	default:
+		return "other"
+	}
+}
+
+// instrument wraps the route table with the in-flight gauge, latency
+// histogram, request counter and one structured log line per call.
+func (rt *Router) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		endpoint := endpointLabel(r.URL.Path)
+		rec := &statusRecorder{ResponseWriter: w}
+		rt.metrics.inflight.Inc()
+		defer func() {
+			rt.metrics.inflight.Dec()
+			elapsed := time.Since(start)
+			code := rec.status
+			if code == 0 {
+				code = http.StatusOK
+			}
+			rt.metrics.requests.With(endpoint, strconv.Itoa(code)).Inc()
+			rt.metrics.latency.With(endpoint).Observe(elapsed.Seconds())
+			if rt.cfg.Logger != nil {
+				level := slog.LevelInfo
+				if code >= 500 {
+					level = slog.LevelError
+				} else if code >= 400 {
+					level = slog.LevelWarn
+				}
+				rt.cfg.Logger.Log(r.Context(), level, "request",
+					"endpoint", endpoint, "method", r.Method, "status", code,
+					"duration", elapsed, "healthy_shards", rt.healthyCount())
+			}
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{msg})
+}

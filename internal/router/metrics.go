@@ -1,0 +1,64 @@
+package router
+
+import (
+	"strconv"
+	"time"
+
+	"github.com/nrp-embed/nrp/internal/telemetry"
+)
+
+// Metrics is the router's telemetry surface, exposed at GET /metrics.
+// Shard-level families are labelled by slice index — a small, bounded
+// label space fixed at boot — with URLs confined to log lines.
+type Metrics struct {
+	reg *telemetry.Registry
+
+	requests *telemetry.CounterVec   // nrp_router_requests_total{endpoint,code}
+	latency  *telemetry.HistogramVec // nrp_router_request_duration_seconds{endpoint}
+	inflight *telemetry.Gauge        // nrp_router_inflight_requests
+
+	shardLatency *telemetry.HistogramVec // nrp_router_shard_request_duration_seconds{shard}
+	shardErrors  *telemetry.CounterVec   // nrp_router_shard_errors_total{shard}
+	hedges       *telemetry.CounterVec   // nrp_router_hedged_requests_total{shard}
+	partials     *telemetry.Counter      // nrp_router_partial_responses_total
+}
+
+func newMetrics(rt *Router) *Metrics {
+	reg := telemetry.NewRegistry()
+	m := &Metrics{
+		reg: reg,
+		requests: reg.CounterVec("nrp_router_requests_total",
+			"Router HTTP requests by endpoint and status code.", "endpoint", "code"),
+		latency: reg.HistogramVec("nrp_router_request_duration_seconds",
+			"Router request latency in seconds by endpoint.", telemetry.DefBuckets, "endpoint"),
+		inflight: reg.Gauge("nrp_router_inflight_requests",
+			"Requests currently being routed."),
+		shardLatency: reg.HistogramVec("nrp_router_shard_request_duration_seconds",
+			"Per-attempt shard call latency in seconds by shard index.", telemetry.DefBuckets, "shard"),
+		shardErrors: reg.CounterVec("nrp_router_shard_errors_total",
+			"Failed shard call attempts (transport errors and 5xx) by shard index.", "shard"),
+		hedges: reg.CounterVec("nrp_router_hedged_requests_total",
+			"Hedged second attempts launched because the first was slow, by shard index.", "shard"),
+		partials: reg.Counter("nrp_router_partial_responses_total",
+			"Top-k responses served from a subset of shards (partial=true)."),
+	}
+	reg.GaugeFunc("nrp_router_degraded",
+		"Number of shards currently out of rotation (0 = fully healthy).",
+		func() float64 { return float64(len(rt.shards) - rt.healthyCount()) })
+	reg.GaugeFunc("nrp_router_healthy_shards",
+		"Shards currently in the query rotation.",
+		func() float64 { return float64(rt.healthyCount()) })
+	reg.ConstGauge("nrp_router_info",
+		"Router fleet metadata; value is always 1.",
+		[]string{"shards", "backend"},
+		[]string{strconv.Itoa(len(rt.shards)), rt.backend})
+	reg.GaugeFunc("nrp_router_uptime_seconds", "Seconds since the router started.",
+		func() float64 { return time.Since(rt.start).Seconds() })
+	reg.GaugeFunc("nrp_router_index_nodes", "Nodes covered by the shard fleet.",
+		func() float64 { return float64(rt.n) })
+	return m
+}
+
+// Registry exposes the underlying registry so cmd/nrprouter can add
+// process-level metrics to the same /metrics page.
+func (m *Metrics) Registry() *telemetry.Registry { return m.reg }

@@ -77,6 +77,22 @@ type Config struct {
 	// callers to join its batch before scanning (default 250µs; negative
 	// disables the wait). Only meaningful with Coalesce.
 	CoalesceWindow time.Duration
+	// Shard, when non-nil, marks this process as one slice of a sharded
+	// deployment (nrpserve -shard i/N). It is advertised in /v1/healthz so
+	// a router can validate that its shard set forms a complete partition
+	// of [0, N) before fanning queries out.
+	Shard *ShardInfo
+}
+
+// ShardInfo describes the node-range slice a shard server is responsible
+// for. Lo/Hi are the half-open candidate range [Lo, Hi) computed by
+// nrp.ShardRange — the same ceil-chunked partition the in-process shard
+// scans use, so slice boundaries never drift between layers.
+type ShardInfo struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+	Lo    int `json:"lo"`
+	Hi    int `json:"hi"`
 }
 
 const (
@@ -196,10 +212,14 @@ type ResultJSON struct {
 	Stats     *StatsJSON     `json:"stats,omitempty"`
 }
 
-// TopKResponse is the /v1/topk response body.
+// TopKResponse is the /v1/topk response body. Partial is set only by the
+// scatter-gather router (internal/router) when one or more shards failed
+// and the answer covers a subset of the node space; shard servers and
+// single-node deployments never set it.
 type TopKResponse struct {
 	K       int          `json:"k"`
 	Results []ResultJSON `json:"results"`
+	Partial bool         `json:"partial,omitempty"`
 }
 
 // ScoreRequest is the /v1/score POST body: pairs of [source, target].
@@ -235,6 +255,9 @@ type HealthzResponse struct {
 	PendingUpdates *int `json:"pending_updates,omitempty"`
 	// Draining reports that the server is shedding new requests with 503.
 	Draining bool `json:"draining,omitempty"`
+	// Shard is present on shard servers (nrpserve -shard i/N): the slice of
+	// the node space this process answers top-k queries over.
+	Shard *ShardInfo `json:"shard,omitempty"`
 }
 
 // UpdateRequest is the /v1/update POST body: pairs of [source, target] to
@@ -286,6 +309,7 @@ func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(sv.start).Seconds(),
 		PPR:           sv.cfg.PPR != nil,
 		Draining:      sv.draining.Load(),
+		Shard:         sv.cfg.Shard,
 	}
 	if sv.live != nil {
 		resp.Live = true
